@@ -1,0 +1,9 @@
+//! Ablation study of the delta-encoding design choices: the contribution
+//! of the reset/re-encode optimizations, delta width, and group size.
+//!
+//! Usage: `cargo run -p ame-bench --bin ablation_delta --release [ops_per_core]`
+
+fn main() {
+    let ops: usize = ame_bench::parse_arg(std::env::args().nth(1), "ops per core", 500_000);
+    ame_bench::ablation::print(ops);
+}

@@ -1,0 +1,11 @@
+//! Ablation study of the engine configuration: metadata-cache capacity
+//! sensitivity of the full (MAC-in-ECC + delta) system.
+//!
+//! Usage: `cargo run -p ame-bench --bin ablation_engine --release [ops_per_core]`
+
+fn main() {
+    let ops: usize = ame_bench::parse_arg(std::env::args().nth(1), "ops per core", 100_000);
+    ame_bench::ablation::print_cache_sweep(ops);
+    println!();
+    ame_bench::ablation::print_perf(ops);
+}

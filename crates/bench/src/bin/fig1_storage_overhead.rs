@@ -1,0 +1,9 @@
+//! Regenerates **Figure 1**: storage-overhead breakdown of authenticated
+//! memory encryption, baseline vs the paper's optimized configuration.
+//!
+//! Usage: `cargo run -p ame-bench --bin fig1_storage_overhead [region_mb]`
+
+fn main() {
+    let region_mb: u64 = ame_bench::parse_arg(std::env::args().nth(1), "region size in MB", 512);
+    ame_bench::fig1::print(region_mb << 20);
+}

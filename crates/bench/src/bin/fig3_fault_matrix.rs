@@ -1,0 +1,8 @@
+//! Regenerates **Figure 3**: error detection/correction coverage of
+//! standard SEC-DED vs MAC-based ECC under different fault shapes.
+//!
+//! Usage: `cargo run -p ame-bench --bin fig3_fault_matrix --release`
+
+fn main() {
+    ame_bench::fig3::print();
+}

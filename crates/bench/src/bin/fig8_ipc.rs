@@ -1,0 +1,17 @@
+//! Regenerates **Table 1** (system configuration) and **Figure 8**
+//! (normalized IPC of the protection configurations) on the
+//! memory-sensitive PARSEC stand-ins.
+//!
+//! Usage: `cargo run -p ame-bench --bin fig8_ipc --release [ops_per_core] [seed] [--all]`
+//!
+//! Pass `--all` (as any argument) to include the compute-bound
+//! applications the paper omits from the figure.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.iter().any(|a| a == "--all");
+    let nums: Vec<&String> = args.iter().filter(|a| *a != "--all").collect();
+    let ops: usize = ame_bench::parse_arg(nums.first().map(|s| s.to_string()), "ops per core", 400_000);
+    let seed: u64 = ame_bench::parse_arg(nums.get(1).map(|s| s.to_string()), "seed", 2018);
+    ame_bench::fig8::print_with(seed, ops, all);
+}

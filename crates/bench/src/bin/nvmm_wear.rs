@@ -1,0 +1,12 @@
+//! NVMM wear-amplification experiment (Section 2.2 extension): how much
+//! extra physical write traffic each counter scheme's re-encryptions
+//! impose on endurance-limited memory.
+//!
+//! Usage: `cargo run -p ame-bench --bin nvmm_wear --release [ops_per_core] [seed]`
+
+fn main() {
+    let ops: usize = ame_bench::parse_arg(std::env::args().nth(1), "ops per core", 1_000_000);
+    let seed: u64 =
+        ame_bench::parse_arg(std::env::args().nth(2), "seed", 2018);
+    ame_bench::nvmm::print(seed, ops);
+}

@@ -1,0 +1,13 @@
+//! Monte-Carlo reliability study (Section 3.4 extension): fault-rate
+//! sweep of corrected / detected / silent outcomes for standard SEC-DED
+//! vs MAC-in-ECC with flip-and-check.
+//!
+//! Usage: `cargo run -p ame-bench --bin reliability --release [months]`
+
+use ame_bench::reliability::ReliabilityConfig;
+
+fn main() {
+    let months: u32 =
+        ame_bench::parse_arg(std::env::args().nth(1), "months", 120);
+    ame_bench::reliability::print(ReliabilityConfig { months, ..ReliabilityConfig::default() });
+}

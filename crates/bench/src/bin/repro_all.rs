@@ -1,0 +1,48 @@
+//! One-shot artifact reproduction: runs every experiment in sequence at
+//! the default sizes and prints all tables/figures. Intended for
+//! `cargo run -p ame-bench --bin repro_all --release | tee results.txt`.
+//!
+//! Takes ~1-2 minutes in release mode. Individual experiments are also
+//! available as standalone binaries (see README).
+
+use ame_bench::reliability::ReliabilityConfig;
+
+fn section(title: &str) {
+    println!("\n{}\n{}\n", "=".repeat(72), title);
+}
+
+fn main() {
+    let seed = 2018;
+
+    section("E1 / Figure 1: storage overhead");
+    ame_bench::fig1::print(512 << 20);
+
+    section("E2 / Figure 3: fault-coverage matrix");
+    ame_bench::fig3::print();
+
+    section("E3-E4 / Table 1 + Figure 8: normalized IPC");
+    ame_bench::fig8::print(seed, 200_000);
+
+    section("E5 / Table 2: re-encryptions per 10^9 cycles");
+    ame_bench::table2::print(seed, 1_000_000);
+
+    section("E9 / ablations: delta design choices");
+    ame_bench::ablation::print(400_000);
+
+    section("E10 / ablations: engine configuration");
+    ame_bench::ablation::print_cache_sweep(60_000);
+    println!();
+    ame_bench::ablation::print_perf(60_000);
+
+    section("extension: NVMM wear amplification");
+    ame_bench::nvmm::print(seed, 400_000);
+
+    section("extension: reliability Monte-Carlo");
+    ame_bench::reliability::print(ReliabilityConfig { months: 24, ..ReliabilityConfig::default() });
+
+    println!(
+        "\ndone. Also available standalone: related_work (tree-design lineage),\n\
+         multiprogram (interference), simulate (single-cell deep dive).\n\
+         See EXPERIMENTS.md for paper-vs-measured interpretation."
+    );
+}

@@ -1,0 +1,99 @@
+//! General-purpose simulator front end: run any application stand-in
+//! under any protection configuration and print the full statistics
+//! breakdown (the "explore one cell of Figure 8 in depth" tool).
+//!
+//! Usage:
+//! `cargo run -p ame-bench --bin simulate --release -- <app> <config> [ops_per_core] [seed]`
+//!
+//! * `app`: one of facesim, dedup, canneal, vips, ferret, fluidanimate,
+//!   freqmine, raytrace, swaptions, blackscholes, bodytrack
+//! * `config`: unprotected | bmt | mac-ecc | full
+
+use ame_bench::{app_traces, fig8};
+use ame_sim::Simulator;
+use ame_workloads::ParsecApp;
+
+fn parse_app(name: &str) -> Option<ParsecApp> {
+    ParsecApp::all().into_iter().find(|a| a.profile().name == name)
+}
+
+fn parse_config(name: &str) -> Option<fig8::Config> {
+    match name {
+        "unprotected" => Some(fig8::Config::Unprotected),
+        "bmt" => Some(fig8::Config::Bmt),
+        "mac-ecc" => Some(fig8::Config::MacEcc),
+        "full" => Some(fig8::Config::MacEccDelta),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: simulate <app> <unprotected|bmt|mac-ecc|full> [ops_per_core] [seed]";
+    let app = args.get(1).and_then(|a| parse_app(a)).unwrap_or_else(|| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    });
+    let config = args.get(2).and_then(|c| parse_config(c)).unwrap_or_else(|| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    });
+    let ops: usize = ame_bench::parse_arg(args.get(3).cloned(), "ops per core", 200_000);
+    let seed: u64 = ame_bench::parse_arg(args.get(4).cloned(), "seed", 2018);
+
+    let sim_config = config.sim_config();
+    let traces = app_traces(app, seed, ops, sim_config.cores);
+    let result = Simulator::new(sim_config).run(&traces);
+
+    println!("app            : {}", app.profile().name);
+    println!("config         : {}", config.label());
+    println!("instructions   : {}", result.instructions);
+    println!("cycles         : {}", result.cycles);
+    println!("IPC            : {:.4}", result.ipc());
+    println!(
+        "L1             : {:.1}% hit ({} accesses)",
+        result.l1.hit_rate() * 100.0,
+        result.l1.accesses
+    );
+    println!(
+        "L2             : {:.1}% hit ({} accesses)",
+        result.l2.hit_rate() * 100.0,
+        result.l2.accesses
+    );
+    println!(
+        "L3             : {:.1}% hit ({} accesses)",
+        result.l3.hit_rate() * 100.0,
+        result.l3.accesses
+    );
+    println!("tree levels    : {}", result.tree_levels);
+    println!("metadata cache : {:.1}% hit", result.metadata_hit_rate * 100.0);
+    println!(
+        "engine         : {} reads / {} writes, mean verified-read latency {:.1} cycles",
+        result.engine.reads,
+        result.engine.writes,
+        result.engine.mean_read_latency()
+    );
+    let (p50, p95, p99) = result.read_latency_percentiles;
+    println!("read latency   : p50 {p50} / p95 {p95} / p99 {p99} cycles");
+    println!(
+        "DRAM traffic   : data {}r/{}w, metadata {}r/{}w, MAC {}r",
+        result.engine.data_dram_reads,
+        result.engine.data_dram_writes,
+        result.engine.meta_dram_reads,
+        result.engine.meta_dram_writes,
+        result.engine.mac_dram_reads
+    );
+    println!(
+        "DRAM           : {:.1}% row-buffer hits, {} refreshes, mean latency {:.1} cycles",
+        result.dram.row_hit_rate() * 100.0,
+        result.dram.refreshes,
+        result.dram.mean_latency()
+    );
+    println!(
+        "re-encryption  : {} events, {} blocks, {} queue cycles",
+        result.engine.reencryptions,
+        result.engine.reencrypted_blocks,
+        result.engine.reencryption_queue_cycles
+    );
+    println!("counters       : {}", result.counters);
+}

@@ -1,0 +1,12 @@
+//! Regenerates **Table 2**: average re-encryptions per 10^9 cycles for
+//! split counters vs 7-bit delta vs dual-length delta across the 11
+//! PARSEC application stand-ins.
+//!
+//! Usage: `cargo run -p ame-bench --bin table2_reencryptions --release [ops_per_core] [seed]`
+
+fn main() {
+    let ops: usize = ame_bench::parse_arg(std::env::args().nth(1), "ops per core", 2_000_000);
+    let seed: u64 =
+        ame_bench::parse_arg(std::env::args().nth(2), "seed", 2018);
+    ame_bench::table2::print(seed, ops);
+}

@@ -1,0 +1,98 @@
+//! Minimal ASCII chart rendering, so the `fig*` binaries emit actual
+//! *figures* (bar charts) next to their tables — no plotting
+//! dependencies, stable output for golden-diffing.
+
+/// Renders a grouped horizontal bar chart.
+///
+/// One row per `(label, values)` entry; each value becomes a bar scaled
+/// to `width` characters against the maximum value in the dataset.
+/// `series` names the value columns (one legend line is emitted).
+///
+/// # Example
+///
+/// ```
+/// use ame_bench::chart::grouped_bars;
+///
+/// let out = grouped_bars(
+///     &["ipc"],
+///     &[("baseline".into(), vec![0.5]), ("optimized".into(), vec![1.0])],
+///     20,
+/// );
+/// assert!(out.contains("optimized"));
+/// assert!(out.contains('#'));
+/// ```
+#[must_use]
+pub fn grouped_bars(series: &[&str], rows: &[(String, Vec<f64>)], width: usize) -> String {
+    assert!(width >= 4, "chart too narrow");
+    let max = rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(f64::EPSILON, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(7);
+    let glyphs = ['#', '=', '-', '+', '*', '~'];
+
+    let mut out = String::new();
+    // Legend.
+    out.push_str(&format!("{:label_w$}  ", ""));
+    for (i, name) in series.iter().enumerate() {
+        out.push_str(&format!("[{}] {}   ", glyphs[i % glyphs.len()], name));
+    }
+    out.push('\n');
+
+    for (label, values) in rows {
+        for (i, &v) in values.iter().enumerate() {
+            let bar_len = ((v / max) * width as f64).round().max(0.0) as usize;
+            let glyph = glyphs[i % glyphs.len()];
+            let head = if i == 0 { format!("{label:label_w$}") } else { " ".repeat(label_w) };
+            out.push_str(&format!(
+                "{head}  {}{} {v:.3}\n",
+                glyph.to_string().repeat(bar_len),
+                " ".repeat(width.saturating_sub(bar_len)),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let out = grouped_bars(
+            &["a"],
+            &[("half".into(), vec![0.5]), ("full".into(), vec![1.0])],
+            10,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        let count = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(count(lines[1]), 5, "{out}");
+        assert_eq!(count(lines[2]), 10, "{out}");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let out = grouped_bars(
+            &["x", "y"],
+            &[("row".into(), vec![1.0, 0.5])],
+            8,
+        );
+        assert!(out.contains('#'));
+        assert!(out.contains('='));
+        assert!(out.contains("[#] x"));
+        assert!(out.contains("[=] y"));
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let out = grouped_bars(&["v"], &[("zero".into(), vec![0.0])], 8);
+        assert!(!out.lines().nth(1).unwrap().contains('#'), "{out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too narrow")]
+    fn narrow_chart_panics() {
+        let _ = grouped_bars(&["v"], &[("r".into(), vec![1.0])], 2);
+    }
+}

@@ -1,0 +1,543 @@
+//! Set-associative write-back cache models for the simulator.
+//!
+//! One [`Cache`] type serves every cache in the reproduced system: the
+//! per-core L1s/L2s, the shared L3, and — crucially for the paper — the
+//! 32 KB, 8-way **counter/MAC metadata cache** of the memory encryption
+//! engine (Table 1). The model tracks tags, dirtiness and true-LRU
+//! recency; data payloads live elsewhere (the functional memory model).
+//!
+//! # Example
+//!
+//! ```
+//! use ame_cache::{AccessKind, Cache, CacheConfig};
+//!
+//! let mut l1 = Cache::new(CacheConfig::new(32 * 1024, 8, 64));
+//! assert!(l1.access(0x1000, AccessKind::Read).is_miss());
+//! assert!(!l1.access(0x1000, AccessKind::Read).is_miss());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used (the default everywhere in the paper's
+    /// system).
+    #[default]
+    Lru,
+    /// First-in-first-out: eviction order follows fill order, ignoring
+    /// reuse.
+    Fifo,
+    /// Pseudo-random victim (xorshift over an internal seed) — the
+    /// cheapest hardware policy, useful as an ablation bound.
+    Random,
+}
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes (64 throughout the paper's system).
+    pub line_bytes: usize,
+    /// Victim-selection policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive powers of two and the
+    /// capacity is divisible by `ways * line_bytes`.
+    #[must_use]
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0, "associativity must be positive");
+        assert!(
+            size_bytes.is_multiple_of(ways * line_bytes),
+            "capacity must divide evenly into {ways} ways of {line_bytes}-byte lines"
+        );
+        let sets = size_bytes / (ways * line_bytes);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self { size_bytes, ways, line_bytes, policy: ReplacementPolicy::Lru }
+    }
+
+    /// Same geometry with a different replacement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Whether an access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load (fills clean on miss).
+    Read,
+    /// Store (fills and marks dirty; write-allocate, write-back).
+    Write,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Base address of the victim line.
+    pub addr: u64,
+    /// Whether the victim was dirty (requires a write-back).
+    pub dirty: bool,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The line was present.
+    Hit,
+    /// The line was filled; `victim` is the evicted line, if the set was
+    /// full of valid lines.
+    Miss {
+        /// Evicted line, if any.
+        victim: Option<Eviction>,
+    },
+}
+
+impl AccessResult {
+    /// Returns `true` for misses.
+    #[must_use]
+    pub fn is_miss(&self) -> bool {
+        matches!(self, AccessResult::Miss { .. })
+    }
+
+    /// Returns the dirty victim that must be written back, if any.
+    #[must_use]
+    pub fn writeback(&self) -> Option<u64> {
+        match self {
+            AccessResult::Miss { victim: Some(v) } if v.dirty => Some(v.addr),
+            _ => None,
+        }
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses (fills).
+    pub misses: u64,
+    /// Evictions of valid lines.
+    pub evictions: u64,
+    /// Evictions of dirty lines (write-backs).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero if no accesses yet.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} accesses, {:.1}% hits, {} evictions ({} dirty)",
+            self.accesses,
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.writebacks
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic recency stamp; larger = more recently used.
+    lru: u64,
+    /// Monotonic fill stamp (for FIFO).
+    filled: u64,
+}
+
+/// A set-associative, write-allocate, write-back cache with true LRU.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    clock: u64,
+    /// xorshift state for [`ReplacementPolicy::Random`].
+    rng_state: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let lines = vec![Line::default(); config.sets() * config.ways];
+        Self { config, lines, stats: CacheStats::default(), clock: 0, rng_state: 0x9e37_79b9 }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line % self.config.sets() as u64) as usize;
+        let tag = line / self.config.sets() as u64;
+        (set, tag)
+    }
+
+    fn set_lines(&mut self, set: usize) -> &mut [Line] {
+        let ways = self.config.ways;
+        &mut self.lines[set * ways..(set + 1) * ways]
+    }
+
+    /// Accesses `addr`, filling on miss. Returns hit/miss and any victim.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.set_and_tag(addr);
+        let line_bytes = self.config.line_bytes as u64;
+        let sets = self.config.sets() as u64;
+        self.stats.accesses += 1;
+
+        let hit = {
+            let lines = self.set_lines(set);
+            if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+                line.lru = clock;
+                if kind == AccessKind::Write {
+                    line.dirty = true;
+                }
+                true
+            } else {
+                false
+            }
+        };
+        if hit {
+            self.stats.hits += 1;
+            return AccessResult::Hit;
+        }
+
+        self.stats.misses += 1;
+        let policy = self.config.policy;
+        let ways = self.config.ways;
+        let rand_way = if policy == ReplacementPolicy::Random {
+            // xorshift64*
+            self.rng_state ^= self.rng_state << 13;
+            self.rng_state ^= self.rng_state >> 7;
+            self.rng_state ^= self.rng_state << 17;
+            (self.rng_state % ways as u64) as usize
+        } else {
+            0
+        };
+        let victim = {
+            let lines = self.set_lines(set);
+            // Victim selection: first invalid way, else per policy.
+            let victim_way = match lines.iter().position(|l| !l.valid) {
+                Some(w) => w,
+                None => match policy {
+                    ReplacementPolicy::Lru => {
+                        lines
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| l.lru)
+                            .expect("sets are never empty")
+                            .0
+                    }
+                    ReplacementPolicy::Fifo => {
+                        lines
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| l.filled)
+                            .expect("sets are never empty")
+                            .0
+                    }
+                    ReplacementPolicy::Random => rand_way,
+                },
+            };
+            let victim_line = lines[victim_way];
+            lines[victim_way] = Line {
+                tag,
+                valid: true,
+                dirty: kind == AccessKind::Write,
+                lru: clock,
+                filled: clock,
+            };
+            victim_line.valid.then(|| Eviction {
+                addr: (victim_line.tag * sets + set as u64) * line_bytes,
+                dirty: victim_line.dirty,
+            })
+        };
+        if let Some(v) = &victim {
+            self.stats.evictions += 1;
+            if v.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        AccessResult::Miss { victim }
+    }
+
+    /// Checks for presence without disturbing LRU state or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = self.config.ways;
+        self.lines[set * ways..(set + 1) * ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates `addr` if present; returns `true` if the line was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let lines = self.set_lines(set);
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            let dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            dirty
+        } else {
+            false
+        }
+    }
+
+    /// Clears statistics while keeping cache contents (for warmup-phase
+    /// measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Drops all contents and statistics.
+    pub fn reset(&mut self) {
+        self.lines.iter_mut().for_each(|l| *l = Line::default());
+        self.stats = CacheStats::default();
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 64-byte lines = 256 bytes.
+        Cache::new(CacheConfig::new(256, 2, 64))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(32 * 1024, 8, 64);
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = CacheConfig::new(3000, 8, 64);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(c.access(0, AccessKind::Read).is_miss());
+        assert_eq!(c.access(0, AccessKind::Read), AccessResult::Hit);
+        assert_eq!(c.access(63, AccessKind::Read), AccessResult::Hit, "same line");
+        assert!(c.access(64, AccessKind::Read).is_miss(), "next line maps to set 1");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines at 0, 128, 256... (2 sets * 64B stride).
+        c.access(0, AccessKind::Read);
+        c.access(128, AccessKind::Read);
+        c.access(0, AccessKind::Read); // refresh line 0
+        let res = c.access(256, AccessKind::Read); // evicts LRU = 128
+        match res {
+            AccessResult::Miss { victim: Some(v) } => {
+                assert_eq!(v.addr, 128);
+                assert!(!v.dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.access(128, AccessKind::Read);
+        let res = c.access(256, AccessKind::Read); // victim is dirty line 0
+        assert_eq!(res.writeback(), Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Write); // hit, now dirty
+        c.access(128, AccessKind::Read);
+        let res = c.access(256, AccessKind::Read);
+        assert_eq!(res.writeback(), Some(0));
+    }
+
+    #[test]
+    fn victim_address_reconstruction() {
+        let mut c = tiny();
+        // Line at 0x1040 -> line index 0x41 -> set 1, tag 0x20.
+        c.access(0x1040, AccessKind::Write);
+        c.access(0x40, AccessKind::Read);
+        let res = c.access(0x2040, AccessKind::Read);
+        assert_eq!(res.writeback(), Some(0x1040));
+    }
+
+    #[test]
+    fn probe_does_not_touch_state() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        let stats_before = c.stats();
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert_eq!(c.stats(), stats_before);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.access(64, AccessKind::Read);
+        assert!(c.invalidate(0));
+        assert!(!c.invalidate(64));
+        assert!(!c.invalidate(128), "absent line");
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.reset();
+        assert!(!c.probe(0));
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = tiny();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Read);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_ignores_reuse() {
+        // 2-way set: fill A then B, touch A, insert C.
+        // LRU evicts B (A was refreshed); FIFO evicts A (oldest fill).
+        let lru = CacheConfig::new(256, 2, 64);
+        let fifo = lru.with_policy(ReplacementPolicy::Fifo);
+        for (cfg, expect_evicted) in [(lru, 128u64), (fifo, 0u64)] {
+            let mut c = Cache::new(cfg);
+            c.access(0, AccessKind::Read); // A
+            c.access(128, AccessKind::Read); // B (same set)
+            c.access(0, AccessKind::Read); // refresh A
+            let res = c.access(256, AccessKind::Read); // C
+            match res {
+                AccessResult::Miss { victim: Some(v) } => {
+                    assert_eq!(v.addr, expect_evicted, "{:?}", cfg.policy);
+                }
+                other => panic!("expected eviction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_valid() {
+        let cfg = CacheConfig::new(256, 2, 64).with_policy(ReplacementPolicy::Random);
+        let run = |mut c: Cache| -> Vec<Option<u64>> {
+            (0..20u64)
+                .map(|i| match c.access(i * 128, AccessKind::Read) {
+                    AccessResult::Miss { victim } => victim.map(|v| v.addr),
+                    AccessResult::Hit => None,
+                })
+                .collect()
+        };
+        let a = run(Cache::new(cfg));
+        let b = run(Cache::new(cfg));
+        assert_eq!(a, b, "random policy must be reproducible");
+        // Victims are always lines that were actually resident.
+        assert!(a.iter().flatten().all(|addr| addr % 64 == 0));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.probe(0), "contents survive a stats reset");
+        assert_eq!(c.access(0, AccessKind::Read), AccessResult::Hit);
+    }
+
+    #[test]
+    fn with_policy_preserves_geometry() {
+        let base = CacheConfig::new(32 * 1024, 8, 64);
+        let fifo = base.with_policy(ReplacementPolicy::Fifo);
+        assert_eq!(fifo.sets(), base.sets());
+        assert_eq!(fifo.size_bytes, base.size_bytes);
+        assert_eq!(fifo.policy, ReplacementPolicy::Fifo);
+        assert_eq!(base.policy, ReplacementPolicy::Lru, "builder does not mutate");
+    }
+
+    #[test]
+    fn full_associativity_sweep() {
+        // A 4-way set must hold 4 distinct lines without eviction.
+        let mut c = Cache::new(CacheConfig::new(1024, 4, 64));
+        let sets = c.config().sets() as u64; // 4
+        for i in 0..4u64 {
+            let r = c.access(i * sets * 64, AccessKind::Read);
+            assert_eq!(r, AccessResult::Miss { victim: None }, "way {i}");
+        }
+        for i in 0..4u64 {
+            assert_eq!(c.access(i * sets * 64, AccessKind::Read), AccessResult::Hit);
+        }
+    }
+}

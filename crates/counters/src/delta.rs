@@ -1,0 +1,421 @@
+//! Frame-of-reference delta encoding of counters (Section 4 of the paper).
+//!
+//! Each block-group stores one 56-bit **reference** counter plus one small
+//! **delta** per block; a block's counter is `reference + delta`. Because
+//! deltas are *offsets* (not positional digits like split-counter minors),
+//! two representation changes can absorb write traffic without touching
+//! the encrypted data:
+//!
+//! * **Delta reset** (Figure 5b): when every delta in a group converges to
+//!   the same value `d`, fold it into the reference (`ref += d`, deltas to
+//!   zero). Counter values are unchanged.
+//! * **Re-encoding** (Figure 5c): on overflow, subtract the minimum delta
+//!   from all deltas and add it to the reference. Effective whenever
+//!   `min(delta) > 0`.
+//!
+//! Only when both fail does the group get re-encrypted under a fresh
+//! counter (Figure 5a).
+
+use crate::{split_block, CounterScheme, CounterStats, WriteOutcome};
+use std::collections::HashMap;
+
+/// Configuration of a flat (single-width) delta-encoding scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaConfig {
+    /// Width of each delta in bits (the paper evaluates 7).
+    pub delta_bits: u32,
+    /// Blocks per group (the paper uses 64 => 4 KB groups).
+    pub blocks_per_group: usize,
+    /// Width of the shared reference counter in bits (56, as in SGX).
+    pub reference_bits: u32,
+    /// Enables the convergence-reset optimization (Figure 5b).
+    pub reset_enabled: bool,
+    /// Enables the min-subtraction re-encoding optimization (Figure 5c).
+    pub reencode_enabled: bool,
+}
+
+impl Default for DeltaConfig {
+    /// The paper's configuration: 7-bit deltas, 64-block groups, 56-bit
+    /// reference, both optimizations on.
+    fn default() -> Self {
+        Self {
+            delta_bits: 7,
+            blocks_per_group: 64,
+            reference_bits: 56,
+            reset_enabled: true,
+            reencode_enabled: true,
+        }
+    }
+}
+
+impl DeltaConfig {
+    /// Largest representable delta.
+    #[must_use]
+    pub fn delta_max(&self) -> u64 {
+        (1u64 << self.delta_bits) - 1
+    }
+
+    /// Validates invariants; called by [`DeltaCounters::new`].
+    fn validate(&self) {
+        assert!(self.delta_bits > 0 && self.delta_bits < 32, "delta width must be 1..32");
+        assert!(self.blocks_per_group > 0, "group must hold at least one block");
+        assert!(
+            self.reference_bits > 0 && self.reference_bits <= 64,
+            "reference width must be 1..=64"
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    reference: u64,
+    deltas: Vec<u64>,
+}
+
+impl Group {
+    fn counters(&self) -> Vec<u64> {
+        self.deltas.iter().map(|d| self.reference + d).collect()
+    }
+}
+
+/// Flat delta-encoded counters with reset and re-encode optimizations.
+///
+/// # Example
+///
+/// ```
+/// use ame_counters::{CounterScheme, delta::DeltaCounters};
+///
+/// let mut ctrs = DeltaCounters::default();
+/// // A sequential sweep writes every block in the group once...
+/// for block in 0..64 {
+///     ctrs.record_write(block);
+/// }
+/// // ...so all deltas converged to 1 and were folded into the reference.
+/// assert_eq!(ctrs.stats().resets, 1);
+/// assert_eq!(ctrs.counter(0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaCounters {
+    groups: HashMap<u64, Group>,
+    config: DeltaConfig,
+    stats: CounterStats,
+}
+
+impl DeltaCounters {
+    /// Creates a delta-counter scheme from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero-size group, delta
+    /// width outside `1..32`, reference width outside `1..=64`).
+    #[must_use]
+    pub fn new(config: DeltaConfig) -> Self {
+        config.validate();
+        Self { groups: HashMap::new(), config, stats: CounterStats::default() }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &DeltaConfig {
+        &self.config
+    }
+
+    /// Current delta of `block` (for inspection/ablation experiments).
+    #[must_use]
+    pub fn delta(&self, block: u64) -> u64 {
+        let (g, i) = split_block(block, self.config.blocks_per_group);
+        self.groups.get(&g).map_or(0, |grp| grp.deltas[i])
+    }
+
+    /// Current reference value of the group containing `block`.
+    #[must_use]
+    pub fn reference(&self, block: u64) -> u64 {
+        let (g, _) = split_block(block, self.config.blocks_per_group);
+        self.groups.get(&g).map_or(0, |grp| grp.reference)
+    }
+}
+
+impl Default for DeltaCounters {
+    fn default() -> Self {
+        Self::new(DeltaConfig::default())
+    }
+}
+
+impl CounterScheme for DeltaCounters {
+    fn counter(&self, block: u64) -> u64 {
+        let (g, i) = split_block(block, self.config.blocks_per_group);
+        self.groups.get(&g).map_or(0, |grp| grp.reference + grp.deltas[i])
+    }
+
+    fn record_write(&mut self, block: u64) -> WriteOutcome {
+        let (g, i) = split_block(block, self.config.blocks_per_group);
+        let cfg = self.config;
+        let grp = self
+            .groups
+            .entry(g)
+            .or_insert_with(|| Group { reference: 0, deltas: vec![0; cfg.blocks_per_group] });
+
+        let outcome = if grp.deltas[i] < cfg.delta_max() {
+            grp.deltas[i] += 1;
+            // Figure 5b: fold converged deltas into the reference.
+            let first = grp.deltas[0];
+            if cfg.reset_enabled && first > 0 && grp.deltas.iter().all(|&d| d == first) {
+                grp.reference += first;
+                grp.deltas.iter_mut().for_each(|d| *d = 0);
+                WriteOutcome::Reset
+            } else {
+                WriteOutcome::Incremented
+            }
+        } else {
+            // Overflow. Figure 5c: re-encode with a larger reference if
+            // every delta is positive.
+            let min = grp.deltas.iter().copied().min().unwrap_or(0);
+            if cfg.reencode_enabled && min > 0 {
+                grp.reference += min;
+                grp.deltas.iter_mut().for_each(|d| *d -= min);
+                grp.deltas[i] += 1;
+                WriteOutcome::Reencoded
+            } else {
+                // Figure 5a: re-encrypt the group under the largest
+                // counter (the overflowing one, incremented).
+                let old_counters = grp.counters();
+                let new_counter = grp.reference + cfg.delta_max() + 1;
+                grp.reference = new_counter;
+                grp.deltas.iter_mut().for_each(|d| *d = 0);
+                WriteOutcome::Reencrypted { group: g, old_counters, new_counter }
+            }
+        };
+        self.stats.record(&outcome);
+        outcome
+    }
+
+    fn bits_per_block(&self) -> f64 {
+        f64::from(self.config.delta_bits)
+            + f64::from(self.config.reference_bits) / self.config.blocks_per_group as f64
+    }
+
+    fn blocks_per_group(&self) -> usize {
+        self.config.blocks_per_group
+    }
+
+    fn stats(&self) -> CounterStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+
+    fn blocks_per_metadata_block(&self) -> usize {
+        self.config.blocks_per_group
+    }
+
+    /// Packs `reference (reference_bits) || deltas (delta_bits each)` —
+    /// 504 bits for the paper's 7-bit/64-block configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured layout exceeds one 64-byte block.
+    fn metadata_block_image(&self, meta_block: u64) -> [u8; 64] {
+        let cfg = &self.config;
+        let bits = cfg.reference_bits + cfg.delta_bits * cfg.blocks_per_group as u32;
+        assert!(bits <= 512, "delta group does not fit one metadata block");
+        let mut image = [0u8; 64];
+        let (reference, deltas) = match self.groups.get(&meta_block) {
+            Some(grp) => (grp.reference, grp.deltas.clone()),
+            None => (0, vec![0; cfg.blocks_per_group]),
+        };
+        crate::packing::write_bits(&mut image, 0, cfg.reference_bits, reference);
+        for (i, &d) in deltas.iter().enumerate() {
+            crate::packing::write_bits(
+                &mut image,
+                cfg.reference_bits + cfg.delta_bits * i as u32,
+                cfg.delta_bits,
+                d,
+            );
+        }
+        image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DeltaCounters {
+        DeltaCounters::new(DeltaConfig {
+            delta_bits: 3, // max delta 7
+            blocks_per_group: 4,
+            reference_bits: 56,
+            reset_enabled: true,
+            reencode_enabled: true,
+        })
+    }
+
+    #[test]
+    fn counters_strictly_increase_per_block() {
+        let mut c = small();
+        let mut last = [0u64; 4];
+        for round in 0..100 {
+            let b = (round % 4) as u64;
+            c.record_write(b);
+            let now = c.counter(b);
+            assert!(now > last[b as usize], "round {round}");
+            // Counters of other blocks must never decrease either.
+            for o in 0..4u64 {
+                assert!(c.counter(o) >= last[o as usize]);
+                last[o as usize] = c.counter(o);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure_5a_reencryption() {
+        // Hammer one block; reset and re-encode can't help (min delta 0).
+        let mut c = small();
+        for _ in 0..7 {
+            assert!(!c.record_write(0).is_reencryption());
+        }
+        let outcome = c.record_write(0);
+        match outcome {
+            WriteOutcome::Reencrypted { group, old_counters, new_counter } => {
+                assert_eq!(group, 0);
+                assert_eq!(old_counters, vec![7, 0, 0, 0]);
+                assert_eq!(new_counter, 8);
+            }
+            other => panic!("expected re-encryption, got {other:?}"),
+        }
+        // All counters jump to the fresh value.
+        for b in 0..4 {
+            assert_eq!(c.counter(b), 8);
+        }
+    }
+
+    #[test]
+    fn paper_figure_5b_reset() {
+        // Uniform sweeps converge all deltas; no re-encryption ever.
+        let mut c = small();
+        for sweep in 1..=50u64 {
+            for b in 0..4 {
+                let out = c.record_write(b);
+                if b == 3 {
+                    assert_eq!(out, WriteOutcome::Reset, "sweep {sweep}");
+                } else {
+                    assert_eq!(out, WriteOutcome::Incremented);
+                }
+            }
+            // After each full sweep the deltas fold into the reference.
+            assert_eq!(c.reference(0), sweep);
+            for b in 0..4 {
+                assert_eq!(c.counter(b), sweep);
+                assert_eq!(c.delta(b), 0);
+            }
+        }
+        assert_eq!(c.stats().resets, 50);
+        assert_eq!(c.stats().reencryptions, 0);
+    }
+
+    #[test]
+    fn paper_figure_5c_reencode() {
+        // Figure 5c: deltas [11,12,12,127] with 7-bit storage; the write
+        // to the last block would overflow, but min subtraction saves it.
+        let mut c = DeltaCounters::default();
+        let write_n = |c: &mut DeltaCounters, b: u64, n: u64| {
+            for _ in 0..n {
+                c.record_write(b);
+            }
+        };
+        write_n(&mut c, 0, 11);
+        write_n(&mut c, 1, 12);
+        write_n(&mut c, 2, 12);
+        write_n(&mut c, 3, 127);
+        // Remaining 60 blocks of the group also need positive deltas for
+        // re-encoding to fire.
+        for b in 4..64 {
+            write_n(&mut c, b, 11);
+        }
+        let before: Vec<u64> = (0..64).map(|b| c.counter(b)).collect();
+        let out = c.record_write(3);
+        assert_eq!(out, WriteOutcome::Reencoded);
+        assert_eq!(c.reference(0), 11, "reference grew by the minimum delta");
+        assert_eq!(c.counter(3), before[3] + 1);
+        for b in 0..3u64 {
+            assert_eq!(c.counter(b), before[b as usize], "other counters unchanged");
+        }
+        assert_eq!(c.stats().reencryptions, 0);
+    }
+
+    #[test]
+    fn reencode_disabled_falls_back_to_reencryption() {
+        let mut cfg = DeltaConfig { delta_bits: 3, blocks_per_group: 2, ..Default::default() };
+        cfg.reencode_enabled = false;
+        cfg.reset_enabled = false;
+        let mut c = DeltaCounters::new(cfg);
+        for _ in 0..7 {
+            c.record_write(0);
+        }
+        c.record_write(1); // min delta now 1, but re-encode is off
+        assert!(c.record_write(0).is_reencryption());
+    }
+
+    #[test]
+    fn reset_disabled_never_resets() {
+        let mut cfg = DeltaConfig { delta_bits: 3, blocks_per_group: 2, ..Default::default() };
+        cfg.reset_enabled = false;
+        let mut c = DeltaCounters::new(cfg);
+        for _ in 0..3 {
+            c.record_write(0);
+            c.record_write(1);
+        }
+        assert_eq!(c.stats().resets, 0);
+        assert_eq!(c.delta(0), 3);
+    }
+
+    #[test]
+    fn storage_cost_matches_paper() {
+        // 7-bit deltas + 56-bit reference / 64 blocks = 7.875 bits/block,
+        // vs 56 for monolithic: the paper's "6x smaller" (Section 4.2 says
+        // a 56-bit reference and 64 deltas fit one 64-byte block).
+        let c = DeltaCounters::default();
+        assert!((c.bits_per_block() - 7.875).abs() < 1e-9);
+        assert!(56.0 / c.bits_per_block() > 6.0);
+    }
+
+    #[test]
+    fn groups_do_not_interfere() {
+        let mut c = small();
+        for _ in 0..8 {
+            c.record_write(0); // group 0 re-encrypts
+        }
+        assert_eq!(c.counter(4), 0, "group 1 untouched");
+        assert_eq!(c.reference(4), 0);
+    }
+
+    #[test]
+    fn metadata_image_matches_flat_packing() {
+        use crate::packing::FlatGroup;
+        let mut c = DeltaCounters::default();
+        for b in 0..10 {
+            for _ in 0..=b {
+                c.record_write(b);
+            }
+        }
+        let image = c.metadata_block_image(0);
+        let unpacked = FlatGroup::unpack(&image);
+        assert_eq!(unpacked.reference, c.reference(0));
+        for b in 0..64u64 {
+            assert_eq!(unpacked.deltas[b as usize], c.delta(b), "block {b}");
+            assert_eq!(FlatGroup::decode_counter(&image, b as usize), c.counter(b));
+        }
+        // Unallocated group images are all zero.
+        assert_eq!(c.metadata_block_image(99), [0u8; 64]);
+    }
+
+    #[test]
+    fn lazy_groups_default_to_zero() {
+        let c = DeltaCounters::default();
+        assert_eq!(c.counter(123_456), 0);
+        assert_eq!(c.delta(123_456), 0);
+        assert_eq!(c.reference(123_456), 0);
+    }
+}

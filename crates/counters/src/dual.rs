@@ -1,0 +1,481 @@
+//! Dual-length delta encoding (Figure 6 of the paper).
+//!
+//! A constrained form of variable-length integer encoding designed for
+//! 2-cycle hardware decode: the 64 deltas of a block-group are divided
+//! into four **delta-groups** of 16. Each delta is 6 bits by default,
+//! leaving 72 unused bits in the group's metadata block. When a delta
+//! overflows its 6 bits, those reserve bits are assigned to its
+//! delta-group, widening each of that group's deltas by 4 bits (to 10).
+//! Only one delta-group can hold the reserve at a time; if a second group
+//! overflows (or the widened group overflows again), the scheme falls back
+//! to re-encode / re-encrypt.
+//!
+//! On facesim-like workloads several delta-groups grow concurrently, which
+//! is why Table 2 shows dual-length doing *worse* than flat 7-bit deltas
+//! there — this implementation reproduces that behaviour.
+
+use crate::{split_block, CounterScheme, CounterStats, WriteOutcome};
+use std::collections::HashMap;
+
+/// Configuration of the dual-length delta scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DualLengthConfig {
+    /// Default delta width in bits (paper: 6).
+    pub base_bits: u32,
+    /// Extra bits granted to the expanded delta-group (paper: 4).
+    pub extra_bits: u32,
+    /// Number of delta-groups per block-group (paper: 4).
+    pub delta_groups: usize,
+    /// Blocks per block-group (paper: 64 => 16 deltas per delta-group).
+    pub blocks_per_group: usize,
+    /// Width of the shared reference counter in bits.
+    pub reference_bits: u32,
+    /// Enables the convergence-reset optimization.
+    pub reset_enabled: bool,
+    /// Enables the min-subtraction re-encoding optimization.
+    pub reencode_enabled: bool,
+}
+
+impl Default for DualLengthConfig {
+    /// The paper's configuration: 6+4-bit deltas, 4 delta-groups of 16.
+    fn default() -> Self {
+        Self {
+            base_bits: 6,
+            extra_bits: 4,
+            delta_groups: 4,
+            blocks_per_group: 64,
+            reference_bits: 56,
+            reset_enabled: true,
+            reencode_enabled: true,
+        }
+    }
+}
+
+impl DualLengthConfig {
+    /// Largest delta representable at base width.
+    #[must_use]
+    pub fn base_max(&self) -> u64 {
+        (1u64 << self.base_bits) - 1
+    }
+
+    /// Largest delta representable in the expanded delta-group.
+    #[must_use]
+    pub fn expanded_max(&self) -> u64 {
+        (1u64 << (self.base_bits + self.extra_bits)) - 1
+    }
+
+    /// Blocks per delta-group.
+    #[must_use]
+    pub fn blocks_per_delta_group(&self) -> usize {
+        self.blocks_per_group / self.delta_groups
+    }
+
+    fn validate(&self) {
+        assert!(self.base_bits > 0 && self.base_bits < 32, "base width must be 1..32");
+        assert!(self.extra_bits > 0 && self.base_bits + self.extra_bits < 32);
+        assert!(self.delta_groups > 0 && self.blocks_per_group.is_multiple_of(self.delta_groups),
+            "delta-groups must evenly divide the block-group");
+        assert!(self.reference_bits > 0 && self.reference_bits <= 64);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    reference: u64,
+    deltas: Vec<u64>,
+    /// Which delta-group currently holds the shared overflow bits.
+    expanded: Option<usize>,
+}
+
+impl Group {
+    fn counters(&self) -> Vec<u64> {
+        self.deltas.iter().map(|d| self.reference + d).collect()
+    }
+}
+
+/// Dual-length delta-encoded counters.
+///
+/// # Example
+///
+/// ```
+/// use ame_counters::{CounterScheme, dual::DualLengthDeltaCounters};
+///
+/// let mut ctrs = DualLengthDeltaCounters::default();
+/// // 64 writes to one block overflow its 6-bit delta; the overflow bits
+/// // absorb it with no re-encryption.
+/// for _ in 0..70 {
+///     ctrs.record_write(5);
+/// }
+/// assert_eq!(ctrs.stats().expansions, 1);
+/// assert_eq!(ctrs.stats().reencryptions, 0);
+/// assert_eq!(ctrs.counter(5), 70);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualLengthDeltaCounters {
+    groups: HashMap<u64, Group>,
+    config: DualLengthConfig,
+    stats: CounterStats,
+}
+
+impl DualLengthDeltaCounters {
+    /// Creates a dual-length delta scheme from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`DualLengthConfig`] field docs).
+    #[must_use]
+    pub fn new(config: DualLengthConfig) -> Self {
+        config.validate();
+        Self { groups: HashMap::new(), config, stats: CounterStats::default() }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &DualLengthConfig {
+        &self.config
+    }
+
+    /// The delta-group index of `block` within its block-group.
+    #[must_use]
+    pub fn delta_group_of(&self, block: u64) -> usize {
+        let (_, i) = split_block(block, self.config.blocks_per_group);
+        i / self.config.blocks_per_delta_group()
+    }
+
+    /// Which delta-group of `block`'s block-group holds the overflow bits.
+    #[must_use]
+    pub fn expanded_group(&self, block: u64) -> Option<usize> {
+        let (g, _) = split_block(block, self.config.blocks_per_group);
+        self.groups.get(&g).and_then(|grp| grp.expanded)
+    }
+
+}
+
+impl Default for DualLengthDeltaCounters {
+    fn default() -> Self {
+        Self::new(DualLengthConfig::default())
+    }
+}
+
+impl CounterScheme for DualLengthDeltaCounters {
+    fn counter(&self, block: u64) -> u64 {
+        let (g, i) = split_block(block, self.config.blocks_per_group);
+        self.groups.get(&g).map_or(0, |grp| grp.reference + grp.deltas[i])
+    }
+
+    fn record_write(&mut self, block: u64) -> WriteOutcome {
+        let (g, i) = split_block(block, self.config.blocks_per_group);
+        let cfg = self.config;
+        let dg = i / cfg.blocks_per_delta_group();
+        let grp = self.groups.entry(g).or_insert_with(|| Group {
+            reference: 0,
+            deltas: vec![0; cfg.blocks_per_group],
+            expanded: None,
+        });
+
+        let cap = if grp.expanded == Some(dg) { cfg.expanded_max() } else { cfg.base_max() };
+        let outcome = if grp.deltas[i] < cap {
+            grp.deltas[i] += 1;
+            let first = grp.deltas[0];
+            if cfg.reset_enabled && first > 0 && grp.deltas.iter().all(|&d| d == first) {
+                grp.reference += first;
+                grp.deltas.iter_mut().for_each(|d| *d = 0);
+                grp.expanded = None; // all deltas fit base width again
+                WriteOutcome::Reset
+            } else {
+                WriteOutcome::Incremented
+            }
+        } else if grp.expanded.is_none() {
+            // Assign the shared overflow bits to this delta-group.
+            grp.expanded = Some(dg);
+            grp.deltas[i] += 1;
+            WriteOutcome::Expanded
+        } else {
+            // Overflow bits already taken (possibly by this very group at
+            // its widened capacity): try re-encoding, then re-encrypt.
+            let min = grp.deltas.iter().copied().min().unwrap_or(0);
+            if cfg.reencode_enabled && min > 0 {
+                grp.reference += min;
+                grp.deltas.iter_mut().for_each(|d| *d -= min);
+                grp.deltas[i] += 1;
+                WriteOutcome::Reencoded
+            } else {
+                let old_counters = grp.counters();
+                // Every block must jump strictly above its old counter;
+                // with a widened group the largest delta may exceed the
+                // overflowing one, so take the true maximum.
+                let max_delta = grp.deltas.iter().copied().max().unwrap_or(0);
+                let new_counter = grp.reference + max_delta + 1;
+                grp.reference = new_counter;
+                grp.deltas.iter_mut().for_each(|d| *d = 0);
+                grp.expanded = None;
+                WriteOutcome::Reencrypted { group: g, old_counters, new_counter }
+            }
+        };
+        self.stats.record(&outcome);
+        outcome
+    }
+
+    fn bits_per_block(&self) -> f64 {
+        // Reference + base-width deltas + shared overflow bits + 2 group
+        // index bits, amortized over the group (507 bits for the paper's
+        // parameters — fits one 64-byte metadata block).
+        let cfg = &self.config;
+        let overflow_bits = cfg.blocks_per_delta_group() as f64 * f64::from(cfg.extra_bits);
+        let index_bits = (cfg.delta_groups as f64).log2().ceil();
+        f64::from(cfg.base_bits)
+            + (f64::from(cfg.reference_bits) + overflow_bits + index_bits)
+                / cfg.blocks_per_group as f64
+    }
+
+    fn blocks_per_group(&self) -> usize {
+        self.config.blocks_per_group
+    }
+
+    fn stats(&self) -> CounterStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "dual-length delta"
+    }
+
+    fn blocks_per_metadata_block(&self) -> usize {
+        self.config.blocks_per_group
+    }
+
+    /// Packs the Figure 6 layout: `reference || valid || group-index ||
+    /// base deltas || overflow bits` — 507 bits for the paper's
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured layout exceeds one 64-byte block.
+    fn metadata_block_image(&self, meta_block: u64) -> [u8; 64] {
+        let cfg = &self.config;
+        let index_bits = (usize::BITS - (cfg.delta_groups - 1).leading_zeros()).max(1);
+        let ext_slots = cfg.blocks_per_delta_group() as u32;
+        let bits = cfg.reference_bits
+            + 1
+            + index_bits
+            + cfg.base_bits * cfg.blocks_per_group as u32
+            + cfg.extra_bits * ext_slots;
+        assert!(bits <= 512, "dual-length group does not fit one metadata block");
+
+        let mut image = [0u8; 64];
+        let (reference, deltas, expanded) = match self.groups.get(&meta_block) {
+            Some(grp) => (grp.reference, grp.deltas.clone(), grp.expanded),
+            None => (0, vec![0; cfg.blocks_per_group], None),
+        };
+        let mut off = 0;
+        crate::packing::write_bits(&mut image, off, cfg.reference_bits, reference);
+        off += cfg.reference_bits;
+        crate::packing::write_bits(&mut image, off, 1, u64::from(expanded.is_some()));
+        off += 1;
+        crate::packing::write_bits(&mut image, off, index_bits, expanded.unwrap_or(0) as u64);
+        off += index_bits;
+        let base_off = off;
+        let ext_off = base_off + cfg.base_bits * cfg.blocks_per_group as u32;
+        for (i, &d) in deltas.iter().enumerate() {
+            let dg = i / cfg.blocks_per_delta_group();
+            crate::packing::write_bits(
+                &mut image,
+                base_off + cfg.base_bits * i as u32,
+                cfg.base_bits,
+                d & ((1 << cfg.base_bits) - 1),
+            );
+            if expanded == Some(dg) {
+                crate::packing::write_bits(
+                    &mut image,
+                    ext_off + cfg.extra_bits * (i % cfg.blocks_per_delta_group()) as u32,
+                    cfg.extra_bits,
+                    d >> cfg.base_bits,
+                );
+            }
+        }
+        image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DualLengthDeltaCounters {
+        DualLengthDeltaCounters::new(DualLengthConfig {
+            base_bits: 2,  // base max 3
+            extra_bits: 2, // expanded max 15
+            delta_groups: 2,
+            blocks_per_group: 4, // delta-groups {0,1} and {2,3}
+            reference_bits: 56,
+            reset_enabled: true,
+            reencode_enabled: true,
+        })
+    }
+
+    #[test]
+    fn expansion_absorbs_first_overflow() {
+        let mut c = tiny();
+        for _ in 0..3 {
+            assert_eq!(c.record_write(0), WriteOutcome::Incremented);
+        }
+        assert_eq!(c.record_write(0), WriteOutcome::Expanded);
+        assert_eq!(c.expanded_group(0), Some(0));
+        assert_eq!(c.counter(0), 4);
+        // The widened group keeps absorbing writes up to 15.
+        for _ in 4..15 {
+            assert_eq!(c.record_write(0), WriteOutcome::Incremented);
+        }
+        assert_eq!(c.counter(0), 15);
+        assert_eq!(c.stats().reencryptions, 0);
+    }
+
+    #[test]
+    fn second_group_overflow_forces_reencryption() {
+        // The facesim failure mode: two delta-groups overflow; only one can
+        // be extended.
+        let mut c = tiny();
+        for _ in 0..4 {
+            c.record_write(0); // group 0 takes the overflow bits
+        }
+        for _ in 0..3 {
+            c.record_write(2); // delta-group 1 fills its 2-bit delta
+        }
+        // Block 2 overflows; min delta is 0 (blocks 1 and 3 unwritten) so
+        // re-encode fails too.
+        let out = c.record_write(2);
+        assert!(out.is_reencryption());
+        match out {
+            WriteOutcome::Reencrypted { old_counters, new_counter, .. } => {
+                assert_eq!(old_counters, vec![4, 0, 3, 0]);
+                // Largest delta (4, in the *expanded* group) rules.
+                assert_eq!(new_counter, 5);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(c.expanded_group(0), None, "overflow bits reclaimed");
+    }
+
+    #[test]
+    fn reencode_rescues_second_overflow_when_min_positive() {
+        let mut c = tiny();
+        // Block 0 takes the overflow bits on its 4th write (base max 3).
+        for _ in 0..4 {
+            c.record_write(0);
+        }
+        assert_eq!(c.expanded_group(0), Some(0));
+        // Every block gets a positive delta; block 2 reaches base max.
+        c.record_write(1);
+        c.record_write(3);
+        for _ in 0..3 {
+            c.record_write(2);
+        }
+        // deltas now: b0=4 (expanded cap 15), b1=1, b2=3 (base max), b3=1
+        let before: Vec<u64> = (0..4).map(|b| c.counter(b)).collect();
+        let out = c.record_write(2); // would overflow; min=1 > 0
+        assert_eq!(out, WriteOutcome::Reencoded);
+        assert_eq!(c.counter(2), before[2] + 1);
+        assert_eq!(c.counter(0), before[0]);
+        assert_eq!(c.stats().reencryptions, 0);
+    }
+
+    #[test]
+    fn reset_reclaims_expansion() {
+        let mut c = tiny();
+        for _ in 0..4 {
+            c.record_write(0); // 4th write takes the overflow bits
+        }
+        assert_eq!(c.expanded_group(0), Some(0));
+        // Bring the rest of the group toward convergence. Block 2's fourth
+        // write overflows its (unexpanded) delta-group but re-encodes.
+        for _ in 0..4 {
+            c.record_write(1);
+        }
+        for _ in 0..3 {
+            c.record_write(3);
+        }
+        for _ in 0..4 {
+            c.record_write(2);
+        }
+        assert_eq!(c.stats().reencodes, 1);
+        // Final write converges all deltas -> reset reclaims the expansion.
+        c.record_write(3);
+        assert_eq!(c.expanded_group(0), None);
+        assert!(c.stats().resets >= 1);
+        assert_eq!(c.stats().reencryptions, 0);
+        for b in 0..4 {
+            assert_eq!(c.counter(b), 4);
+        }
+    }
+
+    #[test]
+    fn counters_strictly_increase() {
+        let mut c = tiny();
+        let mut last = [0u64; 4];
+        // Skewed pattern exercising expansion, re-encode and re-encryption.
+        let pattern = [0u64, 0, 1, 0, 2, 0, 0, 3, 0, 0, 0, 2];
+        for round in 0..200 {
+            let b = pattern[round % pattern.len()];
+            c.record_write(b);
+            for (o, l) in last.iter().enumerate() {
+                assert!(c.counter(o as u64) >= *l, "round {round} block {o}");
+            }
+            assert!(c.counter(b) > last[b as usize]);
+            for (o, l) in last.iter_mut().enumerate() {
+                *l = c.counter(o as u64);
+            }
+        }
+        assert!(c.stats().reencryptions > 0, "pattern should force re-encryptions");
+    }
+
+    #[test]
+    fn paper_storage_cost_fits_one_block() {
+        // 56 + 64*6 + 64 + 2 = 506 bits <= 512: the Figure 6 layout fits a
+        // 64-byte metadata block.
+        let c = DualLengthDeltaCounters::default();
+        let total_bits = c.bits_per_block() * 64.0;
+        assert!(total_bits <= 512.0, "group metadata must fit one block, got {total_bits}");
+    }
+
+    #[test]
+    fn delta_group_mapping() {
+        let c = DualLengthDeltaCounters::default();
+        assert_eq!(c.delta_group_of(0), 0);
+        assert_eq!(c.delta_group_of(15), 0);
+        assert_eq!(c.delta_group_of(16), 1);
+        assert_eq!(c.delta_group_of(63), 3);
+        assert_eq!(c.delta_group_of(64), 0); // next block-group
+    }
+
+    #[test]
+    fn metadata_image_matches_dual_packing() {
+        use crate::packing::DualGroup;
+        let mut c = DualLengthDeltaCounters::default();
+        // Push block 3 past 6 bits so delta-group 0 expands.
+        for _ in 0..70 {
+            c.record_write(3);
+        }
+        for b in 20..30 {
+            c.record_write(b);
+        }
+        assert_eq!(c.expanded_group(0), Some(0));
+        let image = c.metadata_block_image(0);
+        let unpacked = DualGroup::unpack(&image);
+        assert_eq!(unpacked.expanded, Some(0));
+        for b in 0..64u64 {
+            assert_eq!(
+                DualGroup::decode_counter(&image, b as usize),
+                c.counter(b),
+                "block {b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta-groups must evenly divide")]
+    fn invalid_config_panics() {
+        let cfg = DualLengthConfig { delta_groups: 3, blocks_per_group: 64, ..Default::default() };
+        let _ = DualLengthDeltaCounters::new(cfg);
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-block encryption-counter schemes (the heart of Section 4 of the
+//! paper).
+//!
+//! Counter-mode memory encryption needs a monotonically increasing write
+//! counter per 64-byte block. How those counters are *stored* determines
+//! both the metadata footprint and how often whole block-groups must be
+//! re-encrypted:
+//!
+//! * [`monolithic::MonolithicCounters`] — a full 56-bit counter per block
+//!   (the SGX baseline): ~11% storage overhead, never re-encrypts.
+//! * [`split::SplitCounters`] — Yan et al.'s split counters: a shared
+//!   64-bit major counter per block-group plus a 7-bit minor per block.
+//!   Compact, but every minor overflow forces a group re-encryption.
+//! * [`delta::DeltaCounters`] — the paper's frame-of-reference delta
+//!   encoding: a 56-bit reference per group plus a small delta per block,
+//!   with two overflow-avoidance tricks — *delta reset* (Figure 5b) and
+//!   *re-encoding by minimum subtraction* (Figure 5c).
+//! * [`dual::DualLengthDeltaCounters`] — the constrained variable-length
+//!   variant (Figure 6): 6-bit deltas in four delta-groups, with 72 shared
+//!   overflow bits that can widen exactly one group's deltas by 4 bits.
+//!
+//! All schemes implement [`CounterScheme`], so the encryption engine and
+//! the Table 2 experiment swap them freely.
+//!
+//! # Example
+//!
+//! ```
+//! use ame_counters::{CounterScheme, delta::DeltaCounters};
+//!
+//! let mut ctrs = DeltaCounters::default();
+//! assert_eq!(ctrs.counter(17), 0);
+//! ctrs.record_write(17);
+//! assert_eq!(ctrs.counter(17), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod dual;
+pub mod monolithic;
+pub mod packing;
+pub mod split;
+pub mod storage;
+
+use std::fmt;
+
+/// What a counter increment did to the block-group holding the counter.
+///
+/// The engine uses this to account for re-encryption traffic; `Reencrypted`
+/// carries everything needed to re-encrypt the group's data blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The delta/counter was bumped in place; nothing else happened.
+    Incremented,
+    /// All deltas in the group had converged to one value and were folded
+    /// into the reference (Figure 5b). Counter *values* are unchanged — no
+    /// re-encryption.
+    Reset,
+    /// The group's deltas were re-encoded by subtracting the minimum delta
+    /// (Figure 5c). Counter *values* are unchanged — no re-encryption.
+    Reencoded,
+    /// (Dual-length only.) The overflowing delta-group was widened using
+    /// the reserved overflow bits (Figure 6). No re-encryption.
+    Expanded,
+    /// The whole block-group overflowed and must be re-encrypted with the
+    /// new reference counter.
+    Reencrypted {
+        /// Index of the affected block-group.
+        group: u64,
+        /// Counter value of every block *before* the re-encryption, in
+        /// block order within the group (needed to decrypt old contents).
+        old_counters: Vec<u64>,
+        /// The single fresh counter value now shared by every block in the
+        /// group (the largest counter in the group, per Section 4.2).
+        new_counter: u64,
+    },
+}
+
+impl WriteOutcome {
+    /// Returns `true` if this write forced a block-group re-encryption.
+    #[must_use]
+    pub fn is_reencryption(&self) -> bool {
+        matches!(self, WriteOutcome::Reencrypted { .. })
+    }
+}
+
+/// Running statistics for one counter scheme instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterStats {
+    /// Total counter increments (block writes).
+    pub writes: u64,
+    /// Delta resets performed (Figure 5b).
+    pub resets: u64,
+    /// Re-encodings performed (Figure 5c).
+    pub reencodes: u64,
+    /// Delta-group expansions performed (dual-length only, Figure 6).
+    pub expansions: u64,
+    /// Block-group re-encryptions forced by counter overflow.
+    pub reencryptions: u64,
+}
+
+impl CounterStats {
+    /// Records an outcome into the statistics.
+    pub fn record(&mut self, outcome: &WriteOutcome) {
+        self.writes += 1;
+        match outcome {
+            WriteOutcome::Incremented => {}
+            WriteOutcome::Reset => self.resets += 1,
+            WriteOutcome::Reencoded => self.reencodes += 1,
+            WriteOutcome::Expanded => self.expansions += 1,
+            WriteOutcome::Reencrypted { .. } => self.reencryptions += 1,
+        }
+    }
+}
+
+impl fmt::Display for CounterStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "writes={} resets={} reencodes={} expansions={} reencryptions={}",
+            self.writes, self.resets, self.reencodes, self.expansions, self.reencryptions
+        )
+    }
+}
+
+/// A per-block write-counter storage scheme.
+///
+/// Blocks are identified by a global block index (`physical address /
+/// 64`). Groups are allocated lazily, so a scheme can stand in for an
+/// arbitrarily large protected region.
+pub trait CounterScheme {
+    /// Current counter value of `block` (zero if never written).
+    fn counter(&self, block: u64) -> u64;
+
+    /// Records a write to `block`: increments its counter, applying the
+    /// scheme's overflow-avoidance machinery. Returns what happened.
+    fn record_write(&mut self, block: u64) -> WriteOutcome;
+
+    /// Counter storage cost in bits per 64-byte data block (amortized).
+    fn bits_per_block(&self) -> f64;
+
+    /// Number of data blocks sharing one counter group (1 for monolithic).
+    fn blocks_per_group(&self) -> usize;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> CounterStats;
+
+    /// Short human-readable scheme name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of data blocks whose counters are packed into one 64-byte
+    /// *metadata block* (the unit fetched from DRAM and authenticated by
+    /// the integrity tree).
+    fn blocks_per_metadata_block(&self) -> usize;
+
+    /// The packed 64-byte image of metadata block `meta_block` (counters
+    /// for data blocks `meta_block * blocks_per_metadata_block ..`).
+    /// This is exactly what sits in off-chip counter storage.
+    fn metadata_block_image(&self, meta_block: u64) -> [u8; 64];
+
+    /// Metadata block index covering data block `block`.
+    fn metadata_block_of(&self, block: u64) -> u64 {
+        block / self.blocks_per_metadata_block() as u64
+    }
+}
+
+/// Divides a global block index into (group index, index within group).
+#[must_use]
+pub fn split_block(block: u64, blocks_per_group: usize) -> (u64, usize) {
+    let bpg = blocks_per_group as u64;
+    (block / bpg, (block % bpg) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_record_all_variants() {
+        let mut s = CounterStats::default();
+        s.record(&WriteOutcome::Incremented);
+        s.record(&WriteOutcome::Reset);
+        s.record(&WriteOutcome::Reencoded);
+        s.record(&WriteOutcome::Expanded);
+        s.record(&WriteOutcome::Reencrypted {
+            group: 0,
+            old_counters: vec![],
+            new_counter: 1,
+        });
+        assert_eq!(s.writes, 5);
+        assert_eq!(s.resets, 1);
+        assert_eq!(s.reencodes, 1);
+        assert_eq!(s.expansions, 1);
+        assert_eq!(s.reencryptions, 1);
+    }
+
+    #[test]
+    fn split_block_math() {
+        assert_eq!(split_block(0, 64), (0, 0));
+        assert_eq!(split_block(63, 64), (0, 63));
+        assert_eq!(split_block(64, 64), (1, 0));
+        assert_eq!(split_block(130, 64), (2, 2));
+    }
+
+    #[test]
+    fn display_stats() {
+        let s = CounterStats { writes: 3, ..Default::default() };
+        assert!(s.to_string().contains("writes=3"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Carter-Wegman message authentication over GF(2^64).
+//!
+//! The paper (Section 3.2) relies on SGX's 56-bit Carter-Wegman MACs, which
+//! are "essentially composed Galois field multiplications \[that\] can be
+//! computed within a single cycle in hardware". We implement the same
+//! structure in software:
+//!
+//! 1. A polynomial-evaluation universal hash over GF(2^64): the 64-byte
+//!    message is split into eight 64-bit words `m0..m7` and hashed as
+//!    `(((m0·H + m1)·H + m2)·H + ...)·H` with a secret hash key `H`.
+//! 2. The hash is masked (one-time-pad style) by AES applied to the
+//!    (address, counter) nonce, making tags unforgeable and unlinkable.
+//! 3. The result is truncated to 56 bits for data blocks (SGX width), or
+//!    kept at 64 bits for integrity-tree nodes.
+//!
+//! GF(2^64) is realized modulo the primitive polynomial
+//! `x^64 + x^4 + x^3 + x + 1`.
+
+use crate::aes::Aes128;
+use crate::ctr::mac_pad;
+use crate::{BLOCK_BYTES, TAG_MASK};
+
+/// Low 64 bits of the reduction polynomial `x^64 + x^4 + x^3 + x + 1`.
+const POLY: u64 = 0x1b;
+
+/// Carry-less multiplication of two 64-bit values, returning the 128-bit
+/// product as `(high, low)`.
+#[must_use]
+pub fn clmul(a: u64, b: u64) -> (u64, u64) {
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    for i in 0..64 {
+        if b >> i & 1 == 1 {
+            lo ^= a << i;
+            if i != 0 {
+                hi ^= a >> (64 - i);
+            }
+        }
+    }
+    (hi, lo)
+}
+
+/// Multiplication in GF(2^64) modulo `x^64 + x^4 + x^3 + x + 1`.
+///
+/// # Example
+///
+/// ```
+/// use ame_crypto::mac::gf64_mul;
+///
+/// // 1 is the multiplicative identity.
+/// assert_eq!(gf64_mul(0xdead_beef, 1), 0xdead_beef);
+/// // Multiplication is commutative.
+/// assert_eq!(gf64_mul(3, 7), gf64_mul(7, 3));
+/// ```
+#[must_use]
+pub fn gf64_mul(a: u64, b: u64) -> u64 {
+    let (mut hi, mut lo) = clmul(a, b);
+    // Reduce the high 64 bits twice: folding hi multiplies it by x^64 ≡ POLY.
+    for _ in 0..2 {
+        if hi == 0 {
+            break;
+        }
+        let (h2, l2) = clmul(hi, POLY);
+        hi = h2;
+        lo ^= l2;
+    }
+    lo
+}
+
+/// Polynomial-evaluation hash of a 64-byte block under hash key `h`.
+#[must_use]
+pub fn poly_hash(h: u64, block: &[u8; BLOCK_BYTES]) -> u64 {
+    let mut acc = 0u64;
+    for chunk in block.chunks_exact(8) {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(chunk);
+        acc = gf64_mul(acc ^ u64::from_le_bytes(w), h);
+    }
+    acc
+}
+
+/// Full 64-bit Carter-Wegman tag over `block`, bound to `(addr, counter)`.
+#[must_use]
+pub fn tag_full(mac_key: &Aes128, hash_key: u64, addr: u64, counter: u64, block: &[u8; BLOCK_BYTES]) -> u64 {
+    let hash = poly_hash(hash_key, block);
+    let pad = mac_pad(mac_key, addr, counter);
+    let mut p8 = [0u8; 8];
+    p8.copy_from_slice(&pad[..8]);
+    hash ^ u64::from_le_bytes(p8)
+}
+
+/// 56-bit truncated tag (the SGX data-block width used throughout the
+/// paper).
+#[must_use]
+pub fn tag(mac_key: &Aes128, hash_key: u64, addr: u64, counter: u64, block: &[u8; BLOCK_BYTES]) -> u64 {
+    tag_full(mac_key, hash_key, addr, counter, block) & TAG_MASK
+}
+
+/// Precomputed state for *flip-and-check* error correction (Section 3.4).
+///
+/// The polynomial hash is GF(2^64)-linear in the message, so the tag of a
+/// block with bit `b` of word `w` flipped differs from the original tag by
+/// a fixed XOR `contribution = (1 << b) * H^(8-w)`. Precomputing all 512
+/// contributions turns each flip-and-check hypothesis into a single XOR
+/// and compare — the software analogue of the paper's observation that
+/// hardware GF multipliers make brute-force correction feasible "within
+/// 100s of nanoseconds".
+#[derive(Debug, Clone)]
+pub struct MacProbe {
+    base_tag_full: u64,
+    contributions: Box<[u64; 512]>,
+}
+
+impl MacProbe {
+    /// Builds a probe for ciphertext `block` under nonce `(addr, counter)`.
+    #[must_use]
+    pub fn new(
+        mac_key: &Aes128,
+        hash_key: u64,
+        addr: u64,
+        counter: u64,
+        block: &[u8; BLOCK_BYTES],
+    ) -> Self {
+        let base_tag_full = tag_full(mac_key, hash_key, addr, counter, block);
+        // h_pow[w] = H^(8-w): the multiplier applied to word w by the
+        // Horner evaluation in `poly_hash`.
+        let mut h_pow = [0u64; 8];
+        h_pow[7] = hash_key;
+        for w in (0..7).rev() {
+            h_pow[w] = gf64_mul(h_pow[w + 1], hash_key);
+        }
+        let mut contributions = Box::new([0u64; 512]);
+        for word in 0..8 {
+            for bit in 0..64 {
+                contributions[word * 64 + bit] = gf64_mul(1u64 << bit, h_pow[word]);
+            }
+        }
+        Self { base_tag_full, contributions }
+    }
+
+    /// The 56-bit tag of the unmodified block.
+    #[must_use]
+    pub fn base_tag(&self) -> u64 {
+        self.base_tag_full & TAG_MASK
+    }
+
+    /// The 56-bit tag the block would have with global data bit `bit`
+    /// (`0..512`) flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 512`.
+    #[must_use]
+    pub fn tag_with_flip(&self, bit: u32) -> u64 {
+        (self.base_tag_full ^ self.contributions[bit as usize]) & TAG_MASK
+    }
+
+    /// The 56-bit tag with two distinct data bits flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bit is `>= 512`.
+    #[must_use]
+    pub fn tag_with_flips(&self, bit_a: u32, bit_b: u32) -> u64 {
+        (self.base_tag_full
+            ^ self.contributions[bit_a as usize]
+            ^ self.contributions[bit_b as usize])
+            & TAG_MASK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_basics() {
+        assert_eq!(clmul(0, 123), (0, 0));
+        assert_eq!(clmul(1, 123), (0, 123));
+        assert_eq!(clmul(2, 3), (0, 6)); // x * (x+1) = x^2 + x
+        // (x^63) * x = x^64 -> high word bit 0
+        assert_eq!(clmul(1 << 63, 2), (1, 0));
+    }
+
+    #[test]
+    fn gf64_identity_and_zero() {
+        for v in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(gf64_mul(v, 1), v);
+            assert_eq!(gf64_mul(1, v), v);
+            assert_eq!(gf64_mul(v, 0), 0);
+        }
+    }
+
+    #[test]
+    fn gf64_commutative_associative_distributive() {
+        let samples = [1u64, 2, 3, 0x1234_5678_9abc_def0, u64::MAX, 0x8000_0000_0000_0001];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(gf64_mul(a, b), gf64_mul(b, a));
+                for &c in &samples {
+                    assert_eq!(gf64_mul(gf64_mul(a, b), c), gf64_mul(a, gf64_mul(b, c)));
+                    assert_eq!(gf64_mul(a, b ^ c), gf64_mul(a, b) ^ gf64_mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_depends_on_every_word() {
+        let h = 0x0123_4567_89ab_cdef | 1;
+        let base = [0x11u8; 64];
+        let h0 = poly_hash(h, &base);
+        for word in 0..8 {
+            let mut b = base;
+            b[word * 8] ^= 1;
+            assert_ne!(poly_hash(h, &b), h0, "word {word}");
+        }
+    }
+
+    #[test]
+    fn hash_position_sensitive() {
+        // Swapping two different words must change the hash (a sum-based
+        // hash would not notice).
+        let h = 0x9e37_79b9_7f4a_7c15;
+        let mut a = [0u8; 64];
+        a[0] = 1;
+        a[8] = 2;
+        let mut b = [0u8; 64];
+        b[0] = 2;
+        b[8] = 1;
+        assert_ne!(poly_hash(h, &a), poly_hash(h, &b));
+    }
+
+    #[test]
+    fn probe_matches_recomputation_single() {
+        let k = Aes128::new(&[3u8; 16]);
+        let h = 0x0102_0304_0506_0709;
+        let mut block = [0u8; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(13);
+        }
+        let probe = MacProbe::new(&k, h, 0x40, 7, &block);
+        assert_eq!(probe.base_tag(), tag(&k, h, 0x40, 7, &block));
+        for bit in (0..512u32).step_by(11) {
+            let mut flipped = block;
+            flipped[(bit / 8) as usize] ^= 1 << (bit % 8);
+            assert_eq!(
+                probe.tag_with_flip(bit),
+                tag(&k, h, 0x40, 7, &flipped),
+                "bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_matches_recomputation_double() {
+        let k = Aes128::new(&[8u8; 16]);
+        let h = 0xfeed_f00d_1234_5679;
+        let block = [0x3cu8; 64];
+        let probe = MacProbe::new(&k, h, 0, 1, &block);
+        for (a, b) in [(0u32, 1u32), (5, 300), (63, 64), (500, 511)] {
+            let mut flipped = block;
+            flipped[(a / 8) as usize] ^= 1 << (a % 8);
+            flipped[(b / 8) as usize] ^= 1 << (b % 8);
+            assert_eq!(probe.tag_with_flips(a, b), tag(&k, h, 0, 1, &flipped), "{a},{b}");
+        }
+    }
+
+    #[test]
+    fn tags_are_nonce_bound() {
+        let k = Aes128::new(&[7u8; 16]);
+        let h = 0x5555_aaaa_3333_cccd;
+        let block = [9u8; 64];
+        let t = tag(&k, h, 64, 1, &block);
+        assert_ne!(t, tag(&k, h, 128, 1, &block));
+        assert_ne!(t, tag(&k, h, 64, 2, &block));
+        assert_eq!(t, tag(&k, h, 64, 1, &block));
+        assert_eq!(t & !TAG_MASK, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the crypto substrate.
+
+use ame_crypto::aes::Aes128;
+use ame_crypto::mac::{clmul, gf64_mul, MacProbe};
+use ame_crypto::{MemoryCipher, TAG_MASK};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn aes_roundtrips(key: [u8; 16], block: [u8; 16]) {
+        let aes = Aes128::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn aes_is_a_permutation(key: [u8; 16], a: [u8; 16], b: [u8; 16]) {
+        prop_assume!(a != b);
+        let aes = Aes128::new(&key);
+        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+    }
+
+    #[test]
+    fn clmul_matches_gf_reduction_identity(a: u64) {
+        // clmul by 1 is the identity with no high part.
+        prop_assert_eq!(clmul(a, 1), (0, a));
+        prop_assert_eq!(gf64_mul(a, 1), a);
+    }
+
+    #[test]
+    fn clmul_commutes(a: u64, b: u64) {
+        prop_assert_eq!(clmul(a, b), clmul(b, a));
+    }
+
+    #[test]
+    fn cipher_roundtrip_and_tag_width(seed: u64, block in 0u64..(1u64 << 34), data: [u8; 64], ctr: u64) {
+        let cipher = MemoryCipher::from_seed(seed);
+        let addr = block * 64;
+        let ct = cipher.encrypt_block(addr, ctr, &data);
+        prop_assert_eq!(cipher.decrypt_block(addr, ctr, &ct), data);
+        let tag = cipher.mac_block(addr, ctr, &ct);
+        prop_assert_eq!(tag & !TAG_MASK, 0);
+        prop_assert!(cipher.verify_block(addr, ctr, &ct, tag));
+    }
+
+    #[test]
+    fn keystreams_differ_across_counters(seed: u64, addr in 0u64..(1u64 << 30), c1: u64, c2: u64) {
+        prop_assume!(c1 != c2);
+        let cipher = MemoryCipher::from_seed(seed);
+        let addr = addr & !63;
+        let zero = [0u8; 64];
+        prop_assert_ne!(
+            cipher.encrypt_block(addr, c1, &zero),
+            cipher.encrypt_block(addr, c2, &zero)
+        );
+    }
+
+    #[test]
+    fn probe_equals_recomputation(data: [u8; 64], bit in 0u32..512, ctr: u64) {
+        let cipher = MemoryCipher::from_seed(42);
+        let ct = cipher.encrypt_block(0x80, ctr, &data);
+        let probe: MacProbe = cipher.mac_probe(0x80, ctr, &ct);
+        let mut flipped = ct;
+        flipped[(bit / 8) as usize] ^= 1 << (bit % 8);
+        prop_assert_eq!(probe.tag_with_flip(bit), cipher.mac_block(0x80, ctr, &flipped));
+    }
+
+    #[test]
+    fn probe_double_equals_recomputation(data: [u8; 64], a in 0u32..512, b in 0u32..512) {
+        prop_assume!(a != b);
+        let cipher = MemoryCipher::from_seed(43);
+        let ct = cipher.encrypt_block(0x40, 9, &data);
+        let probe = cipher.mac_probe(0x40, 9, &ct);
+        let mut flipped = ct;
+        flipped[(a / 8) as usize] ^= 1 << (a % 8);
+        flipped[(b / 8) as usize] ^= 1 << (b % 8);
+        prop_assert_eq!(probe.tag_with_flips(a, b), cipher.mac_block(0x40, 9, &flipped));
+    }
+}

@@ -1,0 +1,26 @@
+//! DRAM substrate: a DDR3-1600-style bank/row timing model (standing in
+//! for DRAMSim2) plus a functional ECC-widened storage array.
+//!
+//! The paper simulates "4 channels, DDR3-1600" (Table 1) with DRAMSim2.
+//! This crate reproduces the first-order timing behaviour that matters for
+//! the evaluation — per-bank row-buffer hits/misses/conflicts, bank
+//! occupancy, and the burst time of a 64-byte transfer — and models the
+//! property Section 3 exploits: ECC DIMMs move 72 bits per beat, so the
+//! 8-byte side-band (standard ECC *or* the merged MAC layout) travels in
+//! the same transaction as the data, for free.
+//!
+//! * [`timing`] — the cycle-level bank model.
+//! * [`storage`] — the functional 64-byte-block + 8-byte-side-band array.
+//! * [`wear`] — write-endurance accounting for non-volatile main memory
+//!   (Section 2.2's wear-out argument for delta encoding).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod storage;
+pub mod timing;
+pub mod wear;
+
+pub use storage::{DramStorage, StoredBlock};
+pub use wear::WearTracker;
+pub use timing::{AddressMapping, DramConfig, DramStats, DramTiming, RequestKind};

@@ -1,0 +1,318 @@
+//! Bit-flip fault injection, used to reproduce Figure 3 of the paper (error
+//! coverage of standard SEC-DED vs MAC-based ECC under different fault
+//! shapes).
+//!
+//! A [`FaultPattern`] names *where* bits flip: in the 512 data bits of a
+//! 64-byte block and/or in the 64 side-band (ECC / MAC) bits. Patterns are
+//! deterministic so experiments are reproducible; randomized sweeps build
+//! patterns from seeded RNG output in the benchmark harness.
+
+use crate::layout::{StandardDecode, StandardSideband};
+use crate::BLOCK_BYTES;
+
+/// Number of data bits in one protected block.
+pub const DATA_BITS: u32 = (BLOCK_BYTES as u32) * 8;
+
+/// A deterministic fault shape applied to one block + its side-band.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FaultPattern {
+    /// One flip in the data bits. `bit` is a global bit index in `0..512`.
+    SingleBit {
+        /// Global data-bit index (`0..512`).
+        bit: u32,
+    },
+    /// Two flips inside the *same* 8-byte word (defeats per-word SEC).
+    DoubleBitSameWord {
+        /// Word index (`0..8`).
+        word: u32,
+        /// Bit offsets within the word (`0..64`, distinct).
+        bits: (u32, u32),
+    },
+    /// Two flips in *different* 8-byte words (each word still SEC-correctable).
+    DoubleBitCrossWords {
+        /// (word, bit-in-word) of the first flip.
+        first: (u32, u32),
+        /// (word, bit-in-word) of the second flip; `first.0 != second.0`.
+        second: (u32, u32),
+    },
+    /// One flip in each of the first `words` words — the multi-word
+    /// scattered-fault case where standard ECC shines (Figure 3).
+    ScatteredSingles {
+        /// Number of words affected (`1..=8`).
+        words: u32,
+        /// Bit offset within each affected word.
+        bit_in_word: u32,
+    },
+    /// A contiguous burst of `len` flipped data bits starting at `start`.
+    Burst {
+        /// First flipped global data-bit index.
+        start: u32,
+        /// Number of consecutive flipped bits.
+        len: u32,
+    },
+    /// A whole x8 DRAM device dies: byte lane `chip` of every 8-byte word
+    /// reads back inverted (64 flipped bits). Neither per-word SEC-DED nor
+    /// MAC-based flip-and-check can *correct* this — chipkill-class codes
+    /// exist for it — but detection behaviour still differs (Figure 3's
+    /// "depends on the location of the bit-flips", taken to the limit).
+    ChipFailure {
+        /// Dead byte lane (`0..8`).
+        chip: u32,
+    },
+    /// Flips only in the side-band (ECC check bits / MAC tag bits).
+    Sideband {
+        /// Side-band bit indices (`0..64`) to flip.
+        bits: Vec<u32>,
+    },
+    /// Arbitrary combination of data-bit and side-band-bit flips.
+    Mixed {
+        /// Global data-bit indices (`0..512`).
+        data_bits: Vec<u32>,
+        /// Side-band bit indices (`0..64`).
+        sideband_bits: Vec<u32>,
+    },
+}
+
+impl FaultPattern {
+    /// Global data-bit indices flipped by this pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern's coordinates are out of range (word >= 8,
+    /// bit >= 512, etc.) — patterns are validated at use, not construction.
+    #[must_use]
+    pub fn data_flips(&self) -> Vec<u32> {
+        let flips = match *self {
+            FaultPattern::SingleBit { bit } => vec![bit],
+            FaultPattern::DoubleBitSameWord { word, bits } => {
+                assert_ne!(bits.0, bits.1, "double-bit fault needs distinct bits");
+                vec![word * 64 + bits.0, word * 64 + bits.1]
+            }
+            FaultPattern::DoubleBitCrossWords { first, second } => {
+                assert_ne!(first.0, second.0, "cross-word fault needs distinct words");
+                vec![first.0 * 64 + first.1, second.0 * 64 + second.1]
+            }
+            FaultPattern::ScatteredSingles { words, bit_in_word } => {
+                (0..words).map(|w| w * 64 + bit_in_word).collect()
+            }
+            FaultPattern::Burst { start, len } => (start..start + len).collect(),
+            FaultPattern::ChipFailure { chip } => {
+                assert!(chip < 8, "byte lane out of range");
+                (0..8u32).flat_map(|word| (0..8).map(move |b| word * 64 + chip * 8 + b)).collect()
+            }
+            FaultPattern::Sideband { .. } => Vec::new(),
+            FaultPattern::Mixed { ref data_bits, .. } => data_bits.clone(),
+        };
+        for &f in &flips {
+            assert!(f < DATA_BITS, "data bit {f} out of range");
+        }
+        flips
+    }
+
+    /// Side-band bit indices flipped by this pattern.
+    #[must_use]
+    pub fn sideband_flips(&self) -> Vec<u32> {
+        let flips = match *self {
+            FaultPattern::Sideband { ref bits } => bits.clone(),
+            FaultPattern::Mixed { ref sideband_bits, .. } => sideband_bits.clone(),
+            _ => Vec::new(),
+        };
+        for &f in &flips {
+            assert!(f < 64, "side-band bit {f} out of range");
+        }
+        flips
+    }
+
+    /// Total number of flipped bits (data + side-band).
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.data_flips().len() + self.sideband_flips().len()
+    }
+
+    /// Applies the data-bit flips to a block in place.
+    pub fn apply_to_block(&self, block: &mut [u8; BLOCK_BYTES]) {
+        for bit in self.data_flips() {
+            block[(bit / 8) as usize] ^= 1u8 << (bit % 8);
+        }
+    }
+
+    /// Applies the side-band flips to a raw 8-byte side-band in place.
+    pub fn apply_to_sideband(&self, sideband: &mut [u8; 8]) {
+        for bit in self.sideband_flips() {
+            sideband[(bit / 8) as usize] ^= 1u8 << (bit % 8);
+        }
+    }
+}
+
+/// Classified result of pushing a faulty block through a protection scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOutcome {
+    /// No fault was present and none was reported.
+    NoError,
+    /// All flipped bits were corrected; the recovered block equals the
+    /// original.
+    Corrected,
+    /// The fault was detected but could not (or would not) be corrected.
+    DetectedUncorrectable,
+    /// The scheme "corrected" to a *wrong* block — silent data corruption
+    /// caused by the corrector itself.
+    Miscorrected,
+    /// The fault went completely unnoticed — silent data corruption.
+    Undetected,
+}
+
+impl FaultOutcome {
+    /// Returns `true` for outcomes where data integrity is preserved
+    /// (either nothing happened, the error was fixed, or it was flagged).
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        !matches!(self, FaultOutcome::Miscorrected | FaultOutcome::Undetected)
+    }
+}
+
+/// Evaluates how standard per-word SEC-DED handles a fault pattern.
+///
+/// The block and side-band are encoded cleanly, the fault is injected into
+/// both, and the decode result is compared against the original block.
+#[must_use]
+pub fn evaluate_standard(original: &[u8; BLOCK_BYTES], pattern: &FaultPattern) -> FaultOutcome {
+    let sideband = StandardSideband::encode(original);
+    let mut stored = *original;
+    pattern.apply_to_block(&mut stored);
+    let mut sb_bytes = sideband.to_bytes();
+    pattern.apply_to_sideband(&mut sb_bytes);
+    let sideband = StandardSideband::from_bytes(sb_bytes);
+
+    let decoded: StandardDecode = sideband.decode(&stored);
+    let had_fault = pattern.weight() > 0;
+
+    if decoded.any_uncorrectable() {
+        return FaultOutcome::DetectedUncorrectable;
+    }
+    match decoded.corrected_block() {
+        Some(block) if block == *original => {
+            if had_fault {
+                if decoded.any_error() {
+                    FaultOutcome::Corrected
+                } else {
+                    // Flips cancelled out into a valid codeword identical to
+                    // the original — cannot happen with real flips, treat as
+                    // no error.
+                    FaultOutcome::NoError
+                }
+            } else {
+                FaultOutcome::NoError
+            }
+        }
+        Some(_) => {
+            if decoded.any_error() {
+                FaultOutcome::Miscorrected
+            } else {
+                FaultOutcome::Undetected
+            }
+        }
+        None => FaultOutcome::DetectedUncorrectable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> [u8; BLOCK_BYTES] {
+        let mut b = [0u8; BLOCK_BYTES];
+        for (i, x) in b.iter_mut().enumerate() {
+            *x = (i as u8).wrapping_mul(97).wrapping_add(5);
+        }
+        b
+    }
+
+    #[test]
+    fn single_bit_is_corrected_by_standard() {
+        for bit in (0..DATA_BITS).step_by(37) {
+            let outcome = evaluate_standard(&block(), &FaultPattern::SingleBit { bit });
+            assert_eq!(outcome, FaultOutcome::Corrected, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn double_same_word_detected_not_corrected_by_standard() {
+        let p = FaultPattern::DoubleBitSameWord { word: 2, bits: (3, 47) };
+        assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::DetectedUncorrectable);
+    }
+
+    #[test]
+    fn double_cross_words_corrected_by_standard() {
+        let p = FaultPattern::DoubleBitCrossWords { first: (0, 5), second: (6, 60) };
+        assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::Corrected);
+    }
+
+    #[test]
+    fn scattered_singles_all_corrected_by_standard() {
+        // Up to 8 flips, one per word: the case standard ECC handles best.
+        for words in 1..=8 {
+            let p = FaultPattern::ScatteredSingles { words, bit_in_word: 13 };
+            assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::Corrected);
+        }
+    }
+
+    #[test]
+    fn burst_of_three_in_word_detected_or_worse() {
+        // Three flips in one word exceed SEC-DED guarantees; outcome must
+        // never be silently "Corrected" back to the original.
+        let p = FaultPattern::Burst { start: 8, len: 3 };
+        let outcome = evaluate_standard(&block(), &p);
+        assert_ne!(outcome, FaultOutcome::Corrected);
+        assert_ne!(outcome, FaultOutcome::NoError);
+    }
+
+    #[test]
+    fn chip_failure_flips_one_lane_everywhere() {
+        let p = FaultPattern::ChipFailure { chip: 3 };
+        let flips = p.data_flips();
+        assert_eq!(flips.len(), 64);
+        for f in &flips {
+            assert_eq!(f % 64 / 8, 3, "bit {f} outside lane 3");
+        }
+        // Standard SEC-DED cannot stay safe against 8 flips per word —
+        // but it must not silently return the *original* either.
+        let outcome = evaluate_standard(&block(), &p);
+        assert_ne!(outcome, FaultOutcome::NoError);
+        assert_ne!(outcome, FaultOutcome::Corrected);
+    }
+
+    #[test]
+    fn sideband_single_flip_corrected() {
+        let p = FaultPattern::Sideband { bits: vec![9] };
+        assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::Corrected);
+    }
+
+    #[test]
+    fn no_fault_reports_no_error() {
+        let p = FaultPattern::Mixed { data_bits: vec![], sideband_bits: vec![] };
+        assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::NoError);
+    }
+
+    #[test]
+    fn weight_counts_all_flips() {
+        let p = FaultPattern::Mixed { data_bits: vec![1, 2, 3], sideband_bits: vec![0] };
+        assert_eq!(p.weight(), 4);
+    }
+
+    #[test]
+    fn apply_is_involutive() {
+        let orig = block();
+        let mut b = orig;
+        let p = FaultPattern::Burst { start: 100, len: 9 };
+        p.apply_to_block(&mut b);
+        assert_ne!(b, orig);
+        p.apply_to_block(&mut b);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bit_panics() {
+        let _ = FaultPattern::SingleBit { bit: 512 }.data_flips();
+    }
+}

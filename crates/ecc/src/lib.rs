@@ -1,0 +1,49 @@
+//! Error-correcting-code substrate for authenticated memory encryption.
+//!
+//! This crate models everything an ECC DIMM contributes to the system in
+//! Yitbarek & Austin, *"Reducing the Overhead of Authenticated Memory
+//! Encryption Using Delta Encoding and ECC Memory"* (DAC 2018):
+//!
+//! * [`secded`] — the classic Hamming **SEC-DED (72,64)** code used by
+//!   mainstream ECC memory (single-error correction, double-error detection
+//!   per 8-byte word), plus the shortened **(63,56)** SEC-DED code the paper
+//!   uses to protect the 56-bit MAC with 7 parity bits.
+//! * [`layout`] — the two ways the 64 side-band bits per 64-byte block can be
+//!   used: standard per-word ECC, or the paper's merged layout of a 56-bit
+//!   MAC + 7 MAC-parity bits + 1 ciphertext-parity bit (Figure 2).
+//! * [`fault`] — deterministic and probabilistic bit-flip injection used to
+//!   reproduce the error-coverage comparison of Figure 3.
+//!
+//! # Example
+//!
+//! ```
+//! use ame_ecc::secded::Secded72;
+//!
+//! let word = 0xdead_beef_cafe_f00d_u64;
+//! let check = Secded72::encode(word);
+//! // A single bit flip in the stored word is corrected:
+//! let corrupted = word ^ (1 << 17);
+//! let outcome = Secded72::decode(corrupted, check);
+//! assert_eq!(outcome.corrected_word(), Some(word));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod layout;
+pub mod secded;
+
+/// Size of a protected memory block in bytes (one cache line).
+pub const BLOCK_BYTES: usize = 64;
+
+/// Number of 8-byte words in a protected memory block.
+pub const WORDS_PER_BLOCK: usize = BLOCK_BYTES / 8;
+
+/// Number of ECC side-band bits available per 64-byte block on a standard
+/// ECC DIMM (8 bits per 8-byte word).
+pub const SIDEBAND_BITS: usize = 64;
+
+pub use fault::{FaultOutcome, FaultPattern};
+pub use layout::{MacSideband, StandardSideband};
+pub use secded::{DecodeOutcome, Secded63, Secded72};

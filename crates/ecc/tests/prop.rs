@@ -1,0 +1,77 @@
+//! Property tests for the SEC-DED codes and side-band layouts.
+
+use ame_ecc::layout::{MacSideband, StandardSideband};
+use ame_ecc::secded::{DecodeOutcome, Secded63, Secded72};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn secded72_clean_roundtrip(word: u64) {
+        let check = Secded72::encode(word);
+        prop_assert_eq!(Secded72::decode(word, check), DecodeOutcome::Clean { word });
+    }
+
+    #[test]
+    fn secded72_corrects_check_bit_flips(word: u64, bit in 0u32..8) {
+        let check = Secded72::encode(word);
+        let outcome = Secded72::decode(word, check ^ (1u8 << bit));
+        prop_assert_eq!(outcome, DecodeOutcome::CorrectedCheck { word });
+    }
+
+    #[test]
+    fn secded72_detects_data_plus_check_flip(word: u64, dbit in 0u32..64, cbit in 0u32..8) {
+        let check = Secded72::encode(word);
+        let outcome = Secded72::decode(word ^ (1u64 << dbit), check ^ (1u8 << cbit));
+        prop_assert_eq!(outcome.corrected_word(), None, "double flip must not correct");
+    }
+
+    #[test]
+    fn secded63_clean_and_single(tag in 0u64..(1u64 << 56), bit in 0u32..56) {
+        let check = Secded63::encode(tag);
+        prop_assert!(Secded63::decode(tag, check).is_clean());
+        let outcome = Secded63::decode(tag ^ (1u64 << bit), check);
+        prop_assert_eq!(outcome.corrected_word(), Some(tag));
+    }
+
+    #[test]
+    fn standard_sideband_corrects_one_flip_per_word(block: [u8; 64], seed: u64) {
+        let sb = StandardSideband::encode(&block);
+        let mut bad = block;
+        let mut s = seed;
+        for w in 0..8usize {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bit = (s >> 58) as usize; // 0..64
+            bad[w * 8 + bit / 8] ^= 1 << (bit % 8);
+        }
+        let decoded = sb.decode(&bad);
+        prop_assert_eq!(decoded.corrected_block(), Some(block));
+    }
+
+    #[test]
+    fn mac_sideband_fields_roundtrip(tag in 0u64..(1u64 << 56), ct: [u8; 64]) {
+        let sb = MacSideband::new(tag, &ct);
+        prop_assert_eq!(sb.raw_tag(), tag);
+        prop_assert!(sb.scrub_matches(&ct));
+        prop_assert!(sb.recover_tag().is_clean());
+        let back = MacSideband::from_bytes(sb.to_bytes());
+        prop_assert_eq!(back, sb);
+    }
+
+    #[test]
+    fn mac_sideband_single_flip_always_recovers(
+        tag in 0u64..(1u64 << 56),
+        ct: [u8; 64],
+        bit in 0u32..63,
+    ) {
+        let sb = MacSideband::new(tag, &ct).with_bit_flipped(bit);
+        prop_assert_eq!(sb.recover_tag().corrected_word(), Some(tag));
+    }
+
+    #[test]
+    fn parity_bit_tracks_data_flips(ct: [u8; 64], bit in 0u32..512) {
+        let sb = MacSideband::new(1, &ct);
+        let mut bad = ct;
+        bad[(bit / 8) as usize] ^= 1 << (bit % 8);
+        prop_assert!(!sb.scrub_matches(&bad), "odd flips must break parity");
+    }
+}

@@ -1,0 +1,265 @@
+//! Brute-force *flip-and-check* error correction (Section 3.4 of the
+//! paper) and the fault-evaluation harness behind Figure 3.
+//!
+//! "The most straightforward way to achieve MAC-based error correction
+//! without compromising security is performing a brute-force
+//! flip-and-check on each of the bits. When an integrity check fails, we
+//! attempt to correct the bit error(s) by flipping each bit in the memory
+//! block one by one and re-checking the MAC value." Correcting single-bit
+//! errors costs at most 512 checks; double-bit errors at most
+//! C(512,2) = 130,816 checks.
+//!
+//! The software implementation exploits the GF(2^64)-linearity of the
+//! Carter-Wegman hash ([`ame_crypto::mac::MacProbe`]): after one
+//! precomputation pass, each hypothesis is an XOR and a compare — the
+//! analogue of the paper's single-cycle hardware GF multiplier argument.
+
+use crate::{CounterSchemeKind, EngineConfig, MacPlacement, MemoryEncryptionEngine, ReadError};
+use ame_crypto::MemoryCipher;
+use ame_ecc::fault::{FaultOutcome, FaultPattern};
+
+/// Number of data bits in one block.
+pub const DATA_BITS: u32 = 512;
+
+/// Maximum MAC checks for single-bit correction.
+pub const MAX_CHECKS_SINGLE: u64 = 512;
+
+/// Maximum MAC checks for double-bit correction (512 choose 2).
+pub const MAX_CHECKS_DOUBLE: u64 = 130_816;
+
+/// Result of a flip-and-check attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrectionOutcome {
+    /// The repaired ciphertext block, if a candidate matched the MAC.
+    pub corrected: Option<[u8; 64]>,
+    /// Which global data bits were flipped to repair the block.
+    pub flipped_bits: Vec<u32>,
+    /// How many MAC hypotheses were evaluated.
+    pub checks: u64,
+}
+
+/// Attempts to repair `ct` so that its 56-bit MAC equals `tag`, flipping
+/// at most `max_flips` bits (0 disables correction, 1 = single, 2 =
+/// single-then-double as in the paper).
+#[must_use]
+pub fn flip_and_check(
+    cipher: &MemoryCipher,
+    addr: u64,
+    counter: u64,
+    ct: &[u8; 64],
+    tag: u64,
+    max_flips: u32,
+) -> CorrectionOutcome {
+    let mut checks = 0u64;
+    if max_flips == 0 {
+        return CorrectionOutcome { corrected: None, flipped_bits: vec![], checks };
+    }
+    let probe = cipher.mac_probe(addr, counter, ct);
+    if probe.base_tag() == tag {
+        // Nothing to fix (callers normally check first).
+        return CorrectionOutcome { corrected: Some(*ct), flipped_bits: vec![], checks };
+    }
+
+    let apply = |bits: &[u32]| {
+        let mut fixed = *ct;
+        for &b in bits {
+            fixed[(b / 8) as usize] ^= 1 << (b % 8);
+        }
+        fixed
+    };
+
+    // Single-bit pass.
+    for bit in 0..DATA_BITS {
+        checks += 1;
+        if probe.tag_with_flip(bit) == tag {
+            return CorrectionOutcome {
+                corrected: Some(apply(&[bit])),
+                flipped_bits: vec![bit],
+                checks,
+            };
+        }
+    }
+    if max_flips < 2 {
+        return CorrectionOutcome { corrected: None, flipped_bits: vec![], checks };
+    }
+
+    // Double-bit pass.
+    for a in 0..DATA_BITS {
+        for b in (a + 1)..DATA_BITS {
+            checks += 1;
+            if probe.tag_with_flips(a, b) == tag {
+                return CorrectionOutcome {
+                    corrected: Some(apply(&[a, b])),
+                    flipped_bits: vec![a, b],
+                    checks,
+                };
+            }
+        }
+    }
+    CorrectionOutcome { corrected: None, flipped_bits: vec![], checks }
+}
+
+/// Which protection scheme a Figure 3 fault is evaluated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Standard per-word SEC-DED ECC (with MACs stored separately).
+    StandardEcc,
+    /// The paper's MAC-in-ECC with flip-and-check correction up to the
+    /// given flip budget.
+    MacEcc {
+        /// Maximum flips the corrector attempts (the paper argues 2).
+        max_flips: u32,
+    },
+}
+
+/// Injects `pattern` into a freshly written block under `scheme` and
+/// classifies what the protection machinery does about it — one cell of
+/// Figure 3.
+#[must_use]
+pub fn evaluate_fault(scheme: Scheme, pattern: &FaultPattern) -> FaultOutcome {
+    let (placement, max_flips) = match scheme {
+        Scheme::StandardEcc => (MacPlacement::SeparateMac, 0),
+        Scheme::MacEcc { max_flips } => (MacPlacement::MacInEcc, max_flips),
+    };
+    let mut engine = MemoryEncryptionEngine::new(EngineConfig {
+        mac_placement: placement,
+        counter_scheme: CounterSchemeKind::Delta,
+        max_correctable_flips: max_flips,
+        ..EngineConfig::default()
+    });
+
+    let addr = 0x40;
+    let mut original = [0u8; 64];
+    for (i, b) in original.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(41).wrapping_add(3);
+    }
+    engine.write_block(addr, &original);
+
+    for bit in pattern.data_flips() {
+        engine.tamper_data_bit(addr, bit);
+    }
+    for bit in pattern.sideband_flips() {
+        engine.tamper_sideband_bit(addr, bit);
+    }
+
+    let had_fault = pattern.weight() > 0;
+    match engine.read_block(addr) {
+        Ok(data) if data == original => {
+            if !had_fault {
+                FaultOutcome::NoError
+            } else {
+                FaultOutcome::Corrected
+            }
+        }
+        Ok(_) => FaultOutcome::Miscorrected,
+        Err(ReadError::MacUncorrectable | ReadError::EccUncorrectable | ReadError::IntegrityViolation) => {
+            FaultOutcome::DetectedUncorrectable
+        }
+        Err(ReadError::Tree(_)) => FaultOutcome::DetectedUncorrectable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemoryCipher, u64, u64, [u8; 64], u64) {
+        let cipher = MemoryCipher::from_seed(11);
+        let (addr, ctr) = (0x1000u64, 5u64);
+        let plain = [0x77u8; 64];
+        let ct = cipher.encrypt_block(addr, ctr, &plain);
+        let tag = cipher.mac_block(addr, ctr, &ct);
+        (cipher, addr, ctr, ct, tag)
+    }
+
+    #[test]
+    fn repairs_every_single_bit() {
+        let (cipher, addr, ctr, ct, tag) = setup();
+        for bit in (0..512u32).step_by(17) {
+            let mut bad = ct;
+            bad[(bit / 8) as usize] ^= 1 << (bit % 8);
+            let out = flip_and_check(&cipher, addr, ctr, &bad, tag, 1);
+            assert_eq!(out.corrected, Some(ct), "bit {bit}");
+            assert_eq!(out.flipped_bits, vec![bit]);
+            assert!(out.checks <= MAX_CHECKS_SINGLE);
+        }
+    }
+
+    #[test]
+    fn repairs_double_bits_anywhere() {
+        let (cipher, addr, ctr, ct, tag) = setup();
+        for (a, b) in [(0u32, 1u32), (8, 9), (100, 400), (510, 511)] {
+            let mut bad = ct;
+            bad[(a / 8) as usize] ^= 1 << (a % 8);
+            bad[(b / 8) as usize] ^= 1 << (b % 8);
+            let out = flip_and_check(&cipher, addr, ctr, &bad, tag, 2);
+            assert_eq!(out.corrected, Some(ct), "bits {a},{b}");
+            let mut bits = out.flipped_bits.clone();
+            bits.sort_unstable();
+            assert_eq!(bits, vec![a, b]);
+            assert!(out.checks <= MAX_CHECKS_SINGLE + MAX_CHECKS_DOUBLE);
+        }
+    }
+
+    #[test]
+    fn budget_one_cannot_fix_doubles() {
+        let (cipher, addr, ctr, ct, tag) = setup();
+        let mut bad = ct;
+        bad[0] ^= 0b11;
+        let out = flip_and_check(&cipher, addr, ctr, &bad, tag, 1);
+        assert_eq!(out.corrected, None);
+        assert_eq!(out.checks, MAX_CHECKS_SINGLE);
+    }
+
+    #[test]
+    fn budget_zero_is_noop() {
+        let (cipher, addr, ctr, ct, tag) = setup();
+        let out = flip_and_check(&cipher, addr, ctr, &ct, tag, 0);
+        assert_eq!(out.checks, 0);
+        assert_eq!(out.corrected, None);
+    }
+
+    #[test]
+    fn clean_block_short_circuits() {
+        let (cipher, addr, ctr, ct, tag) = setup();
+        let out = flip_and_check(&cipher, addr, ctr, &ct, tag, 2);
+        assert_eq!(out.corrected, Some(ct));
+        assert!(out.flipped_bits.is_empty());
+    }
+
+    #[test]
+    fn triple_flip_is_detected_not_miscorrected() {
+        // With 56-bit tags the chance of a wrong candidate matching is
+        // ~2^-56; a triple flip must come back uncorrectable.
+        let (cipher, addr, ctr, ct, tag) = setup();
+        let mut bad = ct;
+        bad[0] ^= 0b111;
+        let out = flip_and_check(&cipher, addr, ctr, &bad, tag, 2);
+        assert_eq!(out.corrected, None);
+        assert_eq!(out.checks, MAX_CHECKS_SINGLE + MAX_CHECKS_DOUBLE);
+    }
+
+    #[test]
+    fn figure3_matrix_spot_checks() {
+        use FaultOutcome::*;
+        // Row 1: single data bit — both schemes correct it.
+        let single = FaultPattern::SingleBit { bit: 77 };
+        assert_eq!(evaluate_fault(Scheme::StandardEcc, &single), Corrected);
+        assert_eq!(evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &single), Corrected);
+
+        // Row 2: double bits in one word — SEC-DED detects only; MAC-ECC
+        // corrects.
+        let dw = FaultPattern::DoubleBitSameWord { word: 1, bits: (3, 60) };
+        assert_eq!(evaluate_fault(Scheme::StandardEcc, &dw), DetectedUncorrectable);
+        assert_eq!(evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &dw), Corrected);
+
+        // Row 3: many scattered singles — SEC-DED corrects all; MAC-ECC
+        // detects but cannot correct within budget.
+        let scattered = FaultPattern::ScatteredSingles { words: 4, bit_in_word: 9 };
+        assert_eq!(evaluate_fault(Scheme::StandardEcc, &scattered), Corrected);
+        assert_eq!(
+            evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &scattered),
+            DetectedUncorrectable
+        );
+    }
+}

@@ -1,0 +1,960 @@
+//! The authenticated memory encryption engine — the component the paper
+//! adds between the last-level cache and DRAM.
+//!
+//! Two complementary models live here:
+//!
+//! * [`MemoryEncryptionEngine`] (this module) — the *functional* engine:
+//!   real AES-CTR encryption, real 56-bit Carter-Wegman MACs, a real
+//!   Bonsai Merkle tree over real packed counter blocks, and the
+//!   MAC-in-ECC side-band layout of Figure 2. It detects tampering and
+//!   replay, and corrects DRAM faults with the brute-force
+//!   *flip-and-check* procedure of Section 3.4 ([`correction`]).
+//! * [`timing::TimingEngine`] — the *performance* model: counts and times
+//!   the DRAM transactions each protected access generates (counter-tree
+//!   walks through the metadata cache, separate MAC fetches vs the free
+//!   ECC side-band, re-encryption sweeps) for the Figure 8 experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use ame_engine::{EngineConfig, MemoryEncryptionEngine};
+//!
+//! let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
+//! engine.write_block(0x4000, &[7u8; 64]);
+//! assert_eq!(engine.read_block(0x4000).unwrap(), [7u8; 64]);
+//!
+//! // A cold-boot attacker flips ciphertext bits: a single flip is both
+//! // detected and corrected...
+//! engine.tamper_data_bit(0x4000, 100);
+//! assert_eq!(engine.read_block(0x4000).unwrap(), [7u8; 64]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correction;
+pub mod paging;
+pub mod region;
+pub mod scrub;
+pub mod timing;
+
+use ame_counters::delta::{DeltaConfig, DeltaCounters};
+use ame_counters::dual::{DualLengthConfig, DualLengthDeltaCounters};
+use ame_counters::monolithic::MonolithicCounters;
+use ame_counters::split::SplitCounters;
+use ame_counters::{CounterScheme, CounterStats, WriteOutcome};
+use ame_crypto::MemoryCipher;
+use ame_dram::storage::{DramStorage, StoredBlock};
+use ame_ecc::layout::{MacSideband, StandardSideband};
+use ame_ecc::secded::DecodeOutcome;
+use ame_tree::cache::CachedTree;
+use ame_tree::merkle::{BonsaiTree, VerifyError};
+use std::collections::HashMap;
+
+/// Size of a protected memory block in bytes.
+pub const BLOCK_BYTES: usize = 64;
+
+/// Where MAC tags are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MacPlacement {
+    /// Baseline: MACs in a dedicated DRAM region (extra transaction per
+    /// verified read); the ECC side-band holds standard SEC-DED codes.
+    SeparateMac,
+    /// The paper's scheme (Figure 2): the 56-bit MAC + 7-bit MAC parity +
+    /// 1 ciphertext-parity bit ride in the ECC side-band.
+    #[default]
+    MacInEcc,
+}
+
+/// Which counter representation the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterSchemeKind {
+    /// Full 56-bit counter per block (SGX baseline).
+    Monolithic,
+    /// Split counters (7-bit minors, 64-block groups).
+    Split,
+    /// Flat 7-bit frame-of-reference deltas (the paper's scheme).
+    #[default]
+    Delta,
+    /// Dual-length 6+4-bit deltas (Figure 6).
+    DualLength,
+}
+
+impl CounterSchemeKind {
+    /// Instantiates the corresponding scheme with the paper's parameters.
+    #[must_use]
+    pub fn build(self) -> Box<dyn CounterScheme> {
+        match self {
+            CounterSchemeKind::Monolithic => Box::new(MonolithicCounters::default()),
+            CounterSchemeKind::Split => Box::new(SplitCounters::default()),
+            CounterSchemeKind::Delta => Box::new(DeltaCounters::new(DeltaConfig::default())),
+            CounterSchemeKind::DualLength => {
+                Box::new(DualLengthDeltaCounters::new(DualLengthConfig::default()))
+            }
+        }
+    }
+}
+
+/// Configuration of the functional engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Key-derivation seed (per-boot key material).
+    pub seed: u64,
+    /// MAC storage placement.
+    pub mac_placement: MacPlacement,
+    /// Counter representation.
+    pub counter_scheme: CounterSchemeKind,
+    /// Maximum bit flips the flip-and-check corrector attempts (0 disables
+    /// correction, 1 = single-bit, 2 = double-bit as in Section 3.4).
+    pub max_correctable_flips: u32,
+    /// Off-chip MAC levels of the Bonsai Merkle tree.
+    pub tree_levels: usize,
+    /// On-chip counter-cache capacity in 64-byte metadata blocks
+    /// (Section 2.2's Gassend/SGX counter cache). 0 disables the cache:
+    /// every counter fetch walks the tree. With a cache, reads served
+    /// from the verified on-chip copy skip the walk — and off-chip
+    /// tampering of a cached block is only caught once the copy is
+    /// evicted, exactly like real hardware.
+    pub counter_cache_blocks: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed,
+            mac_placement: MacPlacement::MacInEcc,
+            counter_scheme: CounterSchemeKind::Delta,
+            max_correctable_flips: 2,
+            tree_levels: 2,
+            counter_cache_blocks: 0,
+        }
+    }
+}
+
+/// Why a protected read failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// The counter integrity tree detected tampering or replay.
+    Tree(VerifyError),
+    /// The MAC tag stored in the ECC side-band had an uncorrectable
+    /// (double-bit) error.
+    MacUncorrectable,
+    /// Standard SEC-DED reported an uncorrectable data error
+    /// (separate-MAC mode only).
+    EccUncorrectable,
+    /// The MAC check failed and flip-and-check could not repair the block:
+    /// either an attack or a fault beyond the correction budget.
+    IntegrityViolation,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Tree(e) => write!(f, "counter tree: {e}"),
+            ReadError::MacUncorrectable => write!(f, "uncorrectable error in stored MAC"),
+            ReadError::EccUncorrectable => write!(f, "uncorrectable SEC-DED data error"),
+            ReadError::IntegrityViolation => write!(f, "MAC verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<VerifyError> for ReadError {
+    fn from(e: VerifyError) -> Self {
+        ReadError::Tree(e)
+    }
+}
+
+/// Functional-engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Verified block reads.
+    pub reads: u64,
+    /// Block writes.
+    pub writes: u64,
+    /// Blocks re-encrypted due to counter-group overflow.
+    pub reencrypted_blocks: u64,
+    /// Single-bit MAC corruptions repaired by the 7-bit MAC parity.
+    pub mac_corrections: u64,
+    /// Data blocks repaired by flip-and-check.
+    pub data_corrections: u64,
+    /// Total MAC-check hypotheses evaluated by flip-and-check.
+    pub flip_checks: u64,
+    /// Reads that failed verification.
+    pub failed_reads: u64,
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} corrected[data={} mac={}] reencrypted={} failed={}",
+            self.reads,
+            self.writes,
+            self.data_corrections,
+            self.mac_corrections,
+            self.reencrypted_blocks,
+            self.failed_reads
+        )
+    }
+}
+
+/// Snapshot of all off-chip state for one block, as a replay attacker
+/// would capture it: stored data + side-band, plus the counter metadata
+/// block and its stored leaf MAC.
+#[derive(Debug, Clone)]
+pub struct BlockSnapshot {
+    addr: u64,
+    stored: StoredBlock,
+    /// Counter metadata leaf (image + stored MAC); `None` for relocated
+    /// snapshots, which splice only the data block.
+    meta_leaf: Option<([u8; 64], u64)>,
+    mac_entry: Option<u64>,
+}
+
+impl BlockSnapshot {
+    /// The block-aligned address this snapshot was captured at.
+    #[must_use]
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The raw stored data bytes (ciphertext) — what a cold-boot attacker
+    /// reads out of the DRAM chips.
+    #[must_use]
+    pub fn stored_data(&self) -> [u8; 64] {
+        self.stored.data
+    }
+
+    /// The raw stored side-band bytes (MAC + parity, or ECC check bytes).
+    #[must_use]
+    pub fn stored_sideband(&self) -> [u8; 8] {
+        self.stored.sideband
+    }
+
+    /// A *splicing* variant: the same stored bits retargeted at a
+    /// different address. Counter metadata is not carried along (the
+    /// attacker leaves the target's counters untouched), so replaying it
+    /// tests the MAC's address binding.
+    #[must_use]
+    pub fn relocated(&self, addr: u64) -> BlockSnapshot {
+        BlockSnapshot { addr, stored: self.stored, meta_leaf: None, mac_entry: self.mac_entry }
+    }
+}
+
+/// The integrity-tree frontend: direct walks, or fronted by the on-chip
+/// counter cache.
+#[derive(Debug)]
+enum TreeFrontend {
+    Plain(BonsaiTree),
+    Cached(CachedTree),
+}
+
+impl TreeFrontend {
+    fn read_counter_block(&mut self, idx: u64) -> Result<[u8; 64], VerifyError> {
+        match self {
+            TreeFrontend::Plain(t) => t.read_counter_block(idx),
+            TreeFrontend::Cached(t) => t.read_counter_block(idx),
+        }
+    }
+
+    fn write_counter_block(&mut self, idx: u64, content: [u8; 64]) {
+        match self {
+            TreeFrontend::Plain(t) => t.write_counter_block(idx, content),
+            TreeFrontend::Cached(t) => t.write_counter_block(idx, content),
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut BonsaiTree {
+        match self {
+            TreeFrontend::Plain(t) => t,
+            TreeFrontend::Cached(t) => t.tree_mut(),
+        }
+    }
+}
+
+/// The functional authenticated memory encryption engine.
+pub struct MemoryEncryptionEngine {
+    config: EngineConfig,
+    cipher: MemoryCipher,
+    counters: Box<dyn CounterScheme>,
+    tree: TreeFrontend,
+    storage: DramStorage,
+    /// Separate-MAC mode: per-block 56-bit tags in a dedicated region.
+    mac_region: HashMap<u64, u64>,
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for MemoryEncryptionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryEncryptionEngine")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemoryEncryptionEngine {
+    /// Creates an engine over an all-zero memory.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        let cipher = MemoryCipher::from_seed(config.seed);
+        let bonsai =
+            BonsaiTree::new(MemoryCipher::from_seed(config.seed ^ 0x7ee), config.tree_levels, 8);
+        let tree = if config.counter_cache_blocks > 0 {
+            TreeFrontend::Cached(CachedTree::new(bonsai, config.counter_cache_blocks))
+        } else {
+            TreeFrontend::Plain(bonsai)
+        };
+        Self {
+            config,
+            cipher,
+            counters: config.counter_scheme.build(),
+            tree,
+            storage: DramStorage::new(),
+            mac_region: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Functional statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Counter-scheme statistics (resets, re-encodes, re-encryptions).
+    #[must_use]
+    pub fn counter_stats(&self) -> CounterStats {
+        self.counters.stats()
+    }
+
+    fn block_index(addr: u64) -> u64 {
+        addr / BLOCK_BYTES as u64
+    }
+
+    fn block_addr(block: u64) -> u64 {
+        block * BLOCK_BYTES as u64
+    }
+
+    /// Encrypt + MAC + store one plaintext block under `counter`.
+    fn seal(&mut self, addr: u64, counter: u64, plain: &[u8; BLOCK_BYTES]) {
+        let ct = self.cipher.encrypt_block(addr, counter, plain);
+        let tag = self.cipher.mac_block(addr, counter, &ct);
+        let sideband = match self.config.mac_placement {
+            MacPlacement::MacInEcc => MacSideband::new(tag, &ct).to_bytes(),
+            MacPlacement::SeparateMac => {
+                self.mac_region.insert(Self::block_index(addr), tag);
+                StandardSideband::encode(&ct).to_bytes()
+            }
+        };
+        self.storage.write(addr, StoredBlock { data: ct, sideband });
+    }
+
+    /// Ensures a block has valid ciphertext/MAC state (memory is zero at
+    /// boot; the first touch seals zeros under the current counter).
+    fn ensure_initialized(&mut self, addr: u64) {
+        if !self.storage.contains(addr) {
+            let counter = self.counters.counter(Self::block_index(addr));
+            self.seal(addr, counter, &[0u8; BLOCK_BYTES]);
+            self.sync_tree(Self::block_index(addr));
+        }
+    }
+
+    /// Mirrors the (updated) packed counter block into the integrity tree.
+    fn sync_tree(&mut self, block: u64) {
+        let meta = self.counters.metadata_block_of(block);
+        let image = self.counters.metadata_block_image(meta);
+        self.tree.write_counter_block(meta, image);
+    }
+
+    /// Re-encrypts every *resident* block of an overflowed group under the
+    /// fresh counter (Section 4.2: sequential read-decrypt-encrypt-write).
+    fn reencrypt_group(&mut self, group: u64, old_counters: &[u64], new_counter: u64) {
+        let bpg = self.counters.blocks_per_group() as u64;
+        for (i, &old_ctr) in old_counters.iter().enumerate() {
+            let block = group * bpg + i as u64;
+            let addr = Self::block_addr(block);
+            if !self.storage.contains(addr) {
+                // Never-touched blocks stay zero; they will be sealed under
+                // the new counter on first use.
+                continue;
+            }
+            let stored = self.storage.read(addr);
+            let plain = self.cipher.decrypt_block(addr, old_ctr, &stored.data);
+            self.seal(addr, new_counter, &plain);
+            self.stats.reencrypted_blocks += 1;
+        }
+    }
+
+    /// Writes one 64-byte block at a block-aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 64-byte aligned.
+    pub fn write_block(&mut self, addr: u64, plain: &[u8; BLOCK_BYTES]) {
+        assert_eq!(addr % BLOCK_BYTES as u64, 0, "address must be block-aligned");
+        let block = Self::block_index(addr);
+        let outcome = self.counters.record_write(block);
+        if let WriteOutcome::Reencrypted { group, old_counters, new_counter } = &outcome {
+            let (group, new_counter) = (*group, *new_counter);
+            let old = old_counters.clone();
+            self.reencrypt_group(group, &old, new_counter);
+        }
+        let counter = self.counters.counter(block);
+        self.seal(addr, counter, plain);
+        self.sync_tree(block);
+        self.stats.writes += 1;
+    }
+
+    /// Reads and verifies one 64-byte block at a block-aligned address.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReadError`] if the counter tree, the MAC parity, the
+    /// SEC-DED code, or the MAC check detect unrecoverable tampering or
+    /// faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 64-byte aligned.
+    pub fn read_block(&mut self, addr: u64) -> Result<[u8; BLOCK_BYTES], ReadError> {
+        assert_eq!(addr % BLOCK_BYTES as u64, 0, "address must be block-aligned");
+        self.ensure_initialized(addr);
+        let block = Self::block_index(addr);
+
+        // 1. Fetch + verify the counter through the Bonsai Merkle tree.
+        let meta = self.counters.metadata_block_of(block);
+        let verified_image = match self.tree.read_counter_block(meta) {
+            Ok(img) => img,
+            Err(e) => {
+                self.stats.failed_reads += 1;
+                return Err(ReadError::Tree(e));
+            }
+        };
+        // The engine's counter state must match the verified off-chip
+        // image (it always does unless this code is buggy).
+        debug_assert_eq!(verified_image, self.counters.metadata_block_image(meta));
+        let counter = self.counters.counter(block);
+
+        let stored = self.storage.read(addr);
+        match self.config.mac_placement {
+            MacPlacement::MacInEcc => self.read_mac_in_ecc(addr, counter, stored),
+            MacPlacement::SeparateMac => self.read_separate_mac(addr, counter, stored),
+        }
+    }
+
+    fn read_mac_in_ecc(
+        &mut self,
+        addr: u64,
+        counter: u64,
+        stored: StoredBlock,
+    ) -> Result<[u8; BLOCK_BYTES], ReadError> {
+        let sideband = MacSideband::from_bytes(stored.sideband);
+        // Recover the MAC through its own 7-bit SEC-DED first (Section
+        // 3.3): a flipped MAC bit must not masquerade as a data error.
+        let tag = match sideband.recover_tag() {
+            DecodeOutcome::Clean { word } => word,
+            DecodeOutcome::CorrectedData { word, .. } | DecodeOutcome::CorrectedCheck { word } => {
+                self.stats.mac_corrections += 1;
+                word
+            }
+            DecodeOutcome::DoubleError | DecodeOutcome::Uncorrectable => {
+                self.stats.failed_reads += 1;
+                return Err(ReadError::MacUncorrectable);
+            }
+        };
+
+        if self.cipher.verify_block(addr, counter, &stored.data, tag) {
+            self.stats.reads += 1;
+            return Ok(self.cipher.decrypt_block(addr, counter, &stored.data));
+        }
+
+        // MAC mismatch: attempt flip-and-check error correction.
+        let outcome = correction::flip_and_check(
+            &self.cipher,
+            addr,
+            counter,
+            &stored.data,
+            tag,
+            self.config.max_correctable_flips,
+        );
+        self.stats.flip_checks += outcome.checks;
+        if let Some(fixed) = outcome.corrected {
+            // Scrub the repaired block back to memory.
+            let sb = MacSideband::new(tag, &fixed).to_bytes();
+            self.storage.write(addr, StoredBlock { data: fixed, sideband: sb });
+            self.stats.data_corrections += 1;
+            self.stats.reads += 1;
+            return Ok(self.cipher.decrypt_block(addr, counter, &fixed));
+        }
+        self.stats.failed_reads += 1;
+        Err(ReadError::IntegrityViolation)
+    }
+
+    fn read_separate_mac(
+        &mut self,
+        addr: u64,
+        counter: u64,
+        stored: StoredBlock,
+    ) -> Result<[u8; BLOCK_BYTES], ReadError> {
+        let sideband = StandardSideband::from_bytes(stored.sideband);
+        let decoded = sideband.decode(&stored.data);
+        let Some(ct) = decoded.corrected_block() else {
+            self.stats.failed_reads += 1;
+            return Err(ReadError::EccUncorrectable);
+        };
+        if decoded.any_error() {
+            self.stats.data_corrections += 1;
+            // Scrub the corrected data back.
+            let sb = StandardSideband::encode(&ct).to_bytes();
+            self.storage.write(addr, StoredBlock { data: ct, sideband: sb });
+        }
+        let block = Self::block_index(addr);
+        let tag = self.mac_region.get(&block).copied().unwrap_or(0);
+        if self.cipher.verify_block(addr, counter, &ct, tag) {
+            self.stats.reads += 1;
+            Ok(self.cipher.decrypt_block(addr, counter, &ct))
+        } else {
+            self.stats.failed_reads += 1;
+            Err(ReadError::IntegrityViolation)
+        }
+    }
+
+    // ---- attacker / fault-injection surface ----
+
+    /// Flips one stored ciphertext bit (`0..512`), as a DRAM fault or a
+    /// physical attacker would.
+    pub fn tamper_data_bit(&mut self, addr: u64, bit: u32) {
+        self.ensure_initialized(addr);
+        self.storage.flip_data_bit(addr, bit);
+    }
+
+    /// Flips one stored ECC side-band bit (`0..64`).
+    pub fn tamper_sideband_bit(&mut self, addr: u64, bit: u32) {
+        self.ensure_initialized(addr);
+        self.storage.flip_sideband_bit(addr, bit);
+    }
+
+    /// Captures all off-chip state of a block for a later replay.
+    #[must_use]
+    pub fn snapshot_block(&mut self, addr: u64) -> BlockSnapshot {
+        self.ensure_initialized(addr);
+        let block = Self::block_index(addr);
+        let meta = self.counters.metadata_block_of(block);
+        BlockSnapshot {
+            addr,
+            stored: self.storage.read(addr),
+            meta_leaf: Some(self.tree.inner_mut().snapshot_leaf(meta)),
+            mac_entry: self.mac_region.get(&block).copied(),
+        }
+    }
+
+    /// Replays a snapshot: restores the stored block, the separate MAC (if
+    /// any), the counter metadata block and its stored leaf MAC — every
+    /// bit an attacker with physical DRAM access can restore. The on-chip
+    /// tree root is out of reach, so a stale replay is detected.
+    pub fn replay_block(&mut self, snapshot: &BlockSnapshot) {
+        let block = Self::block_index(snapshot.addr);
+        let meta = self.counters.metadata_block_of(block);
+        self.storage.write(snapshot.addr, snapshot.stored);
+        if let Some(tag) = snapshot.mac_entry {
+            self.mac_region.insert(block, tag);
+        }
+        if let Some(leaf) = snapshot.meta_leaf {
+            self.tree.inner_mut().replay_leaf(meta, leaf);
+        }
+    }
+
+    /// Direct access to the integrity tree (for tampering experiments).
+    pub fn tree_mut(&mut self) -> &mut BonsaiTree {
+        self.tree.inner_mut()
+    }
+
+    /// Counter-cache hit/miss statistics, if the cache is enabled.
+    #[must_use]
+    pub fn counter_cache_stats(&self) -> Option<ame_tree::cache::CounterCacheStats> {
+        match &self.tree {
+            TreeFrontend::Plain(_) => None,
+            TreeFrontend::Cached(t) => Some(t.stats()),
+        }
+    }
+
+    /// Direct access to the functional DRAM array (for scrubbing and
+    /// fault-injection experiments).
+    pub fn storage_mut(&mut self) -> &mut DramStorage {
+        &mut self.storage
+    }
+
+    /// Current counter value of the block at `addr`.
+    #[must_use]
+    pub fn counter_of(&self, addr: u64) -> u64 {
+        self.counters.counter(Self::block_index(addr))
+    }
+
+    /// Re-keys the engine: derives fresh keys from `new_seed`, re-encrypts
+    /// every resident block under the new keys (and fresh counters), and
+    /// rebuilds the integrity tree.
+    ///
+    /// A real engine performs this when its keys must rotate — e.g. if the
+    /// 56-bit reference counter ever approached exhaustion, or on a policy
+    /// schedule. All previously captured off-chip snapshots become useless
+    /// to an attacker: they neither decrypt nor verify under the new keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ReadError`] encountered while verifying the old
+    /// contents; the engine is left unchanged in that case (re-keying
+    /// must not launder corrupted state into fresh MACs).
+    pub fn rekey(&mut self, new_seed: u64) -> Result<(), ReadError> {
+        // 1. Read and verify everything under the current keys.
+        let addrs: Vec<u64> = self.resident_addrs();
+        let mut plain = Vec::with_capacity(addrs.len());
+        for &addr in &addrs {
+            plain.push((addr, self.read_block(addr)?));
+        }
+        // 2. Swap in fresh key material and empty metadata.
+        self.config.seed = new_seed;
+        self.cipher = MemoryCipher::from_seed(new_seed);
+        let bonsai =
+            BonsaiTree::new(MemoryCipher::from_seed(new_seed ^ 0x7ee), self.config.tree_levels, 8);
+        self.tree = if self.config.counter_cache_blocks > 0 {
+            TreeFrontend::Cached(CachedTree::new(bonsai, self.config.counter_cache_blocks))
+        } else {
+            TreeFrontend::Plain(bonsai)
+        };
+        self.counters = self.config.counter_scheme.build();
+        self.storage = DramStorage::new();
+        self.mac_region.clear();
+        // 3. Seal the contents back under the new keys.
+        for (addr, data) in plain {
+            self.write_block(addr, &data);
+        }
+        Ok(())
+    }
+
+    /// Block-aligned addresses currently resident in storage.
+    fn resident_addrs(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.storage.addrs().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(placement: MacPlacement, scheme: CounterSchemeKind) -> MemoryEncryptionEngine {
+        MemoryEncryptionEngine::new(EngineConfig {
+            mac_placement: placement,
+            counter_scheme: scheme,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn all_configs() -> Vec<MemoryEncryptionEngine> {
+        let mut v = Vec::new();
+        for p in [MacPlacement::MacInEcc, MacPlacement::SeparateMac] {
+            for s in [
+                CounterSchemeKind::Monolithic,
+                CounterSchemeKind::Split,
+                CounterSchemeKind::Delta,
+                CounterSchemeKind::DualLength,
+            ] {
+                v.push(engine(p, s));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn roundtrip_all_configs() {
+        for mut e in all_configs() {
+            let mut pat = [0u8; 64];
+            for (i, b) in pat.iter_mut().enumerate() {
+                *b = i as u8;
+            }
+            e.write_block(0x1000, &pat);
+            e.write_block(0x1040, &[9; 64]);
+            assert_eq!(e.read_block(0x1000).unwrap(), pat, "{:?}", e.config());
+            assert_eq!(e.read_block(0x1040).unwrap(), [9; 64]);
+        }
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        for mut e in all_configs() {
+            assert_eq!(e.read_block(0x8000).unwrap(), [0u8; 64], "{:?}", e.config());
+        }
+    }
+
+    #[test]
+    fn overwrite_bumps_counter_and_changes_ciphertext() {
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        e.write_block(0, &[1; 64]);
+        let c1 = e.counter_of(0);
+        let ct1 = e.snapshot_block(0).stored.data;
+        e.write_block(0, &[1; 64]);
+        let c2 = e.counter_of(0);
+        let ct2 = e.snapshot_block(0).stored.data;
+        assert!(c2 > c1);
+        assert_ne!(ct1, ct2, "same plaintext, fresh counter => fresh ciphertext");
+        assert_eq!(e.read_block(0).unwrap(), [1; 64]);
+    }
+
+    #[test]
+    fn single_data_flip_corrected_mac_in_ecc() {
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        e.write_block(0x40, &[0xab; 64]);
+        e.tamper_data_bit(0x40, 313);
+        assert_eq!(e.read_block(0x40).unwrap(), [0xab; 64]);
+        assert_eq!(e.stats().data_corrections, 1);
+        // The block was scrubbed: the next read is clean.
+        assert_eq!(e.read_block(0x40).unwrap(), [0xab; 64]);
+        assert_eq!(e.stats().data_corrections, 1);
+    }
+
+    #[test]
+    fn double_data_flip_same_word_corrected_mac_in_ecc() {
+        // The case standard SEC-DED cannot handle (Figure 3).
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        e.write_block(0x40, &[0x5a; 64]);
+        e.tamper_data_bit(0x40, 8);
+        e.tamper_data_bit(0x40, 9);
+        assert_eq!(e.read_block(0x40).unwrap(), [0x5a; 64]);
+        assert_eq!(e.stats().data_corrections, 1);
+        assert!(e.stats().flip_checks > 512, "needed the double-flip search");
+    }
+
+    #[test]
+    fn double_flip_same_word_uncorrectable_with_separate_mac() {
+        let mut e = engine(MacPlacement::SeparateMac, CounterSchemeKind::Delta);
+        e.write_block(0x40, &[0x5a; 64]);
+        e.tamper_data_bit(0x40, 8);
+        e.tamper_data_bit(0x40, 9);
+        assert_eq!(e.read_block(0x40), Err(ReadError::EccUncorrectable));
+    }
+
+    #[test]
+    fn scattered_flips_corrected_by_standard_ecc_not_by_mac() {
+        // One flip in each of 3 words: standard ECC corrects all three;
+        // MAC-based flip-and-check (budget 2) cannot.
+        let mut sep = engine(MacPlacement::SeparateMac, CounterSchemeKind::Delta);
+        sep.write_block(0, &[3; 64]);
+        for w in 0..3 {
+            sep.tamper_data_bit(0, w * 64 + 5);
+        }
+        assert_eq!(sep.read_block(0).unwrap(), [3; 64]);
+
+        let mut mie = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        mie.write_block(0, &[3; 64]);
+        for w in 0..3 {
+            mie.tamper_data_bit(0, w * 64 + 5);
+        }
+        assert_eq!(mie.read_block(0), Err(ReadError::IntegrityViolation));
+    }
+
+    #[test]
+    fn mac_bit_flip_corrected_by_mac_parity() {
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        e.write_block(0, &[1; 64]);
+        e.tamper_sideband_bit(0, 20); // inside the 56-bit MAC field
+        assert_eq!(e.read_block(0).unwrap(), [1; 64]);
+        assert_eq!(e.stats().mac_corrections, 1);
+        assert_eq!(e.stats().data_corrections, 0, "no bogus data correction");
+    }
+
+    #[test]
+    fn double_mac_flip_detected() {
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        e.write_block(0, &[1; 64]);
+        e.tamper_sideband_bit(0, 20);
+        e.tamper_sideband_bit(0, 41);
+        assert_eq!(e.read_block(0), Err(ReadError::MacUncorrectable));
+    }
+
+    #[test]
+    fn replay_attack_detected() {
+        for scheme in [CounterSchemeKind::Delta, CounterSchemeKind::Monolithic] {
+            let mut e = engine(MacPlacement::MacInEcc, scheme);
+            e.write_block(0x100, &[1; 64]);
+            let snap = e.snapshot_block(0x100);
+            e.write_block(0x100, &[2; 64]);
+            e.replay_block(&snap);
+            let err = e.read_block(0x100).unwrap_err();
+            assert!(matches!(err, ReadError::Tree(_)), "{scheme:?}: got {err:?}");
+        }
+    }
+
+    #[test]
+    fn spliced_block_rejected() {
+        // Moving valid ciphertext to a different address fails its MAC
+        // (address-bound tags).
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        e.write_block(0x000, &[7; 64]);
+        e.write_block(0x040, &[8; 64]);
+        let a = e.snapshot_block(0x000);
+        // Write block A's stored bits at address B. Counters of both
+        // blocks are equal (1), so only the address binding can catch it.
+        e.storage.write(0x040, a.stored);
+        assert_eq!(e.read_block(0x040), Err(ReadError::IntegrityViolation));
+    }
+
+    #[test]
+    fn group_reencryption_preserves_contents() {
+        // 7-bit deltas overflow after 128 writes to one block; the whole
+        // 64-block group re-encrypts and every resident block survives.
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        for b in 0..10u64 {
+            e.write_block(b * 64, &[b as u8 + 1; 64]);
+        }
+        for _ in 0..200 {
+            e.write_block(0, &[0xEE; 64]);
+        }
+        assert!(e.counter_stats().reencryptions >= 1);
+        assert!(e.stats().reencrypted_blocks >= 9);
+        assert_eq!(e.read_block(0).unwrap(), [0xEE; 64]);
+        for b in 1..10u64 {
+            assert_eq!(e.read_block(b * 64).unwrap(), [b as u8 + 1; 64], "block {b}");
+        }
+    }
+
+    #[test]
+    fn split_counter_reencryption_preserves_contents() {
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Split);
+        e.write_block(64, &[0x11; 64]);
+        for _ in 0..130 {
+            e.write_block(0, &[0x22; 64]);
+        }
+        assert!(e.counter_stats().reencryptions >= 1);
+        assert_eq!(e.read_block(64).unwrap(), [0x11; 64]);
+        assert_eq!(e.read_block(0).unwrap(), [0x22; 64]);
+    }
+
+    #[test]
+    fn correction_disabled_reports_violation() {
+        let mut e = MemoryEncryptionEngine::new(EngineConfig {
+            max_correctable_flips: 0,
+            ..EngineConfig::default()
+        });
+        e.write_block(0, &[1; 64]);
+        e.tamper_data_bit(0, 0);
+        assert_eq!(e.read_block(0), Err(ReadError::IntegrityViolation));
+        assert_eq!(e.stats().flip_checks, 0);
+    }
+
+    #[test]
+    fn rekey_preserves_contents_and_invalidates_snapshots() {
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        for b in 0..8u64 {
+            e.write_block(b * 64, &[b as u8 + 1; 64]);
+        }
+        let old_ct = e.snapshot_block(0);
+        e.rekey(0xfeed).unwrap();
+        // Contents survive under the new keys.
+        for b in 0..8u64 {
+            assert_eq!(e.read_block(b * 64).unwrap(), [b as u8 + 1; 64], "block {b}");
+        }
+        // Ciphertext changed (fresh keys), and replaying pre-rekey state
+        // is rejected.
+        assert_ne!(e.snapshot_block(0).stored_data(), old_ct.stored_data());
+        e.replay_block(&old_ct);
+        assert!(e.read_block(0).is_err());
+    }
+
+    #[test]
+    fn rekey_refuses_corrupted_state() {
+        let mut e = MemoryEncryptionEngine::new(EngineConfig {
+            max_correctable_flips: 0,
+            ..EngineConfig::default()
+        });
+        e.write_block(0, &[1; 64]);
+        e.write_block(64, &[2; 64]);
+        for bit in [0u32, 9, 100] {
+            e.tamper_data_bit(64, bit);
+        }
+        assert!(e.rekey(0x1234).is_err(), "must not launder corrupted blocks");
+    }
+
+    #[test]
+    fn rekey_works_across_schemes() {
+        for scheme in [CounterSchemeKind::Split, CounterSchemeKind::DualLength] {
+            let mut e = engine(MacPlacement::SeparateMac, scheme);
+            for _ in 0..150 {
+                e.write_block(0, &[7; 64]); // through overflows
+            }
+            e.rekey(42).unwrap();
+            assert_eq!(e.read_block(0).unwrap(), [7; 64], "{scheme:?}");
+            assert_eq!(e.counter_of(0), 1, "fresh counters after rekey");
+        }
+    }
+
+    #[test]
+    fn counter_cache_serves_hot_counters() {
+        let mut e = MemoryEncryptionEngine::new(EngineConfig {
+            counter_cache_blocks: 8,
+            ..EngineConfig::default()
+        });
+        e.write_block(0, &[1; 64]);
+        for _ in 0..20 {
+            let _ = e.read_block(0).unwrap();
+        }
+        let stats = e.counter_cache_stats().expect("cache enabled");
+        assert!(stats.hits >= 20, "hot counter block must hit ({stats:?})");
+        assert!(stats.hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn counter_cache_preserves_functional_behaviour() {
+        // Same traffic with and without the cache: identical plaintext
+        // results and identical counters.
+        let plain_cfg = EngineConfig { counter_cache_blocks: 0, ..EngineConfig::default() };
+        let cached_cfg = EngineConfig { counter_cache_blocks: 4, ..EngineConfig::default() };
+        let mut a = MemoryEncryptionEngine::new(plain_cfg);
+        let mut b = MemoryEncryptionEngine::new(cached_cfg);
+        for i in 0..300u64 {
+            let addr = (i % 20) * 64;
+            let data = [(i % 255) as u8; 64];
+            a.write_block(addr, &data);
+            b.write_block(addr, &data);
+            assert_eq!(a.read_block(addr).unwrap(), b.read_block(addr).unwrap());
+            assert_eq!(a.counter_of(addr), b.counter_of(addr));
+        }
+    }
+
+    #[test]
+    fn counter_cache_shields_tampering_until_eviction() {
+        // Cached counter metadata behaves like real hardware: an off-chip
+        // tamper is invisible while the verified copy is on-chip.
+        let mut e = MemoryEncryptionEngine::new(EngineConfig {
+            counter_cache_blocks: 1,
+            ..EngineConfig::default()
+        });
+        e.write_block(0, &[1; 64]);
+        e.tree_mut().tamper_counter_block(0, |img| img[0] ^= 1);
+        assert!(e.read_block(0).is_ok(), "cached copy still serves");
+        // Touch a different counter group to evict the cached block
+        // (group size 64 blocks -> block 64 is group 1).
+        e.write_block(64 * 64, &[2; 64]);
+        assert!(e.read_block(0).is_err(), "re-fetch catches the tamper");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        e.write_block(0, &[1; 64]);
+        let _ = e.read_block(0);
+        let _ = e.read_block(64);
+        assert_eq!(e.stats().writes, 1);
+        assert_eq!(e.stats().reads, 2);
+        assert_eq!(e.stats().failed_reads, 0);
+    }
+}

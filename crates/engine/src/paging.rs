@@ -1,0 +1,295 @@
+//! Secure page swapping (Section 4.4).
+//!
+//! The paper notes that the re-encryption hardware it needs already
+//! exists in industrial engines: "Intel SGX has logic for swapping out
+//! secure pages to an operating system accessible region. This process
+//! involves a re-encryption operation akin to the one we need to perform
+//! on overflows." This module implements that logic on top of the
+//! functional engine, closing the loop:
+//!
+//! * **swap out**: a 4 KB page is read *verified* from protected memory,
+//!   re-encrypted under a dedicated paging key with a fresh **version
+//!   nonce**, MAC'd per block, and handed to the (untrusted) OS;
+//! * **swap in**: the OS hands a page back; its MACs are checked against
+//!   the expected version recorded in on-chip state, so a malicious OS
+//!   can neither tamper with swapped pages nor replay a stale version of
+//!   a page that was swapped out twice.
+
+use crate::{MemoryEncryptionEngine, ReadError, BLOCK_BYTES};
+use ame_crypto::MemoryCipher;
+use std::collections::HashMap;
+
+/// Blocks per swapped page (4 KB).
+pub const PAGE_BLOCKS: usize = 64;
+
+/// Why a swap-in was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapError {
+    /// Reading the page out of protected memory failed verification.
+    Engine(ReadError),
+    /// The page's version does not match the on-chip record: either a
+    /// replayed stale swap-out, or a page that was never swapped out.
+    StaleVersion,
+    /// A block's MAC check failed: the OS modified the swapped page.
+    Tampered {
+        /// Index of the first tampered block within the page.
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::Engine(e) => write!(f, "swap-out verification failed: {e}"),
+            SwapError::StaleVersion => write!(f, "swapped page version is stale or unknown"),
+            SwapError::Tampered { block } => write!(f, "swapped page tampered at block {block}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+impl From<ReadError> for SwapError {
+    fn from(e: ReadError) -> Self {
+        SwapError::Engine(e)
+    }
+}
+
+/// A page as the OS stores it: ciphertext + per-block MACs + the version
+/// token. Everything here is attacker-visible and attacker-mutable.
+#[derive(Debug, Clone)]
+pub struct SwappedPage {
+    page_addr: u64,
+    version: u64,
+    blocks: Vec<[u8; BLOCK_BYTES]>,
+    macs: Vec<u64>,
+}
+
+impl SwappedPage {
+    /// Page-aligned base address this page belongs to.
+    #[must_use]
+    pub fn page_addr(&self) -> u64 {
+        self.page_addr
+    }
+
+    /// The version nonce this page was sealed under.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Attacker surface: mutate one stored ciphertext bit.
+    pub fn tamper_data_bit(&mut self, block: usize, bit: u32) {
+        self.blocks[block][(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+}
+
+/// The trusted paging controller: holds the paging key and the on-chip
+/// version table (the only state the OS cannot touch).
+#[derive(Debug)]
+pub struct PagingController {
+    swap_cipher: MemoryCipher,
+    next_version: u64,
+    /// On-chip: the live version of each currently swapped-out page.
+    live: HashMap<u64, u64>,
+}
+
+impl PagingController {
+    /// Creates a controller with a paging key derived from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            swap_cipher: MemoryCipher::from_seed(seed ^ 0x5a5a_5a5a),
+            next_version: 1,
+            live: HashMap::new(),
+        }
+    }
+
+    /// Number of pages currently swapped out.
+    #[must_use]
+    pub fn swapped_out_pages(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Swaps the 4 KB page at `page_addr` out of protected memory: every
+    /// block is read verified, re-encrypted under the paging key with a
+    /// fresh version nonce, and MAC'd. The version is recorded on-chip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any verification failure from the protected read — a
+    /// corrupted page must not be laundered into a validly-MAC'd swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_addr` is not 4 KB aligned.
+    pub fn swap_out(
+        &mut self,
+        engine: &mut MemoryEncryptionEngine,
+        page_addr: u64,
+    ) -> Result<SwappedPage, SwapError> {
+        assert_eq!(page_addr % 4096, 0, "page address must be 4 KB aligned");
+        let version = self.next_version;
+        self.next_version += 1;
+
+        let mut blocks = Vec::with_capacity(PAGE_BLOCKS);
+        let mut macs = Vec::with_capacity(PAGE_BLOCKS);
+        for i in 0..PAGE_BLOCKS as u64 {
+            let addr = page_addr + i * BLOCK_BYTES as u64;
+            let plain = engine.read_block(addr)?;
+            // Nonce: (address, version) — the same shape as the engine's
+            // (address, counter), in the paging key's domain.
+            let ct = self.swap_cipher.encrypt_block(addr, version, &plain);
+            let mac = self.swap_cipher.mac_block(addr, version, &ct);
+            blocks.push(ct);
+            macs.push(mac);
+        }
+        self.live.insert(page_addr, version);
+        Ok(SwappedPage { page_addr, version, blocks, macs })
+    }
+
+    /// Swaps a page back into protected memory after verifying every
+    /// block against the on-chip version record. On success the version
+    /// record is consumed: the same swapped image cannot be replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::StaleVersion`] if the page's version is not the live
+    /// one; [`SwapError::Tampered`] if any block fails its MAC.
+    pub fn swap_in(
+        &mut self,
+        engine: &mut MemoryEncryptionEngine,
+        page: &SwappedPage,
+    ) -> Result<(), SwapError> {
+        match self.live.get(&page.page_addr) {
+            Some(&v) if v == page.version => {}
+            _ => return Err(SwapError::StaleVersion),
+        }
+        // Verify everything before touching protected memory.
+        let mut plains = Vec::with_capacity(PAGE_BLOCKS);
+        for i in 0..PAGE_BLOCKS {
+            let addr = page.page_addr + (i as u64) * BLOCK_BYTES as u64;
+            if !self.swap_cipher.verify_block(addr, page.version, &page.blocks[i], page.macs[i]) {
+                return Err(SwapError::Tampered { block: i });
+            }
+            plains.push(self.swap_cipher.decrypt_block(addr, page.version, &page.blocks[i]));
+        }
+        for (i, plain) in plains.iter().enumerate() {
+            let addr = page.page_addr + (i as u64) * BLOCK_BYTES as u64;
+            engine.write_block(addr, plain);
+        }
+        self.live.remove(&page.page_addr);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn setup() -> (MemoryEncryptionEngine, PagingController) {
+        let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
+        for i in 0..PAGE_BLOCKS as u64 {
+            engine.write_block(0x1000 + i * 64, &[i as u8 + 1; 64]);
+        }
+        (engine, PagingController::new(9))
+    }
+
+    #[test]
+    fn swap_roundtrip_preserves_contents() {
+        let (mut engine, mut pager) = setup();
+        let page = pager.swap_out(&mut engine, 0x1000).unwrap();
+        assert_eq!(pager.swapped_out_pages(), 1);
+        // The victim scribbles over the (now free) protected frame.
+        for i in 0..PAGE_BLOCKS as u64 {
+            engine.write_block(0x1000 + i * 64, &[0xff; 64]);
+        }
+        pager.swap_in(&mut engine, &page).unwrap();
+        assert_eq!(pager.swapped_out_pages(), 0);
+        for i in 0..PAGE_BLOCKS as u64 {
+            assert_eq!(engine.read_block(0x1000 + i * 64).unwrap(), [i as u8 + 1; 64]);
+        }
+    }
+
+    #[test]
+    fn swapped_image_is_ciphertext() {
+        let (mut engine, mut pager) = setup();
+        let page = pager.swap_out(&mut engine, 0x1000).unwrap();
+        assert_ne!(page.blocks[0], [1u8; 64], "OS must only ever see ciphertext");
+    }
+
+    #[test]
+    fn os_tampering_detected() {
+        let (mut engine, mut pager) = setup();
+        let mut page = pager.swap_out(&mut engine, 0x1000).unwrap();
+        page.tamper_data_bit(7, 123);
+        assert_eq!(pager.swap_in(&mut engine, &page), Err(SwapError::Tampered { block: 7 }));
+    }
+
+    #[test]
+    fn replaying_stale_swap_rejected() {
+        let (mut engine, mut pager) = setup();
+        // Swap out, back in, modify, swap out again: v1 is now stale.
+        let v1 = pager.swap_out(&mut engine, 0x1000).unwrap();
+        pager.swap_in(&mut engine, &v1).unwrap();
+        engine.write_block(0x1000, &[0xaa; 64]);
+        let _v2 = pager.swap_out(&mut engine, 0x1000).unwrap();
+        assert_eq!(pager.swap_in(&mut engine, &v1), Err(SwapError::StaleVersion));
+    }
+
+    #[test]
+    fn double_swap_in_rejected() {
+        let (mut engine, mut pager) = setup();
+        let page = pager.swap_out(&mut engine, 0x1000).unwrap();
+        pager.swap_in(&mut engine, &page).unwrap();
+        assert_eq!(
+            pager.swap_in(&mut engine, &page),
+            Err(SwapError::StaleVersion),
+            "version record is consumed on swap-in"
+        );
+    }
+
+    #[test]
+    fn cross_page_splice_rejected() {
+        // A page swapped out at one address cannot be swapped in as
+        // another page (addresses are in the MAC nonce, and the version
+        // table is keyed by page address).
+        let (mut engine, mut pager) = setup();
+        for i in 0..PAGE_BLOCKS as u64 {
+            engine.write_block(0x2000 + i * 64, &[0x77; 64]);
+        }
+        let a = pager.swap_out(&mut engine, 0x1000).unwrap();
+        let _b = pager.swap_out(&mut engine, 0x2000).unwrap();
+        // Forge: present page A's image with page B's address.
+        let forged = SwappedPage { page_addr: 0x2000, ..a };
+        let r = pager.swap_in(&mut engine, &forged);
+        assert!(
+            matches!(r, Err(SwapError::StaleVersion) | Err(SwapError::Tampered { .. })),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_memory_cannot_be_swapped_out() {
+        let (mut engine, mut pager) = setup();
+        let mut e2 = MemoryEncryptionEngine::new(EngineConfig {
+            max_correctable_flips: 0,
+            ..EngineConfig::default()
+        });
+        for i in 0..PAGE_BLOCKS as u64 {
+            e2.write_block(0x1000 + i * 64, &[1; 64]);
+        }
+        e2.tamper_data_bit(0x1000 + 5 * 64, 9);
+        assert!(matches!(pager.swap_out(&mut e2, 0x1000), Err(SwapError::Engine(_))));
+        // And the original engine still works.
+        assert!(pager.swap_out(&mut engine, 0x1000).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "4 KB aligned")]
+    fn unaligned_page_panics() {
+        let (mut engine, mut pager) = setup();
+        let _ = pager.swap_out(&mut engine, 0x1040);
+    }
+}

@@ -1,0 +1,243 @@
+//! Byte-granular access on top of the block engine.
+//!
+//! The engine's native unit is the 64-byte block (one cache line / one
+//! MAC / one counter). Real software reads and writes arbitrary byte
+//! ranges, which means sub-block writes are **read-modify-write**
+//! operations: the enclosing block must be fetched and verified before
+//! the modified block is re-encrypted under a fresh counter — a partial
+//! write can never bypass verification, or an attacker could use it to
+//! launder a tampered block back to validity.
+//!
+//! [`SecureRegion`] provides that layer, plus the bounds discipline of a
+//! fixed-size protected region.
+
+use crate::{MemoryEncryptionEngine, ReadError, BLOCK_BYTES};
+
+/// Errors from byte-granular region access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionError {
+    /// The range `[addr, addr + len)` does not fit the region.
+    OutOfBounds {
+        /// Requested start offset.
+        addr: u64,
+        /// Requested length.
+        len: usize,
+    },
+    /// A block on the path failed verification.
+    Read(ReadError),
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::OutOfBounds { addr, len } => {
+                write!(f, "range [{addr:#x}, +{len}) outside the protected region")
+            }
+            RegionError::Read(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+impl From<ReadError> for RegionError {
+    fn from(e: ReadError) -> Self {
+        RegionError::Read(e)
+    }
+}
+
+/// A fixed-size protected region with byte-granular reads and writes.
+///
+/// # Example
+///
+/// ```
+/// use ame_engine::region::SecureRegion;
+/// use ame_engine::EngineConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut region = SecureRegion::new(EngineConfig::default(), 1 << 20);
+/// region.write_bytes(100, b"hello across a block boundary?")?;
+/// let mut buf = [0u8; 5];
+/// region.read_bytes(100, &mut buf)?;
+/// assert_eq!(&buf, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SecureRegion {
+    engine: MemoryEncryptionEngine,
+    size: u64,
+}
+
+impl SecureRegion {
+    /// Creates a zeroed protected region of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not a multiple of the 64-byte block.
+    #[must_use]
+    pub fn new(config: crate::EngineConfig, size: u64) -> Self {
+        assert!(size > 0 && size.is_multiple_of(BLOCK_BYTES as u64), "size must be whole blocks");
+        Self { engine: MemoryEncryptionEngine::new(config), size }
+    }
+
+    /// Region capacity in bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The engine underneath (statistics, tamper surface for tests).
+    pub fn engine_mut(&mut self) -> &mut MemoryEncryptionEngine {
+        &mut self.engine
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<(), RegionError> {
+        if addr.checked_add(len as u64).is_none_or(|end| end > self.size) {
+            return Err(RegionError::OutOfBounds { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at byte offset `addr`. Every
+    /// touched block is verified.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::OutOfBounds`] for a bad range;
+    /// [`RegionError::Read`] if any block fails verification.
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), RegionError> {
+        self.check(addr, buf.len())?;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let pos = addr + filled as u64;
+            let block_base = pos & !(BLOCK_BYTES as u64 - 1);
+            let offset = (pos - block_base) as usize;
+            let take = (BLOCK_BYTES - offset).min(buf.len() - filled);
+            let block = self.engine.read_block(block_base)?;
+            buf[filled..filled + take].copy_from_slice(&block[offset..offset + take]);
+            filled += take;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at byte offset `addr`. Partially covered
+    /// blocks are read-modify-written: the old contents are verified
+    /// before the merged block is sealed under a fresh counter.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::OutOfBounds`] for a bad range;
+    /// [`RegionError::Read`] if a partially covered block fails
+    /// verification (nothing is written in that case for that block
+    /// onward).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), RegionError> {
+        self.check(addr, data.len())?;
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = addr + written as u64;
+            let block_base = pos & !(BLOCK_BYTES as u64 - 1);
+            let offset = (pos - block_base) as usize;
+            let take = (BLOCK_BYTES - offset).min(data.len() - written);
+            let mut block = if take == BLOCK_BYTES {
+                // Full-block store: no RMW needed.
+                [0u8; BLOCK_BYTES]
+            } else {
+                self.engine.read_block(block_base)?
+            };
+            block[offset..offset + take].copy_from_slice(&data[written..written + take]);
+            self.engine.write_block(block_base, &block);
+            written += take;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn region() -> SecureRegion {
+        SecureRegion::new(EngineConfig::default(), 4096)
+    }
+
+    #[test]
+    fn unaligned_roundtrip_across_blocks() {
+        let mut r = region();
+        let msg = b"the quick brown fox jumps over sixty-four byte boundaries easily";
+        r.write_bytes(40, msg).unwrap(); // spans blocks 0 and 1
+        let mut buf = vec![0u8; msg.len()];
+        r.read_bytes(40, &mut buf).unwrap();
+        assert_eq!(&buf, msg);
+        // Untouched bytes around the write are still zero.
+        let mut pre = [0u8; 40];
+        r.read_bytes(0, &mut pre).unwrap();
+        assert_eq!(pre, [0u8; 40]);
+    }
+
+    #[test]
+    fn partial_write_preserves_neighbours() {
+        let mut r = region();
+        r.write_bytes(0, &[0xAA; 128]).unwrap();
+        r.write_bytes(60, &[0xBB; 8]).unwrap(); // straddles the block edge
+        let mut buf = [0u8; 128];
+        r.read_bytes(0, &mut buf).unwrap();
+        assert_eq!(&buf[..60], &[0xAA; 60][..]);
+        assert_eq!(&buf[60..68], &[0xBB; 8][..]);
+        assert_eq!(&buf[68..], &[0xAA; 60][..]);
+    }
+
+    #[test]
+    fn full_block_write_skips_rmw_read() {
+        let mut r = region();
+        let reads_before = r.engine_mut().stats().reads;
+        r.write_bytes(64, &[1; 64]).unwrap();
+        assert_eq!(r.engine_mut().stats().reads, reads_before, "aligned store needs no read");
+        let reads_before = r.engine_mut().stats().reads;
+        r.write_bytes(64, &[2; 32]).unwrap();
+        assert!(r.engine_mut().stats().reads > reads_before, "partial store is RMW");
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut r = region();
+        assert!(matches!(
+            r.write_bytes(4090, &[0; 10]),
+            Err(RegionError::OutOfBounds { .. })
+        ));
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            r.read_bytes(u64::MAX - 3, &mut buf),
+            Err(RegionError::OutOfBounds { .. })
+        ));
+        // Exactly-at-the-end is fine.
+        assert!(r.write_bytes(4088, &[1; 8]).is_ok());
+    }
+
+    #[test]
+    fn partial_write_cannot_launder_tampered_block() {
+        // An attacker corrupts a block beyond repair; a later sub-block
+        // write to it must fail instead of re-sealing attacker bits.
+        let mut r = SecureRegion::new(
+            EngineConfig { max_correctable_flips: 0, ..EngineConfig::default() },
+            4096,
+        );
+        r.write_bytes(0, &[7; 64]).unwrap();
+        r.engine_mut().tamper_data_bit(0, 13);
+        assert!(matches!(r.write_bytes(10, &[9; 4]), Err(RegionError::Read(_))));
+        // A full-block overwrite is allowed (it replaces everything).
+        assert!(r.write_bytes(0, &[9; 64]).is_ok());
+        let mut buf = [0u8; 64];
+        r.read_bytes(0, &mut buf).unwrap();
+        assert_eq!(buf, [9; 64]);
+    }
+
+    #[test]
+    fn empty_operations_are_noops() {
+        let mut r = region();
+        r.write_bytes(100, &[]).unwrap();
+        let mut empty: [u8; 0] = [];
+        r.read_bytes(100, &mut empty).unwrap();
+    }
+}

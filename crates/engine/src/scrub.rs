@@ -1,0 +1,371 @@
+//! Background DRAM scrubbing (Section 3.3, "Enabling Efficient
+//! Scrubbing").
+//!
+//! Scrubbers periodically sweep memory to catch single-bit faults before
+//! a second flip makes them uncorrectable. They traditionally rely on
+//! per-word parity/ECC so a scan does not need the (secret-keyed) MAC
+//! hardware. The paper keeps that property in the merged layout by
+//! spending the one left-over side-band bit on a **ciphertext parity
+//! bit**: "This bit can be used by a DRAM scrubbing hardware/firmware ...
+//! to quickly and efficiently scan for single-bit errors without
+//! re-computing MACs. The hamming coded MACs can also be scrubbed as
+//! hamming codes contain a parity bit."
+//!
+//! [`Scrubber`] implements that pass over a [`DramStorage`]:
+//!
+//! * **MAC-in-ECC blocks**: the cheap parity bit flags any odd number of
+//!   data flips; flagged blocks are escalated to the (expensive)
+//!   MAC-based flip-and-check corrector. MAC-field flips are caught and
+//!   repaired by the 7-bit SEC-DED over the tag without touching the MAC
+//!   datapath at all.
+//! * **Standard-ECC blocks**: classic per-word SEC-DED scrub.
+//!
+//! The scrubber is deliberately *not* given the cipher keys: everything
+//! it repairs on its own uses only parity/Hamming state, mirroring the
+//! hardware split between the scrub engine and the MEE. Blocks that need
+//! MAC-based correction are reported for the engine to fix on its next
+//! access.
+
+use ame_dram::storage::DramStorage;
+use ame_ecc::layout::{MacSideband, StandardSideband};
+use ame_ecc::secded::DecodeOutcome;
+
+/// Per-sweep scrubbing statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Blocks scanned.
+    pub scanned: u64,
+    /// Blocks whose ciphertext parity bit mismatched (odd data flips).
+    pub parity_mismatches: u64,
+    /// Single-bit MAC-field errors repaired in place via the MAC's own
+    /// SEC-DED.
+    pub mac_repairs: u64,
+    /// Data errors repaired in place (standard-ECC mode only — the
+    /// scrubber has no MAC keys).
+    pub data_repairs: u64,
+    /// Blocks flagged for MAC-based correction by the engine (MAC-in-ECC
+    /// mode: parity mismatch, or even-flip suspicion from a failed MAC
+    /// SEC-DED).
+    pub escalated: u64,
+    /// Blocks with detected-but-uncorrectable side-band state.
+    pub uncorrectable: u64,
+}
+
+/// Which side-band convention the scanned region uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubMode {
+    /// Side-bands hold `MAC (56) | MAC check (7) | ciphertext parity (1)`.
+    MacInEcc,
+    /// Side-bands hold eight SEC-DED(72,64) check bytes.
+    StandardEcc,
+}
+
+/// Outcome of scrubbing one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockScrub {
+    /// Nothing wrong.
+    Clean,
+    /// The block was repaired in place (Hamming/parity machinery only).
+    Repaired,
+    /// The block needs the engine's MAC-based corrector (address
+    /// returned in the sweep report).
+    NeedsMacCorrection,
+    /// Side-band state is uncorrectably damaged (double MAC flip, or
+    /// SEC-DED double error).
+    Uncorrectable,
+}
+
+/// A key-less background scrubber over a functional DRAM array.
+///
+/// # Example
+///
+/// ```
+/// use ame_dram::storage::{DramStorage, StoredBlock};
+/// use ame_ecc::layout::MacSideband;
+/// use ame_engine::scrub::{ScrubMode, Scrubber};
+///
+/// let mut mem = DramStorage::new();
+/// let ct = [0x5au8; 64];
+/// let sb = MacSideband::new(0x1234, &ct).to_bytes();
+/// mem.write(0, StoredBlock { data: ct, sideband: sb });
+/// mem.flip_sideband_bit(0, 9); // a fault lands in the stored MAC
+///
+/// let mut scrubber = Scrubber::new(ScrubMode::MacInEcc);
+/// let report = scrubber.sweep(&mut mem, [0].into_iter());
+/// assert_eq!(report.stats.mac_repairs, 1);
+/// assert!(report.needs_mac_correction.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scrubber {
+    mode: ScrubMode,
+    stats: ScrubStats,
+}
+
+/// Result of one scrub sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Statistics for this sweep only.
+    pub stats: ScrubStats,
+    /// Addresses that need MAC-based correction by the engine.
+    pub needs_mac_correction: Vec<u64>,
+    /// Addresses with uncorrectable side-band damage.
+    pub uncorrectable: Vec<u64>,
+}
+
+impl Scrubber {
+    /// Creates a scrubber for the given side-band convention.
+    #[must_use]
+    pub fn new(mode: ScrubMode) -> Self {
+        Self { mode, stats: ScrubStats::default() }
+    }
+
+    /// Lifetime statistics across all sweeps.
+    #[must_use]
+    pub fn stats(&self) -> ScrubStats {
+        self.stats
+    }
+
+    /// Scrubs a single block in place.
+    pub fn scrub_block(&mut self, memory: &mut DramStorage, addr: u64) -> BlockScrub {
+        self.stats.scanned += 1;
+        let stored = memory.read(addr);
+        match self.mode {
+            ScrubMode::MacInEcc => {
+                let sb = MacSideband::from_bytes(stored.sideband);
+                // 1. Repair the MAC field itself via its 7-bit SEC-DED.
+                let mac_state = sb.recover_tag();
+                let outcome = match mac_state {
+                    DecodeOutcome::Clean { .. } => None,
+                    DecodeOutcome::CorrectedData { word, .. }
+                    | DecodeOutcome::CorrectedCheck { word } => {
+                        // Rewrite a clean side-band (preserving the parity
+                        // bit, which SEC-DED over the MAC does not cover).
+                        let mut fixed = MacSideband::new(word, &stored.data);
+                        if fixed.ciphertext_parity() != sb.ciphertext_parity() {
+                            fixed = fixed.with_bit_flipped(63);
+                        }
+                        memory.write(
+                            addr,
+                            ame_dram::storage::StoredBlock {
+                                data: stored.data,
+                                sideband: fixed.to_bytes(),
+                            },
+                        );
+                        self.stats.mac_repairs += 1;
+                        Some(BlockScrub::Repaired)
+                    }
+                    DecodeOutcome::DoubleError | DecodeOutcome::Uncorrectable => {
+                        self.stats.uncorrectable += 1;
+                        Some(BlockScrub::Uncorrectable)
+                    }
+                };
+                if let Some(BlockScrub::Uncorrectable) = outcome {
+                    return BlockScrub::Uncorrectable;
+                }
+                // 2. Cheap ciphertext parity scan for data flips.
+                let current = memory.read(addr);
+                let sb = MacSideband::from_bytes(current.sideband);
+                if !sb.scrub_matches(&current.data) {
+                    self.stats.parity_mismatches += 1;
+                    self.stats.escalated += 1;
+                    return BlockScrub::NeedsMacCorrection;
+                }
+                match outcome {
+                    Some(o) => o,
+                    None => BlockScrub::Clean,
+                }
+            }
+            ScrubMode::StandardEcc => {
+                let sb = StandardSideband::from_bytes(stored.sideband);
+                let decoded = sb.decode(&stored.data);
+                if decoded.any_uncorrectable() {
+                    self.stats.uncorrectable += 1;
+                    return BlockScrub::Uncorrectable;
+                }
+                if !decoded.any_error() {
+                    return BlockScrub::Clean;
+                }
+                let fixed = decoded.corrected_block().expect("correctable");
+                memory.write(
+                    addr,
+                    ame_dram::storage::StoredBlock {
+                        data: fixed,
+                        sideband: StandardSideband::encode(&fixed).to_bytes(),
+                    },
+                );
+                self.stats.data_repairs += 1;
+                BlockScrub::Repaired
+            }
+        }
+    }
+
+    /// Sweeps a set of block addresses, repairing what parity/Hamming
+    /// machinery can and reporting the rest.
+    pub fn sweep(
+        &mut self,
+        memory: &mut DramStorage,
+        addrs: impl Iterator<Item = u64>,
+    ) -> SweepReport {
+        let before = self.stats;
+        let mut needs = Vec::new();
+        let mut bad = Vec::new();
+        for addr in addrs {
+            match self.scrub_block(memory, addr) {
+                BlockScrub::NeedsMacCorrection => needs.push(addr),
+                BlockScrub::Uncorrectable => bad.push(addr),
+                BlockScrub::Clean | BlockScrub::Repaired => {}
+            }
+        }
+        let after = self.stats;
+        SweepReport {
+            stats: ScrubStats {
+                scanned: after.scanned - before.scanned,
+                parity_mismatches: after.parity_mismatches - before.parity_mismatches,
+                mac_repairs: after.mac_repairs - before.mac_repairs,
+                data_repairs: after.data_repairs - before.data_repairs,
+                escalated: after.escalated - before.escalated,
+                uncorrectable: after.uncorrectable - before.uncorrectable,
+            },
+            needs_mac_correction: needs,
+            uncorrectable: bad,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, MacPlacement, MemoryEncryptionEngine};
+    use ame_dram::storage::StoredBlock;
+
+    fn mac_block(tag: u64, data: [u8; 64]) -> StoredBlock {
+        StoredBlock { data, sideband: MacSideband::new(tag, &data).to_bytes() }
+    }
+
+    #[test]
+    fn clean_memory_scrubs_clean() {
+        let mut mem = DramStorage::new();
+        for i in 0..8u64 {
+            mem.write(i * 64, mac_block(i, [i as u8; 64]));
+        }
+        let mut s = Scrubber::new(ScrubMode::MacInEcc);
+        let report = s.sweep(&mut mem, (0..8).map(|i| i * 64));
+        assert_eq!(report.stats.scanned, 8);
+        assert_eq!(report.stats.parity_mismatches, 0);
+        assert!(report.needs_mac_correction.is_empty());
+    }
+
+    #[test]
+    fn parity_bit_flags_single_data_flip() {
+        let mut mem = DramStorage::new();
+        mem.write(0, mac_block(7, [1; 64]));
+        mem.flip_data_bit(0, 200);
+        let mut s = Scrubber::new(ScrubMode::MacInEcc);
+        assert_eq!(s.scrub_block(&mut mem, 0), BlockScrub::NeedsMacCorrection);
+        assert_eq!(s.stats().parity_mismatches, 1);
+    }
+
+    #[test]
+    fn parity_bit_misses_even_flips_by_design() {
+        // The cheap scan cannot see an even number of flips — those are
+        // caught by the MAC check on the next real access (Figure 3's
+        // "full error detection" still holds end to end).
+        let mut mem = DramStorage::new();
+        mem.write(0, mac_block(7, [1; 64]));
+        mem.flip_data_bit(0, 10);
+        mem.flip_data_bit(0, 20);
+        let mut s = Scrubber::new(ScrubMode::MacInEcc);
+        assert_eq!(s.scrub_block(&mut mem, 0), BlockScrub::Clean);
+    }
+
+    #[test]
+    fn mac_field_flip_repaired_without_keys() {
+        let mut mem = DramStorage::new();
+        let tag = 0x00ab_cdef_1234_5678 & MacSideband::TAG_MASK;
+        mem.write(0, mac_block(tag, [9; 64]));
+        for bit in [0u32, 31, 55, 58, 62] {
+            mem.flip_sideband_bit(0, bit);
+            let mut s = Scrubber::new(ScrubMode::MacInEcc);
+            assert_eq!(s.scrub_block(&mut mem, 0), BlockScrub::Repaired, "bit {bit}");
+            // The stored tag is whole again.
+            let sb = MacSideband::from_bytes(mem.read(0).sideband);
+            assert_eq!(sb.raw_tag(), tag);
+            assert!(sb.recover_tag().is_clean());
+        }
+    }
+
+    #[test]
+    fn double_mac_flip_is_uncorrectable() {
+        let mut mem = DramStorage::new();
+        mem.write(0, mac_block(1, [2; 64]));
+        mem.flip_sideband_bit(0, 5);
+        mem.flip_sideband_bit(0, 40);
+        let mut s = Scrubber::new(ScrubMode::MacInEcc);
+        let report = s.sweep(&mut mem, [0].into_iter());
+        assert_eq!(report.uncorrectable, vec![0]);
+    }
+
+    #[test]
+    fn standard_mode_repairs_in_place() {
+        let mut mem = DramStorage::new();
+        let data = [0x3c; 64];
+        mem.write(0, StoredBlock { data, sideband: StandardSideband::encode(&data).to_bytes() });
+        mem.flip_data_bit(0, 77);
+        let mut s = Scrubber::new(ScrubMode::StandardEcc);
+        assert_eq!(s.scrub_block(&mut mem, 0), BlockScrub::Repaired);
+        assert_eq!(mem.read(0).data, data);
+        // Second pass: clean.
+        assert_eq!(s.scrub_block(&mut mem, 0), BlockScrub::Clean);
+    }
+
+    #[test]
+    fn standard_mode_double_error_uncorrectable() {
+        let mut mem = DramStorage::new();
+        let data = [0x3c; 64];
+        mem.write(0, StoredBlock { data, sideband: StandardSideband::encode(&data).to_bytes() });
+        mem.flip_data_bit(0, 0);
+        mem.flip_data_bit(0, 1);
+        let mut s = Scrubber::new(ScrubMode::StandardEcc);
+        assert_eq!(s.scrub_block(&mut mem, 0), BlockScrub::Uncorrectable);
+    }
+
+    #[test]
+    fn scrub_then_engine_fixes_escalated_block() {
+        // End-to-end: the scrubber flags a faulted block; the engine's
+        // next read repairs it via flip-and-check; a re-scrub is clean.
+        let mut engine = MemoryEncryptionEngine::new(EngineConfig {
+            mac_placement: MacPlacement::MacInEcc,
+            ..EngineConfig::default()
+        });
+        engine.write_block(0x40, &[0xaa; 64]);
+        engine.tamper_data_bit(0x40, 300);
+
+        let report = {
+            let mut s = Scrubber::new(ScrubMode::MacInEcc);
+            s.sweep(engine.storage_mut(), [0x40].into_iter())
+        };
+        assert_eq!(report.needs_mac_correction, vec![0x40]);
+
+        // Engine access repairs and scrubs the block back to memory.
+        assert_eq!(engine.read_block(0x40).unwrap(), [0xaa; 64]);
+        let mut s = Scrubber::new(ScrubMode::MacInEcc);
+        let report = s.sweep(engine.storage_mut(), [0x40].into_iter());
+        assert!(report.needs_mac_correction.is_empty());
+        assert_eq!(report.stats.parity_mismatches, 0);
+    }
+
+    #[test]
+    fn sweep_report_counts_are_per_sweep() {
+        let mut mem = DramStorage::new();
+        mem.write(0, mac_block(1, [1; 64]));
+        mem.write(64, mac_block(2, [2; 64]));
+        mem.flip_sideband_bit(0, 3);
+        let mut s = Scrubber::new(ScrubMode::MacInEcc);
+        let r1 = s.sweep(&mut mem, [0u64, 64].into_iter());
+        assert_eq!(r1.stats.scanned, 2);
+        assert_eq!(r1.stats.mac_repairs, 1);
+        let r2 = s.sweep(&mut mem, [0u64, 64].into_iter());
+        assert_eq!(r2.stats.mac_repairs, 0, "second sweep is clean");
+        assert_eq!(s.stats().scanned, 4, "lifetime stats accumulate");
+    }
+}

@@ -1,0 +1,847 @@
+//! Trace-driven multicore performance model (the MARSSx86 stand-in).
+//!
+//! The paper simulates a 4-core out-of-order x86 with the cache hierarchy
+//! of Table 1. A full cycle-accurate core is out of scope here — and not
+//! needed: the evaluation's effects are *memory-side* (extra DRAM
+//! transactions for MACs and tree walks, metadata-cache behaviour, tree
+//! depth). This model captures the mechanism by which those effects reach
+//! IPC:
+//!
+//! * each core consumes a trace of `{compute gap, load/store}` records;
+//! * compute instructions retire at `issue_width` per cycle;
+//! * loads probe L1 → L2 → shared L3 → the memory encryption engine,
+//!   which performs the counter-tree walk and MAC handling against the
+//!   shared DRAM timing model;
+//! * an out-of-order window of `mlp` outstanding misses per core overlaps
+//!   memory latency (memory-level parallelism); the core stalls when the
+//!   window is full;
+//! * stores never stall the core; dirty lines propagate down on eviction,
+//!   and counter increments happen when dirty lines leave the L3 —
+//!   exactly where the paper's engine sits.
+//!
+//! Cores interleave on a global clock: the simulator always advances the
+//! core with the smallest local time, so shared-resource contention (L3,
+//! metadata cache, DRAM banks) is modelled.
+//!
+//! # Example
+//!
+//! ```
+//! use ame_sim::{SimConfig, Simulator};
+//! use ame_workloads::{ParsecApp, TraceGenerator};
+//!
+//! let config = SimConfig::default();
+//! let traces: Vec<_> = (0..config.cores as u64)
+//!     .map(|t| TraceGenerator::new(ParsecApp::Dedup.profile(), 1, t).take_ops(2_000))
+//!     .collect();
+//! let result = Simulator::new(config).run(&traces);
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ame_cache::{AccessKind, Cache, CacheConfig, CacheStats};
+use ame_counters::CounterStats;
+use ame_dram::timing::{DramConfig, DramStats, DramTiming};
+use ame_engine::timing::{TimingConfig, TimingEngine, TimingStats};
+use ame_workloads::TraceOp;
+use std::collections::VecDeque;
+
+/// Full system configuration (defaults reproduce Table 1, with the L3
+/// rounded from 10 MB to the nearest power of two, 8 MB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of cores (Table 1: 4).
+    pub cores: usize,
+    /// Sustained non-memory IPC per core.
+    pub issue_width: u32,
+    /// Maximum outstanding LLC misses per core (memory-level parallelism
+    /// of the out-of-order window).
+    pub mlp: usize,
+    /// Per-core L1 data cache (Table 1: 32 KB, 8-way).
+    pub l1: CacheConfig,
+    /// Per-core L2 (Table 1: 256 KB, 8-way).
+    pub l2: CacheConfig,
+    /// Shared L3 (Table 1: 10 MB, 16-way; modelled as 8 MB).
+    pub l3: CacheConfig,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// L3 hit latency in cycles.
+    pub l3_latency: u64,
+    /// DRAM timing (Table 1: 4 channels DDR3-1600).
+    pub dram: DramConfig,
+    /// Memory-encryption-engine configuration.
+    pub engine: TimingConfig,
+    /// Stream-prefetcher aggressiveness: on an L2 miss that continues a
+    /// sequential stream, fetch this many further lines in the background.
+    /// 0 disables prefetching (the calibrated default — note that every
+    /// prefetched line is fetched *verified*, so prefetching multiplies
+    /// metadata traffic too, an interaction worth studying with the
+    /// `ablation_engine` binary).
+    pub prefetch_degree: usize,
+    /// Models MESI-style coherence between the private cache hierarchies:
+    /// a store invalidates other cores' copies (dirty copies are written
+    /// back to the shared L3 first), and a load downgrades a remote dirty
+    /// owner. Adds the cache-to-cache transfer latency below on such
+    /// events.
+    pub coherence: bool,
+    /// Latency of a coherence downgrade / cache-to-cache transfer.
+    pub coherence_latency: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cores: 4,
+            issue_width: 2,
+            mlp: 8,
+            l1: CacheConfig::new(32 * 1024, 8, 64),
+            l2: CacheConfig::new(256 * 1024, 8, 64),
+            l3: CacheConfig::new(8 * 1024 * 1024, 16, 64),
+            l1_latency: 4,
+            l2_latency: 12,
+            l3_latency: 38,
+            dram: DramConfig::default(),
+            engine: TimingConfig::default(),
+            prefetch_degree: 0,
+            coherence: true,
+            coherence_latency: 40,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total cycles until the last core finished.
+    pub cycles: u64,
+    /// Total instructions retired across all cores.
+    pub instructions: u64,
+    /// Per-core L1 statistics (summed).
+    pub l1: CacheStats,
+    /// Per-core L2 statistics (summed).
+    pub l2: CacheStats,
+    /// Shared L3 statistics.
+    pub l3: CacheStats,
+    /// Prefetch lines issued (0 unless `prefetch_degree > 0`).
+    pub prefetches: u64,
+    /// Prefetched lines that served a later demand access.
+    pub prefetch_hits: u64,
+    /// Coherence invalidations of remote copies.
+    pub invalidations: u64,
+    /// Remote dirty lines downgraded/transferred on a local access.
+    pub dirty_transfers: u64,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Encryption-engine traffic statistics.
+    pub engine: TimingStats,
+    /// Counter-scheme statistics.
+    pub counters: CounterStats,
+    /// Metadata-cache hit rate.
+    pub metadata_hit_rate: f64,
+    /// Off-chip integrity-tree levels in this configuration.
+    pub tree_levels: usize,
+    /// Verified-read latency percentiles (p50, p95, p99) in cycles.
+    pub read_latency_percentiles: (u64, u64, u64),
+    /// Per-core instruction and cycle counts (multiprogrammed workloads
+    /// need per-core IPC, not just the aggregate).
+    pub per_core: Vec<CoreSummary>,
+}
+
+/// Per-core totals of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreSummary {
+    /// Instructions this core retired (measured phase only).
+    pub instructions: u64,
+    /// Cycle at which this core finished its trace.
+    pub finished_at: u64,
+}
+
+impl CoreSummary {
+    /// This core's IPC over the whole run.
+    #[must_use]
+    pub fn ipc(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / total_cycles as f64
+        }
+    }
+}
+
+impl SimResult {
+    /// Aggregate instructions-per-cycle across all cores.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+struct CoreState {
+    l1: Cache,
+    l2: Cache,
+    time: u64,
+    outstanding: VecDeque<u64>,
+    next_op: usize,
+    instructions: u64,
+    /// Last L2-missing block, for stream detection.
+    last_miss_block: u64,
+    /// Completion time of the most recent load (dependent loads cannot
+    /// issue before it).
+    last_load_done: u64,
+    /// Blocks brought in by the prefetcher, not yet demanded.
+    prefetched: std::collections::HashSet<u64>,
+}
+
+/// The multicore trace-driven simulator.
+pub struct Simulator {
+    config: SimConfig,
+    l3: Cache,
+    engine: TimingEngine,
+    dram: DramTiming,
+    prefetches: u64,
+    prefetch_hits: u64,
+    /// Coherence directory: per block, a bitmask of cores holding the
+    /// line and the dirty owner, if any. Entries may be stale after
+    /// silent evictions; invalidating an absent line is a no-op.
+    directory: std::collections::HashMap<u64, DirEntry>,
+    invalidations: u64,
+    dirty_transfers: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    sharers: u32,
+    dirty_owner: Option<u8>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator for one configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Self {
+            config,
+            l3: Cache::new(config.l3),
+            engine: TimingEngine::new(config.engine),
+            dram: DramTiming::new(config.dram),
+            prefetches: 0,
+            prefetch_hits: 0,
+            directory: std::collections::HashMap::new(),
+            invalidations: 0,
+            dirty_transfers: 0,
+        }
+    }
+
+    /// Runs one trace per core to completion and returns aggregate
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the configured core count.
+    pub fn run(self, traces: &[Vec<TraceOp>]) -> SimResult {
+        self.run_with_warmup(traces, 0)
+    }
+
+    /// Runs one trace per core, discarding the statistics of the first
+    /// `warmup_ops` operations per core (caches, DRAM state, counters and
+    /// metadata stay warm; only the measurements reset). Removes
+    /// cold-start compulsory-miss bias from short traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the configured core count.
+    pub fn run_with_warmup(mut self, traces: &[Vec<TraceOp>], warmup_ops: usize) -> SimResult {
+        assert_eq!(traces.len(), self.config.cores, "one trace per core required");
+        let cfg = self.config;
+        let mut cores: Vec<CoreState> = (0..cfg.cores)
+            .map(|_| CoreState {
+                l1: Cache::new(cfg.l1),
+                l2: Cache::new(cfg.l2),
+                time: 0,
+                outstanding: VecDeque::new(),
+                next_op: 0,
+                instructions: 0,
+                last_miss_block: u64::MAX,
+                last_load_done: 0,
+                prefetched: std::collections::HashSet::new(),
+            })
+            .collect();
+
+        let mut warmup_cycles = 0;
+        if warmup_ops > 0 {
+            self.execute(&mut cores, traces, warmup_ops);
+            warmup_cycles = Self::current_cycles(&cores);
+            self.l3.reset_stats();
+            self.engine.reset_stats();
+            self.dram.reset_stats();
+            for s in &mut cores {
+                s.l1.reset_stats();
+                s.l2.reset_stats();
+                s.instructions = 0;
+            }
+        }
+        self.execute(&mut cores, traces, usize::MAX);
+
+        // Drain: a core is done when its last miss returns.
+        let cycles = Self::current_cycles(&cores).saturating_sub(warmup_cycles);
+
+        let (mut l1, mut l2) = (CacheStats::default(), CacheStats::default());
+        for s in &cores {
+            let (a, b) = (s.l1.stats(), s.l2.stats());
+            l1.accesses += a.accesses;
+            l1.hits += a.hits;
+            l1.misses += a.misses;
+            l1.evictions += a.evictions;
+            l1.writebacks += a.writebacks;
+            l2.accesses += b.accesses;
+            l2.hits += b.hits;
+            l2.misses += b.misses;
+            l2.evictions += b.evictions;
+            l2.writebacks += b.writebacks;
+        }
+
+        let per_core = cores
+            .iter()
+            .map(|s| CoreSummary {
+                instructions: s.instructions,
+                finished_at: s.outstanding.iter().copied().max().unwrap_or(0).max(s.time),
+            })
+            .collect();
+
+        SimResult {
+            cycles,
+            instructions: cores.iter().map(|s| s.instructions).sum(),
+            l1,
+            l2,
+            l3: self.l3.stats(),
+            dram: self.dram.stats(),
+            engine: self.engine.stats(),
+            counters: self.engine.counter_stats(),
+            prefetches: self.prefetches,
+            prefetch_hits: self.prefetch_hits,
+            invalidations: self.invalidations,
+            dirty_transfers: self.dirty_transfers,
+            metadata_hit_rate: self.engine.metadata_hit_rate(),
+            tree_levels: self.engine.tree_levels(),
+            read_latency_percentiles: (
+                self.engine.read_latency().quantile(0.50),
+                self.engine.read_latency().quantile(0.95),
+                self.engine.read_latency().quantile(0.99),
+            ),
+            per_core,
+        }
+    }
+
+    /// Advances cores (smallest-local-time first, so shared structures
+    /// see a consistent interleaving) until every core has executed
+    /// `min(limit, trace length)` operations.
+    fn execute(&mut self, cores: &mut [CoreState], traces: &[Vec<TraceOp>], limit: usize) {
+        while let Some(c) = cores
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.next_op < traces[*i].len().min(limit))
+            .min_by_key(|(_, s)| s.time)
+            .map(|(i, _)| i)
+        {
+            let op = traces[c][cores[c].next_op];
+            cores[c].next_op += 1;
+            self.step(cores, c, op);
+        }
+    }
+
+    /// MESI-style bookkeeping before core `c` accesses `block`.
+    /// Returns the extra latency the access pays for remote downgrades.
+    fn coherence_action(&mut self, cores: &mut [CoreState], c: usize, block: u64, write: bool) -> u64 {
+        if !self.config.coherence {
+            return 0;
+        }
+        let addr = block * 64;
+        let entry = self.directory.entry(block).or_default();
+        let mut extra = 0;
+
+        // A remote dirty owner must downgrade (write back into the shared
+        // L3) whether we read or write.
+        if let Some(owner) = entry.dirty_owner {
+            if owner as usize != c {
+                entry.dirty_owner = None;
+                self.dirty_transfers += 1;
+                extra += self.config.coherence_latency;
+                let o = owner as usize;
+                cores[o].l1.invalidate(addr);
+                cores[o].l2.invalidate(addr);
+                // The dirty data lands in the shared L3.
+                let now = cores[c].time;
+                let entry_sharers = {
+                    let res = self.l3.access(addr, AccessKind::Write);
+                    if let Some(victim) = res.writeback() {
+                        self.engine.write_back(victim, now, &mut self.dram);
+                    }
+                    self.directory.entry(block).or_default()
+                };
+                if write {
+                    entry_sharers.sharers = 0;
+                } else {
+                    entry_sharers.sharers &= !(1 << o);
+                }
+            }
+        }
+
+        let entry = self.directory.entry(block).or_default();
+        if write {
+            // Invalidate every other sharer.
+            let others = entry.sharers & !(1 << c);
+            if others != 0 {
+                extra += self.config.coherence_latency;
+            }
+            for (o, core) in cores.iter_mut().enumerate() {
+                if o != c && others >> o & 1 == 1 {
+                    core.l1.invalidate(addr);
+                    core.l2.invalidate(addr);
+                    self.invalidations += 1;
+                }
+            }
+            entry.sharers = 1 << c;
+            entry.dirty_owner = Some(c as u8);
+        } else {
+            entry.sharers |= 1 << c;
+        }
+        extra
+    }
+
+    /// The global clock: the latest event any core has produced.
+    fn current_cycles(cores: &[CoreState]) -> u64 {
+        cores
+            .iter()
+            .map(|s| s.outstanding.iter().copied().max().unwrap_or(0).max(s.time))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Executes one trace record on core `c`.
+    fn step(&mut self, cores: &mut [CoreState], c: usize, op: TraceOp) {
+        let cfg = self.config;
+        // Coherence first: remote copies react to this access.
+        let coherence_extra = self.coherence_action(cores, c, op.addr / 64, op.write);
+        let core = &mut cores[c];
+        // Compute phase.
+        core.time += u64::from(op.compute) / u64::from(cfg.issue_width);
+        core.instructions += u64::from(op.compute) + 1;
+        if !op.write {
+            core.time += coherence_extra;
+        }
+        // Pointer chasing: the address of this load came out of the
+        // previous load, so no out-of-order window can overlap them.
+        if op.dependent && !op.write {
+            core.time = core.time.max(core.last_load_done);
+        }
+
+        let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+
+        // L1.
+        let l1_res = core.l1.access(op.addr, kind);
+        if !l1_res.is_miss() {
+            if !op.write {
+                core.time += cfg.l1_latency;
+                core.last_load_done = core.time;
+            }
+            return;
+        }
+        // L1 victim writeback into L2.
+        if let Some(victim) = l1_res.writeback() {
+            self.writeback_into_l2(core, victim);
+        }
+
+        // L2 (fill path; the line is installed clean in L2 and
+        // clean/dirty in L1 depending on the access kind).
+        let block = op.addr / 64;
+        let l2_res = core.l2.access(op.addr, AccessKind::Read);
+        if !l2_res.is_miss() {
+            if core.prefetched.remove(&block) {
+                self.prefetch_hits += 1;
+            }
+            if !op.write {
+                core.time += cfg.l2_latency;
+                core.last_load_done = core.time;
+            }
+            return;
+        }
+        if let Some(victim) = l2_res.writeback() {
+            self.writeback_into_l3(core.time, victim);
+        }
+
+        // Stream prefetcher: a miss continuing a sequential run pulls the
+        // next `prefetch_degree` lines in the background (they still pay
+        // full verified fetches in the memory system).
+        if cfg.prefetch_degree > 0 && block == core.last_miss_block.wrapping_add(1) {
+            for i in 1..=cfg.prefetch_degree as u64 {
+                let pf_addr = op.addr + i * 64;
+                let pf_res = core.l2.access(pf_addr, AccessKind::Read);
+                if !pf_res.is_miss() {
+                    continue;
+                }
+                if let Some(victim) = pf_res.writeback() {
+                    self.writeback_into_l3(core.time, victim);
+                }
+                let pf_l3 = self.l3.access(pf_addr, AccessKind::Read);
+                if pf_l3.is_miss() {
+                    if let Some(victim) = pf_l3.writeback() {
+                        self.engine.write_back(victim, core.time, &mut self.dram);
+                    }
+                    self.engine.read_miss(pf_addr, core.time, &mut self.dram);
+                }
+                core.prefetched.insert(pf_addr / 64);
+                self.prefetches += 1;
+            }
+        }
+        core.last_miss_block = block;
+
+        // Shared L3.
+        let l3_res = self.l3.access(op.addr, AccessKind::Read);
+        if !l3_res.is_miss() {
+            if !op.write {
+                core.time += cfg.l3_latency;
+                core.last_load_done = core.time;
+            }
+            return;
+        }
+        if let Some(victim) = l3_res.writeback() {
+            self.engine.write_back(victim, core.time, &mut self.dram);
+        }
+
+        // LLC miss: the encryption engine fetches + verifies the block.
+        let done = self.engine.read_miss(op.addr, core.time, &mut self.dram);
+        // Both load and store misses occupy the window (stores are
+        // fetch-for-ownership); the core only waits when it fills up or a
+        // dependent load needs the value.
+        core.outstanding.push_back(done);
+        if !op.write {
+            core.last_load_done = done;
+        }
+        // Window-full stall: wait for the oldest miss to return.
+        while core.outstanding.len() > cfg.mlp {
+            let oldest = core.outstanding.pop_front().expect("window non-empty");
+            core.time = core.time.max(oldest);
+        }
+        // Retire completed misses without stalling.
+        while let Some(&front) = core.outstanding.front() {
+            if front <= core.time {
+                core.outstanding.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn writeback_into_l2(&mut self, core: &mut CoreState, addr: u64) {
+        let res = core.l2.access(addr, AccessKind::Write);
+        if let Some(victim) = res.writeback() {
+            self.writeback_into_l3(core.time, victim);
+        }
+    }
+
+    fn writeback_into_l3(&mut self, now: u64, addr: u64) {
+        let res = self.l3.access(addr, AccessKind::Write);
+        if let Some(victim) = res.writeback() {
+            self.engine.write_back(victim, now, &mut self.dram);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ame_engine::timing::Protection;
+    use ame_engine::{CounterSchemeKind, MacPlacement};
+    use ame_workloads::{ParsecApp, TraceGenerator};
+
+    fn traces(app: ParsecApp, seed: u64, ops: usize, cores: usize) -> Vec<Vec<TraceOp>> {
+        (0..cores as u64)
+            .map(|t| TraceGenerator::new(app.profile(), seed, t).take_ops(ops))
+            .collect()
+    }
+
+    fn config_with(protection: Protection) -> SimConfig {
+        SimConfig {
+            engine: TimingConfig { protection, ..TimingConfig::default() },
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let cfg = SimConfig::default();
+        let result = Simulator::new(cfg).run(&traces(ParsecApp::Dedup, 1, 3_000, cfg.cores));
+        assert!(result.cycles > 0);
+        assert!(result.instructions > 0);
+        assert!(result.ipc() > 0.0 && result.ipc() <= 8.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SimConfig::default();
+        let t = traces(ParsecApp::Canneal, 2, 2_000, cfg.cores);
+        let a = Simulator::new(cfg).run(&t);
+        let b = Simulator::new(cfg).run(&t);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dram, b.dram);
+    }
+
+    #[test]
+    fn protection_costs_performance() {
+        let t = traces(ParsecApp::Canneal, 3, 8_000, 4);
+        let unprot = Simulator::new(config_with(Protection::Unprotected)).run(&t);
+        let bmt = Simulator::new(config_with(Protection::Bmt {
+            mac: MacPlacement::SeparateMac,
+            counters: CounterSchemeKind::Monolithic,
+        }))
+        .run(&t);
+        assert!(
+            bmt.cycles > unprot.cycles,
+            "authenticated encryption must cost cycles ({} vs {})",
+            bmt.cycles,
+            unprot.cycles
+        );
+        assert!(bmt.engine.meta_dram_reads > 0);
+        assert_eq!(unprot.engine.meta_dram_reads, 0);
+    }
+
+    #[test]
+    fn optimized_beats_baseline_on_memory_bound_app() {
+        let t = traces(ParsecApp::Canneal, 4, 8_000, 4);
+        let baseline = Simulator::new(config_with(Protection::Bmt {
+            mac: MacPlacement::SeparateMac,
+            counters: CounterSchemeKind::Monolithic,
+        }))
+        .run(&t);
+        let optimized = Simulator::new(config_with(Protection::Bmt {
+            mac: MacPlacement::MacInEcc,
+            counters: CounterSchemeKind::Delta,
+        }))
+        .run(&t);
+        assert!(
+            optimized.cycles < baseline.cycles,
+            "paper's optimizations must win on canneal ({} vs {})",
+            optimized.cycles,
+            baseline.cycles
+        );
+        assert_eq!(optimized.tree_levels, 4);
+        assert_eq!(baseline.tree_levels, 5);
+        assert_eq!(optimized.engine.mac_dram_reads, 0);
+    }
+
+    #[test]
+    fn small_working_set_untouched_by_protection() {
+        // blackscholes fits in the L3: past the cold-start phase,
+        // encryption changes almost nothing.
+        let t = traces(ParsecApp::Blackscholes, 5, 60_000, 4);
+        let unprot = Simulator::new(config_with(Protection::Unprotected)).run(&t);
+        let bmt = Simulator::new(config_with(Protection::Bmt {
+            mac: MacPlacement::SeparateMac,
+            counters: CounterSchemeKind::Monolithic,
+        }))
+        .run(&t);
+        let slowdown = bmt.cycles as f64 / unprot.cycles as f64;
+        assert!(slowdown < 1.10, "compute-bound app slowed by {slowdown:.3}x");
+    }
+
+    #[test]
+    fn writes_reach_counters_via_llc_evictions() {
+        let cfg = config_with(Protection::Bmt {
+            mac: MacPlacement::MacInEcc,
+            counters: CounterSchemeKind::Delta,
+        });
+        let result = Simulator::new(cfg).run(&traces(ParsecApp::Canneal, 6, 20_000, 4));
+        assert!(result.counters.writes > 0, "dirty LLC evictions must bump counters");
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        // Two miss chains over distinct cold lines: independent loads
+        // overlap in the window; dependent ones serialize end to end.
+        let cfg = SimConfig {
+            cores: 1,
+            engine: TimingConfig {
+                protection: Protection::Unprotected,
+                ..TimingConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let chain = |dependent: bool| -> u64 {
+            let t: Vec<Vec<TraceOp>> = vec![(0..16u64)
+                .map(|i| TraceOp {
+                    compute: 0,
+                    addr: i * 64, // consecutive lines: interleaved channels
+                    write: false,
+                    dependent,
+                })
+                .collect()];
+            Simulator::new(cfg).run(&t).cycles
+        };
+        let independent = chain(false);
+        let dependent = chain(true);
+        assert!(
+            dependent > independent * 2,
+            "pointer chasing must defeat the MLP window ({dependent} vs {independent})"
+        );
+    }
+
+    #[test]
+    fn canneal_traces_carry_dependent_reads() {
+        let mut g = TraceGenerator::new(ParsecApp::Canneal.profile(), 3, 0);
+        let ops = g.take_ops(20_000);
+        let dep = ops.iter().filter(|o| o.dependent).count();
+        assert!(dep > ops.len() / 10, "canneal must pointer-chase ({dep})");
+        let mut g = TraceGenerator::new(ParsecApp::Blackscholes.profile(), 3, 0);
+        let none = g.take_ops(5_000).iter().filter(|o| o.dependent).count();
+        assert_eq!(none, 0, "blackscholes is not a pointer chaser");
+    }
+
+    #[test]
+    fn store_then_remote_load_transfers_dirty_line() {
+        let cfg = SimConfig { cores: 2, ..SimConfig::default() };
+        let t = vec![
+            vec![TraceOp { compute: 0, addr: 0x1000, write: true, dependent: false }],
+            vec![TraceOp { compute: 50, addr: 0x1000, write: false, dependent: false }],
+        ];
+        let r = Simulator::new(cfg).run(&t);
+        assert_eq!(r.dirty_transfers, 1, "remote load must downgrade the dirty owner");
+        assert_eq!(r.invalidations, 0, "a load does not invalidate");
+    }
+
+    #[test]
+    fn store_invalidates_remote_sharers() {
+        let cfg = SimConfig { cores: 2, ..SimConfig::default() };
+        let t = vec![
+            // Core 0 reads the line (becomes a sharer), then core 1 writes it.
+            vec![TraceOp { compute: 0, addr: 0x2000, write: false, dependent: false }],
+            vec![TraceOp { compute: 50, addr: 0x2000, write: true, dependent: false }],
+        ];
+        let r = Simulator::new(cfg).run(&t);
+        assert_eq!(r.invalidations, 1);
+        assert_eq!(r.dirty_transfers, 0, "the sharer's copy was clean");
+    }
+
+    #[test]
+    fn repeated_local_stores_cause_no_coherence_traffic() {
+        let cfg = SimConfig { cores: 2, ..SimConfig::default() };
+        let t = vec![
+            (0..50).map(|_| TraceOp { compute: 1, addr: 0x3000, write: true, dependent: false }).collect(),
+            vec![TraceOp { compute: 0, addr: 0x4000, write: false, dependent: false }],
+        ];
+        let r = Simulator::new(cfg).run(&t);
+        assert_eq!(r.invalidations, 0);
+        assert_eq!(r.dirty_transfers, 0);
+    }
+
+    #[test]
+    fn coherence_tracks_shared_hot_lines() {
+        // facesim threads hammer shared hot pages: stores must invalidate
+        // the other cores' copies and transfer dirty lines.
+        let t = traces(ParsecApp::Facesim, 15, 20_000, 4);
+        let on = Simulator::new(SimConfig::default()).run(&t);
+        assert!(on.invalidations > 100, "got {}", on.invalidations);
+        assert!(on.dirty_transfers > 100, "got {}", on.dirty_transfers);
+        let off =
+            Simulator::new(SimConfig { coherence: false, ..SimConfig::default() }).run(&t);
+        assert_eq!(off.invalidations, 0);
+        assert_eq!(off.dirty_transfers, 0);
+        assert!(
+            on.cycles >= off.cycles,
+            "coherence traffic cannot speed things up ({} vs {})",
+            on.cycles,
+            off.cycles
+        );
+    }
+
+    #[test]
+    fn read_heavy_apps_see_less_coherence() {
+        // All threads of one app share the address space, so some
+        // coherence traffic is inherent; but a read-dominated app
+        // (raytrace, 6% stores) must invalidate far less than a
+        // write-heavy one (facesim, 42% stores).
+        let rt = Simulator::new(SimConfig::default())
+            .run(&traces(ParsecApp::Raytrace, 16, 20_000, 4));
+        let fs = Simulator::new(SimConfig::default())
+            .run(&traces(ParsecApp::Facesim, 16, 20_000, 4));
+        let rt_rate = rt.invalidations as f64 / (20_000.0 * 4.0);
+        let fs_rate = fs.invalidations as f64 / (20_000.0 * 4.0);
+        assert!(
+            fs_rate > 2.0 * rt_rate,
+            "facesim {fs_rate:.4} vs raytrace {rt_rate:.4} invalidations/op"
+        );
+    }
+
+    #[test]
+    fn prefetcher_helps_streaming_workloads() {
+        let t = traces(ParsecApp::Fluidanimate, 14, 20_000, 4);
+        let off = Simulator::new(SimConfig::default()).run(&t);
+        let on = Simulator::new(SimConfig { prefetch_degree: 4, ..SimConfig::default() }).run(&t);
+        assert_eq!(off.prefetches, 0);
+        assert!(on.prefetches > 1_000, "stream workload must trigger prefetches");
+        assert!(on.prefetch_hits > on.prefetches / 4, "prefetches must be useful");
+        assert!(
+            on.ipc() > off.ipc(),
+            "prefetching must help fluidanimate ({:.3} vs {:.3})",
+            on.ipc(),
+            off.ipc()
+        );
+    }
+
+    #[test]
+    fn prefetcher_multiplies_metadata_traffic() {
+        // The cost side of prefetching under authenticated encryption:
+        // every speculative line is fetched verified.
+        let t = traces(ParsecApp::Fluidanimate, 14, 10_000, 4);
+        let off = Simulator::new(SimConfig::default()).run(&t);
+        let on = Simulator::new(SimConfig { prefetch_degree: 4, ..SimConfig::default() }).run(&t);
+        assert!(on.engine.data_dram_reads > off.engine.data_dram_reads);
+    }
+
+    #[test]
+    fn warmup_discards_cold_start_bias() {
+        // blackscholes fits in cache: with warmup the protected/unprotected
+        // gap collapses almost entirely.
+        let t = traces(ParsecApp::Blackscholes, 12, 40_000, 4);
+        let unprot =
+            Simulator::new(config_with(Protection::Unprotected)).run_with_warmup(&t, 20_000);
+        let bmt = Simulator::new(config_with(Protection::Bmt {
+            mac: MacPlacement::SeparateMac,
+            counters: CounterSchemeKind::Monolithic,
+        }))
+        .run_with_warmup(&t, 20_000);
+        let slowdown = bmt.cycles as f64 / unprot.cycles as f64;
+        assert!(slowdown < 1.05, "warm compute-bound app slowed by {slowdown:.3}x");
+        // Warmed caches: the working set is L3-resident in the measured
+        // phase (the generator models reuse at LLC granularity).
+        assert!(unprot.l3.hit_rate() > 0.9, "L3 {:.2}", unprot.l3.hit_rate());
+    }
+
+    #[test]
+    fn warmup_zero_equals_plain_run() {
+        let cfg = SimConfig::default();
+        let t = traces(ParsecApp::Dedup, 13, 3_000, cfg.cores);
+        let a = Simulator::new(cfg).run(&t);
+        let b = Simulator::new(cfg).run_with_warmup(&t, 0);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per core")]
+    fn trace_count_must_match_cores() {
+        let cfg = SimConfig::default();
+        let _ = Simulator::new(cfg).run(&traces(ParsecApp::Dedup, 1, 100, 2));
+    }
+}

@@ -1,0 +1,268 @@
+//! Tree size and placement math.
+//!
+//! Level 0 is the counter storage itself (64-byte counter blocks). Each
+//! higher level holds one 64-byte node per `arity` children, where a node
+//! is `arity` packed 64-bit MACs of its children. Levels are added until a
+//! level fits in the on-chip SRAM (3 KB in the paper, Section 5.1); that
+//! level is stored on-chip and is the tamper-proof root.
+
+/// Size of one tree node / counter block in bytes.
+pub const NODE_BYTES: usize = 64;
+
+/// Default node arity: a 64-byte node holds eight 64-bit child MACs.
+pub const DEFAULT_ARITY: usize = 8;
+
+/// Default on-chip SRAM for the top level (Table 1 / Section 5.1: 3 KB).
+pub const DEFAULT_ON_CHIP_BYTES: usize = 3 * 1024;
+
+/// Derived geometry of a Bonsai Merkle tree for one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeGeometry {
+    /// Bytes of protected data.
+    pub region_bytes: u64,
+    /// Node fan-out.
+    pub arity: usize,
+    /// Bytes of every level, `levels[0]` being counter storage and the
+    /// last entry the level that fits on-chip.
+    pub level_bytes: Vec<u64>,
+}
+
+impl TreeGeometry {
+    /// Computes the geometry for a protected region whose counters cost
+    /// `counter_bits_per_block` bits per 64-byte data block, with the
+    /// default arity and on-chip budget.
+    #[must_use]
+    pub fn for_region(region_bytes: u64, counter_bits_per_block: f64) -> Self {
+        Self::with_params(region_bytes, counter_bits_per_block, DEFAULT_ARITY, DEFAULT_ON_CHIP_BYTES)
+    }
+
+    /// Computes the geometry with explicit arity and on-chip budget
+    /// (used by the ablation experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_bytes` is zero, `arity < 2`, the counter cost is
+    /// non-positive, or the on-chip budget cannot hold even one node.
+    #[must_use]
+    pub fn with_params(
+        region_bytes: u64,
+        counter_bits_per_block: f64,
+        arity: usize,
+        on_chip_bytes: usize,
+    ) -> Self {
+        assert!(region_bytes > 0, "region must be non-empty");
+        assert!(arity >= 2, "tree arity must be at least 2");
+        assert!(counter_bits_per_block > 0.0, "counter cost must be positive");
+        assert!(on_chip_bytes >= NODE_BYTES, "on-chip SRAM must hold a node");
+
+        let data_blocks = region_bytes.div_ceil(NODE_BYTES as u64);
+        let counter_bits = (data_blocks as f64 * counter_bits_per_block).ceil() as u64;
+        let counter_bytes = counter_bits.div_ceil(8);
+        // Round counter storage up to whole 64-byte blocks.
+        let mut level = counter_bytes.div_ceil(NODE_BYTES as u64).max(1) * NODE_BYTES as u64;
+
+        let mut level_bytes = vec![level];
+        while level > on_chip_bytes as u64 {
+            let nodes = level / NODE_BYTES as u64;
+            let parents = nodes.div_ceil(arity as u64);
+            level = parents * NODE_BYTES as u64;
+            level_bytes.push(level);
+        }
+        Self { region_bytes, arity, level_bytes }
+    }
+
+    /// Number of *off-chip* levels a verification walk traverses: the
+    /// counter level plus every off-chip MAC level. The paper's baseline
+    /// configuration yields 5; delta encoding yields 4.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ame_tree::TreeGeometry;
+    ///
+    /// // 512 MB region, monolithic 56-bit counters stored as 8 bytes.
+    /// let baseline = TreeGeometry::for_region(512 << 20, 64.0);
+    /// assert_eq!(baseline.off_chip_levels(), 5);
+    ///
+    /// // Delta encoding: one 64-byte counter block per 4 KB group.
+    /// let delta = TreeGeometry::for_region(512 << 20, 8.0);
+    /// assert_eq!(delta.off_chip_levels(), 4);
+    /// ```
+    #[must_use]
+    pub fn off_chip_levels(&self) -> usize {
+        self.level_bytes.len() - 1
+    }
+
+    /// Counter storage in bytes (level 0).
+    #[must_use]
+    pub fn counter_bytes(&self) -> u64 {
+        self.level_bytes[0]
+    }
+
+    /// Total off-chip MAC-node storage in bytes (levels above the counter
+    /// level, excluding the on-chip top level).
+    #[must_use]
+    pub fn tree_node_bytes(&self) -> u64 {
+        if self.level_bytes.len() <= 2 {
+            0
+        } else {
+            self.level_bytes[1..self.level_bytes.len() - 1].iter().sum()
+        }
+    }
+
+    /// Bytes of the on-chip top level.
+    #[must_use]
+    pub fn on_chip_bytes(&self) -> u64 {
+        *self.level_bytes.last().expect("geometry always has a level")
+    }
+
+    /// Off-chip tree storage (MAC levels) as a fraction of the region.
+    #[must_use]
+    pub fn tree_overhead_fraction(&self) -> f64 {
+        self.tree_node_bytes() as f64 / self.region_bytes as f64
+    }
+
+    /// Number of nodes at `level` (0 = counter blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn nodes_at_level(&self, level: usize) -> u64 {
+        self.level_bytes[level] / NODE_BYTES as u64
+    }
+
+    /// The parent node index of node `idx` one level up.
+    #[must_use]
+    pub fn parent(&self, idx: u64) -> u64 {
+        idx / self.arity as u64
+    }
+
+    /// Physical placement of tree metadata: returns the byte offset of
+    /// node `idx` of `level` within a contiguous metadata region laid out
+    /// level by level starting at offset 0 (counters first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range or `idx` exceeds the level size.
+    #[must_use]
+    pub fn node_offset(&self, level: usize, idx: u64) -> u64 {
+        assert!(level < self.level_bytes.len(), "level out of range");
+        assert!(idx < self.nodes_at_level(level), "node index out of range");
+        let base: u64 = self.level_bytes[..level].iter().sum();
+        base + idx * NODE_BYTES as u64
+    }
+
+    /// Total metadata bytes (counters + off-chip MAC levels).
+    #[must_use]
+    pub fn total_metadata_bytes(&self) -> u64 {
+        self.counter_bytes() + self.tree_node_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_five_levels() {
+        // 512 MB, 8-byte counters per block -> 64 MB counters -> levels
+        // 64MB, 8MB, 1MB, 128KB, 16KB, 2KB(on-chip): 5 off-chip.
+        let g = TreeGeometry::for_region(512 << 20, 64.0);
+        assert_eq!(g.counter_bytes(), 64 << 20);
+        assert_eq!(g.off_chip_levels(), 5);
+        assert_eq!(g.on_chip_bytes(), 2 << 10);
+    }
+
+    #[test]
+    fn paper_delta_four_levels() {
+        // Delta encoding: 64 bytes per 4 KB group = 8 bits/block -> 8 MB.
+        let g = TreeGeometry::for_region(512 << 20, 8.0);
+        assert_eq!(g.counter_bytes(), 8 << 20);
+        assert_eq!(g.off_chip_levels(), 4);
+    }
+
+    #[test]
+    fn split_counters_also_four_levels() {
+        // 8 bits/block (7-bit minor + major/64): same leaf size as delta.
+        let g = TreeGeometry::for_region(512 << 20, 8.0);
+        assert_eq!(g.off_chip_levels(), 4);
+    }
+
+    #[test]
+    fn tree_overhead_small_for_delta() {
+        let baseline = TreeGeometry::for_region(512 << 20, 64.0);
+        let delta = TreeGeometry::for_region(512 << 20, 8.0);
+        assert!(delta.tree_node_bytes() < baseline.tree_node_bytes());
+        assert!(delta.tree_overhead_fraction() < 0.005);
+    }
+
+    #[test]
+    fn tiny_region_fits_on_chip() {
+        // 64 KB of data with delta counters: 1 KB of counters — level 0
+        // already fits on-chip, so zero off-chip levels.
+        let g = TreeGeometry::for_region(64 << 10, 8.0);
+        assert_eq!(g.off_chip_levels(), 0);
+        assert_eq!(g.tree_node_bytes(), 0);
+    }
+
+    #[test]
+    fn node_offsets_are_level_major() {
+        let g = TreeGeometry::for_region(512 << 20, 64.0);
+        assert_eq!(g.node_offset(0, 0), 0);
+        assert_eq!(g.node_offset(0, 1), 64);
+        let l1_base = g.node_offset(1, 0);
+        assert_eq!(l1_base, g.counter_bytes());
+        assert_eq!(g.node_offset(1, 3), l1_base + 3 * 64);
+    }
+
+    #[test]
+    fn parent_math() {
+        let g = TreeGeometry::for_region(512 << 20, 64.0);
+        assert_eq!(g.parent(0), 0);
+        assert_eq!(g.parent(7), 0);
+        assert_eq!(g.parent(8), 1);
+    }
+
+    #[test]
+    fn level_sizes_shrink_by_arity() {
+        let g = TreeGeometry::for_region(512 << 20, 64.0);
+        for w in g.level_bytes.windows(2) {
+            assert_eq!(w[1], w[0] / 8);
+        }
+    }
+
+    #[test]
+    fn on_chip_budget_bounds_the_top_level() {
+        for budget in [64usize, 1024, 3 * 1024, 1 << 20] {
+            let g = TreeGeometry::with_params(512 << 20, 64.0, 8, budget);
+            assert!(g.on_chip_bytes() <= budget as u64, "budget {budget}");
+            // Everything below the top is genuinely bigger than the budget.
+            for level in &g.level_bytes[..g.level_bytes.len() - 1] {
+                assert!(*level > budget as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn generous_on_chip_budget_swallows_the_tree() {
+        // If the whole counter level fits on-chip there are no off-chip
+        // levels at all.
+        let g = TreeGeometry::with_params(1 << 20, 8.0, 8, 1 << 20);
+        assert_eq!(g.off_chip_levels(), 0);
+        assert_eq!(g.tree_node_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "region must be non-empty")]
+    fn empty_region_panics() {
+        let _ = TreeGeometry::for_region(0, 64.0);
+    }
+
+    #[test]
+    fn wider_arity_fewer_levels() {
+        let a8 = TreeGeometry::with_params(512 << 20, 64.0, 8, 3 * 1024);
+        let a16 = TreeGeometry::with_params(512 << 20, 64.0, 16, 3 * 1024);
+        assert!(a16.off_chip_levels() < a8.off_chip_levels());
+    }
+}

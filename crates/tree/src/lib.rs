@@ -1,0 +1,34 @@
+//! Bonsai Merkle integrity trees over encryption-counter storage.
+//!
+//! Rogers et al. (MICRO 2007) observed that protecting the *counters* with
+//! a Merkle tree — and folding the counter into each data block's MAC —
+//! protects the data transitively, and the counter tree is far smaller
+//! than a tree over the data. The paper uses this "Bonsai Merkle Tree" as
+//! its baseline and derives two benefits from its own optimizations:
+//!
+//! * Delta-encoded counters shrink the leaf level ~7x, removing one whole
+//!   tree level for the evaluated 512 MB region (5 -> 4 off-chip levels,
+//!   Section 5.2).
+//! * MAC-in-ECC removes data MACs from the metadata cache and from the
+//!   DRAM traffic entirely.
+//!
+//! Two modules:
+//!
+//! * [`geometry`] — pure size/level math: given a protected region and a
+//!   counter encoding, how many off-chip levels does the tree have, where
+//!   does each node live, and how many metadata bytes does it cost?
+//! * [`merkle`] — a functional authenticated tree: verifies counter-block
+//!   reads, updates paths on writes, and detects tampering and replay.
+//! * [`cache`] — a functional on-chip counter cache over the tree
+//!   (Gassend-style, Section 2.2): hits skip the walk entirely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod geometry;
+pub mod merkle;
+
+pub use cache::CachedTree;
+pub use geometry::TreeGeometry;
+pub use merkle::{BonsaiTree, VerifyError};

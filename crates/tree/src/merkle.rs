@@ -1,0 +1,344 @@
+//! A functional Bonsai Merkle tree: authenticated storage for counter
+//! blocks with tamper and replay detection.
+//!
+//! The leaf level holds 64-byte *counter blocks* (packed delta groups or
+//! monolithic counters). Every counter block's 64-bit MAC is stored in an
+//! off-chip parent node; parent nodes are themselves MAC'd into grandparent
+//! nodes, and the MACs of the top level live in on-chip SRAM, which the
+//! attacker cannot touch. Resetting any off-chip state to an older value
+//! (a replay) breaks the MAC chain somewhere below the on-chip root and is
+//! detected.
+
+use ame_crypto::MemoryCipher;
+use std::collections::HashMap;
+
+/// Size of a counter block / tree node in bytes.
+pub const NODE_BYTES: usize = 64;
+
+/// Verification failure: the MAC chain broke at `level` (0 = the counter
+/// block itself) on node `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Level at which the mismatch was found (0 = leaf/counter level).
+    pub level: usize,
+    /// Node index within that level.
+    pub node: u64,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "integrity violation at tree level {} node {}", self.level, self.node)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A functional Bonsai Merkle tree over counter blocks.
+///
+/// # Example
+///
+/// ```
+/// use ame_crypto::MemoryCipher;
+/// use ame_tree::BonsaiTree;
+///
+/// let mut tree = BonsaiTree::new(MemoryCipher::from_seed(1), 2, 8);
+/// tree.write_counter_block(5, [0xab; 64]);
+/// assert_eq!(tree.read_counter_block(5).unwrap(), [0xab; 64]);
+///
+/// // Off-chip tampering is detected:
+/// tree.tamper_counter_block(5, |b| b[0] ^= 1);
+/// assert!(tree.read_counter_block(5).is_err());
+/// ```
+#[derive(Debug)]
+pub struct BonsaiTree {
+    cipher: MemoryCipher,
+    arity: usize,
+    /// Number of *off-chip* MAC levels. Level index 0 stores leaf MACs;
+    /// level `off_chip_levels` is the on-chip root map.
+    off_chip_levels: usize,
+    counter_blocks: HashMap<u64, [u8; NODE_BYTES]>,
+    /// `stored_macs[l][i]` = MAC of node `i` of level `l` (level 0 = leaf
+    /// counter blocks), held in off-chip node storage.
+    stored_macs: Vec<HashMap<u64, u64>>,
+    /// On-chip (tamper-proof) MACs of the top off-chip level.
+    root_macs: HashMap<u64, u64>,
+}
+
+impl BonsaiTree {
+    /// Creates a tree with `off_chip_levels` MAC levels below the on-chip
+    /// root and the given node `arity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is not in `2..=8` (a 64-byte node holds at most
+    /// eight 64-bit MACs).
+    #[must_use]
+    pub fn new(cipher: MemoryCipher, off_chip_levels: usize, arity: usize) -> Self {
+        assert!((2..=8).contains(&arity), "a 64-byte node holds 2..=8 64-bit MACs");
+        Self {
+            cipher,
+            arity,
+            off_chip_levels,
+            counter_blocks: HashMap::new(),
+            stored_macs: vec![HashMap::new(); off_chip_levels],
+            root_macs: HashMap::new(),
+        }
+    }
+
+    /// Number of off-chip MAC levels.
+    #[must_use]
+    pub fn off_chip_levels(&self) -> usize {
+        self.off_chip_levels
+    }
+
+    /// Domain-separated MAC of a node's content.
+    fn node_mac(&self, level: usize, idx: u64, content: &[u8; NODE_BYTES]) -> u64 {
+        // Encode (level, index) in the MAC's address input so identical
+        // content at different tree positions yields different MACs.
+        let addr = ((level as u64 + 1) << 48) ^ idx;
+        self.cipher.mac_node(addr, 0, content)
+    }
+
+    /// Packs the child MACs of node `parent` at MAC level `level` (whose
+    /// children live at `level`) into a 64-byte node image.
+    fn node_content(&self, child_level: usize, parent: u64) -> [u8; NODE_BYTES] {
+        let mut content = [0u8; NODE_BYTES];
+        for c in 0..self.arity {
+            let child = parent * self.arity as u64 + c as u64;
+            let mac = self.stored_macs[child_level].get(&child).copied().unwrap_or(0);
+            content[c * 8..(c + 1) * 8].copy_from_slice(&mac.to_le_bytes());
+        }
+        content
+    }
+
+    /// Re-MACs the path from leaf `idx` to the root after a change.
+    fn update_path(&mut self, idx: u64) {
+        let leaf = self.counter_blocks.get(&idx).copied().unwrap_or([0; NODE_BYTES]);
+        let mac = self.node_mac(0, idx, &leaf);
+        if self.off_chip_levels == 0 {
+            self.root_macs.insert(idx, mac);
+            return;
+        }
+        self.stored_macs[0].insert(idx, mac);
+        let mut node = idx;
+        for level in 1..=self.off_chip_levels {
+            node /= self.arity as u64;
+            let content = self.node_content(level - 1, node);
+            let mac = self.node_mac(level, node, &content);
+            if level == self.off_chip_levels {
+                self.root_macs.insert(node, mac);
+            } else {
+                self.stored_macs[level].insert(node, mac);
+            }
+        }
+    }
+
+    /// Writes a counter block and updates the MAC path to the root.
+    pub fn write_counter_block(&mut self, idx: u64, content: [u8; NODE_BYTES]) {
+        self.counter_blocks.insert(idx, content);
+        self.update_path(idx);
+    }
+
+    /// Reads and verifies a counter block. Never-written blocks are
+    /// lazily initialized to zeros (trusted boot state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] naming the level where the MAC chain broke
+    /// if any node on the path was tampered with or replayed.
+    pub fn read_counter_block(&mut self, idx: u64) -> Result<[u8; NODE_BYTES], VerifyError> {
+        if !self.counter_blocks.contains_key(&idx) {
+            self.write_counter_block(idx, [0; NODE_BYTES]);
+        }
+        let leaf = self.counter_blocks[&idx];
+
+        // Level 0: the counter block against its stored MAC.
+        let expected0 = if self.off_chip_levels == 0 {
+            self.root_macs.get(&idx).copied().unwrap_or(0)
+        } else {
+            self.stored_macs[0].get(&idx).copied().unwrap_or(0)
+        };
+        if self.node_mac(0, idx, &leaf) != expected0 {
+            return Err(VerifyError { level: 0, node: idx });
+        }
+
+        // Levels 1..: each node of packed child MACs against its parent.
+        let mut node = idx;
+        for level in 1..=self.off_chip_levels {
+            node /= self.arity as u64;
+            let content = self.node_content(level - 1, node);
+            let expected = if level == self.off_chip_levels {
+                self.root_macs.get(&node).copied().unwrap_or(0)
+            } else {
+                self.stored_macs[level].get(&node).copied().unwrap_or(0)
+            };
+            if self.node_mac(level, node, &content) != expected {
+                return Err(VerifyError { level, node });
+            }
+        }
+        Ok(leaf)
+    }
+
+    /// Simulates an attacker mutating off-chip counter storage directly.
+    pub fn tamper_counter_block(&mut self, idx: u64, f: impl FnOnce(&mut [u8; NODE_BYTES])) {
+        let entry = self.counter_blocks.entry(idx).or_insert([0; NODE_BYTES]);
+        f(entry);
+        // No MAC update: that is the point of tampering.
+    }
+
+    /// Simulates an attacker overwriting a stored off-chip MAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not a valid off-chip MAC level.
+    pub fn tamper_stored_mac(&mut self, level: usize, idx: u64, mac: u64) {
+        assert!(level < self.off_chip_levels, "level {level} is not off-chip");
+        self.stored_macs[level].insert(idx, mac);
+    }
+
+    /// Snapshot of all off-chip state for one leaf (counter block + its
+    /// stored leaf MAC) — the ingredients of a replay attack.
+    #[must_use]
+    pub fn snapshot_leaf(&self, idx: u64) -> ([u8; NODE_BYTES], u64) {
+        let block = self.counter_blocks.get(&idx).copied().unwrap_or([0; NODE_BYTES]);
+        let mac = if self.off_chip_levels == 0 {
+            self.root_macs.get(&idx).copied().unwrap_or(0)
+        } else {
+            self.stored_macs[0].get(&idx).copied().unwrap_or(0)
+        };
+        (block, mac)
+    }
+
+    /// Replays a previously snapshotted leaf: restores both the counter
+    /// block *and* its stored MAC, exactly what a physical attacker with
+    /// full DRAM access can do. Detected at level 1 unless the snapshot is
+    /// current.
+    pub fn replay_leaf(&mut self, idx: u64, snapshot: ([u8; NODE_BYTES], u64)) {
+        self.counter_blocks.insert(idx, snapshot.0);
+        if self.off_chip_levels == 0 {
+            // With no off-chip MAC levels the "stored MAC" is on-chip and
+            // the attacker cannot restore it; only the block reverts.
+        } else {
+            self.stored_macs[0].insert(idx, snapshot.1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(levels: usize) -> BonsaiTree {
+        BonsaiTree::new(MemoryCipher::from_seed(99), levels, 8)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut t = tree(3);
+        for i in 0..32u64 {
+            let mut b = [0u8; 64];
+            b[0] = i as u8;
+            t.write_counter_block(i, b);
+        }
+        for i in 0..32u64 {
+            assert_eq!(t.read_counter_block(i).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn unwritten_blocks_read_as_zero() {
+        let mut t = tree(2);
+        assert_eq!(t.read_counter_block(77).unwrap(), [0; 64]);
+        // And remain verifiable afterwards.
+        assert!(t.read_counter_block(77).is_ok());
+    }
+
+    #[test]
+    fn leaf_tamper_detected_at_level_0() {
+        let mut t = tree(2);
+        t.write_counter_block(3, [1; 64]);
+        t.tamper_counter_block(3, |b| b[10] ^= 0x40);
+        assert_eq!(t.read_counter_block(3), Err(VerifyError { level: 0, node: 3 }));
+    }
+
+    #[test]
+    fn mac_tamper_detected_at_parent_level() {
+        let mut t = tree(2);
+        t.write_counter_block(3, [1; 64]);
+        // Forge the leaf MAC: level 0 then disagrees with its parent node.
+        t.tamper_stored_mac(0, 3, 0xdead_beef);
+        let err = t.read_counter_block(3).unwrap_err();
+        assert_eq!(err.level, 0, "forged MAC no longer matches the block");
+        // Tamper an interior MAC instead.
+        let mut t = tree(2);
+        t.write_counter_block(3, [1; 64]);
+        t.tamper_stored_mac(1, 0, 0x1234);
+        let err = t.read_counter_block(3).unwrap_err();
+        assert_eq!(err.level, 1);
+    }
+
+    #[test]
+    fn replay_attack_detected() {
+        let mut t = tree(2);
+        t.write_counter_block(9, [1; 64]);
+        let old = t.snapshot_leaf(9);
+        // Victim updates the counter block (e.g. a counter increments).
+        t.write_counter_block(9, [2; 64]);
+        // Attacker restores block + MAC to the stale snapshot.
+        t.replay_leaf(9, old);
+        let err = t.read_counter_block(9).unwrap_err();
+        // Block and leaf MAC are self-consistent, so the break surfaces at
+        // the parent (level 1) whose stored child MAC moved on.
+        assert_eq!(err.level, 1);
+    }
+
+    #[test]
+    fn replay_of_current_state_is_undetectable_noop() {
+        let mut t = tree(2);
+        t.write_counter_block(9, [1; 64]);
+        let snap = t.snapshot_leaf(9);
+        t.replay_leaf(9, snap);
+        assert_eq!(t.read_counter_block(9).unwrap(), [1; 64]);
+    }
+
+    #[test]
+    fn sibling_updates_do_not_break_neighbours() {
+        let mut t = tree(3);
+        t.write_counter_block(0, [1; 64]);
+        t.write_counter_block(1, [2; 64]);
+        t.write_counter_block(8, [3; 64]); // different level-1 parent
+        assert!(t.read_counter_block(0).is_ok());
+        assert!(t.read_counter_block(1).is_ok());
+        assert!(t.read_counter_block(8).is_ok());
+    }
+
+    #[test]
+    fn zero_off_chip_levels_means_on_chip_macs() {
+        // Tiny regions: leaf MACs are on-chip; leaf tampering is caught,
+        // and replay cannot restore the MAC at all.
+        let mut t = tree(0);
+        t.write_counter_block(4, [7; 64]);
+        let old = t.snapshot_leaf(4);
+        t.write_counter_block(4, [8; 64]);
+        t.replay_leaf(4, old);
+        let err = t.read_counter_block(4).unwrap_err();
+        assert_eq!(err.level, 0);
+    }
+
+    #[test]
+    fn position_bound_macs() {
+        // The same content at two leaves must produce different MACs.
+        let mut t = tree(1);
+        t.write_counter_block(0, [5; 64]);
+        t.write_counter_block(1, [5; 64]);
+        let (_, m0) = t.snapshot_leaf(0);
+        let (_, m1) = t.snapshot_leaf(1);
+        assert_ne!(m0, m1);
+    }
+
+    #[test]
+    #[should_panic(expected = "64-byte node holds")]
+    fn wide_arity_rejected() {
+        let _ = BonsaiTree::new(MemoryCipher::from_seed(1), 1, 16);
+    }
+}

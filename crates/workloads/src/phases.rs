@@ -1,0 +1,170 @@
+//! Phase-structured workloads.
+//!
+//! Real PARSEC applications are not statistically stationary: dedup's
+//! pipeline alternates chunking (streaming reads), hashing (hot-table
+//! writes) and compression (compute); facesim alternates assembly sweeps
+//! with solver iterations. A [`PhasedGenerator`] chains several
+//! [`WorkloadProfile`]s, switching after a configurable number of
+//! operations per phase and cycling. The single-profile generators remain
+//! the calibrated default; phases are for experiments that need bursty
+//! behaviour (e.g. studying how the metadata cache recovers from phase
+//! changes).
+
+use crate::{TraceGenerator, TraceOp, WorkloadProfile};
+
+/// One phase: a profile and how many operations it lasts.
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    /// Behaviour during the phase.
+    pub profile: WorkloadProfile,
+    /// Operations before switching to the next phase.
+    pub ops: usize,
+}
+
+/// A generator that cycles through phases.
+///
+/// All phases share the thread's seed lineage, but each phase re-seeds
+/// its generator deterministically from (seed, thread, phase index), so
+/// two `PhasedGenerator`s with equal parameters emit identical streams.
+///
+/// # Example
+///
+/// ```
+/// use ame_workloads::phases::{Phase, PhasedGenerator};
+/// use ame_workloads::ParsecApp;
+///
+/// let phases = vec![
+///     Phase { profile: ParsecApp::Blackscholes.profile(), ops: 100 },
+///     Phase { profile: ParsecApp::Canneal.profile(), ops: 50 },
+/// ];
+/// let mut gen = PhasedGenerator::new(phases, 1, 0);
+/// let ops = gen.take_ops(300); // cycles: 100 compute, 50 memory, repeat
+/// assert_eq!(ops.len(), 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhasedGenerator {
+    phases: Vec<Phase>,
+    seed: u64,
+    thread: u64,
+    current: usize,
+    in_phase: usize,
+    cycle: u64,
+    generator: TraceGenerator,
+}
+
+impl PhasedGenerator {
+    /// Creates a phased generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has zero operations.
+    #[must_use]
+    pub fn new(phases: Vec<Phase>, seed: u64, thread: u64) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(phases.iter().all(|p| p.ops > 0), "phases must be non-empty");
+        let generator = TraceGenerator::new(phases[0].profile, seed ^ phase_hash(0, 0), thread);
+        Self { phases, seed, thread, current: 0, in_phase: 0, cycle: 0, generator }
+    }
+
+    /// Index of the active phase.
+    #[must_use]
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// Generates the next trace record, advancing phases as configured.
+    pub fn next_op(&mut self) -> TraceOp {
+        if self.in_phase >= self.phases[self.current].ops {
+            self.in_phase = 0;
+            self.current += 1;
+            if self.current == self.phases.len() {
+                self.current = 0;
+                self.cycle += 1;
+            }
+            self.generator = TraceGenerator::new(
+                self.phases[self.current].profile,
+                self.seed ^ phase_hash(self.current as u64, self.cycle),
+                self.thread,
+            );
+        }
+        self.in_phase += 1;
+        self.generator.next_op()
+    }
+
+    /// Generates `n` trace records.
+    pub fn take_ops(&mut self, n: usize) -> Vec<TraceOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+/// Mixes a phase index and cycle count into a seed perturbation.
+fn phase_hash(phase: u64, cycle: u64) -> u64 {
+    phase
+        .wrapping_add(1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(cycle.wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParsecApp;
+
+    fn phases() -> Vec<Phase> {
+        vec![
+            Phase { profile: ParsecApp::Blackscholes.profile(), ops: 200 },
+            Phase { profile: ParsecApp::Canneal.profile(), ops: 100 },
+        ]
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = PhasedGenerator::new(phases(), 9, 0);
+        let mut b = PhasedGenerator::new(phases(), 9, 0);
+        assert_eq!(a.take_ops(700), b.take_ops(700));
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let mut g = PhasedGenerator::new(phases(), 9, 0);
+        let _ = g.take_ops(150);
+        assert_eq!(g.current_phase(), 0);
+        let _ = g.take_ops(100); // 250 total: inside phase 1
+        assert_eq!(g.current_phase(), 1);
+        let _ = g.take_ops(100); // 350 total: wrapped to phase 0
+        assert_eq!(g.current_phase(), 0);
+    }
+
+    #[test]
+    fn phase_character_shows_in_the_stream() {
+        // Phase 0 (blackscholes) is compute-heavy: large gaps. Phase 1
+        // (canneal) is memory-heavy: small gaps.
+        let mut g = PhasedGenerator::new(phases(), 9, 0);
+        let ops = g.take_ops(300);
+        let mean_gap = |slice: &[crate::TraceOp]| {
+            slice.iter().map(|o| f64::from(o.compute)).sum::<f64>() / slice.len() as f64
+        };
+        let compute_phase = mean_gap(&ops[..200]);
+        let memory_phase = mean_gap(&ops[200..300]);
+        assert!(
+            compute_phase > 2.0 * memory_phase,
+            "compute {compute_phase:.1} vs memory {memory_phase:.1}"
+        );
+    }
+
+    #[test]
+    fn cycles_reseed_distinctly() {
+        // The same phase in different cycles must not replay the exact
+        // same stream (real iterations differ).
+        let mut g = PhasedGenerator::new(phases(), 9, 0);
+        let first_cycle: Vec<_> = g.take_ops(300);
+        let second_cycle: Vec<_> = g.take_ops(300);
+        assert_ne!(first_cycle, second_cycle);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        let _ = PhasedGenerator::new(vec![], 1, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Trace serialization: save generated traces to disk and replay them
+//! later, so expensive multi-configuration experiments (Figure 8 runs
+//! four simulator configurations per application) can reuse identical
+//! input streams, and traces can be inspected or exchanged.
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic  "AMETRACE"           8 bytes
+//! version u32                 (currently 1)
+//! cores   u32
+//! per core: count u64, then count records of
+//!     compute u32 | addr u64 | flags u8 (bit 0 = write, bit 1 = dependent)
+//! ```
+
+use crate::TraceOp;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"AMETRACE";
+const VERSION: u32 = 1;
+
+/// Writes a multi-core trace to any [`Write`] sink (a `&mut` reference
+/// works too, so a file can be written in several calls).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_traces<W: Write>(mut w: W, traces: &[Vec<TraceOp>]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(traces.len() as u32).to_le_bytes())?;
+    for trace in traces {
+        w.write_all(&(trace.len() as u64).to_le_bytes())?;
+        for op in trace {
+            w.write_all(&op.compute.to_le_bytes())?;
+            w.write_all(&op.addr.to_le_bytes())?;
+            w.write_all(&[u8::from(op.write) | (u8::from(op.dependent) << 1)])?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a multi-core trace from any [`Read`] source.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic, unsupported version or
+/// truncated stream; propagates I/O errors from the source.
+pub fn read_traces<R: Read>(mut r: R) -> io::Result<Vec<Vec<TraceOp>>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an AMETRACE file"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let cores = read_u32(&mut r)? as usize;
+    if cores > 1024 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible core count"));
+    }
+    let mut traces = Vec::with_capacity(cores);
+    for _ in 0..cores {
+        let count = read_u64(&mut r)? as usize;
+        let mut trace = Vec::with_capacity(count.min(1 << 24));
+        for _ in 0..count {
+            let compute = read_u32(&mut r)?;
+            let addr = read_u64(&mut r)?;
+            let mut flags = [0u8; 1];
+            r.read_exact(&mut flags)?;
+            trace.push(TraceOp {
+                compute,
+                addr,
+                write: flags[0] & 1 == 1,
+                dependent: flags[0] & 2 == 2,
+            });
+        }
+        traces.push(trace);
+    }
+    Ok(traces)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParsecApp, TraceGenerator};
+
+    fn sample() -> Vec<Vec<TraceOp>> {
+        (0..4u64)
+            .map(|t| TraceGenerator::new(ParsecApp::Ferret.profile(), 3, t).take_ops(500))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let traces = sample();
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces).unwrap();
+        let back = read_traces(&buf[..]).unwrap();
+        assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let traces: Vec<Vec<TraceOp>> = vec![vec![], vec![]];
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces).unwrap();
+        assert_eq!(read_traces(&buf[..]).unwrap(), traces);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_traces(&b"NOTATRACE-AT-ALL"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_traces(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let traces = sample();
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_traces(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let traces = sample();
+        let path = std::env::temp_dir().join("ame_tracefile_test.trace");
+        write_traces(std::fs::File::create(&path).unwrap(), &traces).unwrap();
+        let back = read_traces(std::fs::File::open(&path).unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, traces);
+    }
+}

@@ -1,0 +1,93 @@
+//! Fault tolerance on an ECC-less MAC budget: a block store running on
+//! fault-prone DRAM, comparing standard SEC-DED against the paper's
+//! MAC-in-ECC scheme under a randomized fault campaign.
+//!
+//! Demonstrates the Figure 3 trade-off live: MAC-based ECC corrects the
+//! same-word double flips that defeat SEC-DED, SEC-DED corrects the
+//! many-scattered-singles shapes that exceed the flip-and-check budget,
+//! and the MAC never lets any fault slip through silently.
+//!
+//! Run with: `cargo run --release --example fault_tolerant_store`
+
+use ame::ecc::fault::{FaultOutcome, FaultPattern};
+use ame::engine::correction::{evaluate_fault, Scheme};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_pattern(rng: &mut StdRng) -> (&'static str, FaultPattern) {
+    match rng.gen_range(0..5) {
+        0 => ("single-bit", FaultPattern::SingleBit { bit: rng.gen_range(0..512) }),
+        1 => {
+            let a = rng.gen_range(0..64);
+            let mut b = rng.gen_range(0..64);
+            while b == a {
+                b = rng.gen_range(0..64);
+            }
+            ("double same-word", FaultPattern::DoubleBitSameWord {
+                word: rng.gen_range(0..8),
+                bits: (a, b),
+            })
+        }
+        2 => {
+            let w1 = rng.gen_range(0..8);
+            let mut w2 = rng.gen_range(0..8);
+            while w2 == w1 {
+                w2 = rng.gen_range(0..8);
+            }
+            ("double cross-word", FaultPattern::DoubleBitCrossWords {
+                first: (w1, rng.gen_range(0..64)),
+                second: (w2, rng.gen_range(0..64)),
+            })
+        }
+        3 => ("scattered singles", FaultPattern::ScatteredSingles {
+            words: rng.gen_range(3..=8),
+            bit_in_word: rng.gen_range(0..64),
+        }),
+        _ => ("sideband single", FaultPattern::Sideband { bits: vec![rng.gen_range(0..56)] }),
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2018);
+    let trials = 60;
+
+    let mut table: std::collections::BTreeMap<&str, [u64; 4]> = Default::default();
+    // columns: [secded corrected, secded detected-only, mac corrected, mac detected-only]
+
+    let mut unsafe_events = 0u64;
+    for _ in 0..trials {
+        let (label, pattern) = random_pattern(&mut rng);
+        let secded = evaluate_fault(Scheme::StandardEcc, &pattern);
+        let mac = evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &pattern);
+        let row = table.entry(label).or_default();
+        match secded {
+            FaultOutcome::Corrected => row[0] += 1,
+            FaultOutcome::DetectedUncorrectable => row[1] += 1,
+            FaultOutcome::NoError => {}
+            _ => unsafe_events += 1,
+        }
+        match mac {
+            FaultOutcome::Corrected => row[2] += 1,
+            FaultOutcome::DetectedUncorrectable => row[3] += 1,
+            FaultOutcome::NoError => {}
+            outcome => panic!("MAC-based ECC must never be silent: {outcome:?}"),
+        }
+    }
+
+    println!("fault campaign over {trials} random faults (seeded, reproducible)\n");
+    println!(
+        "{:<20} {:>14} {:>14} | {:>14} {:>14}",
+        "fault shape", "SECDED fixed", "SECDED detect", "MAC fixed", "MAC detect"
+    );
+    for (label, row) in &table {
+        println!(
+            "{:<20} {:>14} {:>14} | {:>14} {:>14}",
+            label, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!(
+        "\nSEC-DED unsafe outcomes (miscorrected/undetected): {unsafe_events} \
+         (possible beyond 2 flips/word)"
+    );
+    println!("MAC-based ECC unsafe outcomes: 0 (any data corruption breaks the 56-bit MAC)");
+}

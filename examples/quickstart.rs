@@ -1,0 +1,47 @@
+//! Quickstart: protect memory with authenticated encryption, survive a
+//! DRAM fault, and catch an attacker.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ame::engine::{EngineConfig, MemoryEncryptionEngine, ReadError};
+
+fn main() {
+    // An engine with the paper's full configuration: delta-encoded
+    // counters, MAC-in-ECC side-band, 2-flip error correction.
+    let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
+
+    // Write and read back a protected block.
+    let mut secret = [b'.'; 64];
+    secret[..46].copy_from_slice(b"attack at dawn; bring 48 dragons & an umbrella");
+    engine.write_block(0x4000, &secret);
+    assert_eq!(engine.read_block(0x4000).expect("verified read"), secret);
+    println!("roundtrip        : ok (counter = {})", engine.counter_of(0x4000));
+
+    // A cosmic ray flips a stored ciphertext bit. The MAC detects it and
+    // flip-and-check repairs it (Section 3.4 of the paper).
+    engine.tamper_data_bit(0x4000, 137);
+    assert_eq!(engine.read_block(0x4000).expect("corrected read"), secret);
+    println!("1-bit DRAM fault : corrected ({} MAC checks)", engine.stats().flip_checks);
+
+    // A second ray hits the same word — beyond standard SEC-DED, but
+    // within the flip-and-check budget.
+    engine.tamper_data_bit(0x4000, 130);
+    engine.tamper_data_bit(0x4000, 131);
+    assert_eq!(engine.read_block(0x4000).expect("corrected read"), secret);
+    println!("2-bit same word  : corrected ({} MAC checks total)", engine.stats().flip_checks);
+
+    // A physical attacker records the whole off-chip state, waits for the
+    // victim to overwrite the block, then replays the stale bits.
+    let snapshot = engine.snapshot_block(0x4000);
+    let mut update = [b' '; 64];
+    update[..44].copy_from_slice(b"dragons rescheduled to tuesday; stand down.!");
+    engine.write_block(0x4000, &update);
+    engine.replay_block(&snapshot);
+    match engine.read_block(0x4000) {
+        Err(ReadError::Tree(e)) => println!("replay attack    : detected ({e})"),
+        other => panic!("replay must be detected, got {other:?}"),
+    }
+
+    println!("\nengine stats     : {:?}", engine.stats());
+    println!("counter stats    : {}", engine.counter_stats());
+}

@@ -1,0 +1,91 @@
+//! A secure heap under attack: the cold-boot / bus-snooping threat model
+//! of the paper's introduction, exercised end to end.
+//!
+//! A "victim" process keeps an allocator arena in protected memory. An
+//! "attacker" with full physical DRAM access (can read and write any
+//! off-chip bit, but nothing on-chip) tries, in order: reading secrets,
+//! forging data, splicing blocks between addresses, and replaying stale
+//! state. Every attack is defeated; the run then verifies the heap
+//! contents survived intact.
+//!
+//! Run with: `cargo run --example secure_heap`
+
+use ame::engine::{EngineConfig, MemoryEncryptionEngine, ReadError};
+
+const BLOCKS: u64 = 64;
+
+fn block_content(i: u64, generation: u8) -> [u8; 64] {
+    let mut b = [0u8; 64];
+    for (j, byte) in b.iter_mut().enumerate() {
+        *byte = (i as u8) ^ (j as u8).wrapping_mul(7) ^ generation;
+    }
+    b
+}
+
+fn main() {
+    let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
+
+    // The victim fills its arena.
+    for i in 0..BLOCKS {
+        engine.write_block(i * 64, &block_content(i, 0));
+    }
+    println!("victim: wrote {BLOCKS} heap blocks");
+
+    // Attack 1: read secrets straight out of DRAM. The attacker sees only
+    // ciphertext: compare stored bits against the plaintext.
+    let stored = engine.snapshot_block(0);
+    let plain = block_content(0, 0);
+    let matching_bytes =
+        stored.stored_data().iter().zip(plain.iter()).filter(|(a, b)| a == b).count();
+    println!("attack 1 (cold boot dump)  : ciphertext shares {matching_bytes}/64 bytes with plaintext");
+    assert!(matching_bytes < 8, "ciphertext must not resemble plaintext");
+
+    // Attack 2: flip a ciphertext bit to corrupt a computation. Detected
+    // (and here, even repaired — the attacker gains nothing).
+    engine.tamper_data_bit(5 * 64, 99);
+    assert_eq!(engine.read_block(5 * 64).unwrap(), block_content(5, 0));
+    println!("attack 2 (bit forgery)     : absorbed by MAC-based correction");
+
+    // Attack 3: gross forgery — overwrite a block with attacker bytes.
+    for bit in [3u32, 77, 200, 310, 501] {
+        engine.tamper_data_bit(7 * 64, bit);
+    }
+    match engine.read_block(7 * 64) {
+        Err(ReadError::IntegrityViolation) => {
+            println!("attack 3 (5-bit forgery)   : detected, read refused");
+        }
+        other => panic!("forgery must be detected, got {other:?}"),
+    }
+    // The victim rewrites the block (e.g. restores from a checkpoint).
+    engine.write_block(7 * 64, &block_content(7, 0));
+
+    // Attack 4: splice — move valid ciphertext from one address to
+    // another (both blocks have identical counters, so only the
+    // address-bound MAC can catch it).
+    let a = engine.snapshot_block(3 * 64);
+    engine.replay_block(&a.relocated(9 * 64));
+    match engine.read_block(9 * 64) {
+        Err(_) => println!("attack 4 (block splicing)  : detected, read refused"),
+        Ok(_) => panic!("splice must be detected"),
+    }
+    engine.write_block(9 * 64, &block_content(9, 0));
+
+    // Attack 5: replay — record everything about a block (data, MAC,
+    // counters, counter-tree leaf), let the victim update it, restore.
+    let old = engine.snapshot_block(11 * 64);
+    engine.write_block(11 * 64, &block_content(11, 1)); // generation 1
+    engine.replay_block(&old);
+    match engine.read_block(11 * 64) {
+        Err(ReadError::Tree(e)) => println!("attack 5 (replay)          : detected at {e}"),
+        other => panic!("replay must be detected, got {other:?}"),
+    }
+    engine.write_block(11 * 64, &block_content(11, 1));
+
+    // The heap survives: every block verifies and decrypts correctly.
+    for i in 0..BLOCKS {
+        let generation = if i == 11 { 1 } else { 0 };
+        assert_eq!(engine.read_block(i * 64).unwrap(), block_content(i, generation), "block {i}");
+    }
+    println!("\nvictim: all {BLOCKS} blocks verified after the attack campaign");
+    println!("failed reads (detected attacks): {}", engine.stats().failed_reads);
+}

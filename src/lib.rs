@@ -1,0 +1,46 @@
+//! # ame — Authenticated Memory Encryption with Delta Encoding and ECC Memory
+//!
+//! Umbrella crate for a from-scratch reproduction of Yitbarek & Austin,
+//! *"Reducing the Overhead of Authenticated Memory Encryption Using Delta
+//! Encoding and ECC Memory"* (DAC 2018).
+//!
+//! The workspace implements the paper's two contributions and every
+//! substrate they depend on:
+//!
+//! * [`ecc`] — Hamming SEC-DED codes, the merged MAC-in-ECC side-band
+//!   layout, and fault injection.
+//! * [`crypto`] — AES-128, counter-mode keystreams, Carter-Wegman MACs.
+//! * [`counters`] — per-block write-counter schemes: monolithic, split,
+//!   7-bit delta, and dual-length delta encoding with reset/re-encode.
+//! * [`cache`] — set-associative cache models.
+//! * [`dram`] — a DDR3-style DRAM timing model with an ECC side-band bus.
+//! * [`tree`] — Bonsai Merkle integrity trees over counter storage.
+//! * [`engine`] — the memory encryption engine tying it all together.
+//! * [`sim`] — a trace-driven multicore performance model.
+//! * [`workloads`] — synthetic PARSEC-like trace generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ame::engine::{EngineConfig, MemoryEncryptionEngine};
+//!
+//! # fn main() {
+//! let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
+//! let addr = 0x4000;
+//! engine.write_block(addr, &[7u8; 64]);
+//! let read = engine.read_block(addr).expect("verified read");
+//! assert_eq!(read, [7u8; 64]);
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ame_cache as cache;
+pub use ame_counters as counters;
+pub use ame_crypto as crypto;
+pub use ame_dram as dram;
+pub use ame_ecc as ecc;
+pub use ame_engine as engine;
+pub use ame_sim as sim;
+pub use ame_tree as tree;
+pub use ame_workloads as workloads;
