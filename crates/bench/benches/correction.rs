@@ -1,4 +1,4 @@
-//! Criterion microbenchmark for Section 3.4: the cost of brute-force
+//! Microbenchmark for Section 3.4: the cost of brute-force
 //! flip-and-check error correction.
 //!
 //! The paper argues double-bit correction is feasible "within 100s of
@@ -7,9 +7,9 @@
 //! each hypothesis as an XOR + compare; the numbers here bound the cost
 //! of the software model, not the proposed hardware.
 
+use ame_bench::micro::bench;
 use ame_crypto::MemoryCipher;
 use ame_engine::correction::flip_and_check;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn setup() -> (MemoryCipher, u64, u64, [u8; 64], u64) {
@@ -21,46 +21,34 @@ fn setup() -> (MemoryCipher, u64, u64, [u8; 64], u64) {
     (cipher, addr, ctr, ct, tag)
 }
 
-fn bench_correction(c: &mut Criterion) {
+fn main() {
     let (cipher, addr, ctr, ct, tag) = setup();
-    let mut group = c.benchmark_group("flip_and_check");
 
     // Worst-case single-bit error (last bit searched).
     let mut single = ct;
     single[63] ^= 0x80;
-    group.bench_function(BenchmarkId::new("single_bit", "worst_case"), |b| {
-        b.iter(|| {
-            let out = flip_and_check(&cipher, addr, ctr, black_box(&single), tag, 1);
-            assert!(out.corrected.is_some());
-            out.checks
-        });
+    bench("flip_and_check/single_bit/worst_case", || {
+        let out = flip_and_check(&cipher, addr, ctr, black_box(&single), tag, 1);
+        assert!(out.corrected.is_some());
+        out.checks
     });
 
     // Worst-case double-bit error (both flips near the end).
     let mut double = ct;
     double[63] ^= 0xc0;
-    group.bench_function(BenchmarkId::new("double_bit", "worst_case"), |b| {
-        b.iter(|| {
-            let out = flip_and_check(&cipher, addr, ctr, black_box(&double), tag, 2);
-            assert!(out.corrected.is_some());
-            out.checks
-        });
+    bench("flip_and_check/double_bit/worst_case", || {
+        let out = flip_and_check(&cipher, addr, ctr, black_box(&double), tag, 2);
+        assert!(out.corrected.is_some());
+        out.checks
     });
 
     // Detection-only path: the full search that concludes "uncorrectable"
     // (the bound of MAX_CHECKS_SINGLE + MAX_CHECKS_DOUBLE hypotheses).
     let mut triple = ct;
     triple[0] ^= 0x07;
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::new("exhaustive", "triple_flip"), |b| {
-        b.iter(|| {
-            let out = flip_and_check(&cipher, addr, ctr, black_box(&triple), tag, 2);
-            assert!(out.corrected.is_none());
-            out.checks
-        });
+    bench("flip_and_check/exhaustive/triple_flip", || {
+        let out = flip_and_check(&cipher, addr, ctr, black_box(&triple), tag, 2);
+        assert!(out.corrected.is_none());
+        out.checks
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_correction);
-criterion_main!(benches);

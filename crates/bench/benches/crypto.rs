@@ -1,36 +1,34 @@
-//! Criterion microbenchmarks for the cryptographic substrate: AES-128,
-//! 64-byte keystream generation, GF(2^64) multiplication and 56-bit
+//! Microbenchmarks for the cryptographic substrate: AES-128, 64-byte
+//! keystream generation, GF(2^64) multiplication and 56-bit
 //! Carter-Wegman MACs (the operations the engine performs per block).
 
+use ame_bench::micro::bench;
 use ame_crypto::aes::Aes128;
 use ame_crypto::mac::gf64_mul;
 use ame_crypto::MemoryCipher;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_crypto(c: &mut Criterion) {
+fn main() {
     let aes = Aes128::new(&[7u8; 16]);
     let cipher = MemoryCipher::from_seed(7);
     let block = [0xa5u8; 64];
 
-    c.bench_function("aes128_encrypt_block", |b| {
-        b.iter(|| aes.encrypt_block(black_box(&[1u8; 16])))
+    bench("aes128_encrypt_block", || {
+        aes.encrypt_block(black_box(&[1u8; 16]))
     });
 
-    c.bench_function("gf64_mul", |b| {
-        b.iter(|| gf64_mul(black_box(0x1234_5678_9abc_def0), black_box(0x0fed_cba9_8765_4321)))
+    bench("gf64_mul", || {
+        gf64_mul(
+            black_box(0x1234_5678_9abc_def0),
+            black_box(0x0fed_cba9_8765_4321),
+        )
     });
 
-    let mut group = c.benchmark_group("block_ops");
-    group.throughput(Throughput::Bytes(64));
-    group.bench_function("encrypt_64B_block", |b| {
-        b.iter(|| cipher.encrypt_block(black_box(0x1000), black_box(9), &block))
+    // 64-byte block operations.
+    bench("encrypt_64B_block", || {
+        cipher.encrypt_block(black_box(0x1000), black_box(9), &block)
     });
-    group.bench_function("mac_64B_block", |b| {
-        b.iter(|| cipher.mac_block(black_box(0x1000), black_box(9), &block))
+    bench("mac_64B_block", || {
+        cipher.mac_block(black_box(0x1000), black_box(9), &block)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_crypto);
-criterion_main!(benches);

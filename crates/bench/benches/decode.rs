@@ -1,42 +1,43 @@
-//! Criterion microbenchmark for Section 5.3: counter decode cost.
+//! Microbenchmark for Section 5.3: counter decode cost.
 //!
 //! The paper synthesized the decode unit (bit extraction + add) to 2
 //! cycles at up to 4 GHz in 45 nm SOI. This benchmark measures the
 //! software analogue for both packed layouts; the simulator charges the
 //! paper's 2-cycle figure.
 
+use ame_bench::micro::bench;
 use ame_counters::packing::{DualGroup, FlatGroup};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_decode(c: &mut Criterion) {
+fn main() {
     let mut flat_deltas = [0u64; 64];
     for (i, d) in flat_deltas.iter_mut().enumerate() {
         *d = (i as u64 * 3) % 128;
     }
-    let flat = FlatGroup { reference: 123_456_789, deltas: flat_deltas }.pack();
+    let flat = FlatGroup {
+        reference: 123_456_789,
+        deltas: flat_deltas,
+    }
+    .pack();
 
     let mut dual_deltas = [0u64; 64];
     for (i, d) in dual_deltas.iter_mut().enumerate() {
         *d = (i as u64 * 3) % 64;
     }
     dual_deltas[20] = 700; // delta-group 1 expanded
-    let dual =
-        DualGroup { reference: 123_456_789, deltas: dual_deltas, expanded: Some(1) }.pack();
+    let dual = DualGroup {
+        reference: 123_456_789,
+        deltas: dual_deltas,
+        expanded: Some(1),
+    }
+    .pack();
 
-    c.bench_function("decode_flat_counter", |b| {
-        b.iter(|| FlatGroup::decode_counter(black_box(&flat), black_box(17)))
+    bench("decode_flat_counter", || {
+        FlatGroup::decode_counter(black_box(&flat), black_box(17))
     });
-    c.bench_function("decode_dual_counter", |b| {
-        b.iter(|| DualGroup::decode_counter(black_box(&dual), black_box(20)))
+    bench("decode_dual_counter", || {
+        DualGroup::decode_counter(black_box(&dual), black_box(20))
     });
-    c.bench_function("unpack_flat_group", |b| {
-        b.iter(|| FlatGroup::unpack(black_box(&flat)))
-    });
-    c.bench_function("unpack_dual_group", |b| {
-        b.iter(|| DualGroup::unpack(black_box(&dual)))
-    });
+    bench("unpack_flat_group", || FlatGroup::unpack(black_box(&flat)));
+    bench("unpack_dual_group", || DualGroup::unpack(black_box(&dual)));
 }
-
-criterion_group!(benches, bench_decode);
-criterion_main!(benches);

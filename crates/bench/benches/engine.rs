@@ -1,58 +1,57 @@
-//! Criterion microbenchmarks for the functional engine datapath: the
-//! cost of a protected write (encrypt + MAC + tree update) and a verified
-//! read (tree walk + MAC check + decrypt), plus tree and scrub primitives.
+//! Microbenchmarks for the functional engine datapath: the cost of a
+//! protected write (encrypt + MAC + tree update) and a verified read
+//! (tree walk + MAC check + decrypt), plus tree and scrub primitives.
 
+use ame_bench::micro::bench;
 use ame_crypto::MemoryCipher;
 use ame_engine::scrub::{ScrubMode, Scrubber};
 use ame_engine::{EngineConfig, MemoryEncryptionEngine};
 use ame_tree::BonsaiTree;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine_write_block", |b| {
+fn main() {
+    {
         let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
         let data = [0xa5u8; 64];
         let mut addr = 0u64;
-        b.iter(|| {
+        bench("engine_write_block", || {
             engine.write_block(black_box(addr % (1 << 20)), &data);
             addr += 64;
         });
-    });
+    }
 
-    c.bench_function("engine_read_block_verified", |b| {
+    {
         let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
         for blk in 0..256u64 {
             engine.write_block(blk * 64, &[blk as u8; 64]);
         }
         let mut addr = 0u64;
-        b.iter(|| {
+        bench("engine_read_block_verified", || {
             let r = engine.read_block(black_box(addr % (256 * 64))).unwrap();
             addr += 64;
             r
         });
-    });
+    }
 
-    c.bench_function("tree_verified_leaf_read", |b| {
+    {
         let mut tree = BonsaiTree::new(MemoryCipher::from_seed(1), 3, 8);
         for i in 0..512u64 {
             tree.write_counter_block(i, [i as u8; 64]);
         }
         let mut i = 0u64;
-        b.iter(|| {
+        bench("tree_verified_leaf_read", || {
             let r = tree.read_counter_block(black_box(i % 512)).unwrap();
             i += 1;
             r
         });
-    });
+    }
 
-    c.bench_function("scrub_clean_block", |b| {
+    {
         let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
         engine.write_block(0, &[7; 64]);
         let mut scrubber = Scrubber::new(ScrubMode::MacInEcc);
-        b.iter(|| scrubber.scrub_block(engine.storage_mut(), black_box(0)));
-    });
+        bench("scrub_clean_block", || {
+            scrubber.scrub_block(engine.storage_mut(), black_box(0))
+        });
+    }
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

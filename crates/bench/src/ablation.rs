@@ -76,7 +76,10 @@ pub fn width_ablation(app: ParsecApp, ops: usize) -> Vec<DeltaAblationPoint> {
     [5u32, 6, 7]
         .into_iter()
         .map(|bits| {
-            let cfg = DeltaConfig { delta_bits: bits, ..DeltaConfig::default() };
+            let cfg = DeltaConfig {
+                delta_bits: bits,
+                ..DeltaConfig::default()
+            };
             run_delta(app, cfg, format!("{bits}-bit deltas"), ops)
         })
         .collect()
@@ -145,7 +148,11 @@ pub fn dual_config_ablation(app: ParsecApp, ops: usize) -> Vec<DeltaAblationPoin
     [(5u32, 5u32), (6, 4), (7, 3)]
         .into_iter()
         .map(|(base, extra)| {
-            let cfg = DualLengthConfig { base_bits: base, extra_bits: extra, ..Default::default() };
+            let cfg = DualLengthConfig {
+                base_bits: base,
+                extra_bits: extra,
+                ..Default::default()
+            };
             let cores = 4;
             let mut scheme = DualLengthDeltaCounters::new(cfg);
             let instr = drive_writeback_stream(app, 21, ops, cores, &mut scheme);
@@ -177,7 +184,11 @@ pub struct PerfPoint {
 pub fn verification_ablation(app: ParsecApp, ops: usize) -> Vec<PerfPoint> {
     let mut out = Vec::new();
     for (name, mac, counters) in [
-        ("BMT", MacPlacement::SeparateMac, CounterSchemeKind::Monolithic),
+        (
+            "BMT",
+            MacPlacement::SeparateMac,
+            CounterSchemeKind::Monolithic,
+        ),
         ("full", MacPlacement::MacInEcc, CounterSchemeKind::Delta),
     ] {
         for speculative in [true, false] {
@@ -193,7 +204,11 @@ pub fn verification_ablation(app: ParsecApp, ops: usize) -> Vec<PerfPoint> {
             out.push(PerfPoint {
                 label: format!(
                     "{name}, {} verification",
-                    if speculative { "speculative" } else { "blocking" }
+                    if speculative {
+                        "speculative"
+                    } else {
+                        "blocking"
+                    }
                 ),
                 ipc: r.ipc(),
             });
@@ -209,9 +224,15 @@ pub fn mlp_sweep(app: ParsecApp, ops: usize) -> Vec<PerfPoint> {
     [1usize, 2, 4, 8, 16]
         .into_iter()
         .map(|mlp| {
-            let config = SimConfig { mlp, ..SimConfig::default() };
+            let config = SimConfig {
+                mlp,
+                ..SimConfig::default()
+            };
             let r = run_sim(app, config, 43, ops);
-            PerfPoint { label: format!("MLP window {mlp}"), ipc: r.ipc() }
+            PerfPoint {
+                label: format!("MLP window {mlp}"),
+                ipc: r.ipc(),
+            }
         })
         .collect()
 }
@@ -219,36 +240,210 @@ pub fn mlp_sweep(app: ParsecApp, ops: usize) -> Vec<PerfPoint> {
 /// Ablation 8: metadata-cache replacement policy.
 #[must_use]
 pub fn policy_ablation(app: ParsecApp, ops: usize) -> Vec<CacheSweepPoint> {
-    [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random]
-        .into_iter()
-        .map(|policy| {
-            let config = SimConfig {
-                engine: TimingConfig {
-                    protection: Protection::Bmt {
-                        mac: MacPlacement::MacInEcc,
-                        counters: CounterSchemeKind::Delta,
-                    },
-                    metadata_cache: CacheConfig::new(32 * 1024, 8, 64).with_policy(policy),
-                    ..TimingConfig::default()
+    [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let config = SimConfig {
+            engine: TimingConfig {
+                protection: Protection::Bmt {
+                    mac: MacPlacement::MacInEcc,
+                    counters: CounterSchemeKind::Delta,
                 },
-                ..SimConfig::default()
-            };
-            let result = run_sim(app, config, 31, ops);
-            CacheSweepPoint {
-                capacity: policy as usize, // reused field: policy ordinal
-                ipc: result.ipc(),
-                hit_rate: result.metadata_hit_rate,
-            }
-        })
-        .collect()
+                metadata_cache: CacheConfig::new(32 * 1024, 8, 64).with_policy(policy),
+                ..TimingConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let result = run_sim(app, config, 31, ops);
+        CacheSweepPoint {
+            capacity: policy as usize, // reused field: policy ordinal
+            ipc: result.ipc(),
+            hit_rate: result.metadata_hit_rate,
+        }
+    })
+    .collect()
+}
+
+/// All counter-scheme (delta design) ablations, computed once so print
+/// and JSON emission share the measurements.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// Reset/re-encode on-off grid, per app: `(app name, points)`.
+    pub optimizations: Vec<(&'static str, Vec<DeltaAblationPoint>)>,
+    /// Delta-width sweep on dedup.
+    pub width: Vec<DeltaAblationPoint>,
+    /// Block-group-size sweep on dedup.
+    pub group: Vec<DeltaAblationPoint>,
+    /// Dual-length base/overflow split sweep on facesim.
+    pub dual: Vec<DeltaAblationPoint>,
+}
+
+/// Runs every delta-design ablation.
+#[must_use]
+pub fn delta_report(ops: usize) -> DeltaReport {
+    DeltaReport {
+        optimizations: vec![
+            ("facesim", optimization_ablation(ParsecApp::Facesim, ops)),
+            ("dedup", optimization_ablation(ParsecApp::Dedup, ops)),
+        ],
+        width: width_ablation(ParsecApp::Dedup, ops),
+        group: group_ablation(ParsecApp::Dedup, ops),
+        dual: dual_config_ablation(ParsecApp::Facesim, ops),
+    }
+}
+
+/// All engine-configuration ablations (full simulations; slower).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Metadata-cache capacity sweep on canneal.
+    pub cache_sweep: Vec<CacheSweepPoint>,
+    /// Speculative-vs-blocking verification on canneal.
+    pub verification: Vec<PerfPoint>,
+    /// MLP window sweep on canneal.
+    pub mlp: Vec<PerfPoint>,
+    /// Metadata-cache replacement-policy comparison on canneal.
+    pub policy: Vec<CacheSweepPoint>,
+}
+
+/// Runs every engine-configuration ablation.
+#[must_use]
+pub fn engine_report(ops: usize) -> EngineReport {
+    EngineReport {
+        cache_sweep: metadata_cache_sweep(ParsecApp::Canneal, ops),
+        verification: verification_ablation(ParsecApp::Canneal, ops),
+        mlp: mlp_sweep(ParsecApp::Canneal, ops),
+        policy: policy_ablation(ParsecApp::Canneal, ops),
+    }
+}
+
+fn delta_points_json(points: &[DeltaAblationPoint]) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| {
+                let mut obj = Json::object();
+                obj.push("variant", p.label.as_str());
+                obj.push("reencryptions_per_gcycle", p.reencryptions);
+                obj.push("resets_per_gcycle", p.resets);
+                obj.push("reencodes_per_gcycle", p.reencodes);
+                obj.push("bits_per_block", p.bits_per_block);
+                obj
+            })
+            .collect(),
+    )
+}
+
+/// Serialises the delta ablations for `results/ablation_delta.json`.
+#[must_use]
+pub fn delta_to_json(ops: usize, report: &DeltaReport) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    let mut params = Json::object();
+    params.push("ops_per_core", ops as u64);
+    let mut rows = Vec::new();
+    for (app, points) in &report.optimizations {
+        let mut obj = Json::object();
+        obj.push("sweep", "optimizations");
+        obj.push("app", *app);
+        obj.push("points", delta_points_json(points));
+        rows.push(obj);
+    }
+    for (sweep, app, points) in [
+        ("delta_width", "dedup", &report.width),
+        ("group_size", "dedup", &report.group),
+        ("dual_length_split", "facesim", &report.dual),
+    ] {
+        let mut obj = Json::object();
+        obj.push("sweep", sweep);
+        obj.push("app", app);
+        obj.push("points", delta_points_json(points));
+        rows.push(obj);
+    }
+    crate::results::envelope("ablation_delta", params, Json::Arr(rows))
+}
+
+/// The one-line metric `repro_all` quotes for the delta ablations.
+#[must_use]
+pub fn delta_key_metric(report: &DeltaReport) -> String {
+    let dedup = &report.optimizations[1].1;
+    format!(
+        "dedup re-enc/Gcycle {:.0} (opts on) vs {:.0} (off)",
+        dedup[0].reencryptions, dedup[3].reencryptions
+    )
+}
+
+/// Serialises the engine ablations for `results/ablation_engine.json`.
+#[must_use]
+pub fn engine_to_json(ops: usize, report: &EngineReport) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    let mut params = Json::object();
+    params.push("ops_per_core", ops as u64);
+    params.push("app", "canneal");
+    let mut rows = Vec::new();
+    for p in &report.cache_sweep {
+        let mut obj = Json::object();
+        obj.push("sweep", "metadata_cache_capacity");
+        obj.push("capacity_bytes", p.capacity as u64);
+        obj.push("ipc", p.ipc);
+        obj.push("metadata_hit_rate", p.hit_rate);
+        rows.push(obj);
+    }
+    for (sweep, points) in [
+        ("verification_mode", &report.verification),
+        ("mlp_window", &report.mlp),
+    ] {
+        for p in points {
+            let mut obj = Json::object();
+            obj.push("sweep", sweep);
+            obj.push("variant", p.label.as_str());
+            obj.push("ipc", p.ipc);
+            rows.push(obj);
+        }
+    }
+    for (name, p) in ["LRU", "FIFO", "random"].iter().zip(&report.policy) {
+        let mut obj = Json::object();
+        obj.push("sweep", "replacement_policy");
+        obj.push("variant", *name);
+        obj.push("ipc", p.ipc);
+        obj.push("metadata_hit_rate", p.hit_rate);
+        rows.push(obj);
+    }
+    crate::results::envelope("ablation_engine", params, Json::Arr(rows))
+}
+
+/// The one-line metric `repro_all` quotes for the engine ablations.
+#[must_use]
+pub fn engine_key_metric(report: &EngineReport) -> String {
+    let best = report
+        .cache_sweep
+        .iter()
+        .max_by(|a, b| a.ipc.total_cmp(&b.ipc))
+        .expect("sweep non-empty");
+    format!(
+        "best IPC {:.3} at {} KB metadata cache",
+        best.ipc,
+        best.capacity / 1024
+    )
 }
 
 /// Prints every ablation.
 pub fn print(ops: usize) {
-    for (name, app) in [("facesim", ParsecApp::Facesim), ("dedup", ParsecApp::Dedup)] {
+    print_delta(&delta_report(ops));
+}
+
+/// Prints the delta-design ablations from a precomputed report.
+pub fn print_delta(report: &DeltaReport) {
+    for (name, points) in &report.optimizations {
         println!("=== Ablation: delta optimizations on {name} (per 10^9 cycles) ===");
-        println!("{:<28} {:>10} {:>10} {:>10}", "variant", "re-enc", "resets", "re-encodes");
-        for p in optimization_ablation(app, ops) {
+        println!(
+            "{:<28} {:>10} {:>10} {:>10}",
+            "variant", "re-enc", "resets", "re-encodes"
+        );
+        for p in points {
             println!(
                 "{:<28} {:>10.0} {:>10.0} {:>10.0}",
                 p.label, p.reencryptions, p.resets, p.reencodes
@@ -259,53 +454,86 @@ pub fn print(ops: usize) {
 
     println!("=== Ablation: delta width on dedup ===");
     println!("{:<28} {:>10} {:>12}", "variant", "re-enc", "bits/block");
-    for p in width_ablation(ParsecApp::Dedup, ops) {
-        println!("{:<28} {:>10.0} {:>12.3}", p.label, p.reencryptions, p.bits_per_block);
+    for p in &report.width {
+        println!(
+            "{:<28} {:>10.0} {:>12.3}",
+            p.label, p.reencryptions, p.bits_per_block
+        );
     }
 
     println!("\n=== Ablation: block-group size on dedup ===");
     println!("{:<28} {:>10} {:>12}", "variant", "re-enc", "bits/block");
-    for p in group_ablation(ParsecApp::Dedup, ops) {
-        println!("{:<28} {:>10.0} {:>12.3}", p.label, p.reencryptions, p.bits_per_block);
+    for p in &report.group {
+        println!(
+            "{:<28} {:>10.0} {:>12.3}",
+            p.label, p.reencryptions, p.bits_per_block
+        );
     }
 
     println!("\n=== Ablation: dual-length base/overflow split on facesim ===");
     println!("{:<28} {:>10} {:>12}", "variant", "re-enc", "bits/block");
-    for p in dual_config_ablation(ParsecApp::Facesim, ops) {
-        println!("{:<28} {:>10.0} {:>12.3}", p.label, p.reencryptions, p.bits_per_block);
+    for p in &report.dual {
+        println!(
+            "{:<28} {:>10.0} {:>12.3}",
+            p.label, p.reencryptions, p.bits_per_block
+        );
     }
 }
 
 /// Prints the performance-model ablations (slower: full simulations).
 pub fn print_perf(ops: usize) {
+    print_engine_perf(&EngineReport {
+        cache_sweep: Vec::new(),
+        verification: verification_ablation(ParsecApp::Canneal, ops),
+        mlp: mlp_sweep(ParsecApp::Canneal, ops),
+        policy: policy_ablation(ParsecApp::Canneal, ops),
+    });
+}
+
+/// Prints the verification/MLP/policy ablations from a precomputed
+/// report.
+pub fn print_engine_perf(report: &EngineReport) {
     println!("=== Ablation: verification mode on canneal ===");
     println!("{:<36} {:>8}", "variant", "IPC");
-    for p in verification_ablation(ParsecApp::Canneal, ops) {
+    for p in &report.verification {
         println!("{:<36} {:>8.3}", p.label, p.ipc);
     }
 
     println!("\n=== Ablation: MLP window on canneal (full system) ===");
     println!("{:<36} {:>8}", "variant", "IPC");
-    for p in mlp_sweep(ParsecApp::Canneal, ops) {
+    for p in &report.mlp {
         println!("{:<36} {:>8.3}", p.label, p.ipc);
     }
 
     println!("\n=== Ablation: metadata-cache replacement policy on canneal ===");
     println!("{:<12} {:>8} {:>10}", "policy", "IPC", "hit rate");
-    for (name, p) in
-        ["LRU", "FIFO", "random"].iter().zip(policy_ablation(ParsecApp::Canneal, ops))
-    {
+    for (name, p) in ["LRU", "FIFO", "random"].iter().zip(&report.policy) {
         println!("{:<12} {:>8.3} {:>9.1}%", name, p.ipc, p.hit_rate * 100.0);
+    }
+}
+
+/// Prints the metadata-cache sweep from a precomputed report.
+pub fn print_engine_cache_sweep(report: &EngineReport) {
+    println!("=== Ablation: metadata-cache capacity on canneal ===");
+    println!("{:<12} {:>8} {:>10}", "capacity", "IPC", "hit rate");
+    for p in &report.cache_sweep {
+        println!(
+            "{:<12} {:>8.3} {:>9.1}%",
+            format!("{} KB", p.capacity / 1024),
+            p.ipc,
+            p.hit_rate * 100.0
+        );
     }
 }
 
 /// Prints the metadata-cache sweep (a separate, slower experiment).
 pub fn print_cache_sweep(ops: usize) {
-    println!("=== Ablation: metadata-cache capacity on canneal ===");
-    println!("{:<12} {:>8} {:>10}", "capacity", "IPC", "hit rate");
-    for p in metadata_cache_sweep(ParsecApp::Canneal, ops) {
-        println!("{:<12} {:>8.3} {:>9.1}%", format!("{} KB", p.capacity / 1024), p.ipc, p.hit_rate * 100.0);
-    }
+    print_engine_cache_sweep(&EngineReport {
+        cache_sweep: metadata_cache_sweep(ParsecApp::Canneal, ops),
+        verification: Vec::new(),
+        mlp: Vec::new(),
+        policy: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -384,7 +612,11 @@ mod tests {
         let points = dual_config_ablation(ParsecApp::Facesim, OPS);
         assert_eq!(points.len(), 3);
         for p in &points {
-            assert!(p.bits_per_block > 0.0 && p.bits_per_block < 9.0, "{}", p.label);
+            assert!(
+                p.bits_per_block > 0.0 && p.bits_per_block < 9.0,
+                "{}",
+                p.label
+            );
         }
     }
 }

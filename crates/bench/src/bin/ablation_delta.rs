@@ -3,7 +3,16 @@
 //!
 //! Usage: `cargo run -p ame-bench --bin ablation_delta --release [ops_per_core]`
 
+use ame_bench::{ablation, results};
+
 fn main() {
     let ops: usize = ame_bench::parse_arg(std::env::args().nth(1), "ops per core", 500_000);
-    ame_bench::ablation::print(ops);
+    let report = ablation::delta_report(ops);
+    ablation::print_delta(&report);
+    println!();
+    results::write_and_summarize(
+        "ablation_delta",
+        &ablation::delta_key_metric(&report),
+        &ablation::delta_to_json(ops, &report),
+    );
 }

@@ -3,9 +3,18 @@
 //!
 //! Usage: `cargo run -p ame-bench --bin ablation_engine --release [ops_per_core]`
 
+use ame_bench::{ablation, results};
+
 fn main() {
     let ops: usize = ame_bench::parse_arg(std::env::args().nth(1), "ops per core", 100_000);
-    ame_bench::ablation::print_cache_sweep(ops);
+    let report = ablation::engine_report(ops);
+    ablation::print_engine_cache_sweep(&report);
     println!();
-    ame_bench::ablation::print_perf(ops);
+    ablation::print_engine_perf(&report);
+    println!();
+    results::write_and_summarize(
+        "ablation_engine",
+        &ablation::engine_key_metric(&report),
+        &ablation::engine_to_json(ops, &report),
+    );
 }

@@ -3,7 +3,17 @@
 //!
 //! Usage: `cargo run -p ame-bench --bin fig1_storage_overhead [region_mb]`
 
+use ame_bench::{fig1, results};
+
 fn main() {
     let region_mb: u64 = ame_bench::parse_arg(std::env::args().nth(1), "region size in MB", 512);
-    ame_bench::fig1::print(region_mb << 20);
+    let region = region_mb << 20;
+    let rows = fig1::compute(region);
+    fig1::print_rows(region, &rows);
+    println!();
+    results::write_and_summarize(
+        "fig1",
+        &fig1::key_metric(&rows),
+        &fig1::to_json(region, &rows),
+    );
 }

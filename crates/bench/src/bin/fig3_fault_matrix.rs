@@ -3,6 +3,11 @@
 //!
 //! Usage: `cargo run -p ame-bench --bin fig3_fault_matrix --release`
 
+use ame_bench::{fig3, results};
+
 fn main() {
-    ame_bench::fig3::print();
+    let rows = fig3::compute();
+    fig3::print_rows(&rows);
+    println!();
+    results::write_and_summarize("fig3", &fig3::key_metric(&rows), &fig3::to_json(&rows));
 }

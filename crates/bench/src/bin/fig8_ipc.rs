@@ -7,11 +7,25 @@
 //! Pass `--all` (as any argument) to include the compute-bound
 //! applications the paper omits from the figure.
 
+use ame_bench::{fig8, results};
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.iter().any(|a| a == "--all");
     let nums: Vec<&String> = args.iter().filter(|a| *a != "--all").collect();
-    let ops: usize = ame_bench::parse_arg(nums.first().map(|s| s.to_string()), "ops per core", 400_000);
+    let ops: usize =
+        ame_bench::parse_arg(nums.first().map(|s| s.to_string()), "ops per core", 400_000);
     let seed: u64 = ame_bench::parse_arg(nums.get(1).map(|s| s.to_string()), "seed", 2018);
-    ame_bench::fig8::print_with(seed, ops, all);
+    let rows = if all {
+        fig8::compute_all(seed, ops)
+    } else {
+        fig8::compute(seed, ops)
+    };
+    fig8::print_rows(&rows);
+    println!();
+    results::write_and_summarize(
+        "fig8",
+        &fig8::key_metric(&rows),
+        &fig8::to_json(seed, ops, &rows),
+    );
 }

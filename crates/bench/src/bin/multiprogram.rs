@@ -20,7 +20,10 @@ fn trace(app: ParsecApp, seed: u64, thread: u64, ops: usize) -> Vec<TraceOp> {
 
 fn run(protection: Protection, neighbour: ParsecApp, ops: usize) -> (f64, f64) {
     let config = SimConfig {
-        engine: TimingConfig { protection, ..TimingConfig::default() },
+        engine: TimingConfig {
+            protection,
+            ..TimingConfig::default()
+        },
         ..SimConfig::default()
     };
     let traces = vec![
@@ -32,8 +35,7 @@ fn run(protection: Protection, neighbour: ParsecApp, ops: usize) -> (f64, f64) {
     let r = Simulator::new(config).run(&traces);
     // Per-core IPC over each core's own completion time (the hog runs on
     // long after the compute cores finish).
-    let own_ipc =
-        |c: &ame_sim::CoreSummary| c.instructions as f64 / c.finished_at.max(1) as f64;
+    let own_ipc = |c: &ame_sim::CoreSummary| c.instructions as f64 / c.finished_at.max(1) as f64;
     let compute_ipc: f64 = r.per_core[..3].iter().map(own_ipc).sum::<f64>() / 3.0;
     let hog_ipc = own_ipc(&r.per_core[3]);
     (compute_ipc, hog_ipc)
@@ -58,7 +60,10 @@ fn main() {
         ),
         (
             "MAC-in-ECC + delta",
-            Protection::Bmt { mac: MacPlacement::MacInEcc, counters: CounterSchemeKind::Delta },
+            Protection::Bmt {
+                mac: MacPlacement::MacInEcc,
+                counters: CounterSchemeKind::Delta,
+            },
         ),
     ] {
         let (quiet, _) = run(protection, ParsecApp::Blackscholes, ops);

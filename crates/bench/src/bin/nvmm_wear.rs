@@ -4,9 +4,17 @@
 //!
 //! Usage: `cargo run -p ame-bench --bin nvmm_wear --release [ops_per_core] [seed]`
 
+use ame_bench::{nvmm, results};
+
 fn main() {
     let ops: usize = ame_bench::parse_arg(std::env::args().nth(1), "ops per core", 1_000_000);
-    let seed: u64 =
-        ame_bench::parse_arg(std::env::args().nth(2), "seed", 2018);
-    ame_bench::nvmm::print(seed, ops);
+    let seed: u64 = ame_bench::parse_arg(std::env::args().nth(2), "seed", 2018);
+    let rows = nvmm::compute(seed, ops);
+    nvmm::print_rows(&rows);
+    println!();
+    results::write_and_summarize(
+        "nvmm_wear",
+        &nvmm::key_metric(&rows),
+        &nvmm::to_json(seed, ops, &rows),
+    );
 }

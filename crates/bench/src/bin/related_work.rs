@@ -12,7 +12,10 @@ use ame_workloads::ParsecApp;
 
 fn config(protection: Protection) -> SimConfig {
     SimConfig {
-        engine: TimingConfig { protection, ..TimingConfig::default() },
+        engine: TimingConfig {
+            protection,
+            ..TimingConfig::default()
+        },
         ..SimConfig::default()
     }
 }
@@ -26,11 +29,18 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>12} {:>16}",
         "program", "data-Merkle", "BMT", "full system", "BMT/data-Merkle"
     );
-    for app in [ParsecApp::Facesim, ParsecApp::Canneal, ParsecApp::Freqmine, ParsecApp::Vips] {
+    for app in [
+        ParsecApp::Facesim,
+        ParsecApp::Canneal,
+        ParsecApp::Freqmine,
+        ParsecApp::Vips,
+    ] {
         let base = run_sim_warm(app, config(Protection::Unprotected), seed, ops).ipc();
         let dm = run_sim_warm(
             app,
-            config(Protection::DataMerkle { counters: CounterSchemeKind::Monolithic }),
+            config(Protection::DataMerkle {
+                counters: CounterSchemeKind::Monolithic,
+            }),
             seed,
             ops,
         )

@@ -4,10 +4,21 @@
 //!
 //! Usage: `cargo run -p ame-bench --bin reliability --release [months]`
 
-use ame_bench::reliability::ReliabilityConfig;
+use ame_bench::reliability::{self, ReliabilityConfig};
+use ame_bench::results;
 
 fn main() {
-    let months: u32 =
-        ame_bench::parse_arg(std::env::args().nth(1), "months", 120);
-    ame_bench::reliability::print(ReliabilityConfig { months, ..ReliabilityConfig::default() });
+    let months: u32 = ame_bench::parse_arg(std::env::args().nth(1), "months", 120);
+    let cfg = ReliabilityConfig {
+        months,
+        ..ReliabilityConfig::default()
+    };
+    let rows = reliability::compute(cfg);
+    reliability::print_rows(cfg, &rows);
+    println!();
+    results::write_and_summarize(
+        "reliability",
+        &reliability::key_metric(&rows),
+        &reliability::to_json(cfg, &rows),
+    );
 }

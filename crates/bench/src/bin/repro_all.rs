@@ -1,11 +1,14 @@
 //! One-shot artifact reproduction: runs every experiment in sequence at
-//! the default sizes and prints all tables/figures. Intended for
+//! the default sizes, prints all tables/figures, and writes one JSON
+//! artifact per experiment into `results/` (override with
+//! `AME_RESULTS_DIR`). Intended for
 //! `cargo run -p ame-bench --bin repro_all --release | tee results.txt`.
 //!
 //! Takes ~1-2 minutes in release mode. Individual experiments are also
 //! available as standalone binaries (see README).
 
 use ame_bench::reliability::ReliabilityConfig;
+use ame_bench::results;
 
 fn section(title: &str) {
     println!("\n{}\n{}\n", "=".repeat(72), title);
@@ -13,32 +16,108 @@ fn section(title: &str) {
 
 fn main() {
     let seed = 2018;
+    let mut summaries: Vec<(String, String)> = Vec::new();
+    let mut emit = |experiment: &str, key_metric: String, doc: &ame_telemetry::Json| {
+        match results::write_json(experiment, doc) {
+            Ok(path) => summaries.push((
+                format!("{experiment:<16} {key_metric}"),
+                results::display(&path),
+            )),
+            Err(e) => summaries.push((
+                format!("{experiment:<16} {key_metric}"),
+                format!("write failed: {e}"),
+            )),
+        }
+    };
 
     section("E1 / Figure 1: storage overhead");
-    ame_bench::fig1::print(512 << 20);
+    let region = 512 << 20;
+    let fig1_rows = ame_bench::fig1::compute(region);
+    ame_bench::fig1::print_rows(region, &fig1_rows);
+    emit(
+        "fig1",
+        ame_bench::fig1::key_metric(&fig1_rows),
+        &ame_bench::fig1::to_json(region, &fig1_rows),
+    );
 
     section("E2 / Figure 3: fault-coverage matrix");
-    ame_bench::fig3::print();
+    let fig3_rows = ame_bench::fig3::compute();
+    ame_bench::fig3::print_rows(&fig3_rows);
+    emit(
+        "fig3",
+        ame_bench::fig3::key_metric(&fig3_rows),
+        &ame_bench::fig3::to_json(&fig3_rows),
+    );
 
     section("E3-E4 / Table 1 + Figure 8: normalized IPC");
-    ame_bench::fig8::print(seed, 200_000);
+    let fig8_ops = 200_000;
+    let fig8_rows = ame_bench::fig8::compute(seed, fig8_ops);
+    ame_bench::fig8::print_rows(&fig8_rows);
+    emit(
+        "fig8",
+        ame_bench::fig8::key_metric(&fig8_rows),
+        &ame_bench::fig8::to_json(seed, fig8_ops, &fig8_rows),
+    );
 
     section("E5 / Table 2: re-encryptions per 10^9 cycles");
-    ame_bench::table2::print(seed, 1_000_000);
+    let table2_ops = 1_000_000;
+    let table2_rows = ame_bench::table2::compute(seed, table2_ops);
+    ame_bench::table2::print_rows(&table2_rows);
+    emit(
+        "table2",
+        ame_bench::table2::key_metric(&table2_rows),
+        &ame_bench::table2::to_json(seed, table2_ops, &table2_rows),
+    );
 
     section("E9 / ablations: delta design choices");
-    ame_bench::ablation::print(400_000);
+    let delta_ops = 400_000;
+    let delta = ame_bench::ablation::delta_report(delta_ops);
+    ame_bench::ablation::print_delta(&delta);
+    emit(
+        "ablation_delta",
+        ame_bench::ablation::delta_key_metric(&delta),
+        &ame_bench::ablation::delta_to_json(delta_ops, &delta),
+    );
 
     section("E10 / ablations: engine configuration");
-    ame_bench::ablation::print_cache_sweep(60_000);
+    let engine_ops = 60_000;
+    let engine = ame_bench::ablation::engine_report(engine_ops);
+    ame_bench::ablation::print_engine_cache_sweep(&engine);
     println!();
-    ame_bench::ablation::print_perf(60_000);
+    ame_bench::ablation::print_engine_perf(&engine);
+    emit(
+        "ablation_engine",
+        ame_bench::ablation::engine_key_metric(&engine),
+        &ame_bench::ablation::engine_to_json(engine_ops, &engine),
+    );
 
     section("extension: NVMM wear amplification");
-    ame_bench::nvmm::print(seed, 400_000);
+    let wear_ops = 400_000;
+    let wear = ame_bench::nvmm::compute(seed, wear_ops);
+    ame_bench::nvmm::print_rows(&wear);
+    emit(
+        "nvmm_wear",
+        ame_bench::nvmm::key_metric(&wear),
+        &ame_bench::nvmm::to_json(seed, wear_ops, &wear),
+    );
 
     section("extension: reliability Monte-Carlo");
-    ame_bench::reliability::print(ReliabilityConfig { months: 24, ..ReliabilityConfig::default() });
+    let rel_cfg = ReliabilityConfig {
+        months: 24,
+        ..ReliabilityConfig::default()
+    };
+    let rel_rows = ame_bench::reliability::compute(rel_cfg);
+    ame_bench::reliability::print_rows(rel_cfg, &rel_rows);
+    emit(
+        "reliability",
+        ame_bench::reliability::key_metric(&rel_rows),
+        &ame_bench::reliability::to_json(rel_cfg, &rel_rows),
+    );
+
+    section("results written");
+    for (line, path) in &summaries {
+        println!("{line}  -> {path}");
+    }
 
     println!(
         "\ndone. Also available standalone: related_work (tree-design lineage),\n\

@@ -14,7 +14,9 @@ use ame_sim::Simulator;
 use ame_workloads::ParsecApp;
 
 fn parse_app(name: &str) -> Option<ParsecApp> {
-    ParsecApp::all().into_iter().find(|a| a.profile().name == name)
+    ParsecApp::all()
+        .into_iter()
+        .find(|a| a.profile().name == name)
 }
 
 fn parse_config(name: &str) -> Option<fig8::Config> {
@@ -34,10 +36,13 @@ fn main() {
         eprintln!("{usage}");
         std::process::exit(2);
     });
-    let config = args.get(2).and_then(|c| parse_config(c)).unwrap_or_else(|| {
-        eprintln!("{usage}");
-        std::process::exit(2);
-    });
+    let config = args
+        .get(2)
+        .and_then(|c| parse_config(c))
+        .unwrap_or_else(|| {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        });
     let ops: usize = ame_bench::parse_arg(args.get(3).cloned(), "ops per core", 200_000);
     let seed: u64 = ame_bench::parse_arg(args.get(4).cloned(), "seed", 2018);
 
@@ -66,7 +71,10 @@ fn main() {
         result.l3.accesses
     );
     println!("tree levels    : {}", result.tree_levels);
-    println!("metadata cache : {:.1}% hit", result.metadata_hit_rate * 100.0);
+    println!(
+        "metadata cache : {:.1}% hit",
+        result.metadata_hit_rate * 100.0
+    );
     println!(
         "engine         : {} reads / {} writes, mean verified-read latency {:.1} cycles",
         result.engine.reads,

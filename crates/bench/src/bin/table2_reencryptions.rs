@@ -4,9 +4,17 @@
 //!
 //! Usage: `cargo run -p ame-bench --bin table2_reencryptions --release [ops_per_core] [seed]`
 
+use ame_bench::{results, table2};
+
 fn main() {
     let ops: usize = ame_bench::parse_arg(std::env::args().nth(1), "ops per core", 2_000_000);
-    let seed: u64 =
-        ame_bench::parse_arg(std::env::args().nth(2), "seed", 2018);
-    ame_bench::table2::print(seed, ops);
+    let seed: u64 = ame_bench::parse_arg(std::env::args().nth(2), "seed", 2018);
+    let rows = table2::compute(seed, ops);
+    table2::print_rows(&rows);
+    println!();
+    results::write_and_summarize(
+        "table2",
+        &table2::key_metric(&rows),
+        &table2::to_json(seed, ops, &rows),
+    );
 }

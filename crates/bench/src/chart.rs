@@ -43,7 +43,11 @@ pub fn grouped_bars(series: &[&str], rows: &[(String, Vec<f64>)], width: usize) 
         for (i, &v) in values.iter().enumerate() {
             let bar_len = ((v / max) * width as f64).round().max(0.0) as usize;
             let glyph = glyphs[i % glyphs.len()];
-            let head = if i == 0 { format!("{label:label_w$}") } else { " ".repeat(label_w) };
+            let head = if i == 0 {
+                format!("{label:label_w$}")
+            } else {
+                " ".repeat(label_w)
+            };
             out.push_str(&format!(
                 "{head}  {}{} {v:.3}\n",
                 glyph.to_string().repeat(bar_len),
@@ -73,11 +77,7 @@ mod tests {
 
     #[test]
     fn multiple_series_use_distinct_glyphs() {
-        let out = grouped_bars(
-            &["x", "y"],
-            &[("row".into(), vec![1.0, 0.5])],
-            8,
-        );
+        let out = grouped_bars(&["x", "y"], &[("row".into(), vec![1.0, 0.5])], 8);
         assert!(out.contains('#'));
         assert!(out.contains('='));
         assert!(out.contains("[#] x"));

@@ -47,15 +47,58 @@ pub fn compute(region_bytes: u64) -> Vec<Fig1Row> {
     ]
 }
 
+/// Serialises the comparison for `results/fig1.json`.
+#[must_use]
+pub fn to_json(region_bytes: u64, rows: &[Fig1Row]) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    let mut params = Json::object();
+    params.push("region_bytes", region_bytes);
+    let mut out = Vec::new();
+    for row in rows {
+        let b = &row.breakdown;
+        let mut obj = Json::object();
+        obj.push("configuration", row.label);
+        obj.push("counters_fraction", b.counters);
+        obj.push("macs_fraction", b.macs);
+        obj.push("mac_ecc_fraction", b.mac_ecc);
+        obj.push("tree_fraction", b.tree);
+        obj.push("ecc_fraction", b.ecc);
+        obj.push("encryption_metadata_fraction", b.encryption_metadata());
+        obj.push("tree_levels", row.tree_levels as u64);
+        out.push(obj);
+    }
+    crate::results::envelope("fig1", params, Json::Arr(out))
+}
+
+/// The one-line metric `repro_all` quotes for this experiment.
+#[must_use]
+pub fn key_metric(rows: &[Fig1Row]) -> String {
+    let baseline = rows[0].breakdown.encryption_metadata();
+    let optimized = rows[2].breakdown.encryption_metadata();
+    format!(
+        "enc. metadata {:.1}% -> {:.1}% ({:.1}x)",
+        baseline * 100.0,
+        optimized * 100.0,
+        baseline / optimized
+    )
+}
+
 /// Prints the comparison in the shape of Figure 1.
 pub fn print(region_bytes: u64) {
-    let rows = compute(region_bytes);
-    println!("=== Figure 1: encryption metadata storage overhead ({} MB region) ===", region_bytes >> 20);
+    print_rows(region_bytes, &compute(region_bytes));
+}
+
+/// Like [`print`], from precomputed rows.
+pub fn print_rows(region_bytes: u64, rows: &[Fig1Row]) {
+    println!(
+        "=== Figure 1: encryption metadata storage overhead ({} MB region) ===",
+        region_bytes >> 20
+    );
     println!(
         "{:<55} {:>9} {:>8} {:>8} {:>8} {:>7} {:>9} {:>6}",
         "configuration", "counters", "MACs", "MAC-ECC", "tree", "ECC", "enc.meta", "levels"
     );
-    for row in &rows {
+    for row in rows {
         let b = &row.breakdown;
         println!(
             "{:<55} {:>8.2}% {:>7.2}% {:>7.2}% {:>7.2}% {:>6.2}% {:>8.2}% {:>6}",
@@ -83,8 +126,10 @@ pub fn print(region_bytes: u64) {
         .iter()
         .map(|r| {
             let b = &r.breakdown;
-            (r.label.split(':').next().unwrap_or(r.label).to_string(),
-             vec![b.counters * 100.0, b.macs * 100.0, b.tree * 100.0])
+            (
+                r.label.split(':').next().unwrap_or(r.label).to_string(),
+                vec![b.counters * 100.0, b.macs * 100.0, b.tree * 100.0],
+            )
         })
         .collect();
     print!(
@@ -106,12 +151,27 @@ mod tests {
         assert!(baseline > 0.22 && baseline < 0.25, "baseline {baseline}");
         // Paper: "reduce the encryption metadata storage overhead ... to
         // just ~2%".
-        assert!(optimized > 0.012 && optimized < 0.025, "optimized {optimized}");
+        assert!(
+            optimized > 0.012 && optimized < 0.025,
+            "optimized {optimized}"
+        );
         // "~10x" reduction claimed in Figure 8's caption.
         assert!(baseline / optimized > 9.0);
         // Tree shrinks from 5 to 4 levels.
         assert_eq!(rows[0].tree_levels, 5);
         assert_eq!(rows[2].tree_levels, 4);
+    }
+
+    #[test]
+    fn json_artifact_carries_all_rows() {
+        let rows = compute(512 << 20);
+        let doc = to_json(512 << 20, &rows).render();
+        assert!(doc.contains("\"experiment\": \"fig1\""));
+        assert!(doc.contains("\"region_bytes\": 536870912"));
+        for row in &rows {
+            assert!(doc.contains(row.label), "{} missing", row.label);
+        }
+        assert!(key_metric(&rows).contains("->"));
     }
 
     #[test]

@@ -21,31 +21,64 @@ pub struct Fig3Row {
 #[must_use]
 pub fn fault_set() -> Vec<(String, FaultPattern)> {
     vec![
-        ("no fault".into(), FaultPattern::Mixed { data_bits: vec![], sideband_bits: vec![] }),
+        (
+            "no fault".into(),
+            FaultPattern::Mixed {
+                data_bits: vec![],
+                sideband_bits: vec![],
+            },
+        ),
         ("1 bit".into(), FaultPattern::SingleBit { bit: 200 }),
         (
             "2 bits, same 8-byte word".into(),
-            FaultPattern::DoubleBitSameWord { word: 2, bits: (5, 40) },
+            FaultPattern::DoubleBitSameWord {
+                word: 2,
+                bits: (5, 40),
+            },
         ),
         (
             "2 bits, different words".into(),
-            FaultPattern::DoubleBitCrossWords { first: (0, 3), second: (5, 17) },
+            FaultPattern::DoubleBitCrossWords {
+                first: (0, 3),
+                second: (5, 17),
+            },
         ),
         (
             "4 bits, one per word".into(),
-            FaultPattern::ScatteredSingles { words: 4, bit_in_word: 21 },
+            FaultPattern::ScatteredSingles {
+                words: 4,
+                bit_in_word: 21,
+            },
         ),
         (
             "8 bits, one per word".into(),
-            FaultPattern::ScatteredSingles { words: 8, bit_in_word: 33 },
+            FaultPattern::ScatteredSingles {
+                words: 8,
+                bit_in_word: 33,
+            },
         ),
-        ("3-bit burst in one word".into(), FaultPattern::Burst { start: 64, len: 3 }),
-        ("x8 chip failure (64 bits)".into(), FaultPattern::ChipFailure { chip: 2 }),
-        ("1 bit in MAC/ECC bits".into(), FaultPattern::Sideband { bits: vec![12] }),
-        ("2 bits in MAC/ECC bits".into(), FaultPattern::Sideband { bits: vec![12, 50] }),
+        (
+            "3-bit burst in one word".into(),
+            FaultPattern::Burst { start: 64, len: 3 },
+        ),
+        (
+            "x8 chip failure (64 bits)".into(),
+            FaultPattern::ChipFailure { chip: 2 },
+        ),
+        (
+            "1 bit in MAC/ECC bits".into(),
+            FaultPattern::Sideband { bits: vec![12] },
+        ),
+        (
+            "2 bits in MAC/ECC bits".into(),
+            FaultPattern::Sideband { bits: vec![12, 50] },
+        ),
         (
             "1 data bit + 1 MAC bit".into(),
-            FaultPattern::Mixed { data_bits: vec![100], sideband_bits: vec![7] },
+            FaultPattern::Mixed {
+                data_bits: vec![100],
+                sideband_bits: vec![7],
+            },
         ),
     ]
 }
@@ -74,12 +107,71 @@ fn cell(outcome: FaultOutcome) -> &'static str {
     }
 }
 
+fn outcome_name(outcome: FaultOutcome) -> &'static str {
+    match outcome {
+        FaultOutcome::NoError => "no_error",
+        FaultOutcome::Corrected => "corrected",
+        FaultOutcome::DetectedUncorrectable => "detected_uncorrectable",
+        FaultOutcome::Miscorrected => "miscorrected",
+        FaultOutcome::Undetected => "undetected",
+    }
+}
+
+/// Serialises the matrix for `results/fig3.json`.
+#[must_use]
+pub fn to_json(rows: &[Fig3Row]) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    let mut params = Json::object();
+    params.push("flip_budget", 2u64);
+    let mut out = Vec::new();
+    for row in rows {
+        let mut obj = Json::object();
+        obj.push("fault", row.fault.as_str());
+        obj.push("fault_weight", row.pattern.weight() as u64);
+        obj.push("sec_ded", outcome_name(row.standard));
+        obj.push("mac_ecc", outcome_name(row.mac_ecc));
+        obj.push("sec_ded_safe", Json::Bool(row.standard.is_safe()));
+        obj.push("mac_ecc_safe", Json::Bool(row.mac_ecc.is_safe()));
+        out.push(obj);
+    }
+    crate::results::envelope("fig3", params, Json::Arr(out))
+}
+
+/// The one-line metric `repro_all` quotes for this experiment.
+#[must_use]
+pub fn key_metric(rows: &[Fig3Row]) -> String {
+    let corrected = rows
+        .iter()
+        .filter(|r| r.mac_ecc == FaultOutcome::Corrected)
+        .count();
+    let unsafe_std = rows.iter().filter(|r| !r.standard.is_safe()).count();
+    format!(
+        "{} faults: MAC-ECC corrects {}, 0 silent; SEC-DED {} unsafe",
+        rows.len(),
+        corrected,
+        unsafe_std
+    )
+}
+
 /// Prints the matrix in the shape of Figure 3.
 pub fn print() {
+    print_rows(&compute());
+}
+
+/// Like [`print`], from precomputed rows.
+pub fn print_rows(rows: &[Fig3Row]) {
     println!("=== Figure 3: fault coverage, standard SEC-DED vs MAC-based ECC ===");
-    println!("{:<28} {:>16} {:>16}", "fault", "SEC-DED(72,64)", "MAC+flip&check");
-    for row in compute() {
-        println!("{:<28} {:>16} {:>16}", row.fault, cell(row.standard), cell(row.mac_ecc));
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "fault", "SEC-DED(72,64)", "MAC+flip&check"
+    );
+    for row in rows {
+        println!(
+            "{:<28} {:>16} {:>16}",
+            row.fault,
+            cell(row.standard),
+            cell(row.mac_ecc)
+        );
     }
     println!(
         "\nkey claims: same-word double flips are only *detected* by SEC-DED but\n\
@@ -98,7 +190,9 @@ mod tests {
     fn matrix_matches_figure3_claims() {
         let rows = compute();
         let by_name = |name: &str| {
-            rows.iter().find(|r| r.fault.starts_with(name)).expect("row present")
+            rows.iter()
+                .find(|r| r.fault.starts_with(name))
+                .expect("row present")
         };
 
         // Single-bit: both correct.
@@ -150,10 +244,16 @@ mod tests {
     #[test]
     fn mac_sideband_faults_handled() {
         let rows = compute();
-        let single = rows.iter().find(|r| r.fault == "1 bit in MAC/ECC bits").unwrap();
+        let single = rows
+            .iter()
+            .find(|r| r.fault == "1 bit in MAC/ECC bits")
+            .unwrap();
         // One flipped MAC bit is repaired by the 7-bit MAC parity.
         assert_eq!(single.mac_ecc, FaultOutcome::Corrected);
-        let double = rows.iter().find(|r| r.fault == "2 bits in MAC/ECC bits").unwrap();
+        let double = rows
+            .iter()
+            .find(|r| r.fault == "2 bits in MAC/ECC bits")
+            .unwrap();
         // Two flipped MAC bits are detected (SEC-DED over the MAC).
         assert_eq!(double.mac_ecc, FaultOutcome::DetectedUncorrectable);
     }

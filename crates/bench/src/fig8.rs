@@ -34,7 +34,12 @@ impl Config {
     /// All configurations in order.
     #[must_use]
     pub fn all() -> [Config; 4] {
-        [Config::Unprotected, Config::Bmt, Config::MacEcc, Config::MacEccDelta]
+        [
+            Config::Unprotected,
+            Config::Bmt,
+            Config::MacEcc,
+            Config::MacEccDelta,
+        ]
     }
 
     /// Display label.
@@ -72,13 +77,20 @@ impl Config {
     #[must_use]
     pub fn sim_config(self) -> SimConfig {
         SimConfig {
-            engine: TimingConfig { protection: self.protection(), ..TimingConfig::default() },
+            engine: TimingConfig {
+                protection: self.protection(),
+                ..TimingConfig::default()
+            },
             ..SimConfig::default()
         }
     }
 }
 
 /// Measured IPC of every configuration for one application.
+///
+/// All fields are read off the run's [`ame_sim::SimResult::telemetry`]
+/// snapshot rather than individual accessors, so this struct documents
+/// the registry paths the experiment depends on.
 #[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Application.
@@ -87,6 +99,12 @@ pub struct Fig8Row {
     pub ipc: [f64; 4],
     /// Metadata-cache hit rates (0 for unprotected).
     pub metadata_hit_rate: [f64; 4],
+    /// Integrity-tree-walk + counter DRAM reads
+    /// (`engine/meta_dram_reads`), 0 when unprotected.
+    pub meta_dram_reads: [u64; 4],
+    /// Total DRAM transactions the engine issued
+    /// (`engine/dram_transactions`).
+    pub dram_transactions: [u64; 4],
 }
 
 impl Fig8Row {
@@ -94,7 +112,12 @@ impl Fig8Row {
     #[must_use]
     pub fn normalized(&self) -> [f64; 4] {
         let base = self.ipc[0];
-        [1.0, self.ipc[1] / base, self.ipc[2] / base, self.ipc[3] / base]
+        [
+            1.0,
+            self.ipc[1] / base,
+            self.ipc[2] / base,
+            self.ipc[3] / base,
+        ]
     }
 
     /// Relative IPC gain of the full system over the BMT baseline.
@@ -109,12 +132,23 @@ impl Fig8Row {
 pub fn measure(app: ParsecApp, seed: u64, ops_per_core: usize) -> Fig8Row {
     let mut ipc = [0.0; 4];
     let mut mhr = [0.0; 4];
+    let mut meta = [0u64; 4];
+    let mut dram = [0u64; 4];
     for (i, cfg) in Config::all().into_iter().enumerate() {
         let result = run_sim_warm(app, cfg.sim_config(), seed, ops_per_core);
-        ipc[i] = result.ipc();
-        mhr[i] = result.metadata_hit_rate;
+        let t = &result.telemetry;
+        ipc[i] = t.gauge("sim/ipc").unwrap_or(0.0);
+        mhr[i] = t.gauge("engine/metadata_cache/hit_rate").unwrap_or(0.0);
+        meta[i] = t.counter("engine/meta_dram_reads").unwrap_or(0);
+        dram[i] = t.counter("engine/dram_transactions").unwrap_or(0);
     }
-    Fig8Row { app, ipc, metadata_hit_rate: mhr }
+    Fig8Row {
+        app,
+        ipc,
+        metadata_hit_rate: mhr,
+        meta_dram_reads: meta,
+        dram_transactions: dram,
+    }
 }
 
 /// Measures one application across several seeds, returning the mean row
@@ -124,20 +158,40 @@ pub fn measure(app: ParsecApp, seed: u64, ops_per_core: usize) -> Fig8Row {
 #[must_use]
 pub fn measure_averaged(app: ParsecApp, seeds: &[u64], ops_per_core: usize) -> (Fig8Row, f64) {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let rows: Vec<Fig8Row> = seeds.iter().map(|&s| measure(app, s, ops_per_core)).collect();
+    let rows: Vec<Fig8Row> = seeds
+        .iter()
+        .map(|&s| measure(app, s, ops_per_core))
+        .collect();
     let n = rows.len() as f64;
     let mut ipc = [0.0f64; 4];
     let mut mhr = [0.0f64; 4];
+    let mut meta = [0u64; 4];
+    let mut dram = [0u64; 4];
     for row in &rows {
         for i in 0..4 {
             ipc[i] += row.ipc[i] / n;
             mhr[i] += row.metadata_hit_rate[i] / n;
+            meta[i] += row.meta_dram_reads[i];
+            dram[i] += row.dram_transactions[i];
         }
+    }
+    for i in 0..4 {
+        meta[i] /= rows.len() as u64;
+        dram[i] /= rows.len() as u64;
     }
     let gains: Vec<f64> = rows.iter().map(Fig8Row::gain_over_bmt).collect();
     let mean_gain = gains.iter().sum::<f64>() / n;
     let var = gains.iter().map(|g| (g - mean_gain).powi(2)).sum::<f64>() / n;
-    (Fig8Row { app, ipc, metadata_hit_rate: mhr }, var.sqrt())
+    (
+        Fig8Row {
+            app,
+            ipc,
+            metadata_hit_rate: mhr,
+            meta_dram_reads: meta,
+            dram_transactions: dram,
+        },
+        var.sqrt(),
+    )
 }
 
 /// Simulates the memory-sensitive applications (the set Figure 8 plots).
@@ -154,7 +208,80 @@ pub fn compute(seed: u64, ops_per_core: usize) -> Vec<Fig8Row> {
 /// measurable impact" on them).
 #[must_use]
 pub fn compute_all(seed: u64, ops_per_core: usize) -> Vec<Fig8Row> {
-    ParsecApp::all().iter().map(|&app| measure(app, seed, ops_per_core)).collect()
+    ParsecApp::all()
+        .iter()
+        .map(|&app| measure(app, seed, ops_per_core))
+        .collect()
+}
+
+/// Serialises the series for `results/fig8.json`.
+#[must_use]
+pub fn to_json(seed: u64, ops_per_core: usize, rows: &[Fig8Row]) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    let mut params = Json::object();
+    params.push("seed", seed);
+    params.push("ops_per_core", ops_per_core as u64);
+    params.push(
+        "configurations",
+        Json::Arr(
+            Config::all()
+                .iter()
+                .map(|c| Json::from(c.label()))
+                .collect(),
+        ),
+    );
+    let mut out = Vec::new();
+    for row in rows {
+        let n = row.normalized();
+        let mut obj = Json::object();
+        obj.push("app", row.app.profile().name);
+        obj.push(
+            "ipc",
+            Json::Arr(row.ipc.iter().map(|&v| Json::from(v)).collect()),
+        );
+        obj.push(
+            "normalized_ipc",
+            Json::Arr(n.iter().map(|&v| Json::from(v)).collect()),
+        );
+        obj.push(
+            "metadata_hit_rate",
+            Json::Arr(
+                row.metadata_hit_rate
+                    .iter()
+                    .map(|&v| Json::from(v))
+                    .collect(),
+            ),
+        );
+        obj.push(
+            "meta_dram_reads",
+            Json::Arr(row.meta_dram_reads.iter().map(|&v| Json::from(v)).collect()),
+        );
+        obj.push(
+            "dram_transactions",
+            Json::Arr(
+                row.dram_transactions
+                    .iter()
+                    .map(|&v| Json::from(v))
+                    .collect(),
+            ),
+        );
+        obj.push("gain_over_bmt", row.gain_over_bmt());
+        out.push(obj);
+    }
+    crate::results::envelope("fig8", params, Json::Arr(out))
+}
+
+/// The one-line metric `repro_all` quotes for this experiment.
+#[must_use]
+pub fn key_metric(rows: &[Fig8Row]) -> String {
+    let gains: Vec<f64> = rows.iter().map(Fig8Row::gain_over_bmt).collect();
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    let max = gains.iter().cloned().fold(f64::MIN, f64::max);
+    format!(
+        "avg gain over BMT {:.1}%, max {:.1}%",
+        avg * 100.0,
+        max * 100.0
+    )
 }
 
 /// Prints Table 1 (the configuration) and the Figure 8 series.
@@ -164,6 +291,16 @@ pub fn print(seed: u64, ops_per_core: usize) {
 
 /// Like [`print`], optionally including all 11 applications.
 pub fn print_with(seed: u64, ops_per_core: usize, all_apps: bool) {
+    let rows = if all_apps {
+        compute_all(seed, ops_per_core)
+    } else {
+        compute(seed, ops_per_core)
+    };
+    print_rows(&rows);
+}
+
+/// Prints Table 1 and the Figure 8 series from precomputed rows.
+pub fn print_rows(rows: &[Fig8Row]) {
     println!("=== Table 1: simulated system ===");
     let cfg = SimConfig::default();
     println!(
@@ -188,10 +325,8 @@ pub fn print_with(seed: u64, ops_per_core: usize, all_apps: bool) {
         "{:<14} {:>12} {:>12} {:>12} {:>14} {:>10}",
         "program", "unprotected", "BMT", "+MAC-ECC", "+MAC-ECC+delta", "gain/BMT"
     );
-    let rows =
-        if all_apps { compute_all(seed, ops_per_core) } else { compute(seed, ops_per_core) };
     let mut gains = Vec::new();
-    for row in &rows {
+    for row in rows {
         let n = row.normalized();
         gains.push(row.gain_over_bmt());
         println!(
@@ -223,11 +358,7 @@ pub fn print_with(seed: u64, ops_per_core: usize, all_apps: bool) {
         .collect();
     print!(
         "{}",
-        crate::chart::grouped_bars(
-            &["BMT", "+MAC-ECC", "+MAC-ECC+delta"],
-            &chart_rows,
-            44
-        )
+        crate::chart::grouped_bars(&["BMT", "+MAC-ECC", "+MAC-ECC+delta"], &chart_rows, 44)
     );
 }
 
@@ -253,7 +384,11 @@ mod tests {
     fn compute_bound_app_sees_little_impact() {
         let row = measure(ParsecApp::Swaptions, 9, 100_000);
         let n = row.normalized();
-        assert!(n[1] > 0.9, "swaptions BMT impact should be small, got {}", n[1]);
+        assert!(
+            n[1] > 0.9,
+            "swaptions BMT impact should be small, got {}",
+            n[1]
+        );
     }
 
     #[test]

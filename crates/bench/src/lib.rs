@@ -19,8 +19,10 @@ pub mod chart;
 pub mod fig1;
 pub mod fig3;
 pub mod fig8;
+pub mod micro;
 pub mod nvmm;
 pub mod reliability;
+pub mod results;
 pub mod table2;
 
 use ame_cache::{AccessKind, Cache, CacheConfig};
@@ -31,7 +33,12 @@ use ame_workloads::{ParsecApp, TraceGenerator, TraceOp};
 /// Generates the per-core traces for one application run (4 threads, as in
 /// the paper's `sim-med` runs).
 #[must_use]
-pub fn app_traces(app: ParsecApp, seed: u64, ops_per_core: usize, cores: usize) -> Vec<Vec<TraceOp>> {
+pub fn app_traces(
+    app: ParsecApp,
+    seed: u64,
+    ops_per_core: usize,
+    cores: usize,
+) -> Vec<Vec<TraceOp>> {
     (0..cores as u64)
         .map(|t| TraceGenerator::new(app.profile(), seed, t).take_ops(ops_per_core))
         .collect()
@@ -49,7 +56,12 @@ pub fn run_sim(app: ParsecApp, config: SimConfig, seed: u64, ops_per_core: usize
 /// Figure 8 numbers, matching the paper's full-execution runs where
 /// cold-start effects are negligible.
 #[must_use]
-pub fn run_sim_warm(app: ParsecApp, config: SimConfig, seed: u64, ops_per_core: usize) -> SimResult {
+pub fn run_sim_warm(
+    app: ParsecApp,
+    config: SimConfig,
+    seed: u64,
+    ops_per_core: usize,
+) -> SimResult {
     let traces = app_traces(app, seed, ops_per_core, config.cores);
     Simulator::new(config).run_with_warmup(&traces, ops_per_core / 4)
 }
@@ -83,14 +95,19 @@ pub fn drive_writeback_stream_with(
     scheme: &mut dyn CounterScheme,
 ) -> u64 {
     let mut llc = Cache::new(filter);
-    let mut gens: Vec<_> =
-        (0..cores as u64).map(|t| TraceGenerator::new(profile, seed, t)).collect();
+    let mut gens: Vec<_> = (0..cores as u64)
+        .map(|t| TraceGenerator::new(profile, seed, t))
+        .collect();
     let mut instructions = 0u64;
     for _ in 0..ops_per_core {
         for gen in &mut gens {
             let op = gen.next_op();
             instructions += u64::from(op.compute) + 1;
-            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if op.write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let res = llc.access(op.addr, kind);
             if let Some(victim) = res.writeback() {
                 scheme.record_write(victim / 64);
@@ -161,8 +178,7 @@ mod tests {
     #[test]
     fn writeback_stream_reaches_scheme() {
         let mut scheme = SplitCounters::default();
-        let instr =
-            drive_writeback_stream(ParsecApp::Canneal, 3, 4_000, 4, &mut scheme);
+        let instr = drive_writeback_stream(ParsecApp::Canneal, 3, 4_000, 4, &mut scheme);
         assert!(instr > 0);
         assert!(scheme.stats().writes > 0, "canneal must evict dirty lines");
     }

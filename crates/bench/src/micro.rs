@@ -1,0 +1,39 @@
+//! A minimal wall-clock microbenchmark harness.
+//!
+//! The workspace builds offline, so criterion is unavailable; the
+//! `benches/` targets (already `harness = false`) drive this instead.
+//! Each benchmark self-calibrates its iteration count during a short
+//! warmup and reports nanoseconds per iteration. The numbers bound the
+//! cost of the *software model* — the simulator charges the paper's
+//! hardware latencies separately.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Warmup length used to calibrate the iteration count.
+const WARMUP: Duration = Duration::from_millis(20);
+/// Target length of the measured run.
+const MEASURE: Duration = Duration::from_millis(100);
+
+/// Times `f` and prints one aligned `name  ns/iter` line.
+///
+/// Returns the measured nanoseconds per iteration so callers can assert
+/// sanity bounds if they want to.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> f64 {
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+    let iters = ((MEASURE.as_nanos() as f64 / per_iter_ns).ceil() as u64).clamp(1, 100_000_000);
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {ns:>14.1} ns/iter   ({iters} iters)");
+    ns
+}

@@ -52,12 +52,19 @@ pub fn measure_scheme(
     for _ in 0..ops_per_core {
         for gen in &mut gens {
             let op = gen.next_op();
-            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if op.write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             if let Some(victim) = llc.access(op.addr, kind).writeback() {
                 let block = victim / 64;
                 wear.record_app_write(block);
-                if let WriteOutcome::Reencrypted { group, old_counters, .. } =
-                    scheme.record_write(block)
+                if let WriteOutcome::Reencrypted {
+                    group,
+                    old_counters,
+                    ..
+                } = scheme.record_write(block)
                 {
                     // The sweep rewrites every block of the group; the
                     // triggering block's own rewrite replaces its pending
@@ -97,16 +104,85 @@ pub fn measure(app: ParsecApp, seed: u64, ops_per_core: usize) -> Vec<WearRow> {
     rows
 }
 
+/// The write-heavy applications the experiment reports on.
+#[must_use]
+pub fn apps() -> [ParsecApp; 4] {
+    [
+        ParsecApp::Facesim,
+        ParsecApp::Dedup,
+        ParsecApp::Canneal,
+        ParsecApp::Vips,
+    ]
+}
+
+/// Measures every scheme on every write-heavy application.
+#[must_use]
+pub fn compute(seed: u64, ops_per_core: usize) -> Vec<(ParsecApp, Vec<WearRow>)> {
+    apps()
+        .into_iter()
+        .map(|app| (app, measure(app, seed, ops_per_core)))
+        .collect()
+}
+
+/// Serialises the comparison for `results/nvmm_wear.json`.
+#[must_use]
+pub fn to_json(
+    seed: u64,
+    ops_per_core: usize,
+    rows: &[(ParsecApp, Vec<WearRow>)],
+) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    let mut params = Json::object();
+    params.push("seed", seed);
+    params.push("ops_per_core", ops_per_core as u64);
+    let mut out = Vec::new();
+    for (app, schemes) in rows {
+        for row in schemes {
+            let mut obj = Json::object();
+            obj.push("app", app.profile().name);
+            obj.push("scheme", row.scheme);
+            obj.push("logical_writes", row.logical_writes);
+            obj.push("physical_writes", row.physical_writes);
+            obj.push("wear_amplification", row.amplification);
+            obj.push("max_wear", row.max_wear);
+            obj.push("reencryptions", row.reencryptions);
+            out.push(obj);
+        }
+    }
+    crate::results::envelope("nvmm_wear", params, Json::Arr(out))
+}
+
+/// The one-line metric `repro_all` quotes for this experiment.
+#[must_use]
+pub fn key_metric(rows: &[(ParsecApp, Vec<WearRow>)]) -> String {
+    let worst = rows
+        .iter()
+        .flat_map(|(app, schemes)| schemes.iter().map(move |r| (app, r)))
+        .max_by(|a, b| a.1.amplification.total_cmp(&b.1.amplification))
+        .expect("at least one row");
+    format!(
+        "worst amplification {:.3} ({} on {})",
+        worst.1.amplification,
+        worst.1.scheme,
+        worst.0.profile().name
+    )
+}
+
 /// Prints the wear comparison for the write-heavy applications.
 pub fn print(seed: u64, ops_per_core: usize) {
+    print_rows(&compute(seed, ops_per_core));
+}
+
+/// Like [`print`], from precomputed rows.
+pub fn print_rows(rows: &[(ParsecApp, Vec<WearRow>)]) {
     println!("=== NVMM wear: physical write amplification per counter scheme ===");
-    for app in [ParsecApp::Facesim, ParsecApp::Dedup, ParsecApp::Canneal, ParsecApp::Vips] {
+    for (app, schemes) in rows {
         println!("\n{}:", app.profile().name);
         println!(
             "{:<20} {:>12} {:>12} {:>8} {:>9} {:>8}",
             "scheme", "logical", "physical", "amp", "max wear", "re-enc"
         );
-        for row in measure(app, seed, ops_per_core) {
+        for row in schemes {
             println!(
                 "{:<20} {:>12} {:>12} {:>8.3} {:>9} {:>8}",
                 row.scheme,
@@ -160,11 +236,7 @@ mod tests {
         let rows = measure(ParsecApp::Dedup, 3, OPS);
         for row in &rows {
             assert!(row.amplification >= 1.0, "{}", row.scheme);
-            assert!(
-                row.physical_writes >= row.logical_writes,
-                "{}",
-                row.scheme
-            );
+            assert!(row.physical_writes >= row.logical_writes, "{}", row.scheme);
             if row.reencryptions == 0 {
                 assert_eq!(row.physical_writes, row.logical_writes, "{}", row.scheme);
             }

@@ -12,8 +12,7 @@
 
 use ame_ecc::fault::{FaultOutcome, FaultPattern};
 use ame_engine::correction::{evaluate_fault, Scheme};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ame_prng::StdRng;
 
 /// Configuration of one Monte-Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +33,13 @@ impl Default for ReliabilityConfig {
     /// Meza-style incidence: ~9 correctable errors/month over a region of
     /// 64 Ki blocks (4 MB of hot memory), daily scrubbing, 10 years.
     fn default() -> Self {
-        Self { faults_per_month: 9.0, months: 120, scrubs_per_month: 30, blocks: 65_536, seed: 7 }
+        Self {
+            faults_per_month: 9.0,
+            months: 120,
+            scrubs_per_month: 30,
+            blocks: 65_536,
+            seed: 7,
+        }
     }
 }
 
@@ -72,7 +77,7 @@ fn poisson(rng: &mut StdRng, mean: f64) -> u64 {
     let mut k = 0u64;
     let mut p = 1.0;
     loop {
-        p *= rng.gen::<f64>();
+        p *= rng.next_f64();
         if p <= l {
             return k;
         }
@@ -117,7 +122,10 @@ pub fn simulate(scheme: Scheme, cfg: ReliabilityConfig) -> ReliabilityReport {
                 continue;
             }
             report.faulty_blocks += 1;
-            let pattern = FaultPattern::Mixed { data_bits, sideband_bits };
+            let pattern = FaultPattern::Mixed {
+                data_bits,
+                sideband_bits,
+            };
             match evaluate_fault(scheme, &pattern) {
                 FaultOutcome::Corrected | FaultOutcome::NoError => report.corrected += 1,
                 FaultOutcome::DetectedUncorrectable => report.detected += 1,
@@ -128,8 +136,85 @@ pub fn simulate(scheme: Scheme, cfg: ReliabilityConfig) -> ReliabilityReport {
     report
 }
 
+/// One (scheme, fault-rate) cell of the study.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Mean faults per month used for this run.
+    pub faults_per_month: f64,
+    /// The campaign's outcome counts.
+    pub report: ReliabilityReport,
+}
+
+/// Runs both schemes at the standard fault intensities.
+#[must_use]
+pub fn compute(cfg: ReliabilityConfig) -> Vec<MatrixRow> {
+    let mut rows = Vec::new();
+    for rate in [9.0, 100.0, 1000.0] {
+        let cfg = ReliabilityConfig {
+            faults_per_month: rate,
+            ..cfg
+        };
+        for (name, scheme) in [
+            ("SEC-DED", Scheme::StandardEcc),
+            ("MAC-in-ECC", Scheme::MacEcc { max_flips: 2 }),
+        ] {
+            rows.push(MatrixRow {
+                scheme: name,
+                faults_per_month: rate,
+                report: simulate(scheme, cfg),
+            });
+        }
+    }
+    rows
+}
+
+/// Serialises the study for `results/reliability.json`.
+#[must_use]
+pub fn to_json(cfg: ReliabilityConfig, rows: &[MatrixRow]) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    let mut params = Json::object();
+    params.push("months", u64::from(cfg.months));
+    params.push("scrubs_per_month", u64::from(cfg.scrubs_per_month));
+    params.push("blocks", cfg.blocks);
+    params.push("seed", cfg.seed);
+    let mut out = Vec::new();
+    for row in rows {
+        let r = &row.report;
+        let mut obj = Json::object();
+        obj.push("scheme", row.scheme);
+        obj.push("faults_per_month", row.faults_per_month);
+        obj.push("flips", r.flips);
+        obj.push("faulty_blocks", r.faulty_blocks);
+        obj.push("corrected", r.corrected);
+        obj.push("detected_uncorrectable", r.detected);
+        obj.push("silent", r.silent);
+        obj.push("repair_rate", r.repair_rate());
+        out.push(obj);
+    }
+    crate::results::envelope("reliability", params, Json::Arr(out))
+}
+
+/// The one-line metric `repro_all` quotes for this experiment.
+#[must_use]
+pub fn key_metric(rows: &[MatrixRow]) -> String {
+    let mac_silent: u64 = rows
+        .iter()
+        .filter(|r| r.scheme == "MAC-in-ECC")
+        .map(|r| r.report.silent)
+        .sum();
+    let flips: u64 = rows.iter().map(|r| r.report.flips).sum();
+    format!("{flips} flips injected, MAC-in-ECC silent corruptions: {mac_silent}")
+}
+
 /// Prints the study for both schemes at a few fault intensities.
 pub fn print(cfg: ReliabilityConfig) {
+    print_rows(cfg, &compute(cfg));
+}
+
+/// Like [`print`], from precomputed rows.
+pub fn print_rows(cfg: ReliabilityConfig, rows: &[MatrixRow]) {
     println!(
         "=== Reliability Monte-Carlo: {} months, {} scrubs/month, {} blocks ===",
         cfg.months, cfg.scrubs_per_month, cfg.blocks
@@ -138,24 +223,18 @@ pub fn print(cfg: ReliabilityConfig) {
         "{:<22} {:>8} {:>8} {:>10} {:>9} {:>7} {:>12}",
         "scheme / faults/mo", "flips", "faulty", "corrected", "detected", "silent", "repair rate"
     );
-    for rate in [9.0, 100.0, 1000.0] {
-        let cfg = ReliabilityConfig { faults_per_month: rate, ..cfg };
-        for (name, scheme) in [
-            ("SEC-DED", Scheme::StandardEcc),
-            ("MAC-in-ECC", Scheme::MacEcc { max_flips: 2 }),
-        ] {
-            let r = simulate(scheme, cfg);
-            println!(
-                "{:<22} {:>8} {:>8} {:>10} {:>9} {:>7} {:>11.2}%",
-                format!("{name} @ {rate}"),
-                r.flips,
-                r.faulty_blocks,
-                r.corrected,
-                r.detected,
-                r.silent,
-                r.repair_rate() * 100.0
-            );
-        }
+    for row in rows {
+        let r = &row.report;
+        println!(
+            "{:<22} {:>8} {:>8} {:>10} {:>9} {:>7} {:>11.2}%",
+            format!("{} @ {}", row.scheme, row.faults_per_month),
+            r.flips,
+            r.faulty_blocks,
+            r.corrected,
+            r.detected,
+            r.silent,
+            r.repair_rate() * 100.0
+        );
     }
     println!(
         "\nat field-reported fault rates (~9/month) both schemes repair\n\
@@ -169,7 +248,11 @@ mod tests {
     use super::*;
 
     fn small() -> ReliabilityConfig {
-        ReliabilityConfig { months: 12, blocks: 4096, ..ReliabilityConfig::default() }
+        ReliabilityConfig {
+            months: 12,
+            blocks: 4096,
+            ..ReliabilityConfig::default()
+        }
     }
 
     #[test]
@@ -192,7 +275,10 @@ mod tests {
             seed: 9,
         };
         let r = simulate(Scheme::MacEcc { max_flips: 2 }, cfg);
-        assert!(r.detected > 0, "some blocks must exceed the correction budget: {r:?}");
+        assert!(
+            r.detected > 0,
+            "some blocks must exceed the correction budget: {r:?}"
+        );
         assert_eq!(r.silent, 0, "{r:?}");
     }
 
@@ -208,7 +294,10 @@ mod tests {
         let rare = simulate(Scheme::MacEcc { max_flips: 2 }, base);
         let frequent = simulate(
             Scheme::MacEcc { max_flips: 2 },
-            ReliabilityConfig { scrubs_per_month: 30, ..base },
+            ReliabilityConfig {
+                scrubs_per_month: 30,
+                ..base
+            },
         );
         assert!(
             frequent.detected < rare.detected,

@@ -79,8 +79,10 @@ pub fn measure(app: ParsecApp, seed: u64, ops_per_core: usize) -> Table2Row {
 #[must_use]
 pub fn measure_averaged(app: ParsecApp, seeds: &[u64], ops_per_core: usize) -> Table2Row {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let rows: Vec<Table2Row> =
-        seeds.iter().map(|&s| measure(app, s, ops_per_core)).collect();
+    let rows: Vec<Table2Row> = seeds
+        .iter()
+        .map(|&s| measure(app, s, ops_per_core))
+        .collect();
     let n = rows.len() as f64;
     Table2Row {
         app,
@@ -101,18 +103,69 @@ pub fn compute(seed: u64, ops_per_core: usize) -> Vec<Table2Row> {
         .collect()
 }
 
+/// Serialises the table for `results/table2.json` (measured values with
+/// the paper's reference numbers alongside).
+#[must_use]
+pub fn to_json(seed: u64, ops_per_core: usize, rows: &[Table2Row]) -> ame_telemetry::Json {
+    use ame_telemetry::Json;
+    let mut params = Json::object();
+    params.push("seed", seed);
+    params.push("ops_per_core", ops_per_core as u64);
+    params.push("seeds_averaged", 3u64);
+    let mut out = Vec::new();
+    for row in rows {
+        let (ps, pd, pl) = paper_reference(row.app);
+        let mut obj = Json::object();
+        obj.push("app", row.app.profile().name);
+        obj.push("split_per_gcycle", row.split);
+        obj.push("delta_per_gcycle", row.delta);
+        obj.push("dual_per_gcycle", row.dual);
+        obj.push("paper_split", ps);
+        obj.push("paper_delta", pd);
+        obj.push("paper_dual", pl);
+        out.push(obj);
+    }
+    crate::results::envelope("table2", params, Json::Arr(out))
+}
+
+/// The one-line metric `repro_all` quotes for this experiment.
+#[must_use]
+pub fn key_metric(rows: &[Table2Row]) -> String {
+    let worst = rows
+        .iter()
+        .max_by(|a, b| a.split.total_cmp(&b.split))
+        .expect("at least one row");
+    format!(
+        "worst split {:.0}/Gcycle ({}), delta {:.0}",
+        worst.split,
+        worst.app.profile().name,
+        worst.delta
+    )
+}
+
 /// Prints the table with the paper's values alongside.
 pub fn print(seed: u64, ops_per_core: usize) {
+    print_rows(&compute(seed, ops_per_core));
+}
+
+/// Like [`print`], from precomputed rows.
+pub fn print_rows(rows: &[Table2Row]) {
     println!("=== Table 2: re-encryptions per 10^9 cycles (measured | paper) ===");
     println!(
         "{:<14} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
         "program", "split", "(paper)", "7b delta", "(paper)", "dual-len", "(paper)"
     );
-    for row in compute(seed, ops_per_core) {
+    for row in rows {
         let (ps, pd, pl) = paper_reference(row.app);
         println!(
             "{:<14} {:>9.0} {:>9.0} | {:>9.0} {:>9.0} | {:>9.0} {:>9.0}",
-            row.app.profile().name, row.split, ps, row.delta, pd, row.dual, pl
+            row.app.profile().name,
+            row.split,
+            ps,
+            row.delta,
+            pd,
+            row.dual,
+            pl
         );
     }
     println!(
@@ -147,7 +200,10 @@ mod tests {
     fn sweep_workloads_show_big_delta_advantage() {
         // dedup: the paper's 725 -> 51 (14x); require at least 2x here.
         let row = measure(ParsecApp::Dedup, 7, OPS);
-        assert!(row.split > 0.0, "dedup must re-encrypt under split counters");
+        assert!(
+            row.split > 0.0,
+            "dedup must re-encrypt under split counters"
+        );
         assert!(
             row.split >= 2.0 * row.delta.max(1.0),
             "dedup: split {} vs delta {}",
@@ -184,8 +240,10 @@ mod tests {
     fn averaging_smooths_seed_variation() {
         let seeds = [7u64, 8, 9];
         let avg = measure_averaged(ParsecApp::Dedup, &seeds, OPS);
-        let singles: Vec<f64> =
-            seeds.iter().map(|&s| measure(ParsecApp::Dedup, s, OPS).split).collect();
+        let singles: Vec<f64> = seeds
+            .iter()
+            .map(|&s| measure(ParsecApp::Dedup, s, OPS).split)
+            .collect();
         let mean = singles.iter().sum::<f64>() / 3.0;
         assert!((avg.split - mean).abs() < 1e-6, "{} vs {mean}", avg.split);
         // The averaged value sits within the per-seed envelope.
@@ -196,7 +254,11 @@ mod tests {
 
     #[test]
     fn compute_bound_apps_rarely_reencrypt() {
-        for app in [ParsecApp::Swaptions, ParsecApp::Blackscholes, ParsecApp::Bodytrack] {
+        for app in [
+            ParsecApp::Swaptions,
+            ParsecApp::Blackscholes,
+            ParsecApp::Bodytrack,
+        ] {
             let row = measure(app, 7, OPS);
             assert!(
                 row.split < 20.0 && row.delta < 20.0 && row.dual < 20.0,

@@ -1,0 +1,60 @@
+//! End-to-end check that the telemetry registry carries the engine's
+//! tree-walk traffic through a full Figure-8-style simulation: a BMT run
+//! must surface non-zero metadata DRAM reads in its snapshot, and moving
+//! MACs into the ECC side-band must strictly reduce them (one fewer DRAM
+//! access class to fetch per miss).
+
+use ame_bench::fig8::Config;
+use ame_bench::run_sim_warm;
+use ame_workloads::ParsecApp;
+
+const SEED: u64 = 2018;
+const OPS: usize = 30_000;
+
+#[test]
+fn bmt_tree_walks_surface_in_snapshot_and_shrink_with_mac_in_ecc() {
+    let app = ParsecApp::Canneal;
+    let bmt = run_sim_warm(app, Config::Bmt.sim_config(), SEED, OPS);
+    let mac = run_sim_warm(app, Config::MacEcc.sim_config(), SEED, OPS);
+
+    let bmt_meta = bmt
+        .telemetry
+        .counter("engine/meta_dram_reads")
+        .expect("BMT run must report");
+    let mac_meta = mac
+        .telemetry
+        .counter("engine/meta_dram_reads")
+        .expect("MacEcc run must report");
+    assert!(
+        bmt_meta > 0,
+        "BMT tree walks must issue metadata DRAM reads"
+    );
+    assert!(
+        mac_meta < bmt_meta,
+        "MAC-in-ECC must strictly reduce metadata DRAM reads ({mac_meta} vs {bmt_meta})"
+    );
+
+    // Same ordering for total engine DRAM transactions: dropping the
+    // separate-MAC fetches removes traffic end to end.
+    let bmt_dram = bmt.telemetry.counter("engine/dram_transactions").unwrap();
+    let mac_dram = mac.telemetry.counter("engine/dram_transactions").unwrap();
+    assert!(bmt_dram > 0);
+    assert!(
+        mac_dram < bmt_dram,
+        "MAC-in-ECC must reduce total engine DRAM transactions ({mac_dram} vs {bmt_dram})"
+    );
+}
+
+#[test]
+fn unprotected_run_reports_no_metadata_traffic() {
+    let r = run_sim_warm(
+        ParsecApp::Canneal,
+        Config::Unprotected.sim_config(),
+        SEED,
+        OPS,
+    );
+    assert_eq!(r.telemetry.counter("engine/meta_dram_reads"), Some(0));
+    // The snapshot still carries the rest of the hierarchy.
+    assert!(r.telemetry.counter("sim/cycles").unwrap() > 0);
+    assert!(r.telemetry.counter_sum("core0/l1") > 0);
+}

@@ -56,8 +56,14 @@ impl CacheConfig {
     /// capacity is divisible by `ways * line_bytes`.
     #[must_use]
     pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "associativity must be positive");
         assert!(
             size_bytes.is_multiple_of(ways * line_bytes),
@@ -65,7 +71,12 @@ impl CacheConfig {
         );
         let sets = size_bytes / (ways * line_bytes);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        Self { size_bytes, ways, line_bytes, policy: ReplacementPolicy::Lru }
+        Self {
+            size_bytes,
+            ways,
+            line_bytes,
+            policy: ReplacementPolicy::Lru,
+        }
     }
 
     /// Same geometry with a different replacement policy.
@@ -170,6 +181,17 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+impl ame_telemetry::Metrics for CacheStats {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        sink.counter("accesses", self.accesses);
+        sink.counter("hits", self.hits);
+        sink.counter("misses", self.misses);
+        sink.counter("evictions", self.evictions);
+        sink.counter("writebacks", self.writebacks);
+        sink.gauge("hit_rate", self.hit_rate());
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,
@@ -197,7 +219,13 @@ impl Cache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let lines = vec![Line::default(); config.sets() * config.ways];
-        Self { config, lines, stats: CacheStats::default(), clock: 0, rng_state: 0x9e37_79b9 }
+        Self {
+            config,
+            lines,
+            stats: CacheStats::default(),
+            clock: 0,
+            rng_state: 0x9e37_79b9,
+        }
     }
 
     /// The cache geometry.
@@ -373,8 +401,15 @@ mod tests {
         let mut c = tiny();
         assert!(c.access(0, AccessKind::Read).is_miss());
         assert_eq!(c.access(0, AccessKind::Read), AccessResult::Hit);
-        assert_eq!(c.access(63, AccessKind::Read), AccessResult::Hit, "same line");
-        assert!(c.access(64, AccessKind::Read).is_miss(), "next line maps to set 1");
+        assert_eq!(
+            c.access(63, AccessKind::Read),
+            AccessResult::Hit,
+            "same line"
+        );
+        assert!(
+            c.access(64, AccessKind::Read).is_miss(),
+            "next line maps to set 1"
+        );
         assert_eq!(c.stats().hits, 2);
         assert_eq!(c.stats().misses, 2);
     }
@@ -524,7 +559,11 @@ mod tests {
         assert_eq!(fifo.sets(), base.sets());
         assert_eq!(fifo.size_bytes, base.size_bytes);
         assert_eq!(fifo.policy, ReplacementPolicy::Fifo);
-        assert_eq!(base.policy, ReplacementPolicy::Lru, "builder does not mutate");
+        assert_eq!(
+            base.policy,
+            ReplacementPolicy::Lru,
+            "builder does not mutate"
+        );
     }
 
     #[test]

@@ -57,8 +57,14 @@ impl DeltaConfig {
 
     /// Validates invariants; called by [`DeltaCounters::new`].
     fn validate(&self) {
-        assert!(self.delta_bits > 0 && self.delta_bits < 32, "delta width must be 1..32");
-        assert!(self.blocks_per_group > 0, "group must hold at least one block");
+        assert!(
+            self.delta_bits > 0 && self.delta_bits < 32,
+            "delta width must be 1..32"
+        );
+        assert!(
+            self.blocks_per_group > 0,
+            "group must hold at least one block"
+        );
         assert!(
             self.reference_bits > 0 && self.reference_bits <= 64,
             "reference width must be 1..=64"
@@ -111,7 +117,11 @@ impl DeltaCounters {
     #[must_use]
     pub fn new(config: DeltaConfig) -> Self {
         config.validate();
-        Self { groups: HashMap::new(), config, stats: CounterStats::default() }
+        Self {
+            groups: HashMap::new(),
+            config,
+            stats: CounterStats::default(),
+        }
     }
 
     /// The active configuration.
@@ -144,16 +154,18 @@ impl Default for DeltaCounters {
 impl CounterScheme for DeltaCounters {
     fn counter(&self, block: u64) -> u64 {
         let (g, i) = split_block(block, self.config.blocks_per_group);
-        self.groups.get(&g).map_or(0, |grp| grp.reference + grp.deltas[i])
+        self.groups
+            .get(&g)
+            .map_or(0, |grp| grp.reference + grp.deltas[i])
     }
 
     fn record_write(&mut self, block: u64) -> WriteOutcome {
         let (g, i) = split_block(block, self.config.blocks_per_group);
         let cfg = self.config;
-        let grp = self
-            .groups
-            .entry(g)
-            .or_insert_with(|| Group { reference: 0, deltas: vec![0; cfg.blocks_per_group] });
+        let grp = self.groups.entry(g).or_insert_with(|| Group {
+            reference: 0,
+            deltas: vec![0; cfg.blocks_per_group],
+        });
 
         let outcome = if grp.deltas[i] < cfg.delta_max() {
             grp.deltas[i] += 1;
@@ -182,7 +194,11 @@ impl CounterScheme for DeltaCounters {
                 let new_counter = grp.reference + cfg.delta_max() + 1;
                 grp.reference = new_counter;
                 grp.deltas.iter_mut().for_each(|d| *d = 0);
-                WriteOutcome::Reencrypted { group: g, old_counters, new_counter }
+                WriteOutcome::Reencrypted {
+                    group: g,
+                    old_counters,
+                    new_counter,
+                }
             }
         };
         self.stats.record(&outcome);
@@ -278,7 +294,11 @@ mod tests {
         }
         let outcome = c.record_write(0);
         match outcome {
-            WriteOutcome::Reencrypted { group, old_counters, new_counter } => {
+            WriteOutcome::Reencrypted {
+                group,
+                old_counters,
+                new_counter,
+            } => {
                 assert_eq!(group, 0);
                 assert_eq!(old_counters, vec![7, 0, 0, 0]);
                 assert_eq!(new_counter, 8);
@@ -347,7 +367,11 @@ mod tests {
 
     #[test]
     fn reencode_disabled_falls_back_to_reencryption() {
-        let mut cfg = DeltaConfig { delta_bits: 3, blocks_per_group: 2, ..Default::default() };
+        let mut cfg = DeltaConfig {
+            delta_bits: 3,
+            blocks_per_group: 2,
+            ..Default::default()
+        };
         cfg.reencode_enabled = false;
         cfg.reset_enabled = false;
         let mut c = DeltaCounters::new(cfg);
@@ -360,7 +384,11 @@ mod tests {
 
     #[test]
     fn reset_disabled_never_resets() {
-        let mut cfg = DeltaConfig { delta_bits: 3, blocks_per_group: 2, ..Default::default() };
+        let mut cfg = DeltaConfig {
+            delta_bits: 3,
+            blocks_per_group: 2,
+            ..Default::default()
+        };
         cfg.reset_enabled = false;
         let mut c = DeltaCounters::new(cfg);
         for _ in 0..3 {

@@ -71,10 +71,15 @@ impl DualLengthConfig {
     }
 
     fn validate(&self) {
-        assert!(self.base_bits > 0 && self.base_bits < 32, "base width must be 1..32");
+        assert!(
+            self.base_bits > 0 && self.base_bits < 32,
+            "base width must be 1..32"
+        );
         assert!(self.extra_bits > 0 && self.base_bits + self.extra_bits < 32);
-        assert!(self.delta_groups > 0 && self.blocks_per_group.is_multiple_of(self.delta_groups),
-            "delta-groups must evenly divide the block-group");
+        assert!(
+            self.delta_groups > 0 && self.blocks_per_group.is_multiple_of(self.delta_groups),
+            "delta-groups must evenly divide the block-group"
+        );
         assert!(self.reference_bits > 0 && self.reference_bits <= 64);
     }
 }
@@ -127,7 +132,11 @@ impl DualLengthDeltaCounters {
     #[must_use]
     pub fn new(config: DualLengthConfig) -> Self {
         config.validate();
-        Self { groups: HashMap::new(), config, stats: CounterStats::default() }
+        Self {
+            groups: HashMap::new(),
+            config,
+            stats: CounterStats::default(),
+        }
     }
 
     /// The active configuration.
@@ -149,7 +158,6 @@ impl DualLengthDeltaCounters {
         let (g, _) = split_block(block, self.config.blocks_per_group);
         self.groups.get(&g).and_then(|grp| grp.expanded)
     }
-
 }
 
 impl Default for DualLengthDeltaCounters {
@@ -161,7 +169,9 @@ impl Default for DualLengthDeltaCounters {
 impl CounterScheme for DualLengthDeltaCounters {
     fn counter(&self, block: u64) -> u64 {
         let (g, i) = split_block(block, self.config.blocks_per_group);
-        self.groups.get(&g).map_or(0, |grp| grp.reference + grp.deltas[i])
+        self.groups
+            .get(&g)
+            .map_or(0, |grp| grp.reference + grp.deltas[i])
     }
 
     fn record_write(&mut self, block: u64) -> WriteOutcome {
@@ -174,7 +184,11 @@ impl CounterScheme for DualLengthDeltaCounters {
             expanded: None,
         });
 
-        let cap = if grp.expanded == Some(dg) { cfg.expanded_max() } else { cfg.base_max() };
+        let cap = if grp.expanded == Some(dg) {
+            cfg.expanded_max()
+        } else {
+            cfg.base_max()
+        };
         let outcome = if grp.deltas[i] < cap {
             grp.deltas[i] += 1;
             let first = grp.deltas[0];
@@ -210,7 +224,11 @@ impl CounterScheme for DualLengthDeltaCounters {
                 grp.reference = new_counter;
                 grp.deltas.iter_mut().for_each(|d| *d = 0);
                 grp.expanded = None;
-                WriteOutcome::Reencrypted { group: g, old_counters, new_counter }
+                WriteOutcome::Reencrypted {
+                    group: g,
+                    old_counters,
+                    new_counter,
+                }
             }
         };
         self.stats.record(&outcome);
@@ -261,7 +279,10 @@ impl CounterScheme for DualLengthDeltaCounters {
             + index_bits
             + cfg.base_bits * cfg.blocks_per_group as u32
             + cfg.extra_bits * ext_slots;
-        assert!(bits <= 512, "dual-length group does not fit one metadata block");
+        assert!(
+            bits <= 512,
+            "dual-length group does not fit one metadata block"
+        );
 
         let mut image = [0u8; 64];
         let (reference, deltas, expanded) = match self.groups.get(&meta_block) {
@@ -347,7 +368,11 @@ mod tests {
         let out = c.record_write(2);
         assert!(out.is_reencryption());
         match out {
-            WriteOutcome::Reencrypted { old_counters, new_counter, .. } => {
+            WriteOutcome::Reencrypted {
+                old_counters,
+                new_counter,
+                ..
+            } => {
                 assert_eq!(old_counters, vec![4, 0, 3, 0]);
                 // Largest delta (4, in the *expanded* group) rules.
                 assert_eq!(new_counter, 5);
@@ -426,7 +451,10 @@ mod tests {
                 *l = c.counter(o as u64);
             }
         }
-        assert!(c.stats().reencryptions > 0, "pattern should force re-encryptions");
+        assert!(
+            c.stats().reencryptions > 0,
+            "pattern should force re-encryptions"
+        );
     }
 
     #[test]
@@ -435,7 +463,10 @@ mod tests {
         // 64-byte metadata block.
         let c = DualLengthDeltaCounters::default();
         let total_bits = c.bits_per_block() * 64.0;
-        assert!(total_bits <= 512.0, "group metadata must fit one block, got {total_bits}");
+        assert!(
+            total_bits <= 512.0,
+            "group metadata must fit one block, got {total_bits}"
+        );
     }
 
     #[test]
@@ -475,7 +506,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "delta-groups must evenly divide")]
     fn invalid_config_panics() {
-        let cfg = DualLengthConfig { delta_groups: 3, blocks_per_group: 64, ..Default::default() };
+        let cfg = DualLengthConfig {
+            delta_groups: 3,
+            blocks_per_group: 64,
+            ..Default::default()
+        };
         let _ = DualLengthDeltaCounters::new(cfg);
     }
 }

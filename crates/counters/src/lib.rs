@@ -124,6 +124,16 @@ impl fmt::Display for CounterStats {
     }
 }
 
+impl ame_telemetry::Metrics for CounterStats {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        sink.counter("writes", self.writes);
+        sink.counter("resets", self.resets);
+        sink.counter("reencodes", self.reencodes);
+        sink.counter("expansions", self.expansions);
+        sink.counter("reencryptions", self.reencryptions);
+    }
+}
+
 /// A per-block write-counter storage scheme.
 ///
 /// Blocks are identified by a global block index (`physical address /
@@ -205,7 +215,10 @@ mod tests {
 
     #[test]
     fn display_stats() {
-        let s = CounterStats { writes: 3, ..Default::default() };
+        let s = CounterStats {
+            writes: 3,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("writes=3"));
     }
 }

@@ -35,7 +35,11 @@ impl MonolithicCounters {
     #[must_use]
     pub fn new(bits: u32) -> Self {
         assert!(bits > 0 && bits <= 64, "counter width must be 1..=64 bits");
-        Self { counters: HashMap::new(), bits, stats: CounterStats::default() }
+        Self {
+            counters: HashMap::new(),
+            bits,
+            stats: CounterStats::default(),
+        }
     }
 
     /// Width of each counter in bits.
@@ -59,13 +63,21 @@ impl CounterScheme for MonolithicCounters {
 
     fn record_write(&mut self, block: u64) -> WriteOutcome {
         let ctr = self.counters.entry(block).or_insert(0);
-        let max = if self.bits == 64 { u64::MAX } else { (1u64 << self.bits) - 1 };
+        let max = if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
         let outcome = if *ctr == max {
             // A real machine would re-key; model it as a single-block
             // re-encryption. Unreachable in any realistic simulation.
             let old = *ctr;
             *ctr = 0;
-            WriteOutcome::Reencrypted { group: block, old_counters: vec![old], new_counter: 0 }
+            WriteOutcome::Reencrypted {
+                group: block,
+                old_counters: vec![old],
+                new_counter: 0,
+            }
         } else {
             *ctr += 1;
             WriteOutcome::Incremented
@@ -99,8 +111,7 @@ impl CounterScheme for MonolithicCounters {
         let mut image = [0u8; 64];
         for slot in 0..8u64 {
             let ctr = self.counter(meta_block * 8 + slot);
-            image[(slot as usize) * 8..(slot as usize + 1) * 8]
-                .copy_from_slice(&ctr.to_le_bytes());
+            image[(slot as usize) * 8..(slot as usize + 1) * 8].copy_from_slice(&ctr.to_le_bytes());
         }
         image
     }

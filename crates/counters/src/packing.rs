@@ -48,7 +48,10 @@ pub fn read_bits(block: &[u8; 64], offset: u32, width: u32) -> u64 {
 /// Writes `width` bits of `value` (LSB-first) at bit `offset` of `block`.
 pub fn write_bits(block: &mut [u8; 64], offset: u32, width: u32, value: u64) {
     debug_assert!(width <= 64 && offset + width <= 512);
-    debug_assert!(width == 64 || value < (1u64 << width), "value exceeds field width");
+    debug_assert!(
+        width == 64 || value < (1u64 << width),
+        "value exceeds field width"
+    );
     for i in 0..width {
         let bit = offset + i;
         let byte = (bit / 8) as usize;
@@ -79,12 +82,20 @@ impl FlatGroup {
     /// Panics if the reference exceeds 56 bits or any delta exceeds 7 bits.
     #[must_use]
     pub fn pack(&self) -> [u8; 64] {
-        assert!(self.reference < 1u64 << REF_BITS, "reference exceeds 56 bits");
+        assert!(
+            self.reference < 1u64 << REF_BITS,
+            "reference exceeds 56 bits"
+        );
         let mut block = [0u8; 64];
         write_bits(&mut block, 0, REF_BITS, self.reference);
         for (i, &d) in self.deltas.iter().enumerate() {
             assert!(d < 1u64 << FLAT_DELTA_BITS, "delta {i} exceeds 7 bits");
-            write_bits(&mut block, REF_BITS + FLAT_DELTA_BITS * i as u32, FLAT_DELTA_BITS, d);
+            write_bits(
+                &mut block,
+                REF_BITS + FLAT_DELTA_BITS * i as u32,
+                FLAT_DELTA_BITS,
+                d,
+            );
         }
         block
     }
@@ -95,7 +106,11 @@ impl FlatGroup {
         let reference = read_bits(block, 0, REF_BITS);
         let mut deltas = [0u64; GROUP_BLOCKS];
         for (i, d) in deltas.iter_mut().enumerate() {
-            *d = read_bits(block, REF_BITS + FLAT_DELTA_BITS * i as u32, FLAT_DELTA_BITS);
+            *d = read_bits(
+                block,
+                REF_BITS + FLAT_DELTA_BITS * i as u32,
+                FLAT_DELTA_BITS,
+            );
         }
         Self { reference, deltas }
     }
@@ -110,7 +125,11 @@ impl FlatGroup {
     pub fn decode_counter(block: &[u8; 64], index: usize) -> u64 {
         assert!(index < GROUP_BLOCKS, "block index out of group");
         let reference = read_bits(block, 0, REF_BITS);
-        let delta = read_bits(block, REF_BITS + FLAT_DELTA_BITS * index as u32, FLAT_DELTA_BITS);
+        let delta = read_bits(
+            block,
+            REF_BITS + FLAT_DELTA_BITS * index as u32,
+            FLAT_DELTA_BITS,
+        );
         reference + delta
     }
 }
@@ -137,8 +156,7 @@ const DUAL_EXT_OFF: u32 = DUAL_BASE_OFF + DUAL_BASE_BITS * GROUP_BLOCKS as u32; 
 
 impl DualGroup {
     /// Total bits used by the layout (507 for the paper's parameters).
-    pub const USED_BITS: u32 =
-        DUAL_EXT_OFF + DUAL_EXTRA_BITS * DUAL_BLOCKS_PER_DG as u32;
+    pub const USED_BITS: u32 = DUAL_EXT_OFF + DUAL_EXTRA_BITS * DUAL_BLOCKS_PER_DG as u32;
 
     /// Packs the group into one 64-byte metadata block.
     ///
@@ -149,18 +167,34 @@ impl DualGroup {
     /// `expanded` is not in `0..4`.
     #[must_use]
     pub fn pack(&self) -> [u8; 64] {
-        assert!(self.reference < 1u64 << REF_BITS, "reference exceeds 56 bits");
+        assert!(
+            self.reference < 1u64 << REF_BITS,
+            "reference exceeds 56 bits"
+        );
         if let Some(g) = self.expanded {
             assert!(g < DUAL_GROUPS, "expanded group out of range");
         }
         let mut block = [0u8; 64];
         write_bits(&mut block, 0, REF_BITS, self.reference);
-        write_bits(&mut block, DUAL_VALID_OFF, 1, u64::from(self.expanded.is_some()));
-        write_bits(&mut block, DUAL_INDEX_OFF, 2, self.expanded.unwrap_or(0) as u64);
+        write_bits(
+            &mut block,
+            DUAL_VALID_OFF,
+            1,
+            u64::from(self.expanded.is_some()),
+        );
+        write_bits(
+            &mut block,
+            DUAL_INDEX_OFF,
+            2,
+            self.expanded.unwrap_or(0) as u64,
+        );
         for (i, &d) in self.deltas.iter().enumerate() {
             let dg = i / DUAL_BLOCKS_PER_DG;
             if self.expanded == Some(dg) {
-                assert!(d < 1u64 << (DUAL_BASE_BITS + DUAL_EXTRA_BITS), "delta {i} exceeds 10 bits");
+                assert!(
+                    d < 1u64 << (DUAL_BASE_BITS + DUAL_EXTRA_BITS),
+                    "delta {i} exceeds 10 bits"
+                );
                 write_bits(
                     &mut block,
                     DUAL_BASE_OFF + DUAL_BASE_BITS * i as u32,
@@ -175,7 +209,12 @@ impl DualGroup {
                 );
             } else {
                 assert!(d < 1u64 << DUAL_BASE_BITS, "delta {i} exceeds 6 bits");
-                write_bits(&mut block, DUAL_BASE_OFF + DUAL_BASE_BITS * i as u32, DUAL_BASE_BITS, d);
+                write_bits(
+                    &mut block,
+                    DUAL_BASE_OFF + DUAL_BASE_BITS * i as u32,
+                    DUAL_BASE_BITS,
+                    d,
+                );
             }
         }
         block
@@ -191,7 +230,11 @@ impl DualGroup {
         let expanded = valid.then_some(index);
         let mut deltas = [0u64; GROUP_BLOCKS];
         for (i, d) in deltas.iter_mut().enumerate() {
-            *d = read_bits(block, DUAL_BASE_OFF + DUAL_BASE_BITS * i as u32, DUAL_BASE_BITS);
+            *d = read_bits(
+                block,
+                DUAL_BASE_OFF + DUAL_BASE_BITS * i as u32,
+                DUAL_BASE_BITS,
+            );
             if expanded == Some(i / DUAL_BLOCKS_PER_DG) {
                 let ext = read_bits(
                     block,
@@ -201,7 +244,11 @@ impl DualGroup {
                 *d |= ext << DUAL_BASE_BITS;
             }
         }
-        Self { reference, deltas, expanded }
+        Self {
+            reference,
+            deltas,
+            expanded,
+        }
     }
 
     /// The Decode Unit operation for the dual layout: concatenate the base
@@ -214,7 +261,11 @@ impl DualGroup {
     pub fn decode_counter(block: &[u8; 64], index: usize) -> u64 {
         assert!(index < GROUP_BLOCKS, "block index out of group");
         let reference = read_bits(block, 0, REF_BITS);
-        let mut delta = read_bits(block, DUAL_BASE_OFF + DUAL_BASE_BITS * index as u32, DUAL_BASE_BITS);
+        let mut delta = read_bits(
+            block,
+            DUAL_BASE_OFF + DUAL_BASE_BITS * index as u32,
+            DUAL_BASE_BITS,
+        );
         let valid = read_bits(block, DUAL_VALID_OFF, 1) == 1;
         let expanded = read_bits(block, DUAL_INDEX_OFF, 2) as usize;
         if valid && expanded == index / DUAL_BLOCKS_PER_DG {
@@ -250,7 +301,10 @@ mod tests {
         for (i, d) in deltas.iter_mut().enumerate() {
             *d = (i as u64 * 37) % 128;
         }
-        let grp = FlatGroup { reference: 0x00ab_cdef_0123_4567 & ((1 << 56) - 1), deltas };
+        let grp = FlatGroup {
+            reference: 0x00ab_cdef_0123_4567 & ((1 << 56) - 1),
+            deltas,
+        };
         let packed = grp.pack();
         assert_eq!(FlatGroup::unpack(&packed), grp);
     }
@@ -261,7 +315,10 @@ mod tests {
         deltas[0] = 127;
         deltas[63] = 1;
         deltas[17] = 99;
-        let grp = FlatGroup { reference: 1000, deltas };
+        let grp = FlatGroup {
+            reference: 1000,
+            deltas,
+        };
         let packed = grp.pack();
         for (i, &d) in deltas.iter().enumerate() {
             assert_eq!(FlatGroup::decode_counter(&packed, i), 1000 + d);
@@ -273,7 +330,11 @@ mod tests {
     fn flat_rejects_wide_delta() {
         let mut deltas = [0u64; 64];
         deltas[5] = 128;
-        let _ = FlatGroup { reference: 0, deltas }.pack();
+        let _ = FlatGroup {
+            reference: 0,
+            deltas,
+        }
+        .pack();
     }
 
     #[test]
@@ -293,7 +354,11 @@ mod tests {
         for (i, d) in deltas.iter_mut().enumerate() {
             *d = (i as u64 * 11) % 64;
         }
-        let grp = DualGroup { reference: 42, deltas, expanded: None };
+        let grp = DualGroup {
+            reference: 42,
+            deltas,
+            expanded: None,
+        };
         assert_eq!(DualGroup::unpack(&grp.pack()), grp);
     }
 
@@ -307,11 +372,19 @@ mod tests {
         for d in deltas.iter_mut().skip(32).take(16) {
             *d += 512;
         }
-        let grp = DualGroup { reference: 123_456, deltas, expanded: Some(2) };
+        let grp = DualGroup {
+            reference: 123_456,
+            deltas,
+            expanded: Some(2),
+        };
         let packed = grp.pack();
         assert_eq!(DualGroup::unpack(&packed), grp);
         for (i, &d) in deltas.iter().enumerate() {
-            assert_eq!(DualGroup::decode_counter(&packed, i), 123_456 + d, "block {i}");
+            assert_eq!(
+                DualGroup::decode_counter(&packed, i),
+                123_456 + d,
+                "block {i}"
+            );
         }
     }
 
@@ -320,7 +393,12 @@ mod tests {
     fn dual_rejects_wide_delta_outside_expanded_group() {
         let mut deltas = [0u64; 64];
         deltas[0] = 64; // delta-group 0, but group 1 is expanded
-        let _ = DualGroup { reference: 0, deltas, expanded: Some(1) }.pack();
+        let _ = DualGroup {
+            reference: 0,
+            deltas,
+            expanded: Some(1),
+        }
+        .pack();
     }
 
     #[test]
@@ -328,7 +406,12 @@ mod tests {
     fn dual_rejects_delta_beyond_expanded_capacity() {
         let mut deltas = [0u64; 64];
         deltas[0] = 1024;
-        let _ = DualGroup { reference: 0, deltas, expanded: Some(0) }.pack();
+        let _ = DualGroup {
+            reference: 0,
+            deltas,
+            expanded: Some(0),
+        }
+        .pack();
     }
 
     #[test]

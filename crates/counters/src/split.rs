@@ -51,9 +51,17 @@ impl SplitCounters {
     /// Panics if `minor_bits` is 0 or >= 32, or `blocks_per_group` is 0.
     #[must_use]
     pub fn new(minor_bits: u32, blocks_per_group: usize) -> Self {
-        assert!(minor_bits > 0 && minor_bits < 32, "minor width must be 1..32 bits");
+        assert!(
+            minor_bits > 0 && minor_bits < 32,
+            "minor width must be 1..32 bits"
+        );
         assert!(blocks_per_group > 0, "group must hold at least one block");
-        Self { groups: HashMap::new(), minor_bits, blocks_per_group, stats: CounterStats::default() }
+        Self {
+            groups: HashMap::new(),
+            minor_bits,
+            blocks_per_group,
+            stats: CounterStats::default(),
+        }
     }
 
     fn minor_max(&self) -> u64 {
@@ -87,19 +95,26 @@ impl CounterScheme for SplitCounters {
         let bpg = self.blocks_per_group;
         let minor_max = self.minor_max();
         let minor_bits = self.minor_bits;
-        let grp = self
-            .groups
-            .entry(g)
-            .or_insert_with(|| Group { major: 0, minors: vec![0; bpg] });
+        let grp = self.groups.entry(g).or_insert_with(|| Group {
+            major: 0,
+            minors: vec![0; bpg],
+        });
 
         let outcome = if grp.minors[i] == minor_max {
             // Minor overflow: re-encrypt the group under major + 1.
-            let old_counters: Vec<u64> =
-                grp.minors.iter().map(|&m| (grp.major << minor_bits) | m).collect();
+            let old_counters: Vec<u64> = grp
+                .minors
+                .iter()
+                .map(|&m| (grp.major << minor_bits) | m)
+                .collect();
             grp.major += 1;
             grp.minors.iter_mut().for_each(|m| *m = 0);
             let new_counter = grp.major << minor_bits;
-            WriteOutcome::Reencrypted { group: g, old_counters, new_counter }
+            WriteOutcome::Reencrypted {
+                group: g,
+                old_counters,
+                new_counter,
+            }
         } else {
             grp.minors[i] += 1;
             WriteOutcome::Incremented
@@ -136,7 +151,10 @@ impl CounterScheme for SplitCounters {
     /// Panics if the configured layout exceeds one 64-byte block.
     fn metadata_block_image(&self, meta_block: u64) -> [u8; 64] {
         let bits = 64 + self.minor_bits * self.blocks_per_group as u32;
-        assert!(bits <= 512, "split-counter group does not fit one metadata block");
+        assert!(
+            bits <= 512,
+            "split-counter group does not fit one metadata block"
+        );
         let mut image = [0u8; 64];
         let (major, minors) = match self.groups.get(&meta_block) {
             Some(grp) => (grp.major, grp.minors.clone()),
@@ -166,7 +184,10 @@ mod tests {
         for _ in 0..40 {
             c.record_write(1);
             let now = c.counter(1);
-            assert!(now > last, "counter must strictly increase ({last} -> {now})");
+            assert!(
+                now > last,
+                "counter must strictly increase ({last} -> {now})"
+            );
             last = now;
         }
     }
@@ -180,7 +201,11 @@ mod tests {
         c.record_write(1); // block 1 minor = 1
         let outcome = c.record_write(0); // block 0 overflows
         match outcome {
-            WriteOutcome::Reencrypted { group, old_counters, new_counter } => {
+            WriteOutcome::Reencrypted {
+                group,
+                old_counters,
+                new_counter,
+            } => {
                 assert_eq!(group, 0);
                 assert_eq!(old_counters, vec![3, 1, 0, 0]);
                 assert_eq!(new_counter, 1 << 2);

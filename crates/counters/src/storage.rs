@@ -60,7 +60,11 @@ impl StorageBreakdown {
 /// Builds a breakdown for a *separate-MAC* configuration (the baseline):
 /// counters and 56-bit MACs in dedicated DRAM, optional SEC-DED ECC.
 #[must_use]
-pub fn separate_mac_breakdown(counter_bits_per_block: f64, ecc: bool, tree_fraction: f64) -> StorageBreakdown {
+pub fn separate_mac_breakdown(
+    counter_bits_per_block: f64,
+    ecc: bool,
+    tree_fraction: f64,
+) -> StorageBreakdown {
     let macs = overhead_fraction(56.0);
     StorageBreakdown {
         counters: overhead_fraction(counter_bits_per_block),
@@ -109,7 +113,10 @@ mod tests {
         // the protected DRAM space".
         let b = separate_mac_breakdown(56.0, true, 0.0);
         let ecc_and_mac = b.macs + b.ecc + b.mac_ecc;
-        assert!(ecc_and_mac > 0.23 && ecc_and_mac < 0.26, "got {ecc_and_mac}");
+        assert!(
+            ecc_and_mac > 0.23 && ecc_and_mac < 0.26,
+            "got {ecc_and_mac}"
+        );
     }
 
     #[test]
@@ -121,7 +128,13 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let b = StorageBreakdown { counters: 0.1, macs: 0.1, ecc: 0.125, mac_ecc: 0.0125, tree: 0.01 };
+        let b = StorageBreakdown {
+            counters: 0.1,
+            macs: 0.1,
+            ecc: 0.125,
+            mac_ecc: 0.0125,
+            tree: 0.01,
+        };
         assert!((b.total() - 0.3475).abs() < 1e-12);
         assert!((b.encryption_metadata() - 0.2225).abs() < 1e-12);
     }

@@ -1,6 +1,10 @@
 //! Property tests for the counter schemes: cross-checks between the
 //! in-memory scheme state and the packed metadata images (what would
 //! actually sit in DRAM), plus structural invariants.
+//!
+//! Driven by seeded `ame-prng` randomized loops (the workspace builds
+//! offline, so there is no proptest); each test explores a few hundred
+//! random cases deterministically.
 
 use ame_counters::delta::DeltaCounters;
 use ame_counters::dual::DualLengthDeltaCounters;
@@ -8,51 +12,63 @@ use ame_counters::monolithic::MonolithicCounters;
 use ame_counters::packing::{DualGroup, FlatGroup};
 use ame_counters::split::SplitCounters;
 use ame_counters::CounterScheme;
-use proptest::prelude::*;
+use ame_prng::StdRng;
 
-proptest! {
-    /// The packed image decoded by the hardware Decode Unit must agree
-    /// with the scheme's own counter values, through resets, re-encodes
-    /// and re-encryptions.
-    #[test]
-    fn delta_image_decodes_to_scheme_counters(
-        writes in proptest::collection::vec(0u64..64, 1..600),
-    ) {
+/// A random write stream over `blocks` block indices.
+fn write_stream(rng: &mut StdRng, blocks: u64, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| rng.gen_range(0..blocks)).collect()
+}
+
+/// The packed image decoded by the hardware Decode Unit must agree
+/// with the scheme's own counter values, through resets, re-encodes
+/// and re-encryptions.
+#[test]
+fn delta_image_decodes_to_scheme_counters() {
+    let mut rng = StdRng::seed_from_u64(0xC0_01);
+    for _ in 0..128 {
+        let writes = write_stream(&mut rng, 64, 600);
         let mut scheme = DeltaCounters::default();
         for &b in &writes {
             scheme.record_write(b);
         }
         let image = scheme.metadata_block_image(0);
         for b in 0..64u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 FlatGroup::decode_counter(&image, b as usize),
                 scheme.counter(b),
-                "block {}", b
+                "block {b}"
             );
         }
     }
+}
 
-    #[test]
-    fn dual_image_decodes_to_scheme_counters(
-        writes in proptest::collection::vec(0u64..64, 1..600),
-    ) {
+#[test]
+fn dual_image_decodes_to_scheme_counters() {
+    let mut rng = StdRng::seed_from_u64(0xC0_02);
+    for _ in 0..128 {
+        let writes = write_stream(&mut rng, 64, 600);
         let mut scheme = DualLengthDeltaCounters::default();
         for &b in &writes {
             scheme.record_write(b);
         }
         let image = scheme.metadata_block_image(0);
         for b in 0..64u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 DualGroup::decode_counter(&image, b as usize),
                 scheme.counter(b),
-                "block {}", b
+                "block {b}"
             );
         }
     }
+}
 
-    /// Monolithic counters are exact write counts (they never jump).
-    #[test]
-    fn monolithic_counts_exactly(writes in proptest::collection::vec(0u64..16, 1..300)) {
+/// Monolithic counters are exact write counts (they never jump).
+#[test]
+fn monolithic_counts_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xC0_03);
+    for _ in 0..128 {
+        let writes = write_stream(&mut rng, 16, 300);
         let mut scheme = MonolithicCounters::default();
         let mut expected = [0u64; 16];
         for &b in &writes {
@@ -60,17 +76,19 @@ proptest! {
             expected[b as usize] += 1;
         }
         for b in 0..16u64 {
-            prop_assert_eq!(scheme.counter(b), expected[b as usize]);
+            assert_eq!(scheme.counter(b), expected[b as usize]);
         }
     }
+}
 
-    /// Every compact scheme's counter is always >= the true write count
-    /// (representation changes may only skip counters forward, never
-    /// reuse one) — the nonce-freshness direction of safety.
-    #[test]
-    fn compact_counters_never_lag_write_counts(
-        writes in proptest::collection::vec(0u64..8, 1..500),
-    ) {
+/// Every compact scheme's counter is always >= the true write count
+/// (representation changes may only skip counters forward, never
+/// reuse one) — the nonce-freshness direction of safety.
+#[test]
+fn compact_counters_never_lag_write_counts() {
+    let mut rng = StdRng::seed_from_u64(0xC0_04);
+    for _ in 0..128 {
+        let writes = write_stream(&mut rng, 8, 500);
         let mut split = SplitCounters::new(3, 8);
         let mut delta = DeltaCounters::default();
         let mut dual = DualLengthDeltaCounters::default();
@@ -82,39 +100,45 @@ proptest! {
             expected[b as usize] += 1;
         }
         for b in 0..8u64 {
-            prop_assert!(split.counter(b) >= expected[b as usize], "split block {}", b);
-            prop_assert!(delta.counter(b) >= expected[b as usize], "delta block {}", b);
-            prop_assert!(dual.counter(b) >= expected[b as usize], "dual block {}", b);
+            assert!(split.counter(b) >= expected[b as usize], "split block {b}");
+            assert!(delta.counter(b) >= expected[b as usize], "delta block {b}");
+            assert!(dual.counter(b) >= expected[b as usize], "dual block {b}");
         }
     }
+}
 
-    /// Identical write streams must produce identical scheme state
-    /// (schemes are deterministic).
-    #[test]
-    fn schemes_are_deterministic(writes in proptest::collection::vec(0u64..64, 1..200)) {
+/// Identical write streams must produce identical scheme state
+/// (schemes are deterministic).
+#[test]
+fn schemes_are_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xC0_05);
+    for _ in 0..128 {
+        let writes = write_stream(&mut rng, 64, 200);
         let mut a = DeltaCounters::default();
         let mut b = DeltaCounters::default();
         for &blk in &writes {
-            prop_assert_eq!(a.record_write(blk), b.record_write(blk));
+            assert_eq!(a.record_write(blk), b.record_write(blk));
         }
-        prop_assert_eq!(a.metadata_block_image(0), b.metadata_block_image(0));
-        prop_assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.metadata_block_image(0), b.metadata_block_image(0));
+        assert_eq!(a.stats(), b.stats());
     }
+}
 
-    /// Split counters: every block of a group shares the same major
-    /// counter (that is what makes the scheme compact — and what forces
-    /// whole-group re-encryption on overflow).
-    #[test]
-    fn split_counters_share_one_major_per_group(
-        writes in proptest::collection::vec(0u64..8, 1..400),
-    ) {
+/// Split counters: every block of a group shares the same major
+/// counter (that is what makes the scheme compact — and what forces
+/// whole-group re-encryption on overflow).
+#[test]
+fn split_counters_share_one_major_per_group() {
+    let mut rng = StdRng::seed_from_u64(0xC0_06);
+    for _ in 0..128 {
+        let writes = write_stream(&mut rng, 8, 400);
         let mut s = SplitCounters::new(3, 8);
         for &b in &writes {
             s.record_write(b);
         }
         let major = s.counter(0) >> 3;
         for b in 1..8u64 {
-            prop_assert_eq!(s.counter(b) >> 3, major, "block {} major differs", b);
+            assert_eq!(s.counter(b) >> 3, major, "block {b} major differs");
         }
     }
 }

@@ -79,7 +79,11 @@ impl MemoryCipher {
         hk8.copy_from_slice(&hk_bytes[..8]);
         // A zero hash key would make the hash ignore all but the last word.
         let hash_key = u64::from_le_bytes(hk8) | 1;
-        Self { data_key, mac_key, hash_key }
+        Self {
+            data_key,
+            mac_key,
+            hash_key,
+        }
     }
 
     /// Encrypts one 64-byte block in counter mode under nonce
@@ -201,6 +205,9 @@ mod tests {
     fn seeds_give_distinct_keys() {
         let a = MemoryCipher::from_seed(1);
         let b = MemoryCipher::from_seed(2);
-        assert_ne!(a.encrypt_block(0, 0, &[0u8; 64]), b.encrypt_block(0, 0, &[0u8; 64]));
+        assert_ne!(
+            a.encrypt_block(0, 0, &[0u8; 64]),
+            b.encrypt_block(0, 0, &[0u8; 64])
+        );
     }
 }

@@ -81,7 +81,13 @@ pub fn poly_hash(h: u64, block: &[u8; BLOCK_BYTES]) -> u64 {
 
 /// Full 64-bit Carter-Wegman tag over `block`, bound to `(addr, counter)`.
 #[must_use]
-pub fn tag_full(mac_key: &Aes128, hash_key: u64, addr: u64, counter: u64, block: &[u8; BLOCK_BYTES]) -> u64 {
+pub fn tag_full(
+    mac_key: &Aes128,
+    hash_key: u64,
+    addr: u64,
+    counter: u64,
+    block: &[u8; BLOCK_BYTES],
+) -> u64 {
     let hash = poly_hash(hash_key, block);
     let pad = mac_pad(mac_key, addr, counter);
     let mut p8 = [0u8; 8];
@@ -92,7 +98,13 @@ pub fn tag_full(mac_key: &Aes128, hash_key: u64, addr: u64, counter: u64, block:
 /// 56-bit truncated tag (the SGX data-block width used throughout the
 /// paper).
 #[must_use]
-pub fn tag(mac_key: &Aes128, hash_key: u64, addr: u64, counter: u64, block: &[u8; BLOCK_BYTES]) -> u64 {
+pub fn tag(
+    mac_key: &Aes128,
+    hash_key: u64,
+    addr: u64,
+    counter: u64,
+    block: &[u8; BLOCK_BYTES],
+) -> u64 {
     tag_full(mac_key, hash_key, addr, counter, block) & TAG_MASK
 }
 
@@ -135,7 +147,10 @@ impl MacProbe {
                 contributions[word * 64 + bit] = gf64_mul(1u64 << bit, h_pow[word]);
             }
         }
-        Self { base_tag_full, contributions }
+        Self {
+            base_tag_full,
+            contributions,
+        }
     }
 
     /// The 56-bit tag of the unmodified block.
@@ -178,7 +193,7 @@ mod tests {
         assert_eq!(clmul(0, 123), (0, 0));
         assert_eq!(clmul(1, 123), (0, 123));
         assert_eq!(clmul(2, 3), (0, 6)); // x * (x+1) = x^2 + x
-        // (x^63) * x = x^64 -> high word bit 0
+                                         // (x^63) * x = x^64 -> high word bit 0
         assert_eq!(clmul(1 << 63, 2), (1, 0));
     }
 
@@ -193,7 +208,14 @@ mod tests {
 
     #[test]
     fn gf64_commutative_associative_distributive() {
-        let samples = [1u64, 2, 3, 0x1234_5678_9abc_def0, u64::MAX, 0x8000_0000_0000_0001];
+        let samples = [
+            1u64,
+            2,
+            3,
+            0x1234_5678_9abc_def0,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+        ];
         for &a in &samples {
             for &b in &samples {
                 assert_eq!(gf64_mul(a, b), gf64_mul(b, a));
@@ -262,7 +284,11 @@ mod tests {
             let mut flipped = block;
             flipped[(a / 8) as usize] ^= 1 << (a % 8);
             flipped[(b / 8) as usize] ^= 1 << (b % 8);
-            assert_eq!(probe.tag_with_flips(a, b), tag(&k, h, 0, 1, &flipped), "{a},{b}");
+            assert_eq!(
+                probe.tag_with_flips(a, b),
+                tag(&k, h, 0, 1, &flipped),
+                "{a},{b}"
+            );
         }
     }
 

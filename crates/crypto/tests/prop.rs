@@ -1,78 +1,141 @@
-//! Property tests for the crypto substrate.
+//! Property tests for the crypto substrate, driven by seeded `ame-prng`
+//! randomized loops (the workspace builds offline, so there is no
+//! proptest).
 
 use ame_crypto::aes::Aes128;
 use ame_crypto::mac::{clmul, gf64_mul, MacProbe};
 use ame_crypto::{MemoryCipher, TAG_MASK};
-use proptest::prelude::*;
+use ame_prng::StdRng;
 
-proptest! {
-    #[test]
-    fn aes_roundtrips(key: [u8; 16], block: [u8; 16]) {
+fn bytes<const N: usize>(rng: &mut StdRng) -> [u8; N] {
+    let mut buf = [0u8; N];
+    rng.fill(&mut buf);
+    buf
+}
+
+#[test]
+fn aes_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xAE_01);
+    for _ in 0..128 {
+        let key: [u8; 16] = bytes(&mut rng);
+        let block: [u8; 16] = bytes(&mut rng);
         let aes = Aes128::new(&key);
-        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
     }
+}
 
-    #[test]
-    fn aes_is_a_permutation(key: [u8; 16], a: [u8; 16], b: [u8; 16]) {
-        prop_assume!(a != b);
+#[test]
+fn aes_is_a_permutation() {
+    let mut rng = StdRng::seed_from_u64(0xAE_02);
+    for _ in 0..128 {
+        let key: [u8; 16] = bytes(&mut rng);
+        let a: [u8; 16] = bytes(&mut rng);
+        let b: [u8; 16] = bytes(&mut rng);
+        if a == b {
+            continue;
+        }
         let aes = Aes128::new(&key);
-        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+        assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
     }
+}
 
-    #[test]
-    fn clmul_matches_gf_reduction_identity(a: u64) {
+#[test]
+fn clmul_matches_gf_reduction_identity() {
+    let mut rng = StdRng::seed_from_u64(0xAE_03);
+    for _ in 0..256 {
+        let a = rng.next_u64();
         // clmul by 1 is the identity with no high part.
-        prop_assert_eq!(clmul(a, 1), (0, a));
-        prop_assert_eq!(gf64_mul(a, 1), a);
+        assert_eq!(clmul(a, 1), (0, a));
+        assert_eq!(gf64_mul(a, 1), a);
     }
+}
 
-    #[test]
-    fn clmul_commutes(a: u64, b: u64) {
-        prop_assert_eq!(clmul(a, b), clmul(b, a));
+#[test]
+fn clmul_commutes() {
+    let mut rng = StdRng::seed_from_u64(0xAE_04);
+    for _ in 0..256 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_eq!(clmul(a, b), clmul(b, a));
     }
+}
 
-    #[test]
-    fn cipher_roundtrip_and_tag_width(seed: u64, block in 0u64..(1u64 << 34), data: [u8; 64], ctr: u64) {
+#[test]
+fn cipher_roundtrip_and_tag_width() {
+    let mut rng = StdRng::seed_from_u64(0xAE_05);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let block = rng.gen_range(0u64..(1u64 << 34));
+        let data: [u8; 64] = bytes(&mut rng);
+        let ctr = rng.next_u64();
         let cipher = MemoryCipher::from_seed(seed);
         let addr = block * 64;
         let ct = cipher.encrypt_block(addr, ctr, &data);
-        prop_assert_eq!(cipher.decrypt_block(addr, ctr, &ct), data);
+        assert_eq!(cipher.decrypt_block(addr, ctr, &ct), data);
         let tag = cipher.mac_block(addr, ctr, &ct);
-        prop_assert_eq!(tag & !TAG_MASK, 0);
-        prop_assert!(cipher.verify_block(addr, ctr, &ct, tag));
+        assert_eq!(tag & !TAG_MASK, 0);
+        assert!(cipher.verify_block(addr, ctr, &ct, tag));
     }
+}
 
-    #[test]
-    fn keystreams_differ_across_counters(seed: u64, addr in 0u64..(1u64 << 30), c1: u64, c2: u64) {
-        prop_assume!(c1 != c2);
+#[test]
+fn keystreams_differ_across_counters() {
+    let mut rng = StdRng::seed_from_u64(0xAE_06);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let addr = rng.gen_range(0u64..(1u64 << 30)) & !63;
+        let c1 = rng.next_u64();
+        let c2 = rng.next_u64();
+        if c1 == c2 {
+            continue;
+        }
         let cipher = MemoryCipher::from_seed(seed);
-        let addr = addr & !63;
         let zero = [0u8; 64];
-        prop_assert_ne!(
+        assert_ne!(
             cipher.encrypt_block(addr, c1, &zero),
             cipher.encrypt_block(addr, c2, &zero)
         );
     }
+}
 
-    #[test]
-    fn probe_equals_recomputation(data: [u8; 64], bit in 0u32..512, ctr: u64) {
+#[test]
+fn probe_equals_recomputation() {
+    let mut rng = StdRng::seed_from_u64(0xAE_07);
+    for _ in 0..128 {
+        let data: [u8; 64] = bytes(&mut rng);
+        let bit = rng.gen_range(0u32..512);
+        let ctr = rng.next_u64();
         let cipher = MemoryCipher::from_seed(42);
         let ct = cipher.encrypt_block(0x80, ctr, &data);
         let probe: MacProbe = cipher.mac_probe(0x80, ctr, &ct);
         let mut flipped = ct;
         flipped[(bit / 8) as usize] ^= 1 << (bit % 8);
-        prop_assert_eq!(probe.tag_with_flip(bit), cipher.mac_block(0x80, ctr, &flipped));
+        assert_eq!(
+            probe.tag_with_flip(bit),
+            cipher.mac_block(0x80, ctr, &flipped)
+        );
     }
+}
 
-    #[test]
-    fn probe_double_equals_recomputation(data: [u8; 64], a in 0u32..512, b in 0u32..512) {
-        prop_assume!(a != b);
+#[test]
+fn probe_double_equals_recomputation() {
+    let mut rng = StdRng::seed_from_u64(0xAE_08);
+    for _ in 0..128 {
+        let data: [u8; 64] = bytes(&mut rng);
+        let a = rng.gen_range(0u32..512);
+        let b = rng.gen_range(0u32..512);
+        if a == b {
+            continue;
+        }
         let cipher = MemoryCipher::from_seed(43);
         let ct = cipher.encrypt_block(0x40, 9, &data);
         let probe = cipher.mac_probe(0x40, 9, &ct);
         let mut flipped = ct;
         flipped[(a / 8) as usize] ^= 1 << (a % 8);
         flipped[(b / 8) as usize] ^= 1 << (b % 8);
-        prop_assert_eq!(probe.tag_with_flips(a, b), cipher.mac_block(0x40, 9, &flipped));
+        assert_eq!(
+            probe.tag_with_flips(a, b),
+            cipher.mac_block(0x40, 9, &flipped)
+        );
     }
 }

@@ -22,5 +22,5 @@ pub mod timing;
 pub mod wear;
 
 pub use storage::{DramStorage, StoredBlock};
-pub use wear::WearTracker;
 pub use timing::{AddressMapping, DramConfig, DramStats, DramTiming, RequestKind};
+pub use wear::WearTracker;

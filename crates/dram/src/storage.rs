@@ -24,7 +24,10 @@ pub struct StoredBlock {
 
 impl Default for StoredBlock {
     fn default() -> Self {
-        Self { data: [0; BLOCK_BYTES], sideband: [0; SIDEBAND_BYTES] }
+        Self {
+            data: [0; BLOCK_BYTES],
+            sideband: [0; SIDEBAND_BYTES],
+        }
     }
 }
 
@@ -77,7 +80,10 @@ impl DramStorage {
     /// Reads the block containing `addr` (zeros if never written).
     #[must_use]
     pub fn read(&self, addr: u64) -> StoredBlock {
-        self.blocks.get(&Self::align(addr)).copied().unwrap_or_default()
+        self.blocks
+            .get(&Self::align(addr))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Writes the block containing `addr`.
@@ -117,7 +123,13 @@ mod tests {
     #[test]
     fn aligned_access() {
         let mut m = DramStorage::new();
-        m.write(0x1008, StoredBlock { data: [3; 64], sideband: [0; 8] });
+        m.write(
+            0x1008,
+            StoredBlock {
+                data: [3; 64],
+                sideband: [0; 8],
+            },
+        );
         // Any address within the block reads the same storage.
         assert_eq!(m.read(0x1000).data, [3; 64]);
         assert_eq!(m.read(0x103f).data, [3; 64]);
@@ -133,7 +145,13 @@ mod tests {
     #[test]
     fn data_bit_flip() {
         let mut m = DramStorage::new();
-        m.write(0, StoredBlock { data: [0; 64], sideband: [0; 8] });
+        m.write(
+            0,
+            StoredBlock {
+                data: [0; 64],
+                sideband: [0; 8],
+            },
+        );
         m.flip_data_bit(0, 9); // byte 1, bit 1
         assert_eq!(m.read(0).data[1], 0b10);
         m.flip_data_bit(0, 9);

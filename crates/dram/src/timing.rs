@@ -177,6 +177,24 @@ impl std::fmt::Display for DramStats {
     }
 }
 
+impl ame_telemetry::Metrics for DramStats {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        sink.counter("reads", self.reads);
+        sink.counter("writes", self.writes);
+        sink.counter("row_hits", self.row_hits);
+        sink.counter("row_conflicts", self.row_conflicts);
+        sink.counter("row_closed", self.row_closed);
+        sink.counter("posted_writes", self.posted_writes);
+        sink.counter("write_queue_full", self.write_queue_full);
+        sink.counter("refreshes", self.refreshes);
+        sink.counter("refresh_stall_cycles", self.refresh_stall_cycles);
+        sink.counter("queue_cycles", self.queue_cycles);
+        sink.counter("service_cycles", self.service_cycles);
+        sink.gauge("row_hit_rate", self.row_hit_rate());
+        sink.gauge("mean_latency", self.mean_latency());
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct Bank {
     open_row: Option<u64>,
@@ -224,7 +242,13 @@ impl DramTiming {
         assert!(config.row_bytes >= 64, "a row must hold at least one block");
         let next_refresh = vec![config.t_refi.max(1); config.channels];
         let pending_writes = vec![std::collections::VecDeque::new(); config.channels];
-        Self { config, banks: HashMap::new(), next_refresh, pending_writes, stats: DramStats::default() }
+        Self {
+            config,
+            banks: HashMap::new(),
+            next_refresh,
+            pending_writes,
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration in use.
@@ -351,7 +375,10 @@ mod tests {
     use super::*;
 
     fn one_channel() -> DramTiming {
-        DramTiming::new(DramConfig { channels: 1, ..DramConfig::default() })
+        DramTiming::new(DramConfig {
+            channels: 1,
+            ..DramConfig::default()
+        })
     }
 
     #[test]
@@ -399,7 +426,10 @@ mod tests {
 
     #[test]
     fn channels_are_parallel() {
-        let mut d = DramTiming::new(DramConfig { channels: 2, ..DramConfig::default() });
+        let mut d = DramTiming::new(DramConfig {
+            channels: 2,
+            ..DramConfig::default()
+        });
         let t1 = d.access(0, RequestKind::Read, 0); // channel 0
         let t2 = d.access(64, RequestKind::Read, 0); // channel 1
         assert_eq!(t1, t2, "different channels serve concurrently");
@@ -499,8 +529,14 @@ mod tests {
 
     #[test]
     fn mapping_policies_cover_all_channels() {
-        for mapping in [AddressMapping::BlockInterleaved, AddressMapping::RowInterleaved] {
-            let d = DramTiming::new(DramConfig { mapping, ..DramConfig::default() });
+        for mapping in [
+            AddressMapping::BlockInterleaved,
+            AddressMapping::RowInterleaved,
+        ] {
+            let d = DramTiming::new(DramConfig {
+                mapping,
+                ..DramConfig::default()
+            });
             let mut seen = std::collections::HashSet::new();
             for blk in 0..1024u64 {
                 let (c, _, _) = d.map(blk * 64);
@@ -512,7 +548,12 @@ mod tests {
 
     #[test]
     fn refresh_blocks_channel() {
-        let cfg = DramConfig { channels: 1, t_refi: 1000, t_rfc: 100, ..DramConfig::default() };
+        let cfg = DramConfig {
+            channels: 1,
+            t_refi: 1000,
+            t_rfc: 100,
+            ..DramConfig::default()
+        };
         let mut d = DramTiming::new(cfg);
         // A request arriving just after the refresh instant waits out tRFC.
         let done = d.access(0, RequestKind::Read, 1001);
@@ -523,7 +564,11 @@ mod tests {
 
     #[test]
     fn refresh_disabled_with_zero_trefi() {
-        let cfg = DramConfig { channels: 1, t_refi: 0, ..DramConfig::default() };
+        let cfg = DramConfig {
+            channels: 1,
+            t_refi: 0,
+            ..DramConfig::default()
+        };
         let mut d = DramTiming::new(cfg);
         let done = d.access(0, RequestKind::Read, 1_000_000);
         assert_eq!(done, 1_000_000 + 44 + 44 + 16);
@@ -534,7 +579,12 @@ mod tests {
     fn missed_refreshes_catch_up() {
         // A long-idle channel executes its overdue refreshes but only the
         // last window can block a new request.
-        let cfg = DramConfig { channels: 1, t_refi: 1000, t_rfc: 100, ..DramConfig::default() };
+        let cfg = DramConfig {
+            channels: 1,
+            t_refi: 1000,
+            t_rfc: 100,
+            ..DramConfig::default()
+        };
         let mut d = DramTiming::new(cfg);
         d.access(0, RequestKind::Read, 10_500);
         assert_eq!(d.stats().refreshes, 10);
@@ -559,7 +609,10 @@ mod tests {
         // read right behind it pays refresh + buffered write + its own
         // service.
         let r = d.access(64, RequestKind::Read, 1017);
-        assert!(r >= 1100 + 104 + 60, "read must queue behind refresh + write ({r})");
+        assert!(
+            r >= 1100 + 104 + 60,
+            "read must queue behind refresh + write ({r})"
+        );
         assert!(d.stats().refresh_stall_cycles > 0);
     }
 

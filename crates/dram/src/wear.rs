@@ -125,6 +125,22 @@ impl WearTracker {
     }
 }
 
+impl ame_telemetry::Metrics for WearTracker {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        sink.counter("logical_writes", self.logical);
+        sink.counter("physical_writes", self.physical);
+        sink.counter("max_wear", self.max_wear());
+        sink.counter("touched_blocks", self.writes.len() as u64);
+        sink.gauge("wear_amplification", self.wear_amplification());
+        sink.gauge("mean_wear", self.mean_wear());
+        let mut dist = ame_telemetry::Histogram::new();
+        for &count in self.writes.values() {
+            dist.record(count);
+        }
+        sink.histogram("per_block_writes", &dist);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,7 +98,9 @@ impl FaultPattern {
             FaultPattern::Burst { start, len } => (start..start + len).collect(),
             FaultPattern::ChipFailure { chip } => {
                 assert!(chip < 8, "byte lane out of range");
-                (0..8u32).flat_map(|word| (0..8).map(move |b| word * 64 + chip * 8 + b)).collect()
+                (0..8u32)
+                    .flat_map(|word| (0..8).map(move |b| word * 64 + chip * 8 + b))
+                    .collect()
             }
             FaultPattern::Sideband { .. } => Vec::new(),
             FaultPattern::Mixed { ref data_bits, .. } => data_bits.clone(),
@@ -114,7 +116,9 @@ impl FaultPattern {
     pub fn sideband_flips(&self) -> Vec<u32> {
         let flips = match *self {
             FaultPattern::Sideband { ref bits } => bits.clone(),
-            FaultPattern::Mixed { ref sideband_bits, .. } => sideband_bits.clone(),
+            FaultPattern::Mixed {
+                ref sideband_bits, ..
+            } => sideband_bits.clone(),
             _ => Vec::new(),
         };
         for &f in &flips {
@@ -237,13 +241,22 @@ mod tests {
 
     #[test]
     fn double_same_word_detected_not_corrected_by_standard() {
-        let p = FaultPattern::DoubleBitSameWord { word: 2, bits: (3, 47) };
-        assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::DetectedUncorrectable);
+        let p = FaultPattern::DoubleBitSameWord {
+            word: 2,
+            bits: (3, 47),
+        };
+        assert_eq!(
+            evaluate_standard(&block(), &p),
+            FaultOutcome::DetectedUncorrectable
+        );
     }
 
     #[test]
     fn double_cross_words_corrected_by_standard() {
-        let p = FaultPattern::DoubleBitCrossWords { first: (0, 5), second: (6, 60) };
+        let p = FaultPattern::DoubleBitCrossWords {
+            first: (0, 5),
+            second: (6, 60),
+        };
         assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::Corrected);
     }
 
@@ -251,7 +264,10 @@ mod tests {
     fn scattered_singles_all_corrected_by_standard() {
         // Up to 8 flips, one per word: the case standard ECC handles best.
         for words in 1..=8 {
-            let p = FaultPattern::ScatteredSingles { words, bit_in_word: 13 };
+            let p = FaultPattern::ScatteredSingles {
+                words,
+                bit_in_word: 13,
+            };
             assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::Corrected);
         }
     }
@@ -289,13 +305,19 @@ mod tests {
 
     #[test]
     fn no_fault_reports_no_error() {
-        let p = FaultPattern::Mixed { data_bits: vec![], sideband_bits: vec![] };
+        let p = FaultPattern::Mixed {
+            data_bits: vec![],
+            sideband_bits: vec![],
+        };
         assert_eq!(evaluate_standard(&block(), &p), FaultOutcome::NoError);
     }
 
     #[test]
     fn weight_counts_all_flips() {
-        let p = FaultPattern::Mixed { data_bits: vec![1, 2, 3], sideband_bits: vec![0] };
+        let p = FaultPattern::Mixed {
+            data_bits: vec![1, 2, 3],
+            sideband_bits: vec![0],
+        };
         assert_eq!(p.weight(), 4);
     }
 

@@ -34,7 +34,11 @@ pub fn words_to_block(words: &[u64; WORDS_PER_BLOCK]) -> [u8; BLOCK_BYTES] {
 /// Even parity over a full 64-byte block (0 or 1).
 #[must_use]
 pub fn block_parity(block: &[u8; BLOCK_BYTES]) -> u8 {
-    (block.iter().map(|b| u32::from(b.count_ones() as u8)).sum::<u32>() & 1) as u8
+    (block
+        .iter()
+        .map(|b| u32::from(b.count_ones() as u8))
+        .sum::<u32>()
+        & 1) as u8
 }
 
 /// Standard ECC side-band: one SEC-DED(72,64) check byte per 8-byte word.
@@ -159,7 +163,9 @@ impl MacSideband {
         let tag = tag & Self::TAG_MASK;
         let check = u64::from(Secded63::encode(tag));
         let parity = u64::from(block_parity(ciphertext));
-        Self { packed: tag | (check << 56) | (parity << 63) }
+        Self {
+            packed: tag | (check << 56) | (parity << 63),
+        }
     }
 
     /// Even parity of a ciphertext block, as stored in the scrub bit.
@@ -211,14 +217,18 @@ impl MacSideband {
     /// Reconstructs a side-band from raw ECC-chip bytes.
     #[must_use]
     pub fn from_bytes(bytes: [u8; 8]) -> Self {
-        Self { packed: u64::from_le_bytes(bytes) }
+        Self {
+            packed: u64::from_le_bytes(bytes),
+        }
     }
 
     /// Returns a copy with the given side-band bit (0..64) flipped, for
     /// fault injection.
     #[must_use]
     pub fn with_bit_flipped(&self, bit: u32) -> Self {
-        Self { packed: self.packed ^ (1u64 << bit) }
+        Self {
+            packed: self.packed ^ (1u64 << bit),
+        }
     }
 }
 
@@ -299,7 +309,11 @@ mod tests {
         let sb = MacSideband::new(tag, &ct);
         for bit in 0..56 {
             let faulty = sb.with_bit_flipped(bit);
-            assert_eq!(faulty.recover_tag().corrected_word(), Some(tag), "bit {bit}");
+            assert_eq!(
+                faulty.recover_tag().corrected_word(),
+                Some(tag),
+                "bit {bit}"
+            );
         }
     }
 
@@ -310,7 +324,11 @@ mod tests {
         let sb = MacSideband::new(tag, &ct);
         for bit in 56..63 {
             let faulty = sb.with_bit_flipped(bit);
-            assert_eq!(faulty.recover_tag().corrected_word(), Some(tag), "bit {bit}");
+            assert_eq!(
+                faulty.recover_tag().corrected_word(),
+                Some(tag),
+                "bit {bit}"
+            );
         }
     }
 
@@ -318,7 +336,9 @@ mod tests {
     fn mac_sideband_detects_double_tag_flip() {
         let ct = sample_block();
         let tag = 0x00aa_aaaa_5555_5555u64 & MacSideband::TAG_MASK;
-        let sb = MacSideband::new(tag, &ct).with_bit_flipped(2).with_bit_flipped(40);
+        let sb = MacSideband::new(tag, &ct)
+            .with_bit_flipped(2)
+            .with_bit_flipped(40);
         assert_eq!(sb.recover_tag().corrected_word(), None);
     }
 

@@ -134,14 +134,22 @@ impl<const DATA: usize, const HPAR: u32, const MAXPOS: usize> Engine<DATA, HPAR,
         hpar | ((overall as u8) << HPAR)
     }
 
-    fn decode(data: u64, check: u8, positions: &[u32; DATA], pos_to_data: &[u32; MAXPOS]) -> DecodeOutcome {
-        let data = if DATA < 64 { data & ((1u64 << DATA) - 1) } else { data };
+    fn decode(
+        data: u64,
+        check: u8,
+        positions: &[u32; DATA],
+        pos_to_data: &[u32; MAXPOS],
+    ) -> DecodeOutcome {
+        let data = if DATA < 64 {
+            data & ((1u64 << DATA) - 1)
+        } else {
+            data
+        };
         let stored_hpar = check & ((1u8 << HPAR) - 1);
         let stored_overall = check >> HPAR & 1;
         let computed_hpar = Self::hamming_parity(data, positions);
         let syndrome = (stored_hpar ^ computed_hpar) as u32;
-        let computed_overall =
-            ((data.count_ones() + stored_hpar.count_ones()) & 1) as u8;
+        let computed_overall = ((data.count_ones() + stored_hpar.count_ones()) & 1) as u8;
         let overall_mismatch = stored_overall != computed_overall;
 
         match (syndrome, overall_mismatch) {
@@ -156,7 +164,10 @@ impl<const DATA: usize, const HPAR: u32, const MAXPOS: usize> Engine<DATA, HPAR,
                     DecodeOutcome::CorrectedCheck { word: data }
                 } else if (s as usize) < MAXPOS && pos_to_data[s as usize] != u32::MAX {
                     let bit = pos_to_data[s as usize];
-                    DecodeOutcome::CorrectedData { word: data ^ (1u64 << bit), bit: bit as u8 }
+                    DecodeOutcome::CorrectedData {
+                        word: data ^ (1u64 << bit),
+                        bit: bit as u8,
+                    }
                 } else {
                     // Syndrome points at an unused (shortened) position:
                     // cannot be a single-bit error.
@@ -333,9 +344,16 @@ mod tests {
 
     #[test]
     fn clean_roundtrip_63() {
-        for tag in [0u64, Secded63::TAG_MASK, 0x00aa_5500_ff11_2233 & Secded63::TAG_MASK] {
+        for tag in [
+            0u64,
+            Secded63::TAG_MASK,
+            0x00aa_5500_ff11_2233 & Secded63::TAG_MASK,
+        ] {
             let check = Secded63::encode(tag);
-            assert_eq!(Secded63::decode(tag, check), DecodeOutcome::Clean { word: tag });
+            assert_eq!(
+                Secded63::decode(tag, check),
+                DecodeOutcome::Clean { word: tag }
+            );
         }
     }
 
@@ -345,7 +363,11 @@ mod tests {
         let check = Secded63::encode(tag);
         for bit in 0..56 {
             let outcome = Secded63::decode(tag ^ (1u64 << bit), check);
-            assert_eq!(outcome, DecodeOutcome::CorrectedData { word: tag, bit }, "bit {bit}");
+            assert_eq!(
+                outcome,
+                DecodeOutcome::CorrectedData { word: tag, bit },
+                "bit {bit}"
+            );
         }
     }
 
@@ -355,7 +377,11 @@ mod tests {
         let check = Secded63::encode(tag);
         for bit in 0..7 {
             let outcome = Secded63::decode(tag, check ^ (1u8 << bit));
-            assert_eq!(outcome, DecodeOutcome::CorrectedCheck { word: tag }, "bit {bit}");
+            assert_eq!(
+                outcome,
+                DecodeOutcome::CorrectedCheck { word: tag },
+                "bit {bit}"
+            );
         }
     }
 
@@ -381,7 +407,12 @@ mod tests {
         let check = Secded63::encode(tag);
         assert_eq!(check, Secded63::encode(tag & Secded63::TAG_MASK));
         let outcome = Secded63::decode(tag, check);
-        assert_eq!(outcome, DecodeOutcome::Clean { word: tag & Secded63::TAG_MASK });
+        assert_eq!(
+            outcome,
+            DecodeOutcome::Clean {
+                word: tag & Secded63::TAG_MASK
+            }
+        );
     }
 
     #[test]

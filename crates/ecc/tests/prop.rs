@@ -1,42 +1,77 @@
-//! Property tests for the SEC-DED codes and side-band layouts.
+//! Property tests for the SEC-DED codes and side-band layouts, driven by
+//! seeded `ame-prng` randomized loops (the workspace builds offline, so
+//! there is no proptest).
 
 use ame_ecc::layout::{MacSideband, StandardSideband};
 use ame_ecc::secded::{DecodeOutcome, Secded63, Secded72};
-use proptest::prelude::*;
+use ame_prng::StdRng;
 
-proptest! {
-    #[test]
-    fn secded72_clean_roundtrip(word: u64) {
+fn block(rng: &mut StdRng) -> [u8; 64] {
+    let mut buf = [0u8; 64];
+    rng.fill(&mut buf);
+    buf
+}
+
+#[test]
+fn secded72_clean_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xEC_01);
+    for _ in 0..256 {
+        let word = rng.next_u64();
         let check = Secded72::encode(word);
-        prop_assert_eq!(Secded72::decode(word, check), DecodeOutcome::Clean { word });
+        assert_eq!(Secded72::decode(word, check), DecodeOutcome::Clean { word });
     }
+}
 
-    #[test]
-    fn secded72_corrects_check_bit_flips(word: u64, bit in 0u32..8) {
+#[test]
+fn secded72_corrects_check_bit_flips() {
+    let mut rng = StdRng::seed_from_u64(0xEC_02);
+    for _ in 0..256 {
+        let word = rng.next_u64();
+        let bit = rng.gen_range(0u32..8);
         let check = Secded72::encode(word);
         let outcome = Secded72::decode(word, check ^ (1u8 << bit));
-        prop_assert_eq!(outcome, DecodeOutcome::CorrectedCheck { word });
+        assert_eq!(outcome, DecodeOutcome::CorrectedCheck { word });
     }
+}
 
-    #[test]
-    fn secded72_detects_data_plus_check_flip(word: u64, dbit in 0u32..64, cbit in 0u32..8) {
+#[test]
+fn secded72_detects_data_plus_check_flip() {
+    let mut rng = StdRng::seed_from_u64(0xEC_03);
+    for _ in 0..256 {
+        let word = rng.next_u64();
+        let dbit = rng.gen_range(0u32..64);
+        let cbit = rng.gen_range(0u32..8);
         let check = Secded72::encode(word);
         let outcome = Secded72::decode(word ^ (1u64 << dbit), check ^ (1u8 << cbit));
-        prop_assert_eq!(outcome.corrected_word(), None, "double flip must not correct");
+        assert_eq!(
+            outcome.corrected_word(),
+            None,
+            "double flip must not correct"
+        );
     }
+}
 
-    #[test]
-    fn secded63_clean_and_single(tag in 0u64..(1u64 << 56), bit in 0u32..56) {
+#[test]
+fn secded63_clean_and_single() {
+    let mut rng = StdRng::seed_from_u64(0xEC_04);
+    for _ in 0..256 {
+        let tag = rng.gen_range(0u64..(1u64 << 56));
+        let bit = rng.gen_range(0u32..56);
         let check = Secded63::encode(tag);
-        prop_assert!(Secded63::decode(tag, check).is_clean());
+        assert!(Secded63::decode(tag, check).is_clean());
         let outcome = Secded63::decode(tag ^ (1u64 << bit), check);
-        prop_assert_eq!(outcome.corrected_word(), Some(tag));
+        assert_eq!(outcome.corrected_word(), Some(tag));
     }
+}
 
-    #[test]
-    fn standard_sideband_corrects_one_flip_per_word(block: [u8; 64], seed: u64) {
-        let sb = StandardSideband::encode(&block);
-        let mut bad = block;
+#[test]
+fn standard_sideband_corrects_one_flip_per_word() {
+    let mut rng = StdRng::seed_from_u64(0xEC_05);
+    for _ in 0..128 {
+        let data = block(&mut rng);
+        let seed = rng.next_u64();
+        let sb = StandardSideband::encode(&data);
+        let mut bad = data;
         let mut s = seed;
         for w in 0..8usize {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -44,34 +79,46 @@ proptest! {
             bad[w * 8 + bit / 8] ^= 1 << (bit % 8);
         }
         let decoded = sb.decode(&bad);
-        prop_assert_eq!(decoded.corrected_block(), Some(block));
+        assert_eq!(decoded.corrected_block(), Some(data));
     }
+}
 
-    #[test]
-    fn mac_sideband_fields_roundtrip(tag in 0u64..(1u64 << 56), ct: [u8; 64]) {
+#[test]
+fn mac_sideband_fields_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xEC_06);
+    for _ in 0..128 {
+        let tag = rng.gen_range(0u64..(1u64 << 56));
+        let ct = block(&mut rng);
         let sb = MacSideband::new(tag, &ct);
-        prop_assert_eq!(sb.raw_tag(), tag);
-        prop_assert!(sb.scrub_matches(&ct));
-        prop_assert!(sb.recover_tag().is_clean());
+        assert_eq!(sb.raw_tag(), tag);
+        assert!(sb.scrub_matches(&ct));
+        assert!(sb.recover_tag().is_clean());
         let back = MacSideband::from_bytes(sb.to_bytes());
-        prop_assert_eq!(back, sb);
+        assert_eq!(back, sb);
     }
+}
 
-    #[test]
-    fn mac_sideband_single_flip_always_recovers(
-        tag in 0u64..(1u64 << 56),
-        ct: [u8; 64],
-        bit in 0u32..63,
-    ) {
+#[test]
+fn mac_sideband_single_flip_always_recovers() {
+    let mut rng = StdRng::seed_from_u64(0xEC_07);
+    for _ in 0..256 {
+        let tag = rng.gen_range(0u64..(1u64 << 56));
+        let ct = block(&mut rng);
+        let bit = rng.gen_range(0u32..63);
         let sb = MacSideband::new(tag, &ct).with_bit_flipped(bit);
-        prop_assert_eq!(sb.recover_tag().corrected_word(), Some(tag));
+        assert_eq!(sb.recover_tag().corrected_word(), Some(tag));
     }
+}
 
-    #[test]
-    fn parity_bit_tracks_data_flips(ct: [u8; 64], bit in 0u32..512) {
+#[test]
+fn parity_bit_tracks_data_flips() {
+    let mut rng = StdRng::seed_from_u64(0xEC_08);
+    for _ in 0..256 {
+        let ct = block(&mut rng);
+        let bit = rng.gen_range(0u32..512);
         let sb = MacSideband::new(1, &ct);
         let mut bad = ct;
         bad[(bit / 8) as usize] ^= 1 << (bit % 8);
-        prop_assert!(!sb.scrub_matches(&bad), "odd flips must break parity");
+        assert!(!sb.scrub_matches(&bad), "odd flips must break parity");
     }
 }

@@ -52,12 +52,20 @@ pub fn flip_and_check(
 ) -> CorrectionOutcome {
     let mut checks = 0u64;
     if max_flips == 0 {
-        return CorrectionOutcome { corrected: None, flipped_bits: vec![], checks };
+        return CorrectionOutcome {
+            corrected: None,
+            flipped_bits: vec![],
+            checks,
+        };
     }
     let probe = cipher.mac_probe(addr, counter, ct);
     if probe.base_tag() == tag {
         // Nothing to fix (callers normally check first).
-        return CorrectionOutcome { corrected: Some(*ct), flipped_bits: vec![], checks };
+        return CorrectionOutcome {
+            corrected: Some(*ct),
+            flipped_bits: vec![],
+            checks,
+        };
     }
 
     let apply = |bits: &[u32]| {
@@ -80,7 +88,11 @@ pub fn flip_and_check(
         }
     }
     if max_flips < 2 {
-        return CorrectionOutcome { corrected: None, flipped_bits: vec![], checks };
+        return CorrectionOutcome {
+            corrected: None,
+            flipped_bits: vec![],
+            checks,
+        };
     }
 
     // Double-bit pass.
@@ -96,7 +108,11 @@ pub fn flip_and_check(
             }
         }
     }
-    CorrectionOutcome { corrected: None, flipped_bits: vec![], checks }
+    CorrectionOutcome {
+        corrected: None,
+        flipped_bits: vec![],
+        checks,
+    }
 }
 
 /// Which protection scheme a Figure 3 fault is evaluated against.
@@ -152,9 +168,11 @@ pub fn evaluate_fault(scheme: Scheme, pattern: &FaultPattern) -> FaultOutcome {
             }
         }
         Ok(_) => FaultOutcome::Miscorrected,
-        Err(ReadError::MacUncorrectable | ReadError::EccUncorrectable | ReadError::IntegrityViolation) => {
-            FaultOutcome::DetectedUncorrectable
-        }
+        Err(
+            ReadError::MacUncorrectable
+            | ReadError::EccUncorrectable
+            | ReadError::IntegrityViolation,
+        ) => FaultOutcome::DetectedUncorrectable,
         Err(ReadError::Tree(_)) => FaultOutcome::DetectedUncorrectable,
     }
 }
@@ -245,17 +263,32 @@ mod tests {
         // Row 1: single data bit — both schemes correct it.
         let single = FaultPattern::SingleBit { bit: 77 };
         assert_eq!(evaluate_fault(Scheme::StandardEcc, &single), Corrected);
-        assert_eq!(evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &single), Corrected);
+        assert_eq!(
+            evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &single),
+            Corrected
+        );
 
         // Row 2: double bits in one word — SEC-DED detects only; MAC-ECC
         // corrects.
-        let dw = FaultPattern::DoubleBitSameWord { word: 1, bits: (3, 60) };
-        assert_eq!(evaluate_fault(Scheme::StandardEcc, &dw), DetectedUncorrectable);
-        assert_eq!(evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &dw), Corrected);
+        let dw = FaultPattern::DoubleBitSameWord {
+            word: 1,
+            bits: (3, 60),
+        };
+        assert_eq!(
+            evaluate_fault(Scheme::StandardEcc, &dw),
+            DetectedUncorrectable
+        );
+        assert_eq!(
+            evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &dw),
+            Corrected
+        );
 
         // Row 3: many scattered singles — SEC-DED corrects all; MAC-ECC
         // detects but cannot correct within budget.
-        let scattered = FaultPattern::ScatteredSingles { words: 4, bit_in_word: 9 };
+        let scattered = FaultPattern::ScatteredSingles {
+            words: 4,
+            bit_in_word: 9,
+        };
         assert_eq!(evaluate_fault(Scheme::StandardEcc, &scattered), Corrected);
         assert_eq!(
             evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &scattered),

@@ -200,6 +200,18 @@ impl std::fmt::Display for EngineStats {
     }
 }
 
+impl ame_telemetry::Metrics for EngineStats {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        sink.counter("reads", self.reads);
+        sink.counter("writes", self.writes);
+        sink.counter("reencrypted_blocks", self.reencrypted_blocks);
+        sink.counter("mac_corrections", self.mac_corrections);
+        sink.counter("data_corrections", self.data_corrections);
+        sink.counter("flip_checks", self.flip_checks);
+        sink.counter("failed_reads", self.failed_reads);
+    }
+}
+
 /// Snapshot of all off-chip state for one block, as a replay attacker
 /// would capture it: stored data + side-band, plus the counter metadata
 /// block and its stored leaf MAC.
@@ -239,7 +251,12 @@ impl BlockSnapshot {
     /// tests the MAC's address binding.
     #[must_use]
     pub fn relocated(&self, addr: u64) -> BlockSnapshot {
-        BlockSnapshot { addr, stored: self.stored, meta_leaf: None, mac_entry: self.mac_entry }
+        BlockSnapshot {
+            addr,
+            stored: self.stored,
+            meta_leaf: None,
+            mac_entry: self.mac_entry,
+        }
     }
 }
 
@@ -274,6 +291,29 @@ impl TreeFrontend {
     }
 }
 
+/// The whole functional engine reports as one scope: its own event
+/// counters at the root, the counter scheme under `counters/`, the
+/// metadata cache (when configured) under `metadata_cache/`, and the
+/// flip-and-check cost distribution as `flip_check_distribution`.
+impl ame_telemetry::Metrics for MemoryEncryptionEngine {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        ame_telemetry::Metrics::record(&self.stats, sink);
+        let counters = self.counter_stats();
+        sink.counter("counters/writes", counters.writes);
+        sink.counter("counters/resets", counters.resets);
+        sink.counter("counters/reencodes", counters.reencodes);
+        sink.counter("counters/expansions", counters.expansions);
+        sink.counter("counters/reencryptions", counters.reencryptions);
+        if let Some(cache) = self.counter_cache_stats() {
+            sink.counter("metadata_cache/hits", cache.hits);
+            sink.counter("metadata_cache/misses", cache.misses);
+            sink.counter("metadata_cache/evictions", cache.evictions);
+            sink.gauge("metadata_cache/hit_rate", cache.hit_rate());
+        }
+        sink.histogram("flip_check_distribution", &self.flip_check_dist);
+    }
+}
+
 /// The functional authenticated memory encryption engine.
 pub struct MemoryEncryptionEngine {
     config: EngineConfig,
@@ -284,6 +324,9 @@ pub struct MemoryEncryptionEngine {
     /// Separate-MAC mode: per-block 56-bit tags in a dedicated region.
     mac_region: HashMap<u64, u64>,
     stats: EngineStats,
+    /// Distribution of MAC hypotheses evaluated per flip-and-check
+    /// correction attempt (Section 3.4's cost argument).
+    flip_check_dist: ame_telemetry::Histogram,
 }
 
 impl std::fmt::Debug for MemoryEncryptionEngine {
@@ -300,8 +343,11 @@ impl MemoryEncryptionEngine {
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
         let cipher = MemoryCipher::from_seed(config.seed);
-        let bonsai =
-            BonsaiTree::new(MemoryCipher::from_seed(config.seed ^ 0x7ee), config.tree_levels, 8);
+        let bonsai = BonsaiTree::new(
+            MemoryCipher::from_seed(config.seed ^ 0x7ee),
+            config.tree_levels,
+            8,
+        );
         let tree = if config.counter_cache_blocks > 0 {
             TreeFrontend::Cached(CachedTree::new(bonsai, config.counter_cache_blocks))
         } else {
@@ -315,6 +361,7 @@ impl MemoryEncryptionEngine {
             storage: DramStorage::new(),
             mac_region: HashMap::new(),
             stats: EngineStats::default(),
+            flip_check_dist: ame_telemetry::Histogram::new(),
         }
     }
 
@@ -334,6 +381,12 @@ impl MemoryEncryptionEngine {
     #[must_use]
     pub fn counter_stats(&self) -> CounterStats {
         self.counters.stats()
+    }
+
+    /// Distribution of MAC hypotheses per flip-and-check attempt.
+    #[must_use]
+    pub fn flip_check_distribution(&self) -> &ame_telemetry::Histogram {
+        &self.flip_check_dist
     }
 
     fn block_index(addr: u64) -> u64 {
@@ -400,10 +453,19 @@ impl MemoryEncryptionEngine {
     ///
     /// Panics if `addr` is not 64-byte aligned.
     pub fn write_block(&mut self, addr: u64, plain: &[u8; BLOCK_BYTES]) {
-        assert_eq!(addr % BLOCK_BYTES as u64, 0, "address must be block-aligned");
+        assert_eq!(
+            addr % BLOCK_BYTES as u64,
+            0,
+            "address must be block-aligned"
+        );
         let block = Self::block_index(addr);
         let outcome = self.counters.record_write(block);
-        if let WriteOutcome::Reencrypted { group, old_counters, new_counter } = &outcome {
+        if let WriteOutcome::Reencrypted {
+            group,
+            old_counters,
+            new_counter,
+        } = &outcome
+        {
             let (group, new_counter) = (*group, *new_counter);
             let old = old_counters.clone();
             self.reencrypt_group(group, &old, new_counter);
@@ -426,7 +488,11 @@ impl MemoryEncryptionEngine {
     ///
     /// Panics if `addr` is not 64-byte aligned.
     pub fn read_block(&mut self, addr: u64) -> Result<[u8; BLOCK_BYTES], ReadError> {
-        assert_eq!(addr % BLOCK_BYTES as u64, 0, "address must be block-aligned");
+        assert_eq!(
+            addr % BLOCK_BYTES as u64,
+            0,
+            "address must be block-aligned"
+        );
         self.ensure_initialized(addr);
         let block = Self::block_index(addr);
 
@@ -487,10 +553,17 @@ impl MemoryEncryptionEngine {
             self.config.max_correctable_flips,
         );
         self.stats.flip_checks += outcome.checks;
+        self.flip_check_dist.record(outcome.checks);
         if let Some(fixed) = outcome.corrected {
             // Scrub the repaired block back to memory.
             let sb = MacSideband::new(tag, &fixed).to_bytes();
-            self.storage.write(addr, StoredBlock { data: fixed, sideband: sb });
+            self.storage.write(
+                addr,
+                StoredBlock {
+                    data: fixed,
+                    sideband: sb,
+                },
+            );
             self.stats.data_corrections += 1;
             self.stats.reads += 1;
             return Ok(self.cipher.decrypt_block(addr, counter, &fixed));
@@ -515,7 +588,13 @@ impl MemoryEncryptionEngine {
             self.stats.data_corrections += 1;
             // Scrub the corrected data back.
             let sb = StandardSideband::encode(&ct).to_bytes();
-            self.storage.write(addr, StoredBlock { data: ct, sideband: sb });
+            self.storage.write(
+                addr,
+                StoredBlock {
+                    data: ct,
+                    sideband: sb,
+                },
+            );
         }
         let block = Self::block_index(addr);
         let tag = self.mac_region.get(&block).copied().unwrap_or(0);
@@ -623,8 +702,11 @@ impl MemoryEncryptionEngine {
         // 2. Swap in fresh key material and empty metadata.
         self.config.seed = new_seed;
         self.cipher = MemoryCipher::from_seed(new_seed);
-        let bonsai =
-            BonsaiTree::new(MemoryCipher::from_seed(new_seed ^ 0x7ee), self.config.tree_levels, 8);
+        let bonsai = BonsaiTree::new(
+            MemoryCipher::from_seed(new_seed ^ 0x7ee),
+            self.config.tree_levels,
+            8,
+        );
         self.tree = if self.config.counter_cache_blocks > 0 {
             TreeFrontend::Cached(CachedTree::new(bonsai, self.config.counter_cache_blocks))
         } else {
@@ -706,7 +788,10 @@ mod tests {
         let c2 = e.counter_of(0);
         let ct2 = e.snapshot_block(0).stored.data;
         assert!(c2 > c1);
-        assert_ne!(ct1, ct2, "same plaintext, fresh counter => fresh ciphertext");
+        assert_ne!(
+            ct1, ct2,
+            "same plaintext, fresh counter => fresh ciphertext"
+        );
         assert_eq!(e.read_block(0).unwrap(), [1; 64]);
     }
 
@@ -823,7 +908,11 @@ mod tests {
         assert!(e.stats().reencrypted_blocks >= 9);
         assert_eq!(e.read_block(0).unwrap(), [0xEE; 64]);
         for b in 1..10u64 {
-            assert_eq!(e.read_block(b * 64).unwrap(), [b as u8 + 1; 64], "block {b}");
+            assert_eq!(
+                e.read_block(b * 64).unwrap(),
+                [b as u8 + 1; 64],
+                "block {b}"
+            );
         }
     }
 
@@ -861,7 +950,11 @@ mod tests {
         e.rekey(0xfeed).unwrap();
         // Contents survive under the new keys.
         for b in 0..8u64 {
-            assert_eq!(e.read_block(b * 64).unwrap(), [b as u8 + 1; 64], "block {b}");
+            assert_eq!(
+                e.read_block(b * 64).unwrap(),
+                [b as u8 + 1; 64],
+                "block {b}"
+            );
         }
         // Ciphertext changed (fresh keys), and replaying pre-rekey state
         // is rejected.
@@ -881,7 +974,10 @@ mod tests {
         for bit in [0u32, 9, 100] {
             e.tamper_data_bit(64, bit);
         }
-        assert!(e.rekey(0x1234).is_err(), "must not launder corrupted blocks");
+        assert!(
+            e.rekey(0x1234).is_err(),
+            "must not launder corrupted blocks"
+        );
     }
 
     #[test]
@@ -916,8 +1012,14 @@ mod tests {
     fn counter_cache_preserves_functional_behaviour() {
         // Same traffic with and without the cache: identical plaintext
         // results and identical counters.
-        let plain_cfg = EngineConfig { counter_cache_blocks: 0, ..EngineConfig::default() };
-        let cached_cfg = EngineConfig { counter_cache_blocks: 4, ..EngineConfig::default() };
+        let plain_cfg = EngineConfig {
+            counter_cache_blocks: 0,
+            ..EngineConfig::default()
+        };
+        let cached_cfg = EngineConfig {
+            counter_cache_blocks: 4,
+            ..EngineConfig::default()
+        };
         let mut a = MemoryEncryptionEngine::new(plain_cfg);
         let mut b = MemoryEncryptionEngine::new(cached_cfg);
         for i in 0..300u64 {

@@ -145,7 +145,12 @@ impl PagingController {
             macs.push(mac);
         }
         self.live.insert(page_addr, version);
-        Ok(SwappedPage { page_addr, version, blocks, macs })
+        Ok(SwappedPage {
+            page_addr,
+            version,
+            blocks,
+            macs,
+        })
     }
 
     /// Swaps a page back into protected memory after verifying every
@@ -169,10 +174,16 @@ impl PagingController {
         let mut plains = Vec::with_capacity(PAGE_BLOCKS);
         for i in 0..PAGE_BLOCKS {
             let addr = page.page_addr + (i as u64) * BLOCK_BYTES as u64;
-            if !self.swap_cipher.verify_block(addr, page.version, &page.blocks[i], page.macs[i]) {
+            if !self
+                .swap_cipher
+                .verify_block(addr, page.version, &page.blocks[i], page.macs[i])
+            {
                 return Err(SwapError::Tampered { block: i });
             }
-            plains.push(self.swap_cipher.decrypt_block(addr, page.version, &page.blocks[i]));
+            plains.push(
+                self.swap_cipher
+                    .decrypt_block(addr, page.version, &page.blocks[i]),
+            );
         }
         for (i, plain) in plains.iter().enumerate() {
             let addr = page.page_addr + (i as u64) * BLOCK_BYTES as u64;
@@ -208,7 +219,10 @@ mod tests {
         pager.swap_in(&mut engine, &page).unwrap();
         assert_eq!(pager.swapped_out_pages(), 0);
         for i in 0..PAGE_BLOCKS as u64 {
-            assert_eq!(engine.read_block(0x1000 + i * 64).unwrap(), [i as u8 + 1; 64]);
+            assert_eq!(
+                engine.read_block(0x1000 + i * 64).unwrap(),
+                [i as u8 + 1; 64]
+            );
         }
     }
 
@@ -216,7 +230,10 @@ mod tests {
     fn swapped_image_is_ciphertext() {
         let (mut engine, mut pager) = setup();
         let page = pager.swap_out(&mut engine, 0x1000).unwrap();
-        assert_ne!(page.blocks[0], [1u8; 64], "OS must only ever see ciphertext");
+        assert_ne!(
+            page.blocks[0], [1u8; 64],
+            "OS must only ever see ciphertext"
+        );
     }
 
     #[test]
@@ -224,7 +241,10 @@ mod tests {
         let (mut engine, mut pager) = setup();
         let mut page = pager.swap_out(&mut engine, 0x1000).unwrap();
         page.tamper_data_bit(7, 123);
-        assert_eq!(pager.swap_in(&mut engine, &page), Err(SwapError::Tampered { block: 7 }));
+        assert_eq!(
+            pager.swap_in(&mut engine, &page),
+            Err(SwapError::Tampered { block: 7 })
+        );
     }
 
     #[test]
@@ -235,7 +255,10 @@ mod tests {
         pager.swap_in(&mut engine, &v1).unwrap();
         engine.write_block(0x1000, &[0xaa; 64]);
         let _v2 = pager.swap_out(&mut engine, 0x1000).unwrap();
-        assert_eq!(pager.swap_in(&mut engine, &v1), Err(SwapError::StaleVersion));
+        assert_eq!(
+            pager.swap_in(&mut engine, &v1),
+            Err(SwapError::StaleVersion)
+        );
     }
 
     #[test]
@@ -262,10 +285,16 @@ mod tests {
         let a = pager.swap_out(&mut engine, 0x1000).unwrap();
         let _b = pager.swap_out(&mut engine, 0x2000).unwrap();
         // Forge: present page A's image with page B's address.
-        let forged = SwappedPage { page_addr: 0x2000, ..a };
+        let forged = SwappedPage {
+            page_addr: 0x2000,
+            ..a
+        };
         let r = pager.swap_in(&mut engine, &forged);
         assert!(
-            matches!(r, Err(SwapError::StaleVersion) | Err(SwapError::Tampered { .. })),
+            matches!(
+                r,
+                Err(SwapError::StaleVersion) | Err(SwapError::Tampered { .. })
+            ),
             "{r:?}"
         );
     }
@@ -281,7 +310,10 @@ mod tests {
             e2.write_block(0x1000 + i * 64, &[1; 64]);
         }
         e2.tamper_data_bit(0x1000 + 5 * 64, 9);
-        assert!(matches!(pager.swap_out(&mut e2, 0x1000), Err(SwapError::Engine(_))));
+        assert!(matches!(
+            pager.swap_out(&mut e2, 0x1000),
+            Err(SwapError::Engine(_))
+        ));
         // And the original engine still works.
         assert!(pager.swap_out(&mut engine, 0x1000).is_ok());
     }

@@ -77,8 +77,14 @@ impl SecureRegion {
     /// Panics if `size` is zero or not a multiple of the 64-byte block.
     #[must_use]
     pub fn new(config: crate::EngineConfig, size: u64) -> Self {
-        assert!(size > 0 && size.is_multiple_of(BLOCK_BYTES as u64), "size must be whole blocks");
-        Self { engine: MemoryEncryptionEngine::new(config), size }
+        assert!(
+            size > 0 && size.is_multiple_of(BLOCK_BYTES as u64),
+            "size must be whole blocks"
+        );
+        Self {
+            engine: MemoryEncryptionEngine::new(config),
+            size,
+        }
     }
 
     /// Region capacity in bytes.
@@ -93,7 +99,10 @@ impl SecureRegion {
     }
 
     fn check(&self, addr: u64, len: usize) -> Result<(), RegionError> {
-        if addr.checked_add(len as u64).is_none_or(|end| end > self.size) {
+        if addr
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.size)
+        {
             return Err(RegionError::OutOfBounds { addr, len });
         }
         Ok(())
@@ -193,10 +202,17 @@ mod tests {
         let mut r = region();
         let reads_before = r.engine_mut().stats().reads;
         r.write_bytes(64, &[1; 64]).unwrap();
-        assert_eq!(r.engine_mut().stats().reads, reads_before, "aligned store needs no read");
+        assert_eq!(
+            r.engine_mut().stats().reads,
+            reads_before,
+            "aligned store needs no read"
+        );
         let reads_before = r.engine_mut().stats().reads;
         r.write_bytes(64, &[2; 32]).unwrap();
-        assert!(r.engine_mut().stats().reads > reads_before, "partial store is RMW");
+        assert!(
+            r.engine_mut().stats().reads > reads_before,
+            "partial store is RMW"
+        );
     }
 
     #[test]
@@ -220,12 +236,18 @@ mod tests {
         // An attacker corrupts a block beyond repair; a later sub-block
         // write to it must fail instead of re-sealing attacker bits.
         let mut r = SecureRegion::new(
-            EngineConfig { max_correctable_flips: 0, ..EngineConfig::default() },
+            EngineConfig {
+                max_correctable_flips: 0,
+                ..EngineConfig::default()
+            },
             4096,
         );
         r.write_bytes(0, &[7; 64]).unwrap();
         r.engine_mut().tamper_data_bit(0, 13);
-        assert!(matches!(r.write_bytes(10, &[9; 4]), Err(RegionError::Read(_))));
+        assert!(matches!(
+            r.write_bytes(10, &[9; 4]),
+            Err(RegionError::Read(_))
+        ));
         // A full-block overwrite is allowed (it replaces everything).
         assert!(r.write_bytes(0, &[9; 64]).is_ok());
         let mut buf = [0u8; 64];

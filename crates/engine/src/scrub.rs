@@ -51,6 +51,17 @@ pub struct ScrubStats {
     pub uncorrectable: u64,
 }
 
+impl ame_telemetry::Metrics for ScrubStats {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        sink.counter("scanned", self.scanned);
+        sink.counter("parity_mismatches", self.parity_mismatches);
+        sink.counter("mac_repairs", self.mac_repairs);
+        sink.counter("data_repairs", self.data_repairs);
+        sink.counter("escalated", self.escalated);
+        sink.counter("uncorrectable", self.uncorrectable);
+    }
+}
+
 /// Which side-band convention the scanned region uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScrubMode {
@@ -116,7 +127,10 @@ impl Scrubber {
     /// Creates a scrubber for the given side-band convention.
     #[must_use]
     pub fn new(mode: ScrubMode) -> Self {
-        Self { mode, stats: ScrubStats::default() }
+        Self {
+            mode,
+            stats: ScrubStats::default(),
+        }
     }
 
     /// Lifetime statistics across all sweeps.
@@ -239,7 +253,10 @@ mod tests {
     use ame_dram::storage::StoredBlock;
 
     fn mac_block(tag: u64, data: [u8; 64]) -> StoredBlock {
-        StoredBlock { data, sideband: MacSideband::new(tag, &data).to_bytes() }
+        StoredBlock {
+            data,
+            sideband: MacSideband::new(tag, &data).to_bytes(),
+        }
     }
 
     #[test]
@@ -286,7 +303,11 @@ mod tests {
         for bit in [0u32, 31, 55, 58, 62] {
             mem.flip_sideband_bit(0, bit);
             let mut s = Scrubber::new(ScrubMode::MacInEcc);
-            assert_eq!(s.scrub_block(&mut mem, 0), BlockScrub::Repaired, "bit {bit}");
+            assert_eq!(
+                s.scrub_block(&mut mem, 0),
+                BlockScrub::Repaired,
+                "bit {bit}"
+            );
             // The stored tag is whole again.
             let sb = MacSideband::from_bytes(mem.read(0).sideband);
             assert_eq!(sb.raw_tag(), tag);
@@ -309,7 +330,13 @@ mod tests {
     fn standard_mode_repairs_in_place() {
         let mut mem = DramStorage::new();
         let data = [0x3c; 64];
-        mem.write(0, StoredBlock { data, sideband: StandardSideband::encode(&data).to_bytes() });
+        mem.write(
+            0,
+            StoredBlock {
+                data,
+                sideband: StandardSideband::encode(&data).to_bytes(),
+            },
+        );
         mem.flip_data_bit(0, 77);
         let mut s = Scrubber::new(ScrubMode::StandardEcc);
         assert_eq!(s.scrub_block(&mut mem, 0), BlockScrub::Repaired);
@@ -322,7 +349,13 @@ mod tests {
     fn standard_mode_double_error_uncorrectable() {
         let mut mem = DramStorage::new();
         let data = [0x3c; 64];
-        mem.write(0, StoredBlock { data, sideband: StandardSideband::encode(&data).to_bytes() });
+        mem.write(
+            0,
+            StoredBlock {
+                data,
+                sideband: StandardSideband::encode(&data).to_bytes(),
+            },
+        );
         mem.flip_data_bit(0, 0);
         mem.flip_data_bit(0, 1);
         let mut s = Scrubber::new(ScrubMode::StandardEcc);

@@ -97,9 +97,9 @@ impl CounterSchemeKind {
     pub fn storage_bits_per_block(self) -> f64 {
         match self {
             CounterSchemeKind::Monolithic => 64.0,
-            CounterSchemeKind::Split
-            | CounterSchemeKind::Delta
-            | CounterSchemeKind::DualLength => 8.0,
+            CounterSchemeKind::Split | CounterSchemeKind::Delta | CounterSchemeKind::DualLength => {
+                8.0
+            }
         }
     }
 
@@ -114,80 +114,10 @@ impl CounterSchemeKind {
     }
 }
 
-/// A compact latency histogram: 16-cycle buckets up to 4096 cycles plus
-/// an overflow bucket, enough resolution for DRAM-scale latencies while
-/// staying `Copy`-cheap to snapshot.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: Box<[u64; Self::BUCKETS]>,
-    count: u64,
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self { buckets: Box::new([0; Self::BUCKETS]), count: 0, max: 0 }
-    }
-}
-
-impl LatencyHistogram {
-    /// Bucket width in cycles.
-    pub const BUCKET_CYCLES: u64 = 16;
-    /// Number of buckets (the last one collects overflows).
-    pub const BUCKETS: usize = 257;
-
-    /// Records one latency sample.
-    pub fn record(&mut self, cycles: u64) {
-        let idx = ((cycles / Self::BUCKET_CYCLES) as usize).min(Self::BUCKETS - 1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.max = self.max.max(cycles);
-    }
-
-    /// Number of samples recorded.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Largest sample seen.
-    #[must_use]
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// The latency at quantile `q` in `[0, 1]` (bucket upper bound;
-    /// exact for the overflow bucket only up to `max`). Returns 0 with no
-    /// samples.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
-    #[must_use]
-    pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.count == 0 {
-            return 0;
-        }
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                if i == Self::BUCKETS - 1 {
-                    return self.max;
-                }
-                return (i as u64 + 1) * Self::BUCKET_CYCLES;
-            }
-        }
-        self.max
-    }
-
-    /// Clears all samples.
-    pub fn reset(&mut self) {
-        *self = Self::default();
-    }
-}
+/// Read-latency distribution: the shared log₂-bucket telemetry
+/// histogram (quantiles resolve to a bucket upper bound clamped to the
+/// exact max; buckets merge across engines for fleet-wide roll-ups).
+pub use ame_telemetry::Histogram as LatencyHistogram;
 
 /// Traffic and latency statistics of the timing engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -254,6 +184,50 @@ impl std::fmt::Display for TimingStats {
             self.reencryptions,
             self.mean_read_latency()
         )
+    }
+}
+
+impl ame_telemetry::Metrics for TimingStats {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        sink.counter("reads", self.reads);
+        sink.counter("writes", self.writes);
+        sink.counter("data_dram_reads", self.data_dram_reads);
+        sink.counter("data_dram_writes", self.data_dram_writes);
+        sink.counter("meta_dram_reads", self.meta_dram_reads);
+        sink.counter("meta_dram_writes", self.meta_dram_writes);
+        sink.counter("mac_dram_reads", self.mac_dram_reads);
+        sink.counter("reencryptions", self.reencryptions);
+        sink.counter("reencrypted_blocks", self.reencrypted_blocks);
+        sink.counter("reencryption_queue_cycles", self.reencryption_queue_cycles);
+        sink.counter("total_read_latency", self.total_read_latency);
+        sink.counter("dram_transactions", self.dram_transactions());
+        sink.gauge("mean_read_latency", self.mean_read_latency());
+    }
+}
+
+impl ame_telemetry::Metrics for TimingEngine {
+    /// Reports the engine as one telemetry scope: traffic counters at the
+    /// root, the counter scheme under `counters/`, the metadata cache
+    /// under `metadata_cache/`, and the verified-read latency
+    /// distribution as `read_latency`.
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        ame_telemetry::Metrics::record(&self.stats, sink);
+        sink.histogram("read_latency", &self.read_latency);
+        let counters = self.counter_stats();
+        sink.counter("counters/writes", counters.writes);
+        sink.counter("counters/resets", counters.resets);
+        sink.counter("counters/reencodes", counters.reencodes);
+        sink.counter("counters/expansions", counters.expansions);
+        sink.counter("counters/reencryptions", counters.reencryptions);
+        if let Some(p) = &self.protected {
+            let cache = p.meta_cache.stats();
+            sink.counter("metadata_cache/accesses", cache.accesses);
+            sink.counter("metadata_cache/hits", cache.hits);
+            sink.counter("metadata_cache/misses", cache.misses);
+            sink.counter("metadata_cache/evictions", cache.evictions);
+            sink.counter("metadata_cache/writebacks", cache.writebacks);
+            sink.gauge("metadata_cache/hit_rate", cache.hit_rate());
+        }
     }
 }
 
@@ -347,7 +321,12 @@ impl TimingEngine {
                 })
             }
         };
-        Self { config, protected, stats: TimingStats::default(), read_latency: LatencyHistogram::default() }
+        Self {
+            config,
+            protected,
+            stats: TimingStats::default(),
+            read_latency: LatencyHistogram::default(),
+        }
     }
 
     /// The configuration in use.
@@ -381,7 +360,10 @@ impl TimingEngine {
     /// Counter-scheme statistics (empty when unprotected).
     #[must_use]
     pub fn counter_stats(&self) -> CounterStats {
-        self.protected.as_ref().map(|p| p.scheme.stats()).unwrap_or_default()
+        self.protected
+            .as_ref()
+            .map(|p| p.scheme.stats())
+            .unwrap_or_default()
     }
 
     /// Off-chip tree levels of the active integrity tree (0 when
@@ -398,7 +380,9 @@ impl TimingEngine {
     /// Metadata-cache hit rate so far (0 when unprotected).
     #[must_use]
     pub fn metadata_hit_rate(&self) -> f64 {
-        self.protected.as_ref().map_or(0.0, |p| p.meta_cache.stats().hit_rate())
+        self.protected
+            .as_ref()
+            .map_or(0.0, |p| p.meta_cache.stats().hit_rate())
     }
 
     /// Serves an LLC *read miss* for the block at `addr`, issued at cycle
@@ -460,7 +444,9 @@ impl TimingEngine {
             }
             // ...and integrity comes from walking the (much deeper-reaching)
             // tree over the data's own hashes.
-            let Some(dt) = p.data_tree.as_ref() else { unreachable!("checked above") };
+            let Some(dt) = p.data_tree.as_ref() else {
+                unreachable!("checked above")
+            };
             let mut node = block / dt.arity as u64;
             t_walk = t_ctr.max(now);
             for level in 0..dt.off_chip_levels() {
@@ -504,7 +490,11 @@ impl TimingEngine {
         // With speculative verification the upper-level walk completes in
         // the background and does not gate the core.
         let t_pad = t_ctr + p.counters_kind.decode_latency() + self.config.aes_latency;
-        let walk_gate = if self.config.speculative_verification { t_ctr } else { t_walk };
+        let walk_gate = if self.config.speculative_verification {
+            t_ctr
+        } else {
+            t_walk
+        };
         let ready = t_data.max(t_pad).max(walk_gate).max(t_mac) + self.config.mac_check_latency;
         self.stats.total_read_latency += ready - now;
         self.read_latency.record(ready - now);
@@ -571,7 +561,12 @@ impl TimingEngine {
 
             // Counter bump; overflow may trigger a background group sweep.
             let outcome = p.scheme.record_write(block);
-            if let WriteOutcome::Reencrypted { group, old_counters, .. } = &outcome {
+            if let WriteOutcome::Reencrypted {
+                group,
+                old_counters,
+                ..
+            } = &outcome
+            {
                 self.stats.reencryptions += 1;
                 // The overflow buffer hands groups to the re-encryption
                 // engine one at a time; a new overflow queues behind the
@@ -605,7 +600,10 @@ mod tests {
     }
 
     fn engine(protection: Protection) -> TimingEngine {
-        TimingEngine::new(TimingConfig { protection, ..TimingConfig::default() })
+        TimingEngine::new(TimingConfig {
+            protection,
+            ..TimingConfig::default()
+        })
     }
 
     #[test]
@@ -687,7 +685,10 @@ mod tests {
             counters: CounterSchemeKind::Monolithic,
         });
         let t_mie = mie.read_miss(0x40, 0, &mut d2);
-        assert!(t_mie <= t_sep, "MAC-in-ECC must not be slower ({t_mie} vs {t_sep})");
+        assert!(
+            t_mie <= t_sep,
+            "MAC-in-ECC must not be slower ({t_mie} vs {t_sep})"
+        );
     }
 
     #[test]
@@ -765,9 +766,9 @@ mod tests {
         }
         assert_eq!(h.count(), 10);
         assert_eq!(h.max(), 5000);
-        // p50 lands in the 48..64 bucket (upper bound 64).
-        assert_eq!(h.quantile(0.5), 64);
-        // p100 reaches the overflow bucket -> exact max.
+        // p50 lands in the log2 bucket 32..=63 (upper bound 63).
+        assert_eq!(h.quantile(0.5), 63);
+        // p100 is clamped to the exact max.
         assert_eq!(h.quantile(1.0), 5000);
         h.reset();
         assert_eq!(h.count(), 0);
@@ -792,7 +793,9 @@ mod tests {
 
     #[test]
     fn data_merkle_tree_is_deeper_and_noisier() {
-        let mut dm = engine(Protection::DataMerkle { counters: CounterSchemeKind::Monolithic });
+        let mut dm = engine(Protection::DataMerkle {
+            counters: CounterSchemeKind::Monolithic,
+        });
         let mut bmt = engine(Protection::Bmt {
             mac: MacPlacement::SeparateMac,
             counters: CounterSchemeKind::Monolithic,
@@ -825,7 +828,9 @@ mod tests {
     fn bonsai_beats_data_merkle_end_to_end() {
         // Mixed read/write stream over scattered addresses: the BMT
         // configuration must finish sooner (Section 2.2's motivation).
-        let mut dm = engine(Protection::DataMerkle { counters: CounterSchemeKind::Monolithic });
+        let mut dm = engine(Protection::DataMerkle {
+            counters: CounterSchemeKind::Monolithic,
+        });
         let mut bmt = engine(Protection::Bmt {
             mac: MacPlacement::SeparateMac,
             counters: CounterSchemeKind::Monolithic,
@@ -843,7 +848,10 @@ mod tests {
                 t2 = bmt.read_miss(addr, t2, &mut d2);
             }
         }
-        assert!(t2 <= t1, "BMT {t2} must not be slower than data-Merkle {t1}");
+        assert!(
+            t2 <= t1,
+            "BMT {t2} must not be slower than data-Merkle {t1}"
+        );
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Log₂-bucketed histograms for latency and occupancy distributions.
+
+/// Number of buckets: one per possible bit-length of a `u64` (0..=64).
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples whose bit-length is `i`: bucket 0 is `{0}`,
+/// bucket 1 is `{1}`, bucket 2 is `{2, 3}`, and in general bucket `i`
+/// covers `[2^(i-1), 2^i - 1]`. Sixty-five fixed buckets cover the full
+/// `u64` range, so recording never reallocates and two histograms always
+/// merge bucket-by-bucket — the properties that let per-core histograms
+/// roll up into a machine-wide one.
+///
+/// Count, sum, min, and max are tracked exactly; quantiles are resolved
+/// to a bucket upper bound (clamped to the exact max), i.e. they carry
+/// at most one power-of-two of error — plenty for the latency CDFs the
+/// paper's figures need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket a value falls into: its bit-length.
+    #[must_use]
+    pub const fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `i` can hold.
+    #[must_use]
+    pub const fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    #[must_use]
+    pub const fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    #[must_use]
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `true` if no samples have been recorded.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at or below which a fraction `q` of samples fall.
+    ///
+    /// Resolved to the upper bound of the bucket containing the rank,
+    /// clamped to the exact maximum. `q` is clamped to `[0, 1]`; an
+    /// empty histogram yields 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bit_length, count)` pairs, ascending.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Bucket-wise difference `self - earlier` for window measurement.
+    ///
+    /// Counts, count, and sum subtract saturating; min/max cannot be
+    /// recovered for the window alone, so they are re-derived from the
+    /// surviving buckets' bounds (exact to within one bucket).
+    #[must_use]
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let mut counts = [0u64; BUCKETS];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        let sum = self.sum.saturating_sub(earlier.sum);
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                let lo = if i == 0 {
+                    0
+                } else {
+                    Self::bucket_upper_bound(i - 1) + 1
+                };
+                min = min.min(lo);
+                max = max.max(Self::bucket_upper_bound(i).min(self.max));
+            }
+        }
+        Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// Forgets all samples.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(255), 8);
+        assert_eq!(Histogram::bucket_of(256), 9);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(8), 255);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 150);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 50);
+        assert_eq!(h.mean(), 30.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 5000] {
+            h.record(v);
+        }
+        // Rank 5 of 10 lands in bucket 6 (values 32..=63).
+        assert_eq!(h.quantile(0.5), 63);
+        // The tail sample is returned exactly thanks to the max clamp.
+        assert_eq!(h.quantile(1.0), 5000);
+        assert_eq!(h.quantile(0.0), h.quantile(0.1));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v * 7 % 513);
+        }
+        let mut last = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 5, 9, 100, 4096] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 70, 900, 65535] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        a.record_n(42, 3);
+        let mut b = Histogram::new();
+        for _ in 0..3 {
+            b.record(42);
+        }
+        assert_eq!(a, b);
+        a.record_n(7, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delta_recovers_window() {
+        let mut h = Histogram::new();
+        h.record(100);
+        let early = h.clone();
+        h.record(3);
+        h.record(200);
+        let d = h.delta(&early);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 203);
+        // Window min/max come from bucket bounds: 3 is in bucket 2 (lo 2),
+        // 200 in bucket 8 (ub 255, clamped to overall max 200).
+        assert_eq!(d.min(), 2);
+        assert_eq!(d.max(), 200);
+        let zero = h.delta(&h);
+        assert!(zero.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! A hand-rolled JSON document builder and writer.
+//!
+//! The workspace builds with zero external dependencies, so there is no
+//! serde. This module covers exactly what experiment output needs: an
+//! order-preserving object/array tree and a pretty-printer with correct
+//! string escaping and IEEE-special handling (non-finite numbers render
+//! as `null`, since JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// Objects are ordered vectors of pairs, not maps, so output fields
+/// appear exactly as the producer wrote them — important for diffable
+/// `results/*.json` artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (serialized without decimal point).
+    U64(u64),
+    /// A signed integer (serialized without decimal point).
+    I64(i64),
+    /// A floating-point number; non-finite values serialize as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, for building up with [`Json::push`].
+    #[must_use]
+    pub const fn object() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::push on a non-object"),
+        }
+    }
+
+    /// Serializes the value as pretty-printed JSON (2-space indent) with
+    /// a trailing newline, ready to write to a `results/*.json` file.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Serializes the value compactly on one line.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                // Arrays of scalars stay on one line; arrays holding any
+                // container get one element per line.
+                let nested = items
+                    .iter()
+                    .any(|i| matches!(i, Json::Arr(_) | Json::Obj(_)));
+                if !nested {
+                    self.write_compact(out);
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            _ => self.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        // Keep integral floats recognizably floats.
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::U64(n)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::F64(x)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.render_compact(), "null");
+        assert_eq!(Json::Bool(true).render_compact(), "true");
+        assert_eq!(Json::U64(42).render_compact(), "42");
+        assert_eq!(Json::I64(-7).render_compact(), "-7");
+        assert_eq!(Json::F64(1.5).render_compact(), "1.5");
+        assert_eq!(Json::F64(2.0).render_compact(), "2.0");
+        assert_eq!(Json::F64(f64::NAN).render_compact(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render_compact(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(j.render_compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn object_preserves_order() {
+        let mut obj = Json::object();
+        obj.push("zebra", Json::U64(1));
+        obj.push("apple", Json::U64(2));
+        assert_eq!(obj.render_compact(), r#"{"zebra": 1, "apple": 2}"#);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let mut obj = Json::object();
+        obj.push("name", Json::from("fig8"));
+        obj.push("values", Json::Arr(vec![Json::U64(1), Json::U64(2)]));
+        let text = obj.render();
+        assert_eq!(text, "{\n  \"name\": \"fig8\",\n  \"values\": [1, 2]\n}\n");
+    }
+
+    #[test]
+    fn nested_arrays_break_lines() {
+        let arr = Json::Arr(vec![
+            Json::Arr(vec![Json::U64(4), Json::U64(1)]),
+            Json::Arr(vec![Json::U64(5), Json::U64(3)]),
+        ]);
+        assert_eq!(arr.render(), "[\n  [4, 1],\n  [5, 3]\n]\n");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(Json::object().render(), "{}\n");
+        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+    }
+}

@@ -1,0 +1,188 @@
+//! Randomized property tests for the telemetry primitives: the histogram
+//! invariants (merge equals joint recording, quantiles stay within one
+//! bucket of the exact answer) and the snapshot-delta algebra (delta with
+//! itself is zero, deltas across consecutive snapshots add up). Driven by
+//! `ame-prng` with fixed seeds, so every failure is reproducible.
+
+use ame_prng::StdRng;
+use ame_telemetry::{Histogram, StatsRegistry, Value};
+
+/// A random sample set spanning many buckets (bit lengths 0..=40).
+fn random_samples(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let bits = rng.gen_range(0u32..41);
+            if bits == 0 {
+                0
+            } else {
+                rng.next_u64() >> (64 - bits)
+            }
+        })
+        .collect()
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn merge_equals_joint_recording() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..200 {
+        let na = rng.gen_range(0usize..300);
+        let a = random_samples(&mut rng, na);
+        let nb = rng.gen_range(0usize..300);
+        let b = random_samples(&mut rng, nb);
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut joint: Vec<u64> = a.clone();
+        joint.extend_from_slice(&b);
+        assert_eq!(merged, hist_of(&joint), "a={a:?} b={b:?}");
+    }
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..100 {
+        let (a, b, c) = (
+            hist_of(&random_samples(&mut rng, 50)),
+            hist_of(&random_samples(&mut rng, 50)),
+            hist_of(&random_samples(&mut rng, 50)),
+        );
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+}
+
+#[test]
+fn quantile_within_one_bucket_of_exact() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..100 {
+        let n = rng.gen_range(1usize..500);
+        let mut samples = random_samples(&mut rng, n);
+        let h = hist_of(&samples);
+        samples.sort_unstable();
+        for i in 0..=10 {
+            let q = f64::from(i) / 10.0;
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            let exact = samples[rank - 1];
+            let approx = h.quantile(q);
+            // The resolved quantile never under-reports, never exceeds the
+            // max, and lands in the exact answer's power-of-two bucket.
+            assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            assert!(approx <= h.max());
+            assert_eq!(
+                Histogram::bucket_of(approx),
+                Histogram::bucket_of(exact),
+                "q={q} approx={approx} exact={exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_monotone_on_random_inputs() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for _ in 0..100 {
+        let n = rng.gen_range(1usize..400);
+        let h = hist_of(&random_samples(&mut rng, n));
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let v = h.quantile(f64::from(i) / 20.0);
+            assert!(v >= last, "quantile must be monotone in q");
+            last = v;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+}
+
+/// Applies a random batch of mutations to `reg`, using a fixed small set
+/// of paths so consecutive batches hit overlapping metrics.
+fn mutate(rng: &mut StdRng, reg: &mut StatsRegistry) {
+    const COUNTERS: [&str; 3] = ["dram/reads", "dram/writes", "engine/walks"];
+    const HISTS: [&str; 2] = ["lat/read", "lat/write"];
+    for _ in 0..rng.gen_range(1usize..40) {
+        match rng.gen_range(0u32..3) {
+            0 => reg.add_counter(
+                COUNTERS[rng.gen_range(0usize..3)],
+                rng.gen_range(0u64..1000),
+            ),
+            1 => reg.observe(
+                HISTS[rng.gen_range(0usize..2)],
+                rng.gen_range(0u64..100_000),
+            ),
+            _ => reg.set_gauge("sim/ipc", rng.next_f64()),
+        }
+    }
+}
+
+#[test]
+fn delta_with_self_is_zero() {
+    let mut rng = StdRng::seed_from_u64(0xE66);
+    for _ in 0..50 {
+        let mut reg = StatsRegistry::new();
+        mutate(&mut rng, &mut reg);
+        let snap = reg.snapshot();
+        let zero = snap.delta(&snap);
+        assert_eq!(zero.len(), snap.len());
+        for (path, value) in zero.iter() {
+            match value {
+                Value::Counter(v) => assert_eq!(*v, 0, "{path}"),
+                Value::Histogram(h) => assert!(h.is_empty(), "{path}"),
+                Value::Gauge(v) => assert_eq!(Some(*v), snap.gauge(path)),
+            }
+        }
+    }
+}
+
+#[test]
+fn deltas_add_across_consecutive_snapshots() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..50 {
+        let mut reg = StatsRegistry::new();
+        mutate(&mut rng, &mut reg);
+        let s0 = reg.snapshot();
+        mutate(&mut rng, &mut reg);
+        let s1 = reg.snapshot();
+        mutate(&mut rng, &mut reg);
+        let s2 = reg.snapshot();
+
+        let total = s2.delta(&s0);
+        let first = s1.delta(&s0);
+        let second = s2.delta(&s1);
+        for (path, value) in total.iter() {
+            match value {
+                Value::Counter(v) => {
+                    let sum = first.counter(path).unwrap_or(0) + second.counter(path).unwrap_or(0);
+                    assert_eq!(*v, sum, "{path}");
+                }
+                Value::Histogram(h) => {
+                    let a = first.histogram(path).map_or(0, Histogram::count);
+                    let b = second.histogram(path).map_or(0, Histogram::count);
+                    assert_eq!(h.count(), a + b, "{path}");
+                    let sa = first.histogram(path).map_or(0, Histogram::sum);
+                    let sb = second.histogram(path).map_or(0, Histogram::sum);
+                    assert_eq!(h.sum(), sa + sb, "{path}");
+                }
+                // Gauges keep the later reading, so the two-step and
+                // one-step windows agree on the final value.
+                Value::Gauge(v) => assert_eq!(Some(*v), s2.gauge(path), "{path}"),
+            }
+        }
+    }
+}

@@ -43,6 +43,15 @@ impl CounterCacheStats {
     }
 }
 
+impl ame_telemetry::Metrics for CounterCacheStats {
+    fn record(&self, sink: &mut dyn ame_telemetry::MetricSink) {
+        sink.counter("hits", self.hits);
+        sink.counter("misses", self.misses);
+        sink.counter("evictions", self.evictions);
+        sink.gauge("hit_rate", self.hit_rate());
+    }
+}
+
 /// A Bonsai Merkle tree fronted by an LRU cache of verified counter
 /// blocks.
 ///
@@ -79,7 +88,13 @@ impl CachedTree {
     #[must_use]
     pub fn new(tree: BonsaiTree, capacity: usize) -> Self {
         assert!(capacity > 0, "cache must hold at least one block");
-        Self { tree, capacity, contents: HashMap::new(), order: Vec::new(), stats: CounterCacheStats::default() }
+        Self {
+            tree,
+            capacity,
+            contents: HashMap::new(),
+            order: Vec::new(),
+            stats: CounterCacheStats::default(),
+        }
     }
 
     /// Cache statistics.

@@ -33,7 +33,12 @@ impl TreeGeometry {
     /// default arity and on-chip budget.
     #[must_use]
     pub fn for_region(region_bytes: u64, counter_bits_per_block: f64) -> Self {
-        Self::with_params(region_bytes, counter_bits_per_block, DEFAULT_ARITY, DEFAULT_ON_CHIP_BYTES)
+        Self::with_params(
+            region_bytes,
+            counter_bits_per_block,
+            DEFAULT_ARITY,
+            DEFAULT_ON_CHIP_BYTES,
+        )
     }
 
     /// Computes the geometry with explicit arity and on-chip budget
@@ -52,7 +57,10 @@ impl TreeGeometry {
     ) -> Self {
         assert!(region_bytes > 0, "region must be non-empty");
         assert!(arity >= 2, "tree arity must be at least 2");
-        assert!(counter_bits_per_block > 0.0, "counter cost must be positive");
+        assert!(
+            counter_bits_per_block > 0.0,
+            "counter cost must be positive"
+        );
         assert!(on_chip_bytes >= NODE_BYTES, "on-chip SRAM must hold a node");
 
         let data_blocks = region_bytes.div_ceil(NODE_BYTES as u64);
@@ -68,7 +76,11 @@ impl TreeGeometry {
             level = parents * NODE_BYTES as u64;
             level_bytes.push(level);
         }
-        Self { region_bytes, arity, level_bytes }
+        Self {
+            region_bytes,
+            arity,
+            level_bytes,
+        }
     }
 
     /// Number of *off-chip* levels a verification walk traverses: the
@@ -113,7 +125,10 @@ impl TreeGeometry {
     /// Bytes of the on-chip top level.
     #[must_use]
     pub fn on_chip_bytes(&self) -> u64 {
-        *self.level_bytes.last().expect("geometry always has a level")
+        *self
+            .level_bytes
+            .last()
+            .expect("geometry always has a level")
     }
 
     /// Off-chip tree storage (MAC levels) as a fraction of the region.

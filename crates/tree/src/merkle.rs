@@ -27,7 +27,11 @@ pub struct VerifyError {
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "integrity violation at tree level {} node {}", self.level, self.node)
+        write!(
+            f,
+            "integrity violation at tree level {} node {}",
+            self.level, self.node
+        )
     }
 }
 
@@ -74,7 +78,10 @@ impl BonsaiTree {
     /// eight 64-bit MACs).
     #[must_use]
     pub fn new(cipher: MemoryCipher, off_chip_levels: usize, arity: usize) -> Self {
-        assert!((2..=8).contains(&arity), "a 64-byte node holds 2..=8 64-bit MACs");
+        assert!(
+            (2..=8).contains(&arity),
+            "a 64-byte node holds 2..=8 64-bit MACs"
+        );
         Self {
             cipher,
             arity,
@@ -105,7 +112,10 @@ impl BonsaiTree {
         let mut content = [0u8; NODE_BYTES];
         for c in 0..self.arity {
             let child = parent * self.arity as u64 + c as u64;
-            let mac = self.stored_macs[child_level].get(&child).copied().unwrap_or(0);
+            let mac = self.stored_macs[child_level]
+                .get(&child)
+                .copied()
+                .unwrap_or(0);
             content[c * 8..(c + 1) * 8].copy_from_slice(&mac.to_le_bytes());
         }
         content
@@ -113,7 +123,11 @@ impl BonsaiTree {
 
     /// Re-MACs the path from leaf `idx` to the root after a change.
     fn update_path(&mut self, idx: u64) {
-        let leaf = self.counter_blocks.get(&idx).copied().unwrap_or([0; NODE_BYTES]);
+        let leaf = self
+            .counter_blocks
+            .get(&idx)
+            .copied()
+            .unwrap_or([0; NODE_BYTES]);
         let mac = self.node_mac(0, idx, &leaf);
         if self.off_chip_levels == 0 {
             self.root_macs.insert(idx, mac);
@@ -159,7 +173,10 @@ impl BonsaiTree {
             self.stored_macs[0].get(&idx).copied().unwrap_or(0)
         };
         if self.node_mac(0, idx, &leaf) != expected0 {
-            return Err(VerifyError { level: 0, node: idx });
+            return Err(VerifyError {
+                level: 0,
+                node: idx,
+            });
         }
 
         // Levels 1..: each node of packed child MACs against its parent.
@@ -192,7 +209,10 @@ impl BonsaiTree {
     ///
     /// Panics if `level` is not a valid off-chip MAC level.
     pub fn tamper_stored_mac(&mut self, level: usize, idx: u64, mac: u64) {
-        assert!(level < self.off_chip_levels, "level {level} is not off-chip");
+        assert!(
+            level < self.off_chip_levels,
+            "level {level} is not off-chip"
+        );
         self.stored_macs[level].insert(idx, mac);
     }
 
@@ -200,7 +220,11 @@ impl BonsaiTree {
     /// stored leaf MAC) — the ingredients of a replay attack.
     #[must_use]
     pub fn snapshot_leaf(&self, idx: u64) -> ([u8; NODE_BYTES], u64) {
-        let block = self.counter_blocks.get(&idx).copied().unwrap_or([0; NODE_BYTES]);
+        let block = self
+            .counter_blocks
+            .get(&idx)
+            .copied()
+            .unwrap_or([0; NODE_BYTES]);
         let mac = if self.off_chip_levels == 0 {
             self.root_macs.get(&idx).copied().unwrap_or(0)
         } else {
@@ -258,7 +282,10 @@ mod tests {
         let mut t = tree(2);
         t.write_counter_block(3, [1; 64]);
         t.tamper_counter_block(3, |b| b[10] ^= 0x40);
-        assert_eq!(t.read_counter_block(3), Err(VerifyError { level: 0, node: 3 }));
+        assert_eq!(
+            t.read_counter_block(3),
+            Err(VerifyError { level: 0, node: 3 })
+        );
     }
 
     #[test]

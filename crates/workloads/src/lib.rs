@@ -44,8 +44,7 @@
 pub mod phases;
 pub mod tracefile;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ame_prng::StdRng;
 
 /// One record of a memory trace: `compute` non-memory instructions, then
 /// one memory access.
@@ -151,8 +150,7 @@ impl WorkloadProfile {
         self.working_set_bytes = (self.working_set_bytes / factor).max(64 * 64);
         self.write_region_bytes =
             (self.write_region_bytes / factor).clamp(4096, self.working_set_bytes);
-        self.resident_bytes =
-            (self.resident_bytes / factor).clamp(4096, self.working_set_bytes);
+        self.resident_bytes = (self.resident_bytes / factor).clamp(4096, self.working_set_bytes);
         self.hot_pages = (self.hot_pages / factor).max(1);
         self
     }
@@ -523,7 +521,7 @@ impl TraceGenerator {
                         // re-encoding cannot always rescue the group), and
                         // the single dual-length expansion can cover only
                         // one of the three fast-growing delta-groups.
-                        page + 16 * self.rng.gen_range(0..3)
+                        page + 16 * self.rng.gen_range(0..3u64)
                     } else {
                         let len = self.rng.gen_range(run.0..=run.1);
                         self.start_run(page, PAGE_BLOCKS, len, true)
@@ -540,7 +538,12 @@ impl TraceGenerator {
                     }
                 }
             };
-            return TraceOp { compute, addr: block * 64, write: true, dependent: false };
+            return TraceOp {
+                compute,
+                addr: block * 64,
+                write: true,
+                dependent: false,
+            };
         }
 
         // Start a sequential run? Write sweeps stay inside the written
@@ -558,7 +561,12 @@ impl TraceGenerator {
             };
             let first = self.start_run(0, span, len, write);
             let op_write = if p.sweep_writes { write } else { is_write };
-            return TraceOp { compute, addr: first * 64, write: op_write, dependent: false };
+            return TraceOp {
+                compute,
+                addr: first * 64,
+                write: op_write,
+                dependent: false,
+            };
         }
 
         // Plain random access: writes land in the written footprint;
@@ -573,7 +581,12 @@ impl TraceGenerator {
         };
         let block = self.rng.gen_range(0..bound);
         let dependent = !is_write && self.rng.gen_bool(p.dependent_read_prob);
-        TraceOp { compute, addr: block * 64, write: is_write, dependent }
+        TraceOp {
+            compute,
+            addr: block * 64,
+            write: is_write,
+            dependent,
+        }
     }
 
     /// Generates `n` trace records.
@@ -673,15 +686,24 @@ mod tests {
         let mut b = TraceGenerator::new(mem_heavy, 5, 0);
         let ia = TraceGenerator::instructions(&a.take_ops(10_000));
         let ib = TraceGenerator::instructions(&b.take_ops(10_000));
-        assert!(ia > 2 * ib, "blackscholes must be far less memory-intensive");
+        assert!(
+            ia > 2 * ib,
+            "blackscholes must be far less memory-intensive"
+        );
     }
 
     #[test]
     fn sequential_runs_present() {
         let mut g = TraceGenerator::new(ParsecApp::Fluidanimate.profile(), 9, 0);
         let ops = g.take_ops(5000);
-        let seq_pairs = ops.windows(2).filter(|w| w[1].addr == w[0].addr + 64).count();
-        assert!(seq_pairs > ops.len() / 4, "sweep workload must be mostly sequential");
+        let seq_pairs = ops
+            .windows(2)
+            .filter(|w| w[1].addr == w[0].addr + 64)
+            .count();
+        assert!(
+            seq_pairs > ops.len() / 4,
+            "sweep workload must be mostly sequential"
+        );
     }
 
     #[test]
@@ -693,7 +715,11 @@ mod tests {
         assert_eq!(scaled.hot_pages, big.hot_pages / 64);
 
         let small = ParsecApp::Swaptions.profile();
-        assert_eq!(small.scaled(64), small, "LLC-resident profiles stay unscaled");
+        assert_eq!(
+            small.scaled(64),
+            small,
+            "LLC-resident profiles stay unscaled"
+        );
     }
 
     #[test]

@@ -63,7 +63,15 @@ impl PhasedGenerator {
         assert!(!phases.is_empty(), "need at least one phase");
         assert!(phases.iter().all(|p| p.ops > 0), "phases must be non-empty");
         let generator = TraceGenerator::new(phases[0].profile, seed ^ phase_hash(0, 0), thread);
-        Self { phases, seed, thread, current: 0, in_phase: 0, cycle: 0, generator }
+        Self {
+            phases,
+            seed,
+            thread,
+            current: 0,
+            in_phase: 0,
+            cycle: 0,
+            generator,
+        }
     }
 
     /// Index of the active phase.
@@ -112,8 +120,14 @@ mod tests {
 
     fn phases() -> Vec<Phase> {
         vec![
-            Phase { profile: ParsecApp::Blackscholes.profile(), ops: 200 },
-            Phase { profile: ParsecApp::Canneal.profile(), ops: 100 },
+            Phase {
+                profile: ParsecApp::Blackscholes.profile(),
+                ops: 200,
+            },
+            Phase {
+                profile: ParsecApp::Canneal.profile(),
+                ops: 100,
+            },
         ]
     }
 

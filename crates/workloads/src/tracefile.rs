@@ -50,7 +50,10 @@ pub fn read_traces<R: Read>(mut r: R) -> io::Result<Vec<Vec<TraceOp>>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an AMETRACE file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an AMETRACE file",
+        ));
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
@@ -61,7 +64,10 @@ pub fn read_traces<R: Read>(mut r: R) -> io::Result<Vec<Vec<TraceOp>>> {
     }
     let cores = read_u32(&mut r)? as usize;
     if cores > 1024 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible core count"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible core count",
+        ));
     }
     let mut traces = Vec::with_capacity(cores);
     for _ in 0..cores {

@@ -52,7 +52,11 @@ fn main() {
         drive(scheme.as_mut(), ops);
         let geometry = TreeGeometry::for_region(
             REGION,
-            if scheme.name() == "monolithic" { 64.0 } else { 8.0 },
+            if scheme.name() == "monolithic" {
+                64.0
+            } else {
+                8.0
+            },
         );
         let stats = scheme.stats();
         println!(

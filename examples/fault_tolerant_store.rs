@@ -11,22 +11,29 @@
 
 use ame::ecc::fault::{FaultOutcome, FaultPattern};
 use ame::engine::correction::{evaluate_fault, Scheme};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ame_prng::StdRng;
 
 fn random_pattern(rng: &mut StdRng) -> (&'static str, FaultPattern) {
-    match rng.gen_range(0..5) {
-        0 => ("single-bit", FaultPattern::SingleBit { bit: rng.gen_range(0..512) }),
+    match rng.gen_range(0..5u32) {
+        0 => (
+            "single-bit",
+            FaultPattern::SingleBit {
+                bit: rng.gen_range(0..512),
+            },
+        ),
         1 => {
             let a = rng.gen_range(0..64);
             let mut b = rng.gen_range(0..64);
             while b == a {
                 b = rng.gen_range(0..64);
             }
-            ("double same-word", FaultPattern::DoubleBitSameWord {
-                word: rng.gen_range(0..8),
-                bits: (a, b),
-            })
+            (
+                "double same-word",
+                FaultPattern::DoubleBitSameWord {
+                    word: rng.gen_range(0..8),
+                    bits: (a, b),
+                },
+            )
         }
         2 => {
             let w1 = rng.gen_range(0..8);
@@ -34,16 +41,27 @@ fn random_pattern(rng: &mut StdRng) -> (&'static str, FaultPattern) {
             while w2 == w1 {
                 w2 = rng.gen_range(0..8);
             }
-            ("double cross-word", FaultPattern::DoubleBitCrossWords {
-                first: (w1, rng.gen_range(0..64)),
-                second: (w2, rng.gen_range(0..64)),
-            })
+            (
+                "double cross-word",
+                FaultPattern::DoubleBitCrossWords {
+                    first: (w1, rng.gen_range(0..64)),
+                    second: (w2, rng.gen_range(0..64)),
+                },
+            )
         }
-        3 => ("scattered singles", FaultPattern::ScatteredSingles {
-            words: rng.gen_range(3..=8),
-            bit_in_word: rng.gen_range(0..64),
-        }),
-        _ => ("sideband single", FaultPattern::Sideband { bits: vec![rng.gen_range(0..56)] }),
+        3 => (
+            "scattered singles",
+            FaultPattern::ScatteredSingles {
+                words: rng.gen_range(3..=8),
+                bit_in_word: rng.gen_range(0..64),
+            },
+        ),
+        _ => (
+            "sideband single",
+            FaultPattern::Sideband {
+                bits: vec![rng.gen_range(0..56)],
+            },
+        ),
     }
 }
 

@@ -8,8 +8,7 @@
 use ame::engine::paging::{PagingController, SwapError};
 use ame::engine::scrub::{ScrubMode, Scrubber};
 use ame::engine::{EngineConfig, MemoryEncryptionEngine};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ame_prng::StdRng;
 
 fn main() {
     let mut engine = MemoryEncryptionEngine::new(EngineConfig::default());
@@ -44,7 +43,7 @@ fn main() {
     // Meanwhile the DIMM develops random faults across page 1.
     let mut injected = 0;
     for _ in 0..6 {
-        let block = 64 + rng.gen_range(0..64);
+        let block = 64 + rng.gen_range(0..64u64);
         if rng.gen_bool(0.7) {
             engine.tamper_data_bit(block * 64, rng.gen_range(0..512));
         } else {
@@ -64,10 +63,16 @@ fn main() {
     // Escalated blocks get repaired by the engine's flip-and-check on
     // their next access; then everything verifies.
     for addr in &report.needs_mac_correction {
-        engine.read_block(*addr).expect("flip-and-check repairs the block");
+        engine
+            .read_block(*addr)
+            .expect("flip-and-check repairs the block");
     }
     for i in 0..128u64 {
-        assert_eq!(engine.read_block(i * 64).unwrap(), [(i % 251) as u8; 64], "block {i}");
+        assert_eq!(
+            engine.read_block(i * 64).unwrap(),
+            [(i % 251) as u8; 64],
+            "block {i}"
+        );
     }
     println!(
         "engine : all 128 blocks verified ({} data corrections, {} MAC corrections)",

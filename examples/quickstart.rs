@@ -15,20 +15,29 @@ fn main() {
     secret[..46].copy_from_slice(b"attack at dawn; bring 48 dragons & an umbrella");
     engine.write_block(0x4000, &secret);
     assert_eq!(engine.read_block(0x4000).expect("verified read"), secret);
-    println!("roundtrip        : ok (counter = {})", engine.counter_of(0x4000));
+    println!(
+        "roundtrip        : ok (counter = {})",
+        engine.counter_of(0x4000)
+    );
 
     // A cosmic ray flips a stored ciphertext bit. The MAC detects it and
     // flip-and-check repairs it (Section 3.4 of the paper).
     engine.tamper_data_bit(0x4000, 137);
     assert_eq!(engine.read_block(0x4000).expect("corrected read"), secret);
-    println!("1-bit DRAM fault : corrected ({} MAC checks)", engine.stats().flip_checks);
+    println!(
+        "1-bit DRAM fault : corrected ({} MAC checks)",
+        engine.stats().flip_checks
+    );
 
     // A second ray hits the same word — beyond standard SEC-DED, but
     // within the flip-and-check budget.
     engine.tamper_data_bit(0x4000, 130);
     engine.tamper_data_bit(0x4000, 131);
     assert_eq!(engine.read_block(0x4000).expect("corrected read"), secret);
-    println!("2-bit same word  : corrected ({} MAC checks total)", engine.stats().flip_checks);
+    println!(
+        "2-bit same word  : corrected ({} MAC checks total)",
+        engine.stats().flip_checks
+    );
 
     // A physical attacker records the whole off-chip state, waits for the
     // victim to overwrite the block, then replays the stale bits.

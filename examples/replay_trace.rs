@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let path = std::env::temp_dir().join("ame_ferret_demo.trace");
     tracefile::write_traces(std::fs::File::create(&path)?, &traces)?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("recorded {} ops x {cores} threads -> {} ({bytes} bytes)", ops, path.display());
+    println!(
+        "recorded {} ops x {cores} threads -> {} ({bytes} bytes)",
+        ops,
+        path.display()
+    );
 
     // 2. Replay through two configurations.
     let loaded = tracefile::read_traces(std::fs::File::open(&path)?)?;
@@ -39,11 +43,17 @@ fn main() -> Result<(), Box<dyn Error>> {
         ),
         (
             "MAC-in-ECC + delta",
-            Protection::Bmt { mac: MacPlacement::MacInEcc, counters: CounterSchemeKind::Delta },
+            Protection::Bmt {
+                mac: MacPlacement::MacInEcc,
+                counters: CounterSchemeKind::Delta,
+            },
         ),
     ] {
         let config = SimConfig {
-            engine: TimingConfig { protection, ..TimingConfig::default() },
+            engine: TimingConfig {
+                protection,
+                ..TimingConfig::default()
+            },
             ..SimConfig::default()
         };
         let r = Simulator::new(config).run(&loaded);

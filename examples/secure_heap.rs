@@ -35,9 +35,15 @@ fn main() {
     // ciphertext: compare stored bits against the plaintext.
     let stored = engine.snapshot_block(0);
     let plain = block_content(0, 0);
-    let matching_bytes =
-        stored.stored_data().iter().zip(plain.iter()).filter(|(a, b)| a == b).count();
-    println!("attack 1 (cold boot dump)  : ciphertext shares {matching_bytes}/64 bytes with plaintext");
+    let matching_bytes = stored
+        .stored_data()
+        .iter()
+        .zip(plain.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "attack 1 (cold boot dump)  : ciphertext shares {matching_bytes}/64 bytes with plaintext"
+    );
     assert!(matching_bytes < 8, "ciphertext must not resemble plaintext");
 
     // Attack 2: flip a ciphertext bit to corrupt a computation. Detected
@@ -84,8 +90,15 @@ fn main() {
     // The heap survives: every block verifies and decrypts correctly.
     for i in 0..BLOCKS {
         let generation = if i == 11 { 1 } else { 0 };
-        assert_eq!(engine.read_block(i * 64).unwrap(), block_content(i, generation), "block {i}");
+        assert_eq!(
+            engine.read_block(i * 64).unwrap(),
+            block_content(i, generation),
+            "block {i}"
+        );
     }
     println!("\nvictim: all {BLOCKS} blocks verified after the attack campaign");
-    println!("failed reads (detected attacks): {}", engine.stats().failed_reads);
+    println!(
+        "failed reads (detected attacks): {}",
+        engine.stats().failed_reads
+    );
 }

@@ -4,8 +4,7 @@
 //! every MAC placement and counter scheme.
 
 use ame::engine::{CounterSchemeKind, EngineConfig, MacPlacement, MemoryEncryptionEngine};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ame_prng::StdRng;
 use std::collections::HashMap;
 
 fn mixed_traffic(placement: MacPlacement, scheme: CounterSchemeKind, seed: u64) {
@@ -22,7 +21,11 @@ fn mixed_traffic(placement: MacPlacement, scheme: CounterSchemeKind, seed: u64) 
     // guarantees overflows for split/delta/dual within 4000 ops.
     let blocks = 96u64;
     for step in 0..4000u64 {
-        let block = if rng.gen_bool(0.5) { rng.gen_range(0..4) } else { rng.gen_range(0..blocks) };
+        let block = if rng.gen_bool(0.5) {
+            rng.gen_range(0..4)
+        } else {
+            rng.gen_range(0..blocks)
+        };
         let addr = block * 64;
         if rng.gen_bool(0.6) {
             let mut data = [0u8; 64];
@@ -34,7 +37,10 @@ fn mixed_traffic(placement: MacPlacement, scheme: CounterSchemeKind, seed: u64) 
             let got = engine
                 .read_block(addr)
                 .unwrap_or_else(|e| panic!("step {step}: verified read failed: {e}"));
-            assert_eq!(got, expected, "step {step} block {block} ({placement:?} {scheme:?})");
+            assert_eq!(
+                got, expected,
+                "step {step} block {block} ({placement:?} {scheme:?})"
+            );
         }
     }
 
@@ -42,9 +48,17 @@ fn mixed_traffic(placement: MacPlacement, scheme: CounterSchemeKind, seed: u64) 
     for block in 0..blocks {
         let addr = block * 64;
         let expected = reference.get(&addr).copied().unwrap_or([0u8; 64]);
-        assert_eq!(engine.read_block(addr).unwrap(), expected, "final sweep block {block}");
+        assert_eq!(
+            engine.read_block(addr).unwrap(),
+            expected,
+            "final sweep block {block}"
+        );
     }
-    assert_eq!(engine.stats().failed_reads, 0, "no spurious integrity failures");
+    assert_eq!(
+        engine.stats().failed_reads,
+        0,
+        "no spurious integrity failures"
+    );
 }
 
 #[test]
@@ -114,7 +128,10 @@ fn counters_strictly_monotonic_through_engine() {
     for _ in 0..300 {
         engine.write_block(128, &[1; 64]);
         let now = engine.counter_of(128);
-        assert!(now > last, "counter must strictly increase ({last} -> {now})");
+        assert!(
+            now > last,
+            "counter must strictly increase ({last} -> {now})"
+        );
         last = now;
     }
 }

@@ -13,16 +13,23 @@
 
 use ame::ecc::fault::{FaultOutcome, FaultPattern};
 use ame::engine::correction::{evaluate_fault, Scheme};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ame_prng::StdRng;
 
 #[test]
 fn random_single_bit_faults_corrected_by_both() {
     let mut rng = StdRng::seed_from_u64(10);
     for _ in 0..25 {
-        let p = FaultPattern::SingleBit { bit: rng.gen_range(0..512) };
-        assert_eq!(evaluate_fault(Scheme::StandardEcc, &p), FaultOutcome::Corrected);
-        assert_eq!(evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &p), FaultOutcome::Corrected);
+        let p = FaultPattern::SingleBit {
+            bit: rng.gen_range(0..512),
+        };
+        assert_eq!(
+            evaluate_fault(Scheme::StandardEcc, &p),
+            FaultOutcome::Corrected
+        );
+        assert_eq!(
+            evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &p),
+            FaultOutcome::Corrected
+        );
     }
 }
 
@@ -35,7 +42,10 @@ fn random_double_faults_corrected_by_mac_ecc() {
         while b == a {
             b = rng.gen_range(0..512);
         }
-        let p = FaultPattern::Mixed { data_bits: vec![a, b], sideband_bits: vec![] };
+        let p = FaultPattern::Mixed {
+            data_bits: vec![a, b],
+            sideband_bits: vec![],
+        };
         assert_eq!(
             evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &p),
             FaultOutcome::Corrected,
@@ -52,11 +62,18 @@ fn mac_ecc_never_silent_under_random_bursts() {
         let mut bits: Vec<u32> = (0..nbits).map(|_| rng.gen_range(0..512)).collect();
         bits.sort_unstable();
         bits.dedup();
-        let p = FaultPattern::Mixed { data_bits: bits.clone(), sideband_bits: vec![] };
+        let p = FaultPattern::Mixed {
+            data_bits: bits.clone(),
+            sideband_bits: vec![],
+        };
         let outcome = evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &p);
         assert!(outcome.is_safe(), "bits {bits:?}: {outcome:?}");
         if bits.len() > 2 {
-            assert_eq!(outcome, FaultOutcome::DetectedUncorrectable, "bits {bits:?}");
+            assert_eq!(
+                outcome,
+                FaultOutcome::DetectedUncorrectable,
+                "bits {bits:?}"
+            );
         }
     }
 }
@@ -75,7 +92,10 @@ fn secded_safe_within_guarantee() {
             while b == a {
                 b = rng.gen_range(0..512);
             }
-            FaultPattern::Mixed { data_bits: vec![a, b], sideband_bits: vec![] }
+            FaultPattern::Mixed {
+                data_bits: vec![a, b],
+                sideband_bits: vec![],
+            }
         };
         let outcome = evaluate_fault(Scheme::StandardEcc, &p);
         assert!(outcome.is_safe(), "{p:?}: {outcome:?}");
@@ -103,7 +123,10 @@ fn combined_data_and_mac_faults_handled() {
             data_bits: vec![rng.gen_range(0..512)],
             sideband_bits: vec![rng.gen_range(0..56)],
         };
-        assert_eq!(evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &p), FaultOutcome::Corrected);
+        assert_eq!(
+            evaluate_fault(Scheme::MacEcc { max_flips: 2 }, &p),
+            FaultOutcome::Corrected
+        );
     }
 }
 
@@ -119,13 +142,19 @@ fn correction_budget_zero_detects_but_never_corrects() {
 #[test]
 fn correction_budget_one_fixes_singles_only() {
     assert_eq!(
-        evaluate_fault(Scheme::MacEcc { max_flips: 1 }, &FaultPattern::SingleBit { bit: 300 }),
+        evaluate_fault(
+            Scheme::MacEcc { max_flips: 1 },
+            &FaultPattern::SingleBit { bit: 300 }
+        ),
         FaultOutcome::Corrected
     );
     assert_eq!(
         evaluate_fault(
             Scheme::MacEcc { max_flips: 1 },
-            &FaultPattern::DoubleBitSameWord { word: 0, bits: (0, 1) }
+            &FaultPattern::DoubleBitSameWord {
+                word: 0,
+                bits: (0, 1)
+            }
         ),
         FaultOutcome::DetectedUncorrectable
     );

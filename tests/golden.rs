@@ -25,13 +25,22 @@ fn golden_storage_fractions() {
 fn golden_tree_geometry_512mb() {
     let mono = TreeGeometry::for_region(REGION, 64.0);
     assert_eq!(mono.counter_bytes(), 64 << 20);
-    assert_eq!(mono.level_bytes, vec![64 << 20, 8 << 20, 1 << 20, 128 << 10, 16 << 10, 2 << 10]);
+    assert_eq!(
+        mono.level_bytes,
+        vec![64 << 20, 8 << 20, 1 << 20, 128 << 10, 16 << 10, 2 << 10]
+    );
     assert_eq!(mono.off_chip_levels(), 5);
-    assert_eq!(mono.tree_node_bytes(), (8 << 20) + (1 << 20) + (128 << 10) + (16 << 10));
+    assert_eq!(
+        mono.tree_node_bytes(),
+        (8 << 20) + (1 << 20) + (128 << 10) + (16 << 10)
+    );
 
     let delta = TreeGeometry::for_region(REGION, 8.0);
     assert_eq!(delta.counter_bytes(), 8 << 20);
-    assert_eq!(delta.level_bytes, vec![8 << 20, 1 << 20, 128 << 10, 16 << 10, 2 << 10]);
+    assert_eq!(
+        delta.level_bytes,
+        vec![8 << 20, 1 << 20, 128 << 10, 16 << 10, 2 << 10]
+    );
     assert_eq!(delta.off_chip_levels(), 4);
 }
 
@@ -53,7 +62,10 @@ fn golden_figure1_breakdown() {
 
     // The headline: 23.66% -> 1.76%, a 13.4x reduction.
     let factor = baseline.encryption_metadata() / optimized.encryption_metadata();
-    assert!((factor - 13.4367).abs() < 0.001, "reduction factor {factor}");
+    assert!(
+        (factor - 13.4367).abs() < 0.001,
+        "reduction factor {factor}"
+    );
 }
 
 #[test]

@@ -84,7 +84,11 @@ fn replay_detected_in_all_configs() {
         e.write_block(0x100, &[2; 64]);
         e.replay_block(&old);
         let err = e.read_block(0x100).unwrap_err();
-        assert!(matches!(err, ReadError::Tree(_)), "{:?}: {err:?}", e.config());
+        assert!(
+            matches!(err, ReadError::Tree(_)),
+            "{:?}: {err:?}",
+            e.config()
+        );
     }
 }
 

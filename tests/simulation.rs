@@ -15,7 +15,10 @@ fn traces(app: ParsecApp, seed: u64, ops: usize, cores: usize) -> Vec<Vec<TraceO
 
 fn config(protection: Protection) -> SimConfig {
     SimConfig {
-        engine: TimingConfig { protection, ..TimingConfig::default() },
+        engine: TimingConfig {
+            protection,
+            ..TimingConfig::default()
+        },
         ..SimConfig::default()
     }
 }
@@ -37,7 +40,9 @@ fn figure8_configuration_ordering() {
     // On a memory-sensitive app: unprotected >= full system >= MAC-ECC
     // only >= BMT baseline (IPC).
     let t = traces(ParsecApp::Canneal, 8, 25_000, 4);
-    let unprot = Simulator::new(config(Protection::Unprotected)).run(&t).ipc();
+    let unprot = Simulator::new(config(Protection::Unprotected))
+        .run(&t)
+        .ipc();
     let bmt = Simulator::new(config(Protection::Bmt {
         mac: MacPlacement::SeparateMac,
         counters: CounterSchemeKind::Monolithic,
@@ -104,7 +109,10 @@ fn geometry_monotone_in_region_size() {
     let mut last_levels = 0;
     for shift in [24u32, 26, 28, 29, 30, 32] {
         let g = TreeGeometry::for_region(1u64 << shift, 64.0);
-        assert!(g.off_chip_levels() >= last_levels, "levels must grow with region");
+        assert!(
+            g.off_chip_levels() >= last_levels,
+            "levels must grow with region"
+        );
         last_levels = g.off_chip_levels();
         // Total metadata is a sane fraction of the region.
         assert!(g.total_metadata_bytes() < (1u64 << shift) / 4);
@@ -136,8 +144,14 @@ fn phased_workloads_stress_the_metadata_cache() {
         .map(|t| {
             PhasedGenerator::new(
                 vec![
-                    Phase { profile: ParsecApp::Canneal.profile(), ops: 2_000 },
-                    Phase { profile: ParsecApp::Blackscholes.profile(), ops: 2_000 },
+                    Phase {
+                        profile: ParsecApp::Canneal.profile(),
+                        ops: 2_000,
+                    },
+                    Phase {
+                        profile: ParsecApp::Blackscholes.profile(),
+                        ops: 2_000,
+                    },
                 ],
                 3,
                 t,
@@ -147,7 +161,10 @@ fn phased_workloads_stress_the_metadata_cache() {
         .collect();
     let r = Simulator::new(cfg).run(&phased);
     assert!(r.instructions > 0);
-    assert!(r.engine.meta_dram_reads > 0, "memory phases must reach the engine");
+    assert!(
+        r.engine.meta_dram_reads > 0,
+        "memory phases must reach the engine"
+    );
     // Determinism holds through phase switching.
     let r2 = Simulator::new(cfg).run(&phased);
     assert_eq!(r.cycles, r2.cycles);
@@ -185,5 +202,9 @@ fn ipc_bounded_by_issue_width() {
     let cfg = SimConfig::default();
     let r = Simulator::new(cfg).run(&traces(ParsecApp::Blackscholes, 11, 20_000, cfg.cores));
     let bound = (cfg.issue_width as usize * cfg.cores) as f64;
-    assert!(r.ipc() > 0.0 && r.ipc() <= bound, "ipc {} vs bound {bound}", r.ipc());
+    assert!(
+        r.ipc() > 0.0 && r.ipc() <= bound,
+        "ipc {} vs bound {bound}",
+        r.ipc()
+    );
 }

@@ -6,8 +6,7 @@ use ame::engine::paging::PagingController;
 use ame::engine::region::SecureRegion;
 use ame::engine::scrub::{ScrubMode, Scrubber};
 use ame::engine::{CounterSchemeKind, EngineConfig, MacPlacement, MemoryEncryptionEngine};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ame_prng::StdRng;
 use std::collections::HashMap;
 
 /// Mixed workload: reads, writes, faults, scrubs and page swaps, all
@@ -114,7 +113,11 @@ fn chaos(ops: usize, seed: u64) {
     for block in 0..blocks {
         let addr = block * 64;
         let expected = reference.get(&addr).copied().unwrap_or([0u8; 64]);
-        assert_eq!(engine.read_block(addr).unwrap(), expected, "final sweep {addr:#x}");
+        assert_eq!(
+            engine.read_block(addr).unwrap(),
+            expected,
+            "final sweep {addr:#x}"
+        );
     }
 }
 
