@@ -1,0 +1,63 @@
+//! Shard-count throughput sweep of the sharded secure memory service.
+//!
+//! Runs a closed-loop multi-threaded load generator against a
+//! [`SecureStore`](ame_store::SecureStore) at 1, 2, 4, and 8 shards with
+//! **fixed total capacity and footprint**, on a read-heavy uniform mix
+//! (the metadata-cache scaling case) and a zipfian mix (the locality
+//! case), prints the ops/sec tables, and writes
+//! `results/store_throughput.json` with per-shard telemetry.
+//!
+//! Usage: `cargo run -p ame-bench --bin store_throughput --release \
+//!     [clients] [batches_per_client] [batch] [read_pct]`
+
+use ame_bench::store_load::{self, KeyMix, LoadConfig};
+use ame_bench::{parse_arg, results};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let defaults = LoadConfig::default();
+    let clients: usize = parse_arg(args.next(), "clients", defaults.clients);
+    let batches: usize = parse_arg(
+        args.next(),
+        "batches per client",
+        defaults.batches_per_client,
+    );
+    let batch: usize = parse_arg(args.next(), "ops per batch", defaults.batch);
+    let read_pct: f64 = parse_arg(
+        args.next(),
+        "read percentage",
+        defaults.read_fraction * 100.0,
+    );
+    let cfg = LoadConfig {
+        clients,
+        batches_per_client: batches,
+        batch,
+        read_fraction: (read_pct / 100.0).clamp(0.0, 1.0),
+        ..defaults
+    };
+    let shard_counts = [1usize, 2, 4, 8];
+
+    let uniform = store_load::run_sweep(&cfg, &shard_counts);
+    store_load::print_sweep(&cfg, &uniform);
+    println!();
+
+    let zipf_cfg = LoadConfig {
+        mix: KeyMix::Zipfian { theta: 0.99 },
+        ..cfg
+    };
+    let zipfian = store_load::run_sweep(&zipf_cfg, &shard_counts);
+    store_load::print_sweep(&zipf_cfg, &zipfian);
+    println!();
+
+    if let Some(ratio) = store_load::scaling_1_to_4(&uniform) {
+        println!("uniform read-heavy scaling, 1 -> 4 shards: {ratio:.2}x");
+    }
+    if let Some(ratio) = store_load::scaling_1_to_4(&zipfian) {
+        println!("zipfian scaling, 1 -> 4 shards: {ratio:.2}x");
+    }
+    println!();
+
+    let (doc, headline) =
+        store_load::to_json(&cfg, &[(KeyMix::Uniform, uniform), (zipf_cfg.mix, zipfian)]);
+    results::write_and_summarize("store_throughput", &headline, &doc);
+}

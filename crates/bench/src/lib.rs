@@ -23,6 +23,7 @@ pub mod micro;
 pub mod nvmm;
 pub mod reliability;
 pub mod results;
+pub mod store_load;
 pub mod table2;
 
 use ame_cache::{AccessKind, Cache, CacheConfig};

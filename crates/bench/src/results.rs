@@ -12,11 +12,14 @@
 use ame_telemetry::Json;
 use std::path::{Path, PathBuf};
 
-/// Directory JSON artifacts are written to: `$AME_RESULTS_DIR` if set,
-/// `results/` (relative to the working directory) otherwise.
+/// Directory JSON artifacts are written to: `$AME_RESULTS_DIR` if set
+/// and non-empty, `results/` (relative to the working directory)
+/// otherwise. The directory (and any missing parents) is created on
+/// first write, so pointing the variable at a fresh path just works.
 #[must_use]
 pub fn results_dir() -> PathBuf {
     std::env::var_os("AME_RESULTS_DIR")
+        .filter(|v| !v.is_empty())
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"))
 }
@@ -70,6 +73,10 @@ pub fn display(path: &Path) -> String {
 mod tests {
     use super::*;
 
+    /// `AME_RESULTS_DIR` is process-global; tests that touch it take
+    /// this lock so the parallel test runner cannot interleave them.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn envelope_shape() {
         let mut params = Json::object();
@@ -83,14 +90,40 @@ mod tests {
 
     #[test]
     fn results_dir_honours_env() {
-        // Process-global env var: restore whatever was set so parallel
-        // tests in this binary are unaffected.
+        let _guard = ENV_LOCK.lock().unwrap();
         let saved = std::env::var_os("AME_RESULTS_DIR");
         std::env::set_var("AME_RESULTS_DIR", "/tmp/ame-results-test");
         assert_eq!(results_dir(), PathBuf::from("/tmp/ame-results-test"));
+        // An empty value means "unset", not "current directory".
+        std::env::set_var("AME_RESULTS_DIR", "");
+        assert_eq!(results_dir(), PathBuf::from("results"));
         match saved {
             Some(v) => std::env::set_var("AME_RESULTS_DIR", v),
             None => std::env::remove_var("AME_RESULTS_DIR"),
         }
+    }
+
+    #[test]
+    fn write_json_creates_missing_directories() {
+        // AME_RESULTS_DIR may point at a directory that does not exist
+        // yet (fresh checkout, per-run scratch dirs); the writer must
+        // create the whole chain rather than erroring.
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("ame-results-{}/nested/deep", std::process::id()));
+        assert!(!dir.exists());
+        let saved = std::env::var_os("AME_RESULTS_DIR");
+        std::env::set_var("AME_RESULTS_DIR", &dir);
+        let doc = envelope("mkdir_probe", Json::object(), Json::Arr(Vec::new()));
+        let written = write_json("mkdir_probe", &doc);
+        match saved {
+            Some(v) => std::env::set_var("AME_RESULTS_DIR", v),
+            None => std::env::remove_var("AME_RESULTS_DIR"),
+        }
+        let path = written.expect("writer creates missing directories");
+        assert_eq!(path, dir.join("mkdir_probe.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"mkdir_probe\""));
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
     }
 }

@@ -1,0 +1,513 @@
+//! Closed-loop load generation for the `store_throughput` experiment.
+//!
+//! Drives an [`ame_store::SecureStore`] with a configurable number of
+//! client threads, each submitting fixed-size [`SecureStore::submit_batch`]
+//! batches of reads and writes over a uniform or zipfian key-popularity
+//! distribution, and sweeps the shard count at **fixed total capacity**
+//! (shard capacity shrinks as shards grow).
+//!
+//! The interesting effect on a host with few cores is architectural, not
+//! thread-level: each shard's engine has its own fixed-size on-chip
+//! verified counter cache, and block-interleaved sharding keeps the total
+//! metadata working set constant, so `N` shards have `N×` the aggregate
+//! metadata cache. On a metadata-resident read-heavy mix a one-shard
+//! store misses (and walks the Bonsai tree for) most counter fetches
+//! while a four-shard store serves them on-chip — that is where the
+//! throughput scaling comes from.
+//!
+//! [`SecureStore::submit_batch`]: ame_store::SecureStore::submit_batch
+
+use crate::results;
+use ame_engine::{EngineConfig, BLOCK_BYTES};
+use ame_prng::StdRng;
+use ame_store::{SecureStore, StoreConfig, StoreOp};
+use ame_telemetry::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Key-popularity distribution of the generated load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyMix {
+    /// Every block equally likely: the metadata working set is the whole
+    /// footprint, so throughput tracks aggregate metadata-cache capacity.
+    Uniform,
+    /// Zipfian popularity with exponent `theta` (ranks scattered across
+    /// the address space): skew raises even a single shard's hit rate,
+    /// narrowing — but with a big enough tail not erasing — the gap.
+    Zipfian {
+        /// Skew exponent; 0.99 is the YCSB default.
+        theta: f64,
+    },
+}
+
+impl KeyMix {
+    /// Short identifier used in tables and JSON rows.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyMix::Uniform => "uniform",
+            KeyMix::Zipfian { .. } => "zipfian",
+        }
+    }
+}
+
+/// A zipfian sampler over `blocks` ranks: precomputed CDF, binary-search
+/// sampling, and a fixed coprime-stride scatter so popular ranks spread
+/// across shards and counter groups instead of clustering at address 0.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Arc<Vec<f64>>,
+    stride: u64,
+    blocks: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Zipf {
+    /// Builds the sampler; O(blocks) time and space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or `theta` is not finite.
+    #[must_use]
+    pub fn new(blocks: u64, theta: f64) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        assert!(theta.is_finite(), "theta must be finite");
+        let mut cdf = Vec::with_capacity(blocks as usize);
+        let mut acc = 0.0f64;
+        for k in 0..blocks {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        // Golden-ratio stride, bumped until coprime with the block count,
+        // so `rank -> block` is a bijection that interleaves hot ranks.
+        let mut stride = ((blocks as f64 * 0.618_033_988_749_894_9) as u64).max(1) | 1;
+        while gcd(stride, blocks) != 1 {
+            stride += 2;
+        }
+        Self {
+            cdf: Arc::new(cdf),
+            stride,
+            blocks,
+        }
+    }
+
+    /// Draws one block index.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u = rng.next_f64();
+        let rank = self.cdf.partition_point(|&c| c < u) as u64;
+        let rank = rank.min(self.blocks - 1);
+        ((u128::from(rank) * u128::from(self.stride)) % u128::from(self.blocks)) as u64
+    }
+}
+
+/// Per-client key sampler for one run.
+#[derive(Debug, Clone)]
+enum Sampler {
+    Uniform { blocks: u64 },
+    Zipf(Zipf),
+}
+
+impl Sampler {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            Sampler::Uniform { blocks } => rng.gen_range(0..*blocks),
+            Sampler::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+/// Knobs of one load-generation run (shared across the shard sweep).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Operations per submitted batch.
+    pub batch: usize,
+    /// Measured batches per client (total ops = clients × batches × batch).
+    pub batches_per_client: usize,
+    /// Unmeasured warmup batches per client (fills caches and queues).
+    pub warmup_batches: usize,
+    /// Probability an operation is a read.
+    pub read_fraction: f64,
+    /// Working-set size in 64-byte blocks (fixed across the sweep).
+    pub footprint_blocks: u64,
+    /// Key-popularity distribution.
+    pub mix: KeyMix,
+    /// Per-shard on-chip verified counter-cache capacity, in metadata
+    /// blocks. Aggregate cache = shards × this, while the metadata
+    /// working set stays constant — the scaling lever of the sweep.
+    pub cache_blocks_per_shard: usize,
+    /// Off-chip Bonsai-tree MAC levels (sets the cache-miss penalty).
+    pub tree_levels: usize,
+    /// PRNG seed; every client derives a distinct stream from it.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            batch: 32,
+            batches_per_client: 192,
+            warmup_batches: 24,
+            read_fraction: 0.95,
+            footprint_blocks: 16 * 1024, // 1 MiB of protected data
+            mix: KeyMix::Uniform,
+            cache_blocks_per_shard: 64,
+            tree_levels: 6,
+            seed: 0x570E,
+        }
+    }
+}
+
+/// One measured point of the shard sweep.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Shard count of this point.
+    pub shards: usize,
+    /// Operations completed in the measured window.
+    pub ops: u64,
+    /// Measured wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Aggregate throughput.
+    pub ops_per_sec: f64,
+    /// Operations that returned an error (must be 0 on a healthy run).
+    pub errors: u64,
+    /// Aggregate metadata-cache hit rate over the measured window.
+    pub meta_hit_rate: f64,
+    /// Mean per-op service latency (ns) over the measured window.
+    pub mean_service_ns: f64,
+    /// Measured-window per-shard telemetry (`store/shard<N>/...`).
+    pub telemetry: Json,
+}
+
+fn make_batch(rng: &mut StdRng, sampler: &Sampler, cfg: &LoadConfig) -> Vec<StoreOp> {
+    (0..cfg.batch)
+        .map(|_| {
+            let addr = sampler.sample(rng) * BLOCK_BYTES as u64;
+            if rng.gen_bool(cfg.read_fraction) {
+                StoreOp::Read { addr }
+            } else {
+                let mut data = [0u8; BLOCK_BYTES];
+                rng.fill(&mut data);
+                StoreOp::Write { addr, data }
+            }
+        })
+        .collect()
+}
+
+/// Runs one shard count under `cfg` and reports the measured point.
+///
+/// The store's *total* capacity is fixed at the footprint regardless of
+/// the shard count; clients populate every block, warm up, then run a
+/// measured closed loop. Telemetry is the measured-window delta, so
+/// populate/warmup traffic does not dilute hit rates or histograms.
+#[must_use]
+pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
+    let shard_bytes = cfg.footprint_blocks.div_ceil(shards as u64) * BLOCK_BYTES as u64;
+    let store = Arc::new(SecureStore::new(StoreConfig {
+        shards,
+        shard_bytes,
+        queue_depth: 128,
+        max_batch: 64,
+        engine: EngineConfig {
+            counter_cache_blocks: cfg.cache_blocks_per_shard,
+            tree_levels: cfg.tree_levels,
+            ..EngineConfig::default()
+        },
+    }));
+
+    // Populate the whole footprint so the measured phase never reads
+    // never-written (trivially zero) blocks.
+    let mut seed_rng = StdRng::seed_from_u64(cfg.seed);
+    for chunk_start in (0..cfg.footprint_blocks).step_by(512) {
+        let ops: Vec<StoreOp> = (chunk_start..(chunk_start + 512).min(cfg.footprint_blocks))
+            .map(|b| {
+                let mut data = [0u8; BLOCK_BYTES];
+                seed_rng.fill(&mut data);
+                StoreOp::Write {
+                    addr: b * BLOCK_BYTES as u64,
+                    data,
+                }
+            })
+            .collect();
+        for r in store.submit_batch(&ops) {
+            assert!(r.is_ok(), "populate must succeed");
+        }
+    }
+
+    let sampler = match cfg.mix {
+        KeyMix::Uniform => Sampler::Uniform {
+            blocks: cfg.footprint_blocks,
+        },
+        KeyMix::Zipfian { theta } => Sampler::Zipf(Zipf::new(cfg.footprint_blocks, theta)),
+    };
+
+    // Clients warm up, rendezvous, then run the measured loop.
+    let start_line = Arc::new(Barrier::new(cfg.clients + 1));
+    let errors = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let store = Arc::clone(&store);
+            let sampler = sampler.clone();
+            let cfg = *cfg;
+            let start_line = Arc::clone(&start_line);
+            let errors = Arc::clone(&errors);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xC11E_0000 + c as u64));
+                for _ in 0..cfg.warmup_batches {
+                    let ops = make_batch(&mut rng, &sampler, &cfg);
+                    let _ = store.submit_batch(&ops);
+                }
+                start_line.wait();
+                let mut failed = 0u64;
+                for _ in 0..cfg.batches_per_client {
+                    let ops = make_batch(&mut rng, &sampler, &cfg);
+                    failed += store
+                        .submit_batch(&ops)
+                        .iter()
+                        .filter(|r| r.is_err())
+                        .count() as u64;
+                }
+                errors.fetch_add(failed, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    start_line.wait();
+    let before = store.telemetry();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let window = store.telemetry().delta(&before);
+    let _ = Arc::try_unwrap(store)
+        .unwrap_or_else(|_| panic!("clients joined, store must be unique"))
+        .shutdown();
+
+    let ops = (cfg.clients * cfg.batches_per_client * cfg.batch) as u64;
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let (mut lat_sum, mut lat_n) = (0.0f64, 0u64);
+    for s in 0..shards {
+        let p = |name: &str| format!("store/shard{s}/{name}");
+        hits += window
+            .counter(&p("engine/metadata_cache/hits"))
+            .unwrap_or(0);
+        misses += window
+            .counter(&p("engine/metadata_cache/misses"))
+            .unwrap_or(0);
+        if let Some(h) = window.histogram(&p("service_latency_ns")) {
+            lat_sum += h.mean() * h.count() as f64;
+            lat_n += h.count();
+        }
+    }
+    SweepPoint {
+        shards,
+        ops,
+        elapsed_s,
+        ops_per_sec: ops as f64 / elapsed_s,
+        errors: errors.load(Ordering::Relaxed),
+        meta_hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        mean_service_ns: if lat_n == 0 {
+            0.0
+        } else {
+            lat_sum / lat_n as f64
+        },
+        telemetry: window.to_json(),
+    }
+}
+
+/// Runs the shard sweep for one key mix.
+#[must_use]
+pub fn run_sweep(cfg: &LoadConfig, shard_counts: &[usize]) -> Vec<SweepPoint> {
+    shard_counts.iter().map(|&s| run_point(s, cfg)).collect()
+}
+
+/// Prints one sweep as an aligned table with speedups vs the first point.
+pub fn print_sweep(cfg: &LoadConfig, points: &[SweepPoint]) {
+    println!(
+        "mix={} clients={} batch={} reads={:.0}% footprint={} blocks \
+         cache={} blocks/shard tree={} levels",
+        cfg.mix.name(),
+        cfg.clients,
+        cfg.batch,
+        cfg.read_fraction * 100.0,
+        cfg.footprint_blocks,
+        cfg.cache_blocks_per_shard,
+        cfg.tree_levels,
+    );
+    println!(
+        "{:>7} {:>10} {:>11} {:>9} {:>10} {:>12} {:>7}",
+        "shards", "ops", "kops/s", "speedup", "meta-hit", "svc-mean-us", "errors"
+    );
+    let base = points.first().map_or(0.0, |p| p.ops_per_sec);
+    for p in points {
+        println!(
+            "{:>7} {:>10} {:>11.1} {:>8.2}x {:>9.1}% {:>12.2} {:>7}",
+            p.shards,
+            p.ops,
+            p.ops_per_sec / 1e3,
+            if base > 0.0 {
+                p.ops_per_sec / base
+            } else {
+                0.0
+            },
+            p.meta_hit_rate * 100.0,
+            p.mean_service_ns / 1e3,
+            p.errors,
+        );
+    }
+}
+
+/// `ops/sec(4 shards) / ops/sec(1 shard)`, the sweep's headline number.
+#[must_use]
+pub fn scaling_1_to_4(points: &[SweepPoint]) -> Option<f64> {
+    let one = points.iter().find(|p| p.shards == 1)?;
+    let four = points.iter().find(|p| p.shards == 4)?;
+    Some(four.ops_per_sec / one.ops_per_sec)
+}
+
+fn point_json(mix: KeyMix, p: &SweepPoint, base_ops_per_sec: f64) -> Json {
+    let mut row = Json::object();
+    row.push("mix", mix.name());
+    row.push("shards", p.shards as u64);
+    row.push("ops", p.ops);
+    row.push("elapsed_s", p.elapsed_s);
+    row.push("ops_per_sec", p.ops_per_sec);
+    row.push(
+        "speedup_vs_1_shard",
+        if base_ops_per_sec > 0.0 {
+            p.ops_per_sec / base_ops_per_sec
+        } else {
+            0.0
+        },
+    );
+    row.push("errors", p.errors);
+    row.push("meta_cache_hit_rate", p.meta_hit_rate);
+    row.push("mean_service_latency_ns", p.mean_service_ns);
+    row.push("telemetry", p.telemetry.clone());
+    row
+}
+
+/// Serialises the experiment (all mixes) into the common results
+/// envelope and returns `(document, headline metric)`.
+#[must_use]
+pub fn to_json(cfg: &LoadConfig, sweeps: &[(KeyMix, Vec<SweepPoint>)]) -> (Json, String) {
+    let mut params = Json::object();
+    params.push("clients", cfg.clients as u64);
+    params.push("batch", cfg.batch as u64);
+    params.push("batches_per_client", cfg.batches_per_client as u64);
+    params.push("warmup_batches", cfg.warmup_batches as u64);
+    params.push("read_fraction", cfg.read_fraction);
+    params.push("footprint_blocks", cfg.footprint_blocks);
+    params.push("cache_blocks_per_shard", cfg.cache_blocks_per_shard as u64);
+    params.push("tree_levels", cfg.tree_levels as u64);
+    params.push("seed", cfg.seed);
+
+    let mut rows = Vec::new();
+    let mut headline = String::from("no sweep");
+    for (mix, points) in sweeps {
+        let base = points
+            .iter()
+            .find(|p| p.shards == 1)
+            .map_or(0.0, |p| p.ops_per_sec);
+        for p in points {
+            rows.push(point_json(*mix, p, base));
+        }
+        if *mix == KeyMix::Uniform {
+            if let Some(ratio) = scaling_1_to_4(points) {
+                headline = format!("uniform 1->4 shard scaling {ratio:.2}x");
+            }
+        }
+    }
+    (
+        results::envelope("store_throughput", params, Json::Arr(rows)),
+        headline,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let z = Zipf::new(1024, 0.99);
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+        // The most popular rank (0, scattered to block 0) dominates.
+        let mut counts = std::collections::HashMap::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20_000 {
+            *counts.entry(z.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            max > 20_000 / 20,
+            "hot key should exceed 5% of draws, got {max}"
+        );
+        // Samples stay in range.
+        assert!(counts.keys().all(|&k| k < 1024));
+    }
+
+    #[test]
+    fn zipf_scatter_is_a_bijection() {
+        let blocks = 96; // not a power of two
+        let z = Zipf::new(blocks, 0.8);
+        let mut seen = vec![false; blocks as usize];
+        for rank in 0..blocks {
+            let b = ((u128::from(rank) * u128::from(z.stride)) % u128::from(blocks)) as usize;
+            assert!(!seen[b], "stride must permute, duplicate at {b}");
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tiny_sweep_completes_without_errors() {
+        let cfg = LoadConfig {
+            clients: 2,
+            batch: 4,
+            batches_per_client: 3,
+            warmup_batches: 1,
+            footprint_blocks: 256,
+            cache_blocks_per_shard: 2,
+            tree_levels: 2,
+            ..LoadConfig::default()
+        };
+        let points = run_sweep(&cfg, &[1, 2]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.errors, 0);
+            assert_eq!(p.ops, 2 * 3 * 4);
+            assert!(p.ops_per_sec > 0.0);
+        }
+        let (doc, headline) = to_json(&cfg, &[(KeyMix::Uniform, points)]);
+        let text = doc.render();
+        assert!(text.contains("\"experiment\": \"store_throughput\""));
+        assert!(text.contains("\"shards\": 2"));
+        assert!(text.contains("store/shard0/reads"));
+        assert!(
+            headline.contains("no sweep"),
+            "no 4-shard point: {headline}"
+        );
+    }
+}

@@ -139,7 +139,7 @@ impl ame_telemetry::Metrics for CounterStats {
 /// Blocks are identified by a global block index (`physical address /
 /// 64`). Groups are allocated lazily, so a scheme can stand in for an
 /// arbitrarily large protected region.
-pub trait CounterScheme {
+pub trait CounterScheme: Send {
     /// Current counter value of `block` (zero if never written).
     fn counter(&self, block: u64) -> u64;
 

@@ -98,6 +98,12 @@ impl SecureRegion {
         &mut self.engine
     }
 
+    /// Read-only view of the engine underneath (telemetry collection).
+    #[must_use]
+    pub fn engine(&self) -> &MemoryEncryptionEngine {
+        &self.engine
+    }
+
     fn check(&self, addr: u64, len: usize) -> Result<(), RegionError> {
         if addr
             .checked_add(len as u64)

@@ -1,0 +1,333 @@
+//! The per-shard worker: one thread, one engine, one request queue.
+//!
+//! A shard owns a [`SecureRegion`] (and therefore a whole
+//! [`MemoryEncryptionEngine`](ame_engine::MemoryEncryptionEngine) with its
+//! own keys, counters, and integrity tree) and services requests from a
+//! bounded `mpsc` queue. The worker drains up to `max_batch` queued
+//! requests per wakeup, so under load channel and scheduling costs
+//! amortize over the whole batch; every service interval records the
+//! observed queue depth and batch size, and every operation records its
+//! service latency.
+//!
+//! A verification failure (MAC, SEC-DED, or tree) **poisons** the shard:
+//! the failing operation reports the underlying [`ReadError`] and every
+//! later operation fast-fails with
+//! [`StoreError::ShardPoisoned`](crate::StoreError::ShardPoisoned) —
+//! writes included, so no new data is entrusted to a compromised shard.
+//! Other shards are unaffected.
+
+use ame_engine::region::{RegionError, SecureRegion};
+use ame_engine::{ReadError, BLOCK_BYTES};
+use ame_telemetry::{Histogram, MetricSink, Metrics, Snapshot, StatsRegistry};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::StoreError;
+
+/// The mutator a read-modify-write runs on the shard worker's thread.
+pub(crate) type RmwFn = Box<dyn FnOnce(&mut [u8; BLOCK_BYTES]) + Send>;
+
+/// One operation, addressed by *local* shard byte offset.
+pub(crate) enum Op {
+    /// Verified block read.
+    Read { local: u64 },
+    /// Block write (full-block seal, no read needed).
+    Write { local: u64, data: [u8; BLOCK_BYTES] },
+    /// Verified read-modify-write; replies with the pre-image.
+    Rmw { local: u64, f: RmwFn },
+}
+
+/// Successful result of an [`Op`].
+pub(crate) enum OpOutput {
+    Read([u8; BLOCK_BYTES]),
+    Written,
+    Modified { old: [u8; BLOCK_BYTES] },
+}
+
+pub(crate) type OpReply = Result<OpOutput, StoreError>;
+
+/// A message on a shard's request queue.
+pub(crate) enum Request {
+    Op {
+        op: Op,
+        reply: SyncSender<OpReply>,
+    },
+    Batch {
+        ops: Vec<Op>,
+        reply: SyncSender<Vec<OpReply>>,
+    },
+    Collect {
+        reply: SyncSender<ShardReport>,
+    },
+    /// Test/attack surface: flip one stored ciphertext bit.
+    Tamper {
+        local: u64,
+        bit: u32,
+        ack: SyncSender<()>,
+    },
+}
+
+/// State shared between the front-end and one worker without going
+/// through the queue: the instantaneous queue depth (in operations) and
+/// the count of fast-fail rejections.
+///
+/// The depth is signed: the front-end increments *after* a successful
+/// send (so a non-zero reading proves an operation really is enqueued)
+/// while the worker decrements at dequeue, and the two can interleave
+/// such that the worker transiently wins the race. Readers clamp at 0.
+#[derive(Debug, Default)]
+pub(crate) struct ShardShared {
+    /// Operations enqueued but not yet dequeued by the worker.
+    pub depth: AtomicI64,
+    /// `try_*` submissions rejected with `Overloaded`.
+    pub overloads: AtomicU64,
+}
+
+impl ShardShared {
+    /// Current queue depth in operations, clamped at zero.
+    pub fn depth_now(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed).max(0) as u64
+    }
+}
+
+/// Per-shard service statistics, reported under `store/shard<N>/`.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Verified block reads served.
+    pub reads: u64,
+    /// Block writes served.
+    pub writes: u64,
+    /// Read-modify-writes served.
+    pub rmws: u64,
+    /// Service intervals (wakeups that served at least one operation).
+    pub batches: u64,
+    /// Verification failures that poisoned the shard.
+    pub integrity_failures: u64,
+    /// Operations rejected because the shard was already poisoned.
+    pub rejected_poisoned: u64,
+    /// Injected tamper events (test surface).
+    pub tampers: u64,
+    /// Whether the shard is quarantined.
+    pub poisoned: bool,
+    /// Operations coalesced per service interval (log₂ buckets).
+    pub batch_size: Histogram,
+    /// Per-operation service latency in nanoseconds (log₂ buckets).
+    pub service_latency_ns: Histogram,
+    /// Queue depth observed at each service interval (log₂ buckets).
+    pub queue_depth_seen: Histogram,
+}
+
+impl Metrics for ShardStats {
+    fn record(&self, sink: &mut dyn MetricSink) {
+        sink.counter("reads", self.reads);
+        sink.counter("writes", self.writes);
+        sink.counter("rmws", self.rmws);
+        sink.counter("batches", self.batches);
+        sink.counter("integrity_failures", self.integrity_failures);
+        sink.counter("rejected_poisoned", self.rejected_poisoned);
+        sink.counter("tampers", self.tampers);
+        sink.gauge("poisoned", if self.poisoned { 1.0 } else { 0.0 });
+        sink.histogram("batch_size", &self.batch_size);
+        sink.histogram("service_latency_ns", &self.service_latency_ns);
+        sink.histogram("queue_depth_seen", &self.queue_depth_seen);
+    }
+}
+
+/// A shard's reply to a telemetry collection request.
+pub(crate) struct ShardReport {
+    pub stats: ShardStats,
+    /// The shard engine's own telemetry, scoped for `<shard>/engine/`.
+    pub engine: Snapshot,
+}
+
+/// What a shard reports when the store shuts down.
+#[derive(Debug)]
+pub struct SealReport {
+    /// Shard index.
+    pub shard: usize,
+    /// `true` if the drained shard was re-sealed (re-keyed) cleanly.
+    pub resealed: bool,
+    /// The verification failure that quarantined the shard, if any.
+    pub poisoned: Option<ReadError>,
+}
+
+pub(crate) struct ShardWorker {
+    shard: usize,
+    region: SecureRegion,
+    /// Seed the shard re-keys to on graceful shutdown.
+    reseal_seed: u64,
+    max_batch: usize,
+    shared: Arc<ShardShared>,
+    poisoned: Option<ReadError>,
+    stats: ShardStats,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        shard: usize,
+        region: SecureRegion,
+        reseal_seed: u64,
+        max_batch: usize,
+        shared: Arc<ShardShared>,
+    ) -> Self {
+        Self {
+            shard,
+            region,
+            reseal_seed,
+            max_batch,
+            shared,
+            poisoned: None,
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// The worker loop: runs until every sender is dropped, then drains
+    /// what is left in the queue and re-seals the shard.
+    pub(crate) fn run(mut self, rx: &Receiver<Request>) -> SealReport {
+        loop {
+            // Block for the first request, then opportunistically drain
+            // up to `max_batch` more that arrived in the meantime — this
+            // is where same-shard coalescing happens.
+            let Ok(first) = rx.recv() else { break };
+            let mut requests = vec![first];
+            while requests.len() < self.max_batch {
+                match rx.try_recv() {
+                    Ok(r) => requests.push(r),
+                    Err(_) => break,
+                }
+            }
+            self.stats.queue_depth_seen.record(self.shared.depth_now());
+            let mut ops = 0u64;
+            for request in requests {
+                ops += self.serve(request);
+            }
+            if ops > 0 {
+                self.stats.batches += 1;
+                self.stats.batch_size.record(ops);
+            }
+        }
+        // Graceful shutdown: the channel is closed *and* drained (recv
+        // only errors once the buffer is empty). Re-seal the shard so its
+        // at-rest state is under fresh keys; a poisoned shard must not
+        // launder corrupted blocks, so it is left quarantined.
+        let resealed =
+            self.poisoned.is_none() && self.region.engine_mut().rekey(self.reseal_seed).is_ok();
+        SealReport {
+            shard: self.shard,
+            resealed,
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Serves one request; returns how many operations it contained (for
+    /// batch-size accounting).
+    fn serve(&mut self, request: Request) -> u64 {
+        match request {
+            Request::Op { op, reply } => {
+                self.shared.depth.fetch_sub(1, Ordering::Relaxed);
+                let result = self.exec(op);
+                let _ = reply.send(result);
+                1
+            }
+            Request::Batch { ops, reply } => {
+                let n = ops.len();
+                self.shared.depth.fetch_sub(n as i64, Ordering::Relaxed);
+                let results = ops.into_iter().map(|op| self.exec(op)).collect();
+                let _ = reply.send(results);
+                n as u64
+            }
+            Request::Collect { reply } => {
+                let _ = reply.send(self.report());
+                0
+            }
+            Request::Tamper { local, bit, ack } => {
+                self.region.engine_mut().tamper_data_bit(local, bit);
+                self.stats.tampers += 1;
+                let _ = ack.send(());
+                0
+            }
+        }
+    }
+
+    fn exec(&mut self, op: Op) -> OpReply {
+        if self.poisoned.is_some() {
+            self.stats.rejected_poisoned += 1;
+            return Err(StoreError::ShardPoisoned {
+                shard: self.shard,
+                cause: None,
+            });
+        }
+        let start = Instant::now();
+        let result = match op {
+            Op::Read { local } => self.read(local).map(|block| {
+                self.stats.reads += 1;
+                OpOutput::Read(block)
+            }),
+            Op::Write { local, data } => self.write(local, &data).map(|()| {
+                self.stats.writes += 1;
+                OpOutput::Written
+            }),
+            Op::Rmw { local, f } => self.read(local).and_then(|old| {
+                let mut block = old;
+                f(&mut block);
+                self.write(local, &block)?;
+                self.stats.rmws += 1;
+                Ok(OpOutput::Modified { old })
+            }),
+        };
+        self.stats
+            .service_latency_ns
+            .record(start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    fn read(&mut self, local: u64) -> Result<[u8; BLOCK_BYTES], StoreError> {
+        let mut buf = [0u8; BLOCK_BYTES];
+        match self.region.read_bytes(local, &mut buf) {
+            Ok(()) => Ok(buf),
+            Err(RegionError::Read(e)) => Err(self.poison(e)),
+            Err(RegionError::OutOfBounds { addr, len }) => {
+                // The front-end bounds-checks global addresses, so this is
+                // unreachable in practice; fail the op, not the worker.
+                Err(StoreError::OutOfRange {
+                    addr,
+                    len: len as u64,
+                })
+            }
+        }
+    }
+
+    fn write(&mut self, local: u64, data: &[u8; BLOCK_BYTES]) -> Result<(), StoreError> {
+        match self.region.write_bytes(local, data) {
+            Ok(()) => Ok(()),
+            Err(RegionError::Read(e)) => Err(self.poison(e)),
+            Err(RegionError::OutOfBounds { addr, len }) => Err(StoreError::OutOfRange {
+                addr,
+                len: len as u64,
+            }),
+        }
+    }
+
+    /// Quarantines the shard and reports the detecting failure.
+    fn poison(&mut self, error: ReadError) -> StoreError {
+        self.stats.integrity_failures += 1;
+        self.poisoned = Some(error);
+        StoreError::ShardPoisoned {
+            shard: self.shard,
+            cause: Some(error),
+        }
+    }
+
+    fn report(&self) -> ShardReport {
+        let mut stats = self.stats.clone();
+        stats.poisoned = self.poisoned.is_some();
+        let mut registry = StatsRegistry::new();
+        registry.collect("", self.region.engine());
+        ShardReport {
+            stats,
+            engine: registry.snapshot(),
+        }
+    }
+}

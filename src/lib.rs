@@ -18,6 +18,8 @@
 //! * [`engine`] — the memory encryption engine tying it all together.
 //! * [`sim`] — a trace-driven multicore performance model.
 //! * [`workloads`] — synthetic PARSEC-like trace generators.
+//! * [`store`] — a sharded, concurrent secure memory service with
+//!   batching, backpressure, and per-shard telemetry.
 //!
 //! # Quickstart
 //!
@@ -42,5 +44,6 @@ pub use ame_dram as dram;
 pub use ame_ecc as ecc;
 pub use ame_engine as engine;
 pub use ame_sim as sim;
+pub use ame_store as store;
 pub use ame_tree as tree;
 pub use ame_workloads as workloads;
