@@ -1,0 +1,150 @@
+//! Per-backend crypto microbenchmarks: keystream throughput (single and
+//! batched), Carter-Wegman MAC rate, and GF(2^64) multiply latency, for
+//! the portable reference and — when the CPU has AES-NI + PCLMULQDQ —
+//! the accelerated backend.
+//!
+//! Prints the ns/iter table, a GB/s / tags-per-second summary with the
+//! accelerated-over-portable speedups, and writes
+//! `results/crypto_micro.json` (one row per backend × operation) with
+//! the host's CPU features in the metadata so numbers from different
+//! machines are never compared blind.
+//!
+//! Usage: `cargo run -p ame-bench --bin crypto_micro --release \
+//!     [batch_blocks]`
+
+use ame_bench::{micro, parse_arg, results};
+use ame_crypto::aes::Aes128;
+use ame_crypto::backend::{self, Backend};
+use ame_crypto::{ctr, mac, BLOCK_BYTES};
+use ame_telemetry::Json;
+
+/// One backend's measured rates.
+struct Measurement {
+    backend: Backend,
+    keystream_single_ns: f64,
+    keystream_batch_ns_per_block: f64,
+    mac_ns: f64,
+    gf64_ns: f64,
+}
+
+impl Measurement {
+    fn keystream_single_gbps(&self) -> f64 {
+        BLOCK_BYTES as f64 / self.keystream_single_ns
+    }
+
+    fn keystream_batch_gbps(&self) -> f64 {
+        BLOCK_BYTES as f64 / self.keystream_batch_ns_per_block
+    }
+
+    fn mac_tags_per_sec(&self) -> f64 {
+        1e9 / self.mac_ns
+    }
+}
+
+fn measure(b: Backend, batch_blocks: usize) -> Measurement {
+    let aes = Aes128::new(&[0x42; 16]);
+    let mac_key = Aes128::new(&[0x24; 16]);
+    let hash_key = 0x9e37_79b9_7f4a_7c15u64 | 1;
+    let block = [0x5au8; BLOCK_BYTES];
+    let nonces: Vec<(u64, u64)> = (0..batch_blocks as u64).map(|i| (i * 64, i)).collect();
+
+    let mut counter = 0u64;
+    let keystream_single_ns = micro::bench(&format!("{b}/keystream_single"), || {
+        counter = counter.wrapping_add(1);
+        ctr::keystream_with(b, &aes, 0x1000, counter)
+    });
+    let batch_ns = micro::bench(&format!("{b}/keystream_batch[{batch_blocks}]"), || {
+        ctr::keystream_batch_with(b, &aes, &nonces)
+    });
+    let mac_ns = micro::bench(&format!("{b}/mac_tag"), || {
+        counter = counter.wrapping_add(1);
+        mac::tag_with(b, &mac_key, hash_key, 0x1000, counter, &block)
+    });
+    let mut x = 0xdead_beefu64;
+    let gf64_ns = micro::bench(&format!("{b}/gf64_mul"), || {
+        x = mac::gf64_mul_with(b, x | 1, hash_key);
+        x
+    });
+
+    Measurement {
+        backend: b,
+        keystream_single_ns,
+        keystream_batch_ns_per_block: batch_ns / batch_blocks as f64,
+        mac_ns,
+        gf64_ns,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let batch_blocks: usize = parse_arg(args.next(), "batch blocks", 64);
+
+    let active = backend::active();
+    let features = backend::host_features();
+    println!("host cpu features : {features}");
+    println!("active backend    : {active}");
+    println!();
+
+    // Portable always runs; the accelerated row is skipped (not faked
+    // with portable numbers) when the CPU cannot provide it.
+    let mut rows = vec![measure(Backend::Portable, batch_blocks)];
+    if backend::accel_available() {
+        rows.push(measure(Backend::Accelerated, batch_blocks));
+    } else {
+        println!("accelerated backend unavailable on this host; portable only");
+    }
+    println!();
+
+    for m in &rows {
+        println!(
+            "{:<12} keystream {:>6.2} GB/s single, {:>6.2} GB/s batched; {:>10.0} tags/s; gf64 {:>5.1} ns",
+            m.backend.name(),
+            m.keystream_single_gbps(),
+            m.keystream_batch_gbps(),
+            m.mac_tags_per_sec(),
+            m.gf64_ns,
+        );
+    }
+
+    let mut headline = String::from("portable only");
+    if rows.len() == 2 {
+        let (p, a) = (&rows[0], &rows[1]);
+        let ks = a.keystream_batch_gbps() / p.keystream_batch_gbps();
+        let macs = a.mac_tags_per_sec() / p.mac_tags_per_sec();
+        headline = format!("accel vs portable: keystream {ks:.1}x, mac {macs:.1}x");
+        println!();
+        println!(
+            "accelerated over portable: keystream {:.1}x single / {:.1}x batched, mac {:.1}x, gf64 {:.1}x",
+            a.keystream_single_gbps() / p.keystream_single_gbps(),
+            ks,
+            macs,
+            p.gf64_ns / a.gf64_ns,
+        );
+    }
+    println!();
+
+    let mut params = Json::object();
+    params.push("batch_blocks", batch_blocks as u64);
+    params.push("active_backend", active.name());
+    params.push("cpu_features", features.as_str());
+    let json_rows = rows
+        .iter()
+        .map(|m| {
+            let mut row = Json::object();
+            row.push("backend", m.backend.name());
+            row.push("keystream_single_ns", m.keystream_single_ns);
+            row.push("keystream_single_gbps", m.keystream_single_gbps());
+            row.push(
+                "keystream_batch_ns_per_block",
+                m.keystream_batch_ns_per_block,
+            );
+            row.push("keystream_batch_gbps", m.keystream_batch_gbps());
+            row.push("mac_ns", m.mac_ns);
+            row.push("mac_tags_per_sec", m.mac_tags_per_sec());
+            row.push("gf64_mul_ns", m.gf64_ns);
+            row
+        })
+        .collect();
+    let doc = results::envelope("crypto_micro", params, Json::Arr(json_rows));
+    results::write_and_summarize("crypto_micro", &headline, &doc);
+}

@@ -418,6 +418,13 @@ pub fn to_json(cfg: &LoadConfig, sweeps: &[(KeyMix, Vec<SweepPoint>)]) -> (Json,
     params.push("cache_blocks_per_shard", cfg.cache_blocks_per_shard as u64);
     params.push("tree_levels", cfg.tree_levels as u64);
     params.push("seed", cfg.seed);
+    // Perf numbers are only comparable across runs if we know which
+    // crypto implementation served them and on what silicon.
+    params.push("crypto_backend", ame_crypto::backend::active().name());
+    params.push(
+        "cpu_features",
+        ame_crypto::backend::host_features().as_str(),
+    );
 
     let mut rows = Vec::new();
     let mut headline = String::from("no sweep");

@@ -1,10 +1,15 @@
 //! AES-128 block cipher (FIPS-197), written from scratch.
 //!
-//! A plain byte-oriented implementation: simple, portable, and easy to
-//! audit against the specification. Throughput is ample for simulation use
-//! (the simulator models AES *latency* separately; this code provides the
-//! actual confidentiality/integrity transformations for the functional
-//! model).
+//! The byte-oriented implementation in this module is the portable
+//! reference: simple and easy to audit against the specification. On
+//! hosts with AES-NI the public entry points dispatch to the
+//! hardware-accelerated path in [`crate::accel`] (selected once per
+//! process by [`crate::backend`]); both paths consume the same FIPS-197
+//! key schedule and are bit-identical — enforced by the cross-check
+//! property tests. The `*_with` variants pin a specific backend, which
+//! is what those cross-checks (and backend-sweep benchmarks) use.
+
+use crate::backend::Backend;
 
 /// The AES S-box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
@@ -121,9 +126,57 @@ impl Aes128 {
         Self { round_keys }
     }
 
-    /// Encrypts one 16-byte block.
+    /// The expanded FIPS-197 round keys (consumed unchanged by both the
+    /// portable rounds and the AES-NI path).
+    #[must_use]
+    pub(crate) fn round_keys(&self) -> &[[u8; 16]; 11] {
+        &self.round_keys
+    }
+
+    /// Encrypts one 16-byte block on the process-wide active backend.
     #[must_use]
     pub fn encrypt_block(&self, plain: &[u8; 16]) -> [u8; 16] {
+        self.encrypt_block_with(crate::backend::active(), plain)
+    }
+
+    /// Encrypts one 16-byte block on an explicitly chosen backend.
+    ///
+    /// Requesting [`Backend::Accelerated`] on a host without AES-NI
+    /// falls back to the portable rounds.
+    #[must_use]
+    pub fn encrypt_block_with(&self, backend: Backend, plain: &[u8; 16]) -> [u8; 16] {
+        #[cfg(target_arch = "x86_64")]
+        if backend.is_accelerated() && crate::backend::accel_available() {
+            return crate::accel::encrypt_block(&self.round_keys, plain);
+        }
+        let _ = backend;
+        self.encrypt_block_portable(plain)
+    }
+
+    /// Encrypts every 16-byte block in `blocks` in place on the active
+    /// backend. On AES-NI hosts the key is scheduled once and the blocks
+    /// are pushed through eight pipelined streams — this is the building
+    /// block of the batched keystream API.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        self.encrypt_blocks_with(crate::backend::active(), blocks);
+    }
+
+    /// [`Self::encrypt_blocks`] on an explicitly chosen backend.
+    pub fn encrypt_blocks_with(&self, backend: Backend, blocks: &mut [[u8; 16]]) {
+        #[cfg(target_arch = "x86_64")]
+        if backend.is_accelerated() && crate::backend::accel_available() {
+            crate::accel::encrypt_blocks(&self.round_keys, blocks);
+            return;
+        }
+        let _ = backend;
+        for block in blocks.iter_mut() {
+            *block = self.encrypt_block_portable(block);
+        }
+    }
+
+    /// The byte-oriented reference rounds (always available; the
+    /// cross-check baseline).
+    fn encrypt_block_portable(&self, plain: &[u8; 16]) -> [u8; 16] {
         let mut s = *plain;
         add_round_key(&mut s, &self.round_keys[0]);
         for round in 1..10 {
@@ -161,9 +214,24 @@ impl Aes128 {
         aes.encrypt_block(&plain) == expected && aes.decrypt_block(&expected) == plain
     }
 
-    /// Decrypts one 16-byte block.
+    /// Decrypts one 16-byte block on the process-wide active backend.
     #[must_use]
     pub fn decrypt_block(&self, ct: &[u8; 16]) -> [u8; 16] {
+        self.decrypt_block_with(crate::backend::active(), ct)
+    }
+
+    /// Decrypts one 16-byte block on an explicitly chosen backend.
+    #[must_use]
+    pub fn decrypt_block_with(&self, backend: Backend, ct: &[u8; 16]) -> [u8; 16] {
+        #[cfg(target_arch = "x86_64")]
+        if backend.is_accelerated() && crate::backend::accel_available() {
+            return crate::accel::decrypt_block(&self.round_keys, ct);
+        }
+        let _ = backend;
+        self.decrypt_block_portable(ct)
+    }
+
+    fn decrypt_block_portable(&self, ct: &[u8; 16]) -> [u8; 16] {
         let mut s = *ct;
         add_round_key(&mut s, &self.round_keys[10]);
         inv_shift_rows(&mut s);

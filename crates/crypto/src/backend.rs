@@ -1,0 +1,299 @@
+//! Crypto backend selection and per-backend operation accounting.
+//!
+//! The crate ships two interchangeable implementations of its hot
+//! primitives (AES-128 rounds, carry-less multiplication):
+//!
+//! * **Portable** — the byte-oriented reference code in [`crate::aes`]
+//!   and [`crate::mac`]; runs everywhere, easy to audit against
+//!   FIPS-197.
+//! * **Accelerated** — AES-NI and PCLMULQDQ intrinsics
+//!   ([`crate::accel`]), selected at runtime when the host CPU reports
+//!   the `aes` and `pclmulqdq` features. This is the software analogue
+//!   of the paper's single-cycle hardware GF multipliers (Section 3.2).
+//!
+//! Selection happens **once per process** (a [`OnceLock`]): the CPU is
+//! probed, the `AME_CRYPTO_BACKEND` override is honoured, and a
+//! known-answer cross-check of the accelerated primitives against the
+//! portable reference runs before the accelerated backend is allowed to
+//! serve traffic. This is also where the FIPS-style power-on self-test
+//! lives — once per process, never per key-schedule construction.
+//!
+//! # Environment override
+//!
+//! `AME_CRYPTO_BACKEND=portable` forces the portable backend even on
+//! capable hosts (CI exercises this leg); `AME_CRYPTO_BACKEND=accel`
+//! requests the accelerated backend (silently degrading to portable if
+//! the CPU cannot provide it); unset or `auto` detects.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Which implementation of the hot crypto primitives is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Byte-oriented reference implementation (runs everywhere).
+    Portable,
+    /// AES-NI + PCLMULQDQ intrinsics (x86_64 with `aes`/`pclmulqdq`).
+    Accelerated,
+}
+
+impl Backend {
+    /// Short identifier used in telemetry paths and result JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Portable => "portable",
+            Backend::Accelerated => "accelerated",
+        }
+    }
+
+    /// `true` for [`Backend::Accelerated`].
+    #[must_use]
+    pub fn is_accelerated(self) -> bool {
+        matches!(self, Backend::Accelerated)
+    }
+
+    /// Both backends, for sweeps and cross-checks.
+    pub const ALL: [Backend; 2] = [Backend::Portable, Backend::Accelerated];
+
+    fn index(self) -> usize {
+        match self {
+            Backend::Portable => 0,
+            Backend::Accelerated => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `true` iff the host CPU can run the accelerated backend at all
+/// (independent of any `AME_CRYPTO_BACKEND` override).
+#[must_use]
+pub fn accel_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("aes")
+            && std::arch::is_x86_feature_detected!("pclmulqdq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Comma-separated list of the crypto-relevant CPU features the host
+/// reports, recorded in result-JSON metadata so perf trajectories are
+/// comparable across machines.
+#[must_use]
+pub fn host_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats = Vec::new();
+        if std::arch::is_x86_feature_detected!("aes") {
+            feats.push("aes");
+        }
+        if std::arch::is_x86_feature_detected!("pclmulqdq") {
+            feats.push("pclmulqdq");
+        }
+        if std::arch::is_x86_feature_detected!("sse4.1") {
+            feats.push("sse4.1");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if feats.is_empty() {
+            "none".to_string()
+        } else {
+            feats.join(",")
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        format!("non-x86_64 ({})", std::env::consts::ARCH)
+    }
+}
+
+static ACTIVE: OnceLock<Backend> = OnceLock::new();
+
+/// The backend serving this process, resolved once on first use.
+///
+/// Resolution order: `AME_CRYPTO_BACKEND` override, then CPU feature
+/// detection, then a one-time known-answer cross-check (an accelerated
+/// implementation that disagrees with the portable reference is never
+/// selected).
+#[must_use]
+pub fn active() -> Backend {
+    *ACTIVE.get_or_init(detect)
+}
+
+fn detect() -> Backend {
+    let want = std::env::var("AME_CRYPTO_BACKEND").unwrap_or_default();
+    match want.to_ascii_lowercase().as_str() {
+        "portable" | "soft" | "reference" => return Backend::Portable,
+        // "accel"/"auto"/unset fall through to detection; forcing accel
+        // on an incapable host degrades to portable rather than aborting.
+        _ => {}
+    }
+    if accel_available() && self_test_accelerated() {
+        Backend::Accelerated
+    } else {
+        Backend::Portable
+    }
+}
+
+/// One-time power-on cross-check of the accelerated primitives against
+/// the portable reference (FIPS-197 Appendix C.1 plus structured
+/// patterns). Runs inside backend selection — *not* per construction.
+#[cfg(target_arch = "x86_64")]
+fn self_test_accelerated() -> bool {
+    use crate::accel;
+    // AES: FIPS-197 Appendix C.1 and a second structured block.
+    let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+    let aes = crate::aes::Aes128::new(&key);
+    for block in [
+        core::array::from_fn(|i| (i as u8) * 0x11),
+        [0xa5u8; 16],
+        core::array::from_fn(|i| 0x80u8.wrapping_shr(i as u32 % 8)),
+    ] {
+        let reference = aes.encrypt_block_with(Backend::Portable, &block);
+        if accel::encrypt_block(aes.round_keys(), &block) != reference {
+            return false;
+        }
+        if accel::decrypt_block(aes.round_keys(), &reference) != block {
+            return false;
+        }
+    }
+    // PCLMULQDQ: structured carry-less products.
+    for (a, b) in [
+        (1u64, 0x1bu64),
+        (u64::MAX, u64::MAX),
+        (0x9e37_79b9_7f4a_7c15, 0x0123_4567_89ab_cdef),
+        (1u64 << 63, 3),
+    ] {
+        if accel::clmul(a, b) != crate::mac::clmul_with(Backend::Portable, a, b) {
+            return false;
+        }
+        if accel::gf64_mul(a, b) != crate::mac::gf64_mul_with(Backend::Portable, a, b) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn self_test_accelerated() -> bool {
+    false
+}
+
+/// Lock-free per-backend operation counters (process-global, updated
+/// with relaxed atomics on the hot paths).
+#[derive(Default)]
+struct OpCells {
+    keystream_calls: AtomicU64,
+    keystream_blocks: AtomicU64,
+    batched_calls: AtomicU64,
+    mac_tags: AtomicU64,
+}
+
+static OPS: [OpCells; 2] = [
+    OpCells {
+        keystream_calls: AtomicU64::new(0),
+        keystream_blocks: AtomicU64::new(0),
+        batched_calls: AtomicU64::new(0),
+        mac_tags: AtomicU64::new(0),
+    },
+    OpCells {
+        keystream_calls: AtomicU64::new(0),
+        keystream_blocks: AtomicU64::new(0),
+        batched_calls: AtomicU64::new(0),
+        mac_tags: AtomicU64::new(0),
+    },
+];
+
+/// Snapshot of one backend's lifetime operation counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpsSnapshot {
+    /// Keystream generations (one 64-byte block each).
+    pub keystream_calls: u64,
+    /// 16-byte AES blocks produced for keystreams (4 per 64-byte block).
+    pub keystream_blocks: u64,
+    /// Multi-block `keystream_batch` invocations.
+    pub batched_calls: u64,
+    /// Carter-Wegman tags computed (MAC or verify).
+    pub mac_tags: u64,
+}
+
+/// Lifetime operation counts of `backend` in this process.
+#[must_use]
+pub fn ops(backend: Backend) -> OpsSnapshot {
+    let c = &OPS[backend.index()];
+    OpsSnapshot {
+        keystream_calls: c.keystream_calls.load(Ordering::Relaxed),
+        keystream_blocks: c.keystream_blocks.load(Ordering::Relaxed),
+        batched_calls: c.batched_calls.load(Ordering::Relaxed),
+        mac_tags: c.mac_tags.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn count_keystream(backend: Backend, calls: u64, aes_blocks: u64) {
+    let c = &OPS[backend.index()];
+    c.keystream_calls.fetch_add(calls, Ordering::Relaxed);
+    c.keystream_blocks.fetch_add(aes_blocks, Ordering::Relaxed);
+}
+
+pub(crate) fn count_batch(backend: Backend) {
+    OPS[backend.index()]
+        .batched_calls
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_mac(backend: Backend) {
+    OPS[backend.index()]
+        .mac_tags
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Backend::Portable.name(), "portable");
+        assert_eq!(Backend::Accelerated.name(), "accelerated");
+        assert!(Backend::Accelerated.is_accelerated());
+        assert!(!Backend::Portable.is_accelerated());
+    }
+
+    #[test]
+    fn active_is_consistent_with_capability() {
+        // Whatever the override says, an accelerated selection requires
+        // the CPU to actually have the features.
+        if active().is_accelerated() {
+            assert!(accel_available());
+        }
+    }
+
+    #[test]
+    fn ops_accumulate() {
+        let before = ops(Backend::Portable);
+        count_keystream(Backend::Portable, 1, 4);
+        count_mac(Backend::Portable);
+        count_batch(Backend::Portable);
+        let after = ops(Backend::Portable);
+        assert!(after.keystream_calls > before.keystream_calls);
+        assert!(after.keystream_blocks >= before.keystream_blocks + 4);
+        assert!(after.mac_tags > before.mac_tags);
+        assert!(after.batched_calls > before.batched_calls);
+    }
+
+    #[test]
+    fn host_features_reports_something() {
+        let f = host_features();
+        assert!(!f.is_empty());
+    }
+}

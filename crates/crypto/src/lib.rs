@@ -29,14 +29,21 @@
 //! assert!(cipher.verify_block(addr, ctr, &ct, tag));
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is `unsafe`-free except for the audited intrinsics in
+// [`accel`], which opts back in with `#![allow(unsafe_code)]` and keeps
+// every unsafe block behind a documented safety invariant.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod accel;
 pub mod aes;
+pub mod backend;
 pub mod ctr;
 pub mod mac;
 
 use aes::Aes128;
+use std::sync::Arc;
 
 /// Size of a protected memory block in bytes.
 pub const BLOCK_BYTES: usize = 64;
@@ -58,6 +65,10 @@ pub struct MemoryCipher {
     data_key: Aes128,
     mac_key: Aes128,
     hash_key: u64,
+    /// Per-hash-key flip-and-check contribution table, computed once at
+    /// key derivation and shared by every [`mac::MacProbe`] this cipher
+    /// builds (512 GF multiplies saved per probe).
+    probe_table: Arc<[u64; 512]>,
 }
 
 impl MemoryCipher {
@@ -83,6 +94,7 @@ impl MemoryCipher {
             data_key,
             mac_key,
             hash_key,
+            probe_table: mac::probe_contributions(hash_key),
         }
     }
 
@@ -114,6 +126,30 @@ impl MemoryCipher {
         self.encrypt_block(addr, counter, ct)
     }
 
+    /// Generates the keystreams for many `(addr, counter)` nonces in one
+    /// pipelined pass — the bulk-path primitive for group re-encryption,
+    /// page swaps and batched shard drains. XOR-ing a block with its
+    /// keystream encrypts *and* decrypts (counter mode is an involution).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ame_crypto::MemoryCipher;
+    ///
+    /// let cipher = MemoryCipher::from_seed(7);
+    /// let nonces = [(0x0, 1), (0x40, 2)];
+    /// let ks = cipher.keystream_batch(&nonces);
+    /// let mut block = [0x5au8; 64];
+    /// for (b, k) in block.iter_mut().zip(ks[1].iter()) {
+    ///     *b ^= k;
+    /// }
+    /// assert_eq!(block, cipher.encrypt_block(0x40, 2, &[0x5au8; 64]));
+    /// ```
+    #[must_use]
+    pub fn keystream_batch(&self, nonces: &[(u64, u64)]) -> Vec<[u8; BLOCK_BYTES]> {
+        ctr::keystream_batch(&self.data_key, nonces)
+    }
+
     /// Computes the 56-bit Carter-Wegman MAC tag over a ciphertext block,
     /// bound to its address and counter (Bonsai-Merkle-Tree style: the
     /// counter is an input to the MAC, so counter integrity implies data
@@ -141,7 +177,14 @@ impl MemoryCipher {
     /// over `ct` under nonce `(addr, counter)`.
     #[must_use]
     pub fn mac_probe(&self, addr: u64, counter: u64, ct: &[u8; BLOCK_BYTES]) -> mac::MacProbe {
-        mac::MacProbe::new(&self.mac_key, self.hash_key, addr, counter, ct)
+        mac::MacProbe::with_contributions(
+            &self.mac_key,
+            self.hash_key,
+            addr,
+            counter,
+            ct,
+            Arc::clone(&self.probe_table),
+        )
     }
 }
 

@@ -17,16 +17,37 @@
 //! `x^64 + x^4 + x^3 + x + 1`.
 
 use crate::aes::Aes128;
-use crate::ctr::mac_pad;
+use crate::backend::{self, Backend};
+use crate::ctr::mac_pad_with;
 use crate::{BLOCK_BYTES, TAG_MASK};
+use std::sync::Arc;
 
 /// Low 64 bits of the reduction polynomial `x^64 + x^4 + x^3 + x + 1`.
 const POLY: u64 = 0x1b;
 
 /// Carry-less multiplication of two 64-bit values, returning the 128-bit
-/// product as `(high, low)`.
+/// product as `(high, low)`, on the process-wide active backend (one
+/// PCLMULQDQ instruction when available; a 64-iteration bit loop
+/// otherwise).
 #[must_use]
 pub fn clmul(a: u64, b: u64) -> (u64, u64) {
+    clmul_with(backend::active(), a, b)
+}
+
+/// [`clmul`] on an explicitly chosen backend.
+#[must_use]
+pub fn clmul_with(backend: Backend, a: u64, b: u64) -> (u64, u64) {
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() && backend::accel_available() {
+        return crate::accel::clmul(a, b);
+    }
+    let _ = backend;
+    clmul_portable(a, b)
+}
+
+/// The byte-oriented reference carry-less multiply (the cross-check
+/// baseline for the PCLMULQDQ path).
+fn clmul_portable(a: u64, b: u64) -> (u64, u64) {
     let mut lo = 0u64;
     let mut hi = 0u64;
     for i in 0..64 {
@@ -40,7 +61,8 @@ pub fn clmul(a: u64, b: u64) -> (u64, u64) {
     (hi, lo)
 }
 
-/// Multiplication in GF(2^64) modulo `x^64 + x^4 + x^3 + x + 1`.
+/// Multiplication in GF(2^64) modulo `x^64 + x^4 + x^3 + x + 1`, on the
+/// process-wide active backend.
 ///
 /// # Example
 ///
@@ -54,13 +76,24 @@ pub fn clmul(a: u64, b: u64) -> (u64, u64) {
 /// ```
 #[must_use]
 pub fn gf64_mul(a: u64, b: u64) -> u64 {
-    let (mut hi, mut lo) = clmul(a, b);
+    gf64_mul_with(backend::active(), a, b)
+}
+
+/// [`gf64_mul`] on an explicitly chosen backend.
+#[must_use]
+pub fn gf64_mul_with(backend: Backend, a: u64, b: u64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_accelerated() && backend::accel_available() {
+        return crate::accel::gf64_mul(a, b);
+    }
+    let _ = backend;
+    let (mut hi, mut lo) = clmul_portable(a, b);
     // Reduce the high 64 bits twice: folding hi multiplies it by x^64 ≡ POLY.
     for _ in 0..2 {
         if hi == 0 {
             break;
         }
-        let (h2, l2) = clmul(hi, POLY);
+        let (h2, l2) = clmul_portable(hi, POLY);
         hi = h2;
         lo ^= l2;
     }
@@ -70,11 +103,18 @@ pub fn gf64_mul(a: u64, b: u64) -> u64 {
 /// Polynomial-evaluation hash of a 64-byte block under hash key `h`.
 #[must_use]
 pub fn poly_hash(h: u64, block: &[u8; BLOCK_BYTES]) -> u64 {
+    poly_hash_with(backend::active(), h, block)
+}
+
+/// [`poly_hash`] on an explicitly chosen backend (the backend is
+/// resolved once for all eight word multiplies).
+#[must_use]
+pub fn poly_hash_with(backend: Backend, h: u64, block: &[u8; BLOCK_BYTES]) -> u64 {
     let mut acc = 0u64;
     for chunk in block.chunks_exact(8) {
         let mut w = [0u8; 8];
         w.copy_from_slice(chunk);
-        acc = gf64_mul(acc ^ u64::from_le_bytes(w), h);
+        acc = gf64_mul_with(backend, acc ^ u64::from_le_bytes(w), h);
     }
     acc
 }
@@ -88,8 +128,22 @@ pub fn tag_full(
     counter: u64,
     block: &[u8; BLOCK_BYTES],
 ) -> u64 {
-    let hash = poly_hash(hash_key, block);
-    let pad = mac_pad(mac_key, addr, counter);
+    tag_full_with(backend::active(), mac_key, hash_key, addr, counter, block)
+}
+
+/// [`tag_full`] on an explicitly chosen backend.
+#[must_use]
+pub fn tag_full_with(
+    backend: Backend,
+    mac_key: &Aes128,
+    hash_key: u64,
+    addr: u64,
+    counter: u64,
+    block: &[u8; BLOCK_BYTES],
+) -> u64 {
+    let hash = poly_hash_with(backend, hash_key, block);
+    let pad = mac_pad_with(backend, mac_key, addr, counter);
+    backend::count_mac(backend);
     let mut p8 = [0u8; 8];
     p8.copy_from_slice(&pad[..8]);
     hash ^ u64::from_le_bytes(p8)
@@ -108,6 +162,44 @@ pub fn tag(
     tag_full(mac_key, hash_key, addr, counter, block) & TAG_MASK
 }
 
+/// [`tag`] on an explicitly chosen backend.
+#[must_use]
+pub fn tag_with(
+    backend: Backend,
+    mac_key: &Aes128,
+    hash_key: u64,
+    addr: u64,
+    counter: u64,
+    block: &[u8; BLOCK_BYTES],
+) -> u64 {
+    tag_full_with(backend, mac_key, hash_key, addr, counter, block) & TAG_MASK
+}
+
+/// Precomputes the 512 per-bit tag contributions of hash key `h`:
+/// entry `word * 64 + bit` is the XOR a flip of that message bit applies
+/// to the tag. The table depends **only on the hash key**, so callers
+/// that probe many blocks under one key (the engine's flip-and-check
+/// corrector) should build it once — [`crate::MemoryCipher`] caches it
+/// per key instead of rebuilding it on every probe.
+#[must_use]
+pub fn probe_contributions(h: u64) -> Arc<[u64; 512]> {
+    // h_pow[w] = H^(8-w): the multiplier applied to word w by the
+    // Horner evaluation in `poly_hash`.
+    let mut h_pow = [0u64; 8];
+    h_pow[7] = h;
+    for w in (0..7).rev() {
+        h_pow[w] = gf64_mul(h_pow[w + 1], h);
+    }
+    let mut contributions = Arc::new([0u64; 512]);
+    let table = Arc::get_mut(&mut contributions).expect("freshly created");
+    for word in 0..8 {
+        for bit in 0..64 {
+            table[word * 64 + bit] = gf64_mul(1u64 << bit, h_pow[word]);
+        }
+    }
+    contributions
+}
+
 /// Precomputed state for *flip-and-check* error correction (Section 3.4).
 ///
 /// The polynomial hash is GF(2^64)-linear in the message, so the tag of a
@@ -120,11 +212,15 @@ pub fn tag(
 #[derive(Debug, Clone)]
 pub struct MacProbe {
     base_tag_full: u64,
-    contributions: Box<[u64; 512]>,
+    contributions: Arc<[u64; 512]>,
 }
 
 impl MacProbe {
-    /// Builds a probe for ciphertext `block` under nonce `(addr, counter)`.
+    /// Builds a probe for ciphertext `block` under nonce `(addr, counter)`,
+    /// computing the contribution table from scratch. Callers probing
+    /// many blocks under one key should precompute the table once with
+    /// [`probe_contributions`] and use [`MacProbe::with_contributions`]
+    /// (which is what [`crate::MemoryCipher::mac_probe`] does).
     #[must_use]
     pub fn new(
         mac_key: &Aes128,
@@ -133,22 +229,30 @@ impl MacProbe {
         counter: u64,
         block: &[u8; BLOCK_BYTES],
     ) -> Self {
-        let base_tag_full = tag_full(mac_key, hash_key, addr, counter, block);
-        // h_pow[w] = H^(8-w): the multiplier applied to word w by the
-        // Horner evaluation in `poly_hash`.
-        let mut h_pow = [0u64; 8];
-        h_pow[7] = hash_key;
-        for w in (0..7).rev() {
-            h_pow[w] = gf64_mul(h_pow[w + 1], hash_key);
-        }
-        let mut contributions = Box::new([0u64; 512]);
-        for word in 0..8 {
-            for bit in 0..64 {
-                contributions[word * 64 + bit] = gf64_mul(1u64 << bit, h_pow[word]);
-            }
-        }
+        Self::with_contributions(
+            mac_key,
+            hash_key,
+            addr,
+            counter,
+            block,
+            probe_contributions(hash_key),
+        )
+    }
+
+    /// Builds a probe reusing a per-key contribution table from
+    /// [`probe_contributions`] — only the base tag (one MAC) is computed
+    /// per block, instead of 512 GF multiplies per probe.
+    #[must_use]
+    pub fn with_contributions(
+        mac_key: &Aes128,
+        hash_key: u64,
+        addr: u64,
+        counter: u64,
+        block: &[u8; BLOCK_BYTES],
+        contributions: Arc<[u64; 512]>,
+    ) -> Self {
         Self {
-            base_tag_full,
+            base_tag_full: tag_full(mac_key, hash_key, addr, counter, block),
             contributions,
         }
     }
@@ -289,6 +393,43 @@ mod tests {
                 tag(&k, h, 0, 1, &flipped),
                 "{a},{b}"
             );
+        }
+    }
+
+    #[test]
+    fn cached_contribution_table_matches_fresh_probe() {
+        let k = Aes128::new(&[5u8; 16]);
+        let h = 0x1357_9bdf_2468_ace1;
+        let table = probe_contributions(h);
+        let block = [0x7eu8; 64];
+        let fresh = MacProbe::new(&k, h, 0x80, 3, &block);
+        let cached = MacProbe::with_contributions(&k, h, 0x80, 3, &block, Arc::clone(&table));
+        assert_eq!(fresh.base_tag(), cached.base_tag());
+        for bit in (0..512).step_by(37) {
+            assert_eq!(fresh.tag_with_flip(bit), cached.tag_with_flip(bit));
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_gf_arithmetic() {
+        // Trivially true on portable-only hosts; pins the dispatch seam
+        // on AES-NI/PCLMULQDQ hosts.
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, u64::MAX),
+            (0xdead_beef_cafe_f00d, 0x0123_4567_89ab_cdef),
+            (1 << 63, 1 << 63),
+        ] {
+            for backend in Backend::ALL {
+                assert_eq!(
+                    clmul_with(backend, a, b),
+                    clmul_with(Backend::Portable, a, b)
+                );
+                assert_eq!(
+                    gf64_mul_with(backend, a, b),
+                    gf64_mul_with(Backend::Portable, a, b)
+                );
+            }
         }
     }
 

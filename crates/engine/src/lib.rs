@@ -421,6 +421,13 @@ impl MemoryEncryptionEngine {
     /// Encrypt + MAC + store one plaintext block under `counter`.
     fn seal(&mut self, addr: u64, counter: u64, plain: &[u8; BLOCK_BYTES]) {
         let ct = self.cipher.encrypt_block(addr, counter, plain);
+        self.seal_ciphertext(addr, counter, ct);
+    }
+
+    /// MAC + store an already-encrypted block under `counter` — the tail
+    /// of [`Self::seal`], split out so bulk paths that produce ciphertext
+    /// from batched keystreams can skip the per-block encrypt call.
+    fn seal_ciphertext(&mut self, addr: u64, counter: u64, ct: [u8; BLOCK_BYTES]) {
         let tag = self.cipher.mac_block(addr, counter, &ct);
         let sideband = match self.config.mac_placement {
             MacPlacement::MacInEcc => MacSideband::new(tag, &ct).to_bytes(),
@@ -451,19 +458,39 @@ impl MemoryEncryptionEngine {
 
     /// Re-encrypts every *resident* block of an overflowed group under the
     /// fresh counter (Section 4.2: sequential read-decrypt-encrypt-write).
+    ///
+    /// Counter mode lets the decrypt and re-encrypt collapse into one XOR
+    /// with the combined old⊕new keystream, and both keystream sets for
+    /// the whole group are generated as pipelined batches rather than one
+    /// AES call per block — re-encryption is the engine's worst-case
+    /// latency event, so it gets the full batched path.
     fn reencrypt_group(&mut self, group: u64, old_counters: &[u64], new_counter: u64) {
         let bpg = self.counters.blocks_per_group() as u64;
-        for (i, &old_ctr) in old_counters.iter().enumerate() {
-            let block = group * bpg + i as u64;
-            let addr = Self::block_addr(block);
-            if !self.storage.contains(addr) {
-                // Never-touched blocks stay zero; they will be sealed under
-                // the new counter on first use.
-                continue;
+        // Never-touched blocks stay zero; they will be sealed under the
+        // new counter on first use.
+        let resident: Vec<(u64, u64)> = old_counters
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &old_ctr)| {
+                let addr = Self::block_addr(group * bpg + i as u64);
+                self.storage.contains(addr).then_some((addr, old_ctr))
+            })
+            .collect();
+        if resident.is_empty() {
+            return;
+        }
+        let old_ks = self.cipher.keystream_batch(&resident);
+        let new_nonces: Vec<(u64, u64)> = resident
+            .iter()
+            .map(|&(addr, _)| (addr, new_counter))
+            .collect();
+        let new_ks = self.cipher.keystream_batch(&new_nonces);
+        for ((&(addr, _), old), new) in resident.iter().zip(&old_ks).zip(&new_ks) {
+            let mut ct = self.storage.read(addr).data;
+            for ((c, o), n) in ct.iter_mut().zip(old.iter()).zip(new.iter()) {
+                *c ^= o ^ n;
             }
-            let stored = self.storage.read(addr);
-            let plain = self.cipher.decrypt_block(addr, old_ctr, &stored.data);
-            self.seal(addr, new_counter, &plain);
+            self.seal_ciphertext(addr, new_counter, ct);
             self.stats.reencrypted_blocks += 1;
         }
     }

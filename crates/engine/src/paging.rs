@@ -132,17 +132,23 @@ impl PagingController {
         let version = self.next_version;
         self.next_version += 1;
 
+        // Nonce: (address, version) — the same shape as the engine's
+        // (address, counter), in the paging key's domain. All 64 block
+        // keystreams are generated as one pipelined batch.
         let mut blocks = Vec::with_capacity(PAGE_BLOCKS);
-        let mut macs = Vec::with_capacity(PAGE_BLOCKS);
+        let mut nonces = Vec::with_capacity(PAGE_BLOCKS);
         for i in 0..PAGE_BLOCKS as u64 {
             let addr = page_addr + i * BLOCK_BYTES as u64;
-            let plain = engine.read_block(addr)?;
-            // Nonce: (address, version) — the same shape as the engine's
-            // (address, counter), in the paging key's domain.
-            let ct = self.swap_cipher.encrypt_block(addr, version, &plain);
-            let mac = self.swap_cipher.mac_block(addr, version, &ct);
-            blocks.push(ct);
-            macs.push(mac);
+            blocks.push(engine.read_block(addr)?);
+            nonces.push((addr, version));
+        }
+        let mut macs = Vec::with_capacity(PAGE_BLOCKS);
+        let keystreams = self.swap_cipher.keystream_batch(&nonces);
+        for ((ct, ks), &(addr, _)) in blocks.iter_mut().zip(&keystreams).zip(&nonces) {
+            for (c, k) in ct.iter_mut().zip(ks.iter()) {
+                *c ^= k;
+            }
+            macs.push(self.swap_cipher.mac_block(addr, version, ct));
         }
         self.live.insert(page_addr, version);
         Ok(SwappedPage {
@@ -170,24 +176,26 @@ impl PagingController {
             Some(&v) if v == page.version => {}
             _ => return Err(SwapError::StaleVersion),
         }
-        // Verify everything before touching protected memory.
-        let mut plains = Vec::with_capacity(PAGE_BLOCKS);
-        for i in 0..PAGE_BLOCKS {
-            let addr = page.page_addr + (i as u64) * BLOCK_BYTES as u64;
+        // Verify everything before touching protected memory, then
+        // decrypt the whole page with one batched keystream pass.
+        let nonces: Vec<(u64, u64)> = (0..PAGE_BLOCKS as u64)
+            .map(|i| (page.page_addr + i * BLOCK_BYTES as u64, page.version))
+            .collect();
+        for (i, &(addr, _)) in nonces.iter().enumerate() {
             if !self
                 .swap_cipher
                 .verify_block(addr, page.version, &page.blocks[i], page.macs[i])
             {
                 return Err(SwapError::Tampered { block: i });
             }
-            plains.push(
-                self.swap_cipher
-                    .decrypt_block(addr, page.version, &page.blocks[i]),
-            );
         }
-        for (i, plain) in plains.iter().enumerate() {
-            let addr = page.page_addr + (i as u64) * BLOCK_BYTES as u64;
-            engine.write_block(addr, plain);
+        let keystreams = self.swap_cipher.keystream_batch(&nonces);
+        for ((ct, ks), &(addr, _)) in page.blocks.iter().zip(&keystreams).zip(&nonces) {
+            let mut plain = *ct;
+            for (p, k) in plain.iter_mut().zip(ks.iter()) {
+                *p ^= k;
+            }
+            engine.write_block(addr, &plain);
         }
         self.live.remove(&page.page_addr);
         Ok(())

@@ -539,7 +539,24 @@ impl SecureStore {
     /// the instantaneous `queue_depth` gauge and `overloads` counter,
     /// and the shard engine's own metrics under
     /// `<scope>/shard<N>/engine/...`.
+    ///
+    /// Process-wide crypto-backend state (which implementation is
+    /// serving, per-backend operation counts) is recorded once under
+    /// `<scope>/crypto/...` — the counters are global across shards, so
+    /// per-shard attribution would double-count them.
     pub fn collect(&self, registry: &mut StatsRegistry, scope: &str) {
+        registry.set_gauge(
+            &format!("{scope}/crypto/backend_accelerated"),
+            u64::from(ame_crypto::backend::active().is_accelerated()) as f64,
+        );
+        for backend in ame_crypto::backend::Backend::ALL {
+            let ops = ame_crypto::backend::ops(backend);
+            let prefix = format!("{scope}/crypto/{backend}");
+            registry.set_counter(&format!("{prefix}/keystream_calls"), ops.keystream_calls);
+            registry.set_counter(&format!("{prefix}/keystream_blocks"), ops.keystream_blocks);
+            registry.set_counter(&format!("{prefix}/batched_calls"), ops.batched_calls);
+            registry.set_counter(&format!("{prefix}/mac_tags"), ops.mac_tags);
+        }
         for shard in 0..self.config.shards {
             let (reply, response) = sync_channel(1);
             if self.senders[shard]
@@ -838,6 +855,20 @@ mod tests {
             // The shard's engine telemetry is nested underneath.
             assert!(snap.counter(&p("engine/reads")).unwrap() >= 16);
         }
+        // Process-wide crypto-backend telemetry appears once, not per
+        // shard, and the active backend has served this test's traffic.
+        assert!(snap.gauge("store/crypto/backend_accelerated").is_some());
+        let active = ame_crypto::backend::active();
+        assert!(
+            snap.counter(&format!("store/crypto/{active}/keystream_calls"))
+                .unwrap()
+                > 0
+        );
+        assert!(
+            snap.counter(&format!("store/crypto/{active}/mac_tags"))
+                .unwrap()
+                > 0
+        );
         let _ = store.shutdown();
     }
 
