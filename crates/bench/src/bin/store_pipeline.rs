@@ -1,0 +1,68 @@
+//! Latency-under-load sweep of the pipelined session front-end.
+//!
+//! A **single** open-loop client drives a
+//! [`SecureStore`](ame_store::SecureStore) through a
+//! [`Session`](ame_store::Session), sweeping the in-flight window
+//! {1, 4, 16, 64} at 1 and 4 shards with fixed total capacity and
+//! footprint. Window 1 is the blocking-equivalent baseline; deeper
+//! windows show how much throughput one client buys by pipelining (shard
+//! parallelism plus write fusion feeding the batched crypto path) and
+//! what it pays in client-observed p50/p99 submit→completion latency.
+//! Writes `results/store_pipeline.json`.
+//!
+//! Usage: `cargo run -p ame-bench --bin store_pipeline --release \
+//!     [ops_per_point] [footprint_blocks] [max_window] [read_pct]`
+
+use ame_bench::store_load::{self, LoadConfig};
+use ame_bench::{parse_arg, results};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let defaults = LoadConfig::default();
+    let ops_per_point: usize = parse_arg(
+        args.next(),
+        "ops per point",
+        defaults.batches_per_client * defaults.batch,
+    );
+    let footprint_blocks: u64 =
+        parse_arg(args.next(), "footprint blocks", defaults.footprint_blocks);
+    let max_window: usize = parse_arg(args.next(), "max window", 64);
+    let read_pct: f64 = parse_arg(
+        args.next(),
+        "read percentage",
+        defaults.read_fraction * 100.0,
+    );
+
+    // Reuse the load-config batch fields as op totals: one "client" with
+    // `batch == 1` makes ops_per_point == batches_per_client.
+    let cfg = LoadConfig {
+        clients: 1,
+        batch: 1,
+        batches_per_client: ops_per_point,
+        warmup_batches: (ops_per_point / 8).max(16),
+        footprint_blocks,
+        read_fraction: (read_pct / 100.0).clamp(0.0, 1.0),
+        ..defaults
+    };
+    let windows: Vec<usize> = [1usize, 4, 16, 64]
+        .into_iter()
+        .filter(|&w| w <= max_window)
+        .collect();
+    let shard_counts = [1usize, 4];
+
+    let points = store_load::run_pipeline_sweep(&cfg, &shard_counts, &windows);
+    store_load::print_pipeline(&cfg, &points);
+    println!();
+
+    for &shards in &shard_counts {
+        for &w in windows.iter().filter(|&&w| w > 1) {
+            if let Some(ratio) = store_load::pipeline_speedup(&points, shards, w) {
+                println!("1-client w{w}/w1 @{shards} shards: {ratio:.2}x");
+            }
+        }
+    }
+    println!();
+
+    let (doc, headline) = store_load::pipeline_to_json(&cfg, &points);
+    results::write_and_summarize("store_pipeline", &headline, &doc);
+}

@@ -1,10 +1,18 @@
-//! Closed-loop load generation for the `store_throughput` experiment.
+//! Load generation for the `store_throughput` (closed-loop, blocking
+//! API) and `store_pipeline` (open-loop, session API) experiments.
 //!
-//! Drives an [`ame_store::SecureStore`] with a configurable number of
-//! client threads, each submitting fixed-size [`SecureStore::submit_batch`]
+//! The closed-loop driver spawns a configurable number of client
+//! threads, each submitting fixed-size [`SecureStore::submit_batch`]
 //! batches of reads and writes over a uniform or zipfian key-popularity
 //! distribution, and sweeps the shard count at **fixed total capacity**
 //! (shard capacity shrinks as shards grow).
+//!
+//! The pipelined driver ([`run_pipeline_point`]) is the opposite
+//! experiment: **one** client thread keeps up to `window` operations in
+//! flight through a [`Session`](ame_store::Session) and measures the
+//! client-observed submit→completion latency of every operation, so the
+//! sweep over window sizes shows how much throughput a single client
+//! buys by pipelining — and what it pays in per-op latency.
 //!
 //! The interesting effect on a host with few cores is architectural, not
 //! thread-level: each shard's engine has its own fixed-size on-chip
@@ -20,8 +28,9 @@
 use crate::results;
 use ame_engine::{EngineConfig, BLOCK_BYTES};
 use ame_prng::StdRng;
-use ame_store::{SecureStore, StoreConfig, StoreOp};
-use ame_telemetry::Json;
+use ame_store::{SecureStore, Session, SessionConfig, StoreConfig, StoreError, StoreOp, Ticket};
+use ame_telemetry::{Histogram, Json};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -206,16 +215,12 @@ fn make_batch(rng: &mut StdRng, sampler: &Sampler, cfg: &LoadConfig) -> Vec<Stor
         .collect()
 }
 
-/// Runs one shard count under `cfg` and reports the measured point.
-///
-/// The store's *total* capacity is fixed at the footprint regardless of
-/// the shard count; clients populate every block, warm up, then run a
-/// measured closed loop. Telemetry is the measured-window delta, so
-/// populate/warmup traffic does not dilute hit rates or histograms.
-#[must_use]
-pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
+/// Builds the store for one sweep point: fixed total capacity split
+/// over `shards`, the per-shard metadata cache and tree depth from the
+/// config.
+fn build_store(shards: usize, cfg: &LoadConfig) -> SecureStore {
     let shard_bytes = cfg.footprint_blocks.div_ceil(shards as u64) * BLOCK_BYTES as u64;
-    let store = Arc::new(SecureStore::new(StoreConfig {
+    SecureStore::new(StoreConfig {
         shards,
         shard_bytes,
         queue_depth: 128,
@@ -225,10 +230,12 @@ pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
             tree_levels: cfg.tree_levels,
             ..EngineConfig::default()
         },
-    }));
+    })
+}
 
-    // Populate the whole footprint so the measured phase never reads
-    // never-written (trivially zero) blocks.
+/// Populates the whole footprint so the measured phase never reads
+/// never-written (trivially zero) blocks.
+fn populate(store: &SecureStore, cfg: &LoadConfig) {
     let mut seed_rng = StdRng::seed_from_u64(cfg.seed);
     for chunk_start in (0..cfg.footprint_blocks).step_by(512) {
         let ops: Vec<StoreOp> = (chunk_start..(chunk_start + 512).min(cfg.footprint_blocks))
@@ -245,13 +252,29 @@ pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
             assert!(r.is_ok(), "populate must succeed");
         }
     }
+}
 
-    let sampler = match cfg.mix {
+fn make_sampler(cfg: &LoadConfig) -> Sampler {
+    match cfg.mix {
         KeyMix::Uniform => Sampler::Uniform {
             blocks: cfg.footprint_blocks,
         },
         KeyMix::Zipfian { theta } => Sampler::Zipf(Zipf::new(cfg.footprint_blocks, theta)),
-    };
+    }
+}
+
+/// Runs one shard count under `cfg` and reports the measured point.
+///
+/// The store's *total* capacity is fixed at the footprint regardless of
+/// the shard count; clients populate every block, warm up, then run a
+/// measured closed loop. Telemetry is the measured-window delta, so
+/// populate/warmup traffic does not dilute hit rates or histograms.
+#[must_use]
+pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
+    let store = Arc::new(build_store(shards, cfg));
+    populate(&store, cfg);
+
+    let sampler = make_sampler(cfg);
 
     // Clients warm up, rendezvous, then run the measured loop.
     let start_line = Arc::new(Barrier::new(cfg.clients + 1));
@@ -382,6 +405,313 @@ pub fn scaling_1_to_4(points: &[SweepPoint]) -> Option<f64> {
     Some(four.ops_per_sec / one.ops_per_sec)
 }
 
+/// One measured point of the pipeline sweep: a single open-loop client
+/// holding up to `window` operations in flight against `shards` shards.
+#[derive(Debug)]
+pub struct PipelinePoint {
+    /// Shard count of this point.
+    pub shards: usize,
+    /// In-flight window (client-side cap and per-shard session window).
+    pub window: usize,
+    /// Operations completed in the measured window.
+    pub ops: u64,
+    /// Measured wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Single-client throughput.
+    pub ops_per_sec: f64,
+    /// Operations whose completion carried an error (0 on a healthy run).
+    pub errors: u64,
+    /// Median client-observed submit→completion latency.
+    pub p50_latency_ns: u64,
+    /// Tail client-observed submit→completion latency.
+    pub p99_latency_ns: u64,
+    /// Mean client-observed submit→completion latency.
+    pub mean_latency_ns: f64,
+    /// Mean time an op spent queued before a worker picked it up.
+    pub queue_wait_mean_ns: f64,
+    /// Mean time an op spent in service (its share of a fused batch).
+    pub service_mean_ns: f64,
+    /// Measured-window telemetry: per-shard stats under `"store"`, the
+    /// session's pipeline stats under `"session"`.
+    pub telemetry: Json,
+}
+
+/// Open-loop windowed driver: keeps up to `window` operations in flight,
+/// reaping one completion whenever the window is full (or the store
+/// pushes back), until `total` operations have completed. With
+/// `window == 1` this degenerates to the blocking submit/wait cycle, so
+/// window 1 is the baseline the speedups are measured against.
+fn drive_pipeline(
+    session: &mut Session<'_>,
+    rng: &mut StdRng,
+    sampler: &Sampler,
+    cfg: &LoadConfig,
+    window: usize,
+    total: u64,
+    mut latency: Option<&mut Histogram>,
+) -> u64 {
+    let mut in_flight: HashMap<Ticket, Instant> = HashMap::with_capacity(window);
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    while completed < total {
+        while in_flight.len() < window && submitted < total {
+            let addr = sampler.sample(rng) * BLOCK_BYTES as u64;
+            let op = if rng.gen_bool(cfg.read_fraction) {
+                StoreOp::Read { addr }
+            } else {
+                let mut data = [0u8; BLOCK_BYTES];
+                rng.fill(&mut data);
+                StoreOp::Write { addr, data }
+            };
+            match session.submit(op) {
+                Ok(ticket) => {
+                    in_flight.insert(ticket, Instant::now());
+                    submitted += 1;
+                }
+                // Shard queue or per-shard window full: fall through to
+                // reap a completion, which frees capacity.
+                Err(StoreError::Overloaded { .. }) => break,
+                Err(e) => panic!("pipeline submit failed: {e}"),
+            }
+        }
+        let (ticket, result) = session
+            .wait_any()
+            .expect("ops are in flight whenever completions are awaited");
+        if let Some(start) = in_flight.remove(&ticket) {
+            if let Some(lat) = latency.as_deref_mut() {
+                lat.record(start.elapsed().as_nanos() as u64);
+            }
+        }
+        completed += 1;
+        errors += u64::from(result.is_err());
+    }
+    errors
+}
+
+/// Runs one (shards, window) point of the `store_pipeline` experiment.
+///
+/// A single client thread drives the store through a pipelined
+/// [`Session`]; `cfg.batches_per_client × cfg.batch` operations are
+/// measured after `cfg.warmup_batches × cfg.batch` warmup operations
+/// (the same totals as one closed-loop client, for comparability).
+/// Latency is client-observed submit→completion time; the queue/service
+/// split comes from the session's measured-window telemetry.
+#[must_use]
+pub fn run_pipeline_point(shards: usize, window: usize, cfg: &LoadConfig) -> PipelinePoint {
+    assert!(window >= 1, "window must admit at least one op");
+    let store = build_store(shards, cfg);
+    populate(&store, cfg);
+    let sampler = make_sampler(cfg);
+    let mut session = store.session_with(SessionConfig {
+        in_flight_window: window,
+    });
+
+    let warmup_ops = (cfg.warmup_batches * cfg.batch) as u64;
+    let total_ops = (cfg.batches_per_client * cfg.batch) as u64;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5E55_10AD);
+    drive_pipeline(
+        &mut session,
+        &mut rng,
+        &sampler,
+        cfg,
+        window,
+        warmup_ops,
+        None,
+    );
+
+    let store_before = store.telemetry();
+    let session_before = session.telemetry();
+    let mut latency = Histogram::new();
+    let start = Instant::now();
+    let errors = drive_pipeline(
+        &mut session,
+        &mut rng,
+        &sampler,
+        cfg,
+        window,
+        total_ops,
+        Some(&mut latency),
+    );
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let store_window = store.telemetry().delta(&store_before);
+    let session_window = session.telemetry().delta(&session_before);
+    drop(session);
+    let _ = store.shutdown();
+
+    let split_mean = |name: &str| {
+        session_window
+            .histogram(&format!("store/session/{name}"))
+            .map_or(0.0, |h| h.mean())
+    };
+    let mut telemetry = Json::object();
+    telemetry.push("store", store_window.to_json());
+    telemetry.push("session", session_window.to_json());
+    PipelinePoint {
+        shards,
+        window,
+        ops: total_ops,
+        elapsed_s,
+        ops_per_sec: total_ops as f64 / elapsed_s,
+        errors,
+        p50_latency_ns: latency.quantile(0.5),
+        p99_latency_ns: latency.quantile(0.99),
+        mean_latency_ns: latency.mean(),
+        queue_wait_mean_ns: split_mean("queue_wait_ns"),
+        service_mean_ns: split_mean("service_ns"),
+        telemetry,
+    }
+}
+
+/// Runs the full window × shard grid of the pipeline experiment.
+#[must_use]
+pub fn run_pipeline_sweep(
+    cfg: &LoadConfig,
+    shard_counts: &[usize],
+    windows: &[usize],
+) -> Vec<PipelinePoint> {
+    let mut points = Vec::with_capacity(shard_counts.len() * windows.len());
+    for &shards in shard_counts {
+        for &window in windows {
+            points.push(run_pipeline_point(shards, window, cfg));
+        }
+    }
+    points
+}
+
+/// Prints the pipeline sweep as an aligned table; speedups are relative
+/// to window 1 at the same shard count (the blocking-equivalent
+/// baseline).
+pub fn print_pipeline(cfg: &LoadConfig, points: &[PipelinePoint]) {
+    println!(
+        "pipelined single client: mix={} reads={:.0}% footprint={} blocks \
+         cache={} blocks/shard tree={} levels",
+        cfg.mix.name(),
+        cfg.read_fraction * 100.0,
+        cfg.footprint_blocks,
+        cfg.cache_blocks_per_shard,
+        cfg.tree_levels,
+    );
+    println!(
+        "{:>7} {:>7} {:>8} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>7}",
+        "shards",
+        "window",
+        "ops",
+        "kops/s",
+        "speedup",
+        "p50-us",
+        "p99-us",
+        "queue-us",
+        "svc-us",
+        "errors"
+    );
+    for p in points {
+        let base = points
+            .iter()
+            .find(|q| q.shards == p.shards && q.window == 1)
+            .map_or(0.0, |q| q.ops_per_sec);
+        println!(
+            "{:>7} {:>7} {:>8} {:>10.1} {:>8.2}x {:>9.2} {:>9.2} {:>10.2} {:>10.2} {:>7}",
+            p.shards,
+            p.window,
+            p.ops,
+            p.ops_per_sec / 1e3,
+            if base > 0.0 {
+                p.ops_per_sec / base
+            } else {
+                0.0
+            },
+            p.p50_latency_ns as f64 / 1e3,
+            p.p99_latency_ns as f64 / 1e3,
+            p.queue_wait_mean_ns / 1e3,
+            p.service_mean_ns / 1e3,
+            p.errors,
+        );
+    }
+}
+
+/// `ops/sec(window=to) / ops/sec(window=1)` at `shards` shards — the
+/// pipeline experiment's headline number.
+#[must_use]
+pub fn pipeline_speedup(points: &[PipelinePoint], shards: usize, to: usize) -> Option<f64> {
+    let base = points
+        .iter()
+        .find(|p| p.shards == shards && p.window == 1)?;
+    let deep = points
+        .iter()
+        .find(|p| p.shards == shards && p.window == to)?;
+    Some(deep.ops_per_sec / base.ops_per_sec)
+}
+
+/// Serialises the pipeline experiment into the common results envelope
+/// and returns `(document, headline metric)`.
+#[must_use]
+pub fn pipeline_to_json(cfg: &LoadConfig, points: &[PipelinePoint]) -> (Json, String) {
+    let mut params = Json::object();
+    params.push("driver", "open_loop_pipelined");
+    params.push("clients", 1u64);
+    params.push("ops_per_point", (cfg.batches_per_client * cfg.batch) as u64);
+    params.push("warmup_ops", (cfg.warmup_batches * cfg.batch) as u64);
+    params.push("read_fraction", cfg.read_fraction);
+    params.push("footprint_blocks", cfg.footprint_blocks);
+    params.push("cache_blocks_per_shard", cfg.cache_blocks_per_shard as u64);
+    params.push("tree_levels", cfg.tree_levels as u64);
+    params.push("seed", cfg.seed);
+    params.push("crypto_backend", ame_crypto::backend::active().name());
+    params.push(
+        "cpu_features",
+        ame_crypto::backend::host_features().as_str(),
+    );
+
+    let mut rows = Vec::new();
+    for p in points {
+        let base = points
+            .iter()
+            .find(|q| q.shards == p.shards && q.window == 1)
+            .map_or(0.0, |q| q.ops_per_sec);
+        let mut row = Json::object();
+        row.push("shards", p.shards as u64);
+        row.push("in_flight_window", p.window as u64);
+        row.push("ops", p.ops);
+        row.push("elapsed_s", p.elapsed_s);
+        row.push("ops_per_sec", p.ops_per_sec);
+        row.push(
+            "speedup_vs_window_1",
+            if base > 0.0 {
+                p.ops_per_sec / base
+            } else {
+                0.0
+            },
+        );
+        row.push("errors", p.errors);
+        row.push("p50_latency_ns", p.p50_latency_ns);
+        row.push("p99_latency_ns", p.p99_latency_ns);
+        row.push("mean_latency_ns", p.mean_latency_ns);
+        row.push("queue_wait_mean_ns", p.queue_wait_mean_ns);
+        row.push("service_mean_ns", p.service_mean_ns);
+        row.push("telemetry", p.telemetry.clone());
+        rows.push(row);
+    }
+    let headline = {
+        let shards = points.iter().map(|p| p.shards).max().unwrap_or(0);
+        let window = points
+            .iter()
+            .filter(|p| p.shards == shards)
+            .map(|p| p.window)
+            .filter(|&w| w <= 16)
+            .max()
+            .unwrap_or(1);
+        pipeline_speedup(points, shards, window).map_or_else(
+            || String::from("no pipeline sweep"),
+            |r| format!("1-client w{window}/w1 @{shards} shards: {r:.2}x"),
+        )
+    };
+    (
+        results::envelope("store_pipeline", params, Json::Arr(rows)),
+        headline,
+    )
+}
+
 fn point_json(mix: KeyMix, p: &SweepPoint, base_ops_per_sec: f64) -> Json {
     let mut row = Json::object();
     row.push("mix", mix.name());
@@ -409,6 +739,10 @@ fn point_json(mix: KeyMix, p: &SweepPoint, base_ops_per_sec: f64) -> Json {
 #[must_use]
 pub fn to_json(cfg: &LoadConfig, sweeps: &[(KeyMix, Vec<SweepPoint>)]) -> (Json, String) {
     let mut params = Json::object();
+    params.push("driver", "closed_loop_blocking");
+    // The blocking API holds exactly one op in flight per client thread;
+    // recorded so rows are comparable with `store_pipeline` runs.
+    params.push("in_flight_window", 1u64);
     params.push("clients", cfg.clients as u64);
     params.push("batch", cfg.batch as u64);
     params.push("batches_per_client", cfg.batches_per_client as u64);
@@ -486,6 +820,37 @@ mod tests {
             seen[b] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tiny_pipeline_sweep_is_sound() {
+        let cfg = LoadConfig {
+            batch: 8,
+            batches_per_client: 8,
+            warmup_batches: 2,
+            footprint_blocks: 256,
+            cache_blocks_per_shard: 4,
+            tree_levels: 2,
+            ..LoadConfig::default()
+        };
+        let points = run_pipeline_sweep(&cfg, &[1, 2], &[1, 4]);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert_eq!(p.errors, 0);
+            assert_eq!(p.ops, 64);
+            assert!(p.ops_per_sec > 0.0);
+            assert!(
+                p.p99_latency_ns >= p.p50_latency_ns,
+                "quantiles must be monotone"
+            );
+        }
+        assert!(pipeline_speedup(&points, 2, 4).is_some());
+        let (doc, headline) = pipeline_to_json(&cfg, &points);
+        let text = doc.render();
+        assert!(text.contains("\"experiment\": \"store_pipeline\""));
+        assert!(text.contains("\"in_flight_window\": 4"));
+        assert!(text.contains("store/session/completion_batch"));
+        assert!(headline.contains("@2 shards"));
     }
 
     #[test]

@@ -136,6 +136,29 @@ impl SecureRegion {
         Ok(())
     }
 
+    /// Writes a batch of block-aligned full-block stores through the
+    /// engine's batched seal path (one pipelined keystream batch per
+    /// overflow-free run). Equivalent to writing each block in order;
+    /// the whole batch is bounds-checked before anything is written.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::OutOfBounds`] if any address is unaligned or out
+    /// of range — in that case no block of the batch is written.
+    pub fn write_blocks(&mut self, items: &[(u64, [u8; BLOCK_BYTES])]) -> Result<(), RegionError> {
+        for &(addr, _) in items {
+            self.check(addr, BLOCK_BYTES)?;
+            if !addr.is_multiple_of(BLOCK_BYTES as u64) {
+                return Err(RegionError::OutOfBounds {
+                    addr,
+                    len: BLOCK_BYTES,
+                });
+            }
+        }
+        self.engine.write_blocks(items);
+        Ok(())
+    }
+
     /// Writes `data` starting at byte offset `addr`. Partially covered
     /// blocks are read-modify-written: the old contents are verified
     /// before the merged block is sealed under a fresh counter.

@@ -54,8 +54,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod session;
 mod shard;
 
+pub use session::{Session, SessionConfig, SessionStats, Ticket};
 pub use shard::{SealReport, ShardStats};
 
 use ame_engine::region::SecureRegion;
@@ -66,6 +68,7 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Configuration of a [`SecureStore`].
 #[derive(Debug, Clone, Copy)]
@@ -98,6 +101,19 @@ impl Default for StoreConfig {
 }
 
 /// Why a store operation failed.
+///
+/// Which variants an API path can produce:
+///
+/// | Variant | blocking `read`/`write`/`read_modify_write` | `try_read`/`try_write` | [`Session::submit`] | `submit_batch` |
+/// |---|---|---|---|---|
+/// | [`OutOfRange`](StoreError::OutOfRange) / [`Unaligned`](StoreError::Unaligned) | yes | yes | yes | yes (inline per op) |
+/// | [`Overloaded`](StoreError::Overloaded) | never (waits) | yes, queue full | yes, queue **or** in-flight window full | never (waits) |
+/// | [`ShardPoisoned`](StoreError::ShardPoisoned) | yes | yes (fast-fail, no queue slot) | yes (fast-fail at submit, or on a completion) | yes |
+/// | [`Disconnected`](StoreError::Disconnected) | yes | yes | yes | yes |
+///
+/// Every `try_*` or session fast-fail rejection — queue full, window
+/// full, or the poisoned-shard early return — also increments the
+/// shard's `overloads` counter ([`SecureStore::overloads`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreError {
     /// The address range falls outside the store's capacity.
@@ -179,13 +195,15 @@ pub enum StoreOp {
     },
 }
 
-/// Successful result of one batched [`StoreOp`].
+/// Successful result of one batched [`StoreOp`] or session submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreValue {
     /// The verified contents a `Read` returned.
     Data([u8; BLOCK_BYTES]),
     /// A `Write` was sealed and acknowledged.
     Written,
+    /// A [`Session::submit_rmw`] completed; carries the pre-image.
+    Modified([u8; BLOCK_BYTES]),
 }
 
 /// What each shard reported while shutting down.
@@ -310,15 +328,31 @@ impl SecureStore {
         Ok((shard, local))
     }
 
-    /// Sends one operation to its shard and waits for the reply.
-    /// `blocking` selects between waiting for a queue slot and the
-    /// `Overloaded` fast-fail. The depth counter is incremented only
-    /// after a successful send, so a non-zero [`SecureStore::queue_depth`]
-    /// reading proves an operation really occupies a queue slot.
+    /// Sends one operation to its shard and waits for its completion —
+    /// the blocking API is literally a one-shot submit+wait over the
+    /// same completion machinery [`Session`] pipelines: the request
+    /// carries a single-slot completion channel and the caller parks on
+    /// it. `blocking` selects between waiting for a queue slot and the
+    /// `Overloaded`/poisoned fast-fails. The depth counter is
+    /// incremented only after a successful send, so a non-zero
+    /// [`SecureStore::queue_depth`] reading proves an operation really
+    /// occupies a queue slot.
     fn roundtrip(&self, shard: usize, op: Op, blocking: bool) -> Result<OpOutput, StoreError> {
-        let (reply, response) = sync_channel(1);
         let sh = &self.shared[shard];
-        let request = Request::Op { op, reply };
+        if !blocking && sh.poisoned.load(Ordering::Relaxed) {
+            // Poisoned-shard early return: don't burn a queue slot on an
+            // operation the worker would only bounce. Counted as an
+            // overload like every other fast-fail rejection.
+            sh.overloads.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::ShardPoisoned { shard, cause: None });
+        }
+        let (reply, response) = sync_channel(1);
+        let request = Request::Op {
+            op,
+            seq: 0,
+            enqueued: Instant::now(),
+            reply,
+        };
         let sent = if blocking {
             self.senders[shard].send(request).map_err(|_| ())
         } else {
@@ -338,6 +372,7 @@ impl SecureStore {
         response
             .recv()
             .map_err(|_| StoreError::Disconnected { shard })?
+            .result
     }
 
     /// Instantaneous queue depth of one shard, in operations enqueued
@@ -351,8 +386,10 @@ impl SecureStore {
         self.shared[shard].depth_now()
     }
 
-    /// How many `try_*` submissions shard `shard` has fast-failed with
-    /// [`StoreError::Overloaded`].
+    /// How many submissions shard `shard` has fast-failed without
+    /// queueing: `try_*` calls bounced with [`StoreError::Overloaded`]
+    /// or the poisoned-shard early return, and [`Session::submit`]
+    /// rejections (queue full, in-flight window full, or poisoned).
     ///
     /// # Panics
     ///
@@ -378,9 +415,30 @@ impl SecureStore {
         }
     }
 
+    /// Opens a pipelined completion [`Session`] with the default
+    /// [`SessionConfig`]. Any number of sessions (and blocking callers)
+    /// can drive the store concurrently; each session is a
+    /// single-threaded handle with its own completion queue.
+    #[must_use]
+    pub fn session(&self) -> Session<'_> {
+        self.session_with(SessionConfig::default())
+    }
+
+    /// Opens a pipelined completion [`Session`] with an explicit
+    /// per-shard in-flight window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.in_flight_window` is zero.
+    #[must_use]
+    pub fn session_with(&self, config: SessionConfig) -> Session<'_> {
+        Session::new(self, config)
+    }
+
     /// Like [`SecureStore::read`], but fails with
     /// [`StoreError::Overloaded`] instead of waiting when the shard
-    /// queue is full.
+    /// queue is full, and with [`StoreError::ShardPoisoned`] — without
+    /// consuming a queue slot — when the shard is already quarantined.
     ///
     /// # Errors
     ///
@@ -483,7 +541,11 @@ impl SecureStore {
             let (reply, response) = sync_channel(1);
             let count = ops.len() as i64;
             if self.senders[shard]
-                .send(Request::Batch { ops, reply })
+                .send(Request::Batch {
+                    ops,
+                    enqueued: Instant::now(),
+                    reply,
+                })
                 .is_err()
             {
                 for i in indices {
@@ -535,8 +597,9 @@ impl SecureStore {
 
     /// Collects every shard's telemetry into `registry` under
     /// `<scope>/shard<N>/...`: operation counters, `poisoned` gauge,
-    /// `batch_size`/`service_latency_ns`/`queue_depth_seen` histograms,
-    /// the instantaneous `queue_depth` gauge and `overloads` counter,
+    /// `batch_size`/`service_latency_ns`/`queue_wait_ns`/`fused_writes`/
+    /// `queue_depth_seen` histograms, the instantaneous `queue_depth`
+    /// gauge and `overloads` counter,
     /// and the shard engine's own metrics under
     /// `<scope>/shard<N>/engine/...`.
     ///

@@ -1,0 +1,617 @@
+//! Non-blocking completion front-end: pipelined submissions over the
+//! shard worker queues.
+//!
+//! The blocking [`SecureStore`] API parks one OS thread per in-flight
+//! operation, so a client must burn a thread per outstanding request and
+//! the shard workers rarely see queues deep enough to feed the batched
+//! crypto path. A [`Session`] removes that coupling: one client thread
+//! `submit`s many operations — each returns a [`Ticket`] immediately —
+//! and reaps results from the session's completion queue with
+//! [`poll`](Session::poll), [`wait`](Session::wait),
+//! [`wait_any`](Session::wait_any), or [`wait_all`](Session::wait_all).
+//!
+//! # Queue lifecycle
+//!
+//! A submission travels: session window check → shard request queue
+//! (bounded, one slot per submission) → worker dequeue (queue wait ends,
+//! service begins) → execution (fused with neighbouring writes where
+//! possible) → completion push onto the session's queue → client reap.
+//! The completion queue is sized `shards × in_flight_window`, which the
+//! window accounting makes an upper bound on undrained completions — the
+//! worker's completion push therefore never blocks, so a slow client can
+//! never stall a shard that other clients share.
+//!
+//! # Backpressure rule
+//!
+//! At most [`SessionConfig::in_flight_window`] operations may be
+//! outstanding (submitted and not yet reaped) *per shard*. A submit past
+//! the window — or into a full shard queue — fast-fails with
+//! [`StoreError::Overloaded`] instead of parking the thread; the client
+//! reaps a completion and retries. This turns queue pressure into a
+//! visible, countable event (the shard `overloads` counter) rather than
+//! an invisible stall.
+//!
+//! # Ordering contract
+//!
+//! Completions of operations on the **same shard** arrive in submission
+//! order (the shard queue is FIFO, the worker executes in order and
+//! emits completions in execution order, and the session's queue
+//! preserves each worker's send order). Across shards there is no
+//! ordering. A read submitted after a write to the same address
+//! (same shard by construction) therefore observes that write.
+
+use crate::shard::{Completion, Op, OpOutput, OpReply, Request};
+use crate::{SecureStore, StoreError, StoreOp, StoreValue};
+use ame_engine::BLOCK_BYTES;
+use ame_telemetry::{Histogram, MetricSink, Metrics, Snapshot, StatsRegistry};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::time::Instant;
+
+/// Configuration of a [`Session`].
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Maximum operations outstanding (submitted, not yet reaped) per
+    /// shard before [`Session::submit`] fast-fails with
+    /// [`StoreError::Overloaded`].
+    pub in_flight_window: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            in_flight_window: 16,
+        }
+    }
+}
+
+/// Handle to one in-flight (or completed, not yet reaped) submission.
+///
+/// Tickets are session-scoped sequence numbers: they are issued in
+/// submission order and never reused within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+/// Counters and distributions of one session's pipeline, reported under
+/// `store/session/` by [`Session::collect`]:
+///
+/// * `submitted`/`completed` — operations through the pipeline.
+/// * `window_rejections` — submits bounced by the in-flight window (the
+///   session-side backpressure events; queue-full bounces are counted in
+///   the shard's `overloads` only).
+/// * `in_flight_depth` — total outstanding ops observed at each submit.
+/// * `completion_batch` — completions reaped per drain burst (how many
+///   results each wakeup of the client harvested).
+/// * `queue_wait_ns` vs `service_ns` — the time-in-queue vs
+///   time-in-service split, measured by the worker per operation.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Operations accepted by [`Session::submit`]/[`Session::submit_rmw`].
+    pub submitted: u64,
+    /// Completions absorbed from the workers.
+    pub completed: u64,
+    /// Submits rejected because the per-shard window was full.
+    pub window_rejections: u64,
+    /// Total in-flight depth sampled at each successful submit.
+    pub in_flight_depth: Histogram,
+    /// Completions harvested per non-empty drain burst.
+    pub completion_batch: Histogram,
+    /// Per-op time spent in the shard queue (enqueue → dequeue).
+    pub queue_wait_ns: Histogram,
+    /// Per-op time spent in service (a fused write's share).
+    pub service_ns: Histogram,
+}
+
+impl Metrics for SessionStats {
+    fn record(&self, sink: &mut dyn MetricSink) {
+        sink.counter("submitted", self.submitted);
+        sink.counter("completed", self.completed);
+        sink.counter("window_rejections", self.window_rejections);
+        sink.histogram("in_flight_depth", &self.in_flight_depth);
+        sink.histogram("completion_batch", &self.completion_batch);
+        sink.histogram("queue_wait_ns", &self.queue_wait_ns);
+        sink.histogram("service_ns", &self.service_ns);
+    }
+}
+
+/// A pipelined, completion-based client handle to a [`SecureStore`].
+///
+/// Created by [`SecureStore::session`]. A session is single-threaded
+/// (methods take `&mut self`) and `Send`; open one session per client
+/// thread — sessions are cheap, and any number coexist with each other
+/// and with blocking callers.
+///
+/// Dropping a session with operations still in flight is safe: the
+/// workers' completion sends fail harmlessly once the queue is gone.
+///
+/// # Example
+///
+/// ```
+/// use ame_store::{SecureStore, SessionConfig, StoreConfig, StoreOp, StoreValue};
+///
+/// let store = SecureStore::new(StoreConfig::default());
+/// let mut session = store.session_with(SessionConfig { in_flight_window: 8 });
+/// let w = session.submit(StoreOp::Write { addr: 0, data: [7; 64] }).unwrap();
+/// let r = session.submit(StoreOp::Read { addr: 0 }).unwrap();
+/// // Same shard => FIFO: the read observes the write.
+/// assert_eq!(session.wait(w), Ok(StoreValue::Written));
+/// assert_eq!(session.wait(r), Ok(StoreValue::Data([7; 64])));
+/// let _ = store.shutdown();
+/// ```
+pub struct Session<'a> {
+    store: &'a SecureStore,
+    window: usize,
+    next_seq: u64,
+    tx: SyncSender<Completion>,
+    rx: Receiver<Completion>,
+    /// Outstanding tickets and the shard serving each.
+    pending: HashMap<u64, usize>,
+    /// Per-shard outstanding counts (the backpressure windows).
+    in_flight: Vec<usize>,
+    total_in_flight: usize,
+    /// Completed-but-unreaped results in arrival order.
+    done: VecDeque<(Ticket, Result<StoreValue, StoreError>)>,
+    stats: SessionStats,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("window", &self.window)
+            .field("in_flight", &self.total_in_flight)
+            .field("unreaped", &self.done.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn to_value(output: OpOutput) -> StoreValue {
+    match output {
+        OpOutput::Read(data) => StoreValue::Data(data),
+        OpOutput::Written => StoreValue::Written,
+        OpOutput::Modified { old } => StoreValue::Modified(old),
+    }
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(store: &'a SecureStore, config: SessionConfig) -> Self {
+        assert!(
+            config.in_flight_window > 0,
+            "the in-flight window must admit at least one operation"
+        );
+        let shards = store.config.shards;
+        // Sized so every outstanding completion fits: workers never block
+        // pushing completions, no matter how lazily the client reaps.
+        let (tx, rx) = sync_channel(shards * config.in_flight_window);
+        Self {
+            store,
+            window: config.in_flight_window,
+            next_seq: 1,
+            tx,
+            rx,
+            pending: HashMap::new(),
+            in_flight: vec![0; shards],
+            total_in_flight: 0,
+            done: VecDeque::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The per-shard in-flight window.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Operations submitted and not yet reaped, across all shards.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.total_in_flight
+    }
+
+    /// Completed results waiting to be reaped (after an internal drain).
+    #[must_use]
+    pub fn completions_ready(&mut self) -> usize {
+        self.drain();
+        self.done.len()
+    }
+
+    /// This session's pipeline statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Records the session statistics into `registry` under `<scope>/`
+    /// (conventionally `store/session`).
+    pub fn collect(&self, registry: &mut StatsRegistry, scope: &str) {
+        registry.collect(scope, &self.stats);
+    }
+
+    /// A snapshot of the session telemetry under `store/session/`.
+    #[must_use]
+    pub fn telemetry(&self) -> Snapshot {
+        let mut registry = StatsRegistry::new();
+        self.collect(&mut registry, "store/session");
+        registry.snapshot()
+    }
+
+    /// Submits one read or write without waiting for it; the returned
+    /// [`Ticket`] resolves through [`poll`](Session::poll)/
+    /// [`wait`](Session::wait)/[`wait_any`](Session::wait_any).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unaligned`]/[`StoreError::OutOfRange`] for a bad
+    /// address; [`StoreError::Overloaded`] when the target shard's
+    /// in-flight window or request queue is full (reap a completion and
+    /// retry); [`StoreError::ShardPoisoned`] (without consuming a window
+    /// slot) when the shard is already quarantined;
+    /// [`StoreError::Disconnected`] if the shard worker is gone.
+    pub fn submit(&mut self, op: StoreOp) -> Result<Ticket, StoreError> {
+        let (addr, shard_op) = match op {
+            StoreOp::Read { addr } => (addr, None),
+            StoreOp::Write { addr, data } => (addr, Some(data)),
+        };
+        let (shard, local) = self.store.locate(addr)?;
+        let op = match shard_op {
+            None => Op::Read { local },
+            Some(data) => Op::Write { local, data },
+        };
+        self.submit_op(shard, op)
+    }
+
+    /// Submits a read-modify-write; its completion carries the
+    /// pre-image as [`StoreValue::Modified`]. The closure runs on the
+    /// shard worker, serialized with every other operation on the block.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::submit`].
+    pub fn submit_rmw(
+        &mut self,
+        addr: u64,
+        f: impl FnOnce(&mut [u8; BLOCK_BYTES]) + Send + 'static,
+    ) -> Result<Ticket, StoreError> {
+        let (shard, local) = self.store.locate(addr)?;
+        self.submit_op(
+            shard,
+            Op::Rmw {
+                local,
+                f: Box::new(f),
+            },
+        )
+    }
+
+    fn submit_op(&mut self, shard: usize, op: Op) -> Result<Ticket, StoreError> {
+        // Opportunistically absorb finished work first: a steady-state
+        // submit loop never has to call a wait method just to free its
+        // window.
+        self.drain();
+        let sh = &self.store.shared[shard];
+        if sh.poisoned.load(Ordering::Relaxed) {
+            sh.overloads.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::ShardPoisoned { shard, cause: None });
+        }
+        if self.in_flight[shard] >= self.window {
+            self.stats.window_rejections += 1;
+            sh.overloads.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Overloaded { shard });
+        }
+        let seq = self.next_seq;
+        let request = Request::Op {
+            op,
+            seq,
+            enqueued: Instant::now(),
+            reply: self.tx.clone(),
+        };
+        match self.store.senders[shard].try_send(request) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                sh.overloads.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Overloaded { shard });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(StoreError::Disconnected { shard });
+            }
+        }
+        sh.depth.fetch_add(1, Ordering::Relaxed);
+        self.next_seq += 1;
+        self.pending.insert(seq, shard);
+        self.in_flight[shard] += 1;
+        self.total_in_flight += 1;
+        self.stats.submitted += 1;
+        self.stats
+            .in_flight_depth
+            .record(self.total_in_flight as u64);
+        Ok(Ticket(seq))
+    }
+
+    /// Non-blocking check of one ticket: `Some(result)` exactly once,
+    /// when the operation has completed; `None` while it is still in
+    /// flight (and for tickets already reaped).
+    pub fn poll(&mut self, ticket: Ticket) -> Option<Result<StoreValue, StoreError>> {
+        self.drain();
+        self.take_done(ticket)
+    }
+
+    /// Blocks until `ticket` completes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// The operation's own failure, or [`StoreError::Disconnected`] if
+    /// the serving shard's worker died mid-flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticket was already reaped (or belongs to another
+    /// session) — waiting on it would otherwise hang forever.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<StoreValue, StoreError> {
+        loop {
+            self.drain();
+            if let Some(result) = self.take_done(ticket) {
+                return result;
+            }
+            assert!(
+                self.pending.contains_key(&ticket.0),
+                "ticket {ticket:?} is not outstanding in this session"
+            );
+            self.block_on_next();
+        }
+    }
+
+    /// Blocks until *some* completion is available and returns the
+    /// oldest unreaped one, or `None` if nothing is in flight or
+    /// unreaped. Completions of same-shard operations are returned in
+    /// submission order.
+    pub fn wait_any(&mut self) -> Option<(Ticket, Result<StoreValue, StoreError>)> {
+        self.drain();
+        if self.done.is_empty() {
+            if self.total_in_flight == 0 {
+                return None;
+            }
+            self.block_on_next();
+        }
+        self.done.pop_front()
+    }
+
+    /// Drains the pipeline: blocks until every outstanding operation has
+    /// completed and returns all unreaped results in completion order.
+    pub fn wait_all(&mut self) -> Vec<(Ticket, Result<StoreValue, StoreError>)> {
+        let mut results = Vec::with_capacity(self.done.len() + self.total_in_flight);
+        while let Some(entry) = self.wait_any() {
+            results.push(entry);
+        }
+        results
+    }
+
+    /// Absorbs every already-available completion without blocking.
+    fn drain(&mut self) {
+        let mut burst = 0u64;
+        while let Ok(completion) = self.rx.try_recv() {
+            self.absorb(completion);
+            burst += 1;
+        }
+        if burst > 0 {
+            self.stats.completion_batch.record(burst);
+        }
+    }
+
+    /// Blocks for one completion (the caller checked something is in
+    /// flight), then absorbs any burst behind it.
+    fn block_on_next(&mut self) {
+        match self.rx.recv() {
+            Ok(completion) => {
+                self.absorb(completion);
+                let mut burst = 1u64;
+                while let Ok(more) = self.rx.try_recv() {
+                    self.absorb(more);
+                    burst += 1;
+                }
+                self.stats.completion_batch.record(burst);
+            }
+            Err(_) => {
+                // Every worker owning our pending ops is gone (worker
+                // panic — graceful shutdown is impossible while a session
+                // borrows the store). Resolve everything outstanding so
+                // no ticket hangs, in ticket order for determinism.
+                let mut orphans: Vec<(u64, usize)> = self.pending.drain().collect();
+                orphans.sort_unstable();
+                for (seq, shard) in orphans {
+                    self.in_flight[shard] -= 1;
+                    self.total_in_flight -= 1;
+                    self.done
+                        .push_back((Ticket(seq), Err(StoreError::Disconnected { shard })));
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, completion: Completion) {
+        let Completion {
+            seq,
+            shard,
+            result,
+            queue_ns,
+            service_ns,
+        } = completion;
+        self.pending.remove(&seq);
+        self.in_flight[shard] -= 1;
+        self.total_in_flight -= 1;
+        self.stats.completed += 1;
+        self.stats.queue_wait_ns.record(queue_ns);
+        self.stats.service_ns.record(service_ns);
+        let result: OpReply = result;
+        self.done.push_back((Ticket(seq), result.map(to_value)));
+    }
+
+    fn take_done(&mut self, ticket: Ticket) -> Option<Result<StoreValue, StoreError>> {
+        let pos = self.done.iter().position(|(t, _)| *t == ticket)?;
+        self.done.remove(pos).map(|(_, result)| result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreConfig;
+
+    fn store(shards: usize) -> SecureStore {
+        SecureStore::new(StoreConfig {
+            shards,
+            shard_bytes: 1 << 16,
+            queue_depth: 64,
+            max_batch: 32,
+            ..StoreConfig::default()
+        })
+    }
+
+    #[test]
+    fn submit_wait_roundtrip_and_fifo_readback() {
+        let store = store(2);
+        let mut session = store.session_with(SessionConfig {
+            in_flight_window: 8,
+        });
+        let mut tickets = Vec::new();
+        for b in 0..8u64 {
+            tickets.push(
+                session
+                    .submit(StoreOp::Write {
+                        addr: b * 64,
+                        data: [b as u8 + 1; 64],
+                    })
+                    .unwrap(),
+            );
+        }
+        // Reads submitted behind the writes (same shards) see the data.
+        let mut reads = Vec::new();
+        for b in 0..8u64 {
+            reads.push(session.submit(StoreOp::Read { addr: b * 64 }).unwrap());
+        }
+        for t in tickets {
+            assert_eq!(session.wait(t), Ok(StoreValue::Written));
+        }
+        for (b, t) in reads.into_iter().enumerate() {
+            assert_eq!(session.wait(t), Ok(StoreValue::Data([b as u8 + 1; 64])));
+        }
+        assert_eq!(session.in_flight(), 0);
+        drop(session);
+        let _ = store.shutdown();
+    }
+
+    #[test]
+    fn window_backpressure_fast_fails() {
+        let store = store(1);
+        let mut session = store.session_with(SessionConfig {
+            in_flight_window: 4,
+        });
+        // Jam the worker so nothing completes while we fill the window.
+        let (gate_tx, gate_rx) = std::sync::mpsc::sync_channel::<()>(1);
+        let (in_tx, in_rx) = std::sync::mpsc::sync_channel::<()>(1);
+        let jam = session
+            .submit_rmw(0, move |_| {
+                let _ = in_tx.send(());
+                let _ = gate_rx.recv();
+            })
+            .unwrap();
+        in_rx.recv().unwrap();
+        for b in 1..4u64 {
+            session
+                .submit(StoreOp::Write {
+                    addr: b * 64,
+                    data: [1; 64],
+                })
+                .unwrap();
+        }
+        assert_eq!(session.in_flight(), 4);
+        assert_eq!(
+            session.submit(StoreOp::Read { addr: 0 }),
+            Err(StoreError::Overloaded { shard: 0 })
+        );
+        assert_eq!(session.stats().window_rejections, 1);
+        assert!(store.overloads(0) >= 1, "window bounce counts as overload");
+        gate_tx.send(()).unwrap();
+        assert!(matches!(session.wait(jam), Ok(StoreValue::Modified(_))));
+        let drained = session.wait_all();
+        assert_eq!(drained.len(), 3);
+        // The window has space again.
+        assert!(session.submit(StoreOp::Read { addr: 0 }).is_ok());
+        assert_eq!(session.wait_all().len(), 1);
+        drop(session);
+        let _ = store.shutdown();
+    }
+
+    #[test]
+    fn poll_resolves_exactly_once() {
+        let store = store(1);
+        let mut session = store.session();
+        let t = session
+            .submit(StoreOp::Write {
+                addr: 0,
+                data: [9; 64],
+            })
+            .unwrap();
+        // Spin until the completion lands.
+        let result = loop {
+            if let Some(r) = session.poll(t) {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(result, Ok(StoreValue::Written));
+        assert_eq!(session.poll(t), None, "a ticket resolves only once");
+        drop(session);
+        let _ = store.shutdown();
+    }
+
+    #[test]
+    fn session_telemetry_reports_pipeline_stats() {
+        let store = store(2);
+        let mut session = store.session_with(SessionConfig {
+            in_flight_window: 8,
+        });
+        for b in 0..32u64 {
+            loop {
+                match session.submit(StoreOp::Write {
+                    addr: (b % 16) * 64,
+                    data: [b as u8; 64],
+                }) {
+                    Ok(_) => break,
+                    Err(StoreError::Overloaded { .. }) => {
+                        let _ = session.wait_any();
+                    }
+                    Err(e) => panic!("unexpected submit failure: {e}"),
+                }
+            }
+        }
+        let _ = session.wait_all();
+        let snap = session.telemetry();
+        assert_eq!(snap.counter("store/session/submitted"), Some(32));
+        assert_eq!(snap.counter("store/session/completed"), Some(32));
+        let depth = snap.histogram("store/session/in_flight_depth").unwrap();
+        assert_eq!(depth.count(), 32);
+        assert!(depth.max() > 1, "pipelining reached depth > 1");
+        assert!(
+            snap.histogram("store/session/queue_wait_ns")
+                .unwrap()
+                .count()
+                == 32
+                && snap.histogram("store/session/service_ns").unwrap().count() == 32,
+            "every op splits into queue wait + service time"
+        );
+        assert!(
+            snap.histogram("store/session/completion_batch")
+                .unwrap()
+                .count()
+                > 0
+        );
+        drop(session);
+        let _ = store.shutdown();
+    }
+
+    #[test]
+    fn session_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Session<'_>>();
+    }
+}

@@ -4,10 +4,22 @@
 //! [`MemoryEncryptionEngine`](ame_engine::MemoryEncryptionEngine) with its
 //! own keys, counters, and integrity tree) and services requests from a
 //! bounded `mpsc` queue. The worker drains up to `max_batch` queued
-//! requests per wakeup, so under load channel and scheduling costs
-//! amortize over the whole batch; every service interval records the
-//! observed queue depth and batch size, and every operation records its
-//! service latency.
+//! requests per wakeup and serves them as one *service batch*: runs of
+//! consecutive full-block writes — regardless of whether they arrived as
+//! individual submissions or [`submit_batch`] slots — are fused into a
+//! single engine-level [`write_blocks`] call, so their seal keystreams
+//! come from one pipelined `keystream_batch` and channel/scheduling costs
+//! amortize over the whole wakeup. Every operation records its queue
+//! wait (enqueue → dequeue) and its service latency individually, so
+//! deep pipelined windows show up in the histograms as queue time, not
+//! inflated service time.
+//!
+//! Every request carries a completion route: the blocking front-end
+//! waits on a one-shot channel, a [`Session`](crate::Session) points many
+//! submissions at its shared completion queue. The worker does not care
+//! which — it executes in FIFO order and emits completions in execution
+//! order, which is what gives sessions their per-shard ordering
+//! guarantee.
 //!
 //! A verification failure (MAC, SEC-DED, or tree) **poisons** the shard:
 //! the failing operation reports the underlying [`ReadError`] and every
@@ -15,11 +27,14 @@
 //! [`StoreError::ShardPoisoned`](crate::StoreError::ShardPoisoned) —
 //! writes included, so no new data is entrusted to a compromised shard.
 //! Other shards are unaffected.
+//!
+//! [`submit_batch`]: crate::SecureStore::submit_batch
+//! [`write_blocks`]: ame_engine::region::SecureRegion::write_blocks
 
 use ame_engine::region::{RegionError, SecureRegion};
 use ame_engine::{ReadError, BLOCK_BYTES};
 use ame_telemetry::{Histogram, MetricSink, Metrics, Snapshot, StatsRegistry};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,14 +63,46 @@ pub(crate) enum OpOutput {
 
 pub(crate) type OpReply = Result<OpOutput, StoreError>;
 
+/// One in-progress `submit_batch` reply: the route back to the caller
+/// and the per-op results, filled in as the wakeup executes (writes may
+/// complete out of request order via fusion, never out of effect order).
+type BatchSlot = (SyncSender<Vec<OpReply>>, Vec<Option<OpReply>>);
+
+/// What a worker sends back when one submitted operation finishes.
+///
+/// The blocking front-end receives exactly one of these on a one-shot
+/// channel; a [`Session`](crate::Session) receives them interleaved on
+/// its completion queue and uses `seq` to resolve tickets. The worker
+/// emits completions in execution order, which (FIFO queue) is per-shard
+/// submission order.
+pub(crate) struct Completion {
+    /// The submitter's sequence number (0 for one-shot roundtrips).
+    pub seq: u64,
+    /// The shard that served the operation.
+    pub shard: usize,
+    /// The operation's outcome.
+    pub result: OpReply,
+    /// Time the request spent enqueued before the worker dequeued it.
+    pub queue_ns: u64,
+    /// Time the worker spent actually serving the operation (a fused
+    /// write reports its share of the fused engine call).
+    pub service_ns: u64,
+}
+
 /// A message on a shard's request queue.
 pub(crate) enum Request {
     Op {
         op: Op,
-        reply: SyncSender<OpReply>,
+        /// Submitter-chosen completion tag (ticket id; 0 for one-shots).
+        seq: u64,
+        /// When the request was enqueued, for queue-wait accounting.
+        enqueued: Instant,
+        reply: SyncSender<Completion>,
     },
     Batch {
         ops: Vec<Op>,
+        /// When the batch was enqueued (one timestamp, charged per op).
+        enqueued: Instant,
         reply: SyncSender<Vec<OpReply>>,
     },
     Collect {
@@ -70,8 +117,9 @@ pub(crate) enum Request {
 }
 
 /// State shared between the front-end and one worker without going
-/// through the queue: the instantaneous queue depth (in operations) and
-/// the count of fast-fail rejections.
+/// through the queue: the instantaneous queue depth (in operations), the
+/// count of fast-fail rejections, and the quarantine flag (so fast-fail
+/// paths can reject without burning a queue slot).
 ///
 /// The depth is signed: the front-end increments *after* a successful
 /// send (so a non-zero reading proves an operation really is enqueued)
@@ -81,8 +129,11 @@ pub(crate) enum Request {
 pub(crate) struct ShardShared {
     /// Operations enqueued but not yet dequeued by the worker.
     pub depth: AtomicI64,
-    /// `try_*` submissions rejected with `Overloaded`.
+    /// Fast-fail rejections: `try_*` and session submissions bounced
+    /// with `Overloaded` or the poisoned-shard early return.
     pub overloads: AtomicU64,
+    /// Set (never cleared) by the worker when the shard is quarantined.
+    pub poisoned: AtomicBool,
 }
 
 impl ShardShared {
@@ -113,8 +164,15 @@ pub struct ShardStats {
     pub poisoned: bool,
     /// Operations coalesced per service interval (log₂ buckets).
     pub batch_size: Histogram,
-    /// Per-operation service latency in nanoseconds (log₂ buckets).
+    /// Per-operation service latency in nanoseconds (log₂ buckets). A
+    /// fused write run is charged per op as its share of the engine
+    /// call, so batch depth shows up as queue wait, not service time.
     pub service_latency_ns: Histogram,
+    /// Per-operation queue wait (enqueue → dequeue) in nanoseconds; each
+    /// op of a batch slot records the slot's wait individually.
+    pub queue_wait_ns: Histogram,
+    /// Consecutive writes fused into each engine `write_blocks` call.
+    pub fused_writes: Histogram,
     /// Queue depth observed at each service interval (log₂ buckets).
     pub queue_depth_seen: Histogram,
 }
@@ -131,6 +189,8 @@ impl Metrics for ShardStats {
         sink.gauge("poisoned", if self.poisoned { 1.0 } else { 0.0 });
         sink.histogram("batch_size", &self.batch_size);
         sink.histogram("service_latency_ns", &self.service_latency_ns);
+        sink.histogram("queue_wait_ns", &self.queue_wait_ns);
+        sink.histogram("fused_writes", &self.fused_writes);
         sink.histogram("queue_depth_seen", &self.queue_depth_seen);
     }
 }
@@ -151,6 +211,25 @@ pub struct SealReport {
     pub resealed: bool,
     /// The verification failure that quarantined the shard, if any.
     pub poisoned: Option<ReadError>,
+}
+
+/// Where a fused write's result goes once the engine batch lands.
+enum WriteDest {
+    /// An individual submission: completion sent directly.
+    Single {
+        seq: u64,
+        reply: SyncSender<Completion>,
+    },
+    /// Slot `index` of wakeup-batch reply accumulator `slot`.
+    Batch { slot: usize, index: usize },
+}
+
+/// One write parked in the fusion buffer awaiting the batched seal.
+struct PendingWrite {
+    local: u64,
+    data: [u8; BLOCK_BYTES],
+    queue_ns: u64,
+    dest: WriteDest,
 }
 
 pub(crate) struct ShardWorker {
@@ -198,15 +277,7 @@ impl ShardWorker {
                     Err(_) => break,
                 }
             }
-            self.stats.queue_depth_seen.record(self.shared.depth_now());
-            let mut ops = 0u64;
-            for request in requests {
-                ops += self.serve(request);
-            }
-            if ops > 0 {
-                self.stats.batches += 1;
-                self.stats.batch_size.record(ops);
-            }
+            self.service_wakeup(requests);
         }
         // Graceful shutdown: the channel is closed *and* drained (recv
         // only errors once the buffer is empty). Re-seal the shard so its
@@ -221,32 +292,161 @@ impl ShardWorker {
         }
     }
 
-    /// Serves one request; returns how many operations it contained (for
-    /// batch-size accounting).
-    fn serve(&mut self, request: Request) -> u64 {
-        match request {
-            Request::Op { op, reply } => {
-                self.shared.depth.fetch_sub(1, Ordering::Relaxed);
-                let result = self.exec(op);
-                let _ = reply.send(result);
-                1
+    /// Serves one wakeup's drained requests as a single service batch.
+    ///
+    /// Requests are processed strictly in arrival order; runs of
+    /// consecutive full-block writes (across request boundaries) are
+    /// parked in a fusion buffer and committed through one engine
+    /// `write_blocks` call when a non-write — a read, an RMW, a control
+    /// request, or the end of the wakeup — breaks the run. Because any
+    /// operation that can fail or observe state flushes the buffer
+    /// first, fusion never reorders anything.
+    fn service_wakeup(&mut self, requests: Vec<Request>) {
+        self.stats.queue_depth_seen.record(self.shared.depth_now());
+        let mut ops = 0u64;
+        let mut fused: Vec<PendingWrite> = Vec::new();
+        // (reply channel, accumulated per-op results) per Batch request.
+        let mut slots: Vec<BatchSlot> = Vec::new();
+        for request in requests {
+            match request {
+                Request::Op {
+                    op,
+                    seq,
+                    enqueued,
+                    reply,
+                } => {
+                    self.shared.depth.fetch_sub(1, Ordering::Relaxed);
+                    let queue_ns = enqueued.elapsed().as_nanos() as u64;
+                    self.stats.queue_wait_ns.record(queue_ns);
+                    ops += 1;
+                    if let (Op::Write { local, data }, None) = (&op, &self.poisoned) {
+                        if local + BLOCK_BYTES as u64 <= self.region.size() {
+                            fused.push(PendingWrite {
+                                local: *local,
+                                data: *data,
+                                queue_ns,
+                                dest: WriteDest::Single { seq, reply },
+                            });
+                            continue;
+                        }
+                    }
+                    self.flush_fused(&mut fused, &mut slots);
+                    let start = Instant::now();
+                    let result = self.exec(op);
+                    let service_ns = start.elapsed().as_nanos() as u64;
+                    self.stats.service_latency_ns.record(service_ns);
+                    let _ = reply.send(Completion {
+                        seq,
+                        shard: self.shard,
+                        result,
+                        queue_ns,
+                        service_ns,
+                    });
+                }
+                Request::Batch {
+                    ops: batch_ops,
+                    enqueued,
+                    reply,
+                } => {
+                    let n = batch_ops.len();
+                    self.shared.depth.fetch_sub(n as i64, Ordering::Relaxed);
+                    let queue_ns = enqueued.elapsed().as_nanos() as u64;
+                    // Per-op queue wait: every op of the slot waited the
+                    // same time, and each records it individually.
+                    self.stats.queue_wait_ns.record_n(queue_ns, n as u64);
+                    ops += n as u64;
+                    let slot = slots.len();
+                    slots.push((reply, (0..n).map(|_| None).collect()));
+                    for (index, op) in batch_ops.into_iter().enumerate() {
+                        if let (Op::Write { local, data }, None) = (&op, &self.poisoned) {
+                            if local + BLOCK_BYTES as u64 <= self.region.size() {
+                                fused.push(PendingWrite {
+                                    local: *local,
+                                    data: *data,
+                                    queue_ns,
+                                    dest: WriteDest::Batch { slot, index },
+                                });
+                                continue;
+                            }
+                        }
+                        self.flush_fused(&mut fused, &mut slots);
+                        let start = Instant::now();
+                        let result = self.exec(op);
+                        self.stats
+                            .service_latency_ns
+                            .record(start.elapsed().as_nanos() as u64);
+                        slots[slot].1[index] = Some(result);
+                    }
+                }
+                Request::Collect { reply } => {
+                    self.flush_fused(&mut fused, &mut slots);
+                    let _ = reply.send(self.report());
+                }
+                Request::Tamper { local, bit, ack } => {
+                    // Tampering must stay ordered with surrounding writes.
+                    self.flush_fused(&mut fused, &mut slots);
+                    self.region.engine_mut().tamper_data_bit(local, bit);
+                    self.stats.tampers += 1;
+                    let _ = ack.send(());
+                }
             }
-            Request::Batch { ops, reply } => {
-                let n = ops.len();
-                self.shared.depth.fetch_sub(n as i64, Ordering::Relaxed);
-                let results = ops.into_iter().map(|op| self.exec(op)).collect();
-                let _ = reply.send(results);
-                n as u64
-            }
-            Request::Collect { reply } => {
-                let _ = reply.send(self.report());
-                0
-            }
-            Request::Tamper { local, bit, ack } => {
-                self.region.engine_mut().tamper_data_bit(local, bit);
-                self.stats.tampers += 1;
-                let _ = ack.send(());
-                0
+        }
+        self.flush_fused(&mut fused, &mut slots);
+        for (reply, results) in slots {
+            let results: Vec<OpReply> = results
+                .into_iter()
+                .map(|r| r.expect("every batch op resolved"))
+                .collect();
+            let _ = reply.send(results);
+        }
+        if ops > 0 {
+            self.stats.batches += 1;
+            self.stats.batch_size.record(ops);
+        }
+    }
+
+    /// Commits the fusion buffer through one engine `write_blocks` call
+    /// and delivers each write's completion, charging every op its share
+    /// of the fused service time.
+    fn flush_fused(&mut self, fused: &mut Vec<PendingWrite>, slots: &mut [BatchSlot]) {
+        if fused.is_empty() {
+            return;
+        }
+        let n = fused.len() as u64;
+        let start = Instant::now();
+        let items: Vec<(u64, [u8; BLOCK_BYTES])> =
+            fused.iter().map(|w| (w.local, w.data)).collect();
+        // Addresses were bounds-checked at park time and alignment is
+        // guaranteed by the front-end's `locate`, so this cannot fail in
+        // practice; fall back to per-op service if it somehow does.
+        let batch_ok = self.region.write_blocks(&items).is_ok();
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let share_ns = elapsed_ns / n;
+        self.stats.fused_writes.record(n);
+        self.stats.service_latency_ns.record_n(share_ns, n);
+        for w in fused.drain(..) {
+            let result = if batch_ok {
+                self.stats.writes += 1;
+                Ok(OpOutput::Written)
+            } else {
+                self.write(w.local, &w.data).map(|()| {
+                    self.stats.writes += 1;
+                    OpOutput::Written
+                })
+            };
+            match w.dest {
+                WriteDest::Single { seq, reply } => {
+                    let _ = reply.send(Completion {
+                        seq,
+                        shard: self.shard,
+                        result,
+                        queue_ns: w.queue_ns,
+                        service_ns: share_ns,
+                    });
+                }
+                WriteDest::Batch { slot, index } => {
+                    slots[slot].1[index] = Some(result);
+                }
             }
         }
     }
@@ -259,8 +459,7 @@ impl ShardWorker {
                 cause: None,
             });
         }
-        let start = Instant::now();
-        let result = match op {
+        match op {
             Op::Read { local } => self.read(local).map(|block| {
                 self.stats.reads += 1;
                 OpOutput::Read(block)
@@ -276,11 +475,7 @@ impl ShardWorker {
                 self.stats.rmws += 1;
                 Ok(OpOutput::Modified { old })
             }),
-        };
-        self.stats
-            .service_latency_ns
-            .record(start.elapsed().as_nanos() as u64);
-        result
+        }
     }
 
     fn read(&mut self, local: u64) -> Result<[u8; BLOCK_BYTES], StoreError> {
@@ -314,6 +509,7 @@ impl ShardWorker {
     fn poison(&mut self, error: ReadError) -> StoreError {
         self.stats.integrity_failures += 1;
         self.poisoned = Some(error);
+        self.shared.poisoned.store(true, Ordering::Relaxed);
         StoreError::ShardPoisoned {
             shard: self.shard,
             cause: Some(error),

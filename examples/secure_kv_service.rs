@@ -7,7 +7,10 @@
 //!
 //! [`SecureStore`]: ame::store::SecureStore
 
-use ame::store::{SecureStore, StoreConfig, StoreError};
+use ame::store::{
+    SecureStore, SessionConfig, StoreConfig, StoreError, StoreOp, StoreValue, Ticket,
+};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Slots in the hash-indexed record table (one 64-byte block each).
@@ -91,6 +94,53 @@ fn get(store: &SecureStore, key: &str) -> Result<Option<String>, StoreError> {
     Ok(None)
 }
 
+/// Looks up many keys through one pipelined [`Session`]: up to 32 probe
+/// reads ride the shard queues at once instead of one blocked thread per
+/// read. A completed probe that hits a foreign key re-queues the next
+/// probe of its chain; per-shard FIFO makes each chain's reads arrive in
+/// submission order. Returns the values in `keys` order.
+///
+/// [`Session`]: ame::store::Session
+fn pipelined_get_many(store: &SecureStore, keys: &[String]) -> Vec<Option<String>> {
+    let mut session = store.session_with(SessionConfig {
+        in_flight_window: 32,
+    });
+    let mut results: Vec<Option<String>> = vec![None; keys.len()];
+    // (key index, probe depth) waiting to be submitted / in flight.
+    let mut todo: VecDeque<(usize, u64)> = (0..keys.len()).map(|i| (i, 0)).collect();
+    let mut in_flight: HashMap<Ticket, (usize, u64)> = HashMap::new();
+    let mut resolved = 0;
+    while resolved < keys.len() {
+        while let Some(&(idx, probe)) = todo.front() {
+            let slot = (hash(&keys[idx]).wrapping_add(probe)) % SLOTS;
+            match session.submit(StoreOp::Read { addr: slot * 64 }) {
+                Ok(ticket) => {
+                    todo.pop_front();
+                    in_flight.insert(ticket, (idx, probe));
+                }
+                // Window full: reap a completion first, then keep filling.
+                Err(StoreError::Overloaded { .. }) => break,
+                Err(e) => panic!("pipelined get: {e}"),
+            }
+        }
+        let (ticket, result) = session.wait_any().expect("probe reads in flight");
+        let (idx, probe) = in_flight.remove(&ticket).expect("known ticket");
+        let block = match result {
+            Ok(StoreValue::Data(block)) => block,
+            other => panic!("pipelined read failed: {other:?}"),
+        };
+        match record_key(&block) {
+            Some(k) if k == keys[idx].as_bytes() => {
+                results[idx] = Some(record_value(&block));
+                resolved += 1;
+            }
+            Some(_) if probe + 1 < MAX_PROBE => todo.push_back((idx, probe + 1)),
+            _ => resolved += 1, // empty slot or chain exhausted: absent
+        }
+    }
+    results
+}
+
 fn main() {
     let store = Arc::new(SecureStore::new(StoreConfig {
         shards: 4,
@@ -115,14 +165,19 @@ fn main() {
     for w in writers {
         w.join().unwrap();
     }
-    for c in 0..4 {
-        for i in 0..64 {
-            let key = format!("user{c}:{i}");
-            let got = get(&store, &key).expect("get").expect("present");
-            assert_eq!(got, format!("session-{c}-{i}"));
+    // Verification reads go through the pipelined session front-end:
+    // one thread, 32 probe reads in flight, instead of 256 blocking
+    // round-trips.
+    let keys: Vec<String> = (0..4)
+        .flat_map(|c| (0..64).map(move |i| format!("user{c}:{i}")))
+        .collect();
+    let values = pipelined_get_many(&store, &keys);
+    for (c, chunk) in values.chunks(64).enumerate() {
+        for (i, value) in chunk.iter().enumerate() {
+            assert_eq!(value.as_deref(), Some(format!("session-{c}-{i}").as_str()));
         }
     }
-    println!("kv service       : 256 records stored and verified across 4 shards");
+    println!("kv service       : 256 records stored, verified via one 32-deep session");
 
     // A physical attacker rewrites DRAM under one shard. The MAC+tree
     // catch it, that shard is quarantined, and the other three shards

@@ -1,0 +1,199 @@
+//! Pipelined-session contract tests against the full store stack: the
+//! per-shard FIFO ordering guarantee under a deep in-flight window, and
+//! the no-ticket-left-behind rule when a shard poisons itself with a
+//! window full of outstanding operations.
+
+use ame::store::{
+    SecureStore, SessionConfig, StoreConfig, StoreError, StoreOp, StoreValue, Ticket,
+};
+
+fn single_shard_store() -> SecureStore {
+    SecureStore::new(StoreConfig {
+        shards: 1,
+        shard_bytes: 1 << 16,
+        queue_depth: 64,
+        max_batch: 16,
+        ..StoreConfig::default()
+    })
+}
+
+/// Mixed reads and writes to one shard, submitted 16 deep: completions
+/// arrive strictly in submission order, and every read observes exactly
+/// the writes submitted before it.
+#[test]
+fn same_shard_fifo_under_sixteen_deep_window() {
+    let store = single_shard_store();
+    let mut session = store.session_with(SessionConfig {
+        in_flight_window: 16,
+    });
+
+    // A model of what each block should hold after the ops submitted so
+    // far, checked against what each read's completion reports.
+    let mut model = [[0u8; 64]; 4];
+    let mut tickets: Vec<(Ticket, Option<[u8; 64]>)> = Vec::new();
+    let mut rounds = 0u64;
+
+    for step in 0u64..400 {
+        let block = step % 4;
+        let addr = block * 64;
+        // Interleave: two writes, then a read of each recently-written
+        // block, so reads ride the same window as the writes they check.
+        let op = if step % 4 < 2 {
+            let data = [(step % 251) as u8 + 1; 64];
+            model[block as usize] = data;
+            StoreOp::Write { addr, data }
+        } else {
+            StoreOp::Read { addr }
+        };
+        let expected = match op {
+            StoreOp::Read { .. } => Some(model[block as usize]),
+            StoreOp::Write { .. } => None,
+        };
+        loop {
+            match session.submit(op) {
+                Ok(t) => {
+                    tickets.push((t, expected));
+                    break;
+                }
+                Err(StoreError::Overloaded { shard: 0 }) => {
+                    // Window full: reap in-order and verify as we go.
+                    let (done, result) = session.wait_any().expect("ops in flight");
+                    let (t, exp) = tickets.remove(0);
+                    assert_eq!(done, t, "completions must arrive in submission order");
+                    check(result, exp);
+                    rounds += 1;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    for (t, exp) in tickets {
+        let (done, result) = session.wait_any().expect("ops in flight");
+        assert_eq!(done, t, "tail completions must stay in submission order");
+        check(result, exp);
+    }
+    assert!(rounds > 0, "the 16-deep window must fill at least once");
+    assert_eq!(session.in_flight(), 0);
+
+    let depth = session.telemetry();
+    let observed = depth
+        .histogram("store/session/in_flight_depth")
+        .expect("session depth histogram");
+    assert!(
+        observed.max() >= 16,
+        "window was exercised to full depth, saw {}",
+        observed.max()
+    );
+    drop(session);
+    let report = store.shutdown();
+    assert!(report.shards[0].poisoned.is_none());
+}
+
+fn check(result: Result<StoreValue, StoreError>, expected: Option<[u8; 64]>) {
+    match (result, expected) {
+        (Ok(StoreValue::Written), None) => {}
+        (Ok(StoreValue::Data(got)), Some(want)) => {
+            assert_eq!(got, want, "read must observe all earlier submitted writes");
+        }
+        (other, _) => panic!("unexpected completion: {other:?}"),
+    }
+}
+
+/// A shard that poisons itself while a window of operations is
+/// outstanding must fail every one of them: the op that detected the
+/// tamper carries the cause, every later ticket resolves
+/// `ShardPoisoned` too, and nothing hangs.
+#[test]
+fn poisoned_shard_mid_window_resolves_every_ticket() {
+    let store = single_shard_store();
+    for b in 0..4u64 {
+        store.write(b * 64, &[b as u8 + 1; 64]).unwrap();
+    }
+    // Corrupt block 0 beyond the ECC correction budget, as in the
+    // blocking-API quarantine test.
+    for bit in [3u32, 80, 200] {
+        store.tamper_data_bit(0, bit).unwrap();
+    }
+
+    let mut session = store.session_with(SessionConfig {
+        in_flight_window: 16,
+    });
+    let mut tickets = Vec::new();
+    // First the read that will trip the quarantine, then a window of
+    // mixed traffic behind it — all in flight before anything is reaped.
+    tickets.push(session.submit(StoreOp::Read { addr: 0 }).unwrap());
+    for i in 1..16u64 {
+        let op = if i % 2 == 0 {
+            StoreOp::Read { addr: (i % 4) * 64 }
+        } else {
+            StoreOp::Write {
+                addr: (i % 4) * 64,
+                data: [0xAB; 64],
+            }
+        };
+        tickets.push(session.submit(op).unwrap());
+    }
+    assert_eq!(session.in_flight(), 16);
+
+    let results = session.wait_all();
+    assert_eq!(results.len(), 16, "every outstanding ticket must resolve");
+    for (i, ((got, result), want)) in results.into_iter().zip(&tickets).enumerate() {
+        assert_eq!(got, *want, "completion order == submission order");
+        match result {
+            Err(StoreError::ShardPoisoned { shard: 0, cause }) => {
+                if i == 0 {
+                    assert!(cause.is_some(), "the detecting op reports the cause");
+                }
+            }
+            other => panic!("ticket {i} resolved {other:?}, expected ShardPoisoned"),
+        }
+    }
+    assert_eq!(session.in_flight(), 0);
+
+    // The quarantine is visible at submit time now: fast-fail without
+    // consuming a window slot, counted as an overload.
+    let overloads_before = store.overloads(0);
+    assert!(matches!(
+        session.submit(StoreOp::Read { addr: 64 }),
+        Err(StoreError::ShardPoisoned {
+            shard: 0,
+            cause: None
+        })
+    ));
+    assert_eq!(session.in_flight(), 0);
+    assert_eq!(store.overloads(0), overloads_before + 1);
+
+    drop(session);
+    let report = store.shutdown();
+    assert!(report.shards[0].poisoned.is_some());
+}
+
+/// Sessions and blocking callers interleave freely on the same store;
+/// the session RMW pre-image reflects blocking writes that drained
+/// before it.
+#[test]
+fn session_and_blocking_calls_interleave() {
+    let store = SecureStore::new(StoreConfig {
+        shards: 2,
+        shard_bytes: 1 << 16,
+        ..StoreConfig::default()
+    });
+    store.write(0, &[5; 64]).unwrap();
+
+    let mut session = store.session();
+    let t = session
+        .submit_rmw(0, |block| {
+            for b in block.iter_mut() {
+                *b = b.wrapping_add(1);
+            }
+        })
+        .unwrap();
+    match session.wait(t) {
+        Ok(StoreValue::Modified(old)) => assert_eq!(old, [5; 64]),
+        other => panic!("unexpected RMW completion: {other:?}"),
+    }
+    // The blocking API sees the session's effect.
+    assert_eq!(store.read(0).unwrap(), [6; 64]);
+    drop(session);
+    let _ = store.shutdown();
+}
