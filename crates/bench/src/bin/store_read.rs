@@ -1,0 +1,63 @@
+//! Read-fusion on/off sweep of the batched verified read path.
+//!
+//! A closed-loop sequential-scan workload (each submitted batch reads a
+//! run of consecutive blocks from a random base) drives the store at 1
+//! and 4 shards, once with read fusion disabled (every read served as a
+//! scalar `read_block`: one verified counter fetch and one keystream per
+//! block) and once with it enabled (runs fused into engine `read_blocks`
+//! calls: one counter fetch per metadata block, one pipelined keystream
+//! batch per run). The counter cache is disabled so every scalar fetch
+//! pays the full Bonsai-tree walk — the cost fusion amortizes; the
+//! `blk/fetch` column reports the measured amortization.
+//! Writes `results/store_read_fusion.json`.
+//!
+//! Usage: `cargo run -p ame-bench --bin store_read --release \
+//!     [batches_per_client] [footprint_blocks] [read_pct] [tree_levels]`
+
+use ame_bench::store_load::{self, KeyMix, LoadConfig};
+use ame_bench::{parse_arg, results};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let defaults = LoadConfig::default();
+    let batches_per_client: usize = parse_arg(
+        args.next(),
+        "batches per client",
+        defaults.batches_per_client,
+    );
+    let footprint_blocks: u64 =
+        parse_arg(args.next(), "footprint blocks", defaults.footprint_blocks);
+    let read_pct: f64 = parse_arg(args.next(), "read percentage", 100.0);
+    let tree_levels: usize = parse_arg(args.next(), "tree levels", defaults.tree_levels);
+
+    let cfg = LoadConfig {
+        batches_per_client,
+        footprint_blocks,
+        read_fraction: (read_pct / 100.0).clamp(0.0, 1.0),
+        mix: KeyMix::Sequential,
+        // A 64-op sequential batch leaves each of 4 shards a 16-block
+        // local run — enough for fusion to amortize across a 4 KB group.
+        batch: 64,
+        // No counter cache: a scalar read pays a full tree walk per
+        // block, a fused run one walk per 4 KB group — the paper's
+        // verification-bandwidth gap, which is what this sweep measures.
+        cache_blocks_per_shard: 0,
+        tree_levels,
+        ..defaults
+    };
+    let shard_counts = [1usize, 4];
+
+    let points = store_load::run_read_fusion_sweep(&cfg, &shard_counts);
+    store_load::print_read_fusion(&cfg, &points);
+    println!();
+
+    for &shards in &shard_counts {
+        if let Some(ratio) = store_load::read_fusion_speedup(&points, shards) {
+            println!("read fusion on/off @{shards} shards: {ratio:.2}x");
+        }
+    }
+    println!();
+
+    let (doc, headline) = store_load::read_fusion_to_json(&cfg, &points);
+    results::write_and_summarize("store_read_fusion", &headline, &doc);
+}

@@ -48,6 +48,13 @@ pub enum KeyMix {
         /// Skew exponent; 0.99 is the YCSB default.
         theta: f64,
     },
+    /// Each submitted batch targets a run of consecutive blocks from a
+    /// uniformly random base — the streaming/scan pattern where run
+    /// fusion amortizes counter fetches and keystream calls. Per-op
+    /// drivers (the pipelined session sweep) degrade this to `Uniform`,
+    /// since a window of independent submissions has no batch to anchor
+    /// the run to.
+    Sequential,
 }
 
 impl KeyMix {
@@ -57,6 +64,7 @@ impl KeyMix {
         match self {
             KeyMix::Uniform => "uniform",
             KeyMix::Zipfian { .. } => "zipfian",
+            KeyMix::Sequential => "sequential",
         }
     }
 }
@@ -158,6 +166,16 @@ pub struct LoadConfig {
     pub cache_blocks_per_shard: usize,
     /// Off-chip Bonsai-tree MAC levels (sets the cache-miss penalty).
     pub tree_levels: usize,
+    /// Bounded request-queue capacity per shard, in queue slots.
+    pub queue_depth: usize,
+    /// Maximum operations a worker coalesces into one service interval —
+    /// the upper bound on any fused run's length.
+    pub max_batch: usize,
+    /// Fuse consecutive full-block writes into batched engine seals.
+    pub fuse_writes: bool,
+    /// Fuse consecutive verified reads (and RMW read halves) into
+    /// batched engine `read_blocks` runs.
+    pub fuse_reads: bool,
     /// PRNG seed; every client derives a distinct stream from it.
     pub seed: u64,
 }
@@ -174,6 +192,10 @@ impl Default for LoadConfig {
             mix: KeyMix::Uniform,
             cache_blocks_per_shard: 64,
             tree_levels: 6,
+            queue_depth: 128,
+            max_batch: 64,
+            fuse_writes: true,
+            fuse_reads: true,
             seed: 0x570E,
         }
     }
@@ -196,14 +218,30 @@ pub struct SweepPoint {
     pub meta_hit_rate: f64,
     /// Mean per-op service latency (ns) over the measured window.
     pub mean_service_ns: f64,
+    /// Mean fused read-run length over the measured window (0.0 when no
+    /// run was fused, e.g. with read fusion disabled).
+    pub fused_read_run_mean: f64,
+    /// Mean blocks verified per counter fetch across successful fused
+    /// read runs (0.0 when none ran).
+    pub counter_fetch_amortization_mean: f64,
     /// Measured-window per-shard telemetry (`store/shard<N>/...`).
     pub telemetry: Json,
 }
 
 fn make_batch(rng: &mut StdRng, sampler: &Sampler, cfg: &LoadConfig) -> Vec<StoreOp> {
+    // A sequential batch is a scan: one random base, consecutive blocks
+    // (wrapping at the footprint). Everything else draws per-op.
+    let base = match cfg.mix {
+        KeyMix::Sequential => Some(rng.gen_range(0..cfg.footprint_blocks)),
+        _ => None,
+    };
     (0..cfg.batch)
-        .map(|_| {
-            let addr = sampler.sample(rng) * BLOCK_BYTES as u64;
+        .map(|i| {
+            let block = match base {
+                Some(b) => (b + i as u64) % cfg.footprint_blocks,
+                None => sampler.sample(rng),
+            };
+            let addr = block * BLOCK_BYTES as u64;
             if rng.gen_bool(cfg.read_fraction) {
                 StoreOp::Read { addr }
             } else {
@@ -216,15 +254,17 @@ fn make_batch(rng: &mut StdRng, sampler: &Sampler, cfg: &LoadConfig) -> Vec<Stor
 }
 
 /// Builds the store for one sweep point: fixed total capacity split
-/// over `shards`, the per-shard metadata cache and tree depth from the
-/// config.
+/// over `shards`, the per-shard metadata cache, tree depth, queue
+/// shape, and fusion switches from the config.
 fn build_store(shards: usize, cfg: &LoadConfig) -> SecureStore {
     let shard_bytes = cfg.footprint_blocks.div_ceil(shards as u64) * BLOCK_BYTES as u64;
     SecureStore::new(StoreConfig {
         shards,
         shard_bytes,
-        queue_depth: 128,
-        max_batch: 64,
+        queue_depth: cfg.queue_depth,
+        max_batch: cfg.max_batch,
+        fuse_writes: cfg.fuse_writes,
+        fuse_reads: cfg.fuse_reads,
         engine: EngineConfig {
             counter_cache_blocks: cfg.cache_blocks_per_shard,
             tree_levels: cfg.tree_levels,
@@ -256,7 +296,9 @@ fn populate(store: &SecureStore, cfg: &LoadConfig) {
 
 fn make_sampler(cfg: &LoadConfig) -> Sampler {
     match cfg.mix {
-        KeyMix::Uniform => Sampler::Uniform {
+        // Per-op contexts have no batch to anchor a run to, so the
+        // sequential mix degrades to uniform there (see [`KeyMix`]).
+        KeyMix::Uniform | KeyMix::Sequential => Sampler::Uniform {
             blocks: cfg.footprint_blocks,
         },
         KeyMix::Zipfian { theta } => Sampler::Zipf(Zipf::new(cfg.footprint_blocks, theta)),
@@ -322,6 +364,8 @@ pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
     let ops = (cfg.clients * cfg.batches_per_client * cfg.batch) as u64;
     let (mut hits, mut misses) = (0u64, 0u64);
     let (mut lat_sum, mut lat_n) = (0.0f64, 0u64);
+    let (mut run_sum, mut run_n) = (0.0f64, 0u64);
+    let (mut amort_sum, mut amort_n) = (0.0f64, 0u64);
     for s in 0..shards {
         let p = |name: &str| format!("store/shard{s}/{name}");
         hits += window
@@ -333,6 +377,14 @@ pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
         if let Some(h) = window.histogram(&p("service_latency_ns")) {
             lat_sum += h.mean() * h.count() as f64;
             lat_n += h.count();
+        }
+        if let Some(h) = window.histogram(&p("fused_reads")) {
+            run_sum += h.mean() * h.count() as f64;
+            run_n += h.count();
+        }
+        if let Some(h) = window.histogram(&p("counter_fetch_amortization")) {
+            amort_sum += h.mean() * h.count() as f64;
+            amort_n += h.count();
         }
     }
     SweepPoint {
@@ -350,6 +402,16 @@ pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
             0.0
         } else {
             lat_sum / lat_n as f64
+        },
+        fused_read_run_mean: if run_n == 0 {
+            0.0
+        } else {
+            run_sum / run_n as f64
+        },
+        counter_fetch_amortization_mean: if amort_n == 0 {
+            0.0
+        } else {
+            amort_sum / amort_n as f64
         },
         telemetry: window.to_json(),
     }
@@ -656,6 +718,10 @@ pub fn pipeline_to_json(cfg: &LoadConfig, points: &[PipelinePoint]) -> (Json, St
     params.push("footprint_blocks", cfg.footprint_blocks);
     params.push("cache_blocks_per_shard", cfg.cache_blocks_per_shard as u64);
     params.push("tree_levels", cfg.tree_levels as u64);
+    params.push("queue_depth", cfg.queue_depth as u64);
+    params.push("max_batch", cfg.max_batch as u64);
+    params.push("write_fusion", cfg.fuse_writes);
+    params.push("read_fusion", cfg.fuse_reads);
     params.push("seed", cfg.seed);
     params.push("crypto_backend", ame_crypto::backend::active().name());
     params.push(
@@ -751,6 +817,10 @@ pub fn to_json(cfg: &LoadConfig, sweeps: &[(KeyMix, Vec<SweepPoint>)]) -> (Json,
     params.push("footprint_blocks", cfg.footprint_blocks);
     params.push("cache_blocks_per_shard", cfg.cache_blocks_per_shard as u64);
     params.push("tree_levels", cfg.tree_levels as u64);
+    params.push("queue_depth", cfg.queue_depth as u64);
+    params.push("max_batch", cfg.max_batch as u64);
+    params.push("write_fusion", cfg.fuse_writes);
+    params.push("read_fusion", cfg.fuse_reads);
     params.push("seed", cfg.seed);
     // Perf numbers are only comparable across runs if we know which
     // crypto implementation served them and on what silicon.
@@ -778,6 +848,163 @@ pub fn to_json(cfg: &LoadConfig, sweeps: &[(KeyMix, Vec<SweepPoint>)]) -> (Json,
     }
     (
         results::envelope("store_throughput", params, Json::Arr(rows)),
+        headline,
+    )
+}
+
+/// One measured point of the `store_read_fusion` experiment: the
+/// closed-loop sequential-scan workload at one shard count, with read
+/// fusion either on or off (everything else identical).
+#[derive(Debug)]
+pub struct ReadFusionPoint {
+    /// Whether runs of consecutive reads were fused.
+    pub fused: bool,
+    /// The underlying closed-loop measurement.
+    pub point: SweepPoint,
+}
+
+/// Runs the read-fusion on/off comparison at each shard count: for every
+/// entry of `shard_counts`, one sweep point with `fuse_reads = false`
+/// (the scalar baseline) and one with `fuse_reads = true`, all other
+/// knobs identical. `cfg.mix` should be [`KeyMix::Sequential`] — random
+/// single-block reads leave nothing for fusion to amortize.
+#[must_use]
+pub fn run_read_fusion_sweep(cfg: &LoadConfig, shard_counts: &[usize]) -> Vec<ReadFusionPoint> {
+    let mut points = Vec::with_capacity(shard_counts.len() * 2);
+    for &shards in shard_counts {
+        for fused in [false, true] {
+            let cfg = LoadConfig {
+                fuse_reads: fused,
+                ..*cfg
+            };
+            points.push(ReadFusionPoint {
+                fused,
+                point: run_point(shards, &cfg),
+            });
+        }
+    }
+    points
+}
+
+/// `ops/sec(fusion on) / ops/sec(fusion off)` at `shards` shards — the
+/// experiment's headline number.
+#[must_use]
+pub fn read_fusion_speedup(points: &[ReadFusionPoint], shards: usize) -> Option<f64> {
+    let off = points
+        .iter()
+        .find(|p| p.point.shards == shards && !p.fused)?;
+    let on = points
+        .iter()
+        .find(|p| p.point.shards == shards && p.fused)?;
+    Some(on.point.ops_per_sec / off.point.ops_per_sec)
+}
+
+/// Prints the read-fusion sweep as an aligned table; speedups are
+/// relative to fusion-off at the same shard count.
+pub fn print_read_fusion(cfg: &LoadConfig, points: &[ReadFusionPoint]) {
+    println!(
+        "read fusion on/off: mix={} clients={} batch={} reads={:.0}% \
+         footprint={} blocks cache={} blocks/shard tree={} levels",
+        cfg.mix.name(),
+        cfg.clients,
+        cfg.batch,
+        cfg.read_fraction * 100.0,
+        cfg.footprint_blocks,
+        cfg.cache_blocks_per_shard,
+        cfg.tree_levels,
+    );
+    println!(
+        "{:>7} {:>7} {:>10} {:>11} {:>9} {:>9} {:>10} {:>7}",
+        "shards", "fusion", "ops", "kops/s", "speedup", "run-mean", "blk/fetch", "errors"
+    );
+    for p in points {
+        let base = points
+            .iter()
+            .find(|q| q.point.shards == p.point.shards && !q.fused)
+            .map_or(0.0, |q| q.point.ops_per_sec);
+        println!(
+            "{:>7} {:>7} {:>10} {:>11.1} {:>8.2}x {:>9.1} {:>10.1} {:>7}",
+            p.point.shards,
+            if p.fused { "on" } else { "off" },
+            p.point.ops,
+            p.point.ops_per_sec / 1e3,
+            if base > 0.0 {
+                p.point.ops_per_sec / base
+            } else {
+                0.0
+            },
+            p.point.fused_read_run_mean,
+            p.point.counter_fetch_amortization_mean,
+            p.point.errors,
+        );
+    }
+}
+
+/// Serialises the read-fusion experiment into the common results
+/// envelope and returns `(document, headline metric)`.
+#[must_use]
+pub fn read_fusion_to_json(cfg: &LoadConfig, points: &[ReadFusionPoint]) -> (Json, String) {
+    let mut params = Json::object();
+    params.push("driver", "closed_loop_blocking");
+    params.push("mix", cfg.mix.name());
+    params.push("clients", cfg.clients as u64);
+    params.push("batch", cfg.batch as u64);
+    params.push("batches_per_client", cfg.batches_per_client as u64);
+    params.push("warmup_batches", cfg.warmup_batches as u64);
+    params.push("read_fraction", cfg.read_fraction);
+    params.push("footprint_blocks", cfg.footprint_blocks);
+    params.push("cache_blocks_per_shard", cfg.cache_blocks_per_shard as u64);
+    params.push("tree_levels", cfg.tree_levels as u64);
+    params.push("queue_depth", cfg.queue_depth as u64);
+    params.push("max_batch", cfg.max_batch as u64);
+    params.push("write_fusion", cfg.fuse_writes);
+    params.push("seed", cfg.seed);
+    params.push("crypto_backend", ame_crypto::backend::active().name());
+    params.push(
+        "cpu_features",
+        ame_crypto::backend::host_features().as_str(),
+    );
+
+    let mut rows = Vec::new();
+    for p in points {
+        let base = points
+            .iter()
+            .find(|q| q.point.shards == p.point.shards && !q.fused)
+            .map_or(0.0, |q| q.point.ops_per_sec);
+        let mut row = Json::object();
+        row.push("shards", p.point.shards as u64);
+        row.push("read_fusion", p.fused);
+        row.push("ops", p.point.ops);
+        row.push("elapsed_s", p.point.elapsed_s);
+        row.push("ops_per_sec", p.point.ops_per_sec);
+        row.push(
+            "speedup_vs_scalar",
+            if base > 0.0 {
+                p.point.ops_per_sec / base
+            } else {
+                0.0
+            },
+        );
+        row.push("errors", p.point.errors);
+        row.push("meta_cache_hit_rate", p.point.meta_hit_rate);
+        row.push("mean_service_latency_ns", p.point.mean_service_ns);
+        row.push("fused_read_run_mean", p.point.fused_read_run_mean);
+        row.push(
+            "counter_fetch_amortization_mean",
+            p.point.counter_fetch_amortization_mean,
+        );
+        row.push("telemetry", p.point.telemetry.clone());
+        rows.push(row);
+    }
+    let headline = {
+        let shards = points.iter().map(|p| p.point.shards).max().unwrap_or(0);
+        read_fusion_speedup(points, shards).map_or_else(
+            || String::from("no read-fusion sweep"),
+            |r| format!("read fusion on/off @{shards} shards: {r:.2}x"),
+        )
+    };
+    (
+        results::envelope("store_read_fusion", params, Json::Arr(rows)),
         headline,
     )
 }

@@ -187,6 +187,27 @@ impl From<VerifyError> for ReadError {
     }
 }
 
+/// Outcome of a batched verified read ([`MemoryEncryptionEngine::read_blocks`]).
+///
+/// The run's plaintext is released as a prefix: all blocks on success,
+/// exactly the blocks preceding the first failure otherwise — the same
+/// prefix a loop of sequential [`read_block`](MemoryEncryptionEngine::read_block)
+/// calls stopping at the first error would have produced.
+#[derive(Debug)]
+pub struct ReadRun {
+    /// Verified plaintext of the released prefix (every block when
+    /// `failed` is `None`, the first `failed.0` blocks otherwise).
+    pub blocks: Vec<[u8; BLOCK_BYTES]>,
+    /// The first failure, as `(index into the run, cause)`. The index
+    /// always equals `blocks.len()`.
+    pub failed: Option<(usize, ReadError)>,
+    /// Verified counter-block fetches the run cost. On the batched fast
+    /// path this is the number of *distinct* metadata blocks the run
+    /// touched (the amortization the batch bought); on the per-block
+    /// fallback it is one fetch per attempted block.
+    pub counter_fetches: u64,
+}
+
 /// Functional-engine statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -609,6 +630,16 @@ impl MemoryEncryptionEngine {
     ///
     /// Panics if `addr` is not 64-byte aligned.
     pub fn read_block(&mut self, addr: u64) -> Result<[u8; BLOCK_BYTES], ReadError> {
+        self.read_block_with_counter(addr).map(|(plain, _)| plain)
+    }
+
+    /// [`Self::read_block`], additionally returning the verified counter
+    /// the block was sealed under so read-modify-write paths can reuse
+    /// the metadata fetch for the seal.
+    fn read_block_with_counter(
+        &mut self,
+        addr: u64,
+    ) -> Result<([u8; BLOCK_BYTES], u64), ReadError> {
         assert_eq!(
             addr % BLOCK_BYTES as u64,
             0,
@@ -632,10 +663,198 @@ impl MemoryEncryptionEngine {
         let counter = self.counters.counter(block);
 
         let stored = self.storage.read(addr);
-        match self.config.mac_placement {
-            MacPlacement::MacInEcc => self.read_mac_in_ecc(addr, counter, stored),
-            MacPlacement::SeparateMac => self.read_separate_mac(addr, counter, stored),
+        let plain = match self.config.mac_placement {
+            MacPlacement::MacInEcc => self.read_mac_in_ecc(addr, counter, stored)?,
+            MacPlacement::SeparateMac => self.read_separate_mac(addr, counter, stored)?,
+        };
+        Ok((plain, counter))
+    }
+
+    /// Reads and verifies a run of block-aligned addresses as one unit,
+    /// behaviourally identical to calling [`Self::read_block`] once per
+    /// address in order and stopping at the first error — but on the fast
+    /// path the run costs one verified counter-block fetch per *distinct*
+    /// metadata block it touches (instead of one per block) and one
+    /// pipelined [`MemoryCipher::keystream_batch`] call for all decrypts.
+    ///
+    /// Verify-before-release: the fast path checks every block's MAC (and
+    /// side-band parity/SEC-DED) before decrypting anything. Any anomaly —
+    /// a tag mismatch, a correctable or uncorrectable side-band condition,
+    /// an uninitialized block, a tree failure — abandons the batch without
+    /// having mutated stats or storage and re-runs the whole run through
+    /// sequential [`Self::read_block`] calls, so error attribution,
+    /// flip-and-check correction, scrubbing, and failure statistics are
+    /// bit-identical to the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is not 64-byte aligned.
+    pub fn read_blocks(&mut self, addrs: &[u64]) -> ReadRun {
+        for &addr in addrs {
+            assert_eq!(
+                addr % BLOCK_BYTES as u64,
+                0,
+                "address must be block-aligned"
+            );
         }
+        if addrs.len() > 1 {
+            if let Some(run) = self.try_read_blocks_fast(addrs) {
+                return run;
+            }
+        }
+        self.read_blocks_sequential(addrs)
+    }
+
+    /// The batched fast path of [`Self::read_blocks`]. Returns `None` on
+    /// any anomaly, *before* mutating stats or storage, so the sequential
+    /// fallback replays the run from scratch.
+    fn try_read_blocks_fast(&mut self, addrs: &[u64]) -> Option<ReadRun> {
+        // Every block must already be sealed. Initializing a missing
+        // block here would sync its (shared) counter leaf back to the
+        // tree — and that must not happen before neighbouring blocks are
+        // verified, or it could launder a tampered off-chip leaf that the
+        // sequential path would have caught.
+        if addrs.iter().any(|&a| !self.storage.contains(a)) {
+            return None;
+        }
+
+        // One verified tree fetch per distinct metadata block in the run.
+        let mut fetched: Vec<u64> = Vec::new();
+        let mut counters: Vec<u64> = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            let block = Self::block_index(addr);
+            let meta = self.counters.metadata_block_of(block);
+            if !fetched.contains(&meta) {
+                let verified_image = self.tree.read_counter_block(meta).ok()?;
+                debug_assert_eq!(verified_image, self.counters.metadata_block_image(meta));
+                fetched.push(meta);
+            }
+            counters.push(self.counters.counter(block));
+        }
+
+        // Verify every tag before releasing any plaintext. Anything but a
+        // perfectly clean block (no side-band corrections, no mismatch)
+        // drops to the sequential path, which owns correction, scrubbing,
+        // and failure accounting.
+        let mut ciphertexts: Vec<[u8; BLOCK_BYTES]> = Vec::with_capacity(addrs.len());
+        for (&addr, &counter) in addrs.iter().zip(&counters) {
+            let stored = self.storage.read(addr);
+            let ct = match self.config.mac_placement {
+                MacPlacement::MacInEcc => {
+                    let sideband = MacSideband::from_bytes(stored.sideband);
+                    let DecodeOutcome::Clean { word: tag } = sideband.recover_tag() else {
+                        return None;
+                    };
+                    if !self.cipher.verify_block(addr, counter, &stored.data, tag) {
+                        return None;
+                    }
+                    stored.data
+                }
+                MacPlacement::SeparateMac => {
+                    let sideband = StandardSideband::from_bytes(stored.sideband);
+                    let decoded = sideband.decode(&stored.data);
+                    if decoded.any_error() {
+                        return None;
+                    }
+                    let ct = decoded.corrected_block()?;
+                    let block = Self::block_index(addr);
+                    let tag = self.mac_region.get(&block).copied().unwrap_or(0);
+                    if !self.cipher.verify_block(addr, counter, &ct, tag) {
+                        return None;
+                    }
+                    ct
+                }
+            };
+            ciphertexts.push(ct);
+        }
+
+        // All tags checked: decrypt the whole run from one pipelined
+        // keystream batch.
+        let nonces: Vec<(u64, u64)> = addrs.iter().copied().zip(counters).collect();
+        let keystreams = self.cipher.keystream_batch(&nonces);
+        for (ct, ks) in ciphertexts.iter_mut().zip(&keystreams) {
+            for (c, k) in ct.iter_mut().zip(ks.iter()) {
+                *c ^= k;
+            }
+        }
+        self.stats.reads += addrs.len() as u64;
+        Some(ReadRun {
+            blocks: ciphertexts,
+            failed: None,
+            counter_fetches: fetched.len() as u64,
+        })
+    }
+
+    /// The per-block fallback of [`Self::read_blocks`]: sequential
+    /// [`Self::read_block`] calls, stopping at the first failure.
+    fn read_blocks_sequential(&mut self, addrs: &[u64]) -> ReadRun {
+        let mut blocks = Vec::with_capacity(addrs.len());
+        let mut counter_fetches = 0u64;
+        for (i, &addr) in addrs.iter().enumerate() {
+            counter_fetches += 1;
+            match self.read_block(addr) {
+                Ok(plain) => blocks.push(plain),
+                Err(e) => {
+                    return ReadRun {
+                        blocks,
+                        failed: Some((i, e)),
+                        counter_fetches,
+                    };
+                }
+            }
+        }
+        ReadRun {
+            blocks,
+            failed: None,
+            counter_fetches,
+        }
+    }
+
+    /// Atomically reads, verifies, transforms, and re-seals one block,
+    /// returning the pre-image. Behaviourally identical to a
+    /// [`Self::read_block`] followed by a [`Self::write_block`] of the
+    /// transformed plaintext, but the seal reuses the verified counter
+    /// fetched by the read, so the operation costs one metadata fetch
+    /// instead of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReadError`] if the verified read fails; nothing is
+    /// written in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 64-byte aligned.
+    pub fn read_modify_write_block(
+        &mut self,
+        addr: u64,
+        f: impl FnOnce(&mut [u8; BLOCK_BYTES]),
+    ) -> Result<[u8; BLOCK_BYTES], ReadError> {
+        let (old, counter) = self.read_block_with_counter(addr)?;
+        let mut block = old;
+        f(&mut block);
+        let blk = Self::block_index(addr);
+        let outcome = self.counters.record_write(blk);
+        let new_counter = if let WriteOutcome::Reencrypted {
+            group,
+            old_counters,
+            new_counter,
+        } = outcome
+        {
+            self.reencrypt_group(group, &old_counters, new_counter);
+            self.counters.counter(blk)
+        } else {
+            // Every non-overflow outcome (increment, reset, re-encode,
+            // expansion) leaves the block's counter at exactly
+            // `read counter + 1` — resets and re-encodes rebalance the
+            // encoding without changing counter values.
+            debug_assert_eq!(self.counters.counter(blk), counter + 1);
+            counter + 1
+        };
+        self.seal(addr, new_counter, &block);
+        self.sync_tree(blk);
+        self.stats.writes += 1;
+        Ok(old)
     }
 
     fn read_mac_in_ecc(
@@ -797,6 +1016,14 @@ impl MemoryEncryptionEngine {
     #[must_use]
     pub fn counter_of(&self, addr: u64) -> u64 {
         self.counters.counter(Self::block_index(addr))
+    }
+
+    /// How many data blocks share one packed counter/metadata block under
+    /// the configured scheme — the upper bound on what a single verified
+    /// fetch can amortize across a fused read run.
+    #[must_use]
+    pub fn blocks_per_metadata_block(&self) -> usize {
+        self.counters.blocks_per_metadata_block()
     }
 
     /// Re-keys the engine: derives fresh keys from `new_seed`, re-encrypts
@@ -1260,5 +1487,229 @@ mod tests {
                 assert_eq!(e.read_block(addr).unwrap(), data, "{scheme:?} addr {addr}");
             }
         }
+    }
+
+    #[test]
+    fn read_blocks_matches_sequential_reads() {
+        // The batched fast path must release the exact plaintext and
+        // statistics a loop of read_block calls would — for every MAC
+        // placement and counter scheme, including duplicate addresses.
+        for mut e in all_configs() {
+            let addrs: Vec<u64> = (0..24u64).map(|i| (i % 10) * 64).collect();
+            for (i, &addr) in addrs.iter().enumerate() {
+                e.write_block(addr, &[(i as u8).wrapping_mul(13); 64]);
+            }
+            let mut sequential = Vec::new();
+            let mut scalar = engine(e.config().mac_placement, e.config().counter_scheme);
+            for (i, &addr) in addrs.iter().enumerate() {
+                scalar.write_block(addr, &[(i as u8).wrapping_mul(13); 64]);
+            }
+            for &addr in &addrs {
+                sequential.push(scalar.read_block(addr).unwrap());
+            }
+            let run = e.read_blocks(&addrs);
+            assert!(run.failed.is_none(), "{:?}", e.config());
+            assert_eq!(run.blocks, sequential, "{:?}", e.config());
+            assert_eq!(e.stats().reads, scalar.stats().reads);
+            assert_eq!(e.stats().failed_reads, 0);
+        }
+    }
+
+    #[test]
+    fn read_blocks_amortizes_counter_fetches() {
+        // A consecutive run inside one packed counter block costs exactly
+        // one verified fetch; a run crossing the boundary costs two.
+        for mut e in all_configs() {
+            let per_meta = e.blocks_per_metadata_block() as u64;
+            let within: Vec<u64> = (0..per_meta.min(8)).map(|b| b * 64).collect();
+            for &addr in &within {
+                e.write_block(addr, &[3; 64]);
+            }
+            let run = e.read_blocks(&within);
+            assert!(run.failed.is_none());
+            assert_eq!(run.counter_fetches, 1, "{:?}", e.config());
+
+            // Two blocks straddling the metadata boundary.
+            let straddle = [(per_meta - 1) * 64, per_meta * 64];
+            for &addr in &straddle {
+                e.write_block(addr, &[4; 64]);
+            }
+            let run = e.read_blocks(&straddle);
+            assert!(run.failed.is_none());
+            assert_eq!(run.counter_fetches, 2, "{:?}", e.config());
+        }
+    }
+
+    #[test]
+    fn read_blocks_with_uninitialized_block_falls_back() {
+        // An untouched block mid-run must not be initialized ahead of its
+        // neighbours' verification; the run falls back to the sequential
+        // path and still reads zeros for it.
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        e.write_block(0, &[1; 64]);
+        e.write_block(128, &[2; 64]);
+        let run = e.read_blocks(&[0, 64, 128]);
+        assert!(run.failed.is_none());
+        assert_eq!(run.blocks, vec![[1; 64], [0; 64], [2; 64]]);
+        assert_eq!(run.counter_fetches, 3, "fallback fetches per block");
+    }
+
+    #[test]
+    fn read_blocks_survives_group_reencryption() {
+        // After counter-overflow re-encryptions the fused path must still
+        // verify and decrypt the run correctly.
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        for round in 0..200u64 {
+            for b in 0..4u64 {
+                e.write_block(b * 64, &[(round as u8).wrapping_add(b as u8); 64]);
+            }
+        }
+        assert!(e.counter_stats().reencryptions > 0);
+        let addrs: Vec<u64> = (0..4u64).map(|b| b * 64).collect();
+        let run = e.read_blocks(&addrs);
+        assert!(run.failed.is_none());
+        assert_eq!(run.counter_fetches, 1);
+        for (b, blk) in run.blocks.iter().enumerate() {
+            assert_eq!(blk, &[199u8.wrapping_add(b as u8); 64]);
+        }
+    }
+
+    #[test]
+    fn read_blocks_tamper_attribution_matches_sequential() {
+        // An unrecoverable corruption mid-run must fail at the same index
+        // with the same error and stats as sequential reads, releasing
+        // exactly the clean prefix.
+        for bit_target in ["data", "sideband"] {
+            let mk = || {
+                let mut e = MemoryEncryptionEngine::new(EngineConfig {
+                    max_correctable_flips: 0,
+                    ..EngineConfig::default()
+                });
+                for b in 0..6u64 {
+                    e.write_block(b * 64, &[b as u8 + 1; 64]);
+                }
+                match bit_target {
+                    "data" => e.tamper_data_bit(3 * 64, 100),
+                    _ => {
+                        // Two side-band flips defeat the MAC's SEC-DED.
+                        e.tamper_sideband_bit(3 * 64, 5);
+                        e.tamper_sideband_bit(3 * 64, 40);
+                    }
+                }
+                e
+            };
+            let addrs: Vec<u64> = (0..6u64).map(|b| b * 64).collect();
+            let mut fused = mk();
+            let run = fused.read_blocks(&addrs);
+            let (idx, err) = run.failed.expect("tamper must be detected");
+            assert_eq!(idx, 3, "{bit_target}");
+            assert_eq!(run.blocks.len(), 3);
+
+            let mut seq = mk();
+            let mut seq_err = None;
+            let mut seq_prefix = 0;
+            for &addr in &addrs {
+                match seq.read_block(addr) {
+                    Ok(_) => seq_prefix += 1,
+                    Err(e) => {
+                        seq_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            assert_eq!(seq_prefix, 3, "{bit_target}");
+            assert_eq!(format!("{err:?}"), format!("{:?}", seq_err.unwrap()));
+            assert_eq!(fused.stats().reads, seq.stats().reads);
+            assert_eq!(fused.stats().failed_reads, seq.stats().failed_reads);
+        }
+    }
+
+    #[test]
+    fn read_blocks_single_flip_corrected_via_fallback() {
+        // A single-bit fault inside a fused run is corrected (and the
+        // block scrubbed) exactly as a sequential read would — the batch
+        // drops to the per-block path, which owns flip-and-check.
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        for b in 0..4u64 {
+            e.write_block(b * 64, &[0x5a; 64]);
+        }
+        e.tamper_data_bit(128, 77);
+        let run = e.read_blocks(&[0, 64, 128, 192]);
+        assert!(run.failed.is_none(), "single flip must be corrected");
+        assert_eq!(run.blocks, vec![[0x5a; 64]; 4]);
+        assert_eq!(e.stats().data_corrections, 1);
+        // The scrub repaired storage: the next fused read is clean again.
+        let run = e.read_blocks(&[0, 64, 128, 192]);
+        assert!(run.failed.is_none());
+        assert_eq!(run.counter_fetches, 1, "post-scrub run takes the fast path");
+    }
+
+    #[test]
+    fn rmw_matches_read_then_write() {
+        // read_modify_write_block must be bit-identical to read_block +
+        // write_block — same counters, same readback, same stats — while
+        // charging only one metadata fetch.
+        for mut e in all_configs() {
+            let mut scalar = engine(e.config().mac_placement, e.config().counter_scheme);
+            for round in 0..10u8 {
+                let addr = u64::from(round % 3) * 64;
+                let old = e
+                    .read_modify_write_block(addr, |b| {
+                        for x in b.iter_mut() {
+                            *x = x.wrapping_add(round);
+                        }
+                    })
+                    .unwrap();
+                let s_old = scalar.read_block(addr).unwrap();
+                let mut s_new = s_old;
+                for x in s_new.iter_mut() {
+                    *x = x.wrapping_add(round);
+                }
+                scalar.write_block(addr, &s_new);
+                assert_eq!(old, s_old, "{:?}", e.config());
+                assert_eq!(e.counter_of(addr), scalar.counter_of(addr));
+            }
+            for b in 0..3u64 {
+                assert_eq!(
+                    e.read_block(b * 64).unwrap(),
+                    scalar.read_block(b * 64).unwrap(),
+                    "{:?}",
+                    e.config()
+                );
+            }
+            assert_eq!(e.stats().writes, scalar.stats().writes);
+        }
+    }
+
+    #[test]
+    fn rmw_survives_counter_overflow() {
+        // Hammering one block with RMWs far past the wrap point exercises
+        // the Reencrypted arm, where the seal counter must be re-derived
+        // instead of reusing read counter + 1.
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        for round in 0..600u64 {
+            e.read_modify_write_block(0, |b| b[0] = round as u8)
+                .unwrap();
+        }
+        assert!(e.counter_stats().reencryptions > 0);
+        let blk = e.read_block(0).unwrap();
+        assert_eq!(blk[0], 87, "600 rounds end at round 599 => b[0] = 87");
+    }
+
+    #[test]
+    fn rmw_refuses_tampered_block() {
+        // A failed verified read must leave storage untouched — RMW can
+        // never launder attacker bits into a fresh seal.
+        let mut e = MemoryEncryptionEngine::new(EngineConfig {
+            max_correctable_flips: 0,
+            ..EngineConfig::default()
+        });
+        e.write_block(0, &[7; 64]);
+        let counter_before = e.counter_of(0);
+        e.tamper_data_bit(0, 13);
+        let ct_before = e.snapshot_block(0).stored.data;
+        assert!(e.read_modify_write_block(0, |b| b[0] = 9).is_err());
+        assert_eq!(e.counter_of(0), counter_before, "no counter bump");
+        assert_eq!(e.snapshot_block(0).stored.data, ct_before, "no write");
     }
 }

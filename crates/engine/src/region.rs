@@ -11,7 +11,7 @@
 //! [`SecureRegion`] provides that layer, plus the bounds discipline of a
 //! fixed-size protected region.
 
-use crate::{MemoryEncryptionEngine, ReadError, BLOCK_BYTES};
+use crate::{MemoryEncryptionEngine, ReadError, ReadRun, BLOCK_BYTES};
 
 /// Errors from byte-granular region access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +157,56 @@ impl SecureRegion {
         }
         self.engine.write_blocks(items);
         Ok(())
+    }
+
+    /// Reads and verifies a run of block-aligned full-block loads through
+    /// the engine's batched read path (one verified counter fetch per
+    /// distinct metadata block, one pipelined keystream batch), with
+    /// per-block sequential fallback on any anomaly. The whole run is
+    /// bounds-checked before anything is read.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::OutOfBounds`] if any address is unaligned or out of
+    /// range — in that case no block of the run is read. Verification
+    /// failures are reported *inside* the returned [`ReadRun`] so callers
+    /// keep the successfully released prefix.
+    pub fn read_blocks(&mut self, addrs: &[u64]) -> Result<ReadRun, RegionError> {
+        for &addr in addrs {
+            self.check(addr, BLOCK_BYTES)?;
+            if !addr.is_multiple_of(BLOCK_BYTES as u64) {
+                return Err(RegionError::OutOfBounds {
+                    addr,
+                    len: BLOCK_BYTES,
+                });
+            }
+        }
+        Ok(self.engine.read_blocks(addrs))
+    }
+
+    /// Atomically reads, verifies, transforms, and re-seals one aligned
+    /// block, returning the pre-image. The seal reuses the verified
+    /// read's counter fetch, so the whole operation costs one metadata
+    /// lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::OutOfBounds`] for a bad or unaligned address;
+    /// [`RegionError::Read`] if the verified read fails (nothing is
+    /// written in that case).
+    pub fn rmw_block(
+        &mut self,
+        addr: u64,
+        f: impl FnOnce(&mut [u8; BLOCK_BYTES]),
+    ) -> Result<[u8; BLOCK_BYTES], RegionError> {
+        self.check(addr, BLOCK_BYTES)?;
+        if !addr.is_multiple_of(BLOCK_BYTES as u64) {
+            return Err(RegionError::OutOfBounds {
+                addr,
+                len: BLOCK_BYTES,
+            });
+        }
+        Ok(self.engine.read_modify_write_block(addr, f)?)
     }
 
     /// Writes `data` starting at byte offset `addr`. Partially covered

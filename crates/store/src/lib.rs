@@ -83,6 +83,14 @@ pub struct StoreConfig {
     pub queue_depth: usize,
     /// Maximum operations a worker coalesces into one service interval.
     pub max_batch: usize,
+    /// Fuse runs of consecutive full-block writes into one engine
+    /// `write_blocks` call per run (on by default; off serves every
+    /// write individually — the scalar baseline for benchmarks).
+    pub fuse_writes: bool,
+    /// Fuse runs of consecutive verified reads (and RMW read halves)
+    /// into one engine `read_blocks` call per run (on by default; off
+    /// serves every read individually).
+    pub fuse_reads: bool,
     /// Engine configuration template; each shard derives an independent
     /// key seed from it via [`EngineConfig::for_shard`].
     pub engine: EngineConfig,
@@ -95,6 +103,8 @@ impl Default for StoreConfig {
             shard_bytes: 1 << 20,
             queue_depth: 128,
             max_batch: 64,
+            fuse_writes: true,
+            fuse_reads: true,
             engine: EngineConfig::default(),
         }
     }
@@ -270,8 +280,15 @@ impl SecureStore {
             // The reseal seed is derived past the live shard range, so it
             // is deterministic but never equal to any shard's boot seed.
             let reseal_seed = config.engine.for_shard(s + config.shards).seed;
-            let worker =
-                ShardWorker::new(s, region, reseal_seed, config.max_batch, Arc::clone(&sh));
+            let worker = ShardWorker::new(
+                s,
+                region,
+                reseal_seed,
+                config.max_batch,
+                config.fuse_writes,
+                config.fuse_reads,
+                Arc::clone(&sh),
+            );
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ame-shard{s}"))
@@ -587,10 +604,31 @@ impl SecureStore {
     ///
     /// Address validation errors, or [`StoreError::Disconnected`].
     pub fn tamper_data_bit(&self, addr: u64, bit: u32) -> Result<(), StoreError> {
+        self.tamper(addr, bit, false)
+    }
+
+    /// Flips one stored ECC side-band bit (`0..64`) of the block at
+    /// `addr` — corrupting the in-band MAC / parity metadata instead of
+    /// the ciphertext. Same ordering guarantees as
+    /// [`tamper_data_bit`](Self::tamper_data_bit).
+    ///
+    /// # Errors
+    ///
+    /// Address validation errors, or [`StoreError::Disconnected`].
+    pub fn tamper_sideband_bit(&self, addr: u64, bit: u32) -> Result<(), StoreError> {
+        self.tamper(addr, bit, true)
+    }
+
+    fn tamper(&self, addr: u64, bit: u32, sideband: bool) -> Result<(), StoreError> {
         let (shard, local) = self.locate(addr)?;
         let (ack, done) = sync_channel(1);
         self.senders[shard]
-            .send(Request::Tamper { local, bit, ack })
+            .send(Request::Tamper {
+                local,
+                bit,
+                sideband,
+                ack,
+            })
             .map_err(|_| StoreError::Disconnected { shard })?;
         done.recv().map_err(|_| StoreError::Disconnected { shard })
     }
@@ -598,6 +636,7 @@ impl SecureStore {
     /// Collects every shard's telemetry into `registry` under
     /// `<scope>/shard<N>/...`: operation counters, `poisoned` gauge,
     /// `batch_size`/`service_latency_ns`/`queue_wait_ns`/`fused_writes`/
+    /// `fused_reads`/`counter_fetch_amortization`/
     /// `queue_depth_seen` histograms, the instantaneous `queue_depth`
     /// gauge and `overloads` counter,
     /// and the shard engine's own metrics under

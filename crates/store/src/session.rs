@@ -14,8 +14,10 @@
 //!
 //! A submission travels: session window check → shard request queue
 //! (bounded, one slot per submission) → worker dequeue (queue wait ends,
-//! service begins) → execution (fused with neighbouring writes where
-//! possible) → completion push onto the session's queue → client reap.
+//! service begins) → execution (fused with neighbouring writes — or, for
+//! reads and RMW read halves, into one batch-verified `read_blocks` run —
+//! where possible) → completion push onto the session's queue → client
+//! reap.
 //! The completion queue is sized `shards × in_flight_window`, which the
 //! window accounting makes an upper bound on undrained completions — the
 //! worker's completion push therefore never blocks, so a slow client can
@@ -99,7 +101,7 @@ pub struct SessionStats {
     pub completion_batch: Histogram,
     /// Per-op time spent in the shard queue (enqueue → dequeue).
     pub queue_wait_ns: Histogram,
-    /// Per-op time spent in service (a fused write's share).
+    /// Per-op time spent in service (a fused write's or read's share).
     pub service_ns: Histogram,
 }
 

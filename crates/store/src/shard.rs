@@ -9,10 +9,19 @@
 //! individual submissions or [`submit_batch`] slots — are fused into a
 //! single engine-level [`write_blocks`] call, so their seal keystreams
 //! come from one pipelined `keystream_batch` and channel/scheduling costs
-//! amortize over the whole wakeup. Every operation records its queue
-//! wait (enqueue → dequeue) and its service latency individually, so
-//! deep pipelined windows show up in the histograms as queue time, not
-//! inflated service time.
+//! amortize over the whole wakeup. Reads (and the read half of RMWs) fuse
+//! symmetrically into one engine-level [`read_blocks`] call: the run pays
+//! one verified counter fetch per distinct metadata block instead of one
+//! per block, and decrypts from one pipelined keystream batch, with the
+//! engine falling back to per-block reads on any anomaly so failure
+//! semantics stay bit-identical to sequential service. At most one fusion
+//! buffer is ever non-empty — parking a write flushes pending reads and
+//! vice versa — and a read parking behind a pending RMW to the *same*
+//! block flushes first, so fusion never changes what any operation
+//! observes. Every operation records its queue wait (enqueue → dequeue)
+//! and its service latency individually (a fused run charges each op its
+//! `elapsed/n` share), so deep pipelined windows show up in the
+//! histograms as queue time, not inflated service time.
 //!
 //! Every request carries a completion route: the blocking front-end
 //! waits on a one-shot channel, a [`Session`](crate::Session) points many
@@ -30,6 +39,7 @@
 //!
 //! [`submit_batch`]: crate::SecureStore::submit_batch
 //! [`write_blocks`]: ame_engine::region::SecureRegion::write_blocks
+//! [`read_blocks`]: ame_engine::region::SecureRegion::read_blocks
 
 use ame_engine::region::{RegionError, SecureRegion};
 use ame_engine::{ReadError, BLOCK_BYTES};
@@ -108,10 +118,12 @@ pub(crate) enum Request {
     Collect {
         reply: SyncSender<ShardReport>,
     },
-    /// Test/attack surface: flip one stored ciphertext bit.
+    /// Test/attack surface: flip one stored ciphertext bit (or one ECC
+    /// side-band bit when `sideband` is set).
     Tamper {
         local: u64,
         bit: u32,
+        sideband: bool,
         ack: SyncSender<()>,
     },
 }
@@ -173,6 +185,13 @@ pub struct ShardStats {
     pub queue_wait_ns: Histogram,
     /// Consecutive writes fused into each engine `write_blocks` call.
     pub fused_writes: Histogram,
+    /// Reads (and RMW read halves) fused into each engine `read_blocks`
+    /// call.
+    pub fused_reads: Histogram,
+    /// Blocks verified per counter fetch in each successful fused read
+    /// run (`run length / distinct metadata blocks fetched`) — the
+    /// amortization the batch bought; 1 means no sharing.
+    pub counter_fetch_amortization: Histogram,
     /// Queue depth observed at each service interval (log₂ buckets).
     pub queue_depth_seen: Histogram,
 }
@@ -191,6 +210,11 @@ impl Metrics for ShardStats {
         sink.histogram("service_latency_ns", &self.service_latency_ns);
         sink.histogram("queue_wait_ns", &self.queue_wait_ns);
         sink.histogram("fused_writes", &self.fused_writes);
+        sink.histogram("fused_reads", &self.fused_reads);
+        sink.histogram(
+            "counter_fetch_amortization",
+            &self.counter_fetch_amortization,
+        );
         sink.histogram("queue_depth_seen", &self.queue_depth_seen);
     }
 }
@@ -213,8 +237,8 @@ pub struct SealReport {
     pub poisoned: Option<ReadError>,
 }
 
-/// Where a fused write's result goes once the engine batch lands.
-enum WriteDest {
+/// Where a fused operation's result goes once the engine batch lands.
+enum Dest {
     /// An individual submission: completion sent directly.
     Single {
         seq: u64,
@@ -229,7 +253,18 @@ struct PendingWrite {
     local: u64,
     data: [u8; BLOCK_BYTES],
     queue_ns: u64,
-    dest: WriteDest,
+    dest: Dest,
+}
+
+/// One read (or the read half of an RMW) parked in the fusion buffer
+/// awaiting the batched verify.
+struct PendingRead {
+    local: u64,
+    queue_ns: u64,
+    dest: Dest,
+    /// `Some` for an RMW: applied to the verified pre-image, and the
+    /// result written back when the run flushes.
+    rmw: Option<RmwFn>,
 }
 
 pub(crate) struct ShardWorker {
@@ -238,6 +273,8 @@ pub(crate) struct ShardWorker {
     /// Seed the shard re-keys to on graceful shutdown.
     reseal_seed: u64,
     max_batch: usize,
+    fuse_writes: bool,
+    fuse_reads: bool,
     shared: Arc<ShardShared>,
     poisoned: Option<ReadError>,
     stats: ShardStats,
@@ -249,6 +286,8 @@ impl ShardWorker {
         region: SecureRegion,
         reseal_seed: u64,
         max_batch: usize,
+        fuse_writes: bool,
+        fuse_reads: bool,
         shared: Arc<ShardShared>,
     ) -> Self {
         Self {
@@ -256,6 +295,8 @@ impl ShardWorker {
             region,
             reseal_seed,
             max_batch,
+            fuse_writes,
+            fuse_reads,
             shared,
             poisoned: None,
             stats: ShardStats::default(),
@@ -295,16 +336,19 @@ impl ShardWorker {
     /// Serves one wakeup's drained requests as a single service batch.
     ///
     /// Requests are processed strictly in arrival order; runs of
-    /// consecutive full-block writes (across request boundaries) are
-    /// parked in a fusion buffer and committed through one engine
-    /// `write_blocks` call when a non-write — a read, an RMW, a control
-    /// request, or the end of the wakeup — breaks the run. Because any
-    /// operation that can fail or observe state flushes the buffer
-    /// first, fusion never reorders anything.
+    /// consecutive full-block writes and runs of consecutive verified
+    /// reads (plain reads and RMW read halves, across request boundaries)
+    /// are parked in fusion buffers and committed through one engine
+    /// `write_blocks` / `read_blocks` call when the run breaks — a
+    /// different op kind, a control request, a same-block RMW hazard, or
+    /// the end of the wakeup. Parking a write flushes pending reads and
+    /// vice versa, so at most one buffer is ever non-empty and fusion
+    /// never reorders anything an operation could observe.
     fn service_wakeup(&mut self, requests: Vec<Request>) {
         self.stats.queue_depth_seen.record(self.shared.depth_now());
         let mut ops = 0u64;
-        let mut fused: Vec<PendingWrite> = Vec::new();
+        let mut writes: Vec<PendingWrite> = Vec::new();
+        let mut reads: Vec<PendingRead> = Vec::new();
         // (reply channel, accumulated per-op results) per Batch request.
         let mut slots: Vec<BatchSlot> = Vec::new();
         for request in requests {
@@ -319,29 +363,8 @@ impl ShardWorker {
                     let queue_ns = enqueued.elapsed().as_nanos() as u64;
                     self.stats.queue_wait_ns.record(queue_ns);
                     ops += 1;
-                    if let (Op::Write { local, data }, None) = (&op, &self.poisoned) {
-                        if local + BLOCK_BYTES as u64 <= self.region.size() {
-                            fused.push(PendingWrite {
-                                local: *local,
-                                data: *data,
-                                queue_ns,
-                                dest: WriteDest::Single { seq, reply },
-                            });
-                            continue;
-                        }
-                    }
-                    self.flush_fused(&mut fused, &mut slots);
-                    let start = Instant::now();
-                    let result = self.exec(op);
-                    let service_ns = start.elapsed().as_nanos() as u64;
-                    self.stats.service_latency_ns.record(service_ns);
-                    let _ = reply.send(Completion {
-                        seq,
-                        shard: self.shard,
-                        result,
-                        queue_ns,
-                        service_ns,
-                    });
+                    let dest = Dest::Single { seq, reply };
+                    self.handle_op(op, queue_ns, dest, &mut writes, &mut reads, &mut slots);
                 }
                 Request::Batch {
                     ops: batch_ops,
@@ -358,40 +381,36 @@ impl ShardWorker {
                     let slot = slots.len();
                     slots.push((reply, (0..n).map(|_| None).collect()));
                     for (index, op) in batch_ops.into_iter().enumerate() {
-                        if let (Op::Write { local, data }, None) = (&op, &self.poisoned) {
-                            if local + BLOCK_BYTES as u64 <= self.region.size() {
-                                fused.push(PendingWrite {
-                                    local: *local,
-                                    data: *data,
-                                    queue_ns,
-                                    dest: WriteDest::Batch { slot, index },
-                                });
-                                continue;
-                            }
-                        }
-                        self.flush_fused(&mut fused, &mut slots);
-                        let start = Instant::now();
-                        let result = self.exec(op);
-                        self.stats
-                            .service_latency_ns
-                            .record(start.elapsed().as_nanos() as u64);
-                        slots[slot].1[index] = Some(result);
+                        let dest = Dest::Batch { slot, index };
+                        self.handle_op(op, queue_ns, dest, &mut writes, &mut reads, &mut slots);
                     }
                 }
                 Request::Collect { reply } => {
-                    self.flush_fused(&mut fused, &mut slots);
+                    self.flush_fused(&mut writes, &mut slots);
+                    self.flush_fused_reads(&mut reads, &mut slots);
                     let _ = reply.send(self.report());
                 }
-                Request::Tamper { local, bit, ack } => {
-                    // Tampering must stay ordered with surrounding writes.
-                    self.flush_fused(&mut fused, &mut slots);
-                    self.region.engine_mut().tamper_data_bit(local, bit);
+                Request::Tamper {
+                    local,
+                    bit,
+                    sideband,
+                    ack,
+                } => {
+                    // Tampering must stay ordered with surrounding ops.
+                    self.flush_fused(&mut writes, &mut slots);
+                    self.flush_fused_reads(&mut reads, &mut slots);
+                    if sideband {
+                        self.region.engine_mut().tamper_sideband_bit(local, bit);
+                    } else {
+                        self.region.engine_mut().tamper_data_bit(local, bit);
+                    }
                     self.stats.tampers += 1;
                     let _ = ack.send(());
                 }
             }
         }
-        self.flush_fused(&mut fused, &mut slots);
+        self.flush_fused(&mut writes, &mut slots);
+        self.flush_fused_reads(&mut reads, &mut slots);
         for (reply, results) in slots {
             let results: Vec<OpReply> = results
                 .into_iter()
@@ -405,9 +424,117 @@ impl ShardWorker {
         }
     }
 
-    /// Commits the fusion buffer through one engine `write_blocks` call
-    /// and delivers each write's completion, charging every op its share
-    /// of the fused service time.
+    /// Parks a fusable operation in the matching buffer or executes it
+    /// immediately (flushing both buffers first, so order is preserved).
+    ///
+    /// A read or RMW may not park behind a pending RMW to the *same*
+    /// block: the later op must observe the earlier RMW's write, while a
+    /// fused run verifies one snapshot — so the hazard flushes the run
+    /// first. Parking behind a pending *plain* read is always safe (both
+    /// observe the same snapshot, exactly as sequential service would).
+    fn handle_op(
+        &mut self,
+        op: Op,
+        queue_ns: u64,
+        dest: Dest,
+        writes: &mut Vec<PendingWrite>,
+        reads: &mut Vec<PendingRead>,
+        slots: &mut [BatchSlot],
+    ) {
+        let op = if self.poisoned.is_none() {
+            let in_bounds = |local: u64| local + BLOCK_BYTES as u64 <= self.region.size();
+            // A flush can itself poison the shard (a fused read run that
+            // fails verification), so each arm re-checks after flushing
+            // and falls through to immediate (rejecting) execution
+            // instead of parking behind the failure.
+            match op {
+                Op::Write { local, data } if self.fuse_writes && in_bounds(local) => {
+                    // Pending reads arrived first and must observe the
+                    // pre-write snapshot.
+                    self.flush_fused_reads(reads, slots);
+                    if self.poisoned.is_none() {
+                        writes.push(PendingWrite {
+                            local,
+                            data,
+                            queue_ns,
+                            dest,
+                        });
+                        return;
+                    }
+                    Op::Write { local, data }
+                }
+                Op::Read { local } if self.fuse_reads && in_bounds(local) => {
+                    self.flush_fused(writes, slots);
+                    if reads.iter().any(|r| r.rmw.is_some() && r.local == local) {
+                        self.flush_fused_reads(reads, slots);
+                    }
+                    if self.poisoned.is_none() {
+                        reads.push(PendingRead {
+                            local,
+                            queue_ns,
+                            dest,
+                            rmw: None,
+                        });
+                        return;
+                    }
+                    Op::Read { local }
+                }
+                Op::Rmw { local, f } if self.fuse_reads && in_bounds(local) => {
+                    self.flush_fused(writes, slots);
+                    if reads.iter().any(|r| r.rmw.is_some() && r.local == local) {
+                        self.flush_fused_reads(reads, slots);
+                    }
+                    if self.poisoned.is_none() {
+                        reads.push(PendingRead {
+                            local,
+                            queue_ns,
+                            dest,
+                            rmw: Some(f),
+                        });
+                        return;
+                    }
+                    Op::Rmw { local, f }
+                }
+                other => other,
+            }
+        } else {
+            op
+        };
+        self.flush_fused(writes, slots);
+        self.flush_fused_reads(reads, slots);
+        let start = Instant::now();
+        let result = self.exec(op);
+        let service_ns = start.elapsed().as_nanos() as u64;
+        self.stats.service_latency_ns.record(service_ns);
+        self.deliver(dest, result, queue_ns, service_ns, slots);
+    }
+
+    /// Routes one finished operation's result to its submitter.
+    fn deliver(
+        &self,
+        dest: Dest,
+        result: OpReply,
+        queue_ns: u64,
+        service_ns: u64,
+        slots: &mut [BatchSlot],
+    ) {
+        match dest {
+            Dest::Single { seq, reply } => {
+                let _ = reply.send(Completion {
+                    seq,
+                    shard: self.shard,
+                    result,
+                    queue_ns,
+                    service_ns,
+                });
+            }
+            Dest::Batch { slot, index } => slots[slot].1[index] = Some(result),
+        }
+    }
+
+    /// Commits the write-fusion buffer through one engine `write_blocks`
+    /// call and delivers each write's completion, charging every op its
+    /// share of the fused service time.
     fn flush_fused(&mut self, fused: &mut Vec<PendingWrite>, slots: &mut [BatchSlot]) {
         if fused.is_empty() {
             return;
@@ -434,20 +561,104 @@ impl ShardWorker {
                     OpOutput::Written
                 })
             };
-            match w.dest {
-                WriteDest::Single { seq, reply } => {
-                    let _ = reply.send(Completion {
-                        seq,
-                        shard: self.shard,
-                        result,
-                        queue_ns: w.queue_ns,
-                        service_ns: share_ns,
-                    });
+            self.deliver(w.dest, result, w.queue_ns, share_ns, slots);
+        }
+    }
+
+    /// Commits the read-fusion buffer through one engine `read_blocks`
+    /// call: the run pays one verified counter fetch per distinct
+    /// metadata block, verifies every tag before releasing any plaintext,
+    /// and decrypts from one pipelined keystream batch. RMW entries apply
+    /// their mutator to the verified pre-image and the resulting writes
+    /// are committed as one batched seal before any failure is reported —
+    /// exactly the effects sequential service would have produced.
+    ///
+    /// On a verification failure the engine already fell back to
+    /// per-block reads, so the released prefix, the failing index, and
+    /// the error are bit-identical to sequential service: the prefix
+    /// completes, the failing op poisons the shard, every later op in the
+    /// run is rejected as poisoned.
+    fn flush_fused_reads(&mut self, fused: &mut Vec<PendingRead>, slots: &mut [BatchSlot]) {
+        if fused.is_empty() {
+            return;
+        }
+        let n = fused.len() as u64;
+        let start = Instant::now();
+        let addrs: Vec<u64> = fused.iter().map(|r| r.local).collect();
+        let run = match self.region.read_blocks(&addrs) {
+            Ok(run) => run,
+            Err(RegionError::OutOfBounds { .. }) => {
+                // Unreachable in practice (bounds-checked at park time,
+                // alignment guaranteed by `locate`); serve per-op.
+                for r in fused.drain(..) {
+                    let op = match r.rmw {
+                        Some(f) => Op::Rmw { local: r.local, f },
+                        None => Op::Read { local: r.local },
+                    };
+                    let start = Instant::now();
+                    let result = self.exec(op);
+                    let service_ns = start.elapsed().as_nanos() as u64;
+                    self.stats.service_latency_ns.record(service_ns);
+                    self.deliver(r.dest, result, r.queue_ns, service_ns, slots);
                 }
-                WriteDest::Batch { slot, index } => {
-                    slots[slot].1[index] = Some(result);
-                }
+                return;
             }
+            Err(RegionError::Read(_)) => unreachable!("read_blocks reports failures in the run"),
+        };
+
+        // Apply RMW mutators to the verified prefix and stage their
+        // write-backs (hazard flushing keeps RMW addresses distinct, so
+        // one batched seal is order-equivalent to sequential writes).
+        let released = run.blocks.len();
+        let mut results: Vec<OpReply> = Vec::with_capacity(fused.len());
+        let mut write_backs: Vec<(u64, [u8; BLOCK_BYTES])> = Vec::new();
+        for (r, block) in fused.iter_mut().zip(run.blocks) {
+            results.push(match r.rmw.take() {
+                None => {
+                    self.stats.reads += 1;
+                    Ok(OpOutput::Read(block))
+                }
+                Some(f) => {
+                    let mut new = block;
+                    f(&mut new);
+                    write_backs.push((r.local, new));
+                    self.stats.rmws += 1;
+                    Ok(OpOutput::Modified { old: block })
+                }
+            });
+        }
+        if !write_backs.is_empty() {
+            // Commit before reporting any failure: sequential service
+            // completes every op preceding the failing one in full.
+            let committed = self.region.write_blocks(&write_backs).is_ok();
+            debug_assert!(committed, "staged RMW write-backs cannot fail");
+        }
+        if let Some((index, error)) = run.failed {
+            debug_assert_eq!(index, released);
+            results.push(Err(self.poison(error)));
+            for _ in index + 1..fused.len() {
+                self.stats.rejected_poisoned += 1;
+                results.push(Err(StoreError::ShardPoisoned {
+                    shard: self.shard,
+                    cause: None,
+                }));
+            }
+        }
+
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let share_ns = elapsed_ns / n;
+        self.stats.fused_reads.record(n);
+        if run.failed.is_none() {
+            // Blocks verified per counter fetch: >1 only when the batch
+            // actually shared metadata fetches (the per-block fallback
+            // reports one fetch per block).
+            self.stats
+                .counter_fetch_amortization
+                .record((n / run.counter_fetches.max(1)).max(1));
+        }
+        self.stats.service_latency_ns.record_n(share_ns, n);
+        for (r, result) in fused.drain(..).zip(results) {
+            self.deliver(r.dest, result, r.queue_ns, share_ns, slots);
         }
     }
 
@@ -468,12 +679,11 @@ impl ShardWorker {
                 self.stats.writes += 1;
                 OpOutput::Written
             }),
-            Op::Rmw { local, f } => self.read(local).and_then(|old| {
-                let mut block = old;
-                f(&mut block);
-                self.write(local, &block)?;
+            // The verified read's counter fetch is reused for the seal,
+            // so an RMW costs one metadata lookup, not two.
+            Op::Rmw { local, f } => self.rmw(local, f).map(|old| {
                 self.stats.rmws += 1;
-                Ok(OpOutput::Modified { old })
+                OpOutput::Modified { old }
             }),
         }
     }
@@ -497,6 +707,17 @@ impl ShardWorker {
     fn write(&mut self, local: u64, data: &[u8; BLOCK_BYTES]) -> Result<(), StoreError> {
         match self.region.write_bytes(local, data) {
             Ok(()) => Ok(()),
+            Err(RegionError::Read(e)) => Err(self.poison(e)),
+            Err(RegionError::OutOfBounds { addr, len }) => Err(StoreError::OutOfRange {
+                addr,
+                len: len as u64,
+            }),
+        }
+    }
+
+    fn rmw(&mut self, local: u64, f: RmwFn) -> Result<[u8; BLOCK_BYTES], StoreError> {
+        match self.region.rmw_block(local, f) {
+            Ok(old) => Ok(old),
             Err(RegionError::Read(e)) => Err(self.poison(e)),
             Err(RegionError::OutOfBounds { addr, len }) => Err(StoreError::OutOfRange {
                 addr,

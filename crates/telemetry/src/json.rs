@@ -170,6 +170,12 @@ impl From<&str> for Json {
     }
 }
 
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
 impl From<u64> for Json {
     fn from(n: u64) -> Self {
         Json::U64(n)
