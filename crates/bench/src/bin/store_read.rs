@@ -55,6 +55,9 @@ fn main() {
         if let Some(ratio) = store_load::read_fusion_speedup(&points, shards) {
             println!("read fusion on/off @{shards} shards: {ratio:.2}x");
         }
+        if let Some(ratio) = store_load::counter_prefetch_speedup(&points, shards) {
+            println!("counter prefetch on/off (fused) @{shards} shards: {ratio:.2}x");
+        }
     }
     println!();
 

@@ -1,0 +1,187 @@
+//! Crash-recovery experiment: kill a persistent store under write load,
+//! reopen it, and measure the time back to verified serving.
+//!
+//! The binary re-executes itself as the load generator: the parent
+//! spawns `store_recovery --child <dir>`, lets it write for a while,
+//! SIGKILLs it mid-load (a real power cut as far as the store can
+//! tell), then reopens the directory and checks every write the child
+//! acknowledged. The child appends each acknowledged write's
+//! `(addr, value)` to `<dir>/acks.log` *after* the store's ack, so the
+//! log is a lower bound on what recovery must surface; its own torn
+//! tail (the kill can land between store ack and log append) is
+//! skipped the same way the store skips its intent log's torn tail.
+//!
+//! Reported per run: acknowledged writes, verified reads after
+//! recovery, verification errors (must be 0), and the reopen
+//! wall-clock — snapshot thaw + intent-log replay + full-tree
+//! verification sweep. Writes `results/store_recovery.json`.
+//!
+//! The durable directory lives under `$AME_PERSIST_DIR` if set, a
+//! temporary directory otherwise.
+//!
+//! Usage: `cargo run -p ame-bench --bin store_recovery --release \
+//!     [load_ms] [footprint_blocks]`
+
+use ame_bench::{parse_arg, results};
+use ame_persist::{frame_record, scan_wal};
+use ame_store::{SecureStore, StoreConfig};
+use ame_telemetry::Json;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const BLOCK: usize = 64;
+const SHARDS: usize = 4;
+
+fn bench_config(footprint_blocks: u64) -> StoreConfig {
+    StoreConfig {
+        shards: SHARDS,
+        shard_bytes: footprint_blocks.div_ceil(SHARDS as u64) * BLOCK as u64,
+        // A small rotation threshold so the killed run exercises
+        // snapshot rotation as well as log replay.
+        wal_rotate_bytes: 64 * 1024,
+        ..StoreConfig::default()
+    }
+}
+
+/// The load generator: writes round-robin over the footprint with a
+/// round-tagged fill byte, logging each acknowledged write. Runs until
+/// killed.
+fn run_child(dir: &Path, footprint_blocks: u64) -> ! {
+    let store = SecureStore::open(dir, bench_config(footprint_blocks)).expect("child open");
+    let mut acks = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("acks.log"))
+        .expect("open acks.log");
+    let mut seq = 0u64;
+    loop {
+        let block = seq % footprint_blocks;
+        let addr = block * BLOCK as u64;
+        let value = (seq % 251) as u8;
+        store
+            .write(addr, &[value; BLOCK])
+            .expect("child write must succeed");
+        // Only logged once the store acknowledged: every record here
+        // names a write recovery is obliged to surface.
+        let mut payload = Vec::with_capacity(9);
+        payload.extend_from_slice(&addr.to_le_bytes());
+        payload.push(value);
+        acks.write_all(&frame_record(&payload)).expect("log ack");
+        acks.flush().expect("flush ack");
+        seq += 1;
+    }
+}
+
+/// Last acknowledged value per address, from the child's ack log. A
+/// torn tail (kill between store ack and log append) is skipped; a
+/// record recovery is *not* obliged to surface never weakens the check.
+fn read_acks(dir: &Path) -> HashMap<u64, u8> {
+    let bytes = std::fs::read(dir.join("acks.log")).unwrap_or_default();
+    let scan = scan_wal(&bytes).expect("ack log readable");
+    let mut last = HashMap::new();
+    for record in scan.records {
+        if record.len() == 9 {
+            let addr = u64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
+            last.insert(addr, record[8]);
+        }
+    }
+    last
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let first = args.next();
+    if first.as_deref() == Some("--child") {
+        let dir = PathBuf::from(args.next().expect("--child needs a directory"));
+        let footprint_blocks: u64 = parse_arg(args.next(), "footprint blocks", 4096);
+        run_child(&dir, footprint_blocks);
+    }
+
+    let load_ms: u64 = parse_arg(first, "load milliseconds", 1500);
+    let footprint_blocks: u64 = parse_arg(args.next(), "footprint blocks", 4096);
+
+    let dir = std::env::var_os("AME_PERSIST_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("ame_store_recovery_{}", std::process::id()))
+        });
+    std::fs::create_dir_all(&dir).expect("create persist dir");
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--child")
+        .arg(&dir)
+        .arg(footprint_blocks.to_string())
+        .spawn()
+        .expect("spawn load generator");
+
+    // Let the child get well into the load (acks.log growing), then
+    // kill it without any shutdown handshake.
+    let deadline = Instant::now() + Duration::from_millis(load_ms);
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("load generator exited early: {status}");
+        }
+    }
+    child.kill().expect("kill load generator");
+    let _ = child.wait();
+
+    let acked = read_acks(&dir);
+    assert!(
+        !acked.is_empty(),
+        "no acknowledged writes before the kill; raise load_ms"
+    );
+
+    let reopen_start = Instant::now();
+    let store = SecureStore::open(&dir, bench_config(footprint_blocks)).expect("recovery open");
+    let reopen_ms = reopen_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut verified = 0u64;
+    let mut errors = 0u64;
+    for (&addr, &value) in &acked {
+        match store.read(addr) {
+            Ok(data) if data == [value; BLOCK] => verified += 1,
+            _ => errors += 1,
+        }
+    }
+    drop(store.shutdown());
+
+    println!(
+        "crash recovery: {} acked writes, {} verified, {} errors, reopen {:.1} ms",
+        acked.len(),
+        verified,
+        errors,
+        reopen_ms
+    );
+
+    let mut params = Json::object();
+    params.push("shards", SHARDS as u64);
+    params.push("footprint_blocks", footprint_blocks);
+    params.push("load_ms", load_ms);
+    params.push(
+        "wal_rotate_bytes",
+        bench_config(footprint_blocks).wal_rotate_bytes,
+    );
+    params.push("crypto_backend", ame_crypto::backend::active().name());
+    let mut row = Json::object();
+    row.push("acked_writes", acked.len() as u64);
+    row.push("verified_reads", verified);
+    row.push("errors", errors);
+    row.push("reopen_ms", reopen_ms);
+    row.push("shards", SHARDS as u64);
+    let doc = results::envelope("store_recovery", params, Json::Arr(vec![row]));
+    let headline = format!(
+        "{} acked writes recovered in {reopen_ms:.1} ms",
+        acked.len()
+    );
+    results::write_and_summarize("store_recovery", &headline, &doc);
+
+    assert_eq!(errors, 0, "recovery lost or corrupted acknowledged writes");
+    if std::env::var_os("AME_PERSIST_DIR").is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -176,6 +176,10 @@ pub struct LoadConfig {
     /// Fuse consecutive verified reads (and RMW read halves) into
     /// batched engine `read_blocks` runs.
     pub fuse_reads: bool,
+    /// Prefetch the distinct counter blocks of a fused read run
+    /// up-front (one verified fetch per 4 KB group boundary) before the
+    /// per-block keystream pass.
+    pub prefetch_counters: bool,
     /// PRNG seed; every client derives a distinct stream from it.
     pub seed: u64,
 }
@@ -196,6 +200,7 @@ impl Default for LoadConfig {
             max_batch: 64,
             fuse_writes: true,
             fuse_reads: true,
+            prefetch_counters: true,
             seed: 0x570E,
         }
     }
@@ -265,9 +270,11 @@ fn build_store(shards: usize, cfg: &LoadConfig) -> SecureStore {
         max_batch: cfg.max_batch,
         fuse_writes: cfg.fuse_writes,
         fuse_reads: cfg.fuse_reads,
+        wal_rotate_bytes: StoreConfig::default().wal_rotate_bytes,
         engine: EngineConfig {
             counter_cache_blocks: cfg.cache_blocks_per_shard,
             tree_levels: cfg.tree_levels,
+            prefetch_counters: cfg.prefetch_counters,
             ..EngineConfig::default()
         },
     })
@@ -859,26 +866,34 @@ pub fn to_json(cfg: &LoadConfig, sweeps: &[(KeyMix, Vec<SweepPoint>)]) -> (Json,
 pub struct ReadFusionPoint {
     /// Whether runs of consecutive reads were fused.
     pub fused: bool,
+    /// Whether fused runs prefetched their counter blocks up-front (one
+    /// verified fetch per 4 KB group boundary, before the keystream
+    /// pass). Always `false` on unfused points — the scalar path has no
+    /// run to prefetch for.
+    pub prefetch: bool,
     /// The underlying closed-loop measurement.
     pub point: SweepPoint,
 }
 
-/// Runs the read-fusion on/off comparison at each shard count: for every
-/// entry of `shard_counts`, one sweep point with `fuse_reads = false`
-/// (the scalar baseline) and one with `fuse_reads = true`, all other
-/// knobs identical. `cfg.mix` should be [`KeyMix::Sequential`] — random
-/// single-block reads leave nothing for fusion to amortize.
+/// Runs the read-fusion comparison at each shard count: for every entry
+/// of `shard_counts`, one sweep point with `fuse_reads = false` (the
+/// scalar baseline), one fused without counter prefetch, and one fused
+/// with it — all other knobs identical. `cfg.mix` should be
+/// [`KeyMix::Sequential`] — random single-block reads leave nothing for
+/// fusion to amortize.
 #[must_use]
 pub fn run_read_fusion_sweep(cfg: &LoadConfig, shard_counts: &[usize]) -> Vec<ReadFusionPoint> {
-    let mut points = Vec::with_capacity(shard_counts.len() * 2);
+    let mut points = Vec::with_capacity(shard_counts.len() * 3);
     for &shards in shard_counts {
-        for fused in [false, true] {
+        for (fused, prefetch) in [(false, false), (true, false), (true, true)] {
             let cfg = LoadConfig {
                 fuse_reads: fused,
+                prefetch_counters: prefetch,
                 ..*cfg
             };
             points.push(ReadFusionPoint {
                 fused,
+                prefetch,
                 point: run_point(shards, &cfg),
             });
         }
@@ -886,8 +901,8 @@ pub fn run_read_fusion_sweep(cfg: &LoadConfig, shard_counts: &[usize]) -> Vec<Re
     points
 }
 
-/// `ops/sec(fusion on) / ops/sec(fusion off)` at `shards` shards — the
-/// experiment's headline number.
+/// `ops/sec(fusion on, prefetch on) / ops/sec(fusion off)` at `shards`
+/// shards — the experiment's headline number.
 #[must_use]
 pub fn read_fusion_speedup(points: &[ReadFusionPoint], shards: usize) -> Option<f64> {
     let off = points
@@ -895,7 +910,21 @@ pub fn read_fusion_speedup(points: &[ReadFusionPoint], shards: usize) -> Option<
         .find(|p| p.point.shards == shards && !p.fused)?;
     let on = points
         .iter()
-        .find(|p| p.point.shards == shards && p.fused)?;
+        .filter(|p| p.point.shards == shards && p.fused)
+        .max_by_key(|p| p.prefetch)?;
+    Some(on.point.ops_per_sec / off.point.ops_per_sec)
+}
+
+/// `ops/sec(prefetch on) / ops/sec(prefetch off)` across the two fused
+/// points at `shards` shards — the counter-prefetch before/after line.
+#[must_use]
+pub fn counter_prefetch_speedup(points: &[ReadFusionPoint], shards: usize) -> Option<f64> {
+    let off = points
+        .iter()
+        .find(|p| p.point.shards == shards && p.fused && !p.prefetch)?;
+    let on = points
+        .iter()
+        .find(|p| p.point.shards == shards && p.fused && p.prefetch)?;
     Some(on.point.ops_per_sec / off.point.ops_per_sec)
 }
 
@@ -914,8 +943,16 @@ pub fn print_read_fusion(cfg: &LoadConfig, points: &[ReadFusionPoint]) {
         cfg.tree_levels,
     );
     println!(
-        "{:>7} {:>7} {:>10} {:>11} {:>9} {:>9} {:>10} {:>7}",
-        "shards", "fusion", "ops", "kops/s", "speedup", "run-mean", "blk/fetch", "errors"
+        "{:>7} {:>7} {:>9} {:>10} {:>11} {:>9} {:>9} {:>10} {:>7}",
+        "shards",
+        "fusion",
+        "prefetch",
+        "ops",
+        "kops/s",
+        "speedup",
+        "run-mean",
+        "blk/fetch",
+        "errors"
     );
     for p in points {
         let base = points
@@ -923,9 +960,10 @@ pub fn print_read_fusion(cfg: &LoadConfig, points: &[ReadFusionPoint]) {
             .find(|q| q.point.shards == p.point.shards && !q.fused)
             .map_or(0.0, |q| q.point.ops_per_sec);
         println!(
-            "{:>7} {:>7} {:>10} {:>11.1} {:>8.2}x {:>9.1} {:>10.1} {:>7}",
+            "{:>7} {:>7} {:>9} {:>10} {:>11.1} {:>8.2}x {:>9.1} {:>10.1} {:>7}",
             p.point.shards,
             if p.fused { "on" } else { "off" },
+            if p.prefetch { "on" } else { "off" },
             p.point.ops,
             p.point.ops_per_sec / 1e3,
             if base > 0.0 {
@@ -971,9 +1009,14 @@ pub fn read_fusion_to_json(cfg: &LoadConfig, points: &[ReadFusionPoint]) -> (Jso
             .iter()
             .find(|q| q.point.shards == p.point.shards && !q.fused)
             .map_or(0.0, |q| q.point.ops_per_sec);
+        let prefetch_base = points
+            .iter()
+            .find(|q| q.point.shards == p.point.shards && q.fused && !q.prefetch)
+            .map_or(0.0, |q| q.point.ops_per_sec);
         let mut row = Json::object();
         row.push("shards", p.point.shards as u64);
         row.push("read_fusion", p.fused);
+        row.push("counter_prefetch", p.prefetch);
         row.push("ops", p.point.ops);
         row.push("elapsed_s", p.point.elapsed_s);
         row.push("ops_per_sec", p.point.ops_per_sec);
@@ -981,6 +1024,14 @@ pub fn read_fusion_to_json(cfg: &LoadConfig, points: &[ReadFusionPoint]) -> (Jso
             "speedup_vs_scalar",
             if base > 0.0 {
                 p.point.ops_per_sec / base
+            } else {
+                0.0
+            },
+        );
+        row.push(
+            "speedup_vs_no_prefetch",
+            if p.fused && prefetch_base > 0.0 {
+                p.point.ops_per_sec / prefetch_base
             } else {
                 0.0
             },

@@ -16,8 +16,10 @@
 //! Only when both fail does the group get re-encrypted under a fresh
 //! counter (Figure 5a).
 
-use crate::{split_block, CounterScheme, CounterStats, WriteOutcome};
+use crate::{codec, split_block, CounterScheme, CounterStats, WriteOutcome};
+use ame_persist::{invalid_data, put_u32, put_u64, ByteReader};
 use std::collections::HashMap;
+use std::io;
 
 /// Configuration of a flat (single-width) delta-encoding scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,11 +254,102 @@ impl CounterScheme for DeltaCounters {
         }
         image
     }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        let cfg = &self.config;
+        let mut body = Vec::new();
+        put_u32(&mut body, cfg.delta_bits);
+        put_u64(&mut body, cfg.blocks_per_group as u64);
+        put_u32(&mut body, cfg.reference_bits);
+        body.push(u8::from(cfg.reset_enabled));
+        body.push(u8::from(cfg.reencode_enabled));
+        codec::put_stats(&mut body, &self.stats);
+        let mut indices: Vec<u64> = self.groups.keys().copied().collect();
+        indices.sort_unstable();
+        put_u64(&mut body, indices.len() as u64);
+        for idx in indices {
+            let grp = &self.groups[&idx];
+            put_u64(&mut body, idx);
+            put_u64(&mut body, grp.reference);
+            for &d in &grp.deltas {
+                put_u64(&mut body, d);
+            }
+        }
+        codec::write_state(out, self.name(), &body);
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> io::Result<()> {
+        let mut body = codec::read_state(r, self.name())?;
+        let config = DeltaConfig {
+            delta_bits: body.u32()?,
+            blocks_per_group: body.u64()? as usize,
+            reference_bits: body.u32()?,
+            reset_enabled: body.u8()? != 0,
+            reencode_enabled: body.u8()? != 0,
+        };
+        if config.delta_bits == 0
+            || config.delta_bits >= 32
+            || config.blocks_per_group == 0
+            || config.reference_bits == 0
+            || config.reference_bits > 64
+        {
+            return Err(invalid_data("inconsistent delta configuration"));
+        }
+        let stats = codec::read_stats(&mut body)?;
+        let count = body.u64()? as usize;
+        let mut groups = HashMap::with_capacity(count.min(1 << 24));
+        for _ in 0..count {
+            let idx = body.u64()?;
+            let reference = body.u64()?;
+            let mut deltas = Vec::with_capacity(config.blocks_per_group);
+            for _ in 0..config.blocks_per_group {
+                let d = body.u64()?;
+                if d > config.delta_max() {
+                    return Err(invalid_data("delta exceeds its width"));
+                }
+                deltas.push(d);
+            }
+            groups.insert(idx, Group { reference, deltas });
+        }
+        self.config = config;
+        self.stats = stats;
+        self.groups = groups;
+        Ok(())
+    }
+
+    /// Restores a counter *value* by re-deriving the group encoding: the
+    /// reference becomes the group's minimum counter and every delta the
+    /// offset above it. Fails only when the resulting spread exceeds the
+    /// delta width — impossible for an honest log, which rotates into a
+    /// snapshot at every re-encryption.
+    fn force_counter(&mut self, block: u64, value: u64) -> io::Result<()> {
+        let (g, i) = split_block(block, self.config.blocks_per_group);
+        let cfg = self.config;
+        let grp = self.groups.entry(g).or_insert_with(|| Group {
+            reference: 0,
+            deltas: vec![0; cfg.blocks_per_group],
+        });
+        let mut counters = grp.counters();
+        counters[i] = value;
+        let min = counters.iter().copied().min().expect("non-empty group");
+        let max = counters.iter().copied().max().expect("non-empty group");
+        if max - min > cfg.delta_max() {
+            return Err(invalid_data(
+                "replayed counter not representable in its delta group",
+            ));
+        }
+        grp.reference = min;
+        for (d, c) in grp.deltas.iter_mut().zip(&counters) {
+            *d = c - min;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::split::SplitCounters as SplitScheme;
 
     fn small() -> DeltaCounters {
         DeltaCounters::new(DeltaConfig {
@@ -445,5 +538,48 @@ mod tests {
         assert_eq!(c.counter(123_456), 0);
         assert_eq!(c.delta(123_456), 0);
         assert_eq!(c.reference(123_456), 0);
+    }
+
+    #[test]
+    fn state_roundtrip_and_force() {
+        let mut c = small();
+        for b in 0..4u64 {
+            for _ in 0..=b {
+                c.record_write(b);
+            }
+        }
+        c.record_write(5); // second group
+        let mut buf = Vec::new();
+        c.encode_state(&mut buf);
+        let mut back = DeltaCounters::default();
+        back.decode_state(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(back.config(), c.config(), "configuration is adopted");
+        assert_eq!(back.stats(), c.stats());
+        for b in 0..8u64 {
+            assert_eq!(back.counter(b), c.counter(b), "block {b}");
+        }
+        // Forcing a nearby value re-derives the encoding around it.
+        let next = c.counter(3) + 1;
+        back.force_counter(3, next).unwrap();
+        assert_eq!(back.counter(3), next);
+        for b in 0..3u64 {
+            assert_eq!(back.counter(b), c.counter(b), "other counters intact");
+        }
+        // A value too far from the group's spread is unrepresentable.
+        assert!(back.force_counter(0, next + 100).is_err());
+        // Forcing into an untouched group works from the zero state.
+        back.force_counter(100, 6).unwrap();
+        assert_eq!(back.counter(100), 6);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_scheme() {
+        let c = SplitScheme::default();
+        let mut buf = Vec::new();
+        c.encode_state(&mut buf);
+        let mut d = DeltaCounters::default();
+        let err = d.decode_state(&mut ByteReader::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("scheme mismatch"));
     }
 }

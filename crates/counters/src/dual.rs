@@ -14,8 +14,10 @@
 //! is why Table 2 shows dual-length doing *worse* than flat 7-bit deltas
 //! there — this implementation reproduces that behaviour.
 
-use crate::{split_block, CounterScheme, CounterStats, WriteOutcome};
+use crate::{codec, split_block, CounterScheme, CounterStats, WriteOutcome};
+use ame_persist::{invalid_data, put_u32, put_u64, ByteReader};
 use std::collections::HashMap;
+use std::io;
 
 /// Configuration of the dual-length delta scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -317,6 +319,152 @@ impl CounterScheme for DualLengthDeltaCounters {
         }
         image
     }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        let cfg = &self.config;
+        let mut body = Vec::new();
+        put_u32(&mut body, cfg.base_bits);
+        put_u32(&mut body, cfg.extra_bits);
+        put_u64(&mut body, cfg.delta_groups as u64);
+        put_u64(&mut body, cfg.blocks_per_group as u64);
+        put_u32(&mut body, cfg.reference_bits);
+        body.push(u8::from(cfg.reset_enabled));
+        body.push(u8::from(cfg.reencode_enabled));
+        codec::put_stats(&mut body, &self.stats);
+        let mut indices: Vec<u64> = self.groups.keys().copied().collect();
+        indices.sort_unstable();
+        put_u64(&mut body, indices.len() as u64);
+        for idx in indices {
+            let grp = &self.groups[&idx];
+            put_u64(&mut body, idx);
+            put_u64(&mut body, grp.reference);
+            match grp.expanded {
+                Some(dg) => {
+                    body.push(1);
+                    put_u64(&mut body, dg as u64);
+                }
+                None => {
+                    body.push(0);
+                    put_u64(&mut body, 0);
+                }
+            }
+            for &d in &grp.deltas {
+                put_u64(&mut body, d);
+            }
+        }
+        codec::write_state(out, self.name(), &body);
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> io::Result<()> {
+        let mut body = codec::read_state(r, self.name())?;
+        let config = DualLengthConfig {
+            base_bits: body.u32()?,
+            extra_bits: body.u32()?,
+            delta_groups: body.u64()? as usize,
+            blocks_per_group: body.u64()? as usize,
+            reference_bits: body.u32()?,
+            reset_enabled: body.u8()? != 0,
+            reencode_enabled: body.u8()? != 0,
+        };
+        let consistent = config.base_bits > 0
+            && config.base_bits < 32
+            && config.extra_bits > 0
+            && config.base_bits + config.extra_bits < 32
+            && config.delta_groups > 0
+            && config.blocks_per_group > 0
+            && config.blocks_per_group.is_multiple_of(config.delta_groups)
+            && config.reference_bits > 0
+            && config.reference_bits <= 64;
+        if !consistent {
+            return Err(invalid_data("inconsistent dual-length configuration"));
+        }
+        let stats = codec::read_stats(&mut body)?;
+        let count = body.u64()? as usize;
+        let mut groups = HashMap::with_capacity(count.min(1 << 24));
+        for _ in 0..count {
+            let idx = body.u64()?;
+            let reference = body.u64()?;
+            let has_expanded = body.u8()? != 0;
+            let expanded_idx = body.u64()? as usize;
+            let expanded = if has_expanded {
+                if expanded_idx >= config.delta_groups {
+                    return Err(invalid_data("expanded delta-group out of range"));
+                }
+                Some(expanded_idx)
+            } else {
+                None
+            };
+            let mut deltas = Vec::with_capacity(config.blocks_per_group);
+            for i in 0..config.blocks_per_group {
+                let d = body.u64()?;
+                let cap = if expanded == Some(i / config.blocks_per_delta_group()) {
+                    config.expanded_max()
+                } else {
+                    config.base_max()
+                };
+                if d > cap {
+                    return Err(invalid_data("delta exceeds its width"));
+                }
+                deltas.push(d);
+            }
+            groups.insert(
+                idx,
+                Group {
+                    reference,
+                    deltas,
+                    expanded,
+                },
+            );
+        }
+        self.config = config;
+        self.stats = stats;
+        self.groups = groups;
+        Ok(())
+    }
+
+    /// Restores a counter *value* by re-deriving the group encoding: the
+    /// reference becomes the group's minimum counter, and the shared
+    /// overflow bits are re-assigned to whichever single delta-group needs
+    /// widening afterwards. Two delta-groups needing the bits at once (or
+    /// a delta beyond even the widened cap) is unrepresentable — evidence
+    /// of a corrupt log, since the log rotates into a snapshot at every
+    /// re-encryption.
+    fn force_counter(&mut self, block: u64, value: u64) -> io::Result<()> {
+        let (g, i) = split_block(block, self.config.blocks_per_group);
+        let cfg = self.config;
+        let grp = self.groups.entry(g).or_insert_with(|| Group {
+            reference: 0,
+            deltas: vec![0; cfg.blocks_per_group],
+            expanded: None,
+        });
+        let mut counters = grp.counters();
+        counters[i] = value;
+        let min = counters.iter().copied().min().expect("non-empty group");
+        let bpdg = cfg.blocks_per_delta_group();
+        let mut need: Vec<usize> = Vec::new();
+        for (j, &c) in counters.iter().enumerate() {
+            let d = c - min;
+            if d > cfg.expanded_max() {
+                return Err(invalid_data(
+                    "replayed counter not representable in its delta group",
+                ));
+            }
+            if d > cfg.base_max() && !need.contains(&(j / bpdg)) {
+                need.push(j / bpdg);
+            }
+        }
+        if need.len() > 1 {
+            return Err(invalid_data(
+                "replayed counter needs overflow bits in two delta-groups",
+            ));
+        }
+        grp.reference = min;
+        for (d, c) in grp.deltas.iter_mut().zip(&counters) {
+            *d = c - min;
+        }
+        grp.expanded = need.first().copied();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -501,6 +649,44 @@ mod tests {
                 "block {b}"
             );
         }
+    }
+
+    #[test]
+    fn state_roundtrip_and_force() {
+        let mut c = tiny();
+        for _ in 0..4 {
+            c.record_write(0); // 4th write expands delta-group 0
+        }
+        c.record_write(2);
+        c.record_write(5); // second block-group
+        assert_eq!(c.expanded_group(0), Some(0));
+        let mut buf = Vec::new();
+        c.encode_state(&mut buf);
+        let mut back = DualLengthDeltaCounters::default();
+        back.decode_state(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(back.config(), c.config(), "configuration is adopted");
+        assert_eq!(back.stats(), c.stats());
+        assert_eq!(back.expanded_group(0), Some(0));
+        for b in 0..8u64 {
+            assert_eq!(back.counter(b), c.counter(b), "block {b}");
+        }
+        // Forcing the next value for the expanded block stays expanded.
+        let next = c.counter(0) + 1;
+        back.force_counter(0, next).unwrap();
+        assert_eq!(back.counter(0), next);
+        assert_eq!(back.expanded_group(0), Some(0));
+        // A value pushing a *second* delta-group past base width needs the
+        // already-taken overflow bits: unrepresentable.
+        assert!(back.force_counter(2, back.counter(0)).is_err());
+        // Raising the laggards lets the encoding re-base; the expansion is
+        // reclaimed once no delta exceeds base width.
+        back.force_counter(2, 3).unwrap();
+        back.force_counter(3, 3).unwrap();
+        back.force_counter(1, 2).unwrap();
+        assert_eq!(back.expanded_group(0), None);
+        assert_eq!(back.counter(0), next, "values preserved across re-base");
+        // Beyond even the widened cap is always an error.
+        assert!(back.force_counter(0, next + 100).is_err());
     }
 
     #[test]

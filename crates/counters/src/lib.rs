@@ -44,6 +44,63 @@ pub mod split;
 pub mod storage;
 
 use std::fmt;
+use std::io;
+
+/// Shared framing for serialized counter-scheme state: one checksummed
+/// section whose payload starts with the scheme name, so thawing with
+/// the wrong scheme configured fails loudly instead of misparsing.
+pub(crate) mod codec {
+    use super::CounterStats;
+    use ame_persist::{invalid_data, put_u64, read_section, write_section, ByteReader};
+    use std::io;
+
+    pub(crate) const MAGIC: &[u8; 8] = b"AMECTRS\0";
+    pub(crate) const VERSION: u32 = 1;
+
+    pub(crate) fn write_state(out: &mut Vec<u8>, name: &str, body: &[u8]) {
+        let mut payload = Vec::with_capacity(1 + name.len() + body.len());
+        payload.push(name.len() as u8);
+        payload.extend_from_slice(name.as_bytes());
+        payload.extend_from_slice(body);
+        write_section(out, MAGIC, VERSION, &payload);
+    }
+
+    pub(crate) fn read_state<'a>(r: &mut ByteReader<'a>, name: &str) -> io::Result<ByteReader<'a>> {
+        let (version, mut payload) = read_section(r, MAGIC)?;
+        if version != VERSION {
+            return Err(invalid_data(format!(
+                "unsupported counter state version {version}"
+            )));
+        }
+        let n = payload.u8()? as usize;
+        let found = payload.take(n)?;
+        if found != name.as_bytes() {
+            return Err(invalid_data(format!(
+                "counter scheme mismatch: state is '{}', configured '{name}'",
+                String::from_utf8_lossy(found)
+            )));
+        }
+        Ok(payload)
+    }
+
+    pub(crate) fn put_stats(out: &mut Vec<u8>, stats: &CounterStats) {
+        put_u64(out, stats.writes);
+        put_u64(out, stats.resets);
+        put_u64(out, stats.reencodes);
+        put_u64(out, stats.expansions);
+        put_u64(out, stats.reencryptions);
+    }
+
+    pub(crate) fn read_stats(r: &mut ByteReader<'_>) -> io::Result<CounterStats> {
+        Ok(CounterStats {
+            writes: r.u64()?,
+            resets: r.u64()?,
+            reencodes: r.u64()?,
+            expansions: r.u64()?,
+            reencryptions: r.u64()?,
+        })
+    }
+}
 
 /// What a counter increment did to the block-group holding the counter.
 ///
@@ -173,6 +230,37 @@ pub trait CounterScheme: Send {
     fn metadata_block_of(&self, block: u64) -> u64 {
         block / self.blocks_per_metadata_block() as u64
     }
+
+    /// Serializes the scheme's complete internal state (configuration,
+    /// statistics, every lazily allocated group) into a checksummed
+    /// section appended to `out`.
+    fn encode_state(&self, out: &mut Vec<u8>);
+
+    /// Restores state captured by [`CounterScheme::encode_state`],
+    /// replacing this instance's state (including its configuration) and
+    /// advancing the reader past the section.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a framing/checksum failure, a scheme-name
+    /// mismatch, or internally inconsistent decoded state.
+    fn decode_state(&mut self, r: &mut ame_persist::ByteReader<'_>) -> io::Result<()>;
+
+    /// Forces `block`'s counter to `value` (write-intent log replay).
+    ///
+    /// Counter *values* are restored exactly; the representation (e.g. a
+    /// delta group's reference) is re-derived canonically, which is sound
+    /// because data MACs bind counter values, not their encoding. Because
+    /// the log rotates into a snapshot at every group re-encryption, any
+    /// value a log records was representable alongside its group when it
+    /// was written — so a representability failure here is evidence of a
+    /// corrupt or forged log.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if `value` cannot be represented in the group's
+    /// current state.
+    fn force_counter(&mut self, block: u64, value: u64) -> io::Result<()>;
 }
 
 /// Divides a global block index into (group index, index within group).

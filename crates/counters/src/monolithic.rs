@@ -1,8 +1,10 @@
 //! The baseline: one full-width counter per 64-byte block (Intel SGX uses
 //! 56-bit counters, incurring ~11% storage overhead — Section 2.1).
 
-use crate::{CounterScheme, CounterStats, WriteOutcome};
+use crate::{codec, CounterScheme, CounterStats, WriteOutcome};
+use ame_persist::{invalid_data, put_u32, put_u64, ByteReader};
 use std::collections::HashMap;
+use std::io;
 
 /// Full-width per-block counters. Never re-encrypts: a 56-bit counter
 /// would take millennia to overflow at realistic write rates.
@@ -47,6 +49,14 @@ impl MonolithicCounters {
     pub fn bits(&self) -> u32 {
         self.bits
     }
+
+    fn max(&self) -> u64 {
+        if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
 }
 
 impl Default for MonolithicCounters {
@@ -62,12 +72,8 @@ impl CounterScheme for MonolithicCounters {
     }
 
     fn record_write(&mut self, block: u64) -> WriteOutcome {
+        let max = self.max();
         let ctr = self.counters.entry(block).or_insert(0);
-        let max = if self.bits == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.bits) - 1
-        };
         let outcome = if *ctr == max {
             // A real machine would re-key; model it as a single-block
             // re-encryption. Unreachable in any realistic simulation.
@@ -115,6 +121,52 @@ impl CounterScheme for MonolithicCounters {
         }
         image
     }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        let mut body = Vec::with_capacity(4 + 40 + 8 + self.counters.len() * 16);
+        put_u32(&mut body, self.bits);
+        codec::put_stats(&mut body, &self.stats);
+        let mut blocks: Vec<u64> = self.counters.keys().copied().collect();
+        blocks.sort_unstable();
+        put_u64(&mut body, blocks.len() as u64);
+        for block in blocks {
+            put_u64(&mut body, block);
+            put_u64(&mut body, self.counters[&block]);
+        }
+        codec::write_state(out, self.name(), &body);
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> io::Result<()> {
+        let mut body = codec::read_state(r, self.name())?;
+        let bits = body.u32()?;
+        if bits == 0 || bits > 64 {
+            return Err(invalid_data("counter width out of range"));
+        }
+        let stats = codec::read_stats(&mut body)?;
+        let count = body.u64()? as usize;
+        let mut counters = HashMap::with_capacity(count.min(1 << 24));
+        let max = MonolithicCounters::new(bits).max();
+        for _ in 0..count {
+            let block = body.u64()?;
+            let ctr = body.u64()?;
+            if ctr > max {
+                return Err(invalid_data("counter exceeds configured width"));
+            }
+            counters.insert(block, ctr);
+        }
+        self.bits = bits;
+        self.stats = stats;
+        self.counters = counters;
+        Ok(())
+    }
+
+    fn force_counter(&mut self, block: u64, value: u64) -> io::Result<()> {
+        if value > self.max() {
+            return Err(invalid_data("replayed counter exceeds counter width"));
+        }
+        self.counters.insert(block, value);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +213,27 @@ mod tests {
         let c = MonolithicCounters::default();
         assert_eq!(c.name(), "monolithic");
         assert_eq!(c.blocks_per_group(), 1);
+    }
+
+    #[test]
+    fn state_roundtrip_and_force() {
+        let mut c = MonolithicCounters::new(16);
+        for b in 0..10u64 {
+            for _ in 0..=b {
+                c.record_write(b);
+            }
+        }
+        let mut buf = Vec::new();
+        c.encode_state(&mut buf);
+        let mut back = MonolithicCounters::default();
+        back.decode_state(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(back.bits(), 16);
+        assert_eq!(back.stats(), c.stats());
+        for b in 0..12u64 {
+            assert_eq!(back.counter(b), c.counter(b));
+        }
+        back.force_counter(3, 777).unwrap();
+        assert_eq!(back.counter(3), 777);
+        assert!(back.force_counter(3, 1 << 20).is_err(), "exceeds 16 bits");
     }
 }

@@ -5,7 +5,9 @@
 //! this module answers *what bits* come back, including the side-band the
 //! paper repurposes for MACs.
 
+use ame_persist::{invalid_data, put_u64, read_section, write_section, ByteReader};
 use std::collections::HashMap;
+use std::io;
 
 /// Size of one data block in bytes.
 pub const BLOCK_BYTES: usize = 64;
@@ -91,6 +93,55 @@ impl DramStorage {
         self.blocks.insert(Self::align(addr), block);
     }
 
+    /// Serializes every resident block into a checksummed section
+    /// (sorted by address, so the encoding is deterministic).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut addrs: Vec<u64> = self.blocks.keys().copied().collect();
+        addrs.sort_unstable();
+        let mut payload = Vec::with_capacity(8 + addrs.len() * (8 + BLOCK_BYTES + SIDEBAND_BYTES));
+        put_u64(&mut payload, addrs.len() as u64);
+        for addr in addrs {
+            let block = &self.blocks[&addr];
+            put_u64(&mut payload, addr);
+            payload.extend_from_slice(&block.data);
+            payload.extend_from_slice(&block.sideband);
+        }
+        write_section(out, Self::MAGIC, Self::VERSION, &payload);
+    }
+
+    /// Decodes a section produced by [`DramStorage::encode`], advancing
+    /// the reader past it.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic, unsupported version, checksum
+    /// mismatch, truncation, or an unaligned stored address.
+    pub fn decode(r: &mut ByteReader<'_>) -> io::Result<Self> {
+        let (version, mut payload) = read_section(r, Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(invalid_data(format!(
+                "unsupported dram storage version {version}"
+            )));
+        }
+        let count = payload.u64()? as usize;
+        let mut blocks = HashMap::with_capacity(count.min(1 << 24));
+        for _ in 0..count {
+            let addr = payload.u64()?;
+            if addr != Self::align(addr) {
+                return Err(invalid_data("unaligned stored block address"));
+            }
+            let data: [u8; BLOCK_BYTES] = payload.array()?;
+            let sideband: [u8; SIDEBAND_BYTES] = payload.array()?;
+            blocks.insert(addr, StoredBlock { data, sideband });
+        }
+        Ok(Self { blocks })
+    }
+
+    /// Section magic of the serialized form.
+    const MAGIC: &'static [u8; 8] = b"AMEDRAM\0";
+    /// Section version of the serialized form.
+    const VERSION: u32 = 1;
+
     /// Flips one bit of the stored *data* at `addr` (fault injection).
     /// `bit` is a global bit index in `0..512`.
     ///
@@ -170,5 +221,41 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn flip_out_of_range_panics() {
         DramStorage::new().flip_data_bit(0, 512);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_bit_identical() {
+        let mut m = DramStorage::new();
+        for i in 0..20u64 {
+            m.write(
+                i * 64,
+                StoredBlock {
+                    data: [i as u8; 64],
+                    sideband: [(i * 3) as u8; 8],
+                },
+            );
+        }
+        let mut a = Vec::new();
+        m.encode(&mut a);
+        let back = DramStorage::decode(&mut ByteReader::new(&a)).unwrap();
+        assert_eq!(back.resident_blocks(), 20);
+        for i in 0..20u64 {
+            assert_eq!(back.read(i * 64), m.read(i * 64));
+        }
+        let mut b = Vec::new();
+        back.encode(&mut b);
+        assert_eq!(a, b, "re-encoding is deterministic and bit-identical");
+    }
+
+    #[test]
+    fn decode_rejects_flipped_bit() {
+        let mut m = DramStorage::new();
+        m.write(64, StoredBlock::default());
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let err = DramStorage::decode(&mut ByteReader::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -47,9 +47,11 @@ use ame_crypto::MemoryCipher;
 use ame_dram::storage::{DramStorage, StoredBlock};
 use ame_ecc::layout::{MacSideband, StandardSideband};
 use ame_ecc::secded::DecodeOutcome;
+use ame_persist::{invalid_data, put_u32, put_u64, read_section, write_section, ByteReader};
 use ame_tree::cache::CachedTree;
 use ame_tree::merkle::{BonsaiTree, VerifyError};
 use std::collections::HashMap;
+use std::io;
 
 /// Size of a protected memory block in bytes.
 pub const BLOCK_BYTES: usize = 64;
@@ -116,6 +118,13 @@ pub struct EngineConfig {
     /// tampering of a cached block is only caught once the copy is
     /// evicted, exactly like real hardware.
     pub counter_cache_blocks: usize,
+    /// Prefetch counter blocks at 4 KB group boundaries on fused read
+    /// runs: the batched read path collects the *distinct* metadata
+    /// blocks a run touches and issues all verified fetches up-front,
+    /// before the first data block is checked — overlapping the tree
+    /// walks instead of discovering each boundary mid-run. Functionally
+    /// identical either way; this only changes fetch scheduling.
+    pub prefetch_counters: bool,
 }
 
 impl Default for EngineConfig {
@@ -127,6 +136,7 @@ impl Default for EngineConfig {
             max_correctable_flips: 2,
             tree_levels: 2,
             counter_cache_blocks: 0,
+            prefetch_counters: true,
         }
     }
 }
@@ -329,6 +339,13 @@ impl TreeFrontend {
         match self {
             TreeFrontend::Plain(t) => t,
             TreeFrontend::Cached(t) => t.tree_mut(),
+        }
+    }
+
+    fn inner(&self) -> &BonsaiTree {
+        match self {
+            TreeFrontend::Plain(t) => t,
+            TreeFrontend::Cached(t) => t.tree(),
         }
     }
 }
@@ -721,15 +738,36 @@ impl MemoryEncryptionEngine {
         // One verified tree fetch per distinct metadata block in the run.
         let mut fetched: Vec<u64> = Vec::new();
         let mut counters: Vec<u64> = Vec::with_capacity(addrs.len());
-        for &addr in addrs {
-            let block = Self::block_index(addr);
-            let meta = self.counters.metadata_block_of(block);
-            if !fetched.contains(&meta) {
+        if self.config.prefetch_counters {
+            // Prefetch: resolve the run's 4 KB group boundaries up-front
+            // and issue every verified counter fetch before the first
+            // data block is touched, instead of discovering each
+            // boundary as the run walks into it.
+            let mut metas: Vec<u64> = addrs
+                .iter()
+                .map(|&addr| self.counters.metadata_block_of(Self::block_index(addr)))
+                .collect();
+            metas.sort_unstable();
+            metas.dedup();
+            for &meta in &metas {
                 let verified_image = self.tree.read_counter_block(meta).ok()?;
                 debug_assert_eq!(verified_image, self.counters.metadata_block_image(meta));
-                fetched.push(meta);
             }
-            counters.push(self.counters.counter(block));
+            fetched = metas;
+            for &addr in addrs {
+                counters.push(self.counters.counter(Self::block_index(addr)));
+            }
+        } else {
+            for &addr in addrs {
+                let block = Self::block_index(addr);
+                let meta = self.counters.metadata_block_of(block);
+                if !fetched.contains(&meta) {
+                    let verified_image = self.tree.read_counter_block(meta).ok()?;
+                    debug_assert_eq!(verified_image, self.counters.metadata_block_image(meta));
+                    fetched.push(meta);
+                }
+                counters.push(self.counters.counter(block));
+            }
         }
 
         // Verify every tag before releasing any plaintext. Anything but a
@@ -1075,6 +1113,240 @@ impl MemoryEncryptionEngine {
         let mut v: Vec<u64> = self.storage.addrs().collect();
         v.sort_unstable();
         v
+    }
+
+    // ---- durable storage plane ----
+
+    /// Section magic of the frozen engine image.
+    const MAGIC: &'static [u8; 8] = b"AMEENGIN";
+    /// Section version of the frozen engine image.
+    const VERSION: u32 = 1;
+
+    /// Exports a block's complete *sealed* state — ciphertext, side-band,
+    /// counter, and (in separate-MAC mode) its MAC-region tag. This is
+    /// what a write-intent log records: no plaintext, nothing an attacker
+    /// reading the log learns beyond what DRAM already exposes.
+    pub fn export_sealed(&mut self, addr: u64) -> SealedBlockState {
+        self.ensure_initialized(addr);
+        let block = Self::block_index(addr);
+        SealedBlockState {
+            stored: self.storage.read(addr),
+            counter: self.counters.counter(block),
+            mac: self.mac_region.get(&block).copied(),
+        }
+    }
+
+    /// Re-installs a sealed block state captured by
+    /// [`Self::export_sealed`] (write-intent log replay): restores the
+    /// counter *value*, the stored bits, and the MAC-region tag, then
+    /// re-syncs the counter leaf into the integrity tree. The replayed
+    /// block is not trusted by fiat — its MAC binds (address, counter,
+    /// ciphertext), so a forged record fails the next verified read.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the counter value cannot be represented in its
+    /// group's current state (evidence of a corrupt or forged log).
+    pub fn apply_sealed(&mut self, addr: u64, state: &SealedBlockState) -> io::Result<()> {
+        let block = Self::block_index(addr);
+        self.counters.force_counter(block, state.counter)?;
+        if let Some(tag) = state.mac {
+            self.mac_region.insert(block, tag);
+        }
+        self.storage.write(addr, state.stored);
+        self.sync_tree(block);
+        Ok(())
+    }
+
+    /// Reads and verifies every resident block (tree walk + MAC check),
+    /// returning how many blocks were verified. Recovery calls this
+    /// before a thawed engine serves a single request.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ReadError`] encountered; the caller must treat the
+    /// engine as compromised (quarantine, not serve).
+    pub fn verify_all(&mut self) -> Result<u64, ReadError> {
+        let addrs = self.resident_addrs();
+        for &addr in &addrs {
+            self.read_block(addr)?;
+        }
+        Ok(addrs.len() as u64)
+    }
+
+    /// Serializes the engine's complete sealed state — configuration,
+    /// statistics, storage, counters, integrity tree, and MAC region —
+    /// into one checksummed section appended to `out`. Only ciphertext
+    /// and authentication metadata are captured; no plaintext leaves the
+    /// engine. The cipher itself is not serialized: keys are re-derived
+    /// from the seed at thaw.
+    pub fn freeze_into(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.config.seed);
+        payload.push(match self.config.mac_placement {
+            MacPlacement::SeparateMac => 0,
+            MacPlacement::MacInEcc => 1,
+        });
+        payload.push(match self.config.counter_scheme {
+            CounterSchemeKind::Monolithic => 0,
+            CounterSchemeKind::Split => 1,
+            CounterSchemeKind::Delta => 2,
+            CounterSchemeKind::DualLength => 3,
+        });
+        put_u32(&mut payload, self.config.max_correctable_flips);
+        put_u64(&mut payload, self.config.tree_levels as u64);
+        put_u64(&mut payload, self.config.counter_cache_blocks as u64);
+        payload.push(u8::from(self.config.prefetch_counters));
+        put_u64(&mut payload, self.stats.reads);
+        put_u64(&mut payload, self.stats.writes);
+        put_u64(&mut payload, self.stats.reencrypted_blocks);
+        put_u64(&mut payload, self.stats.mac_corrections);
+        put_u64(&mut payload, self.stats.data_corrections);
+        put_u64(&mut payload, self.stats.flip_checks);
+        put_u64(&mut payload, self.stats.failed_reads);
+        self.storage.encode(&mut payload);
+        self.counters.encode_state(&mut payload);
+        self.tree.inner().encode_state(&mut payload);
+        let mut blocks: Vec<u64> = self.mac_region.keys().copied().collect();
+        blocks.sort_unstable();
+        put_u64(&mut payload, blocks.len() as u64);
+        for block in blocks {
+            put_u64(&mut payload, block);
+            put_u64(&mut payload, self.mac_region[&block]);
+        }
+        write_section(out, Self::MAGIC, Self::VERSION, &payload);
+    }
+
+    /// Rebuilds an engine from a section produced by
+    /// [`Self::freeze_into`], advancing the reader past it. Keys are
+    /// re-derived from the stored seed; the counter cache (if any) comes
+    /// back cold. The thawed engine is *not* yet trusted — callers run
+    /// [`Self::verify_all`] before serving.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a framing/checksum failure anywhere in the image
+    /// or internally inconsistent decoded state.
+    pub fn thaw_from(r: &mut ByteReader<'_>) -> io::Result<Self> {
+        let (version, mut payload) = read_section(r, Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(invalid_data(format!(
+                "unsupported engine image version {version}"
+            )));
+        }
+        let seed = payload.u64()?;
+        let mac_placement = match payload.u8()? {
+            0 => MacPlacement::SeparateMac,
+            1 => MacPlacement::MacInEcc,
+            other => return Err(invalid_data(format!("unknown MAC placement {other}"))),
+        };
+        let counter_scheme = match payload.u8()? {
+            0 => CounterSchemeKind::Monolithic,
+            1 => CounterSchemeKind::Split,
+            2 => CounterSchemeKind::Delta,
+            3 => CounterSchemeKind::DualLength,
+            other => return Err(invalid_data(format!("unknown counter scheme {other}"))),
+        };
+        let config = EngineConfig {
+            seed,
+            mac_placement,
+            counter_scheme,
+            max_correctable_flips: payload.u32()?,
+            tree_levels: payload.u64()? as usize,
+            counter_cache_blocks: payload.u64()? as usize,
+            prefetch_counters: payload.u8()? != 0,
+        };
+        let stats = EngineStats {
+            reads: payload.u64()?,
+            writes: payload.u64()?,
+            reencrypted_blocks: payload.u64()?,
+            mac_corrections: payload.u64()?,
+            data_corrections: payload.u64()?,
+            flip_checks: payload.u64()?,
+            failed_reads: payload.u64()?,
+        };
+        let storage = DramStorage::decode(&mut payload)?;
+        let mut counters = counter_scheme.build();
+        counters.decode_state(&mut payload)?;
+        let bonsai = BonsaiTree::decode_state(MemoryCipher::from_seed(seed ^ 0x7ee), &mut payload)?;
+        let tree = if config.counter_cache_blocks > 0 {
+            TreeFrontend::Cached(CachedTree::new(bonsai, config.counter_cache_blocks))
+        } else {
+            TreeFrontend::Plain(bonsai)
+        };
+        let count = payload.u64()? as usize;
+        let mut mac_region = HashMap::with_capacity(count.min(1 << 24));
+        for _ in 0..count {
+            let block = payload.u64()?;
+            let tag = payload.u64()?;
+            mac_region.insert(block, tag);
+        }
+        Ok(Self {
+            config,
+            cipher: MemoryCipher::from_seed(seed),
+            counters,
+            tree,
+            storage,
+            mac_region,
+            stats,
+            flip_check_dist: ame_telemetry::Histogram::new(),
+        })
+    }
+}
+
+/// A single block's sealed state as captured by
+/// [`MemoryEncryptionEngine::export_sealed`]: ciphertext + side-band, the
+/// counter it was sealed under, and the separate-MAC tag if the engine
+/// stores MACs in a dedicated region. This is the unit a write-intent log
+/// records — everything needed to restore the block, nothing plaintext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlockState {
+    stored: StoredBlock,
+    counter: u64,
+    mac: Option<u64>,
+}
+
+impl SealedBlockState {
+    /// The counter this block was sealed under.
+    #[must_use]
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// Serializes the state (fixed 82-byte layout, no framing — callers
+    /// wrap records in their own checksummed framing).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.counter);
+        match self.mac {
+            Some(tag) => {
+                out.push(1);
+                put_u64(out, tag);
+            }
+            None => {
+                out.push(0);
+                put_u64(out, 0);
+            }
+        }
+        out.extend_from_slice(&self.stored.data);
+        out.extend_from_slice(&self.stored.sideband);
+    }
+
+    /// Decodes a state written by [`Self::encode`], advancing the reader.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on truncation.
+    pub fn decode(r: &mut ByteReader<'_>) -> io::Result<Self> {
+        let counter = r.u64()?;
+        let has_mac = r.u8()? != 0;
+        let tag = r.u64()?;
+        let data: [u8; BLOCK_BYTES] = r.array()?;
+        let sideband: [u8; 8] = r.array()?;
+        Ok(Self {
+            stored: StoredBlock { data, sideband },
+            counter,
+            mac: has_mac.then_some(tag),
+        })
     }
 }
 
@@ -1694,6 +1966,118 @@ mod tests {
         assert!(e.counter_stats().reencryptions > 0);
         let blk = e.read_block(0).unwrap();
         assert_eq!(blk[0], 87, "600 rounds end at round 599 => b[0] = 87");
+    }
+
+    #[test]
+    fn prefetch_on_off_is_functionally_identical() {
+        // The prefetching fast path only reschedules counter fetches; the
+        // released plaintext, stats, and fetch counts must be identical.
+        for prefetch in [false, true] {
+            let mut e = MemoryEncryptionEngine::new(EngineConfig {
+                prefetch_counters: prefetch,
+                ..EngineConfig::default()
+            });
+            let addrs: Vec<u64> = (0..96u64).map(|i| (i % 80) * 64).collect();
+            for (i, &addr) in addrs.iter().enumerate() {
+                e.write_block(addr, &[(i as u8).wrapping_mul(11); 64]);
+            }
+            let run = e.read_blocks(&addrs);
+            assert!(run.failed.is_none(), "prefetch={prefetch}");
+            // 80 distinct blocks span two 64-block metadata groups.
+            assert_eq!(run.counter_fetches, 2, "prefetch={prefetch}");
+            let again = e.read_blocks(&addrs);
+            assert_eq!(run.blocks, again.blocks);
+        }
+    }
+
+    #[test]
+    fn freeze_thaw_roundtrip_preserves_everything() {
+        for mut e in all_configs() {
+            for b in 0..20u64 {
+                e.write_block(b * 64, &[b as u8 + 1; 64]);
+            }
+            for _ in 0..140 {
+                e.write_block(0, &[0xCC; 64]); // through overflows
+            }
+            let mut img = Vec::new();
+            e.freeze_into(&mut img);
+            let mut back = MemoryEncryptionEngine::thaw_from(&mut ByteReader::new(&img))
+                .unwrap_or_else(|err| panic!("{:?}: {err}", e.config()));
+            assert_eq!(back.config(), e.config());
+            assert_eq!(back.counter_stats(), e.counter_stats());
+            let verified = back.verify_all().unwrap();
+            assert_eq!(verified, 20, "{:?}", e.config());
+            assert_eq!(back.read_block(0).unwrap(), [0xCC; 64]);
+            for b in 1..20u64 {
+                assert_eq!(back.read_block(b * 64).unwrap(), [b as u8 + 1; 64]);
+            }
+        }
+    }
+
+    #[test]
+    fn thaw_rejects_flipped_bit_anywhere() {
+        let mut e = engine(MacPlacement::MacInEcc, CounterSchemeKind::Delta);
+        for b in 0..4u64 {
+            e.write_block(b * 64, &[b as u8; 64]);
+        }
+        let mut img = Vec::new();
+        e.freeze_into(&mut img);
+        for pos in [9, img.len() / 3, img.len() / 2, img.len() - 2] {
+            let mut bad = img.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                MemoryEncryptionEngine::thaw_from(&mut ByteReader::new(&bad)).is_err(),
+                "flip at byte {pos} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn export_apply_sealed_replays_a_write() {
+        for placement in [MacPlacement::MacInEcc, MacPlacement::SeparateMac] {
+            // "Crash" an engine after a write by freezing *before* it,
+            // then replay the exported sealed state onto the thawed image.
+            let mut e = engine(placement, CounterSchemeKind::Delta);
+            e.write_block(0, &[1; 64]);
+            e.write_block(64, &[2; 64]);
+            let mut img = Vec::new();
+            e.freeze_into(&mut img);
+            e.write_block(64, &[9; 64]); // the logged post-image
+            let sealed = e.export_sealed(64);
+            let mut enc = Vec::new();
+            sealed.encode(&mut enc);
+            let decoded = SealedBlockState::decode(&mut ByteReader::new(&enc)).unwrap();
+            assert_eq!(decoded, sealed, "sealed state round-trips");
+
+            let mut back = MemoryEncryptionEngine::thaw_from(&mut ByteReader::new(&img)).unwrap();
+            back.apply_sealed(64, &decoded).unwrap();
+            back.verify_all().unwrap();
+            assert_eq!(back.read_block(64).unwrap(), [9; 64], "{placement:?}");
+            assert_eq!(back.read_block(0).unwrap(), [1; 64]);
+            assert_eq!(back.counter_of(64), e.counter_of(64));
+        }
+    }
+
+    #[test]
+    fn apply_sealed_forged_record_fails_verification() {
+        // A log record with a flipped ciphertext bit installs fine (the
+        // engine can't know yet) but the MAC catches it on verify.
+        let mut e = MemoryEncryptionEngine::new(EngineConfig {
+            max_correctable_flips: 0,
+            ..EngineConfig::default()
+        });
+        e.write_block(0, &[7; 64]);
+        let sealed = e.export_sealed(0);
+        let mut enc = Vec::new();
+        sealed.encode(&mut enc);
+        enc[30] ^= 0x80; // inside the ciphertext
+        let forged = SealedBlockState::decode(&mut ByteReader::new(&enc)).unwrap();
+        let mut fresh = MemoryEncryptionEngine::new(EngineConfig {
+            max_correctable_flips: 0,
+            ..EngineConfig::default()
+        });
+        fresh.apply_sealed(0, &forged).unwrap();
+        assert!(fresh.verify_all().is_err(), "forged bits must not verify");
     }
 
     #[test]

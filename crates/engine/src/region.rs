@@ -11,7 +11,9 @@
 //! [`SecureRegion`] provides that layer, plus the bounds discipline of a
 //! fixed-size protected region.
 
-use crate::{MemoryEncryptionEngine, ReadError, ReadRun, BLOCK_BYTES};
+use crate::{MemoryEncryptionEngine, ReadError, ReadRun, SealedBlockState, BLOCK_BYTES};
+use ame_persist::{invalid_data, put_u64, read_section, write_section, ByteReader};
+use std::io;
 
 /// Errors from byte-granular region access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,6 +241,89 @@ impl SecureRegion {
         }
         Ok(())
     }
+
+    // ---- durable storage plane ----
+
+    /// Section magic of a frozen region image.
+    const MAGIC: &'static [u8; 8] = b"AMEREGN\0";
+    /// Section version of a frozen region image.
+    const VERSION: u32 = 1;
+
+    /// Captures a consistent snapshot of the whole region — size plus the
+    /// engine's complete sealed image (ciphertext, counters, tree, MACs;
+    /// never plaintext) — as one checksummed byte vector.
+    #[must_use]
+    pub fn freeze(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.size);
+        self.engine.freeze_into(&mut payload);
+        let mut out = Vec::with_capacity(payload.len() + 32);
+        write_section(&mut out, Self::MAGIC, Self::VERSION, &payload);
+        out
+    }
+
+    /// Rebuilds a region from an image produced by [`Self::freeze`]. Keys
+    /// are re-derived from the stored seed; callers run
+    /// [`Self::verify_all`] before trusting the result.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on any framing/checksum failure in the image.
+    pub fn thaw(image: &[u8]) -> io::Result<Self> {
+        let mut r = ByteReader::new(image);
+        let (version, mut payload) = read_section(&mut r, Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(invalid_data(format!(
+                "unsupported region image version {version}"
+            )));
+        }
+        let size = payload.u64()?;
+        if size == 0 || !size.is_multiple_of(BLOCK_BYTES as u64) {
+            return Err(invalid_data("region size must be whole blocks"));
+        }
+        let engine = MemoryEncryptionEngine::thaw_from(&mut payload)?;
+        Ok(Self { engine, size })
+    }
+
+    /// Exports one block's sealed state (write-intent logging).
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::OutOfBounds`] for a bad or unaligned address.
+    pub fn export_sealed(&mut self, addr: u64) -> Result<SealedBlockState, RegionError> {
+        self.check(addr, BLOCK_BYTES)?;
+        if !addr.is_multiple_of(BLOCK_BYTES as u64) {
+            return Err(RegionError::OutOfBounds {
+                addr,
+                len: BLOCK_BYTES,
+            });
+        }
+        Ok(self.engine.export_sealed(addr))
+    }
+
+    /// Re-installs a sealed block state (write-intent log replay).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the address is out of bounds/unaligned or the
+    /// counter value cannot be represented — either way the log is
+    /// corrupt and the shard quarantines.
+    pub fn apply_sealed(&mut self, addr: u64, state: &SealedBlockState) -> io::Result<()> {
+        if self.check(addr, BLOCK_BYTES).is_err() || !addr.is_multiple_of(BLOCK_BYTES as u64) {
+            return Err(invalid_data("replayed address outside the region"));
+        }
+        self.engine.apply_sealed(addr, state)
+    }
+
+    /// Verifies every resident block (tree + MAC), returning the count.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ReadError`] encountered — the region must then be
+    /// quarantined, not served.
+    pub fn verify_all(&mut self) -> Result<u64, ReadError> {
+        self.engine.verify_all()
+    }
 }
 
 #[cfg(test)]
@@ -340,5 +425,42 @@ mod tests {
         r.write_bytes(100, &[]).unwrap();
         let mut empty: [u8; 0] = [];
         r.read_bytes(100, &mut empty).unwrap();
+    }
+
+    #[test]
+    fn freeze_thaw_roundtrip() {
+        let mut r = region();
+        r.write_bytes(40, b"durable across the freeze boundary")
+            .unwrap();
+        let image = r.freeze();
+        let mut back = SecureRegion::thaw(&image).unwrap();
+        assert_eq!(back.size(), r.size());
+        assert!(back.verify_all().is_ok());
+        let mut buf = [0u8; 34];
+        back.read_bytes(40, &mut buf).unwrap();
+        assert_eq!(&buf[..], b"durable across the freeze boundary");
+    }
+
+    #[test]
+    fn thaw_rejects_corrupt_image() {
+        let mut r = region();
+        r.write_bytes(0, &[7; 64]).unwrap();
+        let mut image = r.freeze();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x02;
+        assert!(SecureRegion::thaw(&image).is_err());
+    }
+
+    #[test]
+    fn sealed_export_bounds_checked() {
+        let mut r = region();
+        assert!(r.export_sealed(4096).is_err(), "past the end");
+        assert!(r.export_sealed(33).is_err(), "unaligned");
+        let sealed = r.export_sealed(64).unwrap();
+        assert!(
+            r.apply_sealed(8192, &sealed).is_err(),
+            "replay out of range"
+        );
+        assert!(r.apply_sealed(64, &sealed).is_ok());
     }
 }

@@ -1,0 +1,407 @@
+//! Checksummed binary framing for the durable storage plane.
+//!
+//! Every persistent artifact of the store is built from two primitives,
+//! both following the `workloads::tracefile` conventions (8-byte magic,
+//! little-endian integers, `InvalidData` on anything malformed):
+//!
+//! * **Sections** — a self-describing envelope for whole-state snapshots:
+//!   `magic(8) | version(u32) | len(u64) | payload | crc64`, where the
+//!   CRC covers everything before it. A flipped bit anywhere in the file
+//!   fails the checksum instead of being silently "corrected" downstream.
+//! * **Log records** — the unit of a write-intent log:
+//!   `len(u32) | crc64(payload) | payload`. [`scan_wal`] distinguishes a
+//!   *torn* tail (a record cut short by a crash — by definition never
+//!   acknowledged, so it is discarded) from a *corrupt* record (complete
+//!   but failing its CRC — evidence of tampering or media failure, which
+//!   must quarantine the shard).
+//!
+//! The CRC is CRC-64/XZ (ECMA-182 polynomial, reflected), table-driven.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::sync::OnceLock;
+
+/// Reflected ECMA-182 polynomial (CRC-64/XZ).
+const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
+
+fn crc_table() -> &'static [u64; 256] {
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u64; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u64;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ CRC64_POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-64/XZ of `bytes`.
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let table = crc_table();
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = table[((crc ^ u64::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Builds an `InvalidData` error with `msg`.
+#[must_use]
+pub fn invalid_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A cursor over a byte slice with checked little-endian accessors.
+///
+/// Every accessor returns `UnexpectedEof` when the slice runs out, so
+/// decoders bubble truncation up as an I/O error instead of panicking.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps `buf` with the cursor at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` once the cursor has consumed the whole slice.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated input",
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` at the end of the slice.
+    pub fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a fixed-size byte array.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if fewer than `N` bytes remain.
+    pub fn array<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        let b = self.take(N)?;
+        Ok(b.try_into().expect("N bytes"))
+    }
+}
+
+/// Appends a checksummed section: `magic | version | len | payload | crc64`
+/// with the CRC covering everything before it.
+pub fn write_section(out: &mut Vec<u8>, magic: &[u8; 8], version: u32, payload: &[u8]) {
+    let start = out.len();
+    out.extend_from_slice(magic);
+    put_u32(out, version);
+    put_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let crc = crc64(&out[start..]);
+    put_u64(out, crc);
+}
+
+/// Reads one section, verifying magic and checksum; the cursor advances
+/// past the section. Returns the stored version and a sub-reader over the
+/// payload — version checking is the caller's (per-format) business.
+///
+/// # Errors
+///
+/// `InvalidData` for a wrong magic, truncated body, or checksum mismatch.
+pub fn read_section<'a>(
+    r: &mut ByteReader<'a>,
+    magic: &[u8; 8],
+) -> io::Result<(u32, ByteReader<'a>)> {
+    let start = r.pos;
+    let found: [u8; 8] = r
+        .array()
+        .map_err(|_| invalid_data("truncated section header"))?;
+    if &found != magic {
+        return Err(invalid_data(format!(
+            "bad section magic: expected {magic:?}, found {found:?}"
+        )));
+    }
+    let version = r.u32().map_err(|_| invalid_data("truncated section"))?;
+    let len = r.u64().map_err(|_| invalid_data("truncated section"))? as usize;
+    let payload = r.take(len).map_err(|_| invalid_data("truncated section"))?;
+    let covered = &r.buf[start..r.pos];
+    let stored = r.u64().map_err(|_| invalid_data("truncated section"))?;
+    if crc64(covered) != stored {
+        return Err(invalid_data("section checksum mismatch"));
+    }
+    Ok((version, ByteReader::new(payload)))
+}
+
+/// Frames one write-intent log record: `len(u32) | crc64(payload) | payload`.
+#[must_use]
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u64(&mut out, crc64(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The result of scanning a write-intent log.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Length of the intact prefix in bytes; a recovering store truncates
+    /// the log here to drop a torn tail.
+    pub valid_len: u64,
+    /// `true` if a trailing partial record was discarded (a crash mid
+    /// append — by construction the write it logged was never
+    /// acknowledged).
+    pub torn: bool,
+}
+
+/// Scans a write-intent log image into records.
+///
+/// A record cut short by the end of the file (partial header or declared
+/// length past EOF) is a **torn tail**: discarded, reported via
+/// [`WalScan::torn`]. A record that is complete but fails its CRC is
+/// **corruption** and returns `InvalidData` — the caller must quarantine,
+/// never serve, that state.
+///
+/// # Errors
+///
+/// `InvalidData` when a complete record fails its checksum.
+pub fn scan_wal(bytes: &[u8]) -> io::Result<WalScan> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos == bytes.len() {
+            return Ok(WalScan {
+                records,
+                valid_len: pos as u64,
+                torn: false,
+            });
+        }
+        let rest = bytes.len() - pos;
+        if rest < 12 {
+            return Ok(WalScan {
+                records,
+                valid_len: pos as u64,
+                torn: true,
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let stored = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        if rest - 12 < len {
+            return Ok(WalScan {
+                records,
+                valid_len: pos as u64,
+                torn: true,
+            });
+        }
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        if crc64(payload) != stored {
+            return Err(invalid_data("write-intent log record checksum mismatch"));
+        }
+        records.push(payload.to_vec());
+        pos += 12 + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc64_check_value() {
+        // The CRC-64/XZ reference check value.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn crc64_detects_single_bit_flips() {
+        let mut data = vec![0u8; 256];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let clean = crc64(&data);
+        for bit in [0usize, 7, 100, 2047] {
+            let mut flipped = data.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc64(&flipped), clean, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn reader_reads_and_reports_eof() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, 9);
+        buf.push(3);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), 9);
+        assert_eq!(r.u8().unwrap(), 3);
+        assert!(r.is_empty());
+        assert_eq!(r.u8().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn section_roundtrip() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"AMETEST\0", 3, b"hello");
+        put_u64(&mut buf, 42); // trailing data after the section
+        let mut r = ByteReader::new(&buf);
+        let (version, mut payload) = read_section(&mut r, b"AMETEST\0").unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(payload.take(5).unwrap(), b"hello");
+        assert!(payload.is_empty());
+        assert_eq!(r.u64().unwrap(), 42, "cursor sits after the section");
+    }
+
+    #[test]
+    fn section_rejects_wrong_magic() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"AMETEST\0", 1, b"x");
+        let err = read_section(&mut ByteReader::new(&buf), b"AMEOTHER").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn section_rejects_any_flipped_bit() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"AMETEST\0", 1, &[0xAB; 32]);
+        // Flip one bit at every byte position (skipping the magic, whose
+        // corruption is reported as a magic mismatch — also InvalidData).
+        for i in 8..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x10;
+            let err = read_section(&mut ByteReader::new(&bad), b"AMETEST\0").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn section_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"AMETEST\0", 1, &[7; 16]);
+        for cut in [buf.len() - 1, buf.len() - 9, 10, 3] {
+            let err = read_section(&mut ByteReader::new(&buf[..cut]), b"AMETEST\0").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn wal_scan_clean() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&frame_record(b"first"));
+        log.extend_from_slice(&frame_record(b""));
+        log.extend_from_slice(&frame_record(&[9; 100]));
+        let scan = scan_wal(&log).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[0], b"first");
+        assert_eq!(scan.records[1], b"");
+        assert_eq!(scan.records[2], vec![9; 100]);
+        assert_eq!(scan.valid_len, log.len() as u64);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn wal_scan_empty() {
+        let scan = scan_wal(&[]).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn wal_torn_tail_is_discarded_not_an_error() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&frame_record(b"kept"));
+        let keep = log.len() as u64;
+        log.extend_from_slice(&frame_record(b"torn-away"));
+        for cut in [keep as usize + 3, keep as usize + 12, log.len() - 1] {
+            let scan = scan_wal(&log[..cut]).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut {cut}");
+            assert_eq!(scan.valid_len, keep);
+            assert!(scan.torn);
+        }
+    }
+
+    #[test]
+    fn wal_corrupt_record_is_an_error() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&frame_record(b"target"));
+        log.extend_from_slice(&frame_record(b"after"));
+        let mut bad = log.clone();
+        bad[13] ^= 1; // flip a payload bit of the first (complete) record
+        let err = scan_wal(&bad).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -56,19 +56,26 @@
 
 mod session;
 mod shard;
+mod wal;
 
 pub use session::{Session, SessionConfig, SessionStats, Ticket};
 pub use shard::{SealReport, ShardStats};
 
 use ame_engine::region::SecureRegion;
 use ame_engine::{EngineConfig, ReadError, BLOCK_BYTES};
+use ame_persist::frame_record;
 use ame_telemetry::{Snapshot, StatsRegistry, Value};
 use shard::{Op, OpOutput, Request, ShardShared, ShardWorker};
-use std::sync::atomic::Ordering;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use wal::{read_committed_txns, recover_shard, ShardBoot};
 
 /// Configuration of a [`SecureStore`].
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +98,11 @@ pub struct StoreConfig {
     /// into one engine `read_blocks` call per run (on by default; off
     /// serves every read individually).
     pub fuse_reads: bool,
+    /// Size threshold (bytes) at which a persistent shard's write-intent
+    /// log rotates into a fresh snapshot. Only consulted by stores
+    /// opened with [`SecureStore::open`]; a rotation also triggers
+    /// unconditionally after any counter-group re-encryption.
+    pub wal_rotate_bytes: u64,
     /// Engine configuration template; each shard derives an independent
     /// key seed from it via [`EngineConfig::for_shard`].
     pub engine: EngineConfig,
@@ -105,6 +117,7 @@ impl Default for StoreConfig {
             max_batch: 64,
             fuse_writes: true,
             fuse_reads: true,
+            wal_rotate_bytes: 1 << 20,
             engine: EngineConfig::default(),
         }
     }
@@ -158,6 +171,14 @@ pub enum StoreError {
         /// The unreachable shard.
         shard: usize,
     },
+    /// [`Session::wait_timeout`] gave up before the operation
+    /// completed. The ticket is still outstanding: the operation will
+    /// still execute, and a later wait can still reap it.
+    Timeout,
+    /// An atomic cross-shard batch was rolled back: a participant
+    /// failed to prepare (or the commit decision could not be made
+    /// durable), so no write of the batch took effect.
+    TxnAborted,
 }
 
 impl std::fmt::Display for StoreError {
@@ -181,6 +202,10 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Disconnected { shard } => {
                 write!(f, "shard {shard} worker is gone")
+            }
+            StoreError::Timeout => write!(f, "timed out waiting for a completion"),
+            StoreError::TxnAborted => {
+                write!(f, "atomic batch aborted: no write of the batch took effect")
             }
         }
     }
@@ -243,6 +268,12 @@ pub struct SecureStore {
     senders: Vec<SyncSender<Request>>,
     shared: Vec<Arc<ShardShared>>,
     workers: Vec<JoinHandle<SealReport>>,
+    /// The durable directory this store was opened on, if any.
+    persist_dir: Option<PathBuf>,
+    /// The coordinator's commit-decision log (`<dir>/txns.log`).
+    txn_log: Option<Mutex<File>>,
+    /// Next two-phase transaction id.
+    next_txn: AtomicU64,
 }
 
 impl std::fmt::Debug for SecureStore {
@@ -262,6 +293,42 @@ impl SecureStore {
     /// multiple of 64, or `queue_depth`/`max_batch` are zero.
     #[must_use]
     pub fn new(config: StoreConfig) -> Self {
+        Self::boot(config, None).expect("in-memory boot performs no I/O")
+    }
+
+    /// Opens (or creates) a **durable** store rooted at `dir`.
+    ///
+    /// Each shard persists under `dir/shard<N>/` as a checksummed
+    /// snapshot plus a write-intent log; `dir/txns.log` records
+    /// cross-shard commit decisions. On open, every shard is rebuilt
+    /// from its snapshot, the intent log is replayed (a torn tail —
+    /// a record cut short by a crash — is truncated: it was never
+    /// acknowledged), unresolved two-phase intents are resolved
+    /// (forward if `txns.log` committed them, backward otherwise), and
+    /// the rebuilt image is **fully re-verified** (every MAC and tree
+    /// path) before the shard serves anything. Corruption anywhere — a
+    /// flipped bit in the snapshot or log, or a replay that fails
+    /// verification — quarantines that shard exactly like a live
+    /// verification failure; healthy siblings serve normally.
+    ///
+    /// Every acknowledged write is durable as of its acknowledgement:
+    /// the worker appends the sealed post-image to the intent log
+    /// before the acknowledgement leaves the shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment-level I/O failures (directory creation,
+    /// file reads). Per-shard corruption does **not** error — it
+    /// quarantines the shard and the open succeeds.
+    ///
+    /// # Panics
+    ///
+    /// As [`SecureStore::new`] for invalid configuration.
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> io::Result<Self> {
+        Self::boot(config, Some(dir.as_ref().to_path_buf()))
+    }
+
+    fn boot(config: StoreConfig, persist: Option<PathBuf>) -> io::Result<Self> {
         assert!(config.shards > 0, "need at least one shard");
         assert!(
             config.shard_bytes > 0 && config.shard_bytes.is_multiple_of(BLOCK_BYTES as u64),
@@ -269,26 +336,48 @@ impl SecureStore {
         );
         assert!(config.queue_depth > 0, "queues must hold at least one slot");
         assert!(config.max_batch > 0, "service batches need at least one op");
+        let committed = match &persist {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                read_committed_txns(&dir.join("txns.log"))
+            }
+            None => HashSet::new(),
+        };
         let mut senders = Vec::with_capacity(config.shards);
         let mut shared = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
+        let mut all_healthy = true;
         for s in 0..config.shards {
+            let boot = match &persist {
+                // A missing shard directory recovers to a fresh region
+                // with an empty log — creation and recovery are the same
+                // path, so they cannot drift apart.
+                Some(dir) => recover_shard(&config, s, dir, &committed)?,
+                None => ShardBoot {
+                    region: SecureRegion::new(config.engine.for_shard(s), config.shard_bytes),
+                    poisoned: None,
+                    dead: false,
+                    persist: None,
+                },
+            };
+            all_healthy &= boot.poisoned.is_none() && !boot.dead;
             let (tx, rx): (SyncSender<Request>, Receiver<Request>) =
                 sync_channel(config.queue_depth);
             let sh = Arc::new(ShardShared::default());
-            let region = SecureRegion::new(config.engine.for_shard(s), config.shard_bytes);
             // The reseal seed is derived past the live shard range, so it
             // is deterministic but never equal to any shard's boot seed.
             let reseal_seed = config.engine.for_shard(s + config.shards).seed;
             let worker = ShardWorker::new(
                 s,
-                region,
+                boot.region,
                 reseal_seed,
                 config.max_batch,
                 config.fuse_writes,
                 config.fuse_reads,
                 Arc::clone(&sh),
-            );
+            )
+            .with_persist(boot.persist)
+            .with_boot_failure(boot.poisoned, boot.dead);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ame-shard{s}"))
@@ -298,12 +387,38 @@ impl SecureStore {
             senders.push(tx);
             shared.push(sh);
         }
-        Self {
+        let txn_log = match &persist {
+            Some(dir) => {
+                let file = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join("txns.log"))?;
+                if all_healthy {
+                    // Recovery resolved every dangling prepare, so the
+                    // decision log can restart empty — new transaction
+                    // ids must not collide with a previous life's.
+                    file.set_len(0)?;
+                }
+                Some(Mutex::new(file))
+            }
+            None => None,
+        };
+        Ok(Self {
             config,
             senders,
             shared,
             workers,
-        }
+            persist_dir: persist,
+            txn_log,
+            next_txn: AtomicU64::new(1),
+        })
+    }
+
+    /// The directory this store persists under, if it was opened with
+    /// [`SecureStore::open`].
+    #[must_use]
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
     }
 
     /// The store configuration.
@@ -594,6 +709,131 @@ impl SecureStore {
             .into_iter()
             .map(|r| r.expect("every op resolved"))
             .collect()
+    }
+
+    /// Writes a batch of blocks **atomically across shards**: either
+    /// every write takes effect (and survives a crash) or none does.
+    ///
+    /// The store runs two-phase commit with presumed abort over the
+    /// shards' write-intent logs. Phase 1 sends each involved shard a
+    /// prepare carrying its writes; the shard applies them, logs the
+    /// intent (pre- and post-images) and acknowledges. Once every
+    /// participant has prepared, the commit decision is appended to
+    /// `txns.log` (the durable decision point) and phase 2 finalizes
+    /// each shard. Any prepare failure — or a decision log that cannot
+    /// be written — rolls every prepared shard back to its pre-images
+    /// and the whole batch reports [`StoreError::TxnAborted`].
+    ///
+    /// A crash between prepare and commit resolves on the next
+    /// [`SecureStore::open`]: forward if the decision reached
+    /// `txns.log`, backward otherwise — a prepared-but-undecided
+    /// transaction was never acknowledged, so rolling it back never
+    /// revokes an acknowledged write.
+    ///
+    /// Atomicity is with respect to durability and crash recovery, not
+    /// isolation: concurrent reads may observe the prepared images
+    /// before the commit decision lands.
+    ///
+    /// # Errors
+    ///
+    /// Address validation errors ([`StoreError::Unaligned`] /
+    /// [`StoreError::OutOfRange`]) reject the batch before any effect;
+    /// [`StoreError::TxnAborted`] reports a rolled-back batch;
+    /// [`StoreError::Disconnected`] a vanished worker.
+    pub fn write_batch_atomic(
+        &self,
+        writes: &[(u64, [u8; BLOCK_BYTES])],
+    ) -> Result<(), StoreError> {
+        let mut per_shard: Vec<Vec<(u64, [u8; BLOCK_BYTES])>> =
+            (0..self.config.shards).map(|_| Vec::new()).collect();
+        for &(addr, data) in writes {
+            let (shard, local) = self.locate(addr)?;
+            per_shard[shard].push((local, data));
+        }
+        let involved: Vec<usize> = (0..self.config.shards)
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+        if involved.is_empty() {
+            return Ok(());
+        }
+        let txn = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        // Phase 1: send every prepare first, then collect, so the
+        // shards prepare concurrently.
+        let mut pending = Vec::with_capacity(involved.len());
+        let mut prepared = Vec::new();
+        let mut failed = None;
+        for &s in &involved {
+            let (reply, response) = sync_channel(1);
+            let request = Request::Prepare {
+                txn,
+                writes: std::mem::take(&mut per_shard[s]),
+                reply,
+            };
+            if self.senders[s].send(request).is_err() {
+                failed = Some(StoreError::Disconnected { shard: s });
+                break;
+            }
+            pending.push((s, response));
+        }
+        for (s, response) in pending {
+            match response.recv() {
+                Ok(Ok(())) => prepared.push(s),
+                Ok(Err(e)) => {
+                    failed.get_or_insert(e);
+                }
+                Err(_) => {
+                    failed.get_or_insert(StoreError::Disconnected { shard: s });
+                }
+            }
+        }
+        if failed.is_none() {
+            // Decision point: the transaction commits when (and only
+            // when) its id is durably in the coordinator log.
+            if let Some(log) = &self.txn_log {
+                let record = frame_record(&txn.to_le_bytes());
+                let mut file = log.lock().expect("txn log lock");
+                if file.write_all(&record).and_then(|()| file.flush()).is_err() {
+                    failed = Some(StoreError::TxnAborted);
+                }
+            }
+        }
+        if failed.is_some() {
+            for &s in &prepared {
+                let (reply, response) = sync_channel(1);
+                if self.senders[s].send(Request::Abort { txn, reply }).is_ok() {
+                    let _ = response.recv();
+                }
+            }
+            return Err(StoreError::TxnAborted);
+        }
+        // Phase 2: the decision is durable; finalize. A shard that
+        // fails here is quarantined, but the transaction stays
+        // committed — recovery finishes it forward from txns.log.
+        for &s in &involved {
+            let (reply, response) = sync_channel(1);
+            if self.senders[s].send(Request::Commit { txn, reply }).is_ok() {
+                let _ = response.recv();
+            }
+        }
+        Ok(())
+    }
+
+    /// Test surface: kills every shard worker as a power cut would — no
+    /// drain, no re-seal, no final checkpoint. The durable directory is
+    /// left exactly as the last acknowledged operation put it, so a
+    /// following [`SecureStore::open`] exercises real crash recovery
+    /// in-process.
+    pub fn simulate_crash(self) {
+        for tx in &self.senders {
+            let (ack, done) = sync_channel(1);
+            if tx.send(Request::Crash { ack }).is_ok() {
+                let _ = done.recv();
+            }
+        }
+        drop(self.senders);
+        for worker in self.workers {
+            let _ = worker.join();
+        }
     }
 
     /// Flips one stored ciphertext bit of the block at `addr` — the

@@ -48,8 +48,8 @@ use ame_engine::BLOCK_BYTES;
 use ame_telemetry::{Histogram, MetricSink, Metrics, Snapshot, StatsRegistry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::time::Instant;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Session`].
 #[derive(Debug, Clone, Copy)]
@@ -362,6 +362,62 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Like [`Session::wait`], but gives up with
+    /// [`StoreError::Timeout`] once `timeout` has elapsed without the
+    /// ticket completing.
+    ///
+    /// A timeout does **not** cancel the operation: the ticket stays
+    /// outstanding, the shard will still execute and complete it, and a
+    /// later [`wait`](Session::wait)/[`poll`](Session::poll) can still
+    /// reap it. Use this to bound client-side latency on a store whose
+    /// shard might be wedged (e.g. a jammed RMW closure) without
+    /// leaking the ticket.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::wait`], plus [`StoreError::Timeout`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Session::wait`]: panics if the ticket was already reaped or
+    /// belongs to another session.
+    pub fn wait_timeout(
+        &mut self,
+        ticket: Ticket,
+        timeout: Duration,
+    ) -> Result<StoreValue, StoreError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.drain();
+            if let Some(result) = self.take_done(ticket) {
+                return result;
+            }
+            assert!(
+                self.pending.contains_key(&ticket.0),
+                "ticket {ticket:?} is not outstanding in this session"
+            );
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| *d > Duration::ZERO)
+            else {
+                return Err(StoreError::Timeout);
+            };
+            match self.rx.recv_timeout(remaining) {
+                Ok(completion) => {
+                    self.absorb(completion);
+                    let mut burst = 1u64;
+                    while let Ok(more) = self.rx.try_recv() {
+                        self.absorb(more);
+                        burst += 1;
+                    }
+                    self.stats.completion_batch.record(burst);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(StoreError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => self.resolve_orphans(),
+            }
+        }
+    }
+
     /// Blocks until *some* completion is available and returns the
     /// oldest unreaped one, or `None` if nothing is in flight or
     /// unreaped. Completions of same-shard operations are returned in
@@ -412,20 +468,22 @@ impl<'a> Session<'a> {
                 }
                 self.stats.completion_batch.record(burst);
             }
-            Err(_) => {
-                // Every worker owning our pending ops is gone (worker
-                // panic — graceful shutdown is impossible while a session
-                // borrows the store). Resolve everything outstanding so
-                // no ticket hangs, in ticket order for determinism.
-                let mut orphans: Vec<(u64, usize)> = self.pending.drain().collect();
-                orphans.sort_unstable();
-                for (seq, shard) in orphans {
-                    self.in_flight[shard] -= 1;
-                    self.total_in_flight -= 1;
-                    self.done
-                        .push_back((Ticket(seq), Err(StoreError::Disconnected { shard })));
-                }
-            }
+            Err(_) => self.resolve_orphans(),
+        }
+    }
+
+    /// Every worker owning our pending ops is gone (worker panic —
+    /// graceful shutdown is impossible while a session borrows the
+    /// store). Resolve everything outstanding so no ticket hangs, in
+    /// ticket order for determinism.
+    fn resolve_orphans(&mut self) {
+        let mut orphans: Vec<(u64, usize)> = self.pending.drain().collect();
+        orphans.sort_unstable();
+        for (seq, shard) in orphans {
+            self.in_flight[shard] -= 1;
+            self.total_in_flight -= 1;
+            self.done
+                .push_back((Ticket(seq), Err(StoreError::Disconnected { shard })));
         }
     }
 

@@ -42,13 +42,16 @@
 //! [`read_blocks`]: ame_engine::region::SecureRegion::read_blocks
 
 use ame_engine::region::{RegionError, SecureRegion};
-use ame_engine::{ReadError, BLOCK_BYTES};
+use ame_engine::{ReadError, SealedBlockState, BLOCK_BYTES};
 use ame_telemetry::{Histogram, MetricSink, Metrics, Snapshot, StatsRegistry};
+use std::collections::BTreeMap;
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::wal::{write_snapshot, ShardPersist, WalRecord};
 use crate::StoreError;
 
 /// The mutator a read-modify-write runs on the shard worker's thread.
@@ -126,6 +129,30 @@ pub(crate) enum Request {
         sideband: bool,
         ack: SyncSender<()>,
     },
+    /// Two-phase commit, phase 1: apply `writes`, log the intent (pre-
+    /// and post-images) before acknowledging. The writes become durable
+    /// but stay revocable until `Commit`/`Abort`.
+    Prepare {
+        txn: u64,
+        writes: Vec<(u64, [u8; BLOCK_BYTES])>,
+        reply: SyncSender<Result<(), StoreError>>,
+    },
+    /// Two-phase commit, phase 2 (forward): finalize `txn`.
+    Commit {
+        txn: u64,
+        reply: SyncSender<Result<(), StoreError>>,
+    },
+    /// Two-phase commit, phase 2 (backward): restore `txn`'s pre-images.
+    Abort {
+        txn: u64,
+        reply: SyncSender<Result<(), StoreError>>,
+    },
+    /// Test surface: die like a power cut — no drain, no re-seal, no
+    /// checkpoint; the on-disk snapshot + log are left exactly as the
+    /// last acknowledged operation put them.
+    Crash {
+        ack: SyncSender<()>,
+    },
 }
 
 /// State shared between the front-end and one worker without going
@@ -174,6 +201,16 @@ pub struct ShardStats {
     pub tampers: u64,
     /// Whether the shard is quarantined.
     pub poisoned: bool,
+    /// Write-intent records appended to the shard's log.
+    pub wal_records: u64,
+    /// Bytes appended to the shard's write-intent log.
+    pub wal_bytes: u64,
+    /// Snapshot rotations (log truncated into a fresh snapshot).
+    pub checkpoints: u64,
+    /// Two-phase transactions prepared on this shard.
+    pub txns_prepared: u64,
+    /// Prepared transactions rolled back (pre-images restored).
+    pub txns_aborted: u64,
     /// Operations coalesced per service interval (log₂ buckets).
     pub batch_size: Histogram,
     /// Per-operation service latency in nanoseconds (log₂ buckets). A
@@ -206,6 +243,11 @@ impl Metrics for ShardStats {
         sink.counter("rejected_poisoned", self.rejected_poisoned);
         sink.counter("tampers", self.tampers);
         sink.gauge("poisoned", if self.poisoned { 1.0 } else { 0.0 });
+        sink.counter("wal_records", self.wal_records);
+        sink.counter("wal_bytes", self.wal_bytes);
+        sink.counter("checkpoints", self.checkpoints);
+        sink.counter("txns_prepared", self.txns_prepared);
+        sink.counter("txns_aborted", self.txns_aborted);
         sink.histogram("batch_size", &self.batch_size);
         sink.histogram("service_latency_ns", &self.service_latency_ns);
         sink.histogram("queue_wait_ns", &self.queue_wait_ns);
@@ -277,6 +319,17 @@ pub(crate) struct ShardWorker {
     fuse_reads: bool,
     shared: Arc<ShardShared>,
     poisoned: Option<ReadError>,
+    /// Quarantined without a verification error: corrupt durable state
+    /// at boot, or a live persistence I/O failure (a write whose intent
+    /// cannot be logged must not be acknowledged).
+    persist_dead: bool,
+    /// Simulated power cut: stop without draining or checkpointing.
+    crashed: bool,
+    /// Durable storage plane, when the store was opened on a directory.
+    persist: Option<ShardPersist>,
+    /// Prepared-but-unresolved transactions: `(local, pre, post)` per
+    /// entry, kept so `Abort` can restore and rotation can re-log them.
+    pending_txns: BTreeMap<u64, Vec<(u64, SealedBlockState, SealedBlockState)>>,
     stats: ShardStats,
 }
 
@@ -299,8 +352,37 @@ impl ShardWorker {
             fuse_reads,
             shared,
             poisoned: None,
+            persist_dead: false,
+            crashed: false,
+            persist: None,
+            pending_txns: BTreeMap::new(),
             stats: ShardStats::default(),
         }
+    }
+
+    /// Attaches the durable storage plane (recovered or fresh).
+    pub(crate) fn with_persist(mut self, persist: Option<ShardPersist>) -> Self {
+        self.persist = persist;
+        self
+    }
+
+    /// Boots the worker already quarantined (recovery found corrupt
+    /// state, or the replayed image failed its verification sweep).
+    pub(crate) fn with_boot_failure(mut self, poisoned: Option<ReadError>, dead: bool) -> Self {
+        if poisoned.is_some() || dead {
+            self.shared.poisoned.store(true, Ordering::Relaxed);
+        }
+        if poisoned.is_some() {
+            self.stats.integrity_failures += 1;
+        }
+        self.poisoned = poisoned;
+        self.persist_dead = dead;
+        self
+    }
+
+    /// `false` once the shard is quarantined for any reason.
+    fn healthy(&self) -> bool {
+        self.poisoned.is_none() && !self.persist_dead
     }
 
     /// The worker loop: runs until every sender is dropped, then drains
@@ -319,13 +401,25 @@ impl ShardWorker {
                 }
             }
             self.service_wakeup(requests);
+            if self.crashed {
+                // Simulated power cut: abandon everything, leave the
+                // durable artifacts exactly as the last acknowledged
+                // operation left them.
+                return SealReport {
+                    shard: self.shard,
+                    resealed: false,
+                    poisoned: self.poisoned,
+                };
+            }
         }
         // Graceful shutdown: the channel is closed *and* drained (recv
         // only errors once the buffer is empty). Re-seal the shard so its
-        // at-rest state is under fresh keys; a poisoned shard must not
-        // launder corrupted blocks, so it is left quarantined.
-        let resealed =
-            self.poisoned.is_none() && self.region.engine_mut().rekey(self.reseal_seed).is_ok();
+        // at-rest state is under fresh keys, then checkpoint the resealed
+        // image; a poisoned shard must not launder corrupted blocks, so
+        // it is left quarantined and its durable state untouched.
+        let resealed = self.healthy()
+            && self.region.engine_mut().rekey(self.reseal_seed).is_ok()
+            && (self.persist.is_none() || self.checkpoint().is_ok());
         SealReport {
             shard: self.shard,
             resealed,
@@ -407,7 +501,37 @@ impl ShardWorker {
                     self.stats.tampers += 1;
                     let _ = ack.send(());
                 }
+                Request::Prepare {
+                    txn,
+                    writes: w,
+                    reply,
+                } => {
+                    self.flush_fused(&mut writes, &mut slots);
+                    self.flush_fused_reads(&mut reads, &mut slots);
+                    let _ = reply.send(self.handle_prepare(txn, w));
+                }
+                Request::Commit { txn, reply } => {
+                    self.flush_fused(&mut writes, &mut slots);
+                    self.flush_fused_reads(&mut reads, &mut slots);
+                    let _ = reply.send(self.handle_commit(txn));
+                }
+                Request::Abort { txn, reply } => {
+                    self.flush_fused(&mut writes, &mut slots);
+                    self.flush_fused_reads(&mut reads, &mut slots);
+                    let _ = reply.send(self.handle_abort(txn));
+                }
+                Request::Crash { ack } => {
+                    self.crashed = true;
+                    let _ = ack.send(());
+                    break;
+                }
             }
+        }
+        if self.crashed {
+            // Power cut: unflushed fused ops were never persisted and
+            // never acknowledged — dropping their reply channels reports
+            // them Disconnected, exactly what a real kill produces.
+            return;
         }
         self.flush_fused(&mut writes, &mut slots);
         self.flush_fused_reads(&mut reads, &mut slots);
@@ -441,7 +565,7 @@ impl ShardWorker {
         reads: &mut Vec<PendingRead>,
         slots: &mut [BatchSlot],
     ) {
-        let op = if self.poisoned.is_none() {
+        let op = if self.healthy() {
             let in_bounds = |local: u64| local + BLOCK_BYTES as u64 <= self.region.size();
             // A flush can itself poison the shard (a fused read run that
             // fails verification), so each arm re-checks after flushing
@@ -452,7 +576,7 @@ impl ShardWorker {
                     // Pending reads arrived first and must observe the
                     // pre-write snapshot.
                     self.flush_fused_reads(reads, slots);
-                    if self.poisoned.is_none() {
+                    if self.healthy() {
                         writes.push(PendingWrite {
                             local,
                             data,
@@ -468,7 +592,7 @@ impl ShardWorker {
                     if reads.iter().any(|r| r.rmw.is_some() && r.local == local) {
                         self.flush_fused_reads(reads, slots);
                     }
-                    if self.poisoned.is_none() {
+                    if self.healthy() {
                         reads.push(PendingRead {
                             local,
                             queue_ns,
@@ -484,7 +608,7 @@ impl ShardWorker {
                     if reads.iter().any(|r| r.rmw.is_some() && r.local == local) {
                         self.flush_fused_reads(reads, slots);
                     }
-                    if self.poisoned.is_none() {
+                    if self.healthy() {
                         reads.push(PendingRead {
                             local,
                             queue_ns,
@@ -547,20 +671,37 @@ impl ShardWorker {
         // guaranteed by the front-end's `locate`, so this cannot fail in
         // practice; fall back to per-op service if it somehow does.
         let batch_ok = self.region.write_blocks(&items).is_ok();
+        // Compute every result, then log the whole run as ONE intent
+        // record, then deliver: no acknowledgement leaves the worker
+        // before its write is durable.
+        let mut results: Vec<OpReply> = Vec::with_capacity(fused.len());
+        let mut sealed: Vec<u64> = Vec::with_capacity(fused.len());
+        for w in fused.iter() {
+            let result = if batch_ok {
+                Ok(())
+            } else {
+                self.write(w.local, &w.data)
+            };
+            results.push(result.map(|()| {
+                self.stats.writes += 1;
+                sealed.push(w.local);
+                OpOutput::Written
+            }));
+        }
+        if let Err(e) = self.persist_writes(&sealed) {
+            // The run's intent never reached the log: nothing in it may
+            // be acknowledged.
+            for r in &mut results {
+                if r.is_ok() {
+                    *r = Err(e);
+                }
+            }
+        }
         let elapsed_ns = start.elapsed().as_nanos() as u64;
         let share_ns = elapsed_ns / n;
         self.stats.fused_writes.record(n);
         self.stats.service_latency_ns.record_n(share_ns, n);
-        for w in fused.drain(..) {
-            let result = if batch_ok {
-                self.stats.writes += 1;
-                Ok(OpOutput::Written)
-            } else {
-                self.write(w.local, &w.data).map(|()| {
-                    self.stats.writes += 1;
-                    OpOutput::Written
-                })
-            };
+        for (w, result) in fused.drain(..).zip(results) {
             self.deliver(w.dest, result, w.queue_ns, share_ns, slots);
         }
     }
@@ -632,6 +773,17 @@ impl ShardWorker {
             // completes every op preceding the failing one in full.
             let committed = self.region.write_blocks(&write_backs).is_ok();
             debug_assert!(committed, "staged RMW write-backs cannot fail");
+            // One intent record covers the run's write-backs; if it
+            // cannot be logged, the RMWs must not be acknowledged (their
+            // plain-read neighbours carry no new state and still may).
+            let locals: Vec<u64> = write_backs.iter().map(|&(local, _)| local).collect();
+            if let Err(e) = self.persist_writes(&locals) {
+                for r in &mut results {
+                    if matches!(r, Ok(OpOutput::Modified { .. })) {
+                        *r = Err(e);
+                    }
+                }
+            }
         }
         if let Some((index, error)) = run.failed {
             debug_assert_eq!(index, released);
@@ -663,7 +815,7 @@ impl ShardWorker {
     }
 
     fn exec(&mut self, op: Op) -> OpReply {
-        if self.poisoned.is_some() {
+        if !self.healthy() {
             self.stats.rejected_poisoned += 1;
             return Err(StoreError::ShardPoisoned {
                 shard: self.shard,
@@ -675,16 +827,22 @@ impl ShardWorker {
                 self.stats.reads += 1;
                 OpOutput::Read(block)
             }),
-            Op::Write { local, data } => self.write(local, &data).map(|()| {
-                self.stats.writes += 1;
-                OpOutput::Written
-            }),
+            Op::Write { local, data } => self
+                .write(local, &data)
+                .and_then(|()| self.persist_writes(&[local]))
+                .map(|()| {
+                    self.stats.writes += 1;
+                    OpOutput::Written
+                }),
             // The verified read's counter fetch is reused for the seal,
             // so an RMW costs one metadata lookup, not two.
-            Op::Rmw { local, f } => self.rmw(local, f).map(|old| {
-                self.stats.rmws += 1;
-                OpOutput::Modified { old }
-            }),
+            Op::Rmw { local, f } => self
+                .rmw(local, f)
+                .and_then(|old| self.persist_writes(&[local]).map(|()| old))
+                .map(|old| {
+                    self.stats.rmws += 1;
+                    OpOutput::Modified { old }
+                }),
         }
     }
 
@@ -737,9 +895,235 @@ impl ShardWorker {
         }
     }
 
+    /// Quarantines the shard after a persistence failure: a write whose
+    /// intent cannot be logged must not be acknowledged, and a shard
+    /// that cannot guarantee durability must stop accepting state.
+    fn poison_io(&mut self) -> StoreError {
+        self.persist_dead = true;
+        self.persist = None; // stop touching the files
+        self.shared.poisoned.store(true, Ordering::Relaxed);
+        StoreError::ShardPoisoned {
+            shard: self.shard,
+            cause: None,
+        }
+    }
+
+    /// Does the intent log need to rotate into a fresh snapshot before
+    /// the next record?
+    ///
+    /// Two triggers: a group re-encryption (counters were rebased, so
+    /// replay-by-value onto the old snapshot may no longer be
+    /// representable) and the size threshold (bounding replay time).
+    fn rotation_due(&self) -> bool {
+        match &self.persist {
+            None => false,
+            Some(p) => {
+                p.last_reencryptions != self.region.engine().counter_stats().reencryptions
+                    || p.wal.size() >= p.rotate_bytes
+            }
+        }
+    }
+
+    /// Makes the sealed post-images of `locals` durable *before* their
+    /// acknowledgements leave the worker: one intent record for the
+    /// whole run, or a full snapshot rotation when one is due (the
+    /// snapshot subsumes the record).
+    ///
+    /// # Errors
+    ///
+    /// A persistence I/O failure quarantines the shard; the caller must
+    /// fail (not acknowledge) the writes it covers.
+    fn persist_writes(&mut self, locals: &[u64]) -> Result<(), StoreError> {
+        if self.persist.is_none() || locals.is_empty() {
+            return Ok(());
+        }
+        let outcome = if self.rotation_due() {
+            self.checkpoint()
+        } else {
+            let mut entries = Vec::with_capacity(locals.len());
+            for &local in locals {
+                let state = self
+                    .region
+                    .export_sealed(local)
+                    .expect("fused locals are bounds-checked and aligned");
+                entries.push((local, state));
+            }
+            let payload = WalRecord::Writes(entries).encode();
+            let p = self.persist.as_mut().expect("checked above");
+            match p.wal.append(&payload) {
+                Ok(bytes) => {
+                    self.stats.wal_records += 1;
+                    self.stats.wal_bytes += bytes;
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        };
+        outcome.map_err(|_| self.poison_io())
+    }
+
+    /// Rotates the durable state: freezes the region into a fresh
+    /// atomic snapshot, truncates the intent log, and re-logs any
+    /// unresolved prepares (their resolution must survive the rotation).
+    fn checkpoint(&mut self) -> io::Result<()> {
+        let image = self.region.freeze();
+        let reencryptions = self.region.engine().counter_stats().reencryptions;
+        let Some(p) = self.persist.as_mut() else {
+            return Ok(());
+        };
+        write_snapshot(&p.dir, &image)?;
+        p.wal.reset()?;
+        p.last_reencryptions = reencryptions;
+        for (&txn, entries) in &self.pending_txns {
+            let payload = WalRecord::Prepare {
+                txn,
+                entries: entries.clone(),
+            }
+            .encode();
+            let bytes = p.wal.append(&payload)?;
+            self.stats.wal_records += 1;
+            self.stats.wal_bytes += bytes;
+        }
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Two-phase commit, phase 1: applies the transaction's writes,
+    /// captures pre- and post-images, and logs the intent before
+    /// acknowledging. On success the writes are durable but revocable.
+    fn handle_prepare(
+        &mut self,
+        txn: u64,
+        writes: Vec<(u64, [u8; BLOCK_BYTES])>,
+    ) -> Result<(), StoreError> {
+        if !self.healthy() {
+            self.stats.rejected_poisoned += 1;
+            return Err(StoreError::ShardPoisoned {
+                shard: self.shard,
+                cause: None,
+            });
+        }
+        let mut entries = Vec::with_capacity(writes.len());
+        for (local, data) in writes {
+            let pre = match self.region.export_sealed(local) {
+                Ok(pre) => pre,
+                Err(_) => {
+                    // Coordinator-validated addresses make this
+                    // unreachable; roll back what this shard applied and
+                    // let the coordinator abort the transaction.
+                    self.rollback(&entries);
+                    return Err(StoreError::OutOfRange {
+                        addr: local,
+                        len: BLOCK_BYTES as u64,
+                    });
+                }
+            };
+            self.write(local, &data)?; // a ReadError here poisons: no rollback needed
+            let post = self
+                .region
+                .export_sealed(local)
+                .expect("address was writable");
+            self.stats.writes += 1;
+            entries.push((local, pre, post));
+        }
+        self.pending_txns.insert(txn, entries);
+        if self.persist.is_some() {
+            let outcome = if self.rotation_due() {
+                // The rotation re-logs every pending prepare, including
+                // this one, over a snapshot that already contains the
+                // applied post-images.
+                self.checkpoint()
+            } else {
+                let entries = self.pending_txns.get(&txn).expect("just inserted").clone();
+                let payload = WalRecord::Prepare { txn, entries }.encode();
+                let p = self.persist.as_mut().expect("checked above");
+                match p.wal.append(&payload) {
+                    Ok(bytes) => {
+                        self.stats.wal_records += 1;
+                        self.stats.wal_bytes += bytes;
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            if outcome.is_err() {
+                return Err(self.poison_io());
+            }
+        }
+        self.stats.txns_prepared += 1;
+        Ok(())
+    }
+
+    /// Two-phase commit, phase 2 (forward): the prepared post-images are
+    /// final; log the decision so replay stops treating them as
+    /// revocable.
+    fn handle_commit(&mut self, txn: u64) -> Result<(), StoreError> {
+        if !self.healthy() {
+            self.stats.rejected_poisoned += 1;
+            return Err(StoreError::ShardPoisoned {
+                shard: self.shard,
+                cause: None,
+            });
+        }
+        self.pending_txns.remove(&txn);
+        if self.persist.is_some() {
+            let payload = WalRecord::Commit { txn }.encode();
+            let p = self.persist.as_mut().expect("checked above");
+            match p.wal.append(&payload) {
+                Ok(bytes) => {
+                    self.stats.wal_records += 1;
+                    self.stats.wal_bytes += bytes;
+                }
+                Err(_) => return Err(self.poison_io()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Two-phase commit, phase 2 (backward): restores the pre-images of
+    /// a prepared transaction and logs the rollback.
+    fn handle_abort(&mut self, txn: u64) -> Result<(), StoreError> {
+        if !self.healthy() {
+            self.stats.rejected_poisoned += 1;
+            return Err(StoreError::ShardPoisoned {
+                shard: self.shard,
+                cause: None,
+            });
+        }
+        let Some(entries) = self.pending_txns.remove(&txn) else {
+            return Ok(()); // never prepared here (or already resolved)
+        };
+        if !self.rollback(&entries) {
+            return Err(self.poison_io());
+        }
+        if self.persist.is_some() {
+            let payload = WalRecord::Abort { txn }.encode();
+            let p = self.persist.as_mut().expect("checked above");
+            match p.wal.append(&payload) {
+                Ok(bytes) => {
+                    self.stats.wal_records += 1;
+                    self.stats.wal_bytes += bytes;
+                }
+                Err(_) => return Err(self.poison_io()),
+            }
+        }
+        self.stats.txns_aborted += 1;
+        Ok(())
+    }
+
+    /// Restores pre-images in reverse apply order; `false` if a restore
+    /// failed (the shard can no longer prove its state and must be
+    /// quarantined by the caller).
+    fn rollback(&mut self, entries: &[(u64, SealedBlockState, SealedBlockState)]) -> bool {
+        entries
+            .iter()
+            .rev()
+            .all(|(local, pre, _post)| self.region.apply_sealed(*local, pre).is_ok())
+    }
+
     fn report(&self) -> ShardReport {
         let mut stats = self.stats.clone();
-        stats.poisoned = self.poisoned.is_some();
+        stats.poisoned = !self.healthy();
         let mut registry = StatsRegistry::new();
         registry.collect("", self.region.engine());
         ShardReport {

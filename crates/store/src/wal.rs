@@ -1,0 +1,486 @@
+//! The durable storage plane: per-shard write-intent logs, snapshots,
+//! and crash recovery.
+//!
+//! Each shard persists under `dir/shard<N>/` as two artifacts:
+//!
+//! * **`snapshot.bin`** — a [`SecureRegion::freeze`] image: the whole
+//!   sealed region (ciphertext, counters, tree, MAC side-band) in one
+//!   checksummed section. Written atomically (temp file + rename), so a
+//!   crash mid-snapshot leaves the previous snapshot intact.
+//! * **`wal.bin`** — an append-only write-intent log of
+//!   [`frame_record`]-framed [`WalRecord`]s. A record is appended
+//!   *before* the write it describes is acknowledged, so every
+//!   acknowledged write is either in the snapshot or in the log.
+//!
+//! Records carry **sealed post-images** ([`SealedBlockState`]): the
+//! ciphertext, MAC, and counter *value* the engine produced — never
+//! plaintext. Replay restores the counter value and lets the scheme
+//! re-derive its compressed representation; the data MAC binds
+//! (address, counter, ciphertext), so a forged record installs state
+//! that fails the post-replay verification sweep instead of serving
+//! silently.
+//!
+//! The log is value-based, so it must rotate into a fresh snapshot
+//! whenever replay-by-value could stop being representable: after any
+//! group re-encryption (counters rebased), and whenever the log exceeds
+//! [`StoreConfig::wal_rotate_bytes`](crate::StoreConfig::wal_rotate_bytes)
+//! (bounding replay time).
+//!
+//! Two-phase-commit intents ride the same log: a [`WalRecord::Prepare`]
+//! carries both pre- and post-images, so recovery can finish the
+//! transaction either way — forward if the coordinator's commit log
+//! (`dir/txns.log`) says it committed, backward otherwise (presumed
+//! abort: an unresolved prepare was never acknowledged to the client).
+//!
+//! Failure taxonomy on recovery:
+//!
+//! * a **torn tail** (record cut short by the crash) is truncated — by
+//!   construction it was never acknowledged;
+//! * a **corrupt** snapshot, record, or replayed state (checksum or
+//!   decode failure) quarantines the shard exactly like a live
+//!   verification failure — siblings keep serving;
+//! * a clean replay still ends with a full [`SecureRegion::verify_all`]
+//!   sweep before the shard serves anything: MAC or tree failure there
+//!   quarantines too.
+
+use ame_engine::region::SecureRegion;
+use ame_engine::{ReadError, SealedBlockState};
+use ame_persist::{frame_record, invalid_data, put_u32, put_u64, scan_wal, ByteReader};
+use std::collections::{BTreeMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::StoreConfig;
+
+/// Record tags (first payload byte) of the write-intent log.
+const TAG_WRITES: u8 = 1;
+const TAG_PREPARE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+
+/// One write-intent log record.
+#[derive(Debug)]
+pub(crate) enum WalRecord {
+    /// A run of acknowledged writes: sealed post-images, in effect order.
+    Writes(Vec<(u64, SealedBlockState)>),
+    /// A two-phase-commit intent: each entry is
+    /// `(local, pre-image, post-image)`; the post-images are applied at
+    /// prepare time, the pre-images roll them back on abort.
+    Prepare {
+        txn: u64,
+        entries: Vec<(u64, SealedBlockState, SealedBlockState)>,
+    },
+    /// Transaction `txn`'s prepared writes are final.
+    Commit { txn: u64 },
+    /// Transaction `txn` was rolled back (pre-images restored).
+    Abort { txn: u64 },
+}
+
+impl WalRecord {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Writes(entries) => {
+                out.push(TAG_WRITES);
+                put_u32(&mut out, entries.len() as u32);
+                for (local, state) in entries {
+                    put_u64(&mut out, *local);
+                    state.encode(&mut out);
+                }
+            }
+            WalRecord::Prepare { txn, entries } => {
+                out.push(TAG_PREPARE);
+                put_u64(&mut out, *txn);
+                put_u32(&mut out, entries.len() as u32);
+                for (local, pre, post) in entries {
+                    put_u64(&mut out, *local);
+                    pre.encode(&mut out);
+                    post.encode(&mut out);
+                }
+            }
+            WalRecord::Commit { txn } => {
+                out.push(TAG_COMMIT);
+                put_u64(&mut out, *txn);
+            }
+            WalRecord::Abort { txn } => {
+                out.push(TAG_ABORT);
+                put_u64(&mut out, *txn);
+            }
+        }
+        out
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut r = ByteReader::new(payload);
+        let record = match r.u8()? {
+            TAG_WRITES => {
+                let count = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let local = r.u64()?;
+                    entries.push((local, SealedBlockState::decode(&mut r)?));
+                }
+                WalRecord::Writes(entries)
+            }
+            TAG_PREPARE => {
+                let txn = r.u64()?;
+                let count = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let local = r.u64()?;
+                    let pre = SealedBlockState::decode(&mut r)?;
+                    let post = SealedBlockState::decode(&mut r)?;
+                    entries.push((local, pre, post));
+                }
+                WalRecord::Prepare { txn, entries }
+            }
+            TAG_COMMIT => WalRecord::Commit { txn: r.u64()? },
+            TAG_ABORT => WalRecord::Abort { txn: r.u64()? },
+            tag => return Err(invalid_data(format!("unknown write-intent tag {tag}"))),
+        };
+        if !r.is_empty() {
+            return Err(invalid_data("trailing bytes in write-intent record"));
+        }
+        Ok(record)
+    }
+}
+
+/// An open, append-only write-intent log.
+///
+/// Appends are framed ([`frame_record`]), written whole, and flushed
+/// before the caller acknowledges anything — a crash can tear at most
+/// the final, unacknowledged record.
+pub(crate) struct ShardWal {
+    file: File,
+    len: u64,
+}
+
+impl ShardWal {
+    /// Creates (truncating) the log at `path`.
+    pub(crate) fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self { file, len: 0 })
+    }
+
+    /// Appends one framed record and flushes it.
+    pub(crate) fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let framed = frame_record(payload);
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        self.len += framed.len() as u64;
+        Ok(framed.len() as u64)
+    }
+
+    /// Current log length in bytes.
+    pub(crate) fn size(&self) -> u64 {
+        self.len
+    }
+
+    /// Truncates the log to empty (after a snapshot rotation).
+    pub(crate) fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.len = 0;
+        Ok(())
+    }
+}
+
+/// Atomically replaces `dir/snapshot.bin` with `image`.
+pub(crate) fn write_snapshot(dir: &Path, image: &[u8]) -> io::Result<()> {
+    let tmp = dir.join("snapshot.tmp");
+    fs::write(&tmp, image)?;
+    fs::rename(&tmp, dir.join("snapshot.bin"))
+}
+
+/// A shard worker's handle on its persistence state.
+pub(crate) struct ShardPersist {
+    /// The shard's directory (`<store dir>/shard<N>`).
+    pub dir: PathBuf,
+    /// The live write-intent log.
+    pub wal: ShardWal,
+    /// Rotate into a snapshot once the log reaches this many bytes.
+    pub rotate_bytes: u64,
+    /// Engine re-encryption count at the last snapshot; any change
+    /// forces a rotation (rebased counters make value-replay onto the
+    /// old snapshot unrepresentable).
+    pub last_reencryptions: u64,
+}
+
+/// What recovering (or freshly creating) one shard's durable state
+/// produced.
+pub(crate) struct ShardBoot {
+    pub region: SecureRegion,
+    /// A verification failure caught by the post-replay sweep.
+    pub poisoned: Option<ReadError>,
+    /// Quarantined without a `ReadError`: corrupt snapshot, corrupt log
+    /// record, or an unrepresentable replay.
+    pub dead: bool,
+    /// Live persistence handle; `None` for quarantined shards (their
+    /// on-disk state is preserved as evidence, never overwritten).
+    pub persist: Option<ShardPersist>,
+}
+
+/// Rebuilds one shard from `dir/shard<s>/`: snapshot, then write-intent
+/// replay, then a full verification sweep, then a fresh checkpoint.
+///
+/// Corruption anywhere — snapshot checksum, record checksum, record
+/// decode, replay representability, or the final MAC/tree sweep —
+/// quarantines the shard (boot-poisoned) instead of serving doubtful
+/// state; the store's other shards are unaffected. A torn log tail is
+/// truncated silently: the record it held was never acknowledged.
+pub(crate) fn recover_shard(
+    config: &StoreConfig,
+    s: usize,
+    dir: &Path,
+    committed: &HashSet<u64>,
+) -> io::Result<ShardBoot> {
+    let sdir = dir.join(format!("shard{s}"));
+    fs::create_dir_all(&sdir)?;
+    let snap_path = sdir.join("snapshot.bin");
+    let wal_path = sdir.join("wal.bin");
+    let quarantine = |region: SecureRegion| ShardBoot {
+        region,
+        poisoned: None,
+        dead: true,
+        persist: None,
+    };
+
+    let mut region = if snap_path.exists() {
+        match SecureRegion::thaw(&fs::read(&snap_path)?) {
+            Ok(r) if r.size() == config.shard_bytes => r,
+            _ => {
+                // Corrupt snapshot (or one frozen under a different
+                // geometry): quarantine over a fresh region.
+                return Ok(quarantine(SecureRegion::new(
+                    config.engine.for_shard(s),
+                    config.shard_bytes,
+                )));
+            }
+        }
+    } else {
+        SecureRegion::new(config.engine.for_shard(s), config.shard_bytes)
+    };
+
+    // Replay the intent log in append order, tracking unresolved
+    // prepares.
+    let mut pending: BTreeMap<u64, Vec<(u64, SealedBlockState, SealedBlockState)>> =
+        BTreeMap::new();
+    if wal_path.exists() {
+        let bytes = fs::read(&wal_path)?;
+        let scan = match scan_wal(&bytes) {
+            Ok(scan) => scan,
+            Err(_) => return Ok(quarantine(region)),
+        };
+        if scan.torn {
+            OpenOptions::new()
+                .write(true)
+                .open(&wal_path)?
+                .set_len(scan.valid_len)?;
+        }
+        for payload in &scan.records {
+            let record = match WalRecord::decode(payload) {
+                Ok(record) => record,
+                Err(_) => return Ok(quarantine(region)),
+            };
+            let applied = match record {
+                WalRecord::Writes(entries) => entries
+                    .iter()
+                    .try_for_each(|(local, state)| region.apply_sealed(*local, state)),
+                WalRecord::Prepare { txn, entries } => {
+                    let result = entries
+                        .iter()
+                        .try_for_each(|(local, _pre, post)| region.apply_sealed(*local, post));
+                    pending.insert(txn, entries);
+                    result
+                }
+                WalRecord::Commit { txn } => {
+                    pending.remove(&txn);
+                    Ok(())
+                }
+                WalRecord::Abort { txn } => match pending.remove(&txn) {
+                    Some(entries) => entries
+                        .iter()
+                        .try_for_each(|(local, pre, _post)| region.apply_sealed(*local, pre)),
+                    None => Ok(()),
+                },
+            };
+            if applied.is_err() {
+                return Ok(quarantine(region));
+            }
+        }
+    }
+    // Unresolved prepares: forward if the coordinator durably committed,
+    // otherwise presumed abort (the client was never acknowledged).
+    for (txn, entries) in pending {
+        if committed.contains(&txn) {
+            continue; // post-images already applied
+        }
+        for (local, pre, _post) in &entries {
+            if region.apply_sealed(*local, pre).is_err() {
+                return Ok(quarantine(region));
+            }
+        }
+    }
+
+    // Full MAC + tree sweep before the shard serves anything: replayed
+    // state gets exactly the scrutiny live state would.
+    if let Err(e) = region.verify_all() {
+        return Ok(ShardBoot {
+            region,
+            poisoned: Some(e),
+            dead: false,
+            persist: None,
+        });
+    }
+
+    // Fresh checkpoint so the next open never repeats this replay.
+    write_snapshot(&sdir, &region.freeze())?;
+    let wal = ShardWal::create(&wal_path)?;
+    let last_reencryptions = region.engine().counter_stats().reencryptions;
+    Ok(ShardBoot {
+        region,
+        poisoned: None,
+        dead: false,
+        persist: Some(ShardPersist {
+            dir: sdir,
+            wal,
+            rotate_bytes: config.wal_rotate_bytes,
+            last_reencryptions,
+        }),
+    })
+}
+
+/// The coordinator's commit-decision log (`dir/txns.log`): one framed
+/// 8-byte record per durably committed transaction id.
+pub(crate) fn read_committed_txns(path: &Path) -> HashSet<u64> {
+    let mut committed = HashSet::new();
+    let Ok(bytes) = fs::read(path) else {
+        return committed;
+    };
+    // A torn or corrupt commit log degrades to presumed abort for the
+    // missing entries, which is safe: an un-logged commit was never
+    // acknowledged to any client.
+    let records = match scan_wal(&bytes) {
+        Ok(scan) => scan.records,
+        Err(_) => return committed,
+    };
+    for record in records {
+        if record.len() == 8 {
+            committed.insert(u64::from_le_bytes(record.try_into().expect("8 bytes")));
+        }
+    }
+    committed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ame_engine::region::SecureRegion;
+    use ame_engine::{EngineConfig, BLOCK_BYTES};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ame-wal-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sealed_pair() -> (SealedBlockState, SealedBlockState) {
+        let mut region = SecureRegion::new(EngineConfig::default(), 1 << 12);
+        region.write_bytes(0, &[7u8; BLOCK_BYTES]).unwrap();
+        let pre = region.export_sealed(0).unwrap();
+        region.write_bytes(0, &[9u8; BLOCK_BYTES]).unwrap();
+        let post = region.export_sealed(0).unwrap();
+        (pre, post)
+    }
+
+    #[test]
+    fn record_roundtrip_all_variants() {
+        let (pre, post) = sealed_pair();
+        let records = [
+            WalRecord::Writes(vec![(0, pre.clone()), (128, post.clone())]),
+            WalRecord::Prepare {
+                txn: 42,
+                entries: vec![(64, pre.clone(), post.clone())],
+            },
+            WalRecord::Commit { txn: 42 },
+            WalRecord::Abort { txn: 43 },
+        ];
+        for record in &records {
+            let bytes = record.encode();
+            let back = WalRecord::decode(&bytes).unwrap();
+            assert_eq!(bytes, back.encode(), "decode/encode is the identity");
+        }
+    }
+
+    #[test]
+    fn record_rejects_unknown_tag_and_trailing_bytes() {
+        assert_eq!(
+            WalRecord::decode(&[9]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut bytes = WalRecord::Commit { txn: 1 }.encode();
+        bytes.push(0);
+        assert_eq!(
+            WalRecord::decode(&bytes).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn wal_append_scan_reset() {
+        let dir = temp_dir("log");
+        let path = dir.join("wal.bin");
+        let mut wal = ShardWal::create(&path).unwrap();
+        wal.append(&WalRecord::Commit { txn: 1 }.encode()).unwrap();
+        wal.append(&WalRecord::Abort { txn: 2 }.encode()).unwrap();
+        assert!(wal.size() > 0);
+        let scan = scan_wal(&fs::read(&path).unwrap()).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(!scan.torn);
+        wal.reset().unwrap();
+        assert_eq!(wal.size(), 0);
+        assert_eq!(fs::read(&path).unwrap().len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_write_is_atomic_rename() {
+        let dir = temp_dir("snap");
+        write_snapshot(&dir, b"image-1").unwrap();
+        assert_eq!(fs::read(dir.join("snapshot.bin")).unwrap(), b"image-1");
+        write_snapshot(&dir, b"image-2").unwrap();
+        assert_eq!(fs::read(dir.join("snapshot.bin")).unwrap(), b"image-2");
+        assert!(!dir.join("snapshot.tmp").exists(), "temp file renamed away");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_txns_tolerate_garbage() {
+        let dir = temp_dir("txns");
+        let path = dir.join("txns.log");
+        let mut log = Vec::new();
+        log.extend_from_slice(&frame_record(&5u64.to_le_bytes()));
+        log.extend_from_slice(&frame_record(&9u64.to_le_bytes()));
+        fs::write(&path, &log).unwrap();
+        let committed = read_committed_txns(&path);
+        assert!(committed.contains(&5) && committed.contains(&9));
+        // Corruption degrades to presumed abort, not a panic.
+        let mut bad = log.clone();
+        bad[13] ^= 1;
+        fs::write(&path, &bad).unwrap();
+        assert!(read_committed_txns(&path).is_empty());
+        assert!(read_committed_txns(&dir.join("missing.log")).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -108,6 +108,12 @@ impl CachedTree {
         &mut self.tree
     }
 
+    /// Shared view of the wrapped tree (e.g. for serialization).
+    #[must_use]
+    pub fn tree(&self) -> &BonsaiTree {
+        &self.tree
+    }
+
     fn touch(&mut self, idx: u64) {
         if let Some(pos) = self.order.iter().position(|&i| i == idx) {
             self.order.remove(pos);

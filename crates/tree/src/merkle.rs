@@ -10,7 +10,9 @@
 //! detected.
 
 use ame_crypto::MemoryCipher;
+use ame_persist::{invalid_data, put_u64, read_section, write_section, ByteReader};
 use std::collections::HashMap;
+use std::io;
 
 /// Size of a counter block / tree node in bytes.
 pub const NODE_BYTES: usize = 64;
@@ -246,6 +248,101 @@ impl BonsaiTree {
             self.stored_macs[0].insert(idx, snapshot.1);
         }
     }
+
+    /// Section magic of the serialized form.
+    const MAGIC: &'static [u8; 8] = b"AMETREE\0";
+    /// Section version of the serialized form.
+    const VERSION: u32 = 1;
+
+    fn put_map(payload: &mut Vec<u8>, map: &HashMap<u64, u64>) {
+        let mut keys: Vec<u64> = map.keys().copied().collect();
+        keys.sort_unstable();
+        put_u64(payload, keys.len() as u64);
+        for k in keys {
+            put_u64(payload, k);
+            put_u64(payload, map[&k]);
+        }
+    }
+
+    fn read_map(payload: &mut ByteReader<'_>) -> io::Result<HashMap<u64, u64>> {
+        let count = payload.u64()? as usize;
+        let mut map = HashMap::with_capacity(count.min(1 << 24));
+        for _ in 0..count {
+            let k = payload.u64()?;
+            let v = payload.u64()?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+
+    /// Serializes the tree's complete state — counter blocks, every
+    /// off-chip MAC level, and the on-chip root MACs — into a checksummed
+    /// section (sorted, so the encoding is deterministic). The cipher is
+    /// *not* serialized: it is key material the caller re-derives.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.arity as u64);
+        put_u64(&mut payload, self.off_chip_levels as u64);
+        let mut leaves: Vec<u64> = self.counter_blocks.keys().copied().collect();
+        leaves.sort_unstable();
+        put_u64(&mut payload, leaves.len() as u64);
+        for idx in leaves {
+            put_u64(&mut payload, idx);
+            payload.extend_from_slice(&self.counter_blocks[&idx]);
+        }
+        for level in &self.stored_macs {
+            Self::put_map(&mut payload, level);
+        }
+        Self::put_map(&mut payload, &self.root_macs);
+        write_section(out, Self::MAGIC, Self::VERSION, &payload);
+    }
+
+    /// Rebuilds a tree from a section produced by
+    /// [`BonsaiTree::encode_state`], advancing the reader past it. The
+    /// caller supplies the cipher (re-derived key material); a wrong
+    /// cipher yields a structurally valid tree that fails verification on
+    /// first read, exactly like tampered storage.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic, unsupported version, checksum
+    /// mismatch, truncation, or an out-of-range arity.
+    pub fn decode_state(cipher: MemoryCipher, r: &mut ByteReader<'_>) -> io::Result<Self> {
+        let (version, mut payload) = read_section(r, Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(invalid_data(format!(
+                "unsupported tree state version {version}"
+            )));
+        }
+        let arity = payload.u64()? as usize;
+        if !(2..=8).contains(&arity) {
+            return Err(invalid_data("tree arity out of range"));
+        }
+        let off_chip_levels = payload.u64()? as usize;
+        if off_chip_levels > 64 {
+            return Err(invalid_data("implausible tree depth"));
+        }
+        let count = payload.u64()? as usize;
+        let mut counter_blocks = HashMap::with_capacity(count.min(1 << 24));
+        for _ in 0..count {
+            let idx = payload.u64()?;
+            let block: [u8; NODE_BYTES] = payload.array()?;
+            counter_blocks.insert(idx, block);
+        }
+        let mut stored_macs = Vec::with_capacity(off_chip_levels);
+        for _ in 0..off_chip_levels {
+            stored_macs.push(Self::read_map(&mut payload)?);
+        }
+        let root_macs = Self::read_map(&mut payload)?;
+        Ok(Self {
+            cipher,
+            arity,
+            off_chip_levels,
+            counter_blocks,
+            stored_macs,
+            root_macs,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -367,5 +464,51 @@ mod tests {
     #[should_panic(expected = "64-byte node holds")]
     fn wide_arity_rejected() {
         let _ = BonsaiTree::new(MemoryCipher::from_seed(1), 1, 16);
+    }
+
+    #[test]
+    fn state_roundtrip_verifies() {
+        let mut t = tree(3);
+        for i in 0..32u64 {
+            let mut b = [0u8; 64];
+            b[0] = i as u8;
+            t.write_counter_block(i, b);
+        }
+        let mut a = Vec::new();
+        t.encode_state(&mut a);
+        let mut back =
+            BonsaiTree::decode_state(MemoryCipher::from_seed(99), &mut ByteReader::new(&a))
+                .unwrap();
+        for i in 0..32u64 {
+            assert_eq!(back.read_counter_block(i).unwrap()[0], i as u8);
+        }
+        let mut b = Vec::new();
+        back.encode_state(&mut b);
+        assert_eq!(a, b, "re-encoding is deterministic and bit-identical");
+    }
+
+    #[test]
+    fn state_decoded_with_wrong_cipher_fails_verification() {
+        let mut t = tree(2);
+        t.write_counter_block(5, [1; 64]);
+        let mut buf = Vec::new();
+        t.encode_state(&mut buf);
+        let mut back =
+            BonsaiTree::decode_state(MemoryCipher::from_seed(100), &mut ByteReader::new(&buf))
+                .unwrap();
+        assert!(back.read_counter_block(5).is_err(), "wrong key, no service");
+    }
+
+    #[test]
+    fn state_rejects_flipped_bit() {
+        let mut t = tree(2);
+        t.write_counter_block(5, [1; 64]);
+        let mut buf = Vec::new();
+        t.encode_state(&mut buf);
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x04;
+        let err = BonsaiTree::decode_state(MemoryCipher::from_seed(99), &mut ByteReader::new(&buf))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -12,6 +12,7 @@ use ame::store::{
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Slots in the hash-indexed record table (one 64-byte block each).
 const SLOTS: u64 = 1024;
@@ -100,8 +101,17 @@ fn get(store: &SecureStore, key: &str) -> Result<Option<String>, StoreError> {
 /// probe of its chain; per-shard FIFO makes each chain's reads arrive in
 /// submission order. Returns the values in `keys` order.
 ///
+/// Every wait is bounded: a service loop should fail loudly if the
+/// store wedges, not hang — so completions are reaped with
+/// [`Session::wait_timeout`] and a [`StoreError::Timeout`] is treated
+/// as fatal. The ticket waited on is simply one known in-flight probe;
+/// the wait absorbs every completion that arrives meanwhile, so later
+/// iterations reap those instantly.
+///
 /// [`Session`]: ame::store::Session
+/// [`Session::wait_timeout`]: ame::store::Session::wait_timeout
 fn pipelined_get_many(store: &SecureStore, keys: &[String]) -> Vec<Option<String>> {
+    const WEDGE_LIMIT: Duration = Duration::from_secs(5);
     let mut session = store.session_with(SessionConfig {
         in_flight_window: 32,
     });
@@ -123,7 +133,13 @@ fn pipelined_get_many(store: &SecureStore, keys: &[String]) -> Vec<Option<String
                 Err(e) => panic!("pipelined get: {e}"),
             }
         }
-        let (ticket, result) = session.wait_any().expect("probe reads in flight");
+        let ticket = *in_flight.keys().next().expect("probe reads in flight");
+        let result = match session.wait_timeout(ticket, WEDGE_LIMIT) {
+            Err(StoreError::Timeout) => {
+                panic!("store wedged: no completion within {WEDGE_LIMIT:?}")
+            }
+            other => other,
+        };
         let (idx, probe) = in_flight.remove(&ticket).expect("known ticket");
         let block = match result {
             Ok(StoreValue::Data(block)) => block,

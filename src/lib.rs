@@ -20,6 +20,8 @@
 //! * [`workloads`] — synthetic PARSEC-like trace generators.
 //! * [`store`] — a sharded, concurrent secure memory service with
 //!   batching, backpressure, and per-shard telemetry.
+//! * [`persist`] — checksummed binary framing (snapshot sections,
+//!   write-intent log records) underpinning the store's durability.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@ pub use ame_crypto as crypto;
 pub use ame_dram as dram;
 pub use ame_ecc as ecc;
 pub use ame_engine as engine;
+pub use ame_persist as persist;
 pub use ame_sim as sim;
 pub use ame_store as store;
 pub use ame_tree as tree;

@@ -120,7 +120,12 @@ fn poisoned_shard_mid_window_resolves_every_ticket() {
     });
     let mut tickets = Vec::new();
     // First the read that will trip the quarantine, then a window of
-    // mixed traffic behind it — all in flight before anything is reaped.
+    // mixed traffic behind it. On a loaded (or single-core) host the
+    // worker may detect the tamper and quarantine the shard while this
+    // loop is still submitting; from that point submissions fast-fail
+    // with `ShardPoisoned` instead of riding the window, which is the
+    // documented submit-time behaviour — stop there and verify the
+    // tickets that did get in.
     tickets.push(session.submit(StoreOp::Read { addr: 0 }).unwrap());
     for i in 1..16u64 {
         let op = if i % 2 == 0 {
@@ -131,12 +136,22 @@ fn poisoned_shard_mid_window_resolves_every_ticket() {
                 data: [0xAB; 64],
             }
         };
-        tickets.push(session.submit(op).unwrap());
+        match session.submit(op) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(StoreError::ShardPoisoned { shard: 0, .. }) => break,
+            Err(other) => panic!("submit failed with {other:?}"),
+        }
     }
-    assert_eq!(session.in_flight(), 16);
+    // A completion may already have been absorbed by a submit-side
+    // drain, so in-flight is at most — not exactly — the ticket count.
+    assert!(session.in_flight() <= tickets.len());
 
     let results = session.wait_all();
-    assert_eq!(results.len(), 16, "every outstanding ticket must resolve");
+    assert_eq!(
+        results.len(),
+        tickets.len(),
+        "every outstanding ticket must resolve"
+    );
     for (i, ((got, result), want)) in results.into_iter().zip(&tickets).enumerate() {
         assert_eq!(got, *want, "completion order == submission order");
         match result {
