@@ -1180,6 +1180,17 @@ impl MemoryEncryptionEngine {
     /// and authentication metadata are captured; no plaintext leaves the
     /// engine. The cipher itself is not serialized: keys are re-derived
     /// from the seed at thaw.
+    ///
+    /// **The image is not confidential at rest.** The key-derivation
+    /// seed (`config.seed`) is embedded in cleartext so thaw can
+    /// re-derive the cipher, which means anyone who can read the frozen
+    /// image can decrypt every block in it. Freezing preserves the
+    /// *integrity* contract (tampered images fail the checksum, MAC, or
+    /// tree re-verification) but secrecy of the image itself is the
+    /// caller's problem — file permissions, disk encryption, or an
+    /// external key store. This matches the simulator's threat model,
+    /// where the seed stands in for an on-die key that real hardware
+    /// would never export.
     pub fn freeze_into(&self, out: &mut Vec<u8>) {
         let mut payload = Vec::new();
         put_u64(&mut payload, self.config.seed);

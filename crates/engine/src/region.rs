@@ -252,6 +252,11 @@ impl SecureRegion {
     /// Captures a consistent snapshot of the whole region — size plus the
     /// engine's complete sealed image (ciphertext, counters, tree, MACs;
     /// never plaintext) — as one checksummed byte vector.
+    ///
+    /// The image embeds the key-derivation seed and is therefore **not
+    /// confidential** against a reader of the image itself; see
+    /// [`MemoryEncryptionEngine::freeze_into`] for the threat-model
+    /// caveat.
     #[must_use]
     pub fn freeze(&self) -> Vec<u8> {
         let mut payload = Vec::new();

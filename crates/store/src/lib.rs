@@ -133,6 +133,7 @@ impl Default for StoreConfig {
 /// | [`Overloaded`](StoreError::Overloaded) | never (waits) | yes, queue full | yes, queue **or** in-flight window full | never (waits) |
 /// | [`ShardPoisoned`](StoreError::ShardPoisoned) | yes | yes (fast-fail, no queue slot) | yes (fast-fail at submit, or on a completion) | yes |
 /// | [`Disconnected`](StoreError::Disconnected) | yes | yes | yes | yes |
+/// | [`TxnConflict`](StoreError::TxnConflict) | write/RMW only | write only | yes (on a write/RMW completion) | yes (write ops) |
 ///
 /// Every `try_*` or session fast-fail rejection — queue full, window
 /// full, or the poisoned-shard early return — also increments the
@@ -179,6 +180,16 @@ pub enum StoreError {
     /// failed to prepare (or the commit decision could not be made
     /// durable), so no write of the batch took effect.
     TxnAborted,
+    /// The block at `addr` is held by a prepared-but-unresolved
+    /// [`write_batch_atomic`](SecureStore::write_batch_atomic)
+    /// transaction. Mutating it now would be revoked if the transaction
+    /// aborts, so the write/RMW is rejected instead of acknowledged;
+    /// retry once the transaction resolves. Inside a worker the address
+    /// is shard-local; surfaced errors carry it as received.
+    TxnConflict {
+        /// The contested block-aligned address.
+        addr: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -206,6 +217,12 @@ impl std::fmt::Display for StoreError {
             StoreError::Timeout => write!(f, "timed out waiting for a completion"),
             StoreError::TxnAborted => {
                 write!(f, "atomic batch aborted: no write of the batch took effect")
+            }
+            StoreError::TxnConflict { addr } => {
+                write!(
+                    f,
+                    "block {addr:#x} is held by an unresolved atomic batch; retry after it resolves"
+                )
             }
         }
     }
@@ -311,9 +328,14 @@ impl SecureStore {
     /// verification — quarantines that shard exactly like a live
     /// verification failure; healthy siblings serve normally.
     ///
-    /// Every acknowledged write is durable as of its acknowledgement:
-    /// the worker appends the sealed post-image to the intent log
-    /// before the acknowledgement leaves the shard.
+    /// Every acknowledged write is durable as of its acknowledgement —
+    /// against power loss, not just a process kill: the worker appends
+    /// the sealed post-image to the intent log *and* `fdatasync`s it
+    /// before the acknowledgement leaves the shard, snapshots are
+    /// synced and atomically renamed (directory fsynced) before the log
+    /// rotates, and cross-shard commit decisions are synced to
+    /// `txns.log` before phase 2 begins. The price is one `fdatasync`
+    /// per acknowledged write run on the write path.
     ///
     /// # Errors
     ///
@@ -346,7 +368,6 @@ impl SecureStore {
         let mut senders = Vec::with_capacity(config.shards);
         let mut shared = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
-        let mut all_healthy = true;
         for s in 0..config.shards {
             let boot = match &persist {
                 // A missing shard directory recovers to a fresh region
@@ -360,7 +381,6 @@ impl SecureStore {
                     persist: None,
                 },
             };
-            all_healthy &= boot.poisoned.is_none() && !boot.dead;
             let (tx, rx): (SyncSender<Request>, Receiver<Request>) =
                 sync_channel(config.queue_depth);
             let sh = Arc::new(ShardShared::default());
@@ -387,18 +407,20 @@ impl SecureStore {
             senders.push(tx);
             shared.push(sh);
         }
+        // The decision log is append-only across lives: a quarantined
+        // shard's dangling prepares may still need old ids resolved
+        // after repair, and a power cut must never resurrect a
+        // truncated-away id. Seeding past the largest logged id keeps
+        // every new transaction id collision-free with every previous
+        // life's — otherwise a reused id could match a stale committed
+        // record and wrongly resolve a dangling prepare *forward*.
+        let next_txn = committed.iter().max().map_or(1, |max| max + 1);
         let txn_log = match &persist {
             Some(dir) => {
                 let file = OpenOptions::new()
                     .create(true)
                     .append(true)
                     .open(dir.join("txns.log"))?;
-                if all_healthy {
-                    // Recovery resolved every dangling prepare, so the
-                    // decision log can restart empty — new transaction
-                    // ids must not collide with a previous life's.
-                    file.set_len(0)?;
-                }
                 Some(Mutex::new(file))
             }
             None => None,
@@ -410,7 +432,7 @@ impl SecureStore {
             workers,
             persist_dir: persist,
             txn_log,
-            next_txn: AtomicU64::new(1),
+            next_txn: AtomicU64::new(next_txn),
         })
     }
 
@@ -590,7 +612,10 @@ impl SecureStore {
     /// # Errors
     ///
     /// As [`SecureStore::read`] (a quarantined shard rejects writes too:
-    /// no new data is entrusted to it).
+    /// no new data is entrusted to it), plus [`StoreError::TxnConflict`]
+    /// if the block is held by an unresolved
+    /// [`write_batch_atomic`](SecureStore::write_batch_atomic)
+    /// transaction — retry once it resolves.
     pub fn write(&self, addr: u64, data: &[u8; BLOCK_BYTES]) -> Result<(), StoreError> {
         let (shard, local) = self.locate(addr)?;
         self.roundtrip(shard, Op::Write { local, data: *data }, true)
@@ -731,15 +756,24 @@ impl SecureStore {
     /// revokes an acknowledged write.
     ///
     /// Atomicity is with respect to durability and crash recovery, not
-    /// isolation: concurrent reads may observe the prepared images
-    /// before the commit decision lands.
+    /// read isolation: concurrent reads may observe the prepared images
+    /// before the commit decision lands. Concurrent *mutations* of a
+    /// prepared block, however, are rejected rather than lost: while a
+    /// transaction is unresolved, its blocks are held by the owning
+    /// shard, and any plain write, RMW, or other prepare touching them
+    /// fails with [`StoreError::TxnConflict`] (an overlapping atomic
+    /// batch therefore aborts whole). Without that hold, an abort's
+    /// pre-image restore could silently revoke an acknowledged
+    /// intervening write.
     ///
     /// # Errors
     ///
     /// Address validation errors ([`StoreError::Unaligned`] /
     /// [`StoreError::OutOfRange`]) reject the batch before any effect;
-    /// [`StoreError::TxnAborted`] reports a rolled-back batch;
-    /// [`StoreError::Disconnected`] a vanished worker.
+    /// [`StoreError::TxnAborted`] reports a rolled-back batch (including
+    /// one that lost a [`TxnConflict`](StoreError::TxnConflict) race
+    /// with an overlapping batch); [`StoreError::Disconnected`] a
+    /// vanished worker.
     pub fn write_batch_atomic(
         &self,
         writes: &[(u64, [u8; BLOCK_BYTES])],
@@ -792,7 +826,13 @@ impl SecureStore {
             if let Some(log) = &self.txn_log {
                 let record = frame_record(&txn.to_le_bytes());
                 let mut file = log.lock().expect("txn log lock");
-                if file.write_all(&record).and_then(|()| file.flush()).is_err() {
+                // `fdatasync` the decision: a commit only exists once it
+                // would survive a power cut.
+                if file
+                    .write_all(&record)
+                    .and_then(|()| file.sync_data())
+                    .is_err()
+                {
                     failed = Some(StoreError::TxnAborted);
                 }
             }

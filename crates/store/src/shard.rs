@@ -44,14 +44,14 @@
 use ame_engine::region::{RegionError, SecureRegion};
 use ame_engine::{ReadError, SealedBlockState, BLOCK_BYTES};
 use ame_telemetry::{Histogram, MetricSink, Metrics, Snapshot, StatsRegistry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::wal::{write_snapshot, ShardPersist, WalRecord};
+use crate::wal::{write_snapshot, ShardPersist, ShardWal, WalRecord};
 use crate::StoreError;
 
 /// The mutator a read-modify-write runs on the shard worker's thread.
@@ -330,6 +330,12 @@ pub(crate) struct ShardWorker {
     /// Prepared-but-unresolved transactions: `(local, pre, post)` per
     /// entry, kept so `Abort` can restore and rotation can re-log them.
     pending_txns: BTreeMap<u64, Vec<(u64, SealedBlockState, SealedBlockState)>>,
+    /// Blocks held by a prepared-but-unresolved transaction. Writes,
+    /// RMWs, and other prepares touching these are rejected with
+    /// [`StoreError::TxnConflict`] until the transaction resolves —
+    /// otherwise an abort's pre-image restore would silently revoke an
+    /// acknowledged intervening write.
+    prepared_blocks: HashSet<u64>,
     stats: ShardStats,
 }
 
@@ -356,6 +362,7 @@ impl ShardWorker {
             crashed: false,
             persist: None,
             pending_txns: BTreeMap::new(),
+            prepared_blocks: HashSet::new(),
             stats: ShardStats::default(),
         }
     }
@@ -571,8 +578,14 @@ impl ShardWorker {
             // fails verification), so each arm re-checks after flushing
             // and falls through to immediate (rejecting) execution
             // instead of parking behind the failure.
+            // Mutations of a prepared block fall through to immediate
+            // execution, where they are rejected with `TxnConflict`.
             match op {
-                Op::Write { local, data } if self.fuse_writes && in_bounds(local) => {
+                Op::Write { local, data }
+                    if self.fuse_writes
+                        && in_bounds(local)
+                        && !self.prepared_blocks.contains(&local) =>
+                {
                     // Pending reads arrived first and must observe the
                     // pre-write snapshot.
                     self.flush_fused_reads(reads, slots);
@@ -603,7 +616,11 @@ impl ShardWorker {
                     }
                     Op::Read { local }
                 }
-                Op::Rmw { local, f } if self.fuse_reads && in_bounds(local) => {
+                Op::Rmw { local, f }
+                    if self.fuse_reads
+                        && in_bounds(local)
+                        && !self.prepared_blocks.contains(&local) =>
+                {
                     self.flush_fused(writes, slots);
                     if reads.iter().any(|r| r.rmw.is_some() && r.local == local) {
                         self.flush_fused_reads(reads, slots);
@@ -822,6 +839,15 @@ impl ShardWorker {
                 cause: None,
             });
         }
+        // Mutations of a block held by an unresolved prepare are
+        // rejected, not applied: if they were acknowledged, an abort's
+        // pre-image restore would silently revoke them. Reads stay
+        // allowed (the store disclaims isolation, not write atomicity).
+        if let Op::Write { local, .. } | Op::Rmw { local, .. } = op {
+            if self.prepared_blocks.contains(&local) {
+                return Err(StoreError::TxnConflict { addr: local });
+            }
+        }
         match op {
             Op::Read { local } => self.read(local).map(|block| {
                 self.stats.reads += 1;
@@ -963,16 +989,22 @@ impl ShardWorker {
     }
 
     /// Rotates the durable state: freezes the region into a fresh
-    /// atomic snapshot, truncates the intent log, and re-logs any
-    /// unresolved prepares (their resolution must survive the rotation).
+    /// atomic snapshot under the next checkpoint generation, replaces
+    /// the intent log with one bound to that generation, and re-logs
+    /// any unresolved prepares (their resolution must survive the
+    /// rotation). The snapshot is durable before the new log's first
+    /// byte exists, which is what lets recovery discard a stale log
+    /// instead of regressing.
     fn checkpoint(&mut self) -> io::Result<()> {
         let image = self.region.freeze();
         let reencryptions = self.region.engine().counter_stats().reencryptions;
         let Some(p) = self.persist.as_mut() else {
             return Ok(());
         };
-        write_snapshot(&p.dir, &image)?;
-        p.wal.reset()?;
+        let generation = p.generation + 1;
+        write_snapshot(&p.dir, generation, &image)?;
+        p.wal = ShardWal::create(&p.dir.join("wal.bin"), generation)?;
+        p.generation = generation;
         p.last_reencryptions = reencryptions;
         for (&txn, entries) in &self.pending_txns {
             let payload = WalRecord::Prepare {
@@ -990,7 +1022,9 @@ impl ShardWorker {
 
     /// Two-phase commit, phase 1: applies the transaction's writes,
     /// captures pre- and post-images, and logs the intent before
-    /// acknowledging. On success the writes are durable but revocable.
+    /// acknowledging. On success the writes are durable but revocable;
+    /// the touched blocks are held against conflicting mutations until
+    /// the transaction resolves.
     fn handle_prepare(
         &mut self,
         txn: u64,
@@ -1002,6 +1036,15 @@ impl ShardWorker {
                 shard: self.shard,
                 cause: None,
             });
+        }
+        // A block held by another unresolved prepare rejects this whole
+        // prepare before any effect — two overlapping atomic batches
+        // abort one rather than entangle their pre-images.
+        if let Some(&(local, _)) = writes
+            .iter()
+            .find(|(local, _)| self.prepared_blocks.contains(local))
+        {
+            return Err(StoreError::TxnConflict { addr: local });
         }
         let mut entries = Vec::with_capacity(writes.len());
         for (local, data) in writes {
@@ -1026,6 +1069,8 @@ impl ShardWorker {
             self.stats.writes += 1;
             entries.push((local, pre, post));
         }
+        self.prepared_blocks
+            .extend(entries.iter().map(|&(local, _, _)| local));
         self.pending_txns.insert(txn, entries);
         if self.persist.is_some() {
             let outcome = if self.rotation_due() {
@@ -1065,7 +1110,11 @@ impl ShardWorker {
                 cause: None,
             });
         }
-        self.pending_txns.remove(&txn);
+        if let Some(entries) = self.pending_txns.remove(&txn) {
+            for (local, _, _) in &entries {
+                self.prepared_blocks.remove(local);
+            }
+        }
         if self.persist.is_some() {
             let payload = WalRecord::Commit { txn }.encode();
             let p = self.persist.as_mut().expect("checked above");
@@ -1093,6 +1142,9 @@ impl ShardWorker {
         let Some(entries) = self.pending_txns.remove(&txn) else {
             return Ok(()); // never prepared here (or already resolved)
         };
+        for (local, _, _) in &entries {
+            self.prepared_blocks.remove(local);
+        }
         if !self.rollback(&entries) {
             return Err(self.poison_io());
         }
@@ -1113,7 +1165,9 @@ impl ShardWorker {
 
     /// Restores pre-images in reverse apply order; `false` if a restore
     /// failed (the shard can no longer prove its state and must be
-    /// quarantined by the caller).
+    /// quarantined by the caller). Sound because `prepared_blocks`
+    /// rejected every mutation of these blocks since the prepare: the
+    /// pre-image is still the last acknowledged non-transactional state.
     fn rollback(&mut self, entries: &[(u64, SealedBlockState, SealedBlockState)]) -> bool {
         entries
             .iter()

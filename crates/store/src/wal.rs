@@ -3,14 +3,26 @@
 //!
 //! Each shard persists under `dir/shard<N>/` as two artifacts:
 //!
-//! * **`snapshot.bin`** — a [`SecureRegion::freeze`] image: the whole
-//!   sealed region (ciphertext, counters, tree, MAC side-band) in one
-//!   checksummed section. Written atomically (temp file + rename), so a
-//!   crash mid-snapshot leaves the previous snapshot intact.
+//! * **`snapshot.bin`** — an 8-byte checkpoint *generation* followed by
+//!   a [`SecureRegion::freeze`] image: the whole sealed region
+//!   (ciphertext, counters, tree, MAC side-band) in one checksummed
+//!   section. Written atomically (temp file, `fsync`, rename, directory
+//!   `fsync`), so a crash mid-snapshot leaves the previous snapshot
+//!   intact and a renamed snapshot is durable, not merely staged in the
+//!   page cache.
 //! * **`wal.bin`** — an append-only write-intent log of
-//!   [`frame_record`]-framed [`WalRecord`]s. A record is appended
-//!   *before* the write it describes is acknowledged, so every
-//!   acknowledged write is either in the snapshot or in the log.
+//!   [`frame_record`]-framed [`WalRecord`]s. A record is appended *and
+//!   `fdatasync`ed* before the write it describes is acknowledged, so
+//!   every acknowledged write is either in the snapshot or in the log —
+//!   across a power cut, not just a process kill. The log's first
+//!   record names the checkpoint generation it extends; recovery
+//!   replays the log only when that generation matches the snapshot's,
+//!   and discards a log *older* than the snapshot (every record it
+//!   holds is already inside the newer image — replaying stale values
+//!   over it would regress acknowledged writes). A log *newer* than the
+//!   snapshot is impossible without corruption (checkpoints make the
+//!   snapshot durable before the rotated log's first byte), so it
+//!   quarantines.
 //!
 //! Records carry **sealed post-images** ([`SealedBlockState`]): the
 //! ciphertext, MAC, and counter *value* the engine produced — never
@@ -48,7 +60,7 @@ use ame_engine::{ReadError, SealedBlockState};
 use ame_persist::{frame_record, invalid_data, put_u32, put_u64, scan_wal, ByteReader};
 use std::collections::{BTreeMap, HashSet};
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Seek, SeekFrom, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use crate::StoreConfig;
@@ -58,6 +70,33 @@ const TAG_WRITES: u8 = 1;
 const TAG_PREPARE: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
+/// Tag of the mandatory first record of every log: the checkpoint
+/// generation this log extends.
+const TAG_GENERATION: u8 = 5;
+
+/// Encodes the generation header record payload.
+fn encode_generation(generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(TAG_GENERATION);
+    put_u64(&mut out, generation);
+    out
+}
+
+/// Decodes a generation header record payload; `None` if the record is
+/// anything else.
+fn decode_generation(payload: &[u8]) -> Option<u64> {
+    if payload.len() == 9 && payload[0] == TAG_GENERATION {
+        Some(u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes")))
+    } else {
+        None
+    }
+}
+
+/// Fsyncs a directory so renames and file creations inside it are
+/// durable across a power cut.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
 
 /// One write-intent log record.
 #[derive(Debug)]
@@ -148,30 +187,46 @@ impl WalRecord {
 
 /// An open, append-only write-intent log.
 ///
-/// Appends are framed ([`frame_record`]), written whole, and flushed
-/// before the caller acknowledges anything — a crash can tear at most
-/// the final, unacknowledged record.
+/// Appends are framed ([`frame_record`]), written whole, and
+/// `fdatasync`ed before the caller acknowledges anything — a power cut
+/// can tear at most the final, unacknowledged record.
 pub(crate) struct ShardWal {
     file: File,
     len: u64,
 }
 
 impl ShardWal {
-    /// Creates (truncating) the log at `path`.
-    pub(crate) fn create(path: &Path) -> io::Result<Self> {
-        let file = OpenOptions::new()
+    /// Creates a fresh log at `path` whose first record binds it to
+    /// checkpoint `generation`.
+    ///
+    /// The new log is written to a temp sibling, synced, and atomically
+    /// renamed over the old one (directory fsynced), so the previous
+    /// log is replaced whole: a power cut never resurrects old records
+    /// behind a new header, and a durable log implies its generation's
+    /// snapshot is durable too (the caller snapshots first).
+    pub(crate) fn create(path: &Path, generation: u64) -> io::Result<Self> {
+        let tmp = path.with_extension("tmp");
+        let mut file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path)?;
-        Ok(Self { file, len: 0 })
+            .open(&tmp)?;
+        let framed = frame_record(&encode_generation(generation));
+        file.write_all(&framed)?;
+        file.sync_data()?;
+        fs::rename(&tmp, path)?;
+        sync_dir(path.parent().expect("log path has a parent"))?;
+        Ok(Self {
+            file,
+            len: framed.len() as u64,
+        })
     }
 
-    /// Appends one framed record and flushes it.
+    /// Appends one framed record and makes it durable (`fdatasync`).
     pub(crate) fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
         let framed = frame_record(payload);
         self.file.write_all(&framed)?;
-        self.file.flush()?;
+        self.file.sync_data()?;
         self.len += framed.len() as u64;
         Ok(framed.len() as u64)
     }
@@ -180,21 +235,21 @@ impl ShardWal {
     pub(crate) fn size(&self) -> u64 {
         self.len
     }
-
-    /// Truncates the log to empty (after a snapshot rotation).
-    pub(crate) fn reset(&mut self) -> io::Result<()> {
-        self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
-        self.len = 0;
-        Ok(())
-    }
 }
 
-/// Atomically replaces `dir/snapshot.bin` with `image`.
-pub(crate) fn write_snapshot(dir: &Path, image: &[u8]) -> io::Result<()> {
+/// Atomically and durably replaces `dir/snapshot.bin` with `image`
+/// under checkpoint `generation`: temp file, `fsync`, rename, directory
+/// `fsync`. Returns only once the new snapshot would survive a power
+/// cut, so the caller may rotate the write-intent log afterwards.
+pub(crate) fn write_snapshot(dir: &Path, generation: u64, image: &[u8]) -> io::Result<()> {
     let tmp = dir.join("snapshot.tmp");
-    fs::write(&tmp, image)?;
-    fs::rename(&tmp, dir.join("snapshot.bin"))
+    let mut file = File::create(&tmp)?;
+    file.write_all(&generation.to_le_bytes())?;
+    file.write_all(image)?;
+    file.sync_data()?;
+    drop(file);
+    fs::rename(&tmp, dir.join("snapshot.bin"))?;
+    sync_dir(dir)
 }
 
 /// A shard worker's handle on its persistence state.
@@ -203,6 +258,9 @@ pub(crate) struct ShardPersist {
     pub dir: PathBuf,
     /// The live write-intent log.
     pub wal: ShardWal,
+    /// Checkpoint generation of the current snapshot/log pair;
+    /// incremented by every rotation.
+    pub generation: u64,
     /// Rotate into a snapshot once the log reaches this many bytes.
     pub rotate_bytes: u64,
     /// Engine re-encryption count at the last snapshot; any change
@@ -250,20 +308,29 @@ pub(crate) fn recover_shard(
         persist: None,
     };
 
-    let mut region = if snap_path.exists() {
-        match SecureRegion::thaw(&fs::read(&snap_path)?) {
-            Ok(r) if r.size() == config.shard_bytes => r,
-            _ => {
-                // Corrupt snapshot (or one frozen under a different
-                // geometry): quarantine over a fresh region.
-                return Ok(quarantine(SecureRegion::new(
-                    config.engine.for_shard(s),
-                    config.shard_bytes,
-                )));
-            }
+    let (snap_generation, mut region) = if snap_path.exists() {
+        let bytes = fs::read(&snap_path)?;
+        let corrupt = || {
+            Ok(quarantine(SecureRegion::new(
+                config.engine.for_shard(s),
+                config.shard_bytes,
+            )))
+        };
+        let Some((generation, image)) = bytes.split_at_checked(8) else {
+            return corrupt();
+        };
+        let generation = u64::from_le_bytes(generation.try_into().expect("8 bytes"));
+        match SecureRegion::thaw(image) {
+            Ok(r) if r.size() == config.shard_bytes => (generation, r),
+            // Corrupt snapshot (or one frozen under a different
+            // geometry): quarantine over a fresh region.
+            _ => return corrupt(),
         }
     } else {
-        SecureRegion::new(config.engine.for_shard(s), config.shard_bytes)
+        (
+            0,
+            SecureRegion::new(config.engine.for_shard(s), config.shard_bytes),
+        )
     };
 
     // Replay the intent log in append order, tracking unresolved
@@ -282,7 +349,25 @@ pub(crate) fn recover_shard(
                 .open(&wal_path)?
                 .set_len(scan.valid_len)?;
         }
-        for payload in &scan.records {
+        // The generation gate. An empty log (or one whose header record
+        // was torn away) replays nothing, which is safe: the header is
+        // synced before any intent is, so a missing header proves no
+        // intent in this log was ever acknowledged.
+        let replay = match scan.records.first().map(|p| decode_generation(p)) {
+            None => &scan.records[..],
+            // Non-header first record: not a log this code wrote.
+            Some(None) => return Ok(quarantine(region)),
+            Some(Some(g)) if g == snap_generation => &scan.records[1..],
+            // Pre-checkpoint log: every record is already inside the
+            // (newer) snapshot; replaying stale values would regress
+            // acknowledged writes.
+            Some(Some(g)) if g < snap_generation => &[],
+            // A log newer than the snapshot means the snapshot
+            // regressed — impossible without corruption, since the
+            // snapshot is made durable before its log exists.
+            Some(Some(_)) => return Ok(quarantine(region)),
+        };
+        for payload in replay {
             let record = match WalRecord::decode(payload) {
                 Ok(record) => record,
                 Err(_) => return Ok(quarantine(region)),
@@ -339,8 +424,9 @@ pub(crate) fn recover_shard(
     }
 
     // Fresh checkpoint so the next open never repeats this replay.
-    write_snapshot(&sdir, &region.freeze())?;
-    let wal = ShardWal::create(&wal_path)?;
+    let generation = snap_generation + 1;
+    write_snapshot(&sdir, generation, &region.freeze())?;
+    let wal = ShardWal::create(&wal_path, generation)?;
     let last_reencryptions = region.engine().counter_stats().reencryptions;
     Ok(ShardBoot {
         region,
@@ -349,6 +435,7 @@ pub(crate) fn recover_shard(
         persist: Some(ShardPersist {
             dir: sdir,
             wal,
+            generation,
             rotate_bytes: config.wal_rotate_bytes,
             last_reencryptions,
         }),
@@ -438,29 +525,38 @@ mod tests {
     }
 
     #[test]
-    fn wal_append_scan_reset() {
+    fn wal_starts_with_generation_header_and_rotation_replaces_whole_file() {
         let dir = temp_dir("log");
         let path = dir.join("wal.bin");
-        let mut wal = ShardWal::create(&path).unwrap();
+        let mut wal = ShardWal::create(&path, 3).unwrap();
         wal.append(&WalRecord::Commit { txn: 1 }.encode()).unwrap();
         wal.append(&WalRecord::Abort { txn: 2 }.encode()).unwrap();
-        assert!(wal.size() > 0);
         let scan = scan_wal(&fs::read(&path).unwrap()).unwrap();
-        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records.len(), 3);
         assert!(!scan.torn);
-        wal.reset().unwrap();
-        assert_eq!(wal.size(), 0);
-        assert_eq!(fs::read(&path).unwrap().len(), 0);
+        assert_eq!(decode_generation(&scan.records[0]), Some(3));
+        assert_eq!(decode_generation(&scan.records[1]), None);
+        // A rotation creates a fresh log: old records gone, new header.
+        let wal = ShardWal::create(&path, 4).unwrap();
+        let scan = scan_wal(&fs::read(&path).unwrap()).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(decode_generation(&scan.records[0]), Some(4));
+        assert_eq!(wal.size(), fs::read(&path).unwrap().len() as u64);
+        assert!(!path.with_extension("tmp").exists(), "temp renamed away");
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn snapshot_write_is_atomic_rename() {
+    fn snapshot_write_is_atomic_rename_with_generation_prefix() {
         let dir = temp_dir("snap");
-        write_snapshot(&dir, b"image-1").unwrap();
-        assert_eq!(fs::read(dir.join("snapshot.bin")).unwrap(), b"image-1");
-        write_snapshot(&dir, b"image-2").unwrap();
-        assert_eq!(fs::read(dir.join("snapshot.bin")).unwrap(), b"image-2");
+        write_snapshot(&dir, 1, b"image-1").unwrap();
+        let on_disk = fs::read(dir.join("snapshot.bin")).unwrap();
+        assert_eq!(&on_disk[..8], &1u64.to_le_bytes());
+        assert_eq!(&on_disk[8..], b"image-1");
+        write_snapshot(&dir, 2, b"image-2").unwrap();
+        let on_disk = fs::read(dir.join("snapshot.bin")).unwrap();
+        assert_eq!(&on_disk[..8], &2u64.to_le_bytes());
+        assert_eq!(&on_disk[8..], b"image-2");
         assert!(!dir.join("snapshot.tmp").exists(), "temp file renamed away");
         let _ = fs::remove_dir_all(&dir);
     }

@@ -209,6 +209,142 @@ fn torn_wal_tail_is_truncated_not_fatal() {
 }
 
 #[test]
+fn stale_wal_from_before_a_checkpoint_never_regresses_state() {
+    // The power-cut rotation window: a checkpoint makes the new
+    // snapshot durable before it replaces the intent log, so recovery
+    // can find a *newer* snapshot alongside a *pre-checkpoint* log.
+    // Replaying that log's by-value records would regress acknowledged
+    // writes; the generation header must get it discarded instead.
+    let dir = temp_dir("stalewal");
+    let config = small_config();
+    {
+        let store = SecureStore::open(&dir, config).expect("open fresh");
+        for i in 0..8u64 {
+            store.write(addr(i), &block(0x11)).expect("old write");
+        }
+        store.simulate_crash();
+    }
+    let wal = dir.join("shard0").join("wal.bin");
+    let old_wal = std::fs::read(&wal).expect("old intent log");
+    {
+        // Recovery checkpoints (snapshot generation advances), then the
+        // new values land and a graceful shutdown checkpoints again.
+        let store = SecureStore::open(&dir, config).expect("reopen");
+        for i in 0..8u64 {
+            store.write(addr(i), &block(i as u8 + 80)).expect("new write");
+        }
+        assert!(store.shutdown().all_resealed());
+    }
+    // Simulate the crash window by reinstating the pre-checkpoint log.
+    std::fs::write(&wal, &old_wal).expect("resurrect stale wal");
+
+    let store = SecureStore::open(&dir, config).expect("recover");
+    for i in 0..8u64 {
+        assert_eq!(
+            store.read(addr(i)).expect("read"),
+            block(i as u8 + 80),
+            "stale intent log regressed block {i}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transaction_ids_never_repeat_across_lives() {
+    // txns.log is append-only across restarts and new ids are seeded
+    // past its maximum: a reused id could match a stale committed
+    // record and wrongly resolve a dangling prepare forward.
+    let dir = temp_dir("txnids");
+    let config = small_config();
+    for round in 0..3u8 {
+        let store = SecureStore::open(&dir, config).expect("open");
+        store
+            .write_batch_atomic(&[(addr(0), block(round)), (addr(1), block(round))])
+            .expect("atomic batch");
+        store.simulate_crash();
+    }
+    let bytes = std::fs::read(dir.join("txns.log")).expect("decision log");
+    let scan = ame_persist::scan_wal(&bytes).expect("scan decision log");
+    let ids: Vec<u64> = scan
+        .records
+        .iter()
+        .map(|r| u64::from_le_bytes(r[..8].try_into().expect("8 bytes")))
+        .collect();
+    assert_eq!(ids, vec![1, 2, 3], "ids must survive restarts and never repeat");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn write_to_prepared_block_is_rejected_until_the_txn_resolves() {
+    // A plain write landing between prepare and commit must not be
+    // acknowledged-then-revoked: the shard holds prepared blocks and
+    // rejects the conflict instead.
+    let store = SecureStore::new(small_config());
+    store.write(addr(0), &block(1)).expect("seed shard0");
+    store.write(addr(1), &block(1)).expect("seed shard1");
+    let mut session = store.session();
+    // Occupy shard 1 so the batch below stays in its prepare phase
+    // (shard 0 prepared, shard 1's prepare queued behind the sleep)
+    // long enough to probe the window.
+    let ticket = session
+        .submit_rmw(addr(1), |data| {
+            std::thread::sleep(Duration::from_millis(400));
+            data[0] ^= 0x80;
+        })
+        .expect("submit blocker rmw");
+    std::thread::sleep(Duration::from_millis(100));
+    std::thread::scope(|scope| {
+        let batch = scope.spawn(|| {
+            store.write_batch_atomic(&[(addr(0), block(0x2A)), (addr(1), block(0x2B))])
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        // Shard 0 is prepared and unresolved: mutating its block must
+        // bounce, while reading it stays allowed (no read isolation).
+        match store.write(addr(0), &block(0x99)) {
+            Err(StoreError::TxnConflict { addr: a }) => assert_eq!(a, addr(0)),
+            other => panic!("conflicting write not rejected: {other:?}"),
+        }
+        assert_eq!(store.read(addr(0)).expect("read"), block(0x2A));
+        batch.join().expect("join").expect("batch commits");
+    });
+    // Resolved: the held blocks accept writes again.
+    store.write(addr(0), &block(0x99)).expect("write after resolve");
+    assert_eq!(store.read(addr(0)).expect("read"), block(0x99));
+    match session.wait(ticket).expect("blocker rmw completes") {
+        StoreValue::Modified(_) => {}
+        other => panic!("unexpected completion: {other:?}"),
+    }
+}
+
+#[test]
+fn overlapping_atomic_batches_abort_rather_than_interleave() {
+    // Two threads race whole-batch writes over the same cross-shard
+    // pair. Conflict holds make each batch all-or-nothing: whatever
+    // interleaving happens, both blocks always carry the same tag.
+    let store = SecureStore::new(small_config());
+    store.write(addr(0), &block(0)).expect("seed");
+    store.write(addr(1), &block(0)).expect("seed");
+    std::thread::scope(|scope| {
+        for t in 1..=2u8 {
+            let store = &store;
+            scope.spawn(move || {
+                for round in 0..50u8 {
+                    let tag = t * 100 + round % 100;
+                    match store.write_batch_atomic(&[(addr(0), block(tag)), (addr(1), block(tag))])
+                    {
+                        Ok(()) | Err(StoreError::TxnAborted) => {}
+                        Err(e) => panic!("unexpected batch error: {e:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let a = store.read(addr(0)).expect("read");
+    let b = store.read(addr(1)).expect("read");
+    assert_eq!(a, b, "a committed batch's pair was torn apart");
+}
+
+#[test]
 fn atomic_batch_commits_across_shards_and_survives_crash() {
     let dir = temp_dir("txn_commit");
     let config = small_config();
