@@ -23,6 +23,7 @@ pub mod micro;
 pub mod nvmm;
 pub mod reliability;
 pub mod results;
+pub mod server_load;
 pub mod store_load;
 pub mod table2;
 

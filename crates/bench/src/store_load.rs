@@ -271,6 +271,7 @@ fn build_store(shards: usize, cfg: &LoadConfig) -> SecureStore {
         fuse_writes: cfg.fuse_writes,
         fuse_reads: cfg.fuse_reads,
         wal_rotate_bytes: StoreConfig::default().wal_rotate_bytes,
+        tenant: 0,
         engine: EngineConfig {
             counter_cache_blocks: cfg.cache_blocks_per_shard,
             tree_levels: cfg.tree_levels,

@@ -147,14 +147,33 @@ impl EngineConfig {
     /// two shards share key material and a compromise of one shard's
     /// counters/MACs says nothing about its siblings.
     ///
-    /// The derivation is deterministic (SplitMix64-style mix of the base
-    /// seed and the shard index), so a store rebuilt with the same base
-    /// seed re-derives the same per-shard keys.
+    /// Equivalent to [`EngineConfig::for_tenant`] with tenant 0 — the
+    /// single-tenant derivation every pre-tenant deployment used, so
+    /// stores persisted before tenancy existed re-derive their keys
+    /// unchanged.
     #[must_use]
-    pub fn for_shard(mut self, shard: usize) -> Self {
+    pub fn for_shard(self, shard: usize) -> Self {
+        self.for_tenant(0, shard)
+    }
+
+    /// Derives the configuration for one `(tenant, shard)` cell of a
+    /// multi-tenant sharded deployment: identical parameters, but a key
+    /// seed independent across *both* axes, so every tenant's address
+    /// space is sealed under its own per-shard key material — one
+    /// tenant's compromised counters/MACs say nothing about any shard
+    /// of any other tenant.
+    ///
+    /// The derivation is deterministic (SplitMix64-style mix of the
+    /// base seed, the tenant index, and the shard index), so a store
+    /// rebuilt with the same base seed re-derives the same keys.
+    /// Tenant 0 reduces to the historical [`EngineConfig::for_shard`]
+    /// derivation exactly.
+    #[must_use]
+    pub fn for_tenant(mut self, tenant: usize, shard: usize) -> Self {
         let mut z = self
             .seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(shard as u64 + 1));
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(shard as u64 + 1))
+            .wrapping_add(0xd1b5_4a32_d192_ed03u64.wrapping_mul(tenant as u64));
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         self.seed = z ^ (z >> 31);
@@ -1703,6 +1722,26 @@ mod tests {
             !seeds.contains(&base.seed),
             "shard seeds differ from the base"
         );
+    }
+
+    #[test]
+    fn tenant_seeds_are_distinct_and_backward_compatible() {
+        let base = EngineConfig::default();
+        // Tenant 0 is bit-identical to the historical single-tenant
+        // derivation: stores persisted before tenancy re-derive keys.
+        for s in 0..8 {
+            assert_eq!(base.for_tenant(0, s).seed, base.for_shard(s).seed);
+        }
+        // Every (tenant, shard) cell of a 8×8 grid gets its own seed.
+        let mut seeds: Vec<u64> = (0..8)
+            .flat_map(|t| (0..8).map(move |s| (t, s)))
+            .map(|(t, s)| base.for_tenant(t, s).seed)
+            .collect();
+        assert_eq!(base.for_tenant(5, 3).seed, seeds[5 * 8 + 3], "stable");
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64, "no two (tenant, shard) cells share a seed");
+        assert!(!seeds.contains(&base.seed), "all differ from the base");
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Client side of the wire protocol: a blocking one-at-a-time
+//! [`Client`] and a windowed [`PipelinedClient`] that keeps many
+//! requests in flight.
+
+use crate::protocol::{
+    block_payload, decode_error, op, read_frame, write_frame, FrameError, WireError,
+    DEFAULT_MAX_FRAME, PROTOCOL_VERSION, STATUS_OK,
+};
+use ame_store::BLOCK_BYTES;
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (or the server closed the connection).
+    Io(io::Error),
+    /// The byte stream stopped being a frame stream.
+    Frame(FrameError),
+    /// The server answered with a typed error.
+    Wire(WireError),
+    /// The response was well-framed but its payload made no sense for
+    /// the request (a server bug or a version skew).
+    Protocol(&'static str),
+    /// The pipelined window is full; reap a response first.
+    WindowFull,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Frame(e) => write!(f, "framing: {e}"),
+            ClientError::Wire(e) => write!(f, "server: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::WindowFull => write!(f, "pipeline window full"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// Shared connection state: socket, request-id allocator, handshake
+/// grants.
+struct Conn {
+    stream: TcpStream,
+    next_id: u64,
+    granted_window: usize,
+    shards: usize,
+}
+
+impl Conn {
+    fn connect(addr: impl ToSocketAddrs, tenant: u32, window: u32) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut payload = Vec::with_capacity(12);
+        payload.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&tenant.to_le_bytes());
+        payload.extend_from_slice(&window.to_le_bytes());
+        let mut conn = Self {
+            stream,
+            next_id: 1,
+            granted_window: 0,
+            shards: 0,
+        };
+        let req_id = conn.send(op::HELLO, &payload)?;
+        let frame = read_frame(&mut conn.stream, DEFAULT_MAX_FRAME)?;
+        if frame.tag != STATUS_OK {
+            return Err(ClientError::Wire(decode_error(frame.tag, &frame.payload)));
+        }
+        if frame.req_id != req_id || frame.payload.len() != 8 {
+            return Err(ClientError::Protocol("hello response shape"));
+        }
+        conn.granted_window = u32::from_le_bytes(frame.payload[0..4].try_into().unwrap()) as usize;
+        conn.shards = u32::from_le_bytes(frame.payload[4..8].try_into().unwrap()) as usize;
+        Ok(conn)
+    }
+
+    fn send(&mut self, opcode: u8, payload: &[u8]) -> Result<u64, ClientError> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, opcode, req_id, payload)?;
+        Ok(req_id)
+    }
+
+    fn recv(&mut self) -> Result<(u64, Result<Vec<u8>, WireError>), ClientError> {
+        let frame = read_frame(&mut self.stream, DEFAULT_MAX_FRAME)?;
+        if frame.tag == STATUS_OK {
+            Ok((frame.req_id, Ok(frame.payload)))
+        } else {
+            Ok((frame.req_id, Err(decode_error(frame.tag, &frame.payload))))
+        }
+    }
+}
+
+fn addr_payload(addr: u64) -> [u8; 8] {
+    addr.to_le_bytes()
+}
+
+/// Blocking client: one request outstanding at a time, so every call is
+/// send-then-receive. The simplest correct consumer of the protocol —
+/// and the reference for what the pipelined client must agree with.
+pub struct Client {
+    conn: Conn,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects and performs the `Hello` handshake as `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a typed rejection (unknown tenant, quota,
+    /// version mismatch, shutdown).
+    pub fn connect(addr: impl ToSocketAddrs, tenant: u32) -> Result<Self, ClientError> {
+        Ok(Self {
+            conn: Conn::connect(addr, tenant, 1)?,
+        })
+    }
+
+    /// Shard count of the tenant's store (from the handshake).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.conn.shards
+    }
+
+    /// One round trip; checks the response answers this request.
+    fn call(&mut self, opcode: u8, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let req_id = self.conn.send(opcode, payload)?;
+        let (id, result) = self.conn.recv()?;
+        // A shutdown notice (request id 0) can arrive instead of the
+        // answer; surface it as the call's failure.
+        if id != req_id && !(id == 0 && result.is_err()) {
+            return Err(ClientError::Protocol("response for a different request"));
+        }
+        result.map_err(ClientError::Wire)
+    }
+
+    /// Verified read of the block at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] carries the store's own error for this
+    /// address (poisoned shard, out of range, …).
+    pub fn read(&mut self, addr: u64) -> Result<[u8; BLOCK_BYTES], ClientError> {
+        let payload = self.call(op::READ, &addr_payload(addr))?;
+        block_payload(&payload).ok_or(ClientError::Protocol("read payload size"))
+    }
+
+    /// Writes the block at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read`].
+    pub fn write(&mut self, addr: u64, data: &[u8; BLOCK_BYTES]) -> Result<(), ClientError> {
+        let mut payload = Vec::with_capacity(8 + BLOCK_BYTES);
+        payload.extend_from_slice(&addr_payload(addr));
+        payload.extend_from_slice(data);
+        let out = self.call(op::WRITE, &payload)?;
+        if out.is_empty() {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol("write payload size"))
+        }
+    }
+
+    /// Atomic compare-and-swap: installs `new` iff the block currently
+    /// equals `expected`. Returns the pre-image — the swap took exactly
+    /// when the pre-image equals `expected`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read`].
+    pub fn cas(
+        &mut self,
+        addr: u64,
+        expected: &[u8; BLOCK_BYTES],
+        new: &[u8; BLOCK_BYTES],
+    ) -> Result<[u8; BLOCK_BYTES], ClientError> {
+        let mut payload = Vec::with_capacity(8 + 2 * BLOCK_BYTES);
+        payload.extend_from_slice(&addr_payload(addr));
+        payload.extend_from_slice(expected);
+        payload.extend_from_slice(new);
+        let out = self.call(op::CAS, &payload)?;
+        block_payload(&out).ok_or(ClientError::Protocol("cas payload size"))
+    }
+
+    fn tamper(&mut self, addr: u64, bit: u32, kind: u8) -> Result<(), ClientError> {
+        let mut payload = Vec::with_capacity(13);
+        payload.extend_from_slice(&addr_payload(addr));
+        payload.extend_from_slice(&bit.to_le_bytes());
+        payload.push(kind);
+        self.call(op::TAMPER, &payload).map(|_| ())
+    }
+
+    /// Flips one data bit in the tenant's sealed memory (fault/attack
+    /// injection — the wire twin of the in-process tamper API).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read`].
+    pub fn tamper_data_bit(&mut self, addr: u64, bit: u32) -> Result<(), ClientError> {
+        self.tamper(addr, bit, 0)
+    }
+
+    /// Flips one ECC side-band bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::read`].
+    pub fn tamper_sideband_bit(&mut self, addr: u64, bit: u32) -> Result<(), ClientError> {
+        self.tamper(addr, bit, 1)
+    }
+
+    /// Orderly close: the server acks and closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        self.call(op::GOODBYE, &[]).map(|_| ())
+    }
+}
+
+/// A successfully completed pipelined operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelinedValue {
+    /// A read's verified block.
+    Data([u8; BLOCK_BYTES]),
+    /// A write was sealed and acknowledged.
+    Written,
+}
+
+/// One reaped pipelined response: the request id it answers and the
+/// operation's outcome.
+pub type PipelinedResponse = (u64, Result<PipelinedValue, WireError>);
+
+/// Windowed client: up to `window` requests in flight, responses reaped
+/// in whatever order the server finishes them.
+///
+/// The window is the handshake's granted per-shard window, applied here
+/// to the *whole* connection — conservative, so a well-behaved pipeline
+/// never sees [`StoreError::Overloaded`](ame_store::StoreError), which
+/// keeps closed-loop load generators honest (every submitted operation
+/// completes).
+pub struct PipelinedClient {
+    conn: Conn,
+    /// Opcode per in-flight request id — needed to decode the payload.
+    pending: HashMap<u64, u8>,
+}
+
+impl std::fmt::Debug for PipelinedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedClient")
+            .field("in_flight", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PipelinedClient {
+    /// Connects as `tenant`, requesting an in-flight window of
+    /// `window` (the server may grant less — see
+    /// [`PipelinedClient::window`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        tenant: u32,
+        window: u32,
+    ) -> Result<Self, ClientError> {
+        Ok(Self {
+            conn: Conn::connect(addr, tenant, window)?,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// The granted window: the submit ceiling.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.conn.granted_window
+    }
+
+    /// Requests currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Shard count of the tenant's store (from the handshake).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.conn.shards
+    }
+
+    fn submit(&mut self, opcode: u8, payload: &[u8]) -> Result<u64, ClientError> {
+        if self.pending.len() >= self.conn.granted_window {
+            return Err(ClientError::WindowFull);
+        }
+        let req_id = self.conn.send(opcode, payload)?;
+        self.pending.insert(req_id, opcode);
+        Ok(req_id)
+    }
+
+    /// Submits a read; returns its request id immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::WindowFull`] when the window is exhausted —
+    /// [`PipelinedClient::recv`] first.
+    pub fn submit_read(&mut self, addr: u64) -> Result<u64, ClientError> {
+        self.submit(op::READ, &addr_payload(addr))
+    }
+
+    /// Submits a write; returns its request id immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelinedClient::submit_read`].
+    pub fn submit_write(
+        &mut self,
+        addr: u64,
+        data: &[u8; BLOCK_BYTES],
+    ) -> Result<u64, ClientError> {
+        let mut payload = Vec::with_capacity(8 + BLOCK_BYTES);
+        payload.extend_from_slice(&addr_payload(addr));
+        payload.extend_from_slice(data);
+        self.submit(op::WRITE, &payload)
+    }
+
+    /// Blocks for the next response, in server completion order.
+    /// Returns the request id it answers and the operation's outcome.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures, a shutdown notice
+    /// ([`ClientError::Wire`] with
+    /// [`WireError::ShuttingDown`]) when the server drains under us, or
+    /// [`ClientError::Protocol`] for a response to nothing we sent.
+    pub fn recv(&mut self) -> Result<PipelinedResponse, ClientError> {
+        let (req_id, result) = self.conn.recv()?;
+        let Some(opcode) = self.pending.remove(&req_id) else {
+            if req_id == 0 {
+                if let Err(e) = result {
+                    // Connection-level notice (shutdown drain complete).
+                    return Err(ClientError::Wire(e));
+                }
+            }
+            return Err(ClientError::Protocol("response for unknown request id"));
+        };
+        let outcome = match result {
+            Ok(payload) => match opcode {
+                op::READ => match block_payload(&payload) {
+                    Some(block) => Ok(PipelinedValue::Data(block)),
+                    None => return Err(ClientError::Protocol("read payload size")),
+                },
+                op::WRITE if payload.is_empty() => Ok(PipelinedValue::Written),
+                _ => return Err(ClientError::Protocol("unexpected success payload")),
+            },
+            Err(e) => Err(e),
+        };
+        Ok((req_id, outcome))
+    }
+
+    /// Reaps until nothing is in flight, discarding payloads; errors in
+    /// any response surface as that operation's [`WireError`] in the
+    /// returned vector.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures abort the drain.
+    pub fn drain(&mut self) -> Result<Vec<PipelinedResponse>, ClientError> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            out.push(self.recv()?);
+        }
+        Ok(out)
+    }
+
+    /// Orderly close (drains the window first).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        let _ = self.drain()?;
+        let req_id = self.conn.send(op::GOODBYE, &[])?;
+        let (id, result) = self.conn.recv()?;
+        result.map_err(ClientError::Wire)?;
+        if id != req_id {
+            return Err(ClientError::Protocol("goodbye response id"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,759 @@
+//! The serving loop: a TCP listener, thread-per-connection frame pumps,
+//! and per-tenant stores with quotas and telemetry.
+//!
+//! # Threading model
+//!
+//! One accept thread plus **two** threads per connection — no async
+//! runtime. The connection's *reader* thread parses frames and submits
+//! operations through a [`SessionSubmitter`]; a scoped *writer* thread
+//! blocks on the paired [`SessionReaper`] and streams completions back
+//! as they finish (out of order across shards, FIFO within one — the
+//! store's ordering contract travels the wire unchanged). Rejections
+//! that never reach the store (malformed frames, duplicate request ids,
+//! window overload) are answered inline by the reader through a shared
+//! write-half mutex.
+//!
+//! # Tenancy
+//!
+//! Every tenant is an independently keyed [`SecureStore`] (see
+//! [`EngineConfig::for_tenant`](ame_engine::EngineConfig::for_tenant)):
+//! a client authenticates its namespace in `Hello` and can never name
+//! another tenant's blocks, and a poisoned shard in one tenant's store
+//! never rejects another tenant's traffic. Per-tenant connection and
+//! window quotas bound what one tenant can demand of the process, and
+//! each tenant's metrics live under `server/tenant<T>/…`.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] flips a flag, wakes the accept loop, and lets
+//! every connection drain: readers stop admitting operations (answering
+//! [`code::SHUTTING_DOWN`](crate::protocol::code::SHUTTING_DOWN)),
+//! writers flush every already-submitted completion — no acked response
+//! is lost — and each connection ends with a typed shutting-down notice
+//! (request id 0). Only then are the stores shut down through their
+//! durable checkpoint path.
+
+use crate::protocol::{
+    self, code, encode_server_error, encode_store_error, op, write_frame, Frame, FrameError,
+    WireError, DEFAULT_MAX_FRAME, HEADER_BYTES, PROTOCOL_VERSION,
+};
+use ame_store::{
+    Reaped, SecureStore, SessionConfig, SessionSubmitter, ShutdownReport, StoreConfig, StoreError,
+    StoreOp, StoreValue, Ticket, BLOCK_BYTES,
+};
+use ame_telemetry::{Snapshot, StatsRegistry};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// One tenant hosted by a [`Server`]: an isolated key namespace with
+/// its own store and quotas.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant id — the namespace clients name in `Hello`, and the
+    /// `tenant` term of the per-shard key derivation.
+    pub id: usize,
+    /// Store shape for this tenant. The `tenant` field is overwritten
+    /// with `id` at bind time, so two specs sharing a template config
+    /// still get disjoint keys.
+    pub config: StoreConfig,
+    /// Durable root for this tenant's snapshots and logs; `None` for a
+    /// volatile in-memory store.
+    pub persist_dir: Option<PathBuf>,
+    /// Connection quota: further `Hello`s are answered
+    /// [`code::QUOTA_EXCEEDED`](crate::protocol::code::QUOTA_EXCEEDED).
+    pub max_connections: usize,
+    /// Ceiling on the per-shard in-flight window a connection may
+    /// request; `Hello` grants `min(requested, max_window)`.
+    pub max_window: usize,
+}
+
+impl TenantSpec {
+    /// A tenant with default quotas (64 connections, window ≤ 64).
+    #[must_use]
+    pub fn new(id: usize, config: StoreConfig) -> Self {
+        Self {
+            id,
+            config,
+            persist_dir: None,
+            max_connections: 64,
+            max_window: 64,
+        }
+    }
+}
+
+/// Server-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The hosted tenants. Ids must be unique.
+    pub tenants: Vec<TenantSpec>,
+    /// Ceiling on the frame length prefix; larger prefixes are hostile
+    /// and close the connection.
+    pub max_frame: u32,
+    /// How often blocked reads and reaps wake to check the shutdown
+    /// flag. Latency of shutdown, not of requests.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            tenants: Vec::new(),
+            max_frame: DEFAULT_MAX_FRAME,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Per-tenant counters, reported under `server/tenant<T>/…`.
+#[derive(Debug, Default)]
+struct TenantCounters {
+    connections_accepted: AtomicU64,
+    quota_rejections: AtomicU64,
+    ops_ok: AtomicU64,
+    ops_err: AtomicU64,
+    bad_frames: AtomicU64,
+    duplicate_request_ids: AtomicU64,
+    unknown_opcodes: AtomicU64,
+    shutdown_rejections: AtomicU64,
+}
+
+struct Tenant {
+    id: usize,
+    store: SecureStore,
+    connections: AtomicUsize,
+    max_connections: usize,
+    max_window: usize,
+    counters: TenantCounters,
+}
+
+/// Server-level counters (events before a connection has a tenant).
+#[derive(Debug, Default)]
+struct ServerCounters {
+    connections_accepted: AtomicU64,
+    bad_version: AtomicU64,
+    unknown_tenant: AtomicU64,
+    pre_hello_failures: AtomicU64,
+}
+
+struct Shared {
+    tenants: Vec<Tenant>,
+    counters: ServerCounters,
+    shutdown: AtomicBool,
+    max_frame: u32,
+    poll_interval: Duration,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn tenant(&self, id: usize) -> Option<&Tenant> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// leaks the listener thread; call `shutdown` for an orderly drain and
+/// durable checkpoint.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), boots
+    /// every tenant's store, and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and durable-store open failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.tenants` is empty or contains duplicate ids.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Self> {
+        assert!(
+            !config.tenants.is_empty(),
+            "a server needs at least one tenant"
+        );
+        {
+            let mut ids: Vec<usize> = config.tenants.iter().map(|t| t.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), config.tenants.len(), "tenant ids must be unique");
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let mut tenants = Vec::with_capacity(config.tenants.len());
+        for spec in config.tenants {
+            let mut store_config = spec.config;
+            store_config.tenant = spec.id;
+            let store = match &spec.persist_dir {
+                Some(dir) => SecureStore::open(dir, store_config)?,
+                None => SecureStore::new(store_config),
+            };
+            tenants.push(Tenant {
+                id: spec.id,
+                store,
+                connections: AtomicUsize::new(0),
+                max_connections: spec.max_connections,
+                max_window: spec.max_window.max(1),
+                counters: TenantCounters::default(),
+            });
+        }
+        let shared = Arc::new(Shared {
+            tenants,
+            counters: ServerCounters::default(),
+            shutdown: AtomicBool::new(false),
+            max_frame: config.max_frame,
+            poll_interval: config.poll_interval,
+            conn_handles: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = thread::Builder::new()
+            .name("ame-server-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(Self {
+            addr: local,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the full metric tree: per-tenant store metrics under
+    /// `server/tenant<T>/store/…` plus serving counters under
+    /// `server/tenant<T>/…` and `server/…`.
+    #[must_use]
+    pub fn telemetry(&self) -> Snapshot {
+        let mut reg = StatsRegistry::new();
+        let c = &self.shared.counters;
+        reg.set_counter(
+            "server/connections_accepted",
+            c.connections_accepted.load(Ordering::Relaxed),
+        );
+        reg.set_counter("server/bad_version", c.bad_version.load(Ordering::Relaxed));
+        reg.set_counter(
+            "server/unknown_tenant",
+            c.unknown_tenant.load(Ordering::Relaxed),
+        );
+        reg.set_counter(
+            "server/pre_hello_failures",
+            c.pre_hello_failures.load(Ordering::Relaxed),
+        );
+        for t in &self.shared.tenants {
+            let scope = format!("server/tenant{}", t.id);
+            t.store.collect(&mut reg, &format!("{scope}/store"));
+            reg.set_gauge(
+                &format!("{scope}/connections"),
+                t.connections.load(Ordering::Relaxed) as f64,
+            );
+            let tc = &t.counters;
+            for (name, v) in [
+                ("connections_accepted", &tc.connections_accepted),
+                ("quota_rejections", &tc.quota_rejections),
+                ("ops_ok", &tc.ops_ok),
+                ("ops_err", &tc.ops_err),
+                ("bad_frames", &tc.bad_frames),
+                ("duplicate_request_ids", &tc.duplicate_request_ids),
+                ("unknown_opcodes", &tc.unknown_opcodes),
+                ("shutdown_rejections", &tc.shutdown_rejections),
+            ] {
+                reg.set_counter(&format!("{scope}/{name}"), v.load(Ordering::Relaxed));
+            }
+        }
+        reg.snapshot()
+    }
+
+    /// Orderly shutdown: stop accepting, drain every connection's
+    /// in-flight window (every submitted operation's response is still
+    /// delivered), close connections with a typed shutting-down notice,
+    /// then run each tenant store's durable checkpoint.
+    ///
+    /// Returns `(tenant id, report)` per tenant, in spec order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a serving thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> Vec<(usize, ShutdownReport)> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept thread blocks in accept(); a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            handle.join().expect("accept thread panicked");
+        }
+        let handles = std::mem::take(&mut *self.shared.conn_handles.lock().unwrap());
+        for handle in handles {
+            handle.join().expect("connection thread panicked");
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("serving threads still hold the server state"));
+        shared
+            .tenants
+            .into_iter()
+            .map(|t| (t.id, t.store.shutdown()))
+            .collect()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client): refuse.
+            let _ = write_frame(&mut &stream, code::SHUTTING_DOWN, 0, &[]);
+            return;
+        }
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let handle = thread::Builder::new()
+            .name("ame-server-conn".into())
+            .spawn(move || serve_connection(&conn_shared, stream))
+            .expect("spawn connection thread");
+        shared.conn_handles.lock().unwrap().push(handle);
+    }
+}
+
+/// Incremental frame reader: accumulates bytes across read timeouts so
+/// a poll deadline in the middle of a frame never desynchronises the
+/// stream.
+struct ConnReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame: u32,
+}
+
+enum Polled {
+    Frame(Frame),
+    /// Read timeout with no complete frame buffered.
+    Idle,
+    /// Peer closed (or the transport failed).
+    Eof,
+    /// Unrecoverable framing violation.
+    Malformed,
+}
+
+impl ConnReader {
+    fn poll(&mut self) -> Polled {
+        loop {
+            match self.try_parse() {
+                Ok(Some(frame)) => return Polled::Frame(frame),
+                Ok(None) => {}
+                Err(_) => return Polled::Malformed,
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Polled::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Polled::Idle
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Polled::Eof,
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len > self.max_frame {
+            return Err(FrameError::Oversized {
+                len,
+                max: self.max_frame,
+            });
+        }
+        if (len as usize) < HEADER_BYTES {
+            return Err(FrameError::TooShort { len });
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let tag = self.buf[4];
+        let req_id = u64::from_le_bytes(self.buf[5..13].try_into().unwrap());
+        let payload = self.buf[13..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Frame {
+            tag,
+            req_id,
+            payload,
+        }))
+    }
+}
+
+/// Reader/writer shared bookkeeping for one connection: which request
+/// id each in-flight ticket answers.
+#[derive(Default)]
+struct InFlight {
+    by_ticket: HashMap<Ticket, u64>,
+    ids: HashSet<u64>,
+}
+
+type WriteHalf = Arc<Mutex<TcpStream>>;
+
+fn respond(wr: &WriteHalf, tag: u8, req_id: u64, payload: &[u8]) -> io::Result<()> {
+    let mut stream = wr.lock().unwrap();
+    write_frame(&mut *stream, tag, req_id, payload)
+}
+
+fn respond_err(wr: &WriteHalf, req_id: u64, e: &WireError) -> io::Result<()> {
+    let (tag, payload) = encode_server_error(e);
+    respond(wr, tag, req_id, &payload)
+}
+
+/// Why the reader loop ended, deciding the closing notice.
+enum ConnEnd {
+    Goodbye,
+    Eof,
+    Shutdown,
+    Malformed,
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = ConnReader {
+        stream: read_half,
+        buf: Vec::new(),
+        max_frame: shared.max_frame,
+    };
+    let wr: WriteHalf = Arc::new(Mutex::new(stream));
+
+    let Some((tenant, window)) = handshake(shared, &mut reader, &wr) else {
+        return;
+    };
+    tenant.connections.fetch_add(1, Ordering::SeqCst);
+    tenant
+        .counters
+        .connections_accepted
+        .fetch_add(1, Ordering::Relaxed);
+
+    let (submitter, reaper) = tenant.store.split_session_with(SessionConfig {
+        in_flight_window: window,
+    });
+    let in_flight = Mutex::new(InFlight::default());
+    let end = thread::scope(|s| {
+        let writer = s.spawn(|| writer_loop(reaper, &in_flight, &wr, tenant, shared.poll_interval));
+        let end = reader_loop(shared, tenant, &mut reader, submitter, &in_flight, &wr);
+        // `submitter` died with reader_loop; the writer drains the
+        // stragglers (acked work is never dropped) and sees Closed.
+        writer.join().expect("connection writer panicked");
+        end
+    });
+    if matches!(end, ConnEnd::Shutdown) {
+        let _ = respond(&wr, code::SHUTTING_DOWN, 0, &[]);
+    }
+    tenant.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Runs the `Hello` exchange. `None` means the connection was refused
+/// (a typed response was already sent where possible).
+fn handshake<'a>(
+    shared: &'a Arc<Shared>,
+    reader: &mut ConnReader,
+    wr: &WriteHalf,
+) -> Option<(&'a Tenant, usize)> {
+    let frame = loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = respond_err(wr, 0, &WireError::ShuttingDown);
+            return None;
+        }
+        match reader.poll() {
+            Polled::Frame(frame) => break frame,
+            Polled::Idle => {}
+            Polled::Eof => return None,
+            Polled::Malformed => {
+                shared
+                    .counters
+                    .pre_hello_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = respond_err(wr, 0, &WireError::BadFrame);
+                return None;
+            }
+        }
+    };
+    if frame.tag != op::HELLO || frame.payload.len() != 12 {
+        shared
+            .counters
+            .pre_hello_failures
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
+        return None;
+    }
+    let version = u32::from_le_bytes(frame.payload[0..4].try_into().unwrap());
+    let tenant_id = u32::from_le_bytes(frame.payload[4..8].try_into().unwrap());
+    let requested = u32::from_le_bytes(frame.payload[8..12].try_into().unwrap());
+    if version != PROTOCOL_VERSION {
+        shared.counters.bad_version.fetch_add(1, Ordering::Relaxed);
+        let _ = respond_err(wr, frame.req_id, &WireError::BadVersion(PROTOCOL_VERSION));
+        return None;
+    }
+    let Some(tenant) = shared.tenant(tenant_id as usize) else {
+        shared
+            .counters
+            .unknown_tenant
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = respond_err(wr, frame.req_id, &WireError::UnknownTenant(tenant_id));
+        return None;
+    };
+    if tenant.connections.load(Ordering::SeqCst) >= tenant.max_connections {
+        tenant
+            .counters
+            .quota_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = respond_err(wr, frame.req_id, &WireError::QuotaExceeded);
+        return None;
+    }
+    let granted = (requested.max(1) as usize).min(tenant.max_window);
+    let mut payload = Vec::with_capacity(8);
+    payload.extend_from_slice(&(granted as u32).to_le_bytes());
+    payload.extend_from_slice(&(tenant.store.shards() as u32).to_le_bytes());
+    if respond(wr, protocol::STATUS_OK, frame.req_id, &payload).is_err() {
+        return None;
+    }
+    Some((tenant, granted))
+}
+
+fn reader_loop(
+    shared: &Arc<Shared>,
+    tenant: &Tenant,
+    reader: &mut ConnReader,
+    mut submitter: SessionSubmitter<'_>,
+    in_flight: &Mutex<InFlight>,
+    wr: &WriteHalf,
+) -> ConnEnd {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Already-buffered requests get a typed rejection instead of
+            // silence; nothing new is admitted to the store.
+            while let Ok(Some(frame)) = reader.try_parse() {
+                tenant
+                    .counters
+                    .shutdown_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = respond_err(wr, frame.req_id, &WireError::ShuttingDown);
+            }
+            return ConnEnd::Shutdown;
+        }
+        let frame = match reader.poll() {
+            Polled::Frame(frame) => frame,
+            Polled::Idle => continue,
+            Polled::Eof => return ConnEnd::Eof,
+            Polled::Malformed => {
+                tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = respond_err(wr, 0, &WireError::BadFrame);
+                return ConnEnd::Malformed;
+            }
+        };
+        match frame.tag {
+            op::GOODBYE => {
+                let _ = respond(wr, protocol::STATUS_OK, frame.req_id, &[]);
+                return ConnEnd::Goodbye;
+            }
+            op::READ | op::WRITE | op::CAS => {
+                // The state lock is held across submit → map insert so
+                // the writer (which takes the same lock before looking a
+                // completion up) can never observe a ticket whose
+                // request id is not yet recorded.
+                let mut state = in_flight.lock().unwrap();
+                if !state.ids.insert(frame.req_id) {
+                    drop(state);
+                    reject_duplicate(tenant, wr, frame.req_id);
+                    continue;
+                }
+                match submit_op(&mut submitter, &frame) {
+                    Submitted::Ticket(ticket) => {
+                        state.by_ticket.insert(ticket, frame.req_id);
+                    }
+                    Submitted::Rejected(e) => {
+                        state.ids.remove(&frame.req_id);
+                        drop(state);
+                        tenant.counters.ops_err.fetch_add(1, Ordering::Relaxed);
+                        let (tag, payload) = encode_store_error(&e);
+                        let _ = respond(wr, tag, frame.req_id, &payload);
+                    }
+                    Submitted::Malformed => {
+                        state.ids.remove(&frame.req_id);
+                        drop(state);
+                        tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
+                    }
+                }
+            }
+            op::TAMPER => {
+                if !in_flight.lock().unwrap().ids.contains(&frame.req_id) {
+                    handle_tamper(tenant, wr, &frame);
+                } else {
+                    reject_duplicate(tenant, wr, frame.req_id);
+                }
+            }
+            op::HELLO => {
+                tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
+            }
+            other => {
+                tenant
+                    .counters
+                    .unknown_opcodes
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = respond_err(wr, frame.req_id, &WireError::UnknownOpcode(other));
+            }
+        }
+    }
+}
+
+fn reject_duplicate(tenant: &Tenant, wr: &WriteHalf, req_id: u64) {
+    tenant
+        .counters
+        .duplicate_request_ids
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = respond_err(wr, req_id, &WireError::DuplicateRequestId);
+}
+
+enum Submitted {
+    Ticket(Ticket),
+    Rejected(StoreError),
+    Malformed,
+}
+
+fn submit_op(submitter: &mut SessionSubmitter<'_>, frame: &Frame) -> Submitted {
+    let p = &frame.payload;
+    let result = match frame.tag {
+        op::READ if p.len() == 8 => {
+            let addr = u64::from_le_bytes(p[..8].try_into().unwrap());
+            submitter.submit(StoreOp::Read { addr })
+        }
+        op::WRITE if p.len() == 8 + BLOCK_BYTES => {
+            let addr = u64::from_le_bytes(p[..8].try_into().unwrap());
+            let data: [u8; BLOCK_BYTES] = p[8..].try_into().unwrap();
+            submitter.submit(StoreOp::Write { addr, data })
+        }
+        op::CAS if p.len() == 8 + 2 * BLOCK_BYTES => {
+            let addr = u64::from_le_bytes(p[..8].try_into().unwrap());
+            let expected: [u8; BLOCK_BYTES] = p[8..8 + BLOCK_BYTES].try_into().unwrap();
+            let new: [u8; BLOCK_BYTES] = p[8 + BLOCK_BYTES..].try_into().unwrap();
+            submitter.submit_rmw(addr, move |block| {
+                if *block == expected {
+                    *block = new;
+                }
+            })
+        }
+        _ => return Submitted::Malformed,
+    };
+    match result {
+        Ok(ticket) => Submitted::Ticket(ticket),
+        Err(e) => Submitted::Rejected(e),
+    }
+}
+
+fn handle_tamper(tenant: &Tenant, wr: &WriteHalf, frame: &Frame) {
+    let p = &frame.payload;
+    if p.len() != 13 {
+        tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+        let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
+        return;
+    }
+    let addr = u64::from_le_bytes(p[..8].try_into().unwrap());
+    let bit = u32::from_le_bytes(p[8..12].try_into().unwrap());
+    let result = match p[12] {
+        0 => tenant.store.tamper_data_bit(addr, bit),
+        1 => tenant.store.tamper_sideband_bit(addr, bit),
+        _ => {
+            tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+            let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
+            return;
+        }
+    };
+    match result {
+        Ok(()) => {
+            tenant.counters.ops_ok.fetch_add(1, Ordering::Relaxed);
+            let _ = respond(wr, protocol::STATUS_OK, frame.req_id, &[]);
+        }
+        Err(e) => {
+            tenant.counters.ops_err.fetch_add(1, Ordering::Relaxed);
+            let (tag, payload) = encode_store_error(&e);
+            let _ = respond(wr, tag, frame.req_id, &payload);
+        }
+    }
+}
+
+fn writer_loop(
+    mut reaper: ame_store::SessionReaper<'_>,
+    in_flight: &Mutex<InFlight>,
+    wr: &WriteHalf,
+    tenant: &Tenant,
+    poll: Duration,
+) {
+    loop {
+        match reaper.recv_timeout(poll) {
+            Reaped::Completion(ticket, result) => {
+                let req_id = {
+                    let mut state = in_flight.lock().unwrap();
+                    let req_id = state.by_ticket.remove(&ticket);
+                    if let Some(id) = req_id {
+                        state.ids.remove(&id);
+                    }
+                    req_id
+                };
+                // A ticket with no request id cannot happen (every
+                // submitted ticket is registered before the reader moves
+                // on), but losing a response silently would be worse
+                // than a best-effort id of 0.
+                let req_id = req_id.unwrap_or(0);
+                match result {
+                    Ok(value) => {
+                        tenant.counters.ops_ok.fetch_add(1, Ordering::Relaxed);
+                        let payload: &[u8] = match &value {
+                            StoreValue::Data(b) | StoreValue::Modified(b) => b,
+                            StoreValue::Written => &[],
+                        };
+                        let _ = respond(wr, protocol::STATUS_OK, req_id, payload);
+                    }
+                    Err(e) => {
+                        tenant.counters.ops_err.fetch_add(1, Ordering::Relaxed);
+                        let (tag, payload) = encode_store_error(&e);
+                        let _ = respond(wr, tag, req_id, &payload);
+                    }
+                }
+            }
+            Reaped::TimedOut => {}
+            Reaped::Closed => return,
+        }
+    }
+}

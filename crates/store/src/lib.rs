@@ -58,11 +58,15 @@ mod session;
 mod shard;
 mod wal;
 
-pub use session::{Session, SessionConfig, SessionStats, Ticket};
+pub use session::{
+    Reaped, Session, SessionConfig, SessionReaper, SessionStats, SessionSubmitter, Ticket,
+};
 pub use shard::{SealReport, ShardStats};
 
 use ame_engine::region::SecureRegion;
-use ame_engine::{EngineConfig, ReadError, BLOCK_BYTES};
+pub use ame_engine::BLOCK_BYTES;
+
+use ame_engine::{EngineConfig, ReadError};
 use ame_persist::frame_record;
 use ame_telemetry::{Snapshot, StatsRegistry, Value};
 use shard::{Op, OpOutput, Request, ShardShared, ShardWorker};
@@ -103,8 +107,15 @@ pub struct StoreConfig {
     /// opened with [`SecureStore::open`]; a rotation also triggers
     /// unconditionally after any counter-group re-encryption.
     pub wal_rotate_bytes: u64,
+    /// Tenant namespace this store serves. Each shard derives its key
+    /// seed via [`EngineConfig::for_tenant`]`(tenant, shard)`, so two
+    /// stores built from the same engine template but different tenants
+    /// share **no** key material: their address spaces are
+    /// independently sealed namespaces. Tenant 0 (the default) is
+    /// bit-compatible with every pre-tenant deployment.
+    pub tenant: usize,
     /// Engine configuration template; each shard derives an independent
-    /// key seed from it via [`EngineConfig::for_shard`].
+    /// key seed from it via [`EngineConfig::for_tenant`].
     pub engine: EngineConfig,
 }
 
@@ -118,6 +129,7 @@ impl Default for StoreConfig {
             fuse_writes: true,
             fuse_reads: true,
             wal_rotate_bytes: 1 << 20,
+            tenant: 0,
             engine: EngineConfig::default(),
         }
     }
@@ -375,7 +387,10 @@ impl SecureStore {
                 // path, so they cannot drift apart.
                 Some(dir) => recover_shard(&config, s, dir, &committed)?,
                 None => ShardBoot {
-                    region: SecureRegion::new(config.engine.for_shard(s), config.shard_bytes),
+                    region: SecureRegion::new(
+                        config.engine.for_tenant(config.tenant, s),
+                        config.shard_bytes,
+                    ),
                     poisoned: None,
                     dead: false,
                     persist: None,
@@ -386,7 +401,10 @@ impl SecureStore {
             let sh = Arc::new(ShardShared::default());
             // The reseal seed is derived past the live shard range, so it
             // is deterministic but never equal to any shard's boot seed.
-            let reseal_seed = config.engine.for_shard(s + config.shards).seed;
+            let reseal_seed = config
+                .engine
+                .for_tenant(config.tenant, s + config.shards)
+                .seed;
             let worker = ShardWorker::new(
                 s,
                 boot.region,

@@ -47,8 +47,9 @@ use crate::{SecureStore, StoreError, StoreOp, StoreValue};
 use ame_engine::BLOCK_BYTES;
 use ame_telemetry::{Histogram, MetricSink, Metrics, Snapshot, StatsRegistry};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`Session`].
@@ -508,6 +509,255 @@ impl<'a> Session<'a> {
     fn take_done(&mut self, ticket: Ticket) -> Option<Result<StoreValue, StoreError>> {
         let pos = self.done.iter().position(|(t, _)| *t == ticket)?;
         self.done.remove(pos).map(|(_, result)| result)
+    }
+}
+
+/// Window accounting shared by the two halves of a split session: only
+/// the submitter increments, only the reaper decrements, so the
+/// submitter's window check can never race itself — a concurrent reap
+/// only ever makes *more* room.
+#[derive(Debug)]
+struct SplitShared {
+    per_shard: Vec<AtomicUsize>,
+}
+
+/// What [`SessionReaper::recv_timeout`] produced.
+#[derive(Debug)]
+pub enum Reaped {
+    /// One operation finished; same payload contract as
+    /// [`Session::wait_any`].
+    Completion(Ticket, Result<StoreValue, StoreError>),
+    /// Nothing completed within the timeout; in-flight tickets are
+    /// untouched.
+    TimedOut,
+    /// The submitting half is gone and every completion has been
+    /// drained: the pipeline is finished, `recv` will never yield again.
+    Closed,
+}
+
+/// The submitting half of a split session (see
+/// [`SecureStore::split_session_with`]): submissions without reaping.
+///
+/// Dropping the submitter closes the pipeline: once the in-flight
+/// operations drain, the paired [`SessionReaper`] reports
+/// [`Reaped::Closed`].
+pub struct SessionSubmitter<'a> {
+    store: &'a SecureStore,
+    window: usize,
+    next_seq: u64,
+    tx: SyncSender<Completion>,
+    shared: Arc<SplitShared>,
+}
+
+impl std::fmt::Debug for SessionSubmitter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionSubmitter")
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The reaping half of a split session: completions without submitting.
+pub struct SessionReaper<'a> {
+    _store: &'a SecureStore,
+    rx: Receiver<Completion>,
+    shared: Arc<SplitShared>,
+}
+
+impl std::fmt::Debug for SessionReaper<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionReaper").finish_non_exhaustive()
+    }
+}
+
+impl<'a> SessionSubmitter<'a> {
+    /// The per-shard in-flight window.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Operations currently in flight (submitted, not yet reaped by the
+    /// paired [`SessionReaper`]), across all shards.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared
+            .per_shard
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Submits one read or write without waiting; the completion arrives
+    /// on the paired reaper, tagged with the returned [`Ticket`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::submit`]: address validation inline,
+    /// [`StoreError::Overloaded`] when the shard's in-flight window or
+    /// request queue is full, [`StoreError::ShardPoisoned`] fast-fail,
+    /// [`StoreError::Disconnected`] for a vanished worker.
+    pub fn submit(&mut self, op: StoreOp) -> Result<Ticket, StoreError> {
+        let (shard, op) = match op {
+            StoreOp::Read { addr } => {
+                let (shard, local) = self.store.locate(addr)?;
+                (shard, Op::Read { local })
+            }
+            StoreOp::Write { addr, data } => {
+                let (shard, local) = self.store.locate(addr)?;
+                (shard, Op::Write { local, data })
+            }
+        };
+        self.submit_op(shard, op)
+    }
+
+    /// Submits a read-modify-write; its completion carries the pre-image
+    /// as [`StoreValue::Modified`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionSubmitter::submit`].
+    pub fn submit_rmw(
+        &mut self,
+        addr: u64,
+        f: impl FnOnce(&mut [u8; BLOCK_BYTES]) + Send + 'static,
+    ) -> Result<Ticket, StoreError> {
+        let (shard, local) = self.store.locate(addr)?;
+        self.submit_op(
+            shard,
+            Op::Rmw {
+                local,
+                f: Box::new(f),
+            },
+        )
+    }
+
+    fn submit_op(&mut self, shard: usize, op: Op) -> Result<Ticket, StoreError> {
+        let sh = &self.store.shared[shard];
+        if sh.poisoned.load(Ordering::Relaxed) {
+            sh.overloads.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::ShardPoisoned { shard, cause: None });
+        }
+        let in_flight = &self.shared.per_shard[shard];
+        if in_flight.load(Ordering::Relaxed) >= self.window {
+            sh.overloads.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Overloaded { shard });
+        }
+        let seq = self.next_seq;
+        let request = Request::Op {
+            op,
+            seq,
+            enqueued: Instant::now(),
+            reply: self.tx.clone(),
+        };
+        // Count the slot *before* the send: the completion (and the
+        // reaper's decrement) can race an increment placed after it.
+        in_flight.fetch_add(1, Ordering::Relaxed);
+        match self.store.senders[shard].try_send(request) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+                sh.overloads.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Overloaded { shard });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+                return Err(StoreError::Disconnected { shard });
+            }
+        }
+        sh.depth.fetch_add(1, Ordering::Relaxed);
+        self.next_seq += 1;
+        Ok(Ticket(seq))
+    }
+}
+
+impl<'a> SessionReaper<'a> {
+    /// Blocks for the next completion. `None` once the paired submitter
+    /// is dropped **and** every in-flight completion has been drained —
+    /// the natural exit condition for a dedicated reaping thread.
+    pub fn recv(&mut self) -> Option<(Ticket, Result<StoreValue, StoreError>)> {
+        match self.rx.recv() {
+            Ok(completion) => Some(self.absorb(completion)),
+            Err(_) => None,
+        }
+    }
+
+    /// Like [`SessionReaper::recv`], but gives up after `timeout` so the
+    /// reaping thread can interleave periodic work (shutdown checks,
+    /// liveness) with the blocking drain.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Reaped {
+        match self.rx.recv_timeout(timeout) {
+            Ok(completion) => {
+                let (ticket, result) = self.absorb(completion);
+                Reaped::Completion(ticket, result)
+            }
+            Err(RecvTimeoutError::Timeout) => Reaped::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => Reaped::Closed,
+        }
+    }
+
+    /// Non-blocking variant: `None` when nothing has completed yet (or
+    /// the pipeline is closed).
+    pub fn try_recv(&mut self) -> Option<(Ticket, Result<StoreValue, StoreError>)> {
+        self.rx
+            .try_recv()
+            .ok()
+            .map(|completion| self.absorb(completion))
+    }
+
+    fn absorb(&mut self, completion: Completion) -> (Ticket, Result<StoreValue, StoreError>) {
+        self.shared.per_shard[completion.shard].fetch_sub(1, Ordering::Relaxed);
+        (Ticket(completion.seq), completion.result.map(to_value))
+    }
+}
+
+impl SecureStore {
+    /// Opens a **split** pipelined session: a [`SessionSubmitter`] and a
+    /// [`SessionReaper`] that can live on two different threads, unlike
+    /// the single-owner [`Session`]. This is the serving-layer hook: a
+    /// network front-end drives submissions from its socket-reader
+    /// thread while a dedicated writer thread blocks on completions and
+    /// streams responses out — no polling between the two event sources.
+    ///
+    /// Window semantics are identical to [`Session`]: at most
+    /// `config.in_flight_window` operations in flight per shard, then
+    /// [`StoreError::Overloaded`]. Dropping the submitter ends the
+    /// pipeline; the reaper drains the stragglers and reports
+    /// [`Reaped::Closed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.in_flight_window` is zero.
+    #[must_use]
+    pub fn split_session_with(
+        &self,
+        config: SessionConfig,
+    ) -> (SessionSubmitter<'_>, SessionReaper<'_>) {
+        assert!(
+            config.in_flight_window > 0,
+            "the in-flight window must admit at least one operation"
+        );
+        let shards = self.config.shards;
+        // Same sizing rule as `Session`: every outstanding completion
+        // fits, so workers never block pushing completions.
+        let (tx, rx) = sync_channel(shards * config.in_flight_window);
+        let shared = Arc::new(SplitShared {
+            per_shard: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+        });
+        (
+            SessionSubmitter {
+                store: self,
+                window: config.in_flight_window,
+                next_seq: 1,
+                tx,
+                shared: Arc::clone(&shared),
+            },
+            SessionReaper {
+                _store: self,
+                rx,
+                shared,
+            },
+        )
     }
 }
 

@@ -86,7 +86,9 @@ fn encode_generation(generation: u64) -> Vec<u8> {
 /// anything else.
 fn decode_generation(payload: &[u8]) -> Option<u64> {
     if payload.len() == 9 && payload[0] == TAG_GENERATION {
-        Some(u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes")))
+        Some(u64::from_le_bytes(
+            payload[1..9].try_into().expect("8 bytes"),
+        ))
     } else {
         None
     }
@@ -312,7 +314,7 @@ pub(crate) fn recover_shard(
         let bytes = fs::read(&snap_path)?;
         let corrupt = || {
             Ok(quarantine(SecureRegion::new(
-                config.engine.for_shard(s),
+                config.engine.for_tenant(config.tenant, s),
                 config.shard_bytes,
             )))
         };
@@ -329,7 +331,10 @@ pub(crate) fn recover_shard(
     } else {
         (
             0,
-            SecureRegion::new(config.engine.for_shard(s), config.shard_bytes),
+            SecureRegion::new(
+                config.engine.for_tenant(config.tenant, s),
+                config.shard_bytes,
+            ),
         )
     };
 

@@ -231,7 +231,9 @@ fn stale_wal_from_before_a_checkpoint_never_regresses_state() {
         // new values land and a graceful shutdown checkpoints again.
         let store = SecureStore::open(&dir, config).expect("reopen");
         for i in 0..8u64 {
-            store.write(addr(i), &block(i as u8 + 80)).expect("new write");
+            store
+                .write(addr(i), &block(i as u8 + 80))
+                .expect("new write");
         }
         assert!(store.shutdown().all_resealed());
     }
@@ -270,7 +272,11 @@ fn transaction_ids_never_repeat_across_lives() {
         .iter()
         .map(|r| u64::from_le_bytes(r[..8].try_into().expect("8 bytes")))
         .collect();
-    assert_eq!(ids, vec![1, 2, 3], "ids must survive restarts and never repeat");
+    assert_eq!(
+        ids,
+        vec![1, 2, 3],
+        "ids must survive restarts and never repeat"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -294,9 +300,8 @@ fn write_to_prepared_block_is_rejected_until_the_txn_resolves() {
         .expect("submit blocker rmw");
     std::thread::sleep(Duration::from_millis(100));
     std::thread::scope(|scope| {
-        let batch = scope.spawn(|| {
-            store.write_batch_atomic(&[(addr(0), block(0x2A)), (addr(1), block(0x2B))])
-        });
+        let batch = scope
+            .spawn(|| store.write_batch_atomic(&[(addr(0), block(0x2A)), (addr(1), block(0x2B))]));
         std::thread::sleep(Duration::from_millis(100));
         // Shard 0 is prepared and unresolved: mutating its block must
         // bounce, while reading it stays allowed (no read isolation).
@@ -308,7 +313,9 @@ fn write_to_prepared_block_is_rejected_until_the_txn_resolves() {
         batch.join().expect("join").expect("batch commits");
     });
     // Resolved: the held blocks accept writes again.
-    store.write(addr(0), &block(0x99)).expect("write after resolve");
+    store
+        .write(addr(0), &block(0x99))
+        .expect("write after resolve");
     assert_eq!(store.read(addr(0)).expect("read"), block(0x99));
     match session.wait(ticket).expect("blocker rmw completes") {
         StoreValue::Modified(_) => {}

@@ -5,8 +5,17 @@
 //!
 //! Run with: `cargo run --example secure_kv_service`
 //!
+//! The same workload also runs over the wire: start a fresh server
+//! (`cargo run --release --bin ame_server`) and point the example at it
+//! with `cargo run --example secure_kv_service -- --remote 127.0.0.1:4075`.
+//! Puts become CAS retry loops, the pipelined verification rides a
+//! [`PipelinedClient`] window, and the tampering attack arrives as a
+//! wire opcode — the in-process and remote paths are behavior-identical.
+//!
 //! [`SecureStore`]: ame::store::SecureStore
+//! [`PipelinedClient`]: ame::server::PipelinedClient
 
+use ame::server::{Client, ClientError, PipelinedClient, PipelinedValue, WireError};
 use ame::store::{
     SecureStore, SessionConfig, StoreConfig, StoreError, StoreOp, StoreValue, Ticket,
 };
@@ -157,7 +166,164 @@ fn pipelined_get_many(store: &SecureStore, keys: &[String]) -> Vec<Option<String
     results
 }
 
-fn main() {
+/// The wire twin of [`put`]: the claim-or-update races that the
+/// in-process path settles with an owning-shard closure are settled
+/// here with a CAS retry loop — install our record iff the slot still
+/// holds what we last saw; a foreign pre-image means we lost the race
+/// and must re-decide (same slot if the winner was us-keyed, next probe
+/// otherwise).
+fn put_remote(client: &mut Client, key: &str, value: &str) -> Result<(), ClientError> {
+    let record = encode(key, value);
+    'probe: for probe in 0..MAX_PROBE {
+        let slot = (hash(key).wrapping_add(probe)) % SLOTS;
+        let mut expected = client.read(slot * 64)?;
+        loop {
+            let ours = match record_key(&expected) {
+                None => true,
+                Some(k) => k == key.as_bytes(),
+            };
+            if !ours {
+                continue 'probe;
+            }
+            let pre = client.cas(slot * 64, &expected, &record)?;
+            if pre == expected {
+                return Ok(());
+            }
+            // Lost a CAS race: re-decide against the fresh pre-image.
+            expected = pre;
+        }
+    }
+    panic!("probe chain exhausted; grow SLOTS");
+}
+
+fn get_remote(client: &mut Client, key: &str) -> Result<Option<String>, ClientError> {
+    for probe in 0..MAX_PROBE {
+        let slot = (hash(key).wrapping_add(probe)) % SLOTS;
+        let block = client.read(slot * 64)?;
+        match record_key(&block) {
+            None => return Ok(None),
+            Some(k) if k == key.as_bytes() => return Ok(Some(record_value(&block))),
+            Some(_) => {}
+        }
+    }
+    Ok(None)
+}
+
+/// The wire twin of [`pipelined_get_many`]: the same probe-chain state
+/// machine, but the in-flight window is the server-granted request
+/// window of one [`PipelinedClient`] and completions are keyed by
+/// request id instead of ticket. Responses may arrive out of order
+/// across shards; per-shard FIFO still keeps each chain's reads in
+/// submission order.
+fn pipelined_get_many_remote(client: &mut PipelinedClient, keys: &[String]) -> Vec<Option<String>> {
+    let mut results: Vec<Option<String>> = vec![None; keys.len()];
+    let mut todo: VecDeque<(usize, u64)> = (0..keys.len()).map(|i| (i, 0)).collect();
+    let mut in_flight: HashMap<u64, (usize, u64)> = HashMap::new();
+    let mut resolved = 0;
+    while resolved < keys.len() {
+        while let Some(&(idx, probe)) = todo.front() {
+            let slot = (hash(&keys[idx]).wrapping_add(probe)) % SLOTS;
+            match client.submit_read(slot * 64) {
+                Ok(id) => {
+                    todo.pop_front();
+                    in_flight.insert(id, (idx, probe));
+                }
+                // Window full: reap a completion first, then keep filling.
+                Err(ClientError::WindowFull) => break,
+                Err(e) => panic!("pipelined get: {e}"),
+            }
+        }
+        let (id, outcome) = client.recv().expect("pipelined recv");
+        let (idx, probe) = in_flight.remove(&id).expect("known request id");
+        let block = match outcome {
+            Ok(PipelinedValue::Data(block)) => block,
+            other => panic!("pipelined read failed: {other:?}"),
+        };
+        match record_key(&block) {
+            Some(k) if k == keys[idx].as_bytes() => {
+                results[idx] = Some(record_value(&block));
+                resolved += 1;
+            }
+            Some(_) if probe + 1 < MAX_PROBE => todo.push_back((idx, probe + 1)),
+            _ => resolved += 1, // empty slot or chain exhausted: absent
+        }
+    }
+    results
+}
+
+/// The identical workload, served over TCP by a running `ame_server`
+/// (tenant 0): concurrent puts, one pipelined verification pass, a
+/// wire-injected tampering attack, and the served/quarantined census.
+/// Needs a *fresh* server — the attack permanently poisons one shard.
+fn run_remote(addr: &str) {
+    let writers: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.to_owned();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr.as_str(), 0).expect("connect");
+                for i in 0..64 {
+                    let key = format!("user{c}:{i}");
+                    let value = format!("session-{c}-{i}");
+                    put_remote(&mut client, &key, &value).expect("put");
+                }
+                client.goodbye().expect("goodbye");
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    let keys: Vec<String> = (0..4)
+        .flat_map(|c| (0..64).map(move |i| format!("user{c}:{i}")))
+        .collect();
+    let mut pipelined = PipelinedClient::connect(addr, 0, 32).expect("connect");
+    let values = pipelined_get_many_remote(&mut pipelined, &keys);
+    pipelined.goodbye().expect("goodbye");
+    for (c, chunk) in values.chunks(64).enumerate() {
+        for (i, value) in chunk.iter().enumerate() {
+            assert_eq!(value.as_deref(), Some(format!("session-{c}-{i}").as_str()));
+        }
+    }
+    println!("kv service       : 256 records stored remotely, verified via one 32-deep window");
+
+    // The same three-bit attack, delivered as wire opcodes. The MAC+tree
+    // catch it server-side, quarantine the shard, and the rejection
+    // arrives as the typed ShardPoisoned wire error.
+    let mut client = Client::connect(addr, 0).expect("connect");
+    for bit in [5u32, 77, 300] {
+        client.tamper_data_bit(0, bit).expect("tamper injection");
+    }
+    match client.read(0) {
+        Err(ClientError::Wire(WireError::Store(StoreError::ShardPoisoned {
+            shard: 0,
+            cause: Some(cause),
+        }))) => println!("tamper detected  : {cause}"),
+        other => panic!("tampering must be detected, got {other:?}"),
+    }
+    let shards = client.shards();
+    let mut lost = 0;
+    let mut served = 0;
+    for c in 0..4 {
+        for i in 0..64 {
+            match get_remote(&mut client, &format!("user{c}:{i}")) {
+                Ok(Some(_)) => served += 1,
+                Err(ClientError::Wire(WireError::Store(StoreError::ShardPoisoned {
+                    shard: 0,
+                    ..
+                }))) => lost += 1,
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+    }
+    println!(
+        "tampered shard 0 : {served} records still served, {lost} quarantined ({shards} shards)"
+    );
+    client.goodbye().expect("goodbye");
+    println!("remote run done  : server keeps running; stop it with ctrl-c to reseal");
+}
+
+fn run_local() {
     let store = Arc::new(SecureStore::new(StoreConfig {
         shards: 4,
         shard_bytes: SLOTS * 64 / 4,
@@ -250,4 +416,21 @@ fn main() {
         );
     }
     assert!(!report.shards[0].resealed && report.shards[1..].iter().all(|s| s.resealed));
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        None => run_local(),
+        Some("--remote") => {
+            let addr = args
+                .next()
+                .expect("--remote needs an address, e.g. --remote 127.0.0.1:4075");
+            run_remote(&addr);
+        }
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: secure_kv_service [--remote <addr>]");
+            std::process::exit(2);
+        }
+    }
 }

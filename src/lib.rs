@@ -46,6 +46,7 @@ pub use ame_dram as dram;
 pub use ame_ecc as ecc;
 pub use ame_engine as engine;
 pub use ame_persist as persist;
+pub use ame_server as server;
 pub use ame_sim as sim;
 pub use ame_store as store;
 pub use ame_tree as tree;
