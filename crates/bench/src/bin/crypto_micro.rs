@@ -1,13 +1,18 @@
 //! Per-backend crypto microbenchmarks: keystream throughput (single and
 //! batched), Carter-Wegman MAC rate, and GF(2^64) multiply latency, for
-//! the portable reference and — when the CPU has AES-NI + PCLMULQDQ —
-//! the accelerated backend.
+//! every tier the CPU can provide — the portable reference, the AES-NI +
+//! PCLMULQDQ accelerated backend, and the VAES + VPCLMULQDQ wide
+//! backend. Unavailable tiers are skipped (never faked with a slower
+//! tier's numbers).
 //!
 //! Prints the ns/iter table, a GB/s / tags-per-second summary with the
-//! accelerated-over-portable speedups, and writes
-//! `results/crypto_micro.json` (one row per backend × operation) with
-//! the host's CPU features in the metadata so numbers from different
-//! machines are never compared blind.
+//! tier-over-tier speedups, and writes `results/crypto_micro.json` (one
+//! row per backend × operation) with the host's CPU features in the
+//! metadata so numbers from different machines are never compared
+//! blind. Before writing, the artifact passes the provenance gate: if
+//! the document's recorded `crypto_backend` disagrees with the backend
+//! actually serving the process, the run aborts instead of publishing
+//! mislabelled numbers.
 //!
 //! Usage: `cargo run -p ame-bench --bin crypto_micro --release \
 //!     [batch_blocks]`
@@ -85,13 +90,20 @@ fn main() {
     println!("active backend    : {active}");
     println!();
 
-    // Portable always runs; the accelerated row is skipped (not faked
-    // with portable numbers) when the CPU cannot provide it.
+    // Portable always runs; hardware tiers are skipped (not faked with
+    // a slower tier's numbers) when the CPU cannot provide them.
     let mut rows = vec![measure(Backend::Portable, batch_blocks)];
     if backend::accel_available() {
         rows.push(measure(Backend::Accelerated, batch_blocks));
     } else {
         println!("accelerated backend unavailable on this host; portable only");
+    }
+    if backend::wide_available() {
+        rows.push(measure(Backend::Wide, batch_blocks));
+    } else {
+        println!(
+            "wide backend unavailable on this host (needs vaes+vpclmulqdq+avx2); skipping tier"
+        );
     }
     println!();
 
@@ -106,26 +118,41 @@ fn main() {
         );
     }
 
+    // Tier-over-tier before/after lines: each hardware tier against the
+    // one below it, so the headline isolates what each step buys.
     let mut headline = String::from("portable only");
-    if rows.len() == 2 {
-        let (p, a) = (&rows[0], &rows[1]);
-        let ks = a.keystream_batch_gbps() / p.keystream_batch_gbps();
-        let macs = a.mac_tags_per_sec() / p.mac_tags_per_sec();
-        headline = format!("accel vs portable: keystream {ks:.1}x, mac {macs:.1}x");
+    let mut pairs: Vec<(&Measurement, &Measurement)> = Vec::new();
+    for pair in rows.windows(2) {
+        pairs.push((&pair[0], &pair[1]));
+    }
+    if !pairs.is_empty() {
         println!();
+    }
+    for (below, tier) in pairs {
+        let ks_single = tier.keystream_single_gbps() / below.keystream_single_gbps();
+        let ks = tier.keystream_batch_gbps() / below.keystream_batch_gbps();
+        let macs = tier.mac_tags_per_sec() / below.mac_tags_per_sec();
         println!(
-            "accelerated over portable: keystream {:.1}x single / {:.1}x batched, mac {:.1}x, gf64 {:.1}x",
-            a.keystream_single_gbps() / p.keystream_single_gbps(),
+            "{} over {}: keystream {:.1}x single / {:.1}x batched, mac {:.1}x, gf64 {:.1}x",
+            tier.backend.name(),
+            below.backend.name(),
+            ks_single,
             ks,
             macs,
-            p.gf64_ns / a.gf64_ns,
+            below.gf64_ns / tier.gf64_ns,
+        );
+        headline = format!(
+            "{} vs {}: keystream {ks:.1}x, mac {macs:.1}x",
+            tier.backend.name(),
+            below.backend.name()
         );
     }
     println!();
 
     let mut params = Json::object();
     params.push("batch_blocks", batch_blocks as u64);
-    params.push("active_backend", active.name());
+    params.push("crypto_backend", active.name());
+    params.push("wide_shape", backend::wide_shape());
     params.push("cpu_features", features.as_str());
     let json_rows = rows
         .iter()
@@ -146,5 +173,11 @@ fn main() {
         })
         .collect();
     let doc = results::envelope("crypto_micro", params, Json::Arr(json_rows));
+    // Provenance gate: never publish numbers attributed to a backend
+    // the process is not actually serving.
+    if let Err(e) = results::check_backend_provenance(&doc, backend::active().name()) {
+        eprintln!("crypto_micro: refusing to write results: {e}");
+        std::process::exit(1);
+    }
     results::write_and_summarize("crypto_micro", &headline, &doc);
 }

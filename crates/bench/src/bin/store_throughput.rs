@@ -4,13 +4,16 @@
 //! [`SecureStore`](ame_store::SecureStore) at 1, 2, 4, and 8 shards with
 //! **fixed total capacity and footprint**, on a read-heavy uniform mix
 //! (the metadata-cache scaling case) and a zipfian mix (the locality
-//! case), prints the ops/sec tables, and writes
-//! `results/store_throughput.json` with per-shard telemetry.
+//! case), then re-runs the uniform 4-shard point with shard workers
+//! spread across cores — the unpinned-vs-pinned placement pair. Prints
+//! the ops/sec tables and writes `results/store_throughput.json` with
+//! per-shard telemetry (including each worker's observed `pinned_core`,
+//! `-1` where the pin degraded to a no-op).
 //!
 //! Usage: `cargo run -p ame-bench --bin store_throughput --release \
 //!     [clients] [batches_per_client] [batch] [read_pct]`
 
-use ame_bench::store_load::{self, KeyMix, LoadConfig};
+use ame_bench::store_load::{self, KeyMix, LoadConfig, PlacementMode};
 use ame_bench::{parse_arg, results};
 
 fn main() {
@@ -49,6 +52,17 @@ fn main() {
     store_load::print_sweep(&zipf_cfg, &zipfian);
     println!();
 
+    // Placement pair: the uniform 4-shard point once more with shard
+    // workers spread across cores. On a single-node (or single-core)
+    // host the pin is a recorded no-op or a wash — the pair is still
+    // written so the JSON carries the honest before/after.
+    let spread_cfg = LoadConfig {
+        placement: PlacementMode::Spread,
+        ..cfg
+    };
+    let mut placement_pair = run_placement_pair(&uniform, &spread_cfg);
+    println!();
+
     if let Some(ratio) = store_load::scaling_1_to_4(&uniform) {
         println!("uniform read-heavy scaling, 1 -> 4 shards: {ratio:.2}x");
     }
@@ -57,7 +71,33 @@ fn main() {
     }
     println!();
 
-    let (doc, headline) =
-        store_load::to_json(&cfg, &[(KeyMix::Uniform, uniform), (zipf_cfg.mix, zipfian)]);
+    let mut sweeps = vec![(KeyMix::Uniform, uniform), (zipf_cfg.mix, zipfian)];
+    if let Some(pair) = placement_pair.take() {
+        sweeps.push((KeyMix::Uniform, pair));
+    }
+    let (doc, headline) = store_load::to_json(&cfg, &sweeps);
     results::write_and_summarize("store_throughput", &headline, &doc);
+}
+
+/// Runs the spread-placement 4-shard point and prints it against the
+/// unpinned baseline; returns the extra rows for the results JSON (the
+/// unpinned baseline is reused from the main sweep, so the pair costs
+/// one extra run). `None` when the main sweep skipped 4 shards.
+fn run_placement_pair(
+    uniform: &[store_load::SweepPoint],
+    spread_cfg: &LoadConfig,
+) -> Option<Vec<store_load::SweepPoint>> {
+    let baseline = uniform.iter().find(|p| p.shards == 4)?;
+    let spread = store_load::run_point(4, spread_cfg);
+    let ratio = if baseline.ops_per_sec > 0.0 {
+        spread.ops_per_sec / baseline.ops_per_sec
+    } else {
+        0.0
+    };
+    println!(
+        "placement @4 shards: none {:.1} kops/s vs spread {:.1} kops/s ({ratio:.2}x)",
+        baseline.ops_per_sec / 1e3,
+        spread.ops_per_sec / 1e3,
+    );
+    Some(vec![spread])
 }

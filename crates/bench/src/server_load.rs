@@ -82,7 +82,7 @@ pub fn boot_server(cfg: &ServerLoadConfig, max_window: usize) -> std::io::Result
     };
     let tenants = (0..cfg.tenants)
         .map(|id| {
-            let mut spec = TenantSpec::new(id, store);
+            let mut spec = TenantSpec::new(id, store.clone());
             spec.max_window = max_window;
             spec.max_connections = 1024;
             spec
@@ -246,6 +246,15 @@ pub fn to_json(cfg: &ServerLoadConfig, points: &[ServerPoint]) -> (Json, String)
     params.push("footprint_blocks", Json::U64(cfg.footprint_blocks));
     params.push("ops_per_point", Json::U64(cfg.ops_per_point as u64));
     params.push("read_fraction", Json::F64(cfg.read_fraction));
+    // Same provenance record every store-side experiment carries: which
+    // crypto tier served the run, on what silicon, with what placement
+    // (boot_server leaves the store default).
+    params.push("placement", StoreConfig::default().placement.name());
+    params.push("crypto_backend", ame_crypto::backend::active().name());
+    params.push(
+        "cpu_features",
+        ame_crypto::backend::host_features().as_str(),
+    );
 
     let mut rows = Vec::new();
     for p in points {

@@ -28,7 +28,9 @@
 use crate::results;
 use ame_engine::{EngineConfig, BLOCK_BYTES};
 use ame_prng::StdRng;
-use ame_store::{SecureStore, Session, SessionConfig, StoreConfig, StoreError, StoreOp, Ticket};
+use ame_store::{
+    Placement, SecureStore, Session, SessionConfig, StoreConfig, StoreError, StoreOp, Ticket,
+};
 use ame_telemetry::{Histogram, Json};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -143,6 +145,38 @@ impl Sampler {
     }
 }
 
+/// Copyable shard-placement knob for the load drivers — mirrors
+/// [`ame_store::Placement`] minus the explicit core list, so
+/// [`LoadConfig`] stays `Copy` and sweeps can toggle placement like any
+/// other switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// No pinning: the OS scheduler places shard workers freely.
+    None,
+    /// Spread shard workers round-robin across the host's cores.
+    Spread,
+}
+
+impl PlacementMode {
+    /// The store-level placement this knob selects.
+    #[must_use]
+    pub fn to_placement(self) -> Placement {
+        match self {
+            PlacementMode::None => Placement::None,
+            PlacementMode::Spread => Placement::Spread,
+        }
+    }
+
+    /// Stable lowercase label for tables and results JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementMode::None => "none",
+            PlacementMode::Spread => "spread",
+        }
+    }
+}
+
 /// Knobs of one load-generation run (shared across the shard sweep).
 #[derive(Debug, Clone, Copy)]
 pub struct LoadConfig {
@@ -180,6 +214,11 @@ pub struct LoadConfig {
     /// up-front (one verified fetch per 4 KB group boundary) before the
     /// per-block keystream pass.
     pub prefetch_counters: bool,
+    /// Core placement of the store's shard workers (best-effort — on a
+    /// host that cannot pin, the store records a no-op and the results
+    /// JSON still reports what was *requested* here while the per-shard
+    /// `pinned_core` telemetry reports what actually happened).
+    pub placement: PlacementMode,
     /// PRNG seed; every client derives a distinct stream from it.
     pub seed: u64,
 }
@@ -201,6 +240,7 @@ impl Default for LoadConfig {
             fuse_writes: true,
             fuse_reads: true,
             prefetch_counters: true,
+            placement: PlacementMode::None,
             seed: 0x570E,
         }
     }
@@ -211,6 +251,10 @@ impl Default for LoadConfig {
 pub struct SweepPoint {
     /// Shard count of this point.
     pub shards: usize,
+    /// The *requested* worker placement of this point (the per-shard
+    /// `pinned_core` gauges inside `telemetry` record what actually
+    /// happened — `-1` when a pin degraded to a no-op).
+    pub placement: PlacementMode,
     /// Operations completed in the measured window.
     pub ops: u64,
     /// Measured wall-clock seconds.
@@ -278,6 +322,7 @@ fn build_store(shards: usize, cfg: &LoadConfig) -> SecureStore {
             prefetch_counters: cfg.prefetch_counters,
             ..EngineConfig::default()
         },
+        placement: cfg.placement.to_placement(),
     })
 }
 
@@ -397,6 +442,7 @@ pub fn run_point(shards: usize, cfg: &LoadConfig) -> SweepPoint {
     }
     SweepPoint {
         shards,
+        placement: cfg.placement,
         ops,
         elapsed_s,
         ops_per_sec: ops as f64 / elapsed_s,
@@ -730,6 +776,7 @@ pub fn pipeline_to_json(cfg: &LoadConfig, points: &[PipelinePoint]) -> (Json, St
     params.push("max_batch", cfg.max_batch as u64);
     params.push("write_fusion", cfg.fuse_writes);
     params.push("read_fusion", cfg.fuse_reads);
+    params.push("placement", cfg.placement.name());
     params.push("seed", cfg.seed);
     params.push("crypto_backend", ame_crypto::backend::active().name());
     params.push(
@@ -790,6 +837,7 @@ fn point_json(mix: KeyMix, p: &SweepPoint, base_ops_per_sec: f64) -> Json {
     let mut row = Json::object();
     row.push("mix", mix.name());
     row.push("shards", p.shards as u64);
+    row.push("placement", p.placement.name());
     row.push("ops", p.ops);
     row.push("elapsed_s", p.elapsed_s);
     row.push("ops_per_sec", p.ops_per_sec);
@@ -829,6 +877,7 @@ pub fn to_json(cfg: &LoadConfig, sweeps: &[(KeyMix, Vec<SweepPoint>)]) -> (Json,
     params.push("max_batch", cfg.max_batch as u64);
     params.push("write_fusion", cfg.fuse_writes);
     params.push("read_fusion", cfg.fuse_reads);
+    params.push("placement", cfg.placement.name());
     params.push("seed", cfg.seed);
     // Perf numbers are only comparable across runs if we know which
     // crypto implementation served them and on what silicon.
@@ -997,6 +1046,7 @@ pub fn read_fusion_to_json(cfg: &LoadConfig, points: &[ReadFusionPoint]) -> (Jso
     params.push("queue_depth", cfg.queue_depth as u64);
     params.push("max_batch", cfg.max_batch as u64);
     params.push("write_fusion", cfg.fuse_writes);
+    params.push("placement", cfg.placement.name());
     params.push("seed", cfg.seed);
     params.push("crypto_backend", ame_crypto::backend::active().name());
     params.push(

@@ -1,6 +1,8 @@
 //! AES-NI and PCLMULQDQ implementations of the hot primitives.
 //!
-//! **This module is the crate's only `unsafe` surface.** Every function
+//! **This module is one of the crate's two `unsafe` surfaces** (the
+//! other is the VAES/VPCLMULQDQ tier in [`crate::wide`], which
+//! delegates its scalar work and batch tails here). Every function
 //! here is a safe wrapper around a `#[target_feature]` inner function;
 //! the wrappers document the invariant that makes the call sound:
 //! callers reach this module only through [`crate::backend::Backend`]
@@ -63,6 +65,26 @@ pub(crate) fn encrypt_blocks(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]
     // SAFETY: as for `encrypt_block` — feature availability is
     // guaranteed by backend dispatch.
     unsafe { encrypt_blocks_impl(round_keys, blocks) }
+}
+
+/// [`encrypt_blocks`] over 64-byte memory blocks in place: each block's
+/// four 16-byte chunks are encrypted where they lie, with no scratch
+/// buffer or copy-out — the zero-copy spine of the batched keystream.
+pub(crate) fn encrypt_blocks64(
+    round_keys: &[[u8; 16]; 11],
+    blocks: &mut [[u8; crate::BLOCK_BYTES]],
+) {
+    // SAFETY: `[u8; 64]` is exactly four contiguous `[u8; 16]` chunks —
+    // same alignment (1), no padding, identical bit layout — so the
+    // reinterpreted slice covers precisely the same memory with a valid
+    // element type.
+    let chunks = unsafe {
+        core::slice::from_raw_parts_mut(
+            blocks.as_mut_ptr().cast::<[u8; 16]>(),
+            blocks.len() * (crate::BLOCK_BYTES / 16),
+        )
+    };
+    encrypt_blocks(round_keys, chunks);
 }
 
 /// Decrypts one 16-byte block with AES-NI (equivalent inverse cipher:

@@ -111,29 +111,33 @@ pub fn keystream_batch(aes: &Aes128, nonces: &[(u64, u64)]) -> Vec<[u8; BLOCK_BY
 }
 
 /// [`keystream_batch`] on an explicitly chosen backend.
+///
+/// The AES inputs are laid directly into the output vector (each
+/// 64-byte slot holds its four 16-byte chunk nonces) and encrypted in
+/// place via [`Aes128::encrypt_blocks64_with`] — no scratch block array
+/// and no copy-out reshape, which is what lets the wide tier's raw
+/// throughput reach the caller.
 #[must_use]
 pub fn keystream_batch_with(
     backend: Backend,
     aes: &Aes128,
     nonces: &[(u64, u64)],
 ) -> Vec<[u8; BLOCK_BYTES]> {
-    let mut chunks = vec![[0u8; 16]; nonces.len() * CHUNKS];
-    for (i, &(addr, counter)) in nonces.iter().enumerate() {
-        fill_nonces(addr, counter, &mut chunks[i * CHUNKS..(i + 1) * CHUNKS]);
+    let mut out = vec![[0u8; BLOCK_BYTES]; nonces.len()];
+    for (block, &(addr, counter)) in out.iter_mut().zip(nonces) {
+        for chunk in 0..CHUNKS {
+            block[chunk * 16..(chunk + 1) * 16].copy_from_slice(&nonce_block(
+                addr,
+                counter,
+                chunk as u8,
+                DOMAIN_KEYSTREAM,
+            ));
+        }
     }
-    aes.encrypt_blocks_with(backend, &mut chunks);
-    backend::count_keystream(backend, nonces.len() as u64, chunks.len() as u64);
+    aes.encrypt_blocks64_with(backend, &mut out);
+    backend::count_keystream(backend, nonces.len() as u64, (nonces.len() * CHUNKS) as u64);
     backend::count_batch(backend);
-    chunks
-        .chunks_exact(CHUNKS)
-        .map(|group| {
-            let mut out = [0u8; BLOCK_BYTES];
-            for (chunk, ks) in group.iter().enumerate() {
-                out[chunk * 16..(chunk + 1) * 16].copy_from_slice(ks);
-            }
-            out
-        })
-        .collect()
+    out
 }
 
 /// Generates a 16-byte pad for MAC masking, bound to the same

@@ -30,8 +30,9 @@
 //! ```
 
 // The crate is `unsafe`-free except for the audited intrinsics in
-// [`accel`], which opts back in with `#![allow(unsafe_code)]` and keeps
-// every unsafe block behind a documented safety invariant.
+// [`accel`] and [`wide`], which opt back in with
+// `#![allow(unsafe_code)]` and keep every unsafe block behind a
+// documented safety invariant.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -41,6 +42,8 @@ pub mod aes;
 pub mod backend;
 pub mod ctr;
 pub mod mac;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod wide;
 
 use aes::Aes128;
 use std::sync::Arc;

@@ -1,0 +1,312 @@
+//! VAES + VPCLMULQDQ implementations of the batched hot primitives —
+//! the `Backend::Wide` tier.
+//!
+//! **This module is one of the crate's two `unsafe` surfaces** (the
+//! other is [`crate::accel`]). Every function here is a safe wrapper
+//! around a `#[target_feature]` inner function; the wrappers document
+//! the invariant that makes the call sound: callers reach this module
+//! only through [`crate::backend::Backend`] dispatch, and
+//! [`crate::backend::active`] never selects
+//! [`Backend::Wide`](crate::backend::Backend::Wide) unless
+//! `is_x86_feature_detected!` confirmed `vaes`, `vpclmulqdq` and `avx2`
+//! (plus the `aes`/`pclmulqdq` baseline the tail paths delegate to).
+//! Each wrapper additionally `debug_assert!`s that capability.
+//!
+//! Two register shapes, chosen per process by CPU probe:
+//!
+//! * **vaes512** (AVX-512F): round keys broadcast into zmm registers
+//!   with `_mm512_broadcast_i32x4`; each `_mm512_aesenc_epi128`
+//!   advances **four** AES blocks one round. Four zmm accumulators stay
+//!   in flight, so one inner-loop iteration carries 16 blocks.
+//! * **vaes256** (AVX2 fallback): the same structure over ymm registers
+//!   (`_mm256_aesenc_epi128`, two blocks per instruction), eight
+//!   accumulators in flight — still 16 blocks per iteration, matching
+//!   the `aesenc` latency/throughput ratio.
+//!
+//! Batch tails (fewer than 16 blocks remaining) and all single-block
+//! work go through [`crate::accel`] — `wide_available()` implies
+//! `accel_available()`, making the wide tier a strict superset.
+//!
+//! The Carter-Wegman polynomial hash is GF(2^64) Horner evaluation,
+//! which is serial in the message words. [`poly_hash`] splits the
+//! eight-word chain into two four-word chains run in the two 128-bit
+//! lanes of one ymm register (`_mm256_clmulepi64_epi128` multiplies
+//! both lanes per instruction) and recombines as `A·H⁴ ^ B` — halving
+//! the serial carry-less-multiply depth per block.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m256i, _mm256_aesenc_epi128, _mm256_aesenclast_epi128, _mm256_broadcastsi128_si256,
+    _mm256_clmulepi64_epi128, _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_set_epi64x,
+    _mm256_setzero_si256, _mm256_storeu_si256, _mm256_xor_si256, _mm512_aesenc_epi128,
+    _mm512_aesenclast_epi128, _mm512_broadcast_i32x4, _mm512_loadu_si512, _mm512_storeu_si512,
+    _mm512_xor_si512, _mm_cvtsi128_si64, _mm_loadu_si128,
+};
+
+/// Blocks advanced by one wide inner-loop iteration (both shapes).
+pub const GROUP_BLOCKS: usize = 16;
+
+/// Low 64 bits of the GF(2^64) reduction polynomial
+/// `x^64 + x^4 + x^3 + x + 1` (kept in sync with [`crate::mac`]).
+const POLY: u64 = 0x1b;
+
+#[inline]
+fn assert_capable() {
+    debug_assert!(
+        crate::backend::wide_available(),
+        "wide entered without vaes+vpclmulqdq+avx2 (backend dispatch bug)"
+    );
+}
+
+/// `true` when the 512-bit shape is usable (AVX-512F on top of the
+/// wide baseline). Probed per call site; the detection macro caches.
+#[inline]
+fn shape_512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+/// Encrypts every 16-byte block in `blocks` in place, four blocks per
+/// AES instruction, sixteen blocks per inner-loop iteration. The tail
+/// (fewer than [`GROUP_BLOCKS`] blocks) runs on the AES-NI path.
+pub(crate) fn encrypt_blocks(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+    assert_capable();
+    let tail_start = blocks.len() - blocks.len() % GROUP_BLOCKS;
+    let (groups, tail) = blocks.split_at_mut(tail_start);
+    if !groups.is_empty() {
+        if shape_512() {
+            // SAFETY: reached only via `Backend::Wide` dispatch (or the
+            // backend self-test), both gated on `wide_available()`, and
+            // `shape_512` just confirmed `avx512f`.
+            unsafe { encrypt_groups_512(round_keys, groups) }
+        } else {
+            // SAFETY: as above — `wide_available()` guarantees
+            // `vaes`+`avx2`.
+            unsafe { encrypt_groups_256(round_keys, groups) }
+        }
+    }
+    if !tail.is_empty() {
+        crate::accel::encrypt_blocks(round_keys, tail);
+    }
+}
+
+/// [`encrypt_blocks`] over 64-byte memory blocks in place — the wide
+/// tier's zero-copy batched-keystream entry point. Each 64-byte block
+/// is four 16-byte AES chunks laid out contiguously, so a batch of `n`
+/// memory blocks is one `4n`-chunk run for the VAES kernel: no scratch
+/// buffer, no copy-out.
+pub(crate) fn encrypt_blocks64(
+    round_keys: &[[u8; 16]; 11],
+    blocks: &mut [[u8; crate::BLOCK_BYTES]],
+) {
+    // SAFETY: `[u8; 64]` is exactly four contiguous `[u8; 16]` chunks —
+    // same alignment (1), no padding, identical bit layout — so the
+    // reinterpreted slice covers precisely the same memory with a valid
+    // element type.
+    let chunks = unsafe {
+        core::slice::from_raw_parts_mut(
+            blocks.as_mut_ptr().cast::<[u8; 16]>(),
+            blocks.len() * (crate::BLOCK_BYTES / 16),
+        )
+    };
+    encrypt_blocks(round_keys, chunks);
+}
+
+/// Two-lane Horner evaluation of the polynomial hash over a 64-byte
+/// block under hash key `h` — bit-identical to
+/// [`crate::mac::poly_hash_with`] on the portable backend.
+#[must_use]
+pub(crate) fn poly_hash(h: u64, block: &[u8; crate::BLOCK_BYTES]) -> u64 {
+    assert_capable();
+    // SAFETY: reached only via `Backend::Wide` dispatch (or the backend
+    // self-test), both gated on `wide_available()` which confirms
+    // `vpclmulqdq`+`avx2` (and the `pclmulqdq` scalar baseline used for
+    // the final recombination).
+    unsafe { poly_hash_impl(h, block) }
+}
+
+// ---- inner implementations ----
+//
+// `#[target_feature]` makes these callable only when the named features
+// are known present; the safe wrappers above carry the proof.
+
+#[target_feature(enable = "avx512f", enable = "vaes")]
+unsafe fn encrypt_groups_512(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+    debug_assert_eq!(blocks.len() % GROUP_BLOCKS, 0);
+    // Each round key broadcast to all four 128-bit lanes, once per batch.
+    let rk = core::array::from_fn::<_, 11, _>(|i| {
+        _mm512_broadcast_i32x4(_mm_loadu_si128(round_keys[i].as_ptr().cast()))
+    });
+    for group in blocks.chunks_exact_mut(GROUP_BLOCKS) {
+        // Four zmm accumulators = 16 independent AES streams: interleave
+        // every round so the VAES units stay saturated instead of
+        // stalling on `aesenc` latency.
+        let base = group.as_mut_ptr().cast::<u8>();
+        let mut s =
+            core::array::from_fn::<_, 4, _>(|i| _mm512_loadu_si512(base.add(i * 64).cast()));
+        for lane in &mut s {
+            *lane = _mm512_xor_si512(*lane, rk[0]);
+        }
+        for key in &rk[1..10] {
+            for lane in &mut s {
+                *lane = _mm512_aesenc_epi128(*lane, *key);
+            }
+        }
+        for (i, lane) in s.iter().enumerate() {
+            let last = _mm512_aesenclast_epi128(*lane, rk[10]);
+            _mm512_storeu_si512(base.add(i * 64).cast(), last);
+        }
+    }
+}
+
+#[target_feature(enable = "avx2", enable = "vaes")]
+unsafe fn encrypt_groups_256(round_keys: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+    debug_assert_eq!(blocks.len() % GROUP_BLOCKS, 0);
+    let rk = core::array::from_fn::<_, 11, _>(|i| {
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(round_keys[i].as_ptr().cast()))
+    });
+    for group in blocks.chunks_exact_mut(GROUP_BLOCKS) {
+        // Eight ymm accumulators = 16 independent AES streams, two per
+        // instruction.
+        let base = group.as_mut_ptr().cast::<u8>();
+        let mut s =
+            core::array::from_fn::<_, 8, _>(|i| _mm256_loadu_si256(base.add(i * 32).cast()));
+        for lane in &mut s {
+            *lane = _mm256_xor_si256(*lane, rk[0]);
+        }
+        for key in &rk[1..10] {
+            for lane in &mut s {
+                *lane = _mm256_aesenc_epi128(*lane, *key);
+            }
+        }
+        for (i, lane) in s.iter().enumerate() {
+            let last = _mm256_aesenclast_epi128(*lane, rk[10]);
+            _mm256_storeu_si256(base.add(i * 32).cast(), last);
+        }
+    }
+}
+
+/// One two-lane Horner step: `acc ← reduce((acc ^ m) · H)` in both
+/// 128-bit lanes at once. Only the low qword of each lane is
+/// meaningful; the high qwords carry fold garbage that the next step's
+/// selector-`0x00` multiply never reads.
+#[inline]
+#[target_feature(enable = "avx2", enable = "vpclmulqdq")]
+unsafe fn horner_step(acc: __m256i, m: __m256i, h: __m256i, poly: __m256i) -> __m256i {
+    let t = _mm256_xor_si256(acc, m);
+    // Per-lane 64×64→128 product of the low qwords.
+    let p = _mm256_clmulepi64_epi128::<0x00>(t, h);
+    // Reduce modulo x^64 + x^4 + x^3 + x + 1: fold the high qword twice
+    // (selector 0x01 multiplies each lane's *high* qword by POLY). The
+    // first fold's high part has at most 4 bits, so the second fold's
+    // high part is zero — identical to the portable reduction.
+    let f1 = _mm256_clmulepi64_epi128::<0x01>(p, poly);
+    let f2 = _mm256_clmulepi64_epi128::<0x01>(f1, poly);
+    _mm256_xor_si256(_mm256_xor_si256(p, f1), f2)
+}
+
+#[target_feature(
+    enable = "avx2",
+    enable = "vpclmulqdq",
+    enable = "pclmulqdq",
+    enable = "sse2"
+)]
+unsafe fn poly_hash_impl(h: u64, block: &[u8; crate::BLOCK_BYTES]) -> u64 {
+    let mut words = [0u64; 8];
+    for (w, chunk) in words.iter_mut().zip(block.chunks_exact(8)) {
+        *w = u64::from_le_bytes(chunk.try_into().unwrap());
+    }
+    // The sequential Horner result is Σ mᵢ·H^(8-i). Split at word 4:
+    //   A = Horner(m0..m3) = Σ_{i<4} mᵢ·H^(4-i)
+    //   B = Horner(m4..m7) = Σ_{i<4} m₄₊ᵢ·H^(4-i)
+    //   full = A·H⁴ ^ B
+    // Lane 0 runs the A chain, lane 1 the B chain — four serial steps
+    // instead of eight.
+    let h_v = _mm256_set_epi64x(0, h as i64, 0, h as i64);
+    let poly = _mm256_set_epi64x(0, POLY as i64, 0, POLY as i64);
+    let mut acc = _mm256_setzero_si256();
+    for i in 0..4 {
+        let m = _mm256_set_epi64x(0, words[4 + i] as i64, 0, words[i] as i64);
+        acc = horner_step(acc, m, h_v, poly);
+    }
+    let a = _mm_cvtsi128_si64(_mm256_extracti128_si256::<0>(acc)) as u64;
+    let b = _mm_cvtsi128_si64(_mm256_extracti128_si256::<1>(acc)) as u64;
+    // H⁴ by two squarings on the scalar PCLMULQDQ path, then recombine.
+    let h2 = crate::accel::gf64_mul(h, h);
+    let h4 = crate::accel::gf64_mul(h2, h2);
+    crate::accel::gf64_mul(a, h4) ^ b
+}
+
+#[cfg(test)]
+mod tests {
+    //! Direct unit tests of the wide intrinsic paths (the broader
+    //! randomized tier-pair equivalence lives in
+    //! `tests/backend_crosscheck.rs`).
+    use super::*;
+    use crate::aes::Aes128;
+    use crate::backend::Backend;
+
+    fn capable() -> bool {
+        crate::backend::wide_available()
+    }
+
+    #[test]
+    fn wide_batch_matches_portable_across_remainders() {
+        if !capable() {
+            return;
+        }
+        let aes = Aes128::new(&[0x77; 16]);
+        // Lengths straddling the 16-block group width exercise both the
+        // wide main loop and the AES-NI tail.
+        for n in [0usize, 1, 15, 16, 17, 31, 32, 33, 48, 100] {
+            let mut batch: Vec<[u8; 16]> = (0..n)
+                .map(|i| core::array::from_fn(|j| (i * 37 + j * 5) as u8))
+                .collect();
+            let expected: Vec<[u8; 16]> = batch
+                .iter()
+                .map(|b| aes.encrypt_block_with(Backend::Portable, b))
+                .collect();
+            encrypt_blocks(aes.round_keys(), &mut batch);
+            assert_eq!(batch, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn wide_poly_hash_matches_portable() {
+        if !capable() {
+            return;
+        }
+        let mut block = [0u8; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(0x4d).wrapping_add(3);
+        }
+        for h in [1u64, 0x1b, 0x9e37_79b9_7f4a_7c15, u64::MAX, 1 << 63] {
+            assert_eq!(
+                poly_hash(h, &block),
+                crate::mac::poly_hash_with(Backend::Portable, h, &block),
+                "h={h:#x}"
+            );
+        }
+        // Degenerate messages too: all-zero, single-bit, all-ones.
+        for block in [[0u8; 64], {
+            let mut b = [0u8; 64];
+            b[0] = 1;
+            b
+        }] {
+            for h in [3u64, u64::MAX] {
+                assert_eq!(
+                    poly_hash(h, &block),
+                    crate::mac::poly_hash_with(Backend::Portable, h, &block)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_is_reported() {
+        if !capable() {
+            return;
+        }
+        let shape = crate::backend::wide_shape();
+        assert!(shape == "vaes512" || shape == "vaes256", "{shape}");
+    }
+}

@@ -121,7 +121,7 @@ fn main() {
     };
     let tenants = (0..args.tenants)
         .map(|id| {
-            let mut spec = TenantSpec::new(id, template);
+            let mut spec = TenantSpec::new(id, template.clone());
             spec.max_connections = args.max_conns;
             spec.max_window = args.max_window;
             spec.persist_dir = args.persist.as_ref().map(|d| d.join(format!("tenant{id}")));

@@ -1,0 +1,82 @@
+//! Quarantined `sched_setaffinity(2)` binding for shard-worker core
+//! pinning.
+//!
+//! **This module is the crate's only `unsafe` surface** — the same
+//! pattern as the `signal(2)` binding in the server binary: the
+//! workspace links no libc crate, so the one syscall wrapper we need is
+//! declared by hand and wrapped in a safe function. Everything is
+//! best-effort by design: [`pin_current_thread`] returns whether the
+//! kernel accepted the mask, and callers record a no-op instead of
+//! failing — placement is a performance hint, never a correctness
+//! requirement ([`crate::Placement`]).
+
+#![allow(unsafe_code)]
+
+#[cfg(target_os = "linux")]
+mod imp {
+    // Large enough for 1024 CPUs — the kernel only reads `cpusetsize`
+    // bytes, and glibc's `cpu_set_t` is exactly this 128-byte shape.
+    const MASK_WORDS: usize = 16;
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    pub fn pin_current_thread(core: usize) -> bool {
+        if core >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        // SAFETY: `mask` is a live, properly sized buffer for the
+        // `cpusetsize` we pass; pid 0 targets the calling thread; the
+        // call reads the mask and touches no other memory.
+        let rc = unsafe { sched_setaffinity(0, core::mem::size_of_val(&mask), mask.as_ptr()) };
+        rc == 0
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub fn pin_current_thread(_core: usize) -> bool {
+        false
+    }
+}
+
+/// Pins the calling thread to `core`. Returns `false` (and changes
+/// nothing) when the host cannot honour the request — core out of
+/// range, kernel rejection, or a non-Linux OS.
+pub(crate) fn pin_current_thread(core: usize) -> bool {
+    imp::pin_current_thread(core)
+}
+
+/// The host's available parallelism (used by [`crate::Placement::Spread`]
+/// to lay shards round-robin across cores); 1 when unknown.
+pub(crate) fn core_count() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_core_is_a_clean_no_op() {
+        assert!(!pin_current_thread(usize::MAX));
+        assert!(!pin_current_thread(16 * 64));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_to_core_zero_succeeds_on_linux() {
+        // Core 0 exists on every Linux host; pin a scratch thread (not
+        // the test runner's) so the suite's scheduling is untouched.
+        let pinned = std::thread::spawn(|| pin_current_thread(0)).join().unwrap();
+        assert!(pinned);
+    }
+
+    #[test]
+    fn core_count_is_positive() {
+        assert!(core_count() >= 1);
+    }
+}

@@ -51,9 +51,10 @@
 //! assert!(report.shards.iter().all(|s| s.resealed));
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod affinity;
 mod session;
 mod shard;
 mod wal;
@@ -81,8 +82,57 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use wal::{read_committed_txns, recover_shard, ShardBoot};
 
+/// How shard worker threads are placed on CPU cores.
+///
+/// Placement is a **performance hint, never a correctness requirement**:
+/// when the host cannot honour a pin (non-Linux OS, core index past the
+/// kernel's cpuset width, or a kernel rejection) the worker records the
+/// attempt as a no-op — [`SecureStore::pinned_core`] returns `None` and
+/// the `pinned_core` telemetry gauge reads `-1` — and serves unpinned.
+/// It never fails the boot and never silently claims to be pinned.
+///
+/// Pinning happens *before* the worker builds its shard image (fresh
+/// region or crash recovery), so every page of the shard's DRAM image is
+/// first-touched from the pinned core: on NUMA hosts with default
+/// first-touch policy the image lands in the worker's local node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// No pinning (the default): the OS scheduler places workers freely.
+    #[default]
+    None,
+    /// Pin shard `s` to `cores[s % cores.len()]`. An explicit core list
+    /// lets deployments align shards with a NUMA topology (e.g. all of
+    /// node 0's cores first). An empty list pins nothing.
+    Pinned(Vec<usize>),
+    /// Spread shards round-robin across the host's available cores
+    /// (shard `s` on core `s % available_parallelism`).
+    Spread,
+}
+
+impl Placement {
+    /// Stable lowercase label, recorded in benchmark results JSON.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Placement::None => "none",
+            Placement::Pinned(_) => "pinned",
+            Placement::Spread => "spread",
+        }
+    }
+
+    /// The core shard `shard`'s worker should pin to, if any.
+    #[must_use]
+    pub fn core_for(&self, shard: usize) -> Option<usize> {
+        match self {
+            Placement::None => None,
+            Placement::Pinned(cores) => (!cores.is_empty()).then(|| cores[shard % cores.len()]),
+            Placement::Spread => Some(shard % affinity::core_count()),
+        }
+    }
+}
+
 /// Configuration of a [`SecureStore`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StoreConfig {
     /// Number of shards (worker threads / independent engines).
     pub shards: usize,
@@ -117,6 +167,9 @@ pub struct StoreConfig {
     /// Engine configuration template; each shard derives an independent
     /// key seed from it via [`EngineConfig::for_tenant`].
     pub engine: EngineConfig,
+    /// Core placement of the shard worker threads (best-effort; see
+    /// [`Placement`]).
+    pub placement: Placement,
 }
 
 impl Default for StoreConfig {
@@ -131,6 +184,7 @@ impl Default for StoreConfig {
             wal_rotate_bytes: 1 << 20,
             tenant: 0,
             engine: EngineConfig::default(),
+            placement: Placement::None,
         }
     }
 }
@@ -370,32 +424,17 @@ impl SecureStore {
         );
         assert!(config.queue_depth > 0, "queues must hold at least one slot");
         assert!(config.max_batch > 0, "service batches need at least one op");
-        let committed = match &persist {
+        let committed = Arc::new(match &persist {
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
                 read_committed_txns(&dir.join("txns.log"))
             }
             None => HashSet::new(),
-        };
+        });
         let mut senders = Vec::with_capacity(config.shards);
         let mut shared = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for s in 0..config.shards {
-            let boot = match &persist {
-                // A missing shard directory recovers to a fresh region
-                // with an empty log — creation and recovery are the same
-                // path, so they cannot drift apart.
-                Some(dir) => recover_shard(&config, s, dir, &committed)?,
-                None => ShardBoot {
-                    region: SecureRegion::new(
-                        config.engine.for_tenant(config.tenant, s),
-                        config.shard_bytes,
-                    ),
-                    poisoned: None,
-                    dead: false,
-                    persist: None,
-                },
-            };
             let (tx, rx): (SyncSender<Request>, Receiver<Request>) =
                 sync_channel(config.queue_depth);
             let sh = Arc::new(ShardShared::default());
@@ -405,23 +444,91 @@ impl SecureStore {
                 .engine
                 .for_tenant(config.tenant, s + config.shards)
                 .seed;
-            let worker = ShardWorker::new(
-                s,
-                boot.region,
-                reseal_seed,
-                config.max_batch,
-                config.fuse_writes,
-                config.fuse_reads,
-                Arc::clone(&sh),
-            )
-            .with_persist(boot.persist)
-            .with_boot_failure(boot.poisoned, boot.dead);
+            // The shard image is built *on the worker thread, after
+            // pinning*, so its pages are first-touched from the shard's
+            // own core — on NUMA hosts with the default first-touch
+            // policy the DRAM image and recovery replay land in the
+            // worker's local node. Boot I/O errors come back over a
+            // one-shot channel; booting shard-by-shard preserves the
+            // pre-placement serial-boot semantics.
+            let core = config.placement.core_for(s);
+            let boot_config = config.clone();
+            let boot_persist = persist.clone();
+            let boot_committed = Arc::clone(&committed);
+            let worker_shared = Arc::clone(&sh);
+            let (booted_tx, booted_rx) = sync_channel::<io::Result<()>>(1);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ame-shard{s}"))
-                    .spawn(move || worker.run(&rx))
+                    .spawn(move || {
+                        if let Some(core) = core {
+                            if affinity::pin_current_thread(core) {
+                                worker_shared
+                                    .pinned_core
+                                    .store(core as i64, Ordering::Relaxed);
+                            }
+                        }
+                        let boot = match &boot_persist {
+                            // A missing shard directory recovers to a
+                            // fresh region with an empty log — creation
+                            // and recovery are the same path, so they
+                            // cannot drift apart.
+                            Some(dir) => {
+                                match recover_shard(&boot_config, s, dir, &boot_committed) {
+                                    Ok(boot) => boot,
+                                    Err(e) => {
+                                        let _ = booted_tx.send(Err(e));
+                                        return SealReport {
+                                            shard: s,
+                                            resealed: false,
+                                            poisoned: None,
+                                        };
+                                    }
+                                }
+                            }
+                            None => ShardBoot {
+                                region: SecureRegion::new(
+                                    boot_config.engine.for_tenant(boot_config.tenant, s),
+                                    boot_config.shard_bytes,
+                                ),
+                                poisoned: None,
+                                dead: false,
+                                persist: None,
+                            },
+                        };
+                        let worker = ShardWorker::new(
+                            s,
+                            boot.region,
+                            reseal_seed,
+                            boot_config.max_batch,
+                            boot_config.fuse_writes,
+                            boot_config.fuse_reads,
+                            worker_shared,
+                        )
+                        .with_persist(boot.persist)
+                        .with_boot_failure(boot.poisoned, boot.dead);
+                        let _ = booted_tx.send(Ok(()));
+                        worker.run(&rx)
+                    })
                     .expect("spawn shard worker"),
             );
+            let booted = match booted_rx.recv() {
+                Ok(result) => result,
+                Err(_) => Err(io::Error::other(format!(
+                    "shard {s} worker died during boot"
+                ))),
+            };
+            if let Err(e) = booted {
+                // Tear the partially booted store down: closing the
+                // queues lets the already-running workers drain and exit
+                // before the error propagates.
+                drop(tx);
+                drop(senders);
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(e);
+            }
             senders.push(tx);
             shared.push(sh);
         }
@@ -569,6 +676,21 @@ impl SecureStore {
     #[must_use]
     pub fn overloads(&self, shard: usize) -> u64 {
         self.shared[shard].overloads.load(Ordering::Relaxed)
+    }
+
+    /// The core shard `shard`'s worker actually pinned itself to, or
+    /// `None` if placement was off or the pin was recorded as a no-op
+    /// (unsupported host, out-of-range core, kernel rejection). This is
+    /// the *observed* placement, not the requested one — the honest
+    /// record benchmarks embed next to their numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    #[must_use]
+    pub fn pinned_core(&self, shard: usize) -> Option<usize> {
+        let core = self.shared[shard].pinned_core.load(Ordering::Relaxed);
+        usize::try_from(core).ok()
     }
 
     /// Reads and verifies the 64-byte block at `addr`, waiting for queue
@@ -936,7 +1058,8 @@ impl SecureStore {
     /// `batch_size`/`service_latency_ns`/`queue_wait_ns`/`fused_writes`/
     /// `fused_reads`/`counter_fetch_amortization`/
     /// `queue_depth_seen` histograms, the instantaneous `queue_depth`
-    /// gauge and `overloads` counter,
+    /// gauge, the `overloads` counter, the `pinned_core` gauge (the core
+    /// the worker pinned to, `-1` when unpinned),
     /// and the shard engine's own metrics under
     /// `<scope>/shard<N>/engine/...`.
     ///
@@ -948,6 +1071,11 @@ impl SecureStore {
         registry.set_gauge(
             &format!("{scope}/crypto/backend_accelerated"),
             u64::from(ame_crypto::backend::active().is_accelerated()) as f64,
+        );
+        // Tier index contract: 0 = portable, 1 = accelerated, 2 = wide.
+        registry.set_gauge(
+            &format!("{scope}/crypto/backend_tier"),
+            ame_crypto::backend::active().index() as f64,
         );
         for backend in ame_crypto::backend::Backend::ALL {
             let ops = ame_crypto::backend::ops(backend);
@@ -977,6 +1105,10 @@ impl SecureStore {
             registry.set_counter(
                 &format!("{prefix}/overloads"),
                 self.shared[shard].overloads.load(Ordering::Relaxed),
+            );
+            registry.set_gauge(
+                &format!("{prefix}/pinned_core"),
+                self.shared[shard].pinned_core.load(Ordering::Relaxed) as f64,
             );
             for (path, value) in report.engine.iter() {
                 let full = format!("{prefix}/engine/{path}");
@@ -1269,6 +1401,99 @@ mod tests {
                 .unwrap()
                 > 0
         );
+        let _ = store.shutdown();
+    }
+
+    #[test]
+    fn placement_core_mapping() {
+        assert_eq!(Placement::None.core_for(3), None);
+        assert_eq!(Placement::Pinned(vec![]).core_for(0), None);
+        let pinned = Placement::Pinned(vec![4, 9]);
+        assert_eq!(pinned.core_for(0), Some(4));
+        assert_eq!(pinned.core_for(1), Some(9));
+        assert_eq!(pinned.core_for(2), Some(4));
+        // Spread always lands inside the host's core range.
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        for s in 0..8 {
+            let core = Placement::Spread.core_for(s).unwrap();
+            assert!(core < cores, "shard {s} on core {core} of {cores}");
+        }
+        assert_eq!(Placement::None.name(), "none");
+        assert_eq!(pinned.name(), "pinned");
+        assert_eq!(Placement::Spread.name(), "spread");
+    }
+
+    #[test]
+    fn spread_placement_pins_and_reports() {
+        let store = SecureStore::new(StoreConfig {
+            shards: 2,
+            shard_bytes: 1 << 16,
+            placement: Placement::Spread,
+            ..StoreConfig::default()
+        });
+        store.write(0, &[3; 64]).unwrap();
+        assert_eq!(store.read(0).unwrap(), [3; 64]);
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        for s in 0..2 {
+            // On Linux the pin must take (Spread only requests existing
+            // cores); elsewhere it must be a recorded no-op, never a lie.
+            let observed = store.pinned_core(s);
+            if cfg!(target_os = "linux") {
+                assert_eq!(observed, Some(s % cores), "shard {s}");
+            } else {
+                assert_eq!(observed, None, "shard {s}");
+            }
+        }
+        let snap = store.telemetry();
+        for s in 0..2 {
+            let gauge = snap.gauge(&format!("store/shard{s}/pinned_core")).unwrap();
+            let expected = store.pinned_core(s).map_or(-1.0, |c| c as f64);
+            assert_eq!(gauge, expected, "shard {s}");
+        }
+        // The backend tier gauge mirrors the process-wide active tier.
+        assert_eq!(
+            snap.gauge("store/crypto/backend_tier"),
+            Some(ame_crypto::backend::active().index() as f64)
+        );
+        let _ = store.shutdown();
+    }
+
+    #[test]
+    fn unsatisfiable_pin_is_a_recorded_noop() {
+        // Core 1024 is past the affinity mask width on every host, so
+        // the pin degrades to a recorded no-op: the store still boots,
+        // serves, and reports -1 — placement is a hint, not a gate.
+        let store = SecureStore::new(StoreConfig {
+            shards: 1,
+            shard_bytes: 1 << 16,
+            placement: Placement::Pinned(vec![1024]),
+            ..StoreConfig::default()
+        });
+        store.write(0, &[7; 64]).unwrap();
+        assert_eq!(store.read(0).unwrap(), [7; 64]);
+        assert_eq!(store.pinned_core(0), None);
+        let snap = store.telemetry();
+        assert_eq!(snap.gauge("store/shard0/pinned_core"), Some(-1.0));
+        let _ = store.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn explicit_pin_to_core_zero_is_observed() {
+        let store = SecureStore::new(StoreConfig {
+            shards: 2,
+            shard_bytes: 1 << 16,
+            placement: Placement::Pinned(vec![0]),
+            ..StoreConfig::default()
+        });
+        for b in 0..16u64 {
+            store.write(b * 64, &[b as u8; 64]).unwrap();
+        }
+        for b in 0..16u64 {
+            assert_eq!(store.read(b * 64).unwrap(), [b as u8; 64]);
+        }
+        assert_eq!(store.pinned_core(0), Some(0));
+        assert_eq!(store.pinned_core(1), Some(0));
         let _ = store.shutdown();
     }
 

@@ -45,13 +45,13 @@ fn graceful_shutdown_then_reopen_serves_all_writes() {
     let dir = temp_dir("graceful");
     let config = small_config();
     {
-        let store = SecureStore::open(&dir, config).expect("open fresh");
+        let store = SecureStore::open(&dir, config.clone()).expect("open fresh");
         for i in 0..16u64 {
             store.write(addr(i), &block(i as u8 + 1)).expect("write");
         }
         assert!(store.shutdown().all_resealed());
     }
-    let store = SecureStore::open(&dir, config).expect("reopen");
+    let store = SecureStore::open(&dir, config.clone()).expect("reopen");
     for i in 0..16u64 {
         assert_eq!(store.read(addr(i)).expect("read"), block(i as u8 + 1));
     }
@@ -66,7 +66,7 @@ fn crash_preserves_every_acked_write() {
     // cut, so recovery must surface all of them — the scalar writes,
     // the overwrites, and the pipelined (fused) session run alike.
     {
-        let store = SecureStore::open(&dir, config).expect("open fresh");
+        let store = SecureStore::open(&dir, config.clone()).expect("open fresh");
         for i in 0..8u64 {
             store.write(addr(i), &block(0xAA)).expect("seed write");
         }
@@ -90,7 +90,7 @@ fn crash_preserves_every_acked_write() {
         drop(session);
         store.simulate_crash();
     }
-    let store = SecureStore::open(&dir, config).expect("recover");
+    let store = SecureStore::open(&dir, config.clone()).expect("recover");
     for i in 0..32u64 {
         assert_eq!(
             store.read(addr(i)).expect("recovered read"),
@@ -106,7 +106,7 @@ fn repeated_crash_reopen_cycles_converge() {
     let dir = temp_dir("cycles");
     let config = small_config();
     for round in 0..4u64 {
-        let store = SecureStore::open(&dir, config).expect("open");
+        let store = SecureStore::open(&dir, config.clone()).expect("open");
         // Prior rounds' writes must still be there before this round
         // adds its own.
         for i in 0..round * 4 {
@@ -117,7 +117,7 @@ fn repeated_crash_reopen_cycles_converge() {
         }
         store.simulate_crash();
     }
-    let store = SecureStore::open(&dir, config).expect("final open");
+    let store = SecureStore::open(&dir, config.clone()).expect("final open");
     for i in 0..16u64 {
         assert_eq!(store.read(addr(i)).expect("read"), block(i as u8 + 1));
     }
@@ -129,7 +129,7 @@ fn snapshot_bit_flip_quarantines_only_that_shard() {
     let dir = temp_dir("snapflip");
     let config = small_config();
     {
-        let store = SecureStore::open(&dir, config).expect("open fresh");
+        let store = SecureStore::open(&dir, config.clone()).expect("open fresh");
         store.write(addr(0), &block(1)).expect("shard0 write");
         store.write(addr(1), &block(2)).expect("shard1 write");
         // Graceful shutdown rotates everything into the snapshots.
@@ -141,7 +141,7 @@ fn snapshot_bit_flip_quarantines_only_that_shard() {
     bytes[mid] ^= 0x01;
     std::fs::write(&snap, &bytes).expect("write tampered snapshot");
 
-    let store = SecureStore::open(&dir, config).expect("open tolerates quarantine");
+    let store = SecureStore::open(&dir, config.clone()).expect("open tolerates quarantine");
     match store.read(addr(0)) {
         Err(StoreError::ShardPoisoned { shard: 0, .. }) => {}
         other => panic!("tampered shard served: {other:?}"),
@@ -156,7 +156,7 @@ fn wal_bit_flip_quarantines_shard() {
     let dir = temp_dir("walflip");
     let config = small_config();
     {
-        let store = SecureStore::open(&dir, config).expect("open fresh");
+        let store = SecureStore::open(&dir, config.clone()).expect("open fresh");
         for i in 0..8u64 {
             store.write(addr(i), &block(3)).expect("write");
         }
@@ -171,7 +171,7 @@ fn wal_bit_flip_quarantines_shard() {
     bytes[mid] ^= 0x01;
     std::fs::write(&wal, &bytes).expect("write tampered wal");
 
-    let store = SecureStore::open(&dir, config).expect("open tolerates quarantine");
+    let store = SecureStore::open(&dir, config.clone()).expect("open tolerates quarantine");
     match store.read(addr(0)) {
         Err(StoreError::ShardPoisoned { shard: 0, .. }) => {}
         other => panic!("tampered shard served: {other:?}"),
@@ -185,7 +185,7 @@ fn torn_wal_tail_is_truncated_not_fatal() {
     let dir = temp_dir("torn");
     let config = small_config();
     {
-        let store = SecureStore::open(&dir, config).expect("open fresh");
+        let store = SecureStore::open(&dir, config.clone()).expect("open fresh");
         for i in 0..8u64 {
             store.write(addr(i), &block(i as u8 + 40)).expect("write");
         }
@@ -201,7 +201,7 @@ fn torn_wal_tail_is_truncated_not_fatal() {
     bytes.extend_from_slice(&[0xEE; 5]);
     std::fs::write(&wal, &bytes).expect("append torn tail");
 
-    let store = SecureStore::open(&dir, config).expect("recover past torn tail");
+    let store = SecureStore::open(&dir, config.clone()).expect("recover past torn tail");
     for i in 0..8u64 {
         assert_eq!(store.read(addr(i)).expect("read"), block(i as u8 + 40));
     }
@@ -218,7 +218,7 @@ fn stale_wal_from_before_a_checkpoint_never_regresses_state() {
     let dir = temp_dir("stalewal");
     let config = small_config();
     {
-        let store = SecureStore::open(&dir, config).expect("open fresh");
+        let store = SecureStore::open(&dir, config.clone()).expect("open fresh");
         for i in 0..8u64 {
             store.write(addr(i), &block(0x11)).expect("old write");
         }
@@ -229,7 +229,7 @@ fn stale_wal_from_before_a_checkpoint_never_regresses_state() {
     {
         // Recovery checkpoints (snapshot generation advances), then the
         // new values land and a graceful shutdown checkpoints again.
-        let store = SecureStore::open(&dir, config).expect("reopen");
+        let store = SecureStore::open(&dir, config.clone()).expect("reopen");
         for i in 0..8u64 {
             store
                 .write(addr(i), &block(i as u8 + 80))
@@ -240,7 +240,7 @@ fn stale_wal_from_before_a_checkpoint_never_regresses_state() {
     // Simulate the crash window by reinstating the pre-checkpoint log.
     std::fs::write(&wal, &old_wal).expect("resurrect stale wal");
 
-    let store = SecureStore::open(&dir, config).expect("recover");
+    let store = SecureStore::open(&dir, config.clone()).expect("recover");
     for i in 0..8u64 {
         assert_eq!(
             store.read(addr(i)).expect("read"),
@@ -259,7 +259,7 @@ fn transaction_ids_never_repeat_across_lives() {
     let dir = temp_dir("txnids");
     let config = small_config();
     for round in 0..3u8 {
-        let store = SecureStore::open(&dir, config).expect("open");
+        let store = SecureStore::open(&dir, config.clone()).expect("open");
         store
             .write_batch_atomic(&[(addr(0), block(round)), (addr(1), block(round))])
             .expect("atomic batch");
@@ -356,7 +356,7 @@ fn atomic_batch_commits_across_shards_and_survives_crash() {
     let dir = temp_dir("txn_commit");
     let config = small_config();
     {
-        let store = SecureStore::open(&dir, config).expect("open fresh");
+        let store = SecureStore::open(&dir, config.clone()).expect("open fresh");
         store.write(addr(0), &block(1)).expect("seed shard0");
         store.write(addr(1), &block(1)).expect("seed shard1");
         store
@@ -366,7 +366,7 @@ fn atomic_batch_commits_across_shards_and_survives_crash() {
         assert_eq!(store.read(addr(1)).expect("read"), block(0x66));
         store.simulate_crash();
     }
-    let store = SecureStore::open(&dir, config).expect("recover");
+    let store = SecureStore::open(&dir, config.clone()).expect("recover");
     assert_eq!(store.read(addr(0)).expect("read"), block(0x55));
     assert_eq!(store.read(addr(1)).expect("read"), block(0x66));
     let _ = std::fs::remove_dir_all(&dir);
