@@ -12,7 +12,7 @@
 //! histogram per point.
 
 use ame_prng::StdRng;
-use ame_server::{PipelinedClient, Server, ServerConfig, TenantSpec};
+use ame_server::{PipelinedClient, Server, ServerConfig, ServerMode, TenantSpec};
 use ame_store::{StoreConfig, BLOCK_BYTES};
 use ame_telemetry::{Histogram, Json};
 use std::collections::HashMap;
@@ -52,6 +52,12 @@ impl Default for ServerLoadConfig {
 /// One measured sweep point.
 #[derive(Debug, Clone)]
 pub struct ServerPoint {
+    /// Serving plane that produced this point — the *actual* one
+    /// (`"reactor"`/`"threaded"`, post-fallback), never the requested
+    /// one. Provenance, same rule as `crypto_backend`.
+    pub server_mode: &'static str,
+    /// Event-loop threads serving the point (0 for threaded).
+    pub reactor_threads: usize,
     /// Concurrent connections driving this point.
     pub connections: usize,
     /// Requested (and, quotas permitting, granted) in-flight window.
@@ -74,7 +80,11 @@ pub struct ServerPoint {
 /// # Errors
 ///
 /// Propagates bind failures.
-pub fn boot_server(cfg: &ServerLoadConfig, max_window: usize) -> std::io::Result<Server> {
+pub fn boot_server(
+    cfg: &ServerLoadConfig,
+    max_window: usize,
+    mode: ServerMode,
+) -> std::io::Result<Server> {
     let store = StoreConfig {
         shards: cfg.shards,
         shard_bytes: cfg.shard_bytes,
@@ -84,7 +94,7 @@ pub fn boot_server(cfg: &ServerLoadConfig, max_window: usize) -> std::io::Result
         .map(|id| {
             let mut spec = TenantSpec::new(id, store.clone());
             spec.max_window = max_window;
-            spec.max_connections = 1024;
+            spec.max_connections = 2048;
             spec
         })
         .collect();
@@ -92,6 +102,7 @@ pub fn boot_server(cfg: &ServerLoadConfig, max_window: usize) -> std::io::Result
         "127.0.0.1:0",
         ServerConfig {
             tenants,
+            mode,
             ..ServerConfig::default()
         },
     )
@@ -106,11 +117,12 @@ pub fn boot_server(cfg: &ServerLoadConfig, max_window: usize) -> std::io::Result
 /// not measurements.
 #[must_use]
 pub fn run_point(
-    addr: SocketAddr,
+    server: &Server,
     cfg: &ServerLoadConfig,
     connections: usize,
     window: usize,
 ) -> ServerPoint {
+    let addr = server.addr();
     let ops_per_conn = cfg.ops_per_point.div_ceil(connections);
     let started = Instant::now();
     let results: Vec<(u64, u64, Histogram)> = std::thread::scope(|s| {
@@ -129,6 +141,8 @@ pub fn run_point(
         latency.merge(h);
     }
     ServerPoint {
+        server_mode: server.mode_name(),
+        reactor_threads: server.reactor_threads(),
         connections,
         window,
         ops,
@@ -139,7 +153,9 @@ pub fn run_point(
     }
 }
 
-/// One closed-loop connection: keep the window full, measure every
+/// One closed-loop connection: keep the window full via the blocking
+/// `submit_*_wait` variants (no busy-retry on a full window — the
+/// client parks in `recv` until a slot frees), measure every
 /// submit→response round trip.
 fn drive_connection(
     addr: SocketAddr,
@@ -156,44 +172,60 @@ fn drive_connection(
     let mut latency = Histogram::new();
     let mut completed = 0u64;
     let mut errors = 0u64;
-    let mut launched = 0usize;
 
-    let submit = |client: &mut PipelinedClient,
-                  rng: &mut StdRng,
-                  submitted_at: &mut HashMap<u64, Instant>| {
+    fn absorb(
+        reaped: Vec<ame_server::PipelinedResponse>,
+        submitted_at: &mut HashMap<u64, Instant>,
+        latency: &mut Histogram,
+        completed: &mut u64,
+        errors: &mut u64,
+    ) {
+        for (id, outcome) in reaped {
+            let t0 = submitted_at.remove(&id).expect("response for unknown id");
+            latency.record(t0.elapsed().as_nanos() as u64);
+            *completed += 1;
+            if outcome.is_err() {
+                *errors += 1;
+            }
+        }
+    }
+
+    for _ in 0..ops {
         let addr64 = rng.gen_range(0..cfg.footprint_blocks) * BLOCK_BYTES as u64;
         let now = Instant::now();
-        let id = if rng.gen_bool(cfg.read_fraction) {
-            client.submit_read(addr64)
+        let (id, reaped) = if rng.gen_bool(cfg.read_fraction) {
+            client.submit_read_wait(addr64)
         } else {
             let fill = (addr64 >> 6) as u8 ^ conn as u8;
-            client.submit_write(addr64, &[fill; BLOCK_BYTES])
+            client.submit_write_wait(addr64, &[fill; BLOCK_BYTES])
         }
         .expect("bench submit");
         submitted_at.insert(id, now);
-    };
-
-    while completed < ops as u64 {
-        while launched < ops && client.in_flight() < client.window() {
-            submit(&mut client, &mut rng, &mut submitted_at);
-            launched += 1;
-        }
-        let (id, outcome) = client.recv().expect("bench recv");
-        let t0 = submitted_at.remove(&id).expect("response for unknown id");
-        latency.record(t0.elapsed().as_nanos() as u64);
-        completed += 1;
-        if outcome.is_err() {
-            errors += 1;
-        }
+        absorb(
+            reaped,
+            &mut submitted_at,
+            &mut latency,
+            &mut completed,
+            &mut errors,
+        );
     }
+    let tail = client.drain().expect("bench drain");
+    absorb(
+        tail,
+        &mut submitted_at,
+        &mut latency,
+        &mut completed,
+        &mut errors,
+    );
     client.goodbye().expect("bench goodbye");
     (completed, errors, latency)
 }
 
-/// Runs the full sweep against one server instance.
+/// Runs the full sweep against one server instance. Every point is
+/// stamped with the server's *actual* serving mode.
 #[must_use]
 pub fn run_sweep(
-    addr: SocketAddr,
+    server: &Server,
     cfg: &ServerLoadConfig,
     connections: &[usize],
     windows: &[usize],
@@ -201,7 +233,7 @@ pub fn run_sweep(
     let mut points = Vec::new();
     for &window in windows {
         for &conns in connections {
-            points.push(run_point(addr, cfg, conns, window));
+            points.push(run_point(server, cfg, conns, window));
         }
     }
     points
@@ -217,12 +249,13 @@ pub fn print_points(cfg: &ServerLoadConfig, points: &[ServerPoint]) {
         cfg.read_fraction * 100.0
     );
     println!(
-        "{:>6} {:>7} {:>9} {:>7} {:>12} {:>9} {:>9} {:>9}",
-        "conns", "window", "ops", "errors", "ops/s", "p50 us", "p99 us", "mean us"
+        "{:>9} {:>6} {:>7} {:>9} {:>7} {:>12} {:>9} {:>9} {:>9}",
+        "mode", "conns", "window", "ops", "errors", "ops/s", "p50 us", "p99 us", "mean us"
     );
     for p in points {
         println!(
-            "{:>6} {:>7} {:>9} {:>7} {:>12.0} {:>9.1} {:>9.1} {:>9.1}",
+            "{:>9} {:>6} {:>7} {:>9} {:>7} {:>12.0} {:>9.1} {:>9.1} {:>9.1}",
+            p.server_mode,
             p.connections,
             p.window,
             p.ops,
@@ -259,6 +292,8 @@ pub fn to_json(cfg: &ServerLoadConfig, points: &[ServerPoint]) -> (Json, String)
     let mut rows = Vec::new();
     for p in points {
         let mut row = Json::object();
+        row.push("server_mode", p.server_mode);
+        row.push("reactor_threads", Json::U64(p.reactor_threads as u64));
         row.push("connections", Json::U64(p.connections as u64));
         row.push("window", Json::U64(p.window as u64));
         row.push("tenants", Json::U64(cfg.tenants as u64));
@@ -277,8 +312,8 @@ pub fn to_json(cfg: &ServerLoadConfig, points: &[ServerPoint]) -> (Json, String)
         .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
         .map(|p| {
             format!(
-                "peak {:.0} ops/s @ {} conns w{}",
-                p.throughput, p.connections, p.window
+                "peak {:.0} ops/s @ {} conns w{} ({})",
+                p.throughput, p.connections, p.window, p.server_mode
             )
         })
         .unwrap_or_else(|| "no points".into());

@@ -4,16 +4,21 @@
 //! ```text
 //! ame_server [--addr HOST:PORT] [--tenants N] [--persist DIR]
 //!            [--shards N] [--shard-kib N] [--max-conns N] [--max-window N]
+//!            [--mode reactor|threaded] [--reactor-threads N]
 //! ```
 //!
 //! Environment: `AME_SERVER_ADDR` is the default listen address
-//! (flag overrides it; built-in default `127.0.0.1:4075`), and
+//! (flag overrides it; built-in default `127.0.0.1:4075`),
 //! `AME_SERVER_MAX_CONNS` / `AME_SERVER_MAX_WINDOW` are the default
-//! per-tenant quotas (`--max-conns` / `--max-window` override them).
+//! per-tenant quotas (`--max-conns` / `--max-window` override them),
+//! and `AME_SERVER_REACTOR_THREADS` is the default event-loop thread
+//! count (`--reactor-threads` overrides it; built-in default
+//! `min(4, cores)`). `--mode threaded` selects the two-threads-per-
+//! connection plane instead of the epoll reactor.
 
 #![deny(unsafe_code)]
 
-use ame_server::{Server, ServerConfig, TenantSpec};
+use ame_server::{default_reactor_threads, Server, ServerConfig, ServerMode, TenantSpec};
 use ame_store::StoreConfig;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -67,6 +72,7 @@ struct Args {
     shard_kib: u64,
     max_conns: usize,
     max_window: usize,
+    mode: ServerMode,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -87,6 +93,9 @@ fn parse_args() -> Args {
         shard_kib: 256,
         max_conns: env_usize("AME_SERVER_MAX_CONNS", 64),
         max_window: env_usize("AME_SERVER_MAX_WINDOW", 64),
+        mode: ServerMode::Reactor {
+            threads: env_usize("AME_SERVER_REACTOR_THREADS", default_reactor_threads()),
+        },
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,6 +112,23 @@ fn parse_args() -> Args {
             "--max-conns" => args.max_conns = value("--max-conns").parse().expect("--max-conns"),
             "--max-window" => {
                 args.max_window = value("--max-window").parse().expect("--max-window");
+            }
+            "--mode" => {
+                args.mode = match value("--mode").as_str() {
+                    "threaded" => ServerMode::Threaded,
+                    "reactor" => match args.mode {
+                        // Keep an earlier --reactor-threads / env value.
+                        ServerMode::Reactor { threads } => ServerMode::Reactor { threads },
+                        ServerMode::Threaded => ServerMode::reactor(),
+                    },
+                    other => panic!("--mode expects reactor|threaded, got {other:?}"),
+                };
+            }
+            "--reactor-threads" => {
+                let threads: usize = value("--reactor-threads")
+                    .parse()
+                    .expect("--reactor-threads");
+                args.mode = ServerMode::Reactor { threads };
             }
             other => panic!("unknown flag {other}"),
         }
@@ -133,16 +159,19 @@ fn main() {
         args.addr.as_str(),
         ServerConfig {
             tenants,
+            mode: args.mode,
             ..ServerConfig::default()
         },
     )
     .expect("bind");
     println!(
-        "ame-server listening on {} ({} tenants, {} shards x {} KiB each)",
+        "ame-server listening on {} ({} tenants, {} shards x {} KiB each, {} mode, {} reactor threads)",
         server.addr(),
         args.tenants,
         args.shards,
-        args.shard_kib
+        args.shard_kib,
+        server.mode_name(),
+        server.reactor_threads(),
     );
 
     while !sig::STOP.load(Ordering::SeqCst) {

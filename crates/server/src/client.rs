@@ -347,6 +347,55 @@ impl PipelinedClient {
         self.submit(op::WRITE, &payload)
     }
 
+    /// Like [`PipelinedClient::submit_read`], but when the window is
+    /// full it **blocks** reaping responses until a slot frees instead
+    /// of failing with [`ClientError::WindowFull`]. Returns the new
+    /// request's id plus every response reaped while waiting (possibly
+    /// empty) so callers keep full latency/outcome bookkeeping —
+    /// nothing is discarded.
+    ///
+    /// This is what closed-loop load generators should call: the
+    /// fast-fail `submit_read` turns a full window into a busy-retry
+    /// spin at high connection counts, burning the CPU the server
+    /// needs.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelinedClient::recv`].
+    pub fn submit_read_wait(
+        &mut self,
+        addr: u64,
+    ) -> Result<(u64, Vec<PipelinedResponse>), ClientError> {
+        let reaped = self.wait_for_slot()?;
+        let req_id = self.submit_read(addr)?;
+        Ok((req_id, reaped))
+    }
+
+    /// Blocking-window twin of [`PipelinedClient::submit_write`]; see
+    /// [`PipelinedClient::submit_read_wait`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelinedClient::recv`].
+    pub fn submit_write_wait(
+        &mut self,
+        addr: u64,
+        data: &[u8; BLOCK_BYTES],
+    ) -> Result<(u64, Vec<PipelinedResponse>), ClientError> {
+        let reaped = self.wait_for_slot()?;
+        let req_id = self.submit_write(addr, data)?;
+        Ok((req_id, reaped))
+    }
+
+    /// Reaps (blocking) until the window has a free slot.
+    fn wait_for_slot(&mut self) -> Result<Vec<PipelinedResponse>, ClientError> {
+        let mut reaped = Vec::new();
+        while self.pending.len() >= self.conn.granted_window {
+            reaped.push(self.recv()?);
+        }
+        Ok(reaped)
+    }
+
     /// Blocks for the next response, in server completion order.
     /// Returns the request id it answers and the operation's outcome.
     ///

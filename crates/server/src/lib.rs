@@ -16,8 +16,8 @@
 //! arrive as typed codes that decode back to the exact
 //! [`StoreError`](ame_store::StoreError) the store raised.
 //!
-//! * [`server`] — listener, per-connection frame pumps, tenants,
-//!   quotas, graceful drain.
+//! * [`server`] — listener, serving modes (thread-per-connection or a
+//!   fixed epoll reactor pool), tenants, quotas, graceful drain.
 //! * [`client`] — blocking [`Client`] and windowed [`PipelinedClient`].
 //! * [`protocol`] — frames, opcodes, the exhaustive error-code table.
 
@@ -26,8 +26,10 @@
 
 pub mod client;
 pub mod protocol;
+mod reactor;
 pub mod server;
+mod sys;
 
 pub use client::{Client, ClientError, PipelinedClient, PipelinedResponse, PipelinedValue};
 pub use protocol::{FrameError, WireError, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig, TenantSpec};
+pub use server::{default_reactor_threads, Server, ServerConfig, ServerMode, TenantSpec};

@@ -1,0 +1,822 @@
+//! Event-driven connection serving: a fixed pool of epoll loops.
+//!
+//! The threaded plane in [`crate::server`] spends two OS threads per
+//! connection; past a few hundred clients the scheduler, stacks, and
+//! context switches dominate. This module serves the same wire protocol
+//! from a **fixed** pool of event-loop threads: every connection is a
+//! nonblocking state machine owned by exactly one loop, and the loop
+//! blocks in a single `epoll_wait` over all of its sockets *plus* one
+//! eventfd per open session (see
+//! [`SecureStore::split_session_with_wake`](ame_store::SecureStore::split_session_with_wake))
+//! so shard workers can rouse it the moment a completion lands. No
+//! thread ever blocks on a socket or a channel.
+//!
+//! # Connection state machine
+//!
+//! ```text
+//!            frame ≠ HELLO / refusal
+//! Handshake ────────────────────────────► Flush ──► closed
+//!     │ HELLO granted                       ▲
+//!     ▼                                     │ window empty
+//!   Open (submitter + reaper) ──────────────┘
+//!     GOODBYE/EOF/shutdown: drop submitter, drain in-flight
+//! ```
+//!
+//! Reads accumulate into a per-connection buffer (partial frames are
+//! normal — a frame may arrive one byte at a time); responses accumulate
+//! into a write buffer flushed until `EWOULDBLOCK`, with `EPOLLOUT`
+//! interest registered only while that buffer is non-empty. A stalled or
+//! hostile peer therefore costs its own buffers, never a thread.
+//!
+//! Store saturation (`StoreError::Overloaded`, from the shared shard
+//! queue or the session window) is **backpressure, not an error**: the
+//! refused op is parked, `EPOLLIN` interest drops so TCP pushes back on
+//! the peer, and every loop tick retries parked ops until the store
+//! breathes — a valid operation is never bounced. The threaded plane
+//! applies the same policy by sleeping its reader thread.
+//!
+//! # Wakeup path
+//!
+//! Shard workers ring the session's eventfd *after* pushing each
+//! completion. The loop handles a wake event by draining the eventfd
+//! **first** and then reaping everything
+//! ([`SessionReaper::try_recv_all`](ame_store::SessionReaper::try_recv_all)):
+//! a completion that lands between the reap and the next `epoll_wait`
+//! re-rings the fd, so nothing is ever stranded.
+//!
+//! Admission (HELLO policy), operation decode, duplicate-id checks, and
+//! the shutdown-drain contract are all shared with the threaded plane —
+//! the two modes cannot drift apart because they run the same functions.
+
+use crate::protocol::{
+    self, code, encode_server_error, encode_store_error, op, write_frame, Frame, WireError,
+};
+use crate::server::{
+    evaluate_hello, exec_tamper, submit_op, try_parse_frame, ConnEnd, HelloDecision, Shared,
+    Submitted, Tenant,
+};
+use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use ame_store::{
+    SessionConfig, SessionReaper, SessionSubmitter, StoreError, StoreValue, Ticket, WakeFd,
+};
+use std::collections::{HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Token for the loop's own injection eventfd. Connection tokens are
+/// `id << 1 | {0 socket, 1 session wake}` with ids counting from zero,
+/// so the all-ones token can never collide.
+const INJECT_TOKEN: u64 = u64::MAX;
+
+/// Readiness events fetched per `epoll_wait` call.
+const EVENT_BATCH: usize = 256;
+
+/// Socket read granularity.
+const READ_CHUNK: usize = 4096;
+
+/// Fairness bound: chunks read per readiness event before yielding to
+/// other connections (level-triggered epoll re-reports the remainder).
+const MAX_CHUNKS_PER_EVENT: usize = 16;
+
+/// The accept thread's handle on the reactor: one injector per loop.
+pub(crate) struct ReactorPool {
+    injectors: Vec<Injector>,
+    next: AtomicUsize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+struct Injector {
+    tx: Sender<TcpStream>,
+    wake: Arc<WakeFd>,
+}
+
+/// Everything one event-loop thread owns, built before the thread
+/// spawns so a host without epoll/eventfd fails the whole mode up
+/// front instead of half-starting.
+pub(crate) struct ReactorSeed {
+    rx: Receiver<TcpStream>,
+    wake: Arc<WakeFd>,
+    epoll: Epoll,
+}
+
+/// Builds the pool plus one seed per loop. `None` means the host cannot
+/// run a reactor (no epoll or no eventfd) — the caller falls back to
+/// threaded serving and records the fallback.
+pub(crate) fn prepare(threads: usize) -> Option<(ReactorPool, Vec<ReactorSeed>)> {
+    let mut injectors = Vec::with_capacity(threads);
+    let mut seeds = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let epoll = Epoll::new()?;
+        let wake = Arc::new(WakeFd::new()?);
+        if !epoll.add(wake.raw_fd(), EPOLLIN, INJECT_TOKEN) {
+            return None;
+        }
+        let (tx, rx) = channel();
+        injectors.push(Injector {
+            tx,
+            wake: Arc::clone(&wake),
+        });
+        seeds.push(ReactorSeed { rx, wake, epoll });
+    }
+    Some((
+        ReactorPool {
+            injectors,
+            next: AtomicUsize::new(0),
+            handles: Mutex::new(Vec::new()),
+        },
+        seeds,
+    ))
+}
+
+impl ReactorPool {
+    /// Event-loop thread count.
+    pub(crate) fn threads(&self) -> usize {
+        self.injectors.len()
+    }
+
+    pub(crate) fn push_handle(&self, handle: JoinHandle<()>) {
+        self.handles.lock().unwrap().push(handle);
+    }
+
+    pub(crate) fn take_handles(&self) -> Vec<JoinHandle<()>> {
+        std::mem::take(&mut *self.handles.lock().unwrap())
+    }
+
+    /// Hands an accepted connection to the next loop, round-robin.
+    pub(crate) fn dispatch(&self, stream: TcpStream) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.injectors.len();
+        let injector = &self.injectors[i];
+        if injector.tx.send(stream).is_ok() {
+            injector.wake.signal();
+        }
+    }
+
+    /// Rouses every loop (shutdown: they re-check the flag on wake).
+    pub(crate) fn wake_all(&self) {
+        for injector in &self.injectors {
+            injector.wake.signal();
+        }
+    }
+}
+
+/// Entry point of one `ame-server-reactor` thread.
+pub(crate) fn reactor_thread(shared: &Arc<Shared>, seed: ReactorSeed) {
+    let ReactorSeed { rx, wake, epoll } = seed;
+    reactor_loop(shared, &rx, &wake, &epoll);
+}
+
+/// An open session: the store-facing half of one granted connection.
+struct Pipe<'a> {
+    tenant: &'a Tenant,
+    /// `Some` while admitting; dropped (→ `None`) to begin draining —
+    /// the store sees the pipeline close, in-flight completions still
+    /// arrive.
+    submitter: Option<SessionSubmitter<'a>>,
+    reaper: SessionReaper<'a>,
+    by_ticket: HashMap<Ticket, u64>,
+    ids: HashSet<u64>,
+    /// The session eventfd registered in the loop's interest set.
+    wake_fd: i32,
+}
+
+enum State<'a> {
+    /// Waiting for a well-formed HELLO.
+    Handshake,
+    /// Granted: streaming operations through a session.
+    Open(Pipe<'a>),
+    /// Session over (or never granted): write buffer drains, then close.
+    Flush,
+}
+
+/// One connection owned by one event loop. No locks: a connection is
+/// only ever touched by its owning thread.
+struct Conn<'a> {
+    stream: TcpStream,
+    id: u64,
+    /// Accumulated unparsed input (partial frames live here).
+    rbuf: Vec<u8>,
+    /// Responses not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// The interest mask currently registered for the socket.
+    mask: u32,
+    state: State<'a>,
+    /// A dup-checked operation the store refused with `Overloaded`.
+    /// Backpressure, not an error: parsing and `EPOLLIN` interest stop
+    /// (TCP pushes back on the peer) until a retry lands it.
+    stalled: Option<Frame>,
+    /// `Some` once the connection stopped admitting frames; the variant
+    /// decides the closing notice (only `Shutdown` sends one).
+    end: Option<ConnEnd>,
+    eof: bool,
+    peer_gone: bool,
+    closed: bool,
+}
+
+#[cfg(unix)]
+fn raw_fd(stream: &TcpStream) -> i32 {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd(_stream: &TcpStream) -> i32 {
+    // Unreachable in practice: `prepare` already failed on non-unix
+    // hosts, so no reactor loop ever runs.
+    -1
+}
+
+fn reactor_loop<'a>(
+    shared: &'a Shared,
+    rx: &Receiver<TcpStream>,
+    inject_wake: &WakeFd,
+    epoll: &Epoll,
+) {
+    let mut conns: HashMap<u64, Conn<'a>> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut events = vec![EpollEvent::default(); EVENT_BATCH];
+    let mut draining = false;
+    loop {
+        let n = epoll.wait(&mut events, timeout_ms(shared.poll_interval));
+        let ready: Vec<(u64, u32)> = events[..n].iter().map(|e| (e.token(), e.events())).collect();
+
+        if ready.iter().any(|&(token, _)| token == INJECT_TOKEN) {
+            inject_wake.drain();
+        }
+        // Drain the injection queue every iteration (wake signals
+        // coalesce, so one event may cover many handoffs).
+        while let Ok(stream) = rx.try_recv() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                let _ = write_frame(&mut &stream, code::SHUTTING_DOWN, 0, &[]);
+                continue;
+            }
+            admit(epoll, &mut conns, &mut next_id, stream);
+        }
+
+        if shared.shutdown.load(Ordering::SeqCst) && !draining {
+            draining = true;
+            for conn in conns.values_mut() {
+                begin_shutdown(conn, shared.max_frame);
+                // Idle connections get no further events; push them
+                // through notice + flush + close right now.
+                advance(conn, epoll);
+            }
+        }
+
+        for &(token, evs) in &ready {
+            if token == INJECT_TOKEN {
+                continue;
+            }
+            let id = token >> 1;
+            let Some(conn) = conns.get_mut(&id) else {
+                // Stale event for a connection closed earlier in this
+                // batch (tokens are ids, never reused).
+                continue;
+            };
+            if conn.closed {
+                continue;
+            }
+            if token & 1 == 1 {
+                on_session_wake(conn);
+            } else {
+                on_socket(conn, evs, shared, epoll);
+            }
+            advance(conn, epoll);
+        }
+
+        // Backpressure retry: a stall caused by *other* sessions
+        // saturating a shard queue never rings this connection's
+        // eventfd, so parked ops are retried every tick (the loop always
+        // returns within `poll_interval`, and runs hot under the very
+        // load that causes stalls).
+        for conn in conns.values_mut() {
+            if conn.closed || conn.stalled.is_none() {
+                continue;
+            }
+            retry_stalled(conn, shared, epoll);
+            advance(conn, epoll);
+        }
+
+        conns.retain(|_, conn| !conn.closed);
+
+        if draining && conns.is_empty() {
+            // Late handoffs raced the shutdown flag: refuse them.
+            while let Ok(stream) = rx.try_recv() {
+                let _ = write_frame(&mut &stream, code::SHUTTING_DOWN, 0, &[]);
+            }
+            return;
+        }
+    }
+}
+
+fn timeout_ms(poll_interval: Duration) -> i32 {
+    poll_interval.as_millis().clamp(1, i32::MAX as u128) as i32
+}
+
+fn admit<'a>(
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn<'a>>,
+    next_id: &mut u64,
+    stream: TcpStream,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let id = *next_id;
+    *next_id += 1;
+    if !epoll.add(raw_fd(&stream), EPOLLIN | EPOLLRDHUP, id << 1) {
+        return; // dropping the stream closes it
+    }
+    conns.insert(
+        id,
+        Conn {
+            stream,
+            id,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            mask: EPOLLIN | EPOLLRDHUP,
+            state: State::Handshake,
+            stalled: None,
+            end: None,
+            eof: false,
+            peer_gone: false,
+            closed: false,
+        },
+    );
+}
+
+/// Appends one frame to a connection's write buffer (a `Vec` never
+/// fails as a writer).
+fn queue_frame(wbuf: &mut Vec<u8>, tag: u8, req_id: u64, payload: &[u8]) {
+    let _ = write_frame(wbuf, tag, req_id, payload);
+}
+
+fn queue_wire_err(wbuf: &mut Vec<u8>, req_id: u64, e: &WireError) {
+    let (tag, payload) = encode_server_error(e);
+    queue_frame(wbuf, tag, req_id, &payload);
+}
+
+fn on_socket<'a>(conn: &mut Conn<'a>, evs: u32, shared: &'a Shared, epoll: &Epoll) {
+    if evs & (EPOLLERR | EPOLLHUP) != 0 {
+        conn.peer_gone = true;
+    }
+    if evs & (EPOLLIN | EPOLLRDHUP) != 0 {
+        read_some(conn);
+        if conn.end.is_none() {
+            process_frames(conn, shared, epoll);
+        } else {
+            // Draining: bytes are read only to notice EOF.
+            conn.rbuf.clear();
+        }
+    }
+    if evs & EPOLLOUT != 0 {
+        flush_wbuf(conn);
+    }
+}
+
+fn read_some(conn: &mut Conn<'_>) {
+    for _ in 0..MAX_CHUNKS_PER_EVENT {
+        let mut chunk = [0u8; READ_CHUNK];
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                return;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if n < READ_CHUNK {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.eof = true;
+                conn.peer_gone = true;
+                return;
+            }
+        }
+    }
+}
+
+fn flush_wbuf(conn: &mut Conn<'_>) {
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(&conn.wbuf) {
+            Ok(0) => {
+                conn.peer_gone = true;
+                break;
+            }
+            Ok(n) => {
+                conn.wbuf.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.peer_gone = true;
+                break;
+            }
+        }
+    }
+    if conn.peer_gone {
+        // Nothing queued can ever be delivered.
+        conn.wbuf.clear();
+    }
+}
+
+fn process_frames<'a>(conn: &mut Conn<'a>, shared: &'a Shared, epoll: &Epoll) {
+    while conn.end.is_none() && conn.stalled.is_none() {
+        let frame = match try_parse_frame(&mut conn.rbuf, shared.max_frame) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(_) => {
+                match &conn.state {
+                    State::Open(pipe) => {
+                        pipe.tenant
+                            .counters
+                            .bad_frames
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        shared
+                            .counters
+                            .pre_hello_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                queue_wire_err(&mut conn.wbuf, 0, &WireError::BadFrame);
+                begin_drain(conn, ConnEnd::Malformed);
+                break;
+            }
+        };
+        if let Some(why) = handle_frame(conn, &frame, shared, epoll) {
+            begin_drain(conn, why);
+        }
+    }
+}
+
+/// Dispatches one well-formed frame. `Some(end)` asks the caller to
+/// stop admitting and begin the drain.
+fn handle_frame<'a>(
+    conn: &mut Conn<'a>,
+    frame: &Frame,
+    shared: &'a Shared,
+    epoll: &Epoll,
+) -> Option<ConnEnd> {
+    match &conn.state {
+        State::Handshake => handle_hello(conn, frame, shared, epoll),
+        State::Open(_) => handle_op(conn, frame),
+        State::Flush => None,
+    }
+}
+
+fn handle_hello<'a>(
+    conn: &mut Conn<'a>,
+    frame: &Frame,
+    shared: &'a Shared,
+    epoll: &Epoll,
+) -> Option<ConnEnd> {
+    match evaluate_hello(shared, frame) {
+        HelloDecision::Grant {
+            tenant,
+            window,
+            reply,
+        } => {
+            let (submitter, reaper) = tenant.store.split_session_with_wake(SessionConfig {
+                in_flight_window: window,
+            });
+            let Some(wake_fd) = reaper.wake_fd() else {
+                // No eventfd for this session (fd exhaustion): the loop
+                // would never learn about completions, so refuse rather
+                // than serve a half-working connection.
+                tenant
+                    .counters
+                    .quota_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                queue_wire_err(&mut conn.wbuf, frame.req_id, &WireError::QuotaExceeded);
+                return Some(ConnEnd::Goodbye);
+            };
+            if !epoll.add(wake_fd, EPOLLIN, (conn.id << 1) | 1) {
+                tenant
+                    .counters
+                    .quota_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                queue_wire_err(&mut conn.wbuf, frame.req_id, &WireError::QuotaExceeded);
+                return Some(ConnEnd::Goodbye);
+            }
+            tenant.connections.fetch_add(1, Ordering::SeqCst);
+            tenant
+                .counters
+                .connections_accepted
+                .fetch_add(1, Ordering::Relaxed);
+            queue_frame(&mut conn.wbuf, protocol::STATUS_OK, frame.req_id, &reply);
+            conn.state = State::Open(Pipe {
+                tenant,
+                submitter: Some(submitter),
+                reaper,
+                by_ticket: HashMap::new(),
+                ids: HashSet::new(),
+                wake_fd,
+            });
+            None
+        }
+        HelloDecision::Refuse(e) => {
+            queue_wire_err(&mut conn.wbuf, frame.req_id, &e);
+            Some(ConnEnd::Goodbye)
+        }
+    }
+}
+
+/// The reactor's port of the threaded `reader_loop` dispatch — same
+/// opcodes, same counters, same duplicate-id rules, but rejections and
+/// synchronous replies land in the write buffer instead of a socket.
+fn handle_op(conn: &mut Conn<'_>, frame: &Frame) -> Option<ConnEnd> {
+    let Conn {
+        ref mut wbuf,
+        ref mut state,
+        ref mut stalled,
+        ..
+    } = *conn;
+    let State::Open(pipe) = state else {
+        return None;
+    };
+    match frame.tag {
+        op::GOODBYE => {
+            queue_frame(wbuf, protocol::STATUS_OK, frame.req_id, &[]);
+            Some(ConnEnd::Goodbye)
+        }
+        op::READ | op::WRITE | op::CAS => {
+            if !pipe.ids.insert(frame.req_id) {
+                pipe.tenant
+                    .counters
+                    .duplicate_request_ids
+                    .fetch_add(1, Ordering::Relaxed);
+                queue_wire_err(wbuf, frame.req_id, &WireError::DuplicateRequestId);
+                return None;
+            }
+            *stalled = submit_checked(pipe, wbuf, frame.clone());
+            None
+        }
+        op::TAMPER => {
+            if pipe.ids.contains(&frame.req_id) {
+                pipe.tenant
+                    .counters
+                    .duplicate_request_ids
+                    .fetch_add(1, Ordering::Relaxed);
+                queue_wire_err(wbuf, frame.req_id, &WireError::DuplicateRequestId);
+            } else {
+                let (tag, payload) = exec_tamper(pipe.tenant, frame);
+                queue_frame(wbuf, tag, frame.req_id, &payload);
+            }
+            None
+        }
+        op::HELLO => {
+            pipe.tenant
+                .counters
+                .bad_frames
+                .fetch_add(1, Ordering::Relaxed);
+            queue_wire_err(wbuf, frame.req_id, &WireError::BadFrame);
+            None
+        }
+        other => {
+            pipe.tenant
+                .counters
+                .unknown_opcodes
+                .fetch_add(1, Ordering::Relaxed);
+            queue_wire_err(wbuf, frame.req_id, &WireError::UnknownOpcode(other));
+            None
+        }
+    }
+}
+
+/// Submits one already-dup-checked operation frame. Returns the frame
+/// back when the store is saturated ([`StoreError::Overloaded`] covers
+/// both the shared shard queue and the session window): the caller
+/// parks it, stops reading the connection, and retries on the next loop
+/// tick — backpressure instead of bouncing a valid op.
+fn submit_checked(pipe: &mut Pipe<'_>, wbuf: &mut Vec<u8>, frame: Frame) -> Option<Frame> {
+    let Some(submitter) = pipe.submitter.as_mut() else {
+        // Unreachable: an open pipe without a submitter means the
+        // connection is draining, and draining connections never reach
+        // frame dispatch (nor retry stalls — the drain clears them).
+        return None;
+    };
+    match submit_op(submitter, &frame) {
+        Submitted::Ticket(ticket) => {
+            pipe.by_ticket.insert(ticket, frame.req_id);
+            None
+        }
+        Submitted::Rejected(StoreError::Overloaded { .. }) => {
+            pipe.tenant
+                .counters
+                .overload_stalls
+                .fetch_add(1, Ordering::Relaxed);
+            Some(frame)
+        }
+        Submitted::Rejected(e) => {
+            pipe.ids.remove(&frame.req_id);
+            pipe.tenant.counters.ops_err.fetch_add(1, Ordering::Relaxed);
+            let (tag, payload) = encode_store_error(&e);
+            queue_frame(wbuf, tag, frame.req_id, &payload);
+            None
+        }
+        Submitted::Malformed => {
+            pipe.ids.remove(&frame.req_id);
+            pipe.tenant
+                .counters
+                .bad_frames
+                .fetch_add(1, Ordering::Relaxed);
+            queue_wire_err(wbuf, frame.req_id, &WireError::BadFrame);
+            None
+        }
+    }
+}
+
+/// Retries a parked operation; on success, resumes parsing whatever
+/// buffered input accumulated behind it.
+fn retry_stalled<'a>(conn: &mut Conn<'a>, shared: &'a Shared, epoll: &Epoll) {
+    let Some(frame) = conn.stalled.take() else {
+        return;
+    };
+    {
+        let Conn {
+            ref mut wbuf,
+            ref mut state,
+            ref mut stalled,
+            ..
+        } = *conn;
+        if let State::Open(pipe) = state {
+            *stalled = submit_checked(pipe, wbuf, frame);
+        }
+        // Any other state: the connection began draining; the parked op
+        // was never submitted or acked, and its peer is past caring.
+    }
+    if conn.stalled.is_none() && conn.end.is_none() {
+        process_frames(conn, shared, epoll);
+    }
+}
+
+/// Session eventfd fired: drain it *first*, then reap everything. A
+/// completion that lands after the reap re-rings the fd, so the
+/// drain-then-reap order can never strand a response.
+fn on_session_wake(conn: &mut Conn<'_>) {
+    let Conn {
+        ref mut wbuf,
+        ref mut state,
+        ..
+    } = *conn;
+    let State::Open(pipe) = state else {
+        return;
+    };
+    pipe.reaper.drain_wake();
+    for (ticket, result) in pipe.reaper.try_recv_all() {
+        let req_id = pipe.by_ticket.remove(&ticket);
+        if let Some(id) = req_id {
+            pipe.ids.remove(&id);
+        }
+        // Same rationale as the threaded writer: an unknown ticket
+        // cannot happen, but a best-effort id of 0 beats losing a
+        // response silently.
+        let req_id = req_id.unwrap_or(0);
+        match result {
+            Ok(value) => {
+                pipe.tenant.counters.ops_ok.fetch_add(1, Ordering::Relaxed);
+                let payload: &[u8] = match &value {
+                    StoreValue::Data(b) | StoreValue::Modified(b) => b,
+                    StoreValue::Written => &[],
+                };
+                queue_frame(wbuf, protocol::STATUS_OK, req_id, payload);
+            }
+            Err(e) => {
+                pipe.tenant.counters.ops_err.fetch_add(1, Ordering::Relaxed);
+                let (tag, payload) = encode_store_error(&e);
+                queue_frame(wbuf, tag, req_id, &payload);
+            }
+        }
+    }
+}
+
+/// Stops admitting frames; in-flight operations still complete (acked
+/// work is never dropped) and their responses still flush.
+fn begin_drain(conn: &mut Conn<'_>, why: ConnEnd) {
+    if conn.end.is_none() {
+        conn.end = Some(why);
+    }
+    conn.rbuf.clear();
+    // A parked op was never submitted and never acked; the drain
+    // contract ("acked work is never dropped") does not cover it.
+    conn.stalled = None;
+    match &mut conn.state {
+        State::Open(pipe) => {
+            pipe.submitter = None;
+        }
+        State::Handshake => {
+            conn.state = State::Flush;
+        }
+        State::Flush => {}
+    }
+}
+
+/// The reactor's port of the threaded shutdown contract: buffered
+/// frames get typed rejections (never silence), nothing new is
+/// admitted, in-flight completions drain, and the connection ends with
+/// a shutting-down notice.
+fn begin_shutdown(conn: &mut Conn<'_>, max_frame: u32) {
+    if conn.end.is_some() {
+        // Already ending for another reason; that drain continues.
+        return;
+    }
+    let Conn {
+        ref mut rbuf,
+        ref mut wbuf,
+        ref mut state,
+        ref mut end,
+        ref mut stalled,
+        ..
+    } = *conn;
+    match state {
+        State::Handshake => {
+            queue_wire_err(wbuf, 0, &WireError::ShuttingDown);
+            *end = Some(ConnEnd::Goodbye);
+            *state = State::Flush;
+        }
+        State::Open(pipe) => {
+            // A parked op is a buffered frame like any other: typed
+            // rejection, never silence.
+            if let Some(frame) = stalled.take() {
+                pipe.tenant
+                    .counters
+                    .shutdown_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                queue_wire_err(wbuf, frame.req_id, &WireError::ShuttingDown);
+            }
+            while let Ok(Some(frame)) = try_parse_frame(rbuf, max_frame) {
+                pipe.tenant
+                    .counters
+                    .shutdown_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                queue_wire_err(wbuf, frame.req_id, &WireError::ShuttingDown);
+            }
+            pipe.submitter = None;
+            *end = Some(ConnEnd::Shutdown);
+        }
+        State::Flush => {}
+    }
+    rbuf.clear();
+}
+
+/// Runs the connection's state transitions after any event: pipe-drain
+/// completion, write flushing, `EPOLLOUT` interest, and final close.
+fn advance(conn: &mut Conn<'_>, epoll: &Epoll) {
+    // A half-closed peer may still be reading: give a parked op its
+    // retries before draining. A gone peer can't receive the response
+    // anyway, so its stall is dropped with the connection.
+    if (conn.eof || conn.peer_gone) && conn.end.is_none() {
+        if conn.peer_gone {
+            conn.stalled = None;
+        }
+        if conn.stalled.is_none() {
+            begin_drain(conn, ConnEnd::Eof);
+        }
+    }
+    // An open pipe whose submitter is gone and whose window is empty
+    // has delivered everything it ever acked: retire the session.
+    let finished = matches!(
+        &conn.state,
+        State::Open(pipe) if pipe.submitter.is_none() && pipe.by_ticket.is_empty()
+    );
+    if finished {
+        if matches!(conn.end, Some(ConnEnd::Shutdown)) {
+            queue_frame(&mut conn.wbuf, code::SHUTTING_DOWN, 0, &[]);
+        }
+        if let State::Open(pipe) = std::mem::replace(&mut conn.state, State::Flush) {
+            epoll.del(pipe.wake_fd);
+            pipe.tenant.connections.fetch_sub(1, Ordering::SeqCst);
+            // `pipe` drops here: the reaper releases the session and
+            // (with the last Arc) closes the eventfd.
+        }
+    }
+    flush_wbuf(conn);
+    if matches!(conn.state, State::Flush)
+        && conn.end.is_some()
+        && (conn.wbuf.is_empty() || conn.peer_gone)
+    {
+        epoll.del(raw_fd(&conn.stream));
+        conn.closed = true;
+        return;
+    }
+    // Interest tracks state: `EPOLLOUT` only while responses wait,
+    // `EPOLLIN` only while not stalled (a parked op means the kernel
+    // buffer fills and TCP pushes back on the peer; `EPOLLRDHUP` still
+    // reports a vanishing one).
+    let want = EPOLLRDHUP
+        | if conn.stalled.is_none() { EPOLLIN } else { 0 }
+        | if conn.wbuf.is_empty() { 0 } else { EPOLLOUT };
+    if want != conn.mask && epoll.modify(raw_fd(&conn.stream), want, conn.id << 1) {
+        conn.mask = want;
+    }
+}

@@ -1,17 +1,27 @@
-//! The serving loop: a TCP listener, thread-per-connection frame pumps,
-//! and per-tenant stores with quotas and telemetry.
+//! The serving loop: a TCP listener, per-tenant stores with quotas and
+//! telemetry, and two interchangeable connection-serving planes.
 //!
 //! # Threading model
 //!
-//! One accept thread plus **two** threads per connection — no async
-//! runtime. The connection's *reader* thread parses frames and submits
-//! operations through a [`SessionSubmitter`]; a scoped *writer* thread
-//! blocks on the paired [`SessionReaper`] and streams completions back
-//! as they finish (out of order across shards, FIFO within one — the
-//! store's ordering contract travels the wire unchanged). Rejections
-//! that never reach the store (malformed frames, duplicate request ids,
-//! window overload) are answered inline by the reader through a shared
-//! write-half mutex.
+//! One accept thread, plus one of two serving modes ([`ServerMode`],
+//! identical wire behaviour, no async runtime):
+//!
+//! * **Reactor** (the default): a small fixed pool of epoll event-loop
+//!   threads (see [`crate::reactor`]); each connection is a nonblocking
+//!   state machine owned by one loop, and shard workers rouse the loop
+//!   through per-session eventfd wakeups when completions land. Thread
+//!   count is constant no matter how many clients connect. On hosts
+//!   without epoll the server falls back to threaded mode with a
+//!   recorded telemetry gauge — never a silent behaviour change.
+//! * **Threaded** (the PR 7 model): **two** threads per connection. The
+//!   connection's *reader* thread parses frames and submits operations
+//!   through a [`SessionSubmitter`]; a scoped *writer* thread blocks on
+//!   the paired [`SessionReaper`] and streams completions back as they
+//!   finish (out of order across shards, FIFO within one — the store's
+//!   ordering contract travels the wire unchanged). Rejections that
+//!   never reach the store (malformed frames, duplicate request ids,
+//!   window overload) are answered inline by the reader through a
+//!   shared write-half mutex.
 //!
 //! # Tenancy
 //!
@@ -87,6 +97,52 @@ impl TenantSpec {
     }
 }
 
+/// How connections are served after `accept`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Two OS threads per connection. Simple, but thread count grows
+    /// with the client population.
+    Threaded,
+    /// A fixed pool of epoll event-loop threads; each connection is a
+    /// nonblocking state machine. Thread count stays constant no matter
+    /// how many clients connect. Requires epoll + eventfd; on other
+    /// hosts the server falls back to [`ServerMode::Threaded`] and
+    /// records the fallback in telemetry.
+    Reactor {
+        /// Event-loop thread count (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl ServerMode {
+    /// The default reactor shape: `min(4, cores)` event-loop threads.
+    #[must_use]
+    pub fn reactor() -> Self {
+        Self::Reactor {
+            threads: default_reactor_threads(),
+        }
+    }
+
+    /// `"threaded"` or `"reactor"` — the provenance string benches
+    /// record next to their numbers.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Threaded => "threaded",
+            Self::Reactor { .. } => "reactor",
+        }
+    }
+}
+
+/// `min(4, available cores)`: a handful of event loops saturates the
+/// store long before core count matters, and a small pool keeps the
+/// constant-thread-count claim honest on big machines.
+#[must_use]
+pub fn default_reactor_threads() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    cores.min(4).max(1)
+}
+
 /// Server-wide knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -98,6 +154,8 @@ pub struct ServerConfig {
     /// How often blocked reads and reaps wake to check the shutdown
     /// flag. Latency of shutdown, not of requests.
     pub poll_interval: Duration,
+    /// Connection-serving plane. Defaults to the reactor.
+    pub mode: ServerMode,
 }
 
 impl Default for ServerConfig {
@@ -106,52 +164,62 @@ impl Default for ServerConfig {
             tenants: Vec::new(),
             max_frame: DEFAULT_MAX_FRAME,
             poll_interval: Duration::from_millis(50),
+            mode: ServerMode::reactor(),
         }
     }
 }
 
 /// Per-tenant counters, reported under `server/tenant<T>/…`.
 #[derive(Debug, Default)]
-struct TenantCounters {
-    connections_accepted: AtomicU64,
-    quota_rejections: AtomicU64,
-    ops_ok: AtomicU64,
-    ops_err: AtomicU64,
-    bad_frames: AtomicU64,
-    duplicate_request_ids: AtomicU64,
-    unknown_opcodes: AtomicU64,
-    shutdown_rejections: AtomicU64,
+pub(crate) struct TenantCounters {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) quota_rejections: AtomicU64,
+    pub(crate) ops_ok: AtomicU64,
+    pub(crate) ops_err: AtomicU64,
+    pub(crate) bad_frames: AtomicU64,
+    pub(crate) duplicate_request_ids: AtomicU64,
+    pub(crate) unknown_opcodes: AtomicU64,
+    pub(crate) shutdown_rejections: AtomicU64,
+    /// Times a serving plane paused reading a connection because the
+    /// store reported [`StoreError::Overloaded`] — backpressure applied
+    /// instead of bouncing a valid operation back to the client.
+    pub(crate) overload_stalls: AtomicU64,
 }
 
-struct Tenant {
-    id: usize,
-    store: SecureStore,
-    connections: AtomicUsize,
-    max_connections: usize,
-    max_window: usize,
-    counters: TenantCounters,
+pub(crate) struct Tenant {
+    pub(crate) id: usize,
+    pub(crate) store: SecureStore,
+    pub(crate) connections: AtomicUsize,
+    pub(crate) max_connections: usize,
+    pub(crate) max_window: usize,
+    pub(crate) counters: TenantCounters,
 }
 
 /// Server-level counters (events before a connection has a tenant).
 #[derive(Debug, Default)]
-struct ServerCounters {
-    connections_accepted: AtomicU64,
-    bad_version: AtomicU64,
-    unknown_tenant: AtomicU64,
-    pre_hello_failures: AtomicU64,
+pub(crate) struct ServerCounters {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) bad_version: AtomicU64,
+    pub(crate) unknown_tenant: AtomicU64,
+    pub(crate) pre_hello_failures: AtomicU64,
 }
 
-struct Shared {
-    tenants: Vec<Tenant>,
-    counters: ServerCounters,
-    shutdown: AtomicBool,
-    max_frame: u32,
-    poll_interval: Duration,
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+pub(crate) struct Shared {
+    pub(crate) tenants: Vec<Tenant>,
+    pub(crate) counters: ServerCounters,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) max_frame: u32,
+    pub(crate) poll_interval: Duration,
+    pub(crate) conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// `Some` when serving in reactor mode.
+    pub(crate) reactor: Option<crate::reactor::ReactorPool>,
+    /// True when a reactor was requested but the host has no epoll, so
+    /// the server is running threaded instead.
+    pub(crate) reactor_fallback: bool,
 }
 
 impl Shared {
-    fn tenant(&self, id: usize) -> Option<&Tenant> {
+    pub(crate) fn tenant(&self, id: usize) -> Option<&Tenant> {
         self.tenants.iter().find(|t| t.id == id)
     }
 }
@@ -212,6 +280,17 @@ impl Server {
                 counters: TenantCounters::default(),
             });
         }
+        // Resolve the serving mode up front: if the host cannot build
+        // the epoll/eventfd plumbing, fall back to threaded serving and
+        // say so in telemetry — never a silent half-working reactor.
+        let (pool, seeds) = match config.mode {
+            ServerMode::Threaded => (None, Vec::new()),
+            ServerMode::Reactor { threads } => match crate::reactor::prepare(threads.max(1)) {
+                Some((pool, seeds)) => (Some(pool), seeds),
+                None => (None, Vec::new()),
+            },
+        };
+        let reactor_fallback = matches!(config.mode, ServerMode::Reactor { .. }) && pool.is_none();
         let shared = Arc::new(Shared {
             tenants,
             counters: ServerCounters::default(),
@@ -219,7 +298,21 @@ impl Server {
             max_frame: config.max_frame,
             poll_interval: config.poll_interval,
             conn_handles: Mutex::new(Vec::new()),
+            reactor: pool,
+            reactor_fallback,
         });
+        for seed in seeds {
+            let reactor_shared = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name("ame-server-reactor".into())
+                .spawn(move || crate::reactor::reactor_thread(&reactor_shared, seed))
+                .expect("spawn reactor thread");
+            shared
+                .reactor
+                .as_ref()
+                .expect("seeds imply a pool")
+                .push_handle(handle);
+        }
         let accept_shared = Arc::clone(&shared);
         let accept_handle = thread::Builder::new()
             .name("ame-server-accept".into())
@@ -236,6 +329,23 @@ impl Server {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The serving mode actually running — `"reactor"` or `"threaded"`.
+    /// Reports the post-fallback truth, not what was requested.
+    #[must_use]
+    pub fn mode_name(&self) -> &'static str {
+        if self.shared.reactor.is_some() {
+            "reactor"
+        } else {
+            "threaded"
+        }
+    }
+
+    /// Event-loop thread count (0 when serving threaded).
+    #[must_use]
+    pub fn reactor_threads(&self) -> usize {
+        self.shared.reactor.as_ref().map_or(0, |p| p.threads())
     }
 
     /// Snapshot of the full metric tree: per-tenant store metrics under
@@ -258,6 +368,14 @@ impl Server {
             "server/pre_hello_failures",
             c.pre_hello_failures.load(Ordering::Relaxed),
         );
+        reg.set_gauge(
+            "server/reactor_threads",
+            self.reactor_threads() as f64,
+        );
+        reg.set_gauge(
+            "server/reactor_fallback",
+            f64::from(u8::from(self.shared.reactor_fallback)),
+        );
         for t in &self.shared.tenants {
             let scope = format!("server/tenant{}", t.id);
             t.store.collect(&mut reg, &format!("{scope}/store"));
@@ -275,6 +393,7 @@ impl Server {
                 ("duplicate_request_ids", &tc.duplicate_request_ids),
                 ("unknown_opcodes", &tc.unknown_opcodes),
                 ("shutdown_rejections", &tc.shutdown_rejections),
+                ("overload_stalls", &tc.overload_stalls),
             ] {
                 reg.set_counter(&format!("{scope}/{name}"), v.load(Ordering::Relaxed));
             }
@@ -300,6 +419,12 @@ impl Server {
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_handle.take() {
             handle.join().expect("accept thread panicked");
+        }
+        if let Some(pool) = &self.shared.reactor {
+            pool.wake_all();
+            for handle in pool.take_handles() {
+                handle.join().expect("reactor thread panicked");
+            }
         }
         let handles = std::mem::take(&mut *self.shared.conn_handles.lock().unwrap());
         for handle in handles {
@@ -335,6 +460,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .counters
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(pool) = &shared.reactor {
+            pool.dispatch(stream);
+            continue;
+        }
         let conn_shared = Arc::clone(shared);
         let handle = thread::Builder::new()
             .name("ame-server-conn".into())
@@ -385,33 +514,44 @@ impl ConnReader {
     }
 
     fn try_parse(&mut self) -> Result<Option<Frame>, FrameError> {
-        if self.buf.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
-        if len > self.max_frame {
-            return Err(FrameError::Oversized {
-                len,
-                max: self.max_frame,
-            });
-        }
-        if (len as usize) < HEADER_BYTES {
-            return Err(FrameError::TooShort { len });
-        }
-        let total = 4 + len as usize;
-        if self.buf.len() < total {
-            return Ok(None);
-        }
-        let tag = self.buf[4];
-        let req_id = u64::from_le_bytes(self.buf[5..13].try_into().unwrap());
-        let payload = self.buf[13..total].to_vec();
-        self.buf.drain(..total);
-        Ok(Some(Frame {
-            tag,
-            req_id,
-            payload,
-        }))
+        try_parse_frame(&mut self.buf, self.max_frame)
     }
+}
+
+/// Pops one complete frame off the front of `buf`, if one is buffered.
+/// `Ok(None)` means "keep reading"; an error is a framing violation that
+/// desynchronises the stream (the connection must close). Shared by the
+/// threaded reader and the reactor's per-connection state machine.
+pub(crate) fn try_parse_frame(
+    buf: &mut Vec<u8>,
+    max_frame: u32,
+) -> Result<Option<Frame>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len > max_frame {
+        return Err(FrameError::Oversized {
+            len,
+            max: max_frame,
+        });
+    }
+    if (len as usize) < HEADER_BYTES {
+        return Err(FrameError::TooShort { len });
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let tag = buf[4];
+    let req_id = u64::from_le_bytes(buf[5..13].try_into().unwrap());
+    let payload = buf[13..total].to_vec();
+    buf.drain(..total);
+    Ok(Some(Frame {
+        tag,
+        req_id,
+        payload,
+    }))
 }
 
 /// Reader/writer shared bookkeeping for one connection: which request
@@ -434,12 +574,70 @@ fn respond_err(wr: &WriteHalf, req_id: u64, e: &WireError) -> io::Result<()> {
     respond(wr, tag, req_id, &payload)
 }
 
-/// Why the reader loop ended, deciding the closing notice.
-enum ConnEnd {
+/// Why a connection's serving loop ended, deciding the closing notice.
+pub(crate) enum ConnEnd {
     Goodbye,
     Eof,
     Shutdown,
     Malformed,
+}
+
+/// Outcome of evaluating a `Hello` frame against server state. Counter
+/// updates happen inside [`evaluate_hello`]; admission bookkeeping
+/// (`connections` increment, session split) stays with the caller.
+pub(crate) enum HelloDecision<'a> {
+    /// Admit: reply with `reply` (tagged `STATUS_OK`), then serve
+    /// `tenant` with a per-shard window of `window`.
+    Grant {
+        tenant: &'a Tenant,
+        window: usize,
+        reply: Vec<u8>,
+    },
+    /// Refuse with this typed error, then close.
+    Refuse(WireError),
+}
+
+/// Shared `Hello` policy: frame shape, protocol version, tenant lookup,
+/// connection quota, window clamp. Both serving planes route their
+/// handshake through here so admission rules can never drift apart.
+pub(crate) fn evaluate_hello<'a>(shared: &'a Shared, frame: &Frame) -> HelloDecision<'a> {
+    if frame.tag != op::HELLO || frame.payload.len() != 12 {
+        shared
+            .counters
+            .pre_hello_failures
+            .fetch_add(1, Ordering::Relaxed);
+        return HelloDecision::Refuse(WireError::BadFrame);
+    }
+    let version = u32::from_le_bytes(frame.payload[0..4].try_into().unwrap());
+    let tenant_id = u32::from_le_bytes(frame.payload[4..8].try_into().unwrap());
+    let requested = u32::from_le_bytes(frame.payload[8..12].try_into().unwrap());
+    if version != PROTOCOL_VERSION {
+        shared.counters.bad_version.fetch_add(1, Ordering::Relaxed);
+        return HelloDecision::Refuse(WireError::BadVersion(PROTOCOL_VERSION));
+    }
+    let Some(tenant) = shared.tenant(tenant_id as usize) else {
+        shared
+            .counters
+            .unknown_tenant
+            .fetch_add(1, Ordering::Relaxed);
+        return HelloDecision::Refuse(WireError::UnknownTenant(tenant_id));
+    };
+    if tenant.connections.load(Ordering::SeqCst) >= tenant.max_connections {
+        tenant
+            .counters
+            .quota_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return HelloDecision::Refuse(WireError::QuotaExceeded);
+    }
+    let granted = (requested.max(1) as usize).min(tenant.max_window);
+    let mut reply = Vec::with_capacity(8);
+    reply.extend_from_slice(&(granted as u32).to_le_bytes());
+    reply.extend_from_slice(&(tenant.store.shards() as u32).to_le_bytes());
+    HelloDecision::Grant {
+        tenant,
+        window: granted,
+        reply,
+    }
 }
 
 fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
@@ -508,46 +706,22 @@ fn handshake<'a>(
             }
         }
     };
-    if frame.tag != op::HELLO || frame.payload.len() != 12 {
-        shared
-            .counters
-            .pre_hello_failures
-            .fetch_add(1, Ordering::Relaxed);
-        let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
-        return None;
+    match evaluate_hello(shared, &frame) {
+        HelloDecision::Grant {
+            tenant,
+            window,
+            reply,
+        } => {
+            if respond(wr, protocol::STATUS_OK, frame.req_id, &reply).is_err() {
+                return None;
+            }
+            Some((tenant, window))
+        }
+        HelloDecision::Refuse(e) => {
+            let _ = respond_err(wr, frame.req_id, &e);
+            None
+        }
     }
-    let version = u32::from_le_bytes(frame.payload[0..4].try_into().unwrap());
-    let tenant_id = u32::from_le_bytes(frame.payload[4..8].try_into().unwrap());
-    let requested = u32::from_le_bytes(frame.payload[8..12].try_into().unwrap());
-    if version != PROTOCOL_VERSION {
-        shared.counters.bad_version.fetch_add(1, Ordering::Relaxed);
-        let _ = respond_err(wr, frame.req_id, &WireError::BadVersion(PROTOCOL_VERSION));
-        return None;
-    }
-    let Some(tenant) = shared.tenant(tenant_id as usize) else {
-        shared
-            .counters
-            .unknown_tenant
-            .fetch_add(1, Ordering::Relaxed);
-        let _ = respond_err(wr, frame.req_id, &WireError::UnknownTenant(tenant_id));
-        return None;
-    };
-    if tenant.connections.load(Ordering::SeqCst) >= tenant.max_connections {
-        tenant
-            .counters
-            .quota_rejections
-            .fetch_add(1, Ordering::Relaxed);
-        let _ = respond_err(wr, frame.req_id, &WireError::QuotaExceeded);
-        return None;
-    }
-    let granted = (requested.max(1) as usize).min(tenant.max_window);
-    let mut payload = Vec::with_capacity(8);
-    payload.extend_from_slice(&(granted as u32).to_le_bytes());
-    payload.extend_from_slice(&(tenant.store.shards() as u32).to_le_bytes());
-    if respond(wr, protocol::STATUS_OK, frame.req_id, &payload).is_err() {
-        return None;
-    }
-    Some((tenant, granted))
 }
 
 fn reader_loop(
@@ -597,22 +771,49 @@ fn reader_loop(
                     reject_duplicate(tenant, wr, frame.req_id);
                     continue;
                 }
-                match submit_op(&mut submitter, &frame) {
-                    Submitted::Ticket(ticket) => {
-                        state.by_ticket.insert(ticket, frame.req_id);
-                    }
-                    Submitted::Rejected(e) => {
-                        state.ids.remove(&frame.req_id);
-                        drop(state);
-                        tenant.counters.ops_err.fetch_add(1, Ordering::Relaxed);
-                        let (tag, payload) = encode_store_error(&e);
-                        let _ = respond(wr, tag, frame.req_id, &payload);
-                    }
-                    Submitted::Malformed => {
-                        state.ids.remove(&frame.req_id);
-                        drop(state);
-                        tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
-                        let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
+                loop {
+                    match submit_op(&mut submitter, &frame) {
+                        Submitted::Ticket(ticket) => {
+                            state.by_ticket.insert(ticket, frame.req_id);
+                            break;
+                        }
+                        Submitted::Rejected(StoreError::Overloaded { .. }) => {
+                            // Saturation is backpressure, not an error:
+                            // stop reading this connection (the lock is
+                            // released so the writer keeps draining) and
+                            // retry once the store has breathed.
+                            drop(state);
+                            tenant
+                                .counters
+                                .overload_stalls
+                                .fetch_add(1, Ordering::Relaxed);
+                            thread::sleep(Duration::from_micros(200));
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                tenant
+                                    .counters
+                                    .shutdown_rejections
+                                    .fetch_add(1, Ordering::Relaxed);
+                                let _ =
+                                    respond_err(wr, frame.req_id, &WireError::ShuttingDown);
+                                return ConnEnd::Shutdown;
+                            }
+                            state = in_flight.lock().unwrap();
+                        }
+                        Submitted::Rejected(e) => {
+                            state.ids.remove(&frame.req_id);
+                            drop(state);
+                            tenant.counters.ops_err.fetch_add(1, Ordering::Relaxed);
+                            let (tag, payload) = encode_store_error(&e);
+                            let _ = respond(wr, tag, frame.req_id, &payload);
+                            break;
+                        }
+                        Submitted::Malformed => {
+                            state.ids.remove(&frame.req_id);
+                            drop(state);
+                            tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                            let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
+                            break;
+                        }
                     }
                 }
             }
@@ -646,13 +847,13 @@ fn reject_duplicate(tenant: &Tenant, wr: &WriteHalf, req_id: u64) {
     let _ = respond_err(wr, req_id, &WireError::DuplicateRequestId);
 }
 
-enum Submitted {
+pub(crate) enum Submitted {
     Ticket(Ticket),
     Rejected(StoreError),
     Malformed,
 }
 
-fn submit_op(submitter: &mut SessionSubmitter<'_>, frame: &Frame) -> Submitted {
+pub(crate) fn submit_op(submitter: &mut SessionSubmitter<'_>, frame: &Frame) -> Submitted {
     let p = &frame.payload;
     let result = match frame.tag {
         op::READ if p.len() == 8 => {
@@ -683,32 +884,37 @@ fn submit_op(submitter: &mut SessionSubmitter<'_>, frame: &Frame) -> Submitted {
 }
 
 fn handle_tamper(tenant: &Tenant, wr: &WriteHalf, frame: &Frame) {
+    let (tag, payload) = exec_tamper(tenant, frame);
+    let _ = respond(wr, tag, frame.req_id, &payload);
+}
+
+/// Executes a tamper-injection frame synchronously (it bypasses the
+/// session pipeline by design) and returns the reply's tag + payload.
+/// Counter updates happen here; shared by both serving planes.
+pub(crate) fn exec_tamper(tenant: &Tenant, frame: &Frame) -> (u8, Vec<u8>) {
     let p = &frame.payload;
-    if p.len() != 13 {
+    let bad_frame = |tenant: &Tenant| {
         tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
-        let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
-        return;
+        encode_server_error(&WireError::BadFrame)
+    };
+    if p.len() != 13 {
+        return bad_frame(tenant);
     }
     let addr = u64::from_le_bytes(p[..8].try_into().unwrap());
     let bit = u32::from_le_bytes(p[8..12].try_into().unwrap());
     let result = match p[12] {
         0 => tenant.store.tamper_data_bit(addr, bit),
         1 => tenant.store.tamper_sideband_bit(addr, bit),
-        _ => {
-            tenant.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
-            let _ = respond_err(wr, frame.req_id, &WireError::BadFrame);
-            return;
-        }
+        _ => return bad_frame(tenant),
     };
     match result {
         Ok(()) => {
             tenant.counters.ops_ok.fetch_add(1, Ordering::Relaxed);
-            let _ = respond(wr, protocol::STATUS_OK, frame.req_id, &[]);
+            (protocol::STATUS_OK, Vec::new())
         }
         Err(e) => {
             tenant.counters.ops_err.fetch_add(1, Ordering::Relaxed);
-            let (tag, payload) = encode_store_error(&e);
-            let _ = respond(wr, tag, frame.req_id, &payload);
+            encode_store_error(&e)
         }
     }
 }

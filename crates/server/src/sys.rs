@@ -1,0 +1,235 @@
+//! Quarantined `epoll(7)` binding for the connection reactor.
+//!
+//! Same construction rules as `ame-store`'s `affinity`/`wake` modules:
+//! the workspace links no libc crate, so the four syscalls the reactor
+//! needs are declared by hand and wrapped in a safe [`Epoll`] handle.
+//! Everything else in the server stays under `#![deny(unsafe_code)]`.
+//!
+//! Failure is never silent but always *detectable up front*:
+//! [`Epoll::new`] returns `None` on hosts without epoll (any non-Linux
+//! OS, or fd exhaustion), and the server reacts by falling back to
+//! thread-per-connection serving with a recorded telemetry gauge —
+//! the reactor is an acceleration, not a correctness requirement.
+
+#![allow(unsafe_code)]
+
+/// Readable (`EPOLLIN`).
+pub(crate) const EPOLLIN: u32 = 0x001;
+/// Writable (`EPOLLOUT`).
+pub(crate) const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, never requested.
+pub(crate) const EPOLLERR: u32 = 0x008;
+/// Hangup (`EPOLLHUP`); always reported, never requested.
+pub(crate) const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (`EPOLLRDHUP`).
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness event out of `epoll_wait`.
+///
+/// Layout matches the kernel's `struct epoll_event` on x86-64, where
+/// glibc declares it packed (12 bytes: `u32` events + `u64` data).
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub(crate) struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// The ready event mask.
+    pub(crate) fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The caller-chosen token registered with the fd.
+    pub(crate) fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::EpollEvent;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub struct RawEpoll {
+        fd: i32,
+    }
+
+    impl RawEpoll {
+        pub fn new() -> Option<Self> {
+            // SAFETY: epoll_create1 takes no pointers; failure is a
+            // negative return.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            (fd >= 0).then_some(Self { fd })
+        }
+
+        fn ctl(&self, op: i32, fd: i32, events: u32, token: u64) -> bool {
+            let mut event = EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: the event struct is a live stack value matching the
+            // kernel's expected (packed) layout; the kernel copies it
+            // before returning. DEL ignores the pointer on modern
+            // kernels but a valid one is passed anyway.
+            unsafe { epoll_ctl(self.fd, op, fd, &raw mut event) == 0 }
+        }
+
+        pub fn add(&self, fd: i32, events: u32, token: u64) -> bool {
+            self.ctl(EPOLL_CTL_ADD, fd, events, token)
+        }
+
+        pub fn modify(&self, fd: i32, events: u32, token: u64) -> bool {
+            self.ctl(EPOLL_CTL_MOD, fd, events, token)
+        }
+
+        pub fn del(&self, fd: i32) -> bool {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+            if events.is_empty() {
+                return 0;
+            }
+            // SAFETY: the out-buffer is a live, writable slice and
+            // maxevents never exceeds its length; the kernel writes at
+            // most that many entries. A negative return (EINTR) reports
+            // zero events — the caller's loop just polls again.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as i32,
+                    timeout_ms,
+                )
+            };
+            n.max(0) as usize
+        }
+    }
+
+    impl Drop for RawEpoll {
+        fn drop(&mut self) {
+            // SAFETY: closes the fd this struct exclusively owns.
+            let _ = unsafe { close(self.fd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::EpollEvent;
+
+    /// Non-Linux stub: construction fails, so no caller ever holds one.
+    #[derive(Debug)]
+    pub struct RawEpoll {}
+
+    impl RawEpoll {
+        pub fn new() -> Option<Self> {
+            None
+        }
+
+        pub fn add(&self, _fd: i32, _events: u32, _token: u64) -> bool {
+            false
+        }
+
+        pub fn modify(&self, _fd: i32, _events: u32, _token: u64) -> bool {
+            false
+        }
+
+        pub fn del(&self, _fd: i32) -> bool {
+            false
+        }
+
+        pub fn wait(&self, _events: &mut [EpollEvent], _timeout_ms: i32) -> usize {
+            0
+        }
+    }
+}
+
+/// A safe handle on one epoll interest set.
+///
+/// `None` from [`Epoll::new`] is the host's way of saying "no reactor
+/// here" — the caller must fall back, visibly.
+#[derive(Debug)]
+pub(crate) struct Epoll {
+    raw: imp::RawEpoll,
+}
+
+impl Epoll {
+    pub(crate) fn new() -> Option<Self> {
+        imp::RawEpoll::new().map(|raw| Self { raw })
+    }
+
+    /// Registers `fd` for `events`, tagged with `token`.
+    pub(crate) fn add(&self, fd: i32, events: u32, token: u64) -> bool {
+        self.raw.add(fd, events, token)
+    }
+
+    /// Re-arms `fd` with a new event mask (level-triggered).
+    pub(crate) fn modify(&self, fd: i32, events: u32, token: u64) -> bool {
+        self.raw.modify(fd, events, token)
+    }
+
+    /// Removes `fd` from the interest set (best-effort: closing the fd
+    /// removes it anyway).
+    pub(crate) fn del(&self, fd: i32) -> bool {
+        self.raw.del(fd)
+    }
+
+    /// Blocks up to `timeout_ms` (`-1` = forever) for readiness; fills
+    /// `events` and returns how many entries are valid.
+    pub(crate) fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+        self.raw.wait(events, timeout_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_event_layout_matches_kernel() {
+        // x86-64 glibc packs epoll_event to 12 bytes; a mismatch here
+        // would corrupt every event the kernel writes.
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn wait_times_out_on_empty_interest_set() {
+        let ep = Epoll::new().expect("linux hosts have epoll");
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(ep.wait(&mut events, 0), 0);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn wakes_on_registered_eventfd() {
+        let ep = Epoll::new().expect("linux hosts have epoll");
+        let wake = ame_store::WakeFd::new().expect("linux hosts have eventfd");
+        assert!(ep.add(wake.raw_fd(), EPOLLIN, 42));
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(ep.wait(&mut events, 0), 0, "unsignalled fd is not ready");
+        wake.signal();
+        assert_eq!(ep.wait(&mut events, 1000), 1);
+        assert_eq!(events[0].token(), 42);
+        assert!(events[0].events() & EPOLLIN != 0);
+        wake.drain();
+        assert_eq!(ep.wait(&mut events, 0), 0, "drained fd is not ready");
+        assert!(ep.del(wake.raw_fd()));
+    }
+}

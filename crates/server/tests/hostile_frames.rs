@@ -1,11 +1,12 @@
 //! Satellite: malformed and hostile frames are rejected per-connection
 //! — typed codes where the stream is still coherent, a close where it
-//! is not — and never disturb another tenant's live session.
+//! is not — and never disturb another tenant's live session. Every
+//! scenario runs in **both** serving modes.
 
 use ame_server::protocol::{
     self, code, op, read_frame, write_frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
-use ame_server::{Client, Server, ServerConfig, TenantSpec};
+use ame_server::{Client, Server, ServerConfig, ServerMode, TenantSpec};
 use ame_store::{StoreConfig, BLOCK_BYTES};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -19,7 +20,7 @@ fn small_store() -> StoreConfig {
     }
 }
 
-fn two_tenant_server() -> Server {
+fn two_tenant_server(mode: ServerMode) -> Server {
     Server::bind(
         "127.0.0.1:0",
         ServerConfig {
@@ -27,6 +28,7 @@ fn two_tenant_server() -> Server {
                 TenantSpec::new(0, small_store()),
                 TenantSpec::new(1, small_store()),
             ],
+            mode,
             ..ServerConfig::default()
         },
     )
@@ -64,8 +66,17 @@ fn assert_other_tenant_healthy(server: &Server, fill: u8) {
 }
 
 #[test]
-fn oversized_length_prefix_gets_bad_frame_and_close() {
-    let server = two_tenant_server();
+fn oversized_length_prefix_gets_bad_frame_and_close_reactor() {
+    oversized_length_prefix_gets_bad_frame_and_close(ServerMode::reactor());
+}
+
+#[test]
+fn oversized_length_prefix_gets_bad_frame_and_close_threaded() {
+    oversized_length_prefix_gets_bad_frame_and_close(ServerMode::Threaded);
+}
+
+fn oversized_length_prefix_gets_bad_frame_and_close(mode: ServerMode) {
+    let server = two_tenant_server(mode);
     let mut attacker = raw_hello(server.addr());
 
     // A 4 GiB length prefix: the server must answer BAD_FRAME without
@@ -93,8 +104,17 @@ fn oversized_length_prefix_gets_bad_frame_and_close() {
 }
 
 #[test]
-fn truncated_frame_closes_without_poisoning_the_server() {
-    let server = two_tenant_server();
+fn truncated_frame_closes_without_poisoning_the_server_reactor() {
+    truncated_frame_closes_without_poisoning_the_server(ServerMode::reactor());
+}
+
+#[test]
+fn truncated_frame_closes_without_poisoning_the_server_threaded() {
+    truncated_frame_closes_without_poisoning_the_server(ServerMode::Threaded);
+}
+
+fn truncated_frame_closes_without_poisoning_the_server(mode: ServerMode) {
+    let server = two_tenant_server(mode);
     let mut attacker = raw_hello(server.addr());
 
     // Claim 80 bytes, deliver 10, walk away: the server can never
@@ -110,8 +130,17 @@ fn truncated_frame_closes_without_poisoning_the_server() {
 }
 
 #[test]
-fn unknown_opcode_is_typed_and_survivable() {
-    let server = two_tenant_server();
+fn unknown_opcode_is_typed_and_survivable_reactor() {
+    unknown_opcode_is_typed_and_survivable(ServerMode::reactor());
+}
+
+#[test]
+fn unknown_opcode_is_typed_and_survivable_threaded() {
+    unknown_opcode_is_typed_and_survivable(ServerMode::Threaded);
+}
+
+fn unknown_opcode_is_typed_and_survivable(mode: ServerMode) {
+    let server = two_tenant_server(mode);
     let mut attacker = raw_hello(server.addr());
 
     write_frame(&mut attacker, 0x7e, 9, &[1, 2, 3]).unwrap();
@@ -133,8 +162,17 @@ fn unknown_opcode_is_typed_and_survivable() {
 }
 
 #[test]
-fn replayed_request_id_within_window_is_rejected() {
-    let server = two_tenant_server();
+fn replayed_request_id_within_window_is_rejected_reactor() {
+    replayed_request_id_within_window_is_rejected(ServerMode::reactor());
+}
+
+#[test]
+fn replayed_request_id_within_window_is_rejected_threaded() {
+    replayed_request_id_within_window_is_rejected(ServerMode::Threaded);
+}
+
+fn replayed_request_id_within_window_is_rejected(mode: ServerMode) {
+    let server = two_tenant_server(mode);
     let mut attacker = raw_hello(server.addr());
 
     // Pairs of back-to-back reads sharing a request id, written in one
@@ -181,8 +219,17 @@ fn replayed_request_id_within_window_is_rejected() {
 }
 
 #[test]
-fn operation_before_hello_is_refused() {
-    let server = two_tenant_server();
+fn operation_before_hello_is_refused_reactor() {
+    operation_before_hello_is_refused(ServerMode::reactor());
+}
+
+#[test]
+fn operation_before_hello_is_refused_threaded() {
+    operation_before_hello_is_refused(ServerMode::Threaded);
+}
+
+fn operation_before_hello_is_refused(mode: ServerMode) {
+    let server = two_tenant_server(mode);
     let mut stream = TcpStream::connect(server.addr()).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))

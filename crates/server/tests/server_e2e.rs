@@ -1,9 +1,11 @@
-//! End-to-end coverage of the tentpole: blocking and pipelined clients
-//! against a live loopback server, handshake policy (tenants, quotas,
-//! window clamping), and the per-tenant telemetry subtree.
+//! End-to-end coverage of the serving planes: blocking and pipelined
+//! clients against a live loopback server, handshake policy (tenants,
+//! quotas, window clamping), and the per-tenant telemetry subtree.
+//! Every scenario runs in **both** serving modes — the reactor must be
+//! wire-indistinguishable from thread-per-connection.
 
 use ame_server::{
-    Client, ClientError, PipelinedClient, Server, ServerConfig, TenantSpec, WireError,
+    Client, ClientError, PipelinedClient, Server, ServerConfig, ServerMode, TenantSpec, WireError,
 };
 use ame_store::{StoreConfig, StoreError, BLOCK_BYTES};
 
@@ -15,7 +17,7 @@ fn small_store() -> StoreConfig {
     }
 }
 
-fn two_tenant_server() -> Server {
+fn two_tenant_server(mode: ServerMode) -> Server {
     Server::bind(
         "127.0.0.1:0",
         ServerConfig {
@@ -23,6 +25,7 @@ fn two_tenant_server() -> Server {
                 TenantSpec::new(0, small_store()),
                 TenantSpec::new(1, small_store()),
             ],
+            mode,
             ..ServerConfig::default()
         },
     )
@@ -34,8 +37,17 @@ fn block(fill: u8) -> [u8; BLOCK_BYTES] {
 }
 
 #[test]
-fn blocking_client_read_write_cas() {
-    let server = two_tenant_server();
+fn blocking_client_read_write_cas_reactor() {
+    blocking_client_read_write_cas(ServerMode::reactor());
+}
+
+#[test]
+fn blocking_client_read_write_cas_threaded() {
+    blocking_client_read_write_cas(ServerMode::Threaded);
+}
+
+fn blocking_client_read_write_cas(mode: ServerMode) {
+    let server = two_tenant_server(mode);
     let mut client = Client::connect(server.addr(), 0).unwrap();
 
     client.write(0, &block(0xa1)).unwrap();
@@ -66,8 +78,17 @@ fn blocking_client_read_write_cas() {
 }
 
 #[test]
-fn pipelined_window_and_out_of_order_completions() {
-    let server = two_tenant_server();
+fn pipelined_window_and_out_of_order_completions_reactor() {
+    pipelined_window_and_out_of_order_completions(ServerMode::reactor());
+}
+
+#[test]
+fn pipelined_window_and_out_of_order_completions_threaded() {
+    pipelined_window_and_out_of_order_completions(ServerMode::Threaded);
+}
+
+fn pipelined_window_and_out_of_order_completions(mode: ServerMode) {
+    let server = two_tenant_server(mode);
     let mut client = PipelinedClient::connect(server.addr(), 1, 8).unwrap();
     assert_eq!(client.window(), 8);
     assert_eq!(client.shards(), 2);
@@ -114,7 +135,16 @@ fn pipelined_window_and_out_of_order_completions() {
 }
 
 #[test]
-fn handshake_policy_unknown_tenant_quota_and_window_clamp() {
+fn handshake_policy_unknown_tenant_quota_and_window_clamp_reactor() {
+    handshake_policy_unknown_tenant_quota_and_window_clamp(ServerMode::reactor());
+}
+
+#[test]
+fn handshake_policy_unknown_tenant_quota_and_window_clamp_threaded() {
+    handshake_policy_unknown_tenant_quota_and_window_clamp(ServerMode::Threaded);
+}
+
+fn handshake_policy_unknown_tenant_quota_and_window_clamp(mode: ServerMode) {
     let mut tight = TenantSpec::new(3, small_store());
     tight.max_connections = 1;
     tight.max_window = 4;
@@ -122,6 +152,7 @@ fn handshake_policy_unknown_tenant_quota_and_window_clamp() {
         "127.0.0.1:0",
         ServerConfig {
             tenants: vec![tight],
+            mode,
             ..ServerConfig::default()
         },
     )
@@ -165,14 +196,94 @@ fn handshake_policy_unknown_tenant_quota_and_window_clamp() {
 }
 
 #[test]
-fn telemetry_has_per_tenant_subtrees() {
-    let server = two_tenant_server();
+fn saturated_store_applies_backpressure_reactor() {
+    saturated_store_applies_backpressure(ServerMode::reactor());
+}
+
+#[test]
+fn saturated_store_applies_backpressure_threaded() {
+    saturated_store_applies_backpressure(ServerMode::Threaded);
+}
+
+/// A store sized to choke (single shard, one queue slot, one op per
+/// batch) under a 16-deep pipelined client: saturation must surface as
+/// *backpressure* — every operation still completes, none is bounced
+/// with `Overloaded` — and the stall counter proves the path ran.
+fn saturated_store_applies_backpressure(mode: ServerMode) {
+    let store = StoreConfig {
+        shards: 1,
+        shard_bytes: 64 * 1024,
+        queue_depth: 1,
+        max_batch: 1,
+        ..StoreConfig::default()
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            tenants: vec![TenantSpec::new(0, store)],
+            mode,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut client = PipelinedClient::connect(server.addr(), 0, 16).unwrap();
+    let mut completed = 0usize;
+    for i in 0..256u64 {
+        let (_, reaped) = client
+            .submit_write_wait((i % 64) * 64, &block(i as u8))
+            .unwrap();
+        assert!(
+            reaped.iter().all(|(_, r)| r.is_ok()),
+            "saturation bounced a valid op: {reaped:?}"
+        );
+        completed += reaped.len();
+    }
+    let tail = client.drain().unwrap();
+    assert!(tail.iter().all(|(_, r)| r.is_ok()), "tail: {tail:?}");
+    completed += tail.len();
+    assert_eq!(completed, 256, "every submitted op must complete");
+    client.goodbye().unwrap();
+
+    let snap = server.telemetry();
+    assert!(
+        snap.counter("server/tenant0/overload_stalls").unwrap() >= 1,
+        "a one-slot queue under a 16-deep pipeline must have stalled"
+    );
+    assert_eq!(snap.counter("server/tenant0/ops_err"), Some(0));
+    let _ = server.shutdown();
+}
+
+#[test]
+fn telemetry_has_per_tenant_subtrees_reactor() {
+    telemetry_has_per_tenant_subtrees(ServerMode::reactor());
+}
+
+#[test]
+fn telemetry_has_per_tenant_subtrees_threaded() {
+    telemetry_has_per_tenant_subtrees(ServerMode::Threaded);
+}
+
+fn telemetry_has_per_tenant_subtrees(mode: ServerMode) {
+    let server = two_tenant_server(mode);
     let mut c0 = Client::connect(server.addr(), 0).unwrap();
     c0.write(0, &block(1)).unwrap();
     assert_eq!(c0.read(0).unwrap(), block(1));
     c0.goodbye().unwrap();
 
     let snap = server.telemetry();
+    // Serving-mode provenance: the gauge must agree with what actually
+    // runs (post-fallback), and on Linux a requested reactor must not
+    // have silently fallen back.
+    let reactor_threads = snap.gauge("server/reactor_threads").unwrap();
+    match server.mode_name() {
+        "reactor" => assert!(reactor_threads >= 1.0),
+        _ => assert_eq!(reactor_threads, 0.0),
+    }
+    if cfg!(target_os = "linux") && matches!(mode, ServerMode::Reactor { .. }) {
+        assert_eq!(server.mode_name(), "reactor");
+        assert_eq!(snap.gauge("server/reactor_fallback"), Some(0.0));
+    }
     assert!(snap.counter("server/connections_accepted").unwrap() >= 1);
     assert_eq!(snap.counter("server/tenant0/connections_accepted"), Some(1));
     assert!(snap.counter("server/tenant0/ops_ok").unwrap() >= 2);

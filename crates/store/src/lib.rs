@@ -57,12 +57,15 @@
 mod affinity;
 mod session;
 mod shard;
+mod topology;
+mod wake;
 mod wal;
 
 pub use session::{
     Reaped, Session, SessionConfig, SessionReaper, SessionStats, SessionSubmitter, Ticket,
 };
 pub use shard::{SealReport, ShardStats};
+pub use wake::WakeFd;
 
 use ame_engine::region::SecureRegion;
 pub use ame_engine::BLOCK_BYTES;
@@ -104,8 +107,13 @@ pub enum Placement {
     /// lets deployments align shards with a NUMA topology (e.g. all of
     /// node 0's cores first). An empty list pins nothing.
     Pinned(Vec<usize>),
-    /// Spread shards round-robin across the host's available cores
-    /// (shard `s` on core `s % available_parallelism`).
+    /// Spread shards across the host's cores NUMA-aware: the core list
+    /// is read from `/sys/devices/system/node/node*/cpulist` and
+    /// interleaved across nodes (`node0[0], node1[0], node0[1], …`), so
+    /// consecutive shards — and their first-touched images — alternate
+    /// memory controllers. When sysfs topology is unavailable
+    /// (non-Linux, masked `/sys`) this falls back to plain round-robin
+    /// by index (shard `s` on core `s % available_parallelism`).
     Spread,
 }
 
@@ -126,7 +134,10 @@ impl Placement {
         match self {
             Placement::None => None,
             Placement::Pinned(cores) => (!cores.is_empty()).then(|| cores[shard % cores.len()]),
-            Placement::Spread => Some(shard % affinity::core_count()),
+            Placement::Spread => Some(match topology::numa_interleaved_cores() {
+                Some(cores) => cores[shard % cores.len()],
+                None => shard % affinity::core_count(),
+            }),
         }
     }
 }
@@ -631,6 +642,7 @@ impl SecureStore {
             seq: 0,
             enqueued: Instant::now(),
             reply,
+            wake: None,
         };
         let sent = if blocking {
             self.senders[shard].send(request).map_err(|_| ())
@@ -1412,11 +1424,16 @@ mod tests {
         assert_eq!(pinned.core_for(0), Some(4));
         assert_eq!(pinned.core_for(1), Some(9));
         assert_eq!(pinned.core_for(2), Some(4));
-        // Spread always lands inside the host's core range.
-        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        // Spread follows the NUMA-interleaved core list when sysfs
+        // topology is readable, round-robin-by-index otherwise — and is
+        // deterministic either way.
         for s in 0..8 {
             let core = Placement::Spread.core_for(s).unwrap();
-            assert!(core < cores, "shard {s} on core {core} of {cores}");
+            let expected = match topology::numa_interleaved_cores() {
+                Some(list) => list[s % list.len()],
+                None => s % affinity::core_count(),
+            };
+            assert_eq!(core, expected, "shard {s}");
         }
         assert_eq!(Placement::None.name(), "none");
         assert_eq!(pinned.name(), "pinned");
@@ -1433,13 +1450,13 @@ mod tests {
         });
         store.write(0, &[3; 64]).unwrap();
         assert_eq!(store.read(0).unwrap(), [3; 64]);
-        let cores = std::thread::available_parallelism().map_or(1, usize::from);
         for s in 0..2 {
-            // On Linux the pin must take (Spread only requests existing
-            // cores); elsewhere it must be a recorded no-op, never a lie.
+            // On Linux the pin must take (Spread only requests cores the
+            // kernel reports as present); elsewhere it must be a
+            // recorded no-op, never a lie.
             let observed = store.pinned_core(s);
             if cfg!(target_os = "linux") {
-                assert_eq!(observed, Some(s % cores), "shard {s}");
+                assert_eq!(observed, Placement::Spread.core_for(s), "shard {s}");
             } else {
                 assert_eq!(observed, None, "shard {s}");
             }

@@ -43,12 +43,15 @@
 //! (same shard by construction) therefore observes that write.
 
 use crate::shard::{Completion, Op, OpOutput, OpReply, Request};
+use crate::wake::WakeFd;
 use crate::{SecureStore, StoreError, StoreOp, StoreValue};
 use ame_engine::BLOCK_BYTES;
 use ame_telemetry::{Histogram, MetricSink, Metrics, Snapshot, StatsRegistry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{
+    sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -307,6 +310,7 @@ impl<'a> Session<'a> {
             seq,
             enqueued: Instant::now(),
             reply: self.tx.clone(),
+            wake: None,
         };
         match self.store.senders[shard].try_send(request) {
             Ok(()) => {}
@@ -547,6 +551,10 @@ pub struct SessionSubmitter<'a> {
     next_seq: u64,
     tx: SyncSender<Completion>,
     shared: Arc<SplitShared>,
+    /// Rung by the worker after each completion send, so an
+    /// event-driven reaper blocked in `epoll_wait` learns the queue
+    /// went non-empty. `None` for plain split sessions.
+    wake: Option<Arc<WakeFd>>,
 }
 
 impl std::fmt::Debug for SessionSubmitter<'_> {
@@ -562,6 +570,12 @@ pub struct SessionReaper<'a> {
     _store: &'a SecureStore,
     rx: Receiver<Completion>,
     shared: Arc<SplitShared>,
+    /// The kernel-visible readiness signal paired with the completion
+    /// queue (wake-enabled sessions only).
+    wake: Option<Arc<WakeFd>>,
+    /// Latched once `try_recv_all` observes the disconnected (and fully
+    /// drained) pipeline.
+    closed: bool,
 }
 
 impl std::fmt::Debug for SessionReaper<'_> {
@@ -649,6 +663,7 @@ impl<'a> SessionSubmitter<'a> {
             seq,
             enqueued: Instant::now(),
             reply: self.tx.clone(),
+            wake: self.wake.clone(),
         };
         // Count the slot *before* the send: the completion (and the
         // reaper's decrement) can race an increment placed after it.
@@ -705,6 +720,53 @@ impl<'a> SessionReaper<'a> {
             .map(|completion| self.absorb(completion))
     }
 
+    /// Drains every completion available right now without blocking, in
+    /// arrival (per-shard FIFO) order. The event-driven reap: a reactor
+    /// woken by this session's [`wake_fd`](Self::wake_fd) calls
+    /// [`drain_wake`](Self::drain_wake) then this, and the drain-first
+    /// order guarantees no completion is ever stranded (one that lands
+    /// between the two re-rings the wakeup).
+    pub fn try_recv_all(&mut self) -> Vec<(Ticket, Result<StoreValue, StoreError>)> {
+        let mut out = Vec::new();
+        loop {
+            match self.rx.try_recv() {
+                Ok(completion) => out.push(self.absorb(completion)),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` once the paired submitter is gone **and** every completion
+    /// has been drained (observed by
+    /// [`try_recv_all`](Self::try_recv_all)): the pipeline will never
+    /// yield again.
+    #[must_use]
+    pub fn pipeline_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// The raw wake descriptor to register in an `epoll(7)` interest
+    /// set, for sessions opened with
+    /// [`SecureStore::split_session_with_wake`]; `None` for plain split
+    /// sessions and hosts without eventfd.
+    #[must_use]
+    pub fn wake_fd(&self) -> Option<i32> {
+        self.wake.as_ref().map(|w| w.raw_fd())
+    }
+
+    /// Clears the wake descriptor's pending-signal counter. Call on
+    /// wakeup *before* [`try_recv_all`](Self::try_recv_all).
+    pub fn drain_wake(&self) {
+        if let Some(w) = &self.wake {
+            w.drain();
+        }
+    }
+
     fn absorb(&mut self, completion: Completion) -> (Ticket, Result<StoreValue, StoreError>) {
         self.shared.per_shard[completion.shard].fetch_sub(1, Ordering::Relaxed);
         (Ticket(completion.seq), completion.result.map(to_value))
@@ -733,6 +795,36 @@ impl SecureStore {
         &self,
         config: SessionConfig,
     ) -> (SessionSubmitter<'_>, SessionReaper<'_>) {
+        self.split_session_inner(config, None)
+    }
+
+    /// Like [`SecureStore::split_session_with`], but pairs the pipeline
+    /// with a kernel-visible [`WakeFd`]: shard workers ring it after
+    /// each completion send, and the reaper exposes it via
+    /// [`SessionReaper::wake_fd`] for registration in an `epoll(7)`
+    /// interest set. This is what lets one event-loop thread block in
+    /// `epoll_wait` over many sessions *and* their sockets at once —
+    /// the reactor's completion path. When the host has no eventfd the
+    /// session is identical to a plain split session (`wake_fd()` is
+    /// `None`) and the caller must poll or block instead; there is no
+    /// silent half-working state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.in_flight_window` is zero.
+    #[must_use]
+    pub fn split_session_with_wake(
+        &self,
+        config: SessionConfig,
+    ) -> (SessionSubmitter<'_>, SessionReaper<'_>) {
+        self.split_session_inner(config, WakeFd::new().map(Arc::new))
+    }
+
+    fn split_session_inner(
+        &self,
+        config: SessionConfig,
+        wake: Option<Arc<WakeFd>>,
+    ) -> (SessionSubmitter<'_>, SessionReaper<'_>) {
         assert!(
             config.in_flight_window > 0,
             "the in-flight window must admit at least one operation"
@@ -751,11 +843,14 @@ impl SecureStore {
                 next_seq: 1,
                 tx,
                 shared: Arc::clone(&shared),
+                wake: wake.clone(),
             },
             SessionReaper {
                 _store: self,
                 rx,
                 shared,
+                wake,
+                closed: false,
             },
         )
     }

@@ -51,6 +51,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::wake::WakeFd;
 use crate::wal::{write_snapshot, ShardPersist, ShardWal, WalRecord};
 use crate::StoreError;
 
@@ -111,6 +112,11 @@ pub(crate) enum Request {
         /// When the request was enqueued, for queue-wait accounting.
         enqueued: Instant,
         reply: SyncSender<Completion>,
+        /// Kernel-visible wakeup rung after the completion send, so an
+        /// event-driven reaper blocked in `epoll_wait` learns the
+        /// in-memory completion queue went non-empty. `None` for
+        /// blocking submitters (they wait on the channel itself).
+        wake: Option<Arc<WakeFd>>,
     },
     Batch {
         ops: Vec<Op>,
@@ -222,6 +228,13 @@ pub struct ShardStats {
     pub wal_bytes: u64,
     /// Snapshot rotations (log truncated into a fresh snapshot).
     pub checkpoints: u64,
+    /// Explicit `fdatasync` calls on the write-intent log (group-commit
+    /// flushes; rotations and 2PC records sync separately).
+    pub wal_syncs: u64,
+    /// Group commits: syncs that made two or more independently
+    /// acknowledged intent records durable at once — the fsyncs the
+    /// coalescing saved are `wal_records - wal_syncs`.
+    pub wal_group_commits: u64,
     /// Two-phase transactions prepared on this shard.
     pub txns_prepared: u64,
     /// Prepared transactions rolled back (pre-images restored).
@@ -261,6 +274,8 @@ impl Metrics for ShardStats {
         sink.counter("wal_records", self.wal_records);
         sink.counter("wal_bytes", self.wal_bytes);
         sink.counter("checkpoints", self.checkpoints);
+        sink.counter("wal_syncs", self.wal_syncs);
+        sink.counter("wal_group_commits", self.wal_group_commits);
         sink.counter("txns_prepared", self.txns_prepared);
         sink.counter("txns_aborted", self.txns_aborted);
         sink.histogram("batch_size", &self.batch_size);
@@ -296,13 +311,27 @@ pub struct SealReport {
 
 /// Where a fused operation's result goes once the engine batch lands.
 enum Dest {
-    /// An individual submission: completion sent directly.
+    /// An individual submission: completion sent directly (volatile
+    /// shards) or parked in the group-commit buffer until the covering
+    /// log sync lands (persistent shards).
     Single {
         seq: u64,
         reply: SyncSender<Completion>,
+        wake: Option<Arc<WakeFd>>,
     },
     /// Slot `index` of wakeup-batch reply accumulator `slot`.
     Batch { slot: usize, index: usize },
+}
+
+/// A completion the worker has computed but must not release yet: its
+/// write-intent record sits in the OS page cache awaiting the wakeup's
+/// shared `fdatasync`. Acks only leave the worker once the sync covers
+/// them (group commit); a sync failure converts the held `Ok`s to the
+/// quarantine error instead of acknowledging undurable state.
+struct DeferredCompletion {
+    reply: SyncSender<Completion>,
+    completion: Completion,
+    wake: Option<Arc<WakeFd>>,
 }
 
 /// One write parked in the fusion buffer awaiting the batched seal.
@@ -351,6 +380,16 @@ pub(crate) struct ShardWorker {
     /// otherwise an abort's pre-image restore would silently revoke an
     /// acknowledged intervening write.
     prepared_blocks: HashSet<u64>,
+    /// Completions held back for the group commit: computed, their
+    /// intent appended (unsynced), awaiting the shared `fdatasync`.
+    /// Released in FIFO order by [`flush_deferred`](Self::flush_deferred)
+    /// — reads defer too on persistent shards, preserving the per-shard
+    /// completion-order guarantee sessions rely on.
+    deferred: Vec<DeferredCompletion>,
+    /// Intent records appended since the last sync (any kind: group
+    /// flush, 2PC record, or rotation). Non-zero means the log's tail is
+    /// not yet durable.
+    wal_unsynced: u64,
     stats: ShardStats,
 }
 
@@ -378,6 +417,8 @@ impl ShardWorker {
             persist: None,
             pending_txns: BTreeMap::new(),
             prepared_blocks: HashSet::new(),
+            deferred: Vec::new(),
+            wal_unsynced: 0,
             stats: ShardStats::default(),
         }
     }
@@ -474,12 +515,13 @@ impl ShardWorker {
                     seq,
                     enqueued,
                     reply,
+                    wake,
                 } => {
                     self.shared.depth.fetch_sub(1, Ordering::Relaxed);
                     let queue_ns = enqueued.elapsed().as_nanos() as u64;
                     self.stats.queue_wait_ns.record(queue_ns);
                     ops += 1;
-                    let dest = Dest::Single { seq, reply };
+                    let dest = Dest::Single { seq, reply, wake };
                     self.handle_op(op, queue_ns, dest, &mut writes, &mut reads, &mut slots);
                 }
                 Request::Batch {
@@ -504,6 +546,7 @@ impl ShardWorker {
                 Request::Collect { reply } => {
                     self.flush_fused(&mut writes, &mut slots);
                     self.flush_fused_reads(&mut reads, &mut slots);
+                    self.flush_deferred(&mut slots);
                     let _ = reply.send(self.report());
                 }
                 Request::Tamper {
@@ -515,6 +558,7 @@ impl ShardWorker {
                     // Tampering must stay ordered with surrounding ops.
                     self.flush_fused(&mut writes, &mut slots);
                     self.flush_fused_reads(&mut reads, &mut slots);
+                    self.flush_deferred(&mut slots);
                     if sideband {
                         self.region.engine_mut().tamper_sideband_bit(local, bit);
                     } else {
@@ -530,16 +574,19 @@ impl ShardWorker {
                 } => {
                     self.flush_fused(&mut writes, &mut slots);
                     self.flush_fused_reads(&mut reads, &mut slots);
+                    self.flush_deferred(&mut slots);
                     let _ = reply.send(self.handle_prepare(txn, w));
                 }
                 Request::Commit { txn, reply } => {
                     self.flush_fused(&mut writes, &mut slots);
                     self.flush_fused_reads(&mut reads, &mut slots);
+                    self.flush_deferred(&mut slots);
                     let _ = reply.send(self.handle_commit(txn));
                 }
                 Request::Abort { txn, reply } => {
                     self.flush_fused(&mut writes, &mut slots);
                     self.flush_fused_reads(&mut reads, &mut slots);
+                    self.flush_deferred(&mut slots);
                     let _ = reply.send(self.handle_abort(txn));
                 }
                 Request::Crash { ack } => {
@@ -552,11 +599,19 @@ impl ShardWorker {
         if self.crashed {
             // Power cut: unflushed fused ops were never persisted and
             // never acknowledged — dropping their reply channels reports
-            // them Disconnected, exactly what a real kill produces.
+            // them Disconnected, exactly what a real kill produces. Held
+            // group-commit completions die with them: their intent
+            // records were never synced, so they were never acked.
+            self.deferred.clear();
             return;
         }
         self.flush_fused(&mut writes, &mut slots);
         self.flush_fused_reads(&mut reads, &mut slots);
+        // The wakeup's single shared fdatasync: every intent record the
+        // wakeup appended becomes durable here, then every held ack is
+        // released in FIFO order. This is the group commit — N
+        // acknowledged runs, one sync.
+        self.flush_deferred(&mut slots);
         for (reply, results) in slots {
             let results: Vec<OpReply> = results
                 .into_iter()
@@ -666,8 +721,15 @@ impl ShardWorker {
     }
 
     /// Routes one finished operation's result to its submitter.
+    ///
+    /// On a volatile shard a `Single` completion is sent immediately; on
+    /// a persistent shard it is parked in the group-commit buffer until
+    /// [`flush_deferred`](Self::flush_deferred) syncs the log — *every*
+    /// completion parks (reads included, though they need no sync)
+    /// because sessions rely on per-shard FIFO completion order, and a
+    /// read overtaking a held write ack would break it.
     fn deliver(
-        &self,
+        &mut self,
         dest: Dest,
         result: OpReply,
         queue_ns: u64,
@@ -675,16 +737,86 @@ impl ShardWorker {
         slots: &mut [BatchSlot],
     ) {
         match dest {
-            Dest::Single { seq, reply } => {
-                let _ = reply.send(Completion {
+            Dest::Single { seq, reply, wake } => {
+                let completion = Completion {
                     seq,
                     shard: self.shard,
                     result,
                     queue_ns,
                     service_ns,
-                });
+                };
+                // `deferred` non-empty guards FIFO across a mid-wakeup
+                // quarantine (poison_io drops `persist` but earlier held
+                // completions must still not be overtaken).
+                if self.persist.is_some() || !self.deferred.is_empty() {
+                    self.deferred.push(DeferredCompletion {
+                        reply,
+                        completion,
+                        wake,
+                    });
+                } else {
+                    Self::send_completion(&reply, completion, wake.as_ref());
+                }
             }
             Dest::Batch { slot, index } => slots[slot].1[index] = Some(result),
+        }
+    }
+
+    /// Sends one completion and rings the submitter's wakeup, if any.
+    fn send_completion(
+        reply: &SyncSender<Completion>,
+        completion: Completion,
+        wake: Option<&Arc<WakeFd>>,
+    ) {
+        let _ = reply.send(completion);
+        if let Some(w) = wake {
+            w.signal();
+        }
+    }
+
+    /// The group commit: makes every unsynced intent record durable with
+    /// one `fdatasync`, then releases the held completions in FIFO
+    /// order. A sync failure quarantines the shard and converts every
+    /// held (and still-unsent batch-slot) write/RMW `Ok` into the
+    /// quarantine error — an ack never leaves the worker for state the
+    /// log does not durably cover.
+    fn flush_deferred(&mut self, slots: &mut [BatchSlot]) {
+        if self.wal_unsynced > 0 {
+            let records = self.wal_unsynced;
+            self.wal_unsynced = 0;
+            let outcome = match self.persist.as_mut() {
+                Some(p) => p.wal.sync(),
+                None => Ok(()), // quarantined mid-wakeup; acks already converted
+            };
+            match outcome {
+                Ok(()) => {
+                    self.stats.wal_syncs += 1;
+                    if records >= 2 {
+                        self.stats.wal_group_commits += 1;
+                    }
+                }
+                Err(_) => {
+                    let err = self.poison_io();
+                    let undurable = |r: &OpReply| {
+                        matches!(r, Ok(OpOutput::Written) | Ok(OpOutput::Modified { .. }))
+                    };
+                    for d in &mut self.deferred {
+                        if undurable(&d.completion.result) {
+                            d.completion.result = Err(err);
+                        }
+                    }
+                    for (_, results) in slots.iter_mut() {
+                        for r in results.iter_mut().flatten() {
+                            if undurable(r) {
+                                *r = Err(err);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for d in self.deferred.drain(..) {
+            Self::send_completion(&d.reply, d.completion, d.wake.as_ref());
         }
     }
 
@@ -991,8 +1123,13 @@ impl ShardWorker {
             }
             let payload = WalRecord::Writes(entries).encode();
             let p = self.persist.as_mut().expect("checked above");
-            match p.wal.append(&payload) {
+            // Unsynced append: the record reaches the page cache now and
+            // becomes durable at the wakeup's shared sync
+            // ([`flush_deferred`](Self::flush_deferred)); the covered
+            // acks are held until then.
+            match p.wal.append_unsynced(&payload) {
                 Ok(bytes) => {
+                    self.wal_unsynced += 1;
                     self.stats.wal_records += 1;
                     self.stats.wal_bytes += bytes;
                     Ok(())
@@ -1021,6 +1158,9 @@ impl ShardWorker {
         p.wal = ShardWal::create(&p.dir.join("wal.bin"), generation)?;
         p.generation = generation;
         p.last_reencryptions = reencryptions;
+        // The durable snapshot subsumes every record of the replaced
+        // log, synced or not: the tail is clean again.
+        self.wal_unsynced = 0;
         for (&txn, entries) in &self.pending_txns {
             let payload = WalRecord::Prepare {
                 txn,

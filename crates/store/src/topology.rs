@@ -1,0 +1,171 @@
+//! NUMA topology discovery for shard placement.
+//!
+//! `Placement::Spread` wants shard workers distributed so that no
+//! single memory controller serves every shard. The kernel exports the
+//! ground truth under `/sys/devices/system/node/node*/cpulist`, one
+//! file per NUMA node holding a cpulist string such as `0-3,8-11`.
+//! This module parses those files and builds a core ordering that
+//! interleaves across nodes (`node0[0], node1[0], node0[1], …`), so
+//! consecutive shards land on alternating nodes and their first-touch
+//! images follow.
+//!
+//! Everything degrades gracefully: no sysfs (non-Linux, containers
+//! with masked /sys, single unnumbered node) means
+//! [`numa_interleaved_cores`] returns `None` and `Spread` falls back
+//! to the old round-robin-by-index behaviour. Parsing is tolerant —
+//! malformed segments are skipped rather than failing the whole list,
+//! because a partially-understood topology still beats none.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Parses a kernel cpulist string (`"0-3,8,10-11"`) into the core ids
+/// it names, in order. Whitespace and a trailing newline are
+/// tolerated; malformed or inverted segments are skipped.
+pub(crate) fn parse_cpulist(s: &str) -> Vec<usize> {
+    let mut cores = Vec::new();
+    for seg in s.trim().split(',') {
+        let seg = seg.trim();
+        if seg.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = seg.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                if lo <= hi {
+                    cores.extend(lo..=hi);
+                }
+            }
+        } else if let Ok(core) = seg.parse::<usize>() {
+            cores.push(core);
+        }
+    }
+    cores
+}
+
+/// Reads every `/sys/devices/system/node/node<N>/cpulist`, sorted by
+/// node index, and returns the per-node core lists. `None` when the
+/// directory is missing or holds no parseable node.
+fn read_node_cpulists(base: &Path) -> Option<Vec<Vec<usize>>> {
+    let entries = std::fs::read_dir(base).ok()?;
+    let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(idx) = name.strip_prefix("node").and_then(|n| n.parse::<usize>().ok()) else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(entry.path().join("cpulist")) else {
+            continue;
+        };
+        let cores = parse_cpulist(&text);
+        if !cores.is_empty() {
+            nodes.push((idx, cores));
+        }
+    }
+    if nodes.is_empty() {
+        return None;
+    }
+    nodes.sort_by_key(|(idx, _)| *idx);
+    Some(nodes.into_iter().map(|(_, cores)| cores).collect())
+}
+
+/// Interleaves per-node core lists round-robin: `node0[0], node1[0],
+/// …, node0[1], node1[1], …` — consecutive entries alternate nodes so
+/// consecutive shards spread across memory controllers.
+fn interleave(nodes: &[Vec<usize>]) -> Vec<usize> {
+    let longest = nodes.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(nodes.iter().map(Vec::len).sum());
+    for i in 0..longest {
+        for node in nodes {
+            if let Some(&core) = node.get(i) {
+                out.push(core);
+            }
+        }
+    }
+    out
+}
+
+/// The NUMA-interleaved core ordering for this host, cached after the
+/// first read. `None` when sysfs topology is unavailable — callers
+/// fall back to round-robin-by-index.
+pub(crate) fn numa_interleaved_cores() -> Option<&'static [usize]> {
+    static CORES: OnceLock<Option<Vec<usize>>> = OnceLock::new();
+    CORES
+        .get_or_init(|| {
+            let nodes = read_node_cpulists(Path::new("/sys/devices/system/node"))?;
+            let cores = interleave(&nodes);
+            (!cores.is_empty()).then_some(cores)
+        })
+        .as_deref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_range() {
+        assert_eq!(parse_cpulist("0-3"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parses_mixed_singles_and_ranges() {
+        assert_eq!(parse_cpulist("0-3,8,10-11"), vec![0, 1, 2, 3, 8, 10, 11]);
+    }
+
+    #[test]
+    fn tolerates_trailing_newline_and_spaces() {
+        assert_eq!(parse_cpulist(" 4-5 , 7 \n"), vec![4, 5, 7]);
+    }
+
+    #[test]
+    fn skips_malformed_segments() {
+        // An inverted range and junk segments are dropped; the valid
+        // tail still parses.
+        assert_eq!(parse_cpulist("5-2,x,,-,3,8-9"), vec![3, 8, 9]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_list() {
+        assert!(parse_cpulist("").is_empty());
+        assert!(parse_cpulist("\n").is_empty());
+    }
+
+    #[test]
+    fn interleave_alternates_nodes() {
+        let nodes = vec![vec![0, 1, 2, 3], vec![8, 9, 10, 11]];
+        assert_eq!(interleave(&nodes), vec![0, 8, 1, 9, 2, 10, 3, 11]);
+    }
+
+    #[test]
+    fn interleave_handles_uneven_nodes() {
+        let nodes = vec![vec![0, 1, 2], vec![8]];
+        assert_eq!(interleave(&nodes), vec![0, 8, 1, 2]);
+    }
+
+    #[test]
+    fn reads_fixture_sysfs_tree() {
+        let dir = std::env::temp_dir().join(format!(
+            "ame-topology-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (node, cpulist) in [("node0", "0-1,4\n"), ("node1", "2-3\n")] {
+            let d = dir.join(node);
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("cpulist"), cpulist).unwrap();
+        }
+        // A non-node entry must be ignored.
+        std::fs::create_dir_all(dir.join("power")).unwrap();
+        let nodes = read_node_cpulists(&dir).unwrap();
+        assert_eq!(nodes, vec![vec![0, 1, 4], vec![2, 3]]);
+        assert_eq!(interleave(&nodes), vec![0, 2, 1, 3, 4]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_tree_is_none() {
+        assert!(read_node_cpulists(Path::new("/nonexistent/ame-test")).is_none());
+    }
+}

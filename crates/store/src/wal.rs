@@ -226,11 +226,27 @@ impl ShardWal {
 
     /// Appends one framed record and makes it durable (`fdatasync`).
     pub(crate) fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let written = self.append_unsynced(payload)?;
+        self.sync()?;
+        Ok(written)
+    }
+
+    /// Appends one framed record into the OS page cache without
+    /// syncing. The record is NOT durable until [`sync`](Self::sync)
+    /// returns — callers must not acknowledge it before then. This is
+    /// the group-commit half: a shard worker appends every run that
+    /// arrived in one wakeup unsynced, then pays a single `fdatasync`
+    /// for all of them.
+    pub(crate) fn append_unsynced(&mut self, payload: &[u8]) -> io::Result<u64> {
         let framed = frame_record(payload);
         self.file.write_all(&framed)?;
-        self.file.sync_data()?;
         self.len += framed.len() as u64;
         Ok(framed.len() as u64)
+    }
+
+    /// Makes every previously appended record durable (`fdatasync`).
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
     }
 
     /// Current log length in bytes.
