@@ -25,8 +25,13 @@
 //! Reads accumulate into a per-connection buffer (partial frames are
 //! normal — a frame may arrive one byte at a time); responses accumulate
 //! into a write buffer flushed until `EWOULDBLOCK`, with `EPOLLOUT`
-//! interest registered only while that buffer is non-empty. A stalled or
-//! hostile peer therefore costs its own buffers, never a thread.
+//! interest registered only while that buffer is non-empty. Both buffers
+//! are bounded: once the write buffer passes [`WBUF_STALL`] the
+//! connection stops parsing (and stops reading — `EPOLLIN` interest
+//! drops, so TCP pushes back) until the peer drains its responses. A
+//! stalled or hostile peer therefore costs its own *bounded* buffers,
+//! never a thread and never unbounded server memory — the threaded
+//! plane gets the same property from its blocking writes.
 //!
 //! Store saturation (`StoreError::Overloaded`, from the shared shard
 //! queue or the session window) is **backpressure, not an error**: the
@@ -66,7 +71,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Token for the loop's own injection eventfd. Connection tokens are
 /// `id << 1 | {0 socket, 1 session wake}` with ids counting from zero,
@@ -82,6 +87,22 @@ const READ_CHUNK: usize = 4096;
 /// Fairness bound: chunks read per readiness event before yielding to
 /// other connections (level-triggered epoll re-reports the remainder).
 const MAX_CHUNKS_PER_EVENT: usize = 16;
+
+/// Write-buffer occupancy past which a connection stops admitting input:
+/// parsing pauses and `EPOLLIN` interest drops until the peer reads its
+/// responses down. Without this a peer that streams frames (each earning
+/// a response) but never reads its socket grows `wbuf` without limit —
+/// the threaded plane's blocking writes gave it natural backpressure,
+/// the reactor must impose the same bound explicitly. A single oversized
+/// response may overshoot the threshold; the stall then holds until the
+/// flush brings it back under.
+const WBUF_STALL: usize = 256 * 1024;
+
+/// How long a draining reactor waits for peers to read their final
+/// responses before force-closing them. Without a deadline, one peer
+/// that never reads (write buffer full, socket alive) keeps its
+/// connection — and therefore `Server::close` — hanging forever.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// The accept thread's handle on the reactor: one injector per loop.
 pub(crate) struct ReactorPool {
@@ -240,8 +261,26 @@ fn reactor_loop<'a>(
     let mut next_id: u64 = 0;
     let mut events = vec![EpollEvent::default(); EVENT_BATCH];
     let mut draining = false;
+    let mut drain_deadline: Option<Instant> = None;
     loop {
-        let n = epoll.wait(&mut events, timeout_ms(shared.poll_interval));
+        let n = match epoll.wait(&mut events, timeout_ms(shared.poll_interval)) {
+            Ok(n) => n,
+            Err(errno) => {
+                // A fatal wait error (EBADF, EINVAL, …) never clears on
+                // retry: no readiness would ever be observed again, so
+                // every connection this loop owns is already dead in all
+                // but name. Fail loudly — dropped streams reset, which a
+                // client can detect; a silent poll-interval spin it
+                // cannot. Dropping `conns` closes every socket and
+                // releases every session (safe mid-flight).
+                eprintln!(
+                    "ame-server: reactor epoll_wait failed (errno {errno}); \
+                     dropping {} connections and exiting the loop",
+                    conns.len()
+                );
+                return;
+            }
+        };
         let ready: Vec<(u64, u32)> = events[..n].iter().map(|e| (e.token(), e.events())).collect();
 
         if ready.iter().any(|&(token, _)| token == INJECT_TOKEN) {
@@ -259,11 +298,12 @@ fn reactor_loop<'a>(
 
         if shared.shutdown.load(Ordering::SeqCst) && !draining {
             draining = true;
+            drain_deadline = Some(Instant::now() + DRAIN_GRACE);
             for conn in conns.values_mut() {
                 begin_shutdown(conn, shared.max_frame);
                 // Idle connections get no further events; push them
                 // through notice + flush + close right now.
-                advance(conn, epoll);
+                advance(conn, shared, epoll);
             }
         }
 
@@ -285,7 +325,7 @@ fn reactor_loop<'a>(
             } else {
                 on_socket(conn, evs, shared, epoll);
             }
-            advance(conn, epoll);
+            advance(conn, shared, epoll);
         }
 
         // Backpressure retry: a stall caused by *other* sessions
@@ -298,7 +338,19 @@ fn reactor_loop<'a>(
                 continue;
             }
             retry_stalled(conn, shared, epoll);
-            advance(conn, epoll);
+            advance(conn, shared, epoll);
+        }
+
+        // Drain deadline: past the grace period, peers that still have
+        // not read their final responses (or whose in-flight completions
+        // somehow have not landed) are force-closed so shutdown cannot
+        // hang on one unread socket. Everything acked *and readable* was
+        // already delivered; what remains is undeliverable by the peer's
+        // own choice.
+        if draining && drain_deadline.is_some_and(|d| Instant::now() >= d) {
+            for conn in conns.values_mut() {
+                force_close(conn, epoll);
+            }
         }
 
         conns.retain(|_, conn| !conn.closed);
@@ -429,7 +481,11 @@ fn flush_wbuf(conn: &mut Conn<'_>) {
 }
 
 fn process_frames<'a>(conn: &mut Conn<'a>, shared: &'a Shared, epoll: &Epoll) {
-    while conn.end.is_none() && conn.stalled.is_none() {
+    // The `wbuf` bound is backpressure on a peer that sends but never
+    // reads: parsing pauses here and `advance` drops `EPOLLIN` interest;
+    // once a flush brings the buffer back under the threshold, `advance`
+    // resumes parsing whatever input accumulated behind the stall.
+    while conn.end.is_none() && conn.stalled.is_none() && conn.wbuf.len() < WBUF_STALL {
         let frame = match try_parse_frame(&mut conn.rbuf, shared.max_frame) {
             Ok(Some(frame)) => frame,
             Ok(None) => break,
@@ -771,7 +827,7 @@ fn begin_shutdown(conn: &mut Conn<'_>, max_frame: u32) {
 
 /// Runs the connection's state transitions after any event: pipe-drain
 /// completion, write flushing, `EPOLLOUT` interest, and final close.
-fn advance(conn: &mut Conn<'_>, epoll: &Epoll) {
+fn advance<'a>(conn: &mut Conn<'a>, shared: &'a Shared, epoll: &Epoll) {
     // A half-closed peer may still be reading: give a parked op its
     // retries before draining. A gone peer can't receive the response
     // anyway, so its stall is dropped with the connection.
@@ -782,6 +838,15 @@ fn advance(conn: &mut Conn<'_>, epoll: &Epoll) {
         if conn.stalled.is_none() {
             begin_drain(conn, ConnEnd::Eof);
         }
+    }
+    // A wbuf-bounded stall ends when the peer reads responses down:
+    // resume parsing the input that accumulated behind it.
+    if conn.end.is_none()
+        && conn.stalled.is_none()
+        && conn.wbuf.len() < WBUF_STALL
+        && !conn.rbuf.is_empty()
+    {
+        process_frames(conn, shared, epoll);
     }
     // An open pipe whose submitter is gone and whose window is empty
     // has delivered everything it ever acked: retire the session.
@@ -810,13 +875,37 @@ fn advance(conn: &mut Conn<'_>, epoll: &Epoll) {
         return;
     }
     // Interest tracks state: `EPOLLOUT` only while responses wait,
-    // `EPOLLIN` only while not stalled (a parked op means the kernel
-    // buffer fills and TCP pushes back on the peer; `EPOLLRDHUP` still
-    // reports a vanishing one).
+    // `EPOLLIN` only while neither a parked op nor a full write buffer
+    // is stalling intake (either way the kernel buffer fills and TCP
+    // pushes back on the peer; `EPOLLRDHUP` still reports a vanishing
+    // one).
+    let intake_open = conn.stalled.is_none() && conn.wbuf.len() < WBUF_STALL;
     let want = EPOLLRDHUP
-        | if conn.stalled.is_none() { EPOLLIN } else { 0 }
+        | if intake_open { EPOLLIN } else { 0 }
         | if conn.wbuf.is_empty() { 0 } else { EPOLLOUT };
     if want != conn.mask && epoll.modify(raw_fd(&conn.stream), want, conn.id << 1) {
         conn.mask = want;
     }
+}
+
+/// Drain-deadline enforcement: unconditionally ends a connection whose
+/// peer has not drained its responses within the shutdown grace period.
+/// Undelivered bytes are dropped — by this point they are undeliverable
+/// by the peer's own refusal to read — and the session (if still open)
+/// is released, which is safe even with completions in flight.
+fn force_close(conn: &mut Conn<'_>, epoll: &Epoll) {
+    if conn.closed {
+        return;
+    }
+    conn.stalled = None;
+    conn.wbuf.clear();
+    if let State::Open(pipe) = std::mem::replace(&mut conn.state, State::Flush) {
+        epoll.del(pipe.wake_fd);
+        pipe.tenant.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+    if conn.end.is_none() {
+        conn.end = Some(ConnEnd::Shutdown);
+    }
+    epoll.del(raw_fd(&conn.stream));
+    conn.closed = true;
 }

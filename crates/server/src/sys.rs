@@ -26,9 +26,14 @@ pub(crate) const EPOLLRDHUP: u32 = 0x2000;
 
 /// One readiness event out of `epoll_wait`.
 ///
-/// Layout matches the kernel's `struct epoll_event` on x86-64, where
-/// glibc declares it packed (12 bytes: `u32` events + `u64` data).
-#[repr(C, packed)]
+/// Layout matches the kernel's `struct epoll_event`, whose ABI is
+/// arch-dependent: x86-64 packs it to 12 bytes (`u32` events + `u64`
+/// data, no padding), every other Linux target uses natural alignment
+/// (16 bytes, 4 padding after `events`). Getting this wrong is memory
+/// corruption — the kernel writes its layout into our buffer — so the
+/// attribute is gated per-arch and asserted in the layout test below.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
 #[derive(Clone, Copy, Default)]
 pub(crate) struct EpollEvent {
     events: u32,
@@ -55,12 +60,16 @@ mod imp {
     const EPOLL_CTL_ADD: i32 = 1;
     const EPOLL_CTL_DEL: i32 = 2;
     const EPOLL_CTL_MOD: i32 = 3;
+    const EINTR: i32 = 4;
 
     extern "C" {
         fn epoll_create1(flags: i32) -> i32;
         fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
         fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
         fn close(fd: i32) -> i32;
+        // glibc and musl both export errno's thread-local address under
+        // this name on Linux.
+        fn __errno_location() -> *mut i32;
     }
 
     #[derive(Debug)]
@@ -100,14 +109,13 @@ mod imp {
             self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
         }
 
-        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> Result<usize, i32> {
             if events.is_empty() {
-                return 0;
+                return Ok(0);
             }
             // SAFETY: the out-buffer is a live, writable slice and
             // maxevents never exceeds its length; the kernel writes at
-            // most that many entries. A negative return (EINTR) reports
-            // zero events — the caller's loop just polls again.
+            // most that many entries.
             let n = unsafe {
                 epoll_wait(
                     self.fd,
@@ -116,7 +124,21 @@ mod imp {
                     timeout_ms,
                 )
             };
-            n.max(0) as usize
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            // SAFETY: __errno_location returns the calling thread's
+            // always-valid errno address.
+            let errno = unsafe { *__errno_location() };
+            if errno == EINTR {
+                // A signal is routine: report zero events, poll again.
+                Ok(0)
+            } else {
+                // Anything else (EBADF, EINVAL, EFAULT) will never clear
+                // on retry; surface it so the loop can stop instead of
+                // spinning silently at the poll interval forever.
+                Err(errno)
+            }
         }
     }
 
@@ -153,8 +175,8 @@ mod imp {
             false
         }
 
-        pub fn wait(&self, _events: &mut [EpollEvent], _timeout_ms: i32) -> usize {
-            0
+        pub fn wait(&self, _events: &mut [EpollEvent], _timeout_ms: i32) -> Result<usize, i32> {
+            Ok(0)
         }
     }
 }
@@ -190,8 +212,10 @@ impl Epoll {
     }
 
     /// Blocks up to `timeout_ms` (`-1` = forever) for readiness; fills
-    /// `events` and returns how many entries are valid.
-    pub(crate) fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> usize {
+    /// `events` and returns how many entries are valid. `Err(errno)`
+    /// reports a non-retryable failure (EINTR is absorbed as `Ok(0)`):
+    /// the interest set is unusable and the caller must stop polling it.
+    pub(crate) fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> Result<usize, i32> {
         self.raw.wait(events, timeout_ms)
     }
 }
@@ -203,9 +227,14 @@ mod tests {
     #[cfg(target_os = "linux")]
     #[test]
     fn epoll_event_layout_matches_kernel() {
-        // x86-64 glibc packs epoll_event to 12 bytes; a mismatch here
-        // would corrupt every event the kernel writes.
+        // The kernel packs struct epoll_event only on x86-64 (12 bytes);
+        // every other Linux arch pads it to 16. A mismatch here would
+        // corrupt every event the kernel writes, so the expectation is
+        // pinned per-arch rather than derived from the Rust struct.
+        #[cfg(target_arch = "x86_64")]
         assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
     }
 
     #[cfg(target_os = "linux")]
@@ -213,7 +242,7 @@ mod tests {
     fn wait_times_out_on_empty_interest_set() {
         let ep = Epoll::new().expect("linux hosts have epoll");
         let mut events = [EpollEvent::default(); 4];
-        assert_eq!(ep.wait(&mut events, 0), 0);
+        assert_eq!(ep.wait(&mut events, 0), Ok(0));
     }
 
     #[cfg(target_os = "linux")]
@@ -223,13 +252,13 @@ mod tests {
         let wake = ame_store::WakeFd::new().expect("linux hosts have eventfd");
         assert!(ep.add(wake.raw_fd(), EPOLLIN, 42));
         let mut events = [EpollEvent::default(); 4];
-        assert_eq!(ep.wait(&mut events, 0), 0, "unsignalled fd is not ready");
+        assert_eq!(ep.wait(&mut events, 0), Ok(0), "unsignalled fd is not ready");
         wake.signal();
-        assert_eq!(ep.wait(&mut events, 1000), 1);
+        assert_eq!(ep.wait(&mut events, 1000), Ok(1));
         assert_eq!(events[0].token(), 42);
         assert!(events[0].events() & EPOLLIN != 0);
         wake.drain();
-        assert_eq!(ep.wait(&mut events, 0), 0, "drained fd is not ready");
+        assert_eq!(ep.wait(&mut events, 0), Ok(0), "drained fd is not ready");
         assert!(ep.del(wake.raw_fd()));
     }
 }

@@ -219,6 +219,89 @@ fn replayed_request_id_within_window_is_rejected(mode: ServerMode) {
 }
 
 #[test]
+fn send_without_reading_gets_bounded_backpressure_reactor() {
+    send_without_reading_gets_bounded_backpressure(ServerMode::reactor());
+}
+
+#[test]
+fn send_without_reading_gets_bounded_backpressure_threaded() {
+    send_without_reading_gets_bounded_backpressure(ServerMode::Threaded);
+}
+
+/// A peer that streams response-earning frames while refusing to read
+/// must be throttled by backpressure (bounded server memory), and every
+/// buffered response must still arrive, in order, once it starts
+/// reading again.
+fn send_without_reading_gets_bounded_backpressure(mode: ServerMode) {
+    const FRAMES: u64 = 200_000;
+    let server = two_tenant_server(mode);
+    let attacker = raw_hello(server.addr());
+
+    // ~2.8 MiB of unknown-opcode frames in one burst — far past the
+    // reactor's write-buffer stall threshold plus any kernel buffering,
+    // so the server must stop reading (blocking this writer thread)
+    // rather than queue ~2.8 MiB of rejections in memory.
+    let mut burst = Vec::new();
+    for i in 0..FRAMES {
+        write_frame(&mut burst, 0x7e, i, &[]).unwrap();
+    }
+    let mut write_half = attacker.try_clone().unwrap();
+    let writer = std::thread::spawn(move || write_half.write_all(&burst));
+
+    // Let the pipeline wedge: server stalled on its full write buffer,
+    // writer blocked on the closed TCP window.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Start draining: every frame gets its typed rejection, in order.
+    let mut read_half = std::io::BufReader::new(attacker);
+    for i in 0..FRAMES {
+        let resp = read_frame(&mut read_half, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(
+            (resp.tag, resp.req_id),
+            (code::UNKNOWN_OPCODE, i),
+            "response {i} lost or reordered across the backpressure stall"
+        );
+    }
+    writer
+        .join()
+        .expect("writer thread panicked")
+        .expect("burst write failed");
+
+    assert_other_tenant_healthy(&server, 0x66);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn shutdown_is_not_hostage_to_a_peer_that_never_reads_reactor() {
+    let server = two_tenant_server(ServerMode::reactor());
+    let attacker = raw_hello(server.addr());
+
+    // Keep streaming response-earning frames without ever reading, so
+    // the connection sits wedged (full write buffer, closed TCP window)
+    // when shutdown begins. The writer unblocks only when the server
+    // force-closes the socket — which is exactly what the drain
+    // deadline must do.
+    let mut write_half = attacker.try_clone().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut chunk = Vec::new();
+        for i in 0..10_000u64 {
+            write_frame(&mut chunk, 0x7e, i, &[]).unwrap();
+        }
+        while write_half.write_all(&chunk).is_ok() {}
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    let start = std::time::Instant::now();
+    let _ = server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "shutdown hung on an unread connection"
+    );
+    writer.join().expect("writer thread panicked");
+    drop(attacker);
+}
+
+#[test]
 fn operation_before_hello_is_refused_reactor() {
     operation_before_hello_is_refused(ServerMode::reactor());
 }
