@@ -23,12 +23,19 @@ use ame_crypto::backend::{self, Backend};
 use ame_crypto::{ctr, mac, BLOCK_BYTES};
 use ame_telemetry::Json;
 
+/// Batch sizes at which the multi-message MAC pipeline is sampled:
+/// the degenerate single-tag case, one accelerated lane group, a
+/// typical fused shard batch, and a recovery-replay-sized run.
+const MAC_BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
+
 /// One backend's measured rates.
 struct Measurement {
     backend: Backend,
     keystream_single_ns: f64,
     keystream_batch_ns_per_block: f64,
     mac_ns: f64,
+    /// `(batch, ns per tag)` for each entry of [`MAC_BATCH_SIZES`].
+    mac_batch_ns_per_tag: Vec<(usize, f64)>,
     gf64_ns: f64,
 }
 
@@ -43,6 +50,13 @@ impl Measurement {
 
     fn mac_tags_per_sec(&self) -> f64 {
         1e9 / self.mac_ns
+    }
+
+    /// Batched-MAC tags/s at the largest sampled batch — the headline
+    /// bulk-path rate.
+    fn mac_batch_tags_per_sec(&self) -> f64 {
+        let &(_, ns) = self.mac_batch_ns_per_tag.last().expect("sampled sizes");
+        1e9 / ns
     }
 }
 
@@ -65,6 +79,23 @@ fn measure(b: Backend, batch_blocks: usize) -> Measurement {
         counter = counter.wrapping_add(1);
         mac::tag_with(b, &mac_key, hash_key, 0x1000, counter, &block)
     });
+    let mac_batch_ns_per_tag = MAC_BATCH_SIZES
+        .iter()
+        .map(|&n| {
+            let batch_nonces: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 64, i ^ 3)).collect();
+            let blocks: Vec<[u8; BLOCK_BYTES]> = (0..n)
+                .map(|i| {
+                    let mut blk = block;
+                    blk[0] = i as u8;
+                    blk
+                })
+                .collect();
+            let ns = micro::bench(&format!("{b}/mac_batch[{n}]"), || {
+                mac::tags_batch_with(b, &mac_key, hash_key, &batch_nonces, &blocks)
+            });
+            (n, ns / n as f64)
+        })
+        .collect();
     let mut x = 0xdead_beefu64;
     let gf64_ns = micro::bench(&format!("{b}/gf64_mul"), || {
         x = mac::gf64_mul_with(b, x | 1, hash_key);
@@ -76,6 +107,7 @@ fn measure(b: Backend, batch_blocks: usize) -> Measurement {
         keystream_single_ns,
         keystream_batch_ns_per_block: batch_ns / batch_blocks as f64,
         mac_ns,
+        mac_batch_ns_per_tag,
         gf64_ns,
     }
 }
@@ -117,6 +149,15 @@ fn main() {
             m.gf64_ns,
         );
     }
+    println!();
+    for m in &rows {
+        let cols: Vec<String> = m
+            .mac_batch_ns_per_tag
+            .iter()
+            .map(|&(n, ns)| format!("b{n}: {:>10.0} tags/s", 1e9 / ns))
+            .collect();
+        println!("{:<12} mac_batch  {}", m.backend.name(), cols.join("  "));
+    }
 
     // Tier-over-tier before/after lines: each hardware tier against the
     // one below it, so the headline isolates what each step buys.
@@ -132,20 +173,37 @@ fn main() {
         let ks_single = tier.keystream_single_gbps() / below.keystream_single_gbps();
         let ks = tier.keystream_batch_gbps() / below.keystream_batch_gbps();
         let macs = tier.mac_tags_per_sec() / below.mac_tags_per_sec();
+        let mac_batch = tier.mac_batch_tags_per_sec() / below.mac_batch_tags_per_sec();
         println!(
-            "{} over {}: keystream {:.1}x single / {:.1}x batched, mac {:.1}x, gf64 {:.1}x",
+            "{} over {}: keystream {:.1}x single / {:.1}x batched, mac {:.1}x single / {:.1}x batched, gf64 {:.1}x",
             tier.backend.name(),
             below.backend.name(),
             ks_single,
             ks,
             macs,
+            mac_batch,
             below.gf64_ns / tier.gf64_ns,
         );
         headline = format!(
-            "{} vs {}: keystream {ks:.1}x, mac {macs:.1}x",
+            "{} vs {}: keystream {ks:.1}x, mac {macs:.1}x single / {mac_batch:.1}x batched",
             tier.backend.name(),
             below.backend.name()
         );
+    }
+    // The acceptance line the batched pipeline exists for: the top
+    // tier's fused multi-message rate against the accelerated tier's
+    // serial per-tag rate.
+    if let (Some(top), Some(accel)) = (
+        rows.last(),
+        rows.iter().find(|m| m.backend == Backend::Accelerated),
+    ) {
+        if top.backend == Backend::Wide {
+            println!(
+                "wide mac_batch[{}] over accel serial mac: {:.1}x",
+                MAC_BATCH_SIZES[MAC_BATCH_SIZES.len() - 1],
+                top.mac_batch_tags_per_sec() / accel.mac_tags_per_sec(),
+            );
+        }
     }
     println!();
 
@@ -168,6 +226,18 @@ fn main() {
             row.push("keystream_batch_gbps", m.keystream_batch_gbps());
             row.push("mac_ns", m.mac_ns);
             row.push("mac_tags_per_sec", m.mac_tags_per_sec());
+            let batches = m
+                .mac_batch_ns_per_tag
+                .iter()
+                .map(|&(n, ns)| {
+                    let mut b = Json::object();
+                    b.push("batch", n as u64);
+                    b.push("ns_per_tag", ns);
+                    b.push("tags_per_sec", 1e9 / ns);
+                    b
+                })
+                .collect();
+            row.push("mac_batch", Json::Arr(batches));
             row.push("gf64_mul_ns", m.gf64_ns);
             row
         })

@@ -5,11 +5,18 @@
 //! spawns `store_recovery --child <dir>`, lets it write for a while,
 //! SIGKILLs it mid-load (a real power cut as far as the store can
 //! tell), then reopens the directory and checks every write the child
-//! acknowledged. The child appends each acknowledged write's
-//! `(addr, value)` to `<dir>/acks.log` *after* the store's ack, so the
-//! log is a lower bound on what recovery must surface; its own torn
-//! tail (the kill can land between store ack and log append) is
-//! skipped the same way the store skips its intent log's torn tail.
+//! acknowledged. The child appends each write's `(addr, value)` to
+//! `<dir>/intents.log` *before* submitting it and to `<dir>/acks.log`
+//! *after* the store's ack, so the ack log is a lower bound on what
+//! recovery must surface. The kill can land between the store's ack
+//! and the ack-log append; the store then correctly recovers a write
+//! the ack log never recorded, and on every pass over the footprint
+//! after the first that surfaces as a "stale" ack entry for one
+//! address. The intent log identifies that single possibly-unlogged
+//! in-flight write (the child is single-threaded, so there is at most
+//! one), and the verifier accepts either its acked or its in-flight
+//! value for that one address — without weakening the exact-match
+//! obligation anywhere else.
 //!
 //! Reported per run: acknowledged writes, verified reads after
 //! recovery, verification errors (must be 0), and the reopen
@@ -50,6 +57,11 @@ fn bench_config(footprint_blocks: u64) -> StoreConfig {
 /// killed.
 fn run_child(dir: &Path, footprint_blocks: u64) -> ! {
     let store = SecureStore::open(dir, bench_config(footprint_blocks)).expect("child open");
+    let mut intents = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("intents.log"))
+        .expect("open intents.log");
     let mut acks = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -60,34 +72,73 @@ fn run_child(dir: &Path, footprint_blocks: u64) -> ! {
         let block = seq % footprint_blocks;
         let addr = block * BLOCK as u64;
         let value = (seq % 251) as u8;
+        let mut payload = Vec::with_capacity(9);
+        payload.extend_from_slice(&addr.to_le_bytes());
+        payload.push(value);
+        // Intent first: if the kill lands after the store's ack but
+        // before the ack append below, this record is the verifier's
+        // only evidence that the recovered value may legitimately be
+        // newer than the last *acked* one.
+        intents
+            .write_all(&frame_record(&payload))
+            .expect("log intent");
+        intents.flush().expect("flush intent");
         store
             .write(addr, &[value; BLOCK])
             .expect("child write must succeed");
         // Only logged once the store acknowledged: every record here
         // names a write recovery is obliged to surface.
-        let mut payload = Vec::with_capacity(9);
-        payload.extend_from_slice(&addr.to_le_bytes());
-        payload.push(value);
         acks.write_all(&frame_record(&payload)).expect("log ack");
         acks.flush().expect("flush ack");
         seq += 1;
     }
 }
 
-/// Last acknowledged value per address, from the child's ack log. A
-/// torn tail (kill between store ack and log append) is skipped; a
-/// record recovery is *not* obliged to surface never weakens the check.
-fn read_acks(dir: &Path) -> HashMap<u64, u8> {
-    let bytes = std::fs::read(dir.join("acks.log")).unwrap_or_default();
-    let scan = scan_wal(&bytes).expect("ack log readable");
+/// Decoded `(addr, value)` records of one child log, in append order.
+/// A torn tail record (the kill can land mid-append) is skipped, same
+/// as the store skips its intent log's torn tail.
+fn read_log(dir: &Path, name: &str) -> Vec<(u64, u8)> {
+    let bytes = std::fs::read(dir.join(name)).unwrap_or_default();
+    let scan = scan_wal(&bytes).expect("child log readable");
+    scan.records
+        .iter()
+        .filter(|record| record.len() == 9)
+        .map(|record| {
+            (
+                u64::from_le_bytes(record[..8].try_into().expect("8 bytes")),
+                record[8],
+            )
+        })
+        .collect()
+}
+
+/// The verification obligations recovery must meet: the last
+/// acknowledged value per address, plus the at-most-one in-flight write
+/// whose ack append the kill cut off (recovery may surface either its
+/// value or the previous one for that address).
+fn read_acks(dir: &Path) -> (HashMap<u64, u8>, Option<(u64, u8)>) {
+    let acks = read_log(dir, "acks.log");
+    let intents = read_log(dir, "intents.log");
+    // The single-threaded child appends each write's intent before its
+    // ack, so the ack log is always a prefix of the intent log and the
+    // intent log leads by at most one complete record.
+    assert!(
+        intents.len() >= acks.len() && intents.len() <= acks.len() + 1,
+        "intent log ({}) must lead ack log ({}) by at most one record",
+        intents.len(),
+        acks.len()
+    );
+    assert_eq!(
+        &intents[..acks.len()],
+        &acks[..],
+        "ack log diverged from intent order"
+    );
+    let in_flight = (intents.len() == acks.len() + 1).then(|| intents[acks.len()]);
     let mut last = HashMap::new();
-    for record in scan.records {
-        if record.len() == 9 {
-            let addr = u64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
-            last.insert(addr, record[8]);
-        }
+    for &(addr, value) in &acks {
+        last.insert(addr, value);
     }
-    last
+    (last, in_flight)
 }
 
 fn main() {
@@ -130,7 +181,7 @@ fn main() {
     child.kill().expect("kill load generator");
     let _ = child.wait();
 
-    let acked = read_acks(&dir);
+    let (acked, in_flight) = read_acks(&dir);
     assert!(
         !acked.is_empty(),
         "no acknowledged writes before the kill; raise load_ms"
@@ -145,7 +196,25 @@ fn main() {
     for (&addr, &value) in &acked {
         match store.read(addr) {
             Ok(data) if data == [value; BLOCK] => verified += 1,
-            _ => errors += 1,
+            // The one write whose ack append the kill cut off: the
+            // store acknowledged it (its WAL record is durable), so
+            // recovery surfacing the newer value is correct even though
+            // the ack log still names the previous pass's.
+            Ok(data) if in_flight == Some((addr, data[0])) && data == [data[0]; BLOCK] => {
+                verified += 1;
+            }
+            Ok(data) => {
+                errors += 1;
+                eprintln!(
+                    "MISMATCH addr={addr:#x} expected={value} got={} (uniform={})",
+                    data[0],
+                    data.iter().all(|&b| b == data[0])
+                );
+            }
+            Err(e) => {
+                errors += 1;
+                eprintln!("READ ERROR addr={addr:#x} expected={value}: {e:?}");
+            }
         }
     }
     drop(store.shutdown());

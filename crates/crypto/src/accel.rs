@@ -26,14 +26,22 @@
 
 use core::arch::x86_64::{
     __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
-    _mm_aesimc_si128, _mm_clmulepi64_si128, _mm_cvtsi128_si64, _mm_loadu_si128, _mm_set_epi64x,
-    _mm_storeu_si128, _mm_unpackhi_epi64, _mm_xor_si128,
+    _mm_aesimc_si128, _mm_clmulepi64_si128, _mm_cvtsi128_si64, _mm_loadl_epi64, _mm_loadu_si128,
+    _mm_set_epi64x, _mm_setzero_si128, _mm_storeu_si128, _mm_unpackhi_epi64, _mm_xor_si128,
 };
 
 /// How many independent AES streams we keep in flight per inner-loop
 /// iteration (matches the `aesenc` latency/throughput ratio of modern
 /// cores; more gains nothing, fewer leaves the pipeline idle).
 pub const PIPELINE_WIDTH: usize = 8;
+
+/// How many independent MAC Horner chains the batched tag kernel keeps
+/// in flight per inner-loop iteration. Each Horner step is three
+/// serially dependent PCLMULQDQ ops (product + two reduction folds), so
+/// a single chain leaves the carry-less multiplier idle for most of its
+/// latency; eight interleaved messages fill those bubbles the same way
+/// [`PIPELINE_WIDTH`] does for `aesenc`.
+pub const MAC_LANES: usize = 8;
 
 /// Low 64 bits of the GF(2^64) reduction polynomial
 /// `x^64 + x^4 + x^3 + x + 1` (kept in sync with [`crate::mac`]).
@@ -112,6 +120,16 @@ pub(crate) fn gf64_mul(a: u64, b: u64) -> u64 {
     assert_capable();
     // SAFETY: as for `clmul`.
     unsafe { gf64_mul_impl(a, b) }
+}
+
+/// Polynomial hashes of many independent 64-byte messages under one
+/// hash key, [`MAC_LANES`] interleaved Horner chains at a time —
+/// bit-identical to evaluating [`crate::mac::poly_hash`] per message.
+#[must_use]
+pub(crate) fn poly_hash_batch(h: u64, blocks: &[[u8; crate::BLOCK_BYTES]]) -> Vec<u64> {
+    assert_capable();
+    // SAFETY: as for `clmul`.
+    unsafe { poly_hash_batch_impl(h, blocks) }
 }
 
 // ---- inner implementations ----
@@ -216,6 +234,56 @@ unsafe fn gf64_mul_impl(a: u64, b: u64) -> u64 {
     lo ^ l3
 }
 
+/// One fully reduced Horner step in xmm registers: `(acc ^ m) * H mod P`.
+/// Live values ride in the low qwords; the high qwords carry fold
+/// garbage that the next step's selector-0x00 multiply never reads.
+#[inline]
+#[target_feature(enable = "pclmulqdq", enable = "sse2")]
+unsafe fn horner_step128(acc: __m128i, m: __m128i, h: __m128i, poly: __m128i) -> __m128i {
+    let t = _mm_xor_si128(acc, m);
+    let p = _mm_clmulepi64_si128::<0x00>(t, h);
+    let f1 = _mm_clmulepi64_si128::<0x01>(p, poly);
+    let f2 = _mm_clmulepi64_si128::<0x01>(f1, poly);
+    _mm_xor_si128(_mm_xor_si128(p, f1), f2)
+}
+
+#[target_feature(enable = "pclmulqdq", enable = "sse2")]
+unsafe fn poly_hash_batch_impl(h: u64, blocks: &[[u8; crate::BLOCK_BYTES]]) -> Vec<u64> {
+    let hv = _mm_set_epi64x(0, h as i64);
+    let poly = _mm_set_epi64x(0, POLY as i64);
+    let mut out = Vec::with_capacity(blocks.len());
+    let mut groups = blocks.chunks_exact(MAC_LANES);
+    for group in &mut groups {
+        // Eight independent Horner chains: step every chain through word
+        // `w` before any chain touches word `w + 1`, so the three-deep
+        // CLMUL dependency of one chain executes under the latency of
+        // the other seven.
+        let mut acc = [_mm_setzero_si128(); MAC_LANES];
+        for word in 0..8 {
+            for (lane, block) in acc.iter_mut().zip(group.iter()) {
+                // Unaligned 8-byte load of little-endian word `word`;
+                // the high qword is zeroed, as `horner_step128` needs.
+                let m = _mm_loadl_epi64(block.as_ptr().add(word * 8).cast());
+                *lane = horner_step128(*lane, m, hv, poly);
+            }
+        }
+        for lane in acc {
+            out.push(_mm_cvtsi128_si64(lane) as u64);
+        }
+    }
+    for block in groups.remainder() {
+        // Serial tail, same arithmetic word by word.
+        let mut acc = 0u64;
+        for chunk in block.chunks_exact(8) {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            acc = gf64_mul_impl(acc ^ u64::from_le_bytes(w), h);
+        }
+        out.push(acc);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     //! Direct unit tests of the intrinsic paths (the broader randomized
@@ -262,6 +330,26 @@ mod tests {
                 .collect();
             encrypt_blocks(aes.round_keys(), &mut batch);
             assert_eq!(batch, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn batched_poly_hash_matches_serial_across_remainders() {
+        if !capable() {
+            return;
+        }
+        let h = 0x9e37_79b9_7f4a_7c15u64;
+        // Lengths straddling MAC_LANES exercise the interleaved groups
+        // and the serial tail.
+        for n in [0usize, 1, 7, 8, 9, 16, 23] {
+            let blocks: Vec<[u8; crate::BLOCK_BYTES]> = (0..n)
+                .map(|i| core::array::from_fn(|j| (i * 67 + j * 13) as u8))
+                .collect();
+            let expected: Vec<u64> = blocks
+                .iter()
+                .map(|b| crate::mac::poly_hash_with(crate::backend::Backend::Portable, h, b))
+                .collect();
+            assert_eq!(poly_hash_batch(h, &blocks), expected, "n={n}");
         }
     }
 

@@ -355,6 +355,30 @@ fn self_test_accelerated() -> bool {
             return false;
         }
     }
+    // Batched MAC hash: one full interleaved group plus a serial tail.
+    batched_poly_hash_matches_portable(accel::poly_hash_batch)
+}
+
+/// Shared known-answer check for the batched polynomial-hash kernels:
+/// 11 structured messages (a full interleaved group plus a tail for
+/// every kernel width in use) hashed under two keys must match the
+/// portable per-message evaluation.
+#[cfg(target_arch = "x86_64")]
+fn batched_poly_hash_matches_portable(
+    kernel: impl Fn(u64, &[[u8; crate::BLOCK_BYTES]]) -> Vec<u64>,
+) -> bool {
+    let blocks: Vec<[u8; crate::BLOCK_BYTES]> = (0..11)
+        .map(|i| core::array::from_fn(|j| (i * 53 + j * 11 + 1) as u8))
+        .collect();
+    for h in [0x9e37_79b9_7f4a_7c15u64, 0x0123_4567_89ab_cdef | 1] {
+        let expected: Vec<u64> = blocks
+            .iter()
+            .map(|b| crate::mac::poly_hash_with(Backend::Portable, h, b))
+            .collect();
+        if kernel(h, &blocks) != expected {
+            return false;
+        }
+    }
     true
 }
 
@@ -398,7 +422,9 @@ fn self_test_wide() -> bool {
             return false;
         }
     }
-    true
+    // Batched MAC hash: full packed groups (both shapes) plus the
+    // single-message tail.
+    batched_poly_hash_matches_portable(wide::poly_hash_batch)
 }
 
 #[cfg(not(target_arch = "x86_64"))]
@@ -414,6 +440,8 @@ struct OpCells {
     keystream_blocks: AtomicU64,
     batched_calls: AtomicU64,
     mac_tags: AtomicU64,
+    mac_batch_calls: AtomicU64,
+    mac_batch_tags: AtomicU64,
 }
 
 impl OpCells {
@@ -423,6 +451,8 @@ impl OpCells {
             keystream_blocks: AtomicU64::new(0),
             batched_calls: AtomicU64::new(0),
             mac_tags: AtomicU64::new(0),
+            mac_batch_calls: AtomicU64::new(0),
+            mac_batch_tags: AtomicU64::new(0),
         }
     }
 }
@@ -438,8 +468,14 @@ pub struct OpsSnapshot {
     pub keystream_blocks: u64,
     /// Multi-block `keystream_batch` invocations.
     pub batched_calls: u64,
-    /// Carter-Wegman tags computed (MAC or verify).
+    /// Carter-Wegman tags computed (MAC or verify), scalar *and*
+    /// batched — the total tag volume.
     pub mac_tags: u64,
+    /// Multi-message `tags_batch` invocations.
+    pub mac_batch_calls: u64,
+    /// Carter-Wegman tags produced by batched calls (a subset of
+    /// [`OpsSnapshot::mac_tags`]).
+    pub mac_batch_tags: u64,
 }
 
 /// Lifetime operation counts of `backend` in this process.
@@ -451,6 +487,8 @@ pub fn ops(backend: Backend) -> OpsSnapshot {
         keystream_blocks: c.keystream_blocks.load(Ordering::Relaxed),
         batched_calls: c.batched_calls.load(Ordering::Relaxed),
         mac_tags: c.mac_tags.load(Ordering::Relaxed),
+        mac_batch_calls: c.mac_batch_calls.load(Ordering::Relaxed),
+        mac_batch_tags: c.mac_batch_tags.load(Ordering::Relaxed),
     }
 }
 
@@ -470,6 +508,13 @@ pub(crate) fn count_mac(backend: Backend) {
     OPS[backend.index()]
         .mac_tags
         .fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_mac_batch(backend: Backend, tags: u64) {
+    let c = &OPS[backend.index()];
+    c.mac_batch_calls.fetch_add(1, Ordering::Relaxed);
+    c.mac_batch_tags.fetch_add(tags, Ordering::Relaxed);
+    c.mac_tags.fetch_add(tags, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -584,11 +629,16 @@ mod tests {
         count_keystream(Backend::Portable, 1, 4);
         count_mac(Backend::Portable);
         count_batch(Backend::Portable);
+        count_mac_batch(Backend::Portable, 16);
         let after = ops(Backend::Portable);
         assert!(after.keystream_calls > before.keystream_calls);
         assert!(after.keystream_blocks >= before.keystream_blocks + 4);
-        assert!(after.mac_tags > before.mac_tags);
+        // One scalar tag plus a 16-tag batch: the total grows by 17 and
+        // the batched subset by 16.
+        assert!(after.mac_tags >= before.mac_tags + 17);
         assert!(after.batched_calls > before.batched_calls);
+        assert!(after.mac_batch_calls > before.mac_batch_calls);
+        assert!(after.mac_batch_tags >= before.mac_batch_tags + 16);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub const CHUNKS: usize = BLOCK_BYTES / 16;
 /// keystream inputs can never collide with MAC-mask inputs.
 const DOMAIN_KEYSTREAM: u8 = 0x4b; // 'K'
 
+/// Domain-separation tag for MAC masks (chunk index fixed at 0).
+const DOMAIN_MAC: u8 = 0x4d; // 'M'
+
 /// Builds the 16-byte AES input for one keystream chunk:
 /// `counter (8 bytes LE) || address (6 low bytes LE) || chunk || domain`.
 ///
@@ -150,8 +153,23 @@ pub fn mac_pad(aes: &Aes128, addr: u64, counter: u64) -> [u8; 16] {
 /// [`mac_pad`] on an explicitly chosen backend.
 #[must_use]
 pub fn mac_pad_with(backend: Backend, aes: &Aes128, addr: u64, counter: u64) -> [u8; 16] {
-    const DOMAIN_MAC: u8 = 0x4d; // 'M'
     aes.encrypt_block_with(backend, &nonce_block(addr, counter, 0, DOMAIN_MAC))
+}
+
+/// Generates the MAC pads for many `(addr, counter)` nonces in one
+/// pipelined pass — the MAC-side analogue of [`keystream_batch`]. Each
+/// tag needs one AES block of mask; computing them one `encrypt_block`
+/// at a time leaves the AES units idle between tags, so the batched tag
+/// path feeds all N nonce blocks through [`Aes128::encrypt_blocks_with`]
+/// and lets the pipelined/VAES tiers keep their lanes full.
+#[must_use]
+pub fn mac_pads_batch_with(backend: Backend, aes: &Aes128, nonces: &[(u64, u64)]) -> Vec<[u8; 16]> {
+    let mut pads: Vec<[u8; 16]> = nonces
+        .iter()
+        .map(|&(addr, counter)| nonce_block(addr, counter, 0, DOMAIN_MAC))
+        .collect();
+    aes.encrypt_blocks_with(backend, &mut pads);
+    pads
 }
 
 #[cfg(test)]
@@ -194,6 +212,22 @@ mod tests {
             assert_eq!(batch[i], keystream(&aes, addr, ctr), "nonce {i}");
         }
         assert!(keystream_batch(&aes, &[]).is_empty());
+    }
+
+    #[test]
+    fn batched_pads_match_per_tag_calls() {
+        let aes = aes();
+        let nonces: Vec<(u64, u64)> = (0..17u64)
+            .map(|i| (i * 64, i.wrapping_mul(3) ^ 9))
+            .collect();
+        for backend in crate::backend::Backend::ALL {
+            let pads = mac_pads_batch_with(backend, &aes, &nonces);
+            assert_eq!(pads.len(), nonces.len());
+            for (i, &(addr, ctr)) in nonces.iter().enumerate() {
+                assert_eq!(pads[i], mac_pad(&aes, addr, ctr), "{backend} nonce {i}");
+            }
+            assert!(mac_pads_batch_with(backend, &aes, &[]).is_empty());
+        }
     }
 
     #[test]

@@ -162,6 +162,34 @@ impl MemoryCipher {
         mac::tag(&self.mac_key, self.hash_key, addr, counter, ct)
     }
 
+    /// Computes the 56-bit Carter-Wegman tags of many independent
+    /// ciphertext blocks in one multi-message pass — bit-identical to
+    /// calling [`MemoryCipher::mac_block`] per block, but the polynomial
+    /// hashes run as interleaved Horner chains and the AES pads as one
+    /// pipelined batch. This is the bulk-path tag primitive that pairs
+    /// with [`MemoryCipher::keystream_batch`] on fused reads and writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nonces` and `blocks` have different lengths.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ame_crypto::MemoryCipher;
+    ///
+    /// let cipher = MemoryCipher::from_seed(7);
+    /// let nonces = [(0x0, 1), (0x40, 2)];
+    /// let blocks = [[0x5au8; 64], [0xa5u8; 64]];
+    /// let tags = cipher.mac_batch(&nonces, &blocks);
+    /// assert_eq!(tags[0], cipher.mac_block(0x0, 1, &blocks[0]));
+    /// assert_eq!(tags[1], cipher.mac_block(0x40, 2, &blocks[1]));
+    /// ```
+    #[must_use]
+    pub fn mac_batch(&self, nonces: &[(u64, u64)], blocks: &[[u8; BLOCK_BYTES]]) -> Vec<u64> {
+        mac::tags_batch(&self.mac_key, self.hash_key, nonces, blocks)
+    }
+
     /// Verifies a 56-bit tag over a ciphertext block.
     #[must_use]
     pub fn verify_block(&self, addr: u64, counter: u64, ct: &[u8; BLOCK_BYTES], tag: u64) -> bool {

@@ -32,19 +32,42 @@
 //! eight-word chain into two four-word chains run in the two 128-bit
 //! lanes of one ymm register (`_mm256_clmulepi64_epi128` multiplies
 //! both lanes per instruction) and recombines as `A·H⁴ ^ B` — halving
-//! the serial carry-less-multiply depth per block.
+//! the serial carry-less-multiply depth per block. The recombination
+//! itself stays in the vector domain: one selector-`0x00` multiply
+//! against the `[H⁴, 1]` lane constants produces `A·H⁴` and `B` side by
+//! side, their 128-bit products are XORed while still unreduced, and a
+//! single deferred reduction finishes the tag — no scalar GF multiply
+//! on the path.
+//!
+//! [`poly_hash_batch`] extends this to N independent messages: each
+//! accumulator register carries whole messages per 128-bit lane pair
+//! (four in-flight messages in the ymm shape, eight in the zmm shape),
+//! so the three-deep CLMUL dependency of one message's Horner step
+//! executes under the latency of its neighbours'. The `H⁴` lane
+//! constants are squared once per batch and shared by every
+//! recombination.
 #![allow(unsafe_code)]
 
 use core::arch::x86_64::{
-    __m256i, _mm256_aesenc_epi128, _mm256_aesenclast_epi128, _mm256_broadcastsi128_si256,
-    _mm256_clmulepi64_epi128, _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_set_epi64x,
-    _mm256_setzero_si256, _mm256_storeu_si256, _mm256_xor_si256, _mm512_aesenc_epi128,
-    _mm512_aesenclast_epi128, _mm512_broadcast_i32x4, _mm512_loadu_si512, _mm512_storeu_si512,
-    _mm512_xor_si512, _mm_cvtsi128_si64, _mm_loadu_si128,
+    __m128i, __m256i, __m512i, _mm256_aesenc_epi128, _mm256_aesenclast_epi128,
+    _mm256_broadcastsi128_si256, _mm256_clmulepi64_epi128, _mm256_extracti128_si256,
+    _mm256_loadu_si256, _mm256_set_epi64x, _mm256_setzero_si256, _mm256_storeu_si256,
+    _mm256_xor_si256, _mm512_aesenc_epi128, _mm512_aesenclast_epi128, _mm512_broadcast_i32x4,
+    _mm512_clmulepi64_epi128, _mm512_extracti32x4_epi32, _mm512_loadu_si512, _mm512_set_epi64,
+    _mm512_setzero_si512, _mm512_storeu_si512, _mm512_xor_si512, _mm_clmulepi64_si128,
+    _mm_cvtsi128_si64, _mm_loadu_si128, _mm_set_epi64x, _mm_xor_si128,
 };
 
 /// Blocks advanced by one wide inner-loop iteration (both shapes).
 pub const GROUP_BLOCKS: usize = 16;
+
+/// Messages advanced per batched-MAC inner-loop iteration in the ymm
+/// shape: four independent two-lane Horner chains in flight.
+pub const MAC_GROUP_256: usize = 4;
+
+/// Messages advanced per batched-MAC inner-loop iteration in the zmm
+/// shape: four zmm accumulators × two messages each.
+pub const MAC_GROUP_512: usize = 8;
 
 /// Low 64 bits of the GF(2^64) reduction polynomial
 /// `x^64 + x^4 + x^3 + x + 1` (kept in sync with [`crate::mac`]).
@@ -119,9 +142,51 @@ pub(crate) fn poly_hash(h: u64, block: &[u8; crate::BLOCK_BYTES]) -> u64 {
     assert_capable();
     // SAFETY: reached only via `Backend::Wide` dispatch (or the backend
     // self-test), both gated on `wide_available()` which confirms
-    // `vpclmulqdq`+`avx2` (and the `pclmulqdq` scalar baseline used for
-    // the final recombination).
+    // `vpclmulqdq`+`avx2` (and the `pclmulqdq` baseline the squarings
+    // and deferred reduction run on).
     unsafe { poly_hash_impl(h, block) }
+}
+
+/// Polynomial hashes of many independent 64-byte messages under one
+/// hash key — bit-identical to evaluating [`poly_hash`] per message.
+///
+/// The `H²`/`H⁴` squarings run once per call and the lane constants are
+/// shared by every message's recombination, so their cost vanishes as
+/// the batch grows; the Horner chains themselves run [`MAC_GROUP_512`]
+/// (zmm) or [`MAC_GROUP_256`] (ymm) messages at a time.
+#[must_use]
+pub(crate) fn poly_hash_batch(h: u64, blocks: &[[u8; crate::BLOCK_BYTES]]) -> Vec<u64> {
+    assert_capable();
+    let mut out = Vec::with_capacity(blocks.len());
+    // Precompute the H⁴ lane constant by two squarings, amortized over
+    // the whole batch.
+    let h2 = crate::accel::gf64_mul(h, h);
+    let h4 = crate::accel::gf64_mul(h2, h2);
+    let group = if shape_512() {
+        MAC_GROUP_512
+    } else {
+        MAC_GROUP_256
+    };
+    let main = blocks.len() - blocks.len() % group;
+    let (groups, tail) = blocks.split_at(main);
+    if !groups.is_empty() {
+        if shape_512() {
+            // SAFETY: reached only via `Backend::Wide` dispatch (or the
+            // backend self-test), both gated on `wide_available()`, and
+            // `shape_512` just confirmed `avx512f`.
+            unsafe { poly_hash_groups_512(h, h4, groups, &mut out) }
+        } else {
+            // SAFETY: as above — `wide_available()` guarantees
+            // `vpclmulqdq`+`avx2` plus the `pclmulqdq` baseline.
+            unsafe { poly_hash_groups_256(h, h4, groups, &mut out) }
+        }
+    }
+    for block in tail {
+        // Single-message wide path — same split, same recombination.
+        // SAFETY: as for `poly_hash`.
+        out.push(unsafe { poly_hash_impl(h, block) });
+    }
+    out
 }
 
 // ---- inner implementations ----
@@ -204,6 +269,40 @@ unsafe fn horner_step(acc: __m256i, m: __m256i, h: __m256i, poly: __m256i) -> __
     _mm256_xor_si256(_mm256_xor_si256(p, f1), f2)
 }
 
+/// Finishes one deferred reduction: folds the high qword of `combined`
+/// twice by POLY and returns the reduced low qword. `combined` is an
+/// unreduced 128-bit GF(2) sum (here `clmul(A, H⁴) ^ B`); reduction is
+/// GF(2)-linear, so reducing the sum once equals reducing each term —
+/// bit-identical to `gf64_mul(A, H⁴) ^ B`.
+#[inline]
+#[target_feature(enable = "pclmulqdq", enable = "sse2")]
+unsafe fn reduce_deferred(combined: __m128i, poly: __m128i) -> u64 {
+    let f1 = _mm_clmulepi64_si128::<0x01>(combined, poly);
+    let f2 = _mm_clmulepi64_si128::<0x01>(f1, poly);
+    _mm_cvtsi128_si64(_mm_xor_si128(_mm_xor_si128(combined, f1), f2)) as u64
+}
+
+/// Recombines one finished two-lane accumulator `[A, B]` into the full
+/// hash `A·H⁴ ^ B`, entirely in the vector domain: one selector-`0x00`
+/// multiply against the `[H⁴, 1]` lane constants (`A·H⁴` lands in lane
+/// 0 as an unreduced 128-bit product, `B·1 = B` in lane 1), an XOR of
+/// the two lanes while still unreduced, and one deferred reduction.
+#[inline]
+#[target_feature(
+    enable = "avx2",
+    enable = "vpclmulqdq",
+    enable = "pclmulqdq",
+    enable = "sse2"
+)]
+unsafe fn recombine_256(acc: __m256i, h4v: __m256i, poly128: __m128i) -> u64 {
+    let p = _mm256_clmulepi64_epi128::<0x00>(acc, h4v);
+    let combined = _mm_xor_si128(
+        _mm256_extracti128_si256::<0>(p),
+        _mm256_extracti128_si256::<1>(p),
+    );
+    reduce_deferred(combined, poly128)
+}
+
 #[target_feature(
     enable = "avx2",
     enable = "vpclmulqdq",
@@ -228,12 +327,114 @@ unsafe fn poly_hash_impl(h: u64, block: &[u8; crate::BLOCK_BYTES]) -> u64 {
         let m = _mm256_set_epi64x(0, words[4 + i] as i64, 0, words[i] as i64);
         acc = horner_step(acc, m, h_v, poly);
     }
-    let a = _mm_cvtsi128_si64(_mm256_extracti128_si256::<0>(acc)) as u64;
-    let b = _mm_cvtsi128_si64(_mm256_extracti128_si256::<1>(acc)) as u64;
-    // H⁴ by two squarings on the scalar PCLMULQDQ path, then recombine.
+    // H⁴ by two squarings, then the vector-domain recombination.
     let h2 = crate::accel::gf64_mul(h, h);
     let h4 = crate::accel::gf64_mul(h2, h2);
-    crate::accel::gf64_mul(a, h4) ^ b
+    let h4v = _mm256_set_epi64x(0, 1, 0, h4 as i64);
+    recombine_256(acc, h4v, _mm_set_epi64x(0, POLY as i64))
+}
+
+/// Batched ymm kernel: [`MAC_GROUP_256`] messages per iteration, one
+/// two-lane accumulator each, stepped in lockstep so the four Horner
+/// chains hide each other's CLMUL latency.
+#[target_feature(
+    enable = "avx2",
+    enable = "vpclmulqdq",
+    enable = "pclmulqdq",
+    enable = "sse2"
+)]
+unsafe fn poly_hash_groups_256(h: u64, h4: u64, blocks: &[[u8; 64]], out: &mut Vec<u64>) {
+    debug_assert_eq!(blocks.len() % MAC_GROUP_256, 0);
+    let h_v = _mm256_set_epi64x(0, h as i64, 0, h as i64);
+    let poly = _mm256_set_epi64x(0, POLY as i64, 0, POLY as i64);
+    let h4v = _mm256_set_epi64x(0, 1, 0, h4 as i64);
+    let poly128 = _mm_set_epi64x(0, POLY as i64);
+    for group in blocks.chunks_exact(MAC_GROUP_256) {
+        let mut acc = [_mm256_setzero_si256(); MAC_GROUP_256];
+        for step in 0..4 {
+            for (lane, block) in acc.iter_mut().zip(group.iter()) {
+                let lo = u64::from_le_bytes(block[step * 8..step * 8 + 8].try_into().unwrap());
+                let hi =
+                    u64::from_le_bytes(block[32 + step * 8..40 + step * 8].try_into().unwrap());
+                let m = _mm256_set_epi64x(0, hi as i64, 0, lo as i64);
+                *lane = horner_step(*lane, m, h_v, poly);
+            }
+        }
+        for lane in acc {
+            out.push(recombine_256(lane, h4v, poly128));
+        }
+    }
+}
+
+/// One fully reduced Horner step across all four 128-bit lanes of a zmm
+/// register — two messages' A/B chains per register. Same algebra as
+/// [`horner_step`], twice as wide.
+#[inline]
+#[target_feature(enable = "avx512f", enable = "vpclmulqdq")]
+unsafe fn horner_step_512(acc: __m512i, m: __m512i, h: __m512i, poly: __m512i) -> __m512i {
+    let t = _mm512_xor_si512(acc, m);
+    let p = _mm512_clmulepi64_epi128::<0x00>(t, h);
+    let f1 = _mm512_clmulepi64_epi128::<0x01>(p, poly);
+    let f2 = _mm512_clmulepi64_epi128::<0x01>(f1, poly);
+    _mm512_xor_si512(_mm512_xor_si512(p, f1), f2)
+}
+
+/// Batched zmm kernel: [`MAC_GROUP_512`] messages per iteration. Each
+/// zmm accumulator carries two messages as lanes `[A₀, B₀, A₁, B₁]`;
+/// four accumulators keep eight messages in flight. The recombination
+/// multiplies against `[H⁴, 1, H⁴, 1]` lane constants, XORs each
+/// message's lane pair unreduced, and defers to one reduction per
+/// message.
+#[target_feature(
+    enable = "avx512f",
+    enable = "vpclmulqdq",
+    enable = "pclmulqdq",
+    enable = "sse2"
+)]
+unsafe fn poly_hash_groups_512(h: u64, h4: u64, blocks: &[[u8; 64]], out: &mut Vec<u64>) {
+    debug_assert_eq!(blocks.len() % MAC_GROUP_512, 0);
+    let h_v = _mm512_set_epi64(0, h as i64, 0, h as i64, 0, h as i64, 0, h as i64);
+    let poly = _mm512_set_epi64(
+        0,
+        POLY as i64,
+        0,
+        POLY as i64,
+        0,
+        POLY as i64,
+        0,
+        POLY as i64,
+    );
+    let h4v = _mm512_set_epi64(0, 1, 0, h4 as i64, 0, 1, 0, h4 as i64);
+    let poly128 = _mm_set_epi64x(0, POLY as i64);
+    for group in blocks.chunks_exact(MAC_GROUP_512) {
+        let mut acc = [_mm512_setzero_si512(); MAC_GROUP_512 / 2];
+        for step in 0..4 {
+            for (reg, pair) in acc.iter_mut().zip(group.chunks_exact(2)) {
+                let lo0 = u64::from_le_bytes(pair[0][step * 8..step * 8 + 8].try_into().unwrap());
+                let hi0 =
+                    u64::from_le_bytes(pair[0][32 + step * 8..40 + step * 8].try_into().unwrap());
+                let lo1 = u64::from_le_bytes(pair[1][step * 8..step * 8 + 8].try_into().unwrap());
+                let hi1 =
+                    u64::from_le_bytes(pair[1][32 + step * 8..40 + step * 8].try_into().unwrap());
+                let m =
+                    _mm512_set_epi64(0, hi1 as i64, 0, lo1 as i64, 0, hi0 as i64, 0, lo0 as i64);
+                *reg = horner_step_512(*reg, m, h_v, poly);
+            }
+        }
+        for reg in acc {
+            let p = _mm512_clmulepi64_epi128::<0x00>(reg, h4v);
+            let m0 = _mm_xor_si128(
+                _mm512_extracti32x4_epi32::<0>(p),
+                _mm512_extracti32x4_epi32::<1>(p),
+            );
+            let m1 = _mm_xor_si128(
+                _mm512_extracti32x4_epi32::<2>(p),
+                _mm512_extracti32x4_epi32::<3>(p),
+            );
+            out.push(reduce_deferred(m0, poly128));
+            out.push(reduce_deferred(m1, poly128));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +499,26 @@ mod tests {
                     crate::mac::poly_hash_with(Backend::Portable, h, &block)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn wide_poly_hash_batch_matches_portable_across_remainders() {
+        if !capable() {
+            return;
+        }
+        let h = 0x0123_4567_89ab_cdefu64 | 1;
+        // Lengths straddling both group widths (4 for ymm, 8 for zmm)
+        // exercise the packed kernels and the single-message tail.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64] {
+            let blocks: Vec<[u8; 64]> = (0..n)
+                .map(|i| core::array::from_fn(|j| (i * 73 + j * 29 + 1) as u8))
+                .collect();
+            let expected: Vec<u64> = blocks
+                .iter()
+                .map(|b| crate::mac::poly_hash_with(Backend::Portable, h, b))
+                .collect();
+            assert_eq!(poly_hash_batch(h, &blocks), expected, "n={n}");
         }
     }
 

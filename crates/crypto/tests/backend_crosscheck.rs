@@ -191,6 +191,45 @@ fn tail_and_misalignment_bit_identity_across_tier_pairs() {
 }
 
 #[test]
+fn batched_mac_tags_bit_identical_across_tier_pairs() {
+    // The multi-message tag pipeline must agree with itself across
+    // every tier pair — not merely with the portable reference — at
+    // batch lengths straddling the accelerated lane count (8) and the
+    // wide per-call message groups (4/8), including the empty batch and
+    // a large one exercising both main loops and tails. Each tier's
+    // batch must also match that tier's own serial tags, so the fused
+    // verify path can fall back to scalar re-checks without ever
+    // disagreeing with itself.
+    let mut rng = StdRng::seed_from_u64(0xBC_07);
+    let mac_key = Aes128::new(&bytes(&mut rng));
+    for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+        let h = rng.next_u64() | 1;
+        let nonces: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.next_u64() & !63, rng.next_u64()))
+            .collect();
+        let blocks: Vec<[u8; 64]> = (0..n).map(|_| bytes(&mut rng)).collect();
+        let per_tier: Vec<_> = Backend::ALL
+            .map(|b| mac::tags_batch_with(b, &mac_key, h, &nonces, &blocks))
+            .into();
+        for (i, a) in per_tier.iter().enumerate() {
+            assert_eq!(a.len(), n, "{} n={n}", Backend::ALL[i]);
+            for (j, b) in per_tier.iter().enumerate() {
+                assert_eq!(a, b, "{} vs {} n={n}", Backend::ALL[i], Backend::ALL[j]);
+            }
+        }
+        for (backend, batch) in Backend::ALL.iter().zip(&per_tier) {
+            for (k, (&(addr, counter), block)) in nonces.iter().zip(&blocks).enumerate() {
+                assert_eq!(
+                    batch[k],
+                    mac::tag_with(*backend, &mac_key, h, addr, counter, block),
+                    "{backend} n={n} msg={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn active_backend_obeys_forced_override() {
     // The override is only readable at first resolution, so this test
     // asserts conditionally: if the env forced a tier, the resolved

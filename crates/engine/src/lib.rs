@@ -286,7 +286,7 @@ impl ame_telemetry::Metrics for EngineStats {
 /// Snapshot of all off-chip state for one block, as a replay attacker
 /// would capture it: stored data + side-band, plus the counter metadata
 /// block and its stored leaf MAC.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockSnapshot {
     addr: u64,
     stored: StoredBlock,
@@ -389,6 +389,7 @@ impl ame_telemetry::Metrics for MemoryEncryptionEngine {
             sink.gauge("metadata_cache/hit_rate", cache.hit_rate());
         }
         sink.histogram("flip_check_distribution", &self.flip_check_dist);
+        sink.histogram("mac_batch_size", &self.mac_batch_dist);
     }
 }
 
@@ -405,6 +406,9 @@ pub struct MemoryEncryptionEngine {
     /// Distribution of MAC hypotheses evaluated per flip-and-check
     /// correction attempt (Section 3.4's cost argument).
     flip_check_dist: ame_telemetry::Histogram,
+    /// Distribution of multi-message MAC batch sizes issued by the
+    /// fused read-verify and write-seal paths.
+    mac_batch_dist: ame_telemetry::Histogram,
 }
 
 impl std::fmt::Debug for MemoryEncryptionEngine {
@@ -440,6 +444,7 @@ impl MemoryEncryptionEngine {
             mac_region: HashMap::new(),
             stats: EngineStats::default(),
             flip_check_dist: ame_telemetry::Histogram::new(),
+            mac_batch_dist: ame_telemetry::Histogram::new(),
         }
     }
 
@@ -467,6 +472,13 @@ impl MemoryEncryptionEngine {
         &self.flip_check_dist
     }
 
+    /// Distribution of multi-message MAC batch sizes issued by the
+    /// fused read-verify and write-seal paths.
+    #[must_use]
+    pub fn mac_batch_distribution(&self) -> &ame_telemetry::Histogram {
+        &self.mac_batch_dist
+    }
+
     fn block_index(addr: u64) -> u64 {
         addr / BLOCK_BYTES as u64
     }
@@ -486,6 +498,14 @@ impl MemoryEncryptionEngine {
     /// from batched keystreams can skip the per-block encrypt call.
     fn seal_ciphertext(&mut self, addr: u64, counter: u64, ct: [u8; BLOCK_BYTES]) {
         let tag = self.cipher.mac_block(addr, counter, &ct);
+        self.seal_ciphertext_with_tag(addr, ct, tag);
+    }
+
+    /// Stores an already-encrypted block whose tag was precomputed — the
+    /// tail of [`Self::seal_ciphertext`], split out so bulk paths can
+    /// produce a whole run's tags with one [`MemoryCipher::mac_batch`]
+    /// call instead of a per-block MAC.
+    fn seal_ciphertext_with_tag(&mut self, addr: u64, ct: [u8; BLOCK_BYTES], tag: u64) {
         let sideband = match self.config.mac_placement {
             MacPlacement::MacInEcc => MacSideband::new(tag, &ct).to_bytes(),
             MacPlacement::SeparateMac => {
@@ -542,12 +562,23 @@ impl MemoryEncryptionEngine {
             .map(|&(addr, _)| (addr, new_counter))
             .collect();
         let new_ks = self.cipher.keystream_batch(&new_nonces);
-        for ((&(addr, _), old), new) in resident.iter().zip(&old_ks).zip(&new_ks) {
-            let mut ct = self.storage.read(addr).data;
-            for ((c, o), n) in ct.iter_mut().zip(old.iter()).zip(new.iter()) {
-                *c ^= o ^ n;
-            }
-            self.seal_ciphertext(addr, new_counter, ct);
+        let ciphertexts: Vec<[u8; BLOCK_BYTES]> = resident
+            .iter()
+            .zip(&old_ks)
+            .zip(&new_ks)
+            .map(|((&(addr, _), old), new)| {
+                let mut ct = self.storage.read(addr).data;
+                for ((c, o), n) in ct.iter_mut().zip(old.iter()).zip(new.iter()) {
+                    *c ^= o ^ n;
+                }
+                ct
+            })
+            .collect();
+        // One multi-message pass tags the whole re-encrypted group.
+        let tags = self.cipher.mac_batch(&new_nonces, &ciphertexts);
+        self.mac_batch_dist.record(ciphertexts.len() as u64);
+        for ((&(addr, _), ct), tag) in resident.iter().zip(ciphertexts).zip(tags) {
+            self.seal_ciphertext_with_tag(addr, ct, tag);
             self.stats.reencrypted_blocks += 1;
         }
     }
@@ -627,16 +658,29 @@ impl MemoryEncryptionEngine {
             }
             run.push((i, self.counters.counter(block)));
         }
-        // Phase 2: one keystream batch seals the overflow-free tail.
+        // Phase 2: one keystream batch encrypts the overflow-free tail
+        // and one multi-message MAC batch seals it.
+        if run.is_empty() {
+            return;
+        }
         let nonces: Vec<(u64, u64)> = run.iter().map(|&(i, ctr)| (items[i].0, ctr)).collect();
         let keystreams = self.cipher.keystream_batch(&nonces);
-        for (&(i, counter), ks) in run.iter().zip(&keystreams) {
-            let (addr, plain) = items[i];
-            let mut ct = plain;
-            for (c, k) in ct.iter_mut().zip(ks.iter()) {
-                *c ^= k;
-            }
-            self.seal_ciphertext(addr, counter, ct);
+        let ciphertexts: Vec<[u8; BLOCK_BYTES]> = run
+            .iter()
+            .zip(&keystreams)
+            .map(|(&(i, _), ks)| {
+                let mut ct = items[i].1;
+                for (c, k) in ct.iter_mut().zip(ks.iter()) {
+                    *c ^= k;
+                }
+                ct
+            })
+            .collect();
+        let tags = self.cipher.mac_batch(&nonces, &ciphertexts);
+        self.mac_batch_dist.record(ciphertexts.len() as u64);
+        for ((&(i, _), ct), tag) in run.iter().zip(ciphertexts).zip(tags) {
+            let addr = items[i].0;
+            self.seal_ciphertext_with_tag(addr, ct, tag);
             self.sync_tree(Self::block_index(addr));
             self.stats.writes += 1;
         }
@@ -789,23 +833,22 @@ impl MemoryEncryptionEngine {
             }
         }
 
-        // Verify every tag before releasing any plaintext. Anything but a
-        // perfectly clean block (no side-band corrections, no mismatch)
-        // drops to the sequential path, which owns correction, scrubbing,
-        // and failure accounting.
+        // Gather every block's decoded ciphertext and stored tag. Any
+        // side-band anomaly (a correctable or uncorrectable ECC
+        // condition, a parity fault) drops to the sequential path before
+        // any MAC work — that path owns correction, scrubbing, and
+        // failure accounting.
         let mut ciphertexts: Vec<[u8; BLOCK_BYTES]> = Vec::with_capacity(addrs.len());
-        for (&addr, &counter) in addrs.iter().zip(&counters) {
+        let mut stored_tags: Vec<u64> = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
             let stored = self.storage.read(addr);
-            let ct = match self.config.mac_placement {
+            let (ct, tag) = match self.config.mac_placement {
                 MacPlacement::MacInEcc => {
                     let sideband = MacSideband::from_bytes(stored.sideband);
                     let DecodeOutcome::Clean { word: tag } = sideband.recover_tag() else {
                         return None;
                     };
-                    if !self.cipher.verify_block(addr, counter, &stored.data, tag) {
-                        return None;
-                    }
-                    stored.data
+                    (stored.data, tag)
                 }
                 MacPlacement::SeparateMac => {
                     let sideband = StandardSideband::from_bytes(stored.sideband);
@@ -815,19 +858,30 @@ impl MemoryEncryptionEngine {
                     }
                     let ct = decoded.corrected_block()?;
                     let block = Self::block_index(addr);
-                    let tag = self.mac_region.get(&block).copied().unwrap_or(0);
-                    if !self.cipher.verify_block(addr, counter, &ct, tag) {
-                        return None;
-                    }
-                    ct
+                    (ct, self.mac_region.get(&block).copied().unwrap_or(0))
                 }
             };
             ciphertexts.push(ct);
+            stored_tags.push(tag);
+        }
+
+        // Verify-before-release, one multi-message MAC pass for the
+        // whole run. Any mismatch abandons the batch with nothing
+        // mutated, so the sequential fallback re-derives attribution,
+        // flip-and-check correction, and quarantine bit-identically.
+        let nonces: Vec<(u64, u64)> = addrs.iter().copied().zip(counters).collect();
+        let computed = self.cipher.mac_batch(&nonces, &ciphertexts);
+        self.mac_batch_dist.record(computed.len() as u64);
+        if computed
+            .iter()
+            .zip(&stored_tags)
+            .any(|(&got, &stored)| got != stored & ame_crypto::TAG_MASK)
+        {
+            return None;
         }
 
         // All tags checked: decrypt the whole run from one pipelined
         // keystream batch.
-        let nonces: Vec<(u64, u64)> = addrs.iter().copied().zip(counters).collect();
         let keystreams = self.cipher.keystream_batch(&nonces);
         for (ct, ks) in ciphertexts.iter_mut().zip(&keystreams) {
             for (c, k) in ct.iter_mut().zip(ks.iter()) {
@@ -923,11 +977,11 @@ impl MemoryEncryptionEngine {
         let sideband = MacSideband::from_bytes(stored.sideband);
         // Recover the MAC through its own 7-bit SEC-DED first (Section
         // 3.3): a flipped MAC bit must not masquerade as a data error.
-        let tag = match sideband.recover_tag() {
-            DecodeOutcome::Clean { word } => word,
+        let (tag, corrected_sideband) = match sideband.recover_tag() {
+            DecodeOutcome::Clean { word } => (word, false),
             DecodeOutcome::CorrectedData { word, .. } | DecodeOutcome::CorrectedCheck { word } => {
                 self.stats.mac_corrections += 1;
-                word
+                (word, true)
             }
             DecodeOutcome::DoubleError | DecodeOutcome::Uncorrectable => {
                 self.stats.failed_reads += 1;
@@ -936,6 +990,20 @@ impl MemoryEncryptionEngine {
         };
 
         if self.cipher.verify_block(addr, counter, &stored.data, tag) {
+            if corrected_sideband {
+                // Scrub the corrected side-band back, exactly as corrected
+                // data is scrubbed below: a correctable MAC flip left in
+                // place would accumulate with the next one into an
+                // uncorrectable double error (Section 3.3's scrubbing
+                // argument applies to the MAC's own bits too).
+                self.storage.write(
+                    addr,
+                    StoredBlock {
+                        data: stored.data,
+                        sideband: MacSideband::new(tag, &stored.data).to_bytes(),
+                    },
+                );
+            }
             self.stats.reads += 1;
             return Ok(self.cipher.decrypt_block(addr, counter, &stored.data));
         }
@@ -1177,6 +1245,44 @@ impl MemoryEncryptionEngine {
         Ok(())
     }
 
+    /// Applies a *run* of sealed block states in one pass — the recovery
+    /// analogue of the batched write path. The per-block effects (counter
+    /// restore, MAC-region tag, stored bits) are identical to calling
+    /// [`Self::apply_sealed`] per entry, but the integrity-tree re-sync is
+    /// deduplicated to one [`Self::sync_tree`] per *distinct metadata
+    /// block* touched by the run: the tree leaf image is a pure function
+    /// of the final counter state, so syncing once after all counters in
+    /// a leaf are restored yields the same tree bit-for-bit while skipping
+    /// the redundant intermediate hashes a per-record replay would pay.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` from the first entry whose counter value cannot be
+    /// represented (corrupt or forged log). Entries before the failure
+    /// are applied and their metadata blocks synced, so the engine is
+    /// left tree-consistent even on error; the caller abandons recovery
+    /// anyway.
+    pub fn apply_sealed_run(&mut self, entries: &[(u64, SealedBlockState)]) -> io::Result<()> {
+        let mut metas: Vec<u64> = Vec::with_capacity(entries.len());
+        let result = entries.iter().try_for_each(|(addr, state)| {
+            let block = Self::block_index(*addr);
+            self.counters.force_counter(block, state.counter)?;
+            if let Some(tag) = state.mac {
+                self.mac_region.insert(block, tag);
+            }
+            self.storage.write(*addr, state.stored);
+            metas.push(self.counters.metadata_block_of(block));
+            Ok(())
+        });
+        metas.sort_unstable();
+        metas.dedup();
+        for meta in metas {
+            let image = self.counters.metadata_block_image(meta);
+            self.tree.write_counter_block(meta, image);
+        }
+        result
+    }
+
     /// Reads and verifies every resident block (tree walk + MAC check),
     /// returning how many blocks were verified. Recovery calls this
     /// before a thawed engine serves a single request.
@@ -1320,6 +1426,7 @@ impl MemoryEncryptionEngine {
             mac_region,
             stats,
             flip_check_dist: ame_telemetry::Histogram::new(),
+            mac_batch_dist: ame_telemetry::Histogram::new(),
         })
     }
 }

@@ -320,6 +320,26 @@ impl SecureRegion {
         self.engine.apply_sealed(addr, state)
     }
 
+    /// Re-installs a run of sealed block states in one batched pass —
+    /// same per-block effects as [`Self::apply_sealed`] per entry, with
+    /// the integrity-tree re-sync deduplicated per metadata block. Every
+    /// address is bounds-checked before any entry is applied, so a bad
+    /// log cannot partially replay through this path.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if any address is out of bounds/unaligned or a
+    /// counter value cannot be represented — either way the log is
+    /// corrupt and the shard quarantines.
+    pub fn apply_sealed_run(&mut self, entries: &[(u64, SealedBlockState)]) -> io::Result<()> {
+        for &(addr, _) in entries {
+            if self.check(addr, BLOCK_BYTES).is_err() || !addr.is_multiple_of(BLOCK_BYTES as u64) {
+                return Err(invalid_data("replayed address outside the region"));
+            }
+        }
+        self.engine.apply_sealed_run(entries)
+    }
+
     /// Verifies every resident block (tree + MAC), returning the count.
     ///
     /// # Errors

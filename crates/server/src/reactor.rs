@@ -281,7 +281,10 @@ fn reactor_loop<'a>(
                 return;
             }
         };
-        let ready: Vec<(u64, u32)> = events[..n].iter().map(|e| (e.token(), e.events())).collect();
+        let ready: Vec<(u64, u32)> = events[..n]
+            .iter()
+            .map(|e| (e.token(), e.events()))
+            .collect();
 
         if ready.iter().any(|&(token, _)| token == INJECT_TOKEN) {
             inject_wake.drain();

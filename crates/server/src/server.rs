@@ -368,10 +368,7 @@ impl Server {
             "server/pre_hello_failures",
             c.pre_hello_failures.load(Ordering::Relaxed),
         );
-        reg.set_gauge(
-            "server/reactor_threads",
-            self.reactor_threads() as f64,
-        );
+        reg.set_gauge("server/reactor_threads", self.reactor_threads() as f64);
         reg.set_gauge(
             "server/reactor_fallback",
             f64::from(u8::from(self.shared.reactor_fallback)),
@@ -793,8 +790,7 @@ fn reader_loop(
                                     .counters
                                     .shutdown_rejections
                                     .fetch_add(1, Ordering::Relaxed);
-                                let _ =
-                                    respond_err(wr, frame.req_id, &WireError::ShuttingDown);
+                                let _ = respond_err(wr, frame.req_id, &WireError::ShuttingDown);
                                 return ConnEnd::Shutdown;
                             }
                             state = in_flight.lock().unwrap();

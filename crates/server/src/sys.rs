@@ -252,7 +252,11 @@ mod tests {
         let wake = ame_store::WakeFd::new().expect("linux hosts have eventfd");
         assert!(ep.add(wake.raw_fd(), EPOLLIN, 42));
         let mut events = [EpollEvent::default(); 4];
-        assert_eq!(ep.wait(&mut events, 0), Ok(0), "unsignalled fd is not ready");
+        assert_eq!(
+            ep.wait(&mut events, 0),
+            Ok(0),
+            "unsignalled fd is not ready"
+        );
         wake.signal();
         assert_eq!(ep.wait(&mut events, 1000), Ok(1));
         assert_eq!(events[0].token(), 42);

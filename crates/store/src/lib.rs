@@ -1096,6 +1096,8 @@ impl SecureStore {
             registry.set_counter(&format!("{prefix}/keystream_blocks"), ops.keystream_blocks);
             registry.set_counter(&format!("{prefix}/batched_calls"), ops.batched_calls);
             registry.set_counter(&format!("{prefix}/mac_tags"), ops.mac_tags);
+            registry.set_counter(&format!("{prefix}/mac_batch_calls"), ops.mac_batch_calls);
+            registry.set_counter(&format!("{prefix}/mac_batch_tags"), ops.mac_batch_tags);
         }
         for shard in 0..self.config.shards {
             let (reply, response) = sync_channel(1);
@@ -1410,6 +1412,18 @@ mod tests {
         );
         assert!(
             snap.counter(&format!("store/crypto/{active}/mac_tags"))
+                .unwrap()
+                > 0
+        );
+        // The fused read/write paths issue multi-message MAC batches;
+        // the per-backend batched-tag counters must surface them.
+        assert!(
+            snap.counter(&format!("store/crypto/{active}/mac_batch_calls"))
+                .unwrap()
+                > 0
+        );
+        assert!(
+            snap.counter(&format!("store/crypto/{active}/mac_batch_tags"))
                 .unwrap()
                 > 0
         );

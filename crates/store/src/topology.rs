@@ -51,7 +51,10 @@ fn read_node_cpulists(base: &Path) -> Option<Vec<Vec<usize>>> {
     for entry in entries.flatten() {
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        let Some(idx) = name.strip_prefix("node").and_then(|n| n.parse::<usize>().ok()) else {
+        let Some(idx) = name
+            .strip_prefix("node")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
             continue;
         };
         let Ok(text) = std::fs::read_to_string(entry.path().join("cpulist")) else {

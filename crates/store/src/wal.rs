@@ -94,6 +94,61 @@ fn decode_generation(payload: &[u8]) -> Option<u64> {
     }
 }
 
+/// Accumulates consecutive-address sealed write entries across WAL
+/// records and applies each maximal run through
+/// [`SecureRegion::apply_sealed_run`] — the recovery-side analogue of
+/// the engine's batched write path. Sequential workloads checkpointed
+/// mid-stream produce long runs of adjacent addresses split across many
+/// `Writes` records; fusing them lets replay dedupe integrity-tree
+/// re-syncs per metadata block instead of paying one per record entry.
+///
+/// Correctness: a run only ever holds *strictly ascending consecutive*
+/// addresses (each exactly one block past the last), so no address
+/// repeats within a run and apply order inside it is immaterial. Any
+/// entry that breaks consecutiveness — including a rewrite of an
+/// address already buffered — flushes first, preserving the log's
+/// last-write-wins semantics exactly.
+#[derive(Default)]
+struct SealedRunBuffer {
+    run: Vec<(u64, SealedBlockState)>,
+}
+
+impl SealedRunBuffer {
+    /// Bounds a fused run so replay memory stays proportional to one
+    /// batch, not to the log.
+    const MAX_RUN: usize = 1024;
+
+    /// Buffers one sealed entry, flushing the pending run first if this
+    /// entry does not extend it.
+    fn push(
+        &mut self,
+        region: &mut SecureRegion,
+        local: u64,
+        state: SealedBlockState,
+    ) -> io::Result<()> {
+        let extends = self
+            .run
+            .last()
+            .is_some_and(|&(last, _)| local == last + ame_engine::BLOCK_BYTES as u64);
+        if (!self.run.is_empty() && !extends) || self.run.len() >= Self::MAX_RUN {
+            self.flush(region)?;
+        }
+        self.run.push((local, state));
+        Ok(())
+    }
+
+    /// Applies and clears the pending run (no-op when empty). Must be
+    /// called before any non-`Writes` mutation of the region so replay
+    /// order is preserved.
+    fn flush(&mut self, region: &mut SecureRegion) -> io::Result<()> {
+        if self.run.is_empty() {
+            return Ok(());
+        }
+        let run = std::mem::take(&mut self.run);
+        region.apply_sealed_run(&run)
+    }
+}
+
 /// Fsyncs a directory so renames and file creations inside it are
 /// durable across a power cut.
 fn sync_dir(dir: &Path) -> io::Result<()> {
@@ -388,6 +443,11 @@ pub(crate) fn recover_shard(
             // snapshot is made durable before its log exists.
             Some(Some(_)) => return Ok(quarantine(region)),
         };
+        // Consecutive-address `Writes` entries — within one record and
+        // across adjacent records — fuse into runs applied through the
+        // batched sealed-apply path; any record that mutates the region
+        // out of band flushes the pending run first.
+        let mut runs = SealedRunBuffer::default();
         for payload in replay {
             let record = match WalRecord::decode(payload) {
                 Ok(record) => record,
@@ -395,12 +455,14 @@ pub(crate) fn recover_shard(
             };
             let applied = match record {
                 WalRecord::Writes(entries) => entries
-                    .iter()
-                    .try_for_each(|(local, state)| region.apply_sealed(*local, state)),
+                    .into_iter()
+                    .try_for_each(|(local, state)| runs.push(&mut region, local, state)),
                 WalRecord::Prepare { txn, entries } => {
-                    let result = entries
-                        .iter()
-                        .try_for_each(|(local, _pre, post)| region.apply_sealed(*local, post));
+                    let result = runs.flush(&mut region).and_then(|()| {
+                        entries
+                            .iter()
+                            .try_for_each(|(local, _pre, post)| region.apply_sealed(*local, post))
+                    });
                     pending.insert(txn, entries);
                     result
                 }
@@ -408,16 +470,22 @@ pub(crate) fn recover_shard(
                     pending.remove(&txn);
                     Ok(())
                 }
-                WalRecord::Abort { txn } => match pending.remove(&txn) {
-                    Some(entries) => entries
-                        .iter()
-                        .try_for_each(|(local, pre, _post)| region.apply_sealed(*local, pre)),
-                    None => Ok(()),
-                },
+                WalRecord::Abort { txn } => {
+                    runs.flush(&mut region)
+                        .and_then(|()| match pending.remove(&txn) {
+                            Some(entries) => entries.iter().try_for_each(|(local, pre, _post)| {
+                                region.apply_sealed(*local, pre)
+                            }),
+                            None => Ok(()),
+                        })
+                }
             };
             if applied.is_err() {
                 return Ok(quarantine(region));
             }
+        }
+        if runs.flush(&mut region).is_err() {
+            return Ok(quarantine(region));
         }
     }
     // Unresolved prepares: forward if the coordinator durably committed,
